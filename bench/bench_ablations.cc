@@ -1,0 +1,159 @@
+// Ablations of the framework's §3.3/§3.4 design choices (not a paper table;
+// DESIGN.md calls these out):
+//   1. sub-tree cost-annotation reuse (§3.4.2) — optimization time
+//   2. cost cut-off (§3.4.1) — optimization time
+//   3. interleaving unnesting with view merging (§3.3.1) — plan quality
+//   4. search strategy (§3.2) — plan quality vs states on an
+//      interaction-heavy query
+
+#include <cstdio>
+
+#include "cbqt/framework.h"
+#include "parser/parser.h"
+#include "workload/runner.h"
+#include "workload/schema_gen.h"
+
+using namespace cbqt;
+
+namespace {
+
+const char* kFourSubqueries =
+    "SELECT e.employee_name FROM employees e, departments d, locations l "
+    "WHERE e.dept_id = d.dept_id AND d.loc_id = l.loc_id "
+    "AND e.emp_id NOT IN (SELECT o.emp_id FROM orders o, customers c, "
+    "products p WHERE o.cust_id = c.cust_id AND p.product_id = o.order_id "
+    "AND o.total > 100) "
+    "AND EXISTS (SELECT 1 FROM job_history j, jobs jb, employees e2 WHERE "
+    "j.job_id = jb.job_id AND e2.emp_id = j.emp_id AND j.emp_id = e.emp_id) "
+    "AND NOT EXISTS (SELECT 1 FROM orders o2, customers c2, locations l2 "
+    "WHERE o2.cust_id = c2.cust_id AND c2.country_id = l2.country_id AND "
+    "o2.emp_id = e.emp_id AND o2.status = 'CANCELLED') "
+    "AND e.dept_id IN (SELECT d2.dept_id FROM departments d2, locations l3, "
+    "jobs jb2 WHERE d2.loc_id = l3.loc_id AND jb2.job_id = d2.dept_id AND "
+    "l3.country_id = 'US')";
+
+// Interleave-sensitive: unnesting alone (Q10) can look worse than TIS, but
+// unnest + merge (Q11) wins.
+const char* kInterleaveQuery =
+    "SELECT e1.employee_name, j.job_title FROM employees e1, job_history j "
+    "WHERE e1.emp_id = j.emp_id AND e1.salary > (SELECT AVG(e2.salary) FROM "
+    "employees e2 WHERE e2.dept_id = e1.dept_id)";
+
+struct Timing {
+  double ms = 0;
+  double cost = 0;
+  int states = 0;
+  int64_t blocks = 0;
+  int64_t reused = 0;
+};
+
+Timing RunOnce(const Database& db, const char* sql, const CbqtConfig& cfg) {
+  auto parsed = ParseSql(sql);
+  CbqtOptimizer opt(db, cfg);
+  Timing t;
+  double best = 1e18;
+  for (int rep = 0; rep < 3; ++rep) {
+    double t0 = NowMs();
+    auto r = opt.Optimize(*parsed.value());
+    double t1 = NowMs();
+    if (!r.ok()) {
+      std::fprintf(stderr, "optimize failed: %s\n",
+                   r.status().ToString().c_str());
+      return t;
+    }
+    best = std::min(best, t1 - t0);
+    t.cost = r->cost;
+    t.states = r->stats.states_evaluated;
+    t.blocks = r->stats.blocks_planned;
+    t.reused = r->stats.annotation_hits;
+  }
+  t.ms = best;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations: §3.3 / §3.4 framework optimizations ===\n");
+  Database db;
+  SchemaConfig schema;
+  if (!BuildHrDatabase(schema, &db).ok()) return 1;
+
+  // ---- 1. annotation reuse ----
+  {
+    CbqtConfig on;
+    CbqtConfig off;
+    off.reuse_annotations = false;
+    Timing a = RunOnce(db, kFourSubqueries, on);
+    Timing b = RunOnce(db, kFourSubqueries, off);
+    std::printf("\n[1] sub-tree cost-annotation reuse (§3.4.2), 4-subquery "
+                "query:\n");
+    std::printf("    with reuse:    %.2f ms, %lld blocks optimized, %lld "
+                "reused\n",
+                a.ms, static_cast<long long>(a.blocks),
+                static_cast<long long>(a.reused));
+    std::printf("    without reuse: %.2f ms, %lld blocks optimized\n", b.ms,
+                static_cast<long long>(b.blocks));
+    std::printf("    -> reuse cuts block optimizations by %.0f%% and time by "
+                "%.0f%% (same final cost: %.0f == %.0f)\n",
+                100.0 * (b.blocks - a.blocks) / std::max<int64_t>(1, b.blocks),
+                100.0 * (b.ms - a.ms) / std::max(b.ms, 1e-9), a.cost, b.cost);
+  }
+
+  // ---- 2. cost cut-off ----
+  {
+    CbqtConfig on;
+    CbqtConfig off;
+    off.cost_cutoff = false;
+    Timing a = RunOnce(db, kFourSubqueries, on);
+    Timing b = RunOnce(db, kFourSubqueries, off);
+    std::printf("\n[2] cost cut-off (§3.4.1), 4-subquery query:\n");
+    std::printf("    with cut-off:    %.2f ms, %lld blocks optimized\n", a.ms,
+                static_cast<long long>(a.blocks));
+    std::printf("    without cut-off: %.2f ms, %lld blocks optimized\n", b.ms,
+                static_cast<long long>(b.blocks));
+    std::printf("    -> same final cost (%.0f == %.0f); cut-off abandons "
+                "doomed states early\n",
+                a.cost, b.cost);
+  }
+
+  // ---- 3. interleaving ----
+  {
+    CbqtConfig on;
+    CbqtConfig off;
+    off.interleave_view_merge = false;
+    Timing a = RunOnce(db, kInterleaveQuery, on);
+    Timing b = RunOnce(db, kInterleaveQuery, off);
+    std::printf("\n[3] interleaving unnesting with view merging (§3.3.1), "
+                "Q1-shaped query:\n");
+    std::printf("    with interleaving:    final cost %.0f (%.2f ms)\n",
+                a.cost, a.ms);
+    std::printf("    without interleaving: final cost %.0f (%.2f ms)\n",
+                b.cost, b.ms);
+    std::printf("    -> interleaving can only improve the chosen plan "
+                "(%.0f <= %.0f)\n",
+                a.cost, b.cost);
+  }
+
+  // ---- 4. search strategies: quality vs states ----
+  {
+    std::printf("\n[4] search strategy quality/effort trade-off (§3.2), "
+                "4-subquery query:\n");
+    std::printf("    %-12s %8s %10s %12s\n", "strategy", "#states",
+                "time(ms)", "final cost");
+    for (SearchStrategy s :
+         {SearchStrategy::kTwoPass, SearchStrategy::kLinear,
+          SearchStrategy::kIterative, SearchStrategy::kExhaustive}) {
+      CbqtConfig cfg;
+      cfg.force_strategy = true;
+      cfg.forced_strategy = s;
+      Timing t = RunOnce(db, kFourSubqueries, cfg);
+      std::printf("    %-12s %8d %10.2f %12.0f\n", SearchStrategyName(s),
+                  t.states, t.ms, t.cost);
+    }
+    std::printf("    -> exhaustive is the quality ceiling; linear matches it "
+                "when objects are\n       independent; two-pass is the "
+                "cheapest probe (paper Table 2's spread)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 4 reproduction: join predicate pushdown disabled vs cost-based
+// JPPD, over the view-join families (paper §4.2).
+//
+// Paper reference: 1,797 affected queries (0.75% of workload); average
+// improvement ~23%; 11% of affected queries degraded ~15%; optimization time
+// +7%. In contrast with unnesting, JPPD benefits *less* expensive queries
+// more (the top 80% improved more than the top 5%).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "storage/database.h"
+
+using namespace cbqt;
+using namespace cbqt::bench;
+
+int main() {
+  std::printf("=== Figure 4: JPPD disabled vs cost-based JPPD ===\n");
+  SchemaConfig schema = BenchSchema();
+  Database db;
+  Status st = BuildHrDatabase(schema, &db);
+  if (!st.ok()) {
+    std::fprintf(stderr, "schema build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  WorkloadRunner runner(db);
+
+  int per_family = BenchQueryCount(18);
+  std::vector<WorkloadQuery> queries;
+  for (auto& q : GenerateFamily(QueryFamily::kGbView, per_family, schema, 31)) {
+    queries.push_back(std::move(q));
+  }
+  for (auto& q :
+       GenerateFamily(QueryFamily::kDistinctView, per_family, schema, 32)) {
+    queries.push_back(std::move(q));
+  }
+  for (auto& q :
+       GenerateFamily(QueryFamily::kUnionView, per_family, schema, 33)) {
+    queries.push_back(std::move(q));
+  }
+
+  std::vector<QueryComparison> results;
+  for (const auto& q : queries) {
+    QueryComparison cmp;
+    if (CompareModes(runner, q, OptimizerMode::kJppdOff,
+                     OptimizerMode::kCostBased, &cmp)) {
+      results.push_back(cmp);
+    }
+  }
+
+  PrintAggregates(results);
+  PrintTopNSeries("Figure 4", results);
+
+  std::printf(
+      "\nPaper reference: avg +23%%, top 5%% +15%%, top 25%% +23%%, 11%% of "
+      "queries degraded\n~15%%, optimization time +7%%. JPPD benefits "
+      "cheaper queries more (selective outer\nrows drive indexed lateral "
+      "evaluation).\n");
+  return 0;
+}

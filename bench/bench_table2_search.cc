@@ -1,0 +1,106 @@
+// Table 2 reproduction: optimization time and states evaluated for the four
+// state-space search techniques on a query with three base tables and four
+// unnestable subqueries (paper §4.4).
+//
+// Paper reference:            Optim. time   #States
+//            Heuristic        0.24 s        1
+//            Two Pass         0.33 s        2
+//            Linear           0.61 s        5
+//            Exhaustive       0.97 s        16
+// The growth is modest because of sub-tree cost-annotation reuse.
+
+#include <cstdio>
+
+#include "cbqt/framework.h"
+#include "parser/parser.h"
+#include "workload/runner.h"
+#include "workload/schema_gen.h"
+
+using namespace cbqt;
+
+namespace {
+
+// Three outer tables; four subqueries of NOT IN / EXISTS / NOT EXISTS / IN
+// types, each over three base tables, all valid for unnesting (§4.4).
+const char* kQuery =
+    "SELECT e.employee_name FROM employees e, departments d, locations l "
+    "WHERE e.dept_id = d.dept_id AND d.loc_id = l.loc_id "
+    "AND e.emp_id NOT IN (SELECT o.emp_id FROM orders o, customers c, "
+    "products p WHERE o.cust_id = c.cust_id AND p.product_id = o.order_id "
+    "AND o.total > 100) "
+    "AND EXISTS (SELECT 1 FROM job_history j, jobs jb, employees e2 WHERE "
+    "j.job_id = jb.job_id AND e2.emp_id = j.emp_id AND j.emp_id = e.emp_id) "
+    "AND NOT EXISTS (SELECT 1 FROM orders o2, customers c2, locations l2 "
+    "WHERE o2.cust_id = c2.cust_id AND c2.country_id = l2.country_id AND "
+    "o2.emp_id = e.emp_id AND o2.status = 'CANCELLED') "
+    "AND e.dept_id IN (SELECT d2.dept_id FROM departments d2, locations l3, "
+    "jobs jb2 WHERE d2.loc_id = l3.loc_id AND jb2.job_id = d2.dept_id AND "
+    "l3.country_id = 'US')";
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Table 2: optimization time per state-space search technique ===\n");
+  SchemaConfig schema;
+  Database db;
+  Status st = BuildHrDatabase(schema, &db);
+  if (!st.ok()) {
+    std::fprintf(stderr, "schema build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto parsed = ParseSql(kQuery);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  struct Mode {
+    const char* name;
+    bool cost_based;
+    SearchStrategy strategy;
+  };
+  const Mode modes[] = {
+      {"Heuristic", false, SearchStrategy::kExhaustive},
+      {"Two Pass", true, SearchStrategy::kTwoPass},
+      {"Linear", true, SearchStrategy::kLinear},
+      {"Exhaustive", true, SearchStrategy::kExhaustive},
+  };
+
+  std::printf("\n  %-12s %12s %8s %14s\n", "technique", "optim(ms)", "#states",
+              "final cost");
+  for (const Mode& mode : modes) {
+    CbqtConfig cfg;
+    cfg.cost_based = mode.cost_based;
+    cfg.force_strategy = true;
+    cfg.forced_strategy = mode.strategy;
+    CbqtOptimizer opt(db, cfg);
+    // Warm once, then time the median of 3 runs.
+    double best_ms = 1e18;
+    int states = 1;
+    double cost = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      double t0 = NowMs();
+      auto r = opt.Optimize(*parsed.value());
+      double t1 = NowMs();
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      best_ms = std::min(best_ms, t1 - t0);
+      auto it = r->stats.states_per_transformation.find("unnest-view");
+      states = mode.cost_based && it != r->stats.states_per_transformation.end()
+                   ? it->second
+                   : 1;
+      cost = r->cost;
+    }
+    std::printf("  %-12s %12.2f %8d %14.0f\n", mode.name, best_ms, states,
+                cost);
+  }
+
+  std::printf(
+      "\nPaper reference (Table 2): Heuristic 0.24s/1, Two Pass 0.33s/2, "
+      "Linear\n0.61s/5, Exhaustive 0.97s/16 — a ~4x spread, kept modest by "
+      "annotation reuse.\n");
+  return 0;
+}

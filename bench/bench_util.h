@@ -1,0 +1,160 @@
+#ifndef CBQT_BENCH_BENCH_UTIL_H_
+#define CBQT_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "workload/query_gen.h"
+#include "workload/runner.h"
+#include "workload/schema_gen.h"
+
+namespace cbqt {
+namespace bench {
+
+/// Per-query measurement pair: the baseline mode vs the evaluated mode.
+struct QueryComparison {
+  std::string family;
+  double base_opt_ms = 0;
+  double base_exec_ms = 0;
+  double new_opt_ms = 0;
+  double new_exec_ms = 0;
+  bool plan_changed = false;
+
+  double base_total() const { return base_opt_ms + base_exec_ms; }
+  double new_total() const { return new_opt_ms + new_exec_ms; }
+};
+
+/// Improvement in the paper's sense: (base - new) / new * 100 — "the total
+/// run time improved by 387%" means base ≈ 4.87x new.
+inline double ImprovementPct(double base, double now) {
+  if (now <= 0) return 0;
+  return (base - now) / now * 100.0;
+}
+
+/// Prints the paper's Figure 2/3/4-style series: relative improvement as a
+/// function of the top N% longest-running queries (ranked by baseline total
+/// time, like the paper's "Top N ... without cost-based transformation").
+inline void PrintTopNSeries(const char* figure_name,
+                            std::vector<QueryComparison> queries) {
+  std::sort(queries.begin(), queries.end(),
+            [](const QueryComparison& a, const QueryComparison& b) {
+              return a.base_total() > b.base_total();
+            });
+  std::printf("\n%s: improvement vs top N%% most expensive queries\n",
+              figure_name);
+  std::printf("  %8s %12s %12s %14s\n", "top N%", "base(ms)", "cbqt(ms)",
+              "improvement%");
+  for (int pct : {5, 10, 25, 50, 80, 100}) {
+    size_t n = std::max<size_t>(1, queries.size() * static_cast<size_t>(pct) /
+                                       100);
+    double base = 0, now = 0;
+    for (size_t i = 0; i < n && i < queries.size(); ++i) {
+      base += queries[i].base_total();
+      now += queries[i].new_total();
+    }
+    std::printf("  %7d%% %12.1f %12.1f %13.0f%%\n", pct, base, now,
+                ImprovementPct(base, now));
+  }
+}
+
+/// Prints the aggregate numbers the paper reports in the prose around each
+/// figure: average improvement, degraded fraction/extent, optimization-time
+/// increase, plan changes.
+inline void PrintAggregates(const std::vector<QueryComparison>& queries) {
+  double base_total = 0, new_total = 0, base_opt = 0, new_opt = 0;
+  int degraded = 0, plan_changes = 0;
+  double degraded_base = 0, degraded_new = 0;
+  double best_factor = 0;
+  for (const auto& q : queries) {
+    base_total += q.base_total();
+    new_total += q.new_total();
+    base_opt += q.base_opt_ms;
+    new_opt += q.new_opt_ms;
+    if (q.new_total() > q.base_total() * 1.02) {
+      ++degraded;
+      degraded_base += q.base_total();
+      degraded_new += q.new_total();
+    }
+    if (q.plan_changed) ++plan_changes;
+    if (q.new_total() > 0) {
+      best_factor = std::max(best_factor, q.base_total() / q.new_total());
+    }
+  }
+  std::printf("  queries: %zu, plans changed: %d (%.1f%%)\n", queries.size(),
+              plan_changes, 100.0 * plan_changes / std::max<size_t>(1, queries.size()));
+  std::printf("  total run time improvement: %.0f%%\n",
+              ImprovementPct(base_total, new_total));
+  std::printf("  degraded queries: %d (%.0f%%), degraded by %.0f%%\n",
+              degraded,
+              100.0 * degraded / std::max<size_t>(1, queries.size()),
+              degraded_new > 0 ? ImprovementPct(degraded_new, degraded_base)
+                               : 0.0);
+  std::printf("  optimization time: %.1fms -> %.1fms (%+.0f%%)\n", base_opt,
+              new_opt,
+              base_opt > 0 ? (new_opt - base_opt) / base_opt * 100 : 0.0);
+  std::printf("  largest single-query speedup: %.0fx\n", best_factor);
+}
+
+/// Benchmark database scale, overridable via CBQT_BENCH_SCALE (0.1 .. 4).
+inline SchemaConfig BenchSchema() {
+  double scale = 1.0;
+  if (const char* env = std::getenv("CBQT_BENCH_SCALE")) {
+    scale = std::atof(env);
+    if (scale <= 0) scale = 1.0;
+  }
+  SchemaConfig cfg;
+  cfg.locations = 50;
+  cfg.departments = 200;
+  cfg.employees = static_cast<int>(20000 * scale);
+  cfg.job_history = static_cast<int>(30000 * scale);
+  cfg.customers = static_cast<int>(4000 * scale);
+  cfg.orders = static_cast<int>(30000 * scale);
+  cfg.order_items = static_cast<int>(60000 * scale);
+  cfg.products = 800;
+  cfg.accounts = 400;
+  cfg.seed = 7;
+  return cfg;
+}
+
+inline int BenchQueryCount(int default_count) {
+  if (const char* env = std::getenv("CBQT_BENCH_QUERIES")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return default_count;
+}
+
+/// Runs one query under two modes and returns the comparison, or false on
+/// error (errors are reported and the query skipped).
+inline bool CompareModes(const WorkloadRunner& runner,
+                         const WorkloadQuery& query, OptimizerMode base_mode,
+                         OptimizerMode new_mode, QueryComparison* out) {
+  auto base = runner.Run(query.sql, ConfigForMode(base_mode));
+  if (!base.ok()) {
+    std::fprintf(stderr, "  [skip] %s: %s\n", QueryFamilyName(query.family),
+                 base.status().ToString().c_str());
+    return false;
+  }
+  auto now = runner.Run(query.sql, ConfigForMode(new_mode));
+  if (!now.ok()) {
+    std::fprintf(stderr, "  [skip] %s: %s\n", QueryFamilyName(query.family),
+                 now.status().ToString().c_str());
+    return false;
+  }
+  out->family = QueryFamilyName(query.family);
+  out->base_opt_ms = base->opt_ms;
+  out->base_exec_ms = base->exec_ms;
+  out->new_opt_ms = now->opt_ms;
+  out->new_exec_ms = now->exec_ms;
+  out->plan_changed = base->plan_shape != now->plan_shape;
+  return true;
+}
+
+}  // namespace bench
+}  // namespace cbqt
+
+#endif  // CBQT_BENCH_BENCH_UTIL_H_

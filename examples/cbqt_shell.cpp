@@ -1,0 +1,158 @@
+// An interactive SQL shell over the built-in HR database — the "downstream
+// user" artifact: type queries, see the transformed tree, the plan, and the
+// results.
+//
+//   $ ./build/examples/cbqt_shell
+//   cbqt> SELECT d.dept_name FROM departments d WHERE EXISTS
+//         (SELECT 1 FROM employees e WHERE e.dept_id = d.dept_id);
+//   cbqt> .mode heuristic      -- switch optimizer mode
+//   cbqt> .explain on          -- toggle plan printing
+//   cbqt> .tables              -- list tables
+//   cbqt> .quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "cbqt/framework.h"
+#include "exec/executor.h"
+#include "parser/parser.h"
+#include "sql/unparser.h"
+#include "workload/runner.h"
+#include "workload/schema_gen.h"
+
+using namespace cbqt;
+
+namespace {
+
+void PrintRows(const std::vector<Row>& rows, const Schema& schema) {
+  // Header.
+  for (const auto& slot : schema) {
+    std::printf("%-18s", slot.name.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < schema.size(); ++i) std::printf("----------------- ");
+  std::printf("\n");
+  size_t shown = 0;
+  for (const auto& r : rows) {
+    for (const auto& v : r) std::printf("%-18s", v.ToString().c_str());
+    std::printf("\n");
+    if (++shown >= 25) {
+      std::printf("... (%zu more rows)\n", rows.size() - shown);
+      break;
+    }
+  }
+  std::printf("(%zu rows)\n", rows.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("cbqt shell — cost-based query transformation demo\n");
+  std::printf("building the HR database ...\n");
+  Database db;
+  SchemaConfig schema;
+  schema.employees = 5000;
+  schema.job_history = 8000;
+  schema.orders = 6000;
+  schema.order_items = 12000;
+  schema.customers = 1000;
+  if (!BuildHrDatabase(schema, &db).ok()) {
+    std::fprintf(stderr, "failed to build database\n");
+    return 1;
+  }
+  std::printf(
+      "tables: departments employees job_history jobs locations customers\n"
+      "        orders order_items products accounts\n"
+      "commands: .mode cost|heuristic|unnest-off|jppd-off  .explain on|off\n"
+      "          .tables  .quit     (end SQL with ';')\n\n");
+
+  OptimizerMode mode = OptimizerMode::kCostBased;
+  bool explain = true;
+  std::string buffer;
+  std::string line;
+  std::printf("cbqt> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (buffer.empty() && !line.empty() && line[0] == '.') {
+      if (line == ".quit" || line == ".exit") break;
+      if (line == ".tables") {
+        for (const auto& name : db.catalog().TableNames()) {
+          const TableStats* ts = db.stats().Find(name);
+          std::printf("  %-14s %8.0f rows\n", name.c_str(),
+                      ts != nullptr ? ts->rows : 0.0);
+        }
+      } else if (line == ".explain on") {
+        explain = true;
+      } else if (line == ".explain off") {
+        explain = false;
+      } else if (line.rfind(".mode ", 0) == 0) {
+        std::string m = line.substr(6);
+        if (m == "cost") mode = OptimizerMode::kCostBased;
+        else if (m == "heuristic") mode = OptimizerMode::kHeuristicOnly;
+        else if (m == "unnest-off") mode = OptimizerMode::kUnnestOff;
+        else if (m == "jppd-off") mode = OptimizerMode::kJppdOff;
+        else std::printf("unknown mode: %s\n", m.c_str());
+      } else {
+        std::printf("unknown command: %s\n", line.c_str());
+      }
+      std::printf("cbqt> ");
+      std::fflush(stdout);
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    if (buffer.find(';') == std::string::npos) {
+      std::printf("   -> ");
+      std::fflush(stdout);
+      continue;
+    }
+    std::string sql = buffer.substr(0, buffer.find(';'));
+    buffer.clear();
+
+    auto parsed = ParseSql(sql);
+    if (!parsed.ok()) {
+      std::printf("parse error: %s\n", parsed.status().message().c_str());
+      std::printf("cbqt> ");
+      std::fflush(stdout);
+      continue;
+    }
+    double t0 = NowMs();
+    CbqtOptimizer optimizer(db, ConfigForMode(mode));
+    auto optimized = optimizer.Optimize(*parsed.value());
+    double t1 = NowMs();
+    if (!optimized.ok()) {
+      std::printf("optimize error: %s\n",
+                  optimized.status().ToString().c_str());
+      std::printf("cbqt> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (explain) {
+      std::printf("-- transformed (%.2f ms", t1 - t0);
+      for (const auto& a : optimized->stats.applied) {
+        std::printf("; %s", a.c_str());
+      }
+      std::printf(")\n%s\n\n-- plan (cost %.1f)\n%s\n",
+                  BlockToSqlPretty(*optimized->tree).c_str(), optimized->cost,
+                  PlanToString(*optimized->plan).c_str());
+    }
+    Executor executor(db);
+    ExecStats stats;
+    double t2 = NowMs();
+    auto rows = executor.Execute(*optimized->plan, &stats);
+    double t3 = NowMs();
+    if (!rows.ok()) {
+      std::printf("execution error: %s\n", rows.status().ToString().c_str());
+    } else {
+      PrintRows(rows.value(), optimized->plan->output);
+      std::printf("optimize %.2f ms, execute %.2f ms, %lld rows processed\n",
+                  t1 - t0, t3 - t2,
+                  static_cast<long long>(stats.rows_processed));
+    }
+    std::printf("cbqt> ");
+    std::fflush(stdout);
+  }
+  std::printf("bye\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#ifndef CBQT_BINDER_BINDER_H_
+#define CBQT_BINDER_BINDER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/query_block.h"
+#include "storage/database.h"
+
+namespace cbqt {
+
+/// Output column of a block (what a derived table exposes to its parent).
+struct OutputColumn {
+  std::string name;
+  DataType type = DataType::kUnknown;
+};
+
+/// Output columns of a block: the select-list aliases/types for a regular
+/// block, or the first branch's for a compound (set-op) block. Valid after
+/// binding.
+std::vector<OutputColumn> BlockOutputColumns(const QueryBlock& qb);
+
+/// Name resolution and semantic analysis.
+///
+/// The binder:
+///  - enforces globally unique table aliases across the whole query tree
+///    (renaming shadowed duplicates), which is the invariant every
+///    transformation relies on to move expressions between blocks freely;
+///  - resolves column references (qualifying unqualified ones) and computes
+///    `corr_depth` — the correlation nesting distance the paper's unnesting
+///    legality tests use;
+///  - expands `*` / `alias.*`, assigns select-item aliases, derives types;
+///  - extracts top-level `ROWNUM < k` / `ROWNUM <= k` conjuncts into
+///    `QueryBlock::rownum_limit`;
+///  - records the TableDef of base-table FROM entries.
+///
+/// Binding is idempotent: transformations mutate the tree and simply
+/// re-bind.
+class Binder {
+ public:
+  explicit Binder(const Database& db) : db_(db) {}
+
+  /// Binds the whole tree rooted at `root`.
+  Status Bind(QueryBlock* root);
+
+ private:
+  struct Scope {
+    QueryBlock* block;
+  };
+
+  Status BindBlock(QueryBlock* qb);
+  Status BindRegularBlock(QueryBlock* qb);
+  Status EnsureUniqueAliases(QueryBlock* qb);
+  Status ExpandStars(QueryBlock* qb);
+  Status BindExpr(Expr* e, QueryBlock* qb, bool allow_order_alias);
+  Status ResolveColumnRef(Expr* e, QueryBlock* qb, bool allow_order_alias);
+  Status DeriveType(Expr* e);
+  void ExtractRownumLimit(QueryBlock* qb);
+
+  const Database& db_;
+  std::vector<Scope> scopes_;
+  std::set<std::string> used_aliases_;
+};
+
+/// Convenience: bind `root` against `db`.
+Status BindQuery(const Database& db, QueryBlock* root);
+
+}  // namespace cbqt
+
+#endif  // CBQT_BINDER_BINDER_H_

@@ -1,0 +1,96 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace cbqt {
+
+int TableDef::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+bool SameColumnSet(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<std::string> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return sa == sb;
+}
+
+}  // namespace
+
+bool TableDef::IsUniqueKey(const std::vector<std::string>& cols) const {
+  if (!primary_key.empty() && SameColumnSet(cols, primary_key)) return true;
+  for (const auto& key : unique_keys) {
+    if (SameColumnSet(cols, key)) return true;
+  }
+  for (const auto& idx : indexes) {
+    if (idx.unique && SameColumnSet(cols, idx.columns)) return true;
+  }
+  return false;
+}
+
+std::string TableDef::FindIndexCovering(
+    const std::vector<std::string>& cols) const {
+  if (cols.empty()) return "";
+  for (const auto& idx : indexes) {
+    // Every leading index key column must be constrained; equality probes on
+    // a prefix are what the storage layer supports.
+    if (idx.columns.size() < cols.size()) continue;
+    bool all_in_prefix = true;
+    for (const auto& c : cols) {
+      auto it = std::find(idx.columns.begin(),
+                          idx.columns.begin() + static_cast<long>(cols.size()), c);
+      if (it == idx.columns.begin() + static_cast<long>(cols.size())) {
+        all_in_prefix = false;
+        break;
+      }
+    }
+    if (all_in_prefix) return idx.name;
+  }
+  return "";
+}
+
+bool TableDef::IsNotNull(const std::string& column_name) const {
+  int i = FindColumn(column_name);
+  if (i < 0) return false;
+  return !columns[static_cast<size_t>(i)].nullable;
+}
+
+Status Catalog::AddTable(TableDef def) {
+  def.name = ToLower(def.name);
+  for (auto& col : def.columns) col.name = ToLower(col.name);
+  if (tables_.count(def.name) > 0) {
+    return Status::AlreadyExists("table already exists: " + def.name);
+  }
+  for (const auto& fk : def.foreign_keys) {
+    if (fk.columns.size() != fk.ref_columns.size()) {
+      return Status::InvalidArgument("foreign key column count mismatch on " +
+                                     def.name);
+    }
+  }
+  tables_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+const TableDef* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, def] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace cbqt

@@ -1,0 +1,15 @@
+#include "catalog/statistics.h"
+
+namespace cbqt {
+
+void StatsRegistry::Put(const std::string& table, TableStats stats) {
+  stats_[table] = std::move(stats);
+}
+
+const TableStats* StatsRegistry::Find(const std::string& table) const {
+  auto it = stats_.find(table);
+  if (it == stats_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace cbqt

@@ -1,0 +1,45 @@
+#ifndef CBQT_CATALOG_STATISTICS_H_
+#define CBQT_CATALOG_STATISTICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace cbqt {
+
+/// Rows assumed to fit in one storage block; converts row counts to the I/O
+/// component of scan costs.
+inline constexpr double kRowsPerBlock = 100.0;
+
+/// Per-column statistics used by the cardinality estimator.
+struct ColumnStats {
+  double ndv = 0;        ///< number of distinct non-null values
+  double null_frac = 0;  ///< fraction of NULLs
+  Value min;             ///< minimum non-null value (NULL if table empty)
+  Value max;             ///< maximum non-null value
+};
+
+/// Per-table statistics.
+struct TableStats {
+  double rows = 0;
+  double blocks = 1;
+  std::vector<ColumnStats> columns;  ///< parallel to TableDef::columns
+};
+
+/// Table name -> stats registry, filled by `Database::Analyze()`.
+class StatsRegistry {
+ public:
+  void Put(const std::string& table, TableStats stats);
+
+  /// nullptr if the table was never analyzed.
+  const TableStats* Find(const std::string& table) const;
+
+ private:
+  std::map<std::string, TableStats> stats_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_CATALOG_STATISTICS_H_

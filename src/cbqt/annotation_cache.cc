@@ -1,0 +1,27 @@
+#include "cbqt/annotation_cache.h"
+
+namespace cbqt {
+
+const CostAnnotation* AnnotationCache::Find(
+    const std::string& signature) const {
+  auto it = cache_.find(signature);
+  if (it == cache_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void AnnotationCache::Put(const std::string& signature,
+                          CostAnnotation annotation) {
+  cache_[signature] = std::move(annotation);
+}
+
+void AnnotationCache::Clear() {
+  cache_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace cbqt

@@ -1,0 +1,225 @@
+#include "cbqt/framework.h"
+
+#include <limits>
+
+#include "binder/binder.h"
+#include "transform/groupby_placement.h"
+#include "transform/groupby_view_merge.h"
+#include "transform/join_factorization.h"
+#include "transform/jppd.h"
+#include "transform/or_expansion.h"
+#include "transform/predicate_pullup.h"
+#include "transform/setop_to_join.h"
+#include "transform/subquery_unnest.h"
+#include "transform/transform_util.h"
+
+namespace cbqt {
+
+namespace {
+
+// Cheap follow-up heuristics applied after a transformation state: a
+// transformation can generate constructs that enable imperative rules again
+// (paper §3.1, "a transformation can generate constructs which may
+// necessitate other transformations to be re-applied").
+Status FollowUpHeuristics(TransformContext& ctx) {
+  HeuristicOptions opts;
+  opts.view_merge = false;       // would pre-empt cost-based merging
+  opts.join_elimination = false;
+  opts.subquery_unnest = false;  // cost-based decisions stay cost-based
+  opts.group_pruning = true;
+  opts.predicate_moveround = true;
+  return ApplyHeuristicTransformations(ctx, opts);
+}
+
+}  // namespace
+
+SearchStrategy CbqtOptimizer::ChooseStrategy(int num_objects,
+                                             int total_objects) const {
+  if (config_.force_strategy) return config_.forced_strategy;
+  if (total_objects > config_.two_pass_total_threshold) {
+    return SearchStrategy::kTwoPass;
+  }
+  if (num_objects <= config_.exhaustive_threshold) {
+    return SearchStrategy::kExhaustive;
+  }
+  return SearchStrategy::kLinear;
+}
+
+Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
+  auto tree = query.Clone();
+  CBQT_RETURN_IF_ERROR(BindQuery(db_, tree.get()));
+
+  CbqtStats stats;
+  AnnotationCache cache;
+  AnnotationCache* cache_ptr = config_.reuse_annotations ? &cache : nullptr;
+  Rng rng(config_.seed);
+
+  // ---- Heuristic (imperative) phase, paper §2.1. ----
+  if (config_.enable_heuristic_phase) {
+    TransformContext hctx{tree.get(), &db_};
+    HeuristicOptions hopts;
+    hopts.subquery_unnest = config_.enable_unnest;
+    CBQT_RETURN_IF_ERROR(ApplyHeuristicTransformations(hctx, hopts));
+    CBQT_RETURN_IF_ERROR(BindQuery(db_, tree.get()));
+  }
+
+  // ---- Cost-based phase, paper §2.2 + §3, in the §3.1 sequential order.
+  SubqueryUnnestViewTransformation unnest;
+  GroupByViewMergeTransformation gb_merge;
+  SetOpToJoinTransformation setop;
+  GroupByPlacementTransformation gbp;
+  PredicatePullupTransformation pullup;
+  JoinFactorizationTransformation factorize;
+  OrExpansionTransformation or_expand;
+  JoinPredicatePushdownTransformation jppd;
+
+  struct Step {
+    const CostBasedTransformation* t;
+    bool enabled;
+    bool interleave_merge;  // §3.3.1: unnesting interleaves with GB merge
+    bool juxtapose_jppd;    // §3.3.2: merge states also costed with JPPD
+  };
+  std::vector<Step> steps = {
+      {&unnest, config_.enable_unnest, config_.interleave_view_merge, false},
+      // View merging is juxtaposed with JPPD (§3.3.2): each merge state is
+      // also costed with JPPD applied to the surviving views, so "don't
+      // merge, push instead" (Q13) can beat "merge" (Q18) — the three-way
+      // Q12/Q13/Q18 comparison. The JPPD step below then performs the
+      // actual pushdown on the chosen tree.
+      {&gb_merge, config_.enable_gb_view_merge, false, config_.enable_jppd},
+      {&setop, config_.enable_setop_to_join, false, false},
+      {&gbp, config_.enable_gbp, false, false},
+      {&pullup, config_.enable_predicate_pullup, false, false},
+      {&factorize, config_.enable_join_factorization, false, false},
+      {&or_expand, config_.enable_or_expansion, false, false},
+      {&jppd, config_.enable_jppd, false, false},
+  };
+
+  // Total transformable objects (for the global two-pass threshold).
+  int total_objects = 0;
+  {
+    TransformContext cctx{tree.get(), &db_};
+    for (const auto& step : steps) {
+      if (step.enabled) total_objects += step.t->CountObjects(cctx);
+    }
+  }
+
+  for (const auto& step : steps) {
+    if (!step.enabled) continue;
+    TransformContext count_ctx{tree.get(), &db_};
+    int n = step.t->CountObjects(count_ctx);
+    if (n == 0) continue;
+
+    if (!config_.cost_based) {
+      // Heuristic mode (Figure 2 baseline): each object decided by the
+      // legacy rule, no costing.
+      TransformState bits(static_cast<size_t>(n), false);
+      bool any = false;
+      for (int i = 0; i < n; ++i) {
+        bits[static_cast<size_t>(i)] = step.t->HeuristicDecision(count_ctx, i);
+        any |= bits[static_cast<size_t>(i)];
+      }
+      if (any) {
+        TransformContext actx{tree.get(), &db_};
+        CBQT_RETURN_IF_ERROR(step.t->Apply(actx, bits));
+        CBQT_RETURN_IF_ERROR(BindQuery(db_, tree.get()));
+        CBQT_RETURN_IF_ERROR(FollowUpHeuristics(actx));
+        CBQT_RETURN_IF_ERROR(BindQuery(db_, tree.get()));
+        stats.applied.push_back(step.t->Name() + StateToString(bits));
+      }
+      continue;
+    }
+
+    double best_so_far = std::numeric_limits<double>::infinity();
+    auto evaluate = [&](const TransformState& state) -> Result<double> {
+      auto copy = tree->Clone();
+      TransformContext cctx{copy.get(), &db_};
+      CBQT_RETURN_IF_ERROR(step.t->Apply(cctx, state));
+      CBQT_RETURN_IF_ERROR(BindQuery(db_, copy.get()));
+      CBQT_RETURN_IF_ERROR(FollowUpHeuristics(cctx));
+      CBQT_RETURN_IF_ERROR(BindQuery(db_, copy.get()));
+      double cutoff = config_.cost_cutoff ? best_so_far
+                                          : std::numeric_limits<double>::infinity();
+      auto opt = physical_.Optimize(*copy, cache_ptr, cutoff);
+      double cost = std::numeric_limits<double>::infinity();
+      if (opt.ok()) {
+        stats.blocks_planned += opt->blocks_planned;
+        cost = opt->cost;
+      } else if (opt.status().code() != StatusCode::kCostCutoff) {
+        return opt.status();
+      }
+
+      // §3.3.1 interleaving / §3.3.2 juxtaposition: before settling on this
+      // state's cost, also cost it with a companion transformation applied
+      // (group-by view merging after unnesting, or JPPD alongside view
+      // merging) and take the minimum. The companion transformation itself
+      // is (re-)decided by its own later step; here the extra costing only
+      // protects this decision from being rejected prematurely.
+      bool any_bit = false;
+      for (bool b : state) any_bit |= b;
+      auto cost_with_companion = [&](const CostBasedTransformation& comp) {
+        auto companion = copy->Clone();
+        TransformContext mctx{companion.get(), &db_};
+        int m = comp.CountObjects(mctx);
+        if (m <= 0) return;
+        Status st = comp.Apply(mctx, OnesState(m));
+        if (st.ok()) st = BindQuery(db_, companion.get());
+        if (!st.ok()) return;
+        auto mopt = physical_.Optimize(*companion, cache_ptr, cutoff);
+        ++stats.interleaved_states;
+        if (mopt.ok()) {
+          stats.blocks_planned += mopt->blocks_planned;
+          if (mopt->cost < cost) cost = mopt->cost;
+        }
+      };
+      if (step.interleave_merge && any_bit) {
+        GroupByViewMergeTransformation merge_all;
+        cost_with_companion(merge_all);
+      }
+      if (step.juxtapose_jppd) {
+        JoinPredicatePushdownTransformation jppd_all;
+        cost_with_companion(jppd_all);
+      }
+      if (!std::isfinite(cost)) return Status::CostCutoff();
+      if (cost < best_so_far) best_so_far = cost;
+      return cost;
+    };
+
+    SearchStrategy strategy = ChooseStrategy(n, total_objects);
+    auto outcome = RunSearch(strategy, n, evaluate, &rng,
+                             config_.iterative_max_states);
+    if (!outcome.ok()) return outcome.status();
+    stats.states_evaluated += outcome->states_evaluated;
+    stats.states_per_transformation[step.t->Name()] =
+        outcome->states_evaluated;
+
+    bool any = false;
+    for (bool b : outcome->best_state) any |= b;
+    if (any) {
+      // Transfer the best state's directives to the original tree
+      // (paper §3.1).
+      TransformContext actx{tree.get(), &db_};
+      CBQT_RETURN_IF_ERROR(step.t->Apply(actx, outcome->best_state));
+      CBQT_RETURN_IF_ERROR(BindQuery(db_, tree.get()));
+      CBQT_RETURN_IF_ERROR(FollowUpHeuristics(actx));
+      CBQT_RETURN_IF_ERROR(BindQuery(db_, tree.get()));
+      stats.applied.push_back(step.t->Name() +
+                              StateToString(outcome->best_state));
+    }
+  }
+
+  // ---- Final physical optimization of the chosen tree. ----
+  auto final_opt = physical_.Optimize(*tree, cache_ptr);
+  if (!final_opt.ok()) return final_opt.status();
+  stats.blocks_planned += final_opt->blocks_planned;
+  stats.annotation_hits = cache.hits();
+
+  CbqtResult result;
+  result.tree = std::move(tree);
+  result.plan = std::move(final_opt->plan);
+  result.cost = final_opt->cost;
+  result.stats = std::move(stats);
+  return result;
+}
+
+}  // namespace cbqt

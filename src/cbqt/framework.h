@@ -1,0 +1,105 @@
+#ifndef CBQT_CBQT_FRAMEWORK_H_
+#define CBQT_CBQT_FRAMEWORK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cbqt/annotation_cache.h"
+#include "cbqt/search.h"
+#include "common/status.h"
+#include "optimizer/optimizer.h"
+#include "sql/query_block.h"
+#include "storage/database.h"
+
+namespace cbqt {
+
+/// Configuration of the cost-based transformation framework.
+struct CbqtConfig {
+  /// Master switch: false reproduces the heuristic-only optimizer (each
+  /// transformation decided by its legacy rule) — Figure 2's baseline.
+  bool cost_based = true;
+
+  // Per-transformation switches (used by Figures 3/4 and §4.3).
+  bool enable_unnest = true;  ///< both merge- and view-generating unnesting
+  bool enable_gb_view_merge = true;
+  bool enable_jppd = true;
+  bool enable_gbp = true;
+  bool enable_join_factorization = true;
+  bool enable_predicate_pullup = true;
+  bool enable_setop_to_join = true;
+  bool enable_or_expansion = true;
+  bool enable_heuristic_phase = true;  ///< §2.1 imperative battery
+
+  // Search-space management (paper §3.2 last paragraph).
+  int exhaustive_threshold = 4;      ///< N <= this: exhaustive, else linear
+  int two_pass_total_threshold = 10; ///< total objects > this: two-pass
+  int iterative_max_states = 32;
+  bool force_strategy = false;       ///< override automatic selection
+  SearchStrategy forced_strategy = SearchStrategy::kExhaustive;
+
+  /// Interleave group-by view merging with view-generating unnesting
+  /// (paper §3.3.1): a state whose unnesting looks unprofitable is also
+  /// costed with the generated view merged before being rejected.
+  bool interleave_view_merge = true;
+
+  /// §3.4.1 cost cut-off during state evaluation.
+  bool cost_cutoff = true;
+
+  /// §3.4.2 reuse of query sub-tree cost annotations.
+  bool reuse_annotations = true;
+
+  uint64_t seed = 42;  ///< iterative-search randomness
+};
+
+/// Telemetry of one CBQT optimization.
+struct CbqtStats {
+  int states_evaluated = 0;      ///< states costed across all searches
+  int interleaved_states = 0;    ///< extra states from interleaving
+  int64_t blocks_planned = 0;    ///< query blocks physically optimized
+  int64_t annotation_hits = 0;   ///< §3.4.2 reuses
+  /// transformation name -> states evaluated in its search
+  std::map<std::string, int> states_per_transformation;
+  /// transformations actually applied, e.g. "unnest-view(1,0)"
+  std::vector<std::string> applied;
+};
+
+/// Result of CBQT optimization: the chosen (transformed) query tree, its
+/// physical plan, and cost.
+struct CbqtResult {
+  std::unique_ptr<QueryBlock> tree;
+  std::unique_ptr<PlanNode> plan;
+  double cost = 0;
+  CbqtStats stats;
+};
+
+/// The cost-based query transformation framework (paper §3, Figure 1):
+/// heuristic transformations run imperatively; each cost-based
+/// transformation then enumerates its state space (with automatically
+/// selected search strategy), deep-copies the query tree per state, applies
+/// the state, invokes the physical optimizer for the cost (with cost
+/// cut-off and annotation reuse), and keeps the cheapest tree.
+class CbqtOptimizer {
+ public:
+  CbqtOptimizer(const Database& db, CbqtConfig config = {},
+                CostParams params = {})
+      : db_(db), config_(config), physical_(db, params) {}
+
+  /// Optimizes a bound or unbound query tree (the input is cloned and
+  /// re-bound internally).
+  Result<CbqtResult> Optimize(const QueryBlock& query) const;
+
+  /// The strategy the framework would pick for a transformation with
+  /// `num_objects` objects given `total_objects` in the whole query.
+  SearchStrategy ChooseStrategy(int num_objects, int total_objects) const;
+
+ private:
+  const Database& db_;
+  CbqtConfig config_;
+  PhysicalOptimizer physical_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_CBQT_FRAMEWORK_H_

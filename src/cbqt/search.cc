@@ -1,0 +1,160 @@
+#include "cbqt/search.h"
+
+#include <set>
+
+namespace cbqt {
+
+const char* SearchStrategyName(SearchStrategy s) {
+  switch (s) {
+    case SearchStrategy::kExhaustive:
+      return "exhaustive";
+    case SearchStrategy::kIterative:
+      return "iterative";
+    case SearchStrategy::kLinear:
+      return "linear";
+    case SearchStrategy::kTwoPass:
+      return "two-pass";
+  }
+  return "?";
+}
+
+namespace {
+
+// Evaluates `state`; updates the outcome if it is the new best. Returns a
+// non-OK status only on hard errors (cost cutoff counts as "worse").
+Status Consider(const TransformState& state, const StateEvaluator& evaluate,
+                SearchOutcome* outcome, double* out_cost = nullptr) {
+  auto cost = evaluate(state);
+  ++outcome->states_evaluated;
+  if (!cost.ok()) {
+    if (cost.status().code() == StatusCode::kCostCutoff) {
+      if (out_cost != nullptr) {
+        *out_cost = std::numeric_limits<double>::infinity();
+      }
+      return Status::OK();
+    }
+    return cost.status();
+  }
+  if (out_cost != nullptr) *out_cost = cost.value();
+  if (cost.value() < outcome->best_cost) {
+    outcome->best_cost = cost.value();
+    outcome->best_state = state;
+  }
+  return Status::OK();
+}
+
+Result<SearchOutcome> Exhaustive(int n, const StateEvaluator& evaluate) {
+  SearchOutcome outcome;
+  uint64_t total = 1ULL << n;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    CBQT_RETURN_IF_ERROR(
+        Consider(StateFromMask(mask, n), evaluate, &outcome));
+  }
+  return outcome;
+}
+
+Result<SearchOutcome> Linear(int n, const StateEvaluator& evaluate) {
+  // Dynamic-programming flavour (paper §3.2): accept each object's
+  // transformation iff it improves on the best state found so far; never
+  // revisit. Exactly N+1 states.
+  SearchOutcome outcome;
+  TransformState current = ZeroState(n);
+  CBQT_RETURN_IF_ERROR(Consider(current, evaluate, &outcome));
+  double current_cost = outcome.best_cost;
+  for (int i = 0; i < n; ++i) {
+    TransformState next = current;
+    next[static_cast<size_t>(i)] = true;
+    double cost = 0;
+    CBQT_RETURN_IF_ERROR(Consider(next, evaluate, &outcome, &cost));
+    if (cost < current_cost) {
+      current = std::move(next);
+      current_cost = cost;
+    }
+  }
+  return outcome;
+}
+
+Result<SearchOutcome> TwoPass(int n, const StateEvaluator& evaluate) {
+  SearchOutcome outcome;
+  CBQT_RETURN_IF_ERROR(Consider(ZeroState(n), evaluate, &outcome));
+  CBQT_RETURN_IF_ERROR(Consider(OnesState(n), evaluate, &outcome));
+  return outcome;
+}
+
+Result<SearchOutcome> Iterative(int n, const StateEvaluator& evaluate,
+                                Rng* rng, int max_states) {
+  // Iterative improvement (paper §3.2): from a random initial state, take
+  // any downhill single-bit move until a local minimum, then restart;
+  // stop when no unseen states remain or max_states is reached.
+  SearchOutcome outcome;
+  std::set<TransformState> seen;
+  auto consider_once = [&](const TransformState& s,
+                           double* cost) -> Status {
+    if (seen.count(s) > 0) {
+      *cost = std::numeric_limits<double>::infinity();
+      return Status::OK();
+    }
+    seen.insert(s);
+    return Consider(s, evaluate, &outcome, cost);
+  };
+
+  double zero_cost = 0;
+  CBQT_RETURN_IF_ERROR(consider_once(ZeroState(n), &zero_cost));
+
+  Rng fallback(12345);
+  Rng& random = rng != nullptr ? *rng : fallback;
+  uint64_t total = n >= 63 ? ~0ULL : (1ULL << n);
+  while (outcome.states_evaluated < max_states &&
+         seen.size() < static_cast<size_t>(total)) {
+    // Random restart.
+    TransformState current = StateFromMask(random.Next() % total, n);
+    double current_cost = 0;
+    if (seen.count(current) > 0) continue;
+    CBQT_RETURN_IF_ERROR(consider_once(current, &current_cost));
+    bool improved = true;
+    while (improved && outcome.states_evaluated < max_states) {
+      improved = false;
+      for (int i = 0; i < n; ++i) {
+        TransformState neighbor = current;
+        neighbor[static_cast<size_t>(i)] = !neighbor[static_cast<size_t>(i)];
+        if (seen.count(neighbor) > 0) continue;
+        double cost = 0;
+        CBQT_RETURN_IF_ERROR(consider_once(neighbor, &cost));
+        if (cost < current_cost) {
+          current = std::move(neighbor);
+          current_cost = cost;
+          improved = true;
+          break;  // always take the first downhill move
+        }
+        if (outcome.states_evaluated >= max_states) break;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+Result<SearchOutcome> RunSearch(SearchStrategy strategy, int num_objects,
+                                const StateEvaluator& evaluate, Rng* rng,
+                                int max_states) {
+  if (num_objects <= 0) {
+    return Status::InvalidArgument("search requires at least one object");
+  }
+  if (num_objects > 20 && strategy == SearchStrategy::kExhaustive) {
+    strategy = SearchStrategy::kLinear;  // safety valve
+  }
+  switch (strategy) {
+    case SearchStrategy::kExhaustive:
+      return Exhaustive(num_objects, evaluate);
+    case SearchStrategy::kLinear:
+      return Linear(num_objects, evaluate);
+    case SearchStrategy::kTwoPass:
+      return TwoPass(num_objects, evaluate);
+    case SearchStrategy::kIterative:
+      return Iterative(num_objects, evaluate, rng, max_states);
+  }
+  return Status::Internal("unknown search strategy");
+}
+
+}  // namespace cbqt

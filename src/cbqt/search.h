@@ -1,0 +1,43 @@
+#ifndef CBQT_CBQT_SEARCH_H_
+#define CBQT_CBQT_SEARCH_H_
+
+#include <functional>
+#include <limits>
+
+#include "cbqt/state.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace cbqt {
+
+/// State-space search techniques for cost-based transformation (paper §3.2).
+enum class SearchStrategy {
+  kExhaustive,  ///< all 2^N states — guaranteed best
+  kIterative,   ///< iterative improvement with random restarts, N+1..2^N
+  kLinear,      ///< greedy one-object-at-a-time, N+1 states
+  kTwoPass,     ///< 2 states: nothing vs everything
+};
+
+const char* SearchStrategyName(SearchStrategy s);
+
+/// Evaluates one state and returns its cost. A kCostCutoff status means the
+/// state was abandoned mid-optimization (treated as "not better"); other
+/// errors abort the search.
+using StateEvaluator = std::function<Result<double>(const TransformState&)>;
+
+struct SearchOutcome {
+  TransformState best_state;
+  double best_cost = std::numeric_limits<double>::infinity();
+  int states_evaluated = 0;
+};
+
+/// Runs the chosen strategy over an N-object state space. The zero state is
+/// always evaluated first (it seeds the cost cutoff). `rng` is used by the
+/// iterative strategy only; `max_states` bounds iterative search.
+Result<SearchOutcome> RunSearch(SearchStrategy strategy, int num_objects,
+                                const StateEvaluator& evaluate, Rng* rng,
+                                int max_states = 64);
+
+}  // namespace cbqt
+
+#endif  // CBQT_CBQT_SEARCH_H_

@@ -1,0 +1,31 @@
+#include "cbqt/state.h"
+
+namespace cbqt {
+
+std::string StateToString(const TransformState& s) {
+  std::string out = "(";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) out += ",";
+    out += s[i] ? "1" : "0";
+  }
+  out += ")";
+  return out;
+}
+
+TransformState ZeroState(int n) {
+  return TransformState(static_cast<size_t>(n), false);
+}
+
+TransformState OnesState(int n) {
+  return TransformState(static_cast<size_t>(n), true);
+}
+
+TransformState StateFromMask(uint64_t mask, int n) {
+  TransformState s(static_cast<size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    if (mask & (1ULL << i)) s[static_cast<size_t>(i)] = true;
+  }
+  return s;
+}
+
+}  // namespace cbqt

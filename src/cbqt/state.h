@@ -1,0 +1,29 @@
+#ifndef CBQT_CBQT_STATE_H_
+#define CBQT_CBQT_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbqt {
+
+/// A transformation state: one bit per transformation object (paper §3.2,
+/// "we denote a state as an array of bits, where the nth bit represents
+/// whether the nth object is transformed").
+using TransformState = std::vector<bool>;
+
+/// Renders a state like "(1,0,1)" for diagnostics.
+std::string StateToString(const TransformState& s);
+
+/// The all-zero (identity) state over n objects.
+TransformState ZeroState(int n);
+
+/// The all-one state over n objects.
+TransformState OnesState(int n);
+
+/// State from the low n bits of `mask` (bit i = object i).
+TransformState StateFromMask(uint64_t mask, int n);
+
+}  // namespace cbqt
+
+#endif  // CBQT_CBQT_STATE_H_

@@ -1,0 +1,65 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbqt {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  s_[0] = SplitMix64(x);
+  s_[1] = SplitMix64(x);
+  if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s_[0];
+  uint64_t y = s_[1];
+  s_[0] = y;
+  x ^= x << 23;
+  s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s_[1] + y;
+}
+
+uint64_t Rng::NextUint(uint64_t n) { return Next() % n; }
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(NextUint(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+Zipf::Zipf(int64_t n, double theta) {
+  cdf_.resize(static_cast<size_t>(n));
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[static_cast<size_t>(i)] = sum;
+  }
+  for (double& v : cdf_) v /= sum;
+}
+
+int64_t Zipf::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<int64_t>(cdf_.size()) - 1;
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+}  // namespace cbqt

@@ -1,0 +1,52 @@
+#ifndef CBQT_COMMON_RNG_H_
+#define CBQT_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cbqt {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xorshift128+).
+///
+/// Every randomized component of the library (workload generation, the
+/// Iterative search strategy's restarts) takes an explicit Rng so runs are
+/// reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextUint(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[2];
+};
+
+/// Zipf-distributed integer generator over {0, .., n-1} with exponent theta.
+/// theta = 0 is uniform; larger theta is more skewed. Uses the standard
+/// inverse-CDF-over-precomputed-harmonics method, O(log n) per sample.
+class Zipf {
+ public:
+  Zipf(int64_t n, double theta);
+
+  int64_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_COMMON_RNG_H_

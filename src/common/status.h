@@ -1,0 +1,112 @@
+#ifndef CBQT_COMMON_STATUS_H_
+#define CBQT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace cbqt {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-system convention (RocksDB/Arrow-style Status) of returning
+/// explicit status objects instead of throwing exceptions across API
+/// boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kNotSupported,
+  kInternal,
+  /// Physical optimization was aborted because accumulated cost exceeded
+  /// the best transformation state found so far (paper §3.4.1).
+  kCostCutoff,
+};
+
+/// Result of an operation: either OK or an error code plus message.
+///
+/// `Status` is cheap to copy in the OK case (empty message) and is used as
+/// the return type of every fallible public function in the library.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status CostCutoff() {
+    return Status(StatusCode::kCostCutoff, "cost cutoff exceeded");
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected token ')'".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder, analogous to absl::StatusOr.
+///
+/// Access the value only after checking `ok()`; accessing the value of a
+/// failed Result aborts in debug builds and is undefined otherwise.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return value_; }
+  const T& value() const& { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  T& operator*() { return value_; }
+  const T& operator*() const { return value_; }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK Status from an expression. Usable only in functions
+/// returning Status.
+#define CBQT_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::cbqt::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace cbqt
+
+#endif  // CBQT_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef CBQT_COMMON_STR_UTIL_H_
+#define CBQT_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace cbqt {
+
+/// Lower-cases ASCII. SQL identifiers in this library are case-insensitive
+/// and normalized to lower case at parse time.
+std::string ToLower(const std::string& s);
+
+/// Upper-cases ASCII (used when unparsing keywords).
+std::string ToUpper(const std::string& s);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace cbqt
+
+#endif  // CBQT_COMMON_STR_UTIL_H_

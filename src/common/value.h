@@ -1,0 +1,104 @@
+#ifndef CBQT_COMMON_VALUE_H_
+#define CBQT_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cbqt {
+
+/// Runtime value kinds. SQL NULL is a distinct kind rather than a flag so a
+/// Value is always exactly one of these.
+enum class ValueKind { kNull = 0, kInt64, kDouble, kString, kBool };
+
+/// A dynamically typed SQL value.
+///
+/// Values implement SQL three-valued comparison semantics through the free
+/// functions below: any comparison involving NULL yields "unknown", which the
+/// expression evaluator maps onto a NULL boolean. `operator==` on Value
+/// itself is *structural* equality (NULL == NULL is true); it is used by
+/// containers and tests, never by SQL predicate evaluation.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Real(double v) { return Value(Payload(v)); }
+  static Value Str(std::string v) { return Value(Payload(std::move(v))); }
+  static Value Boolean(bool v) { return Value(Payload(v)); }
+
+  ValueKind kind() const { return static_cast<ValueKind>(data_.index()); }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+
+  /// Numeric view: int64 and double both render as double; other kinds
+  /// return 0 (callers must check kind first).
+  double NumericValue() const;
+
+  /// Structural equality (NULL equals NULL). For SQL comparison use
+  /// CompareValues.
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Renders the value for debugging and result printing ("NULL", 42,
+  /// 3.5, 'abc', TRUE).
+  std::string ToString() const;
+
+  /// Hash for hash-join/aggregation keys. NULLs hash to a fixed value;
+  /// int64 and double with the same numeric value hash identically so mixed
+  /// numeric joins work.
+  size_t Hash() const;
+
+ private:
+  using Payload =
+      std::variant<std::monostate, int64_t, double, std::string, bool>;
+  explicit Value(Payload data) : data_(std::move(data)) {}
+  Payload data_;
+};
+
+/// Three-valued comparison result.
+enum class Ordering { kLess, kEqual, kGreater, kUnknown };
+
+/// SQL comparison: returns kUnknown if either side is NULL; numeric kinds
+/// compare numerically; strings lexicographically; bools false < true.
+/// Cross-kind non-numeric comparisons return kUnknown.
+Ordering CompareValues(const Value& a, const Value& b);
+
+/// Null-safe equality (SQL "IS NOT DISTINCT FROM"): NULLs match each other.
+/// Used by INTERSECT/MINUS conversion where the paper notes nulls match.
+bool NullSafeEqual(const Value& a, const Value& b);
+
+/// Total order for sorting: NULLs sort last (Oracle default), otherwise
+/// CompareValues order; cross-kind falls back to kind index so the order is
+/// total.
+bool TotalLess(const Value& a, const Value& b);
+
+/// A row of values. Rows are plain data; operators copy or move them freely.
+using Row = std::vector<Value>;
+
+/// Hash of a key row (for hash joins / aggregation).
+size_t HashRow(const Row& row);
+
+struct RowHasher {
+  size_t operator()(const Row& r) const { return HashRow(r); }
+};
+
+/// Structural row equality (NULLs match; numeric kinds compare by value so
+/// Int(2) == Real(2.0) for hashing consistency).
+bool RowsEqualStructural(const Row& a, const Row& b);
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    return RowsEqualStructural(a, b);
+  }
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_COMMON_VALUE_H_

@@ -1,0 +1,55 @@
+#ifndef CBQT_EXEC_REFERENCE_H_
+#define CBQT_EXEC_REFERENCE_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/eval.h"
+#include "sql/query_block.h"
+#include "storage/database.h"
+
+namespace cbqt {
+
+/// A naive, obviously-correct interpreter of *bound query trees*.
+///
+/// It evaluates the declarative tree directly — cross products, per-row
+/// subquery re-execution, O(n^2) window frames — with no planner, no join
+/// reordering, no caching, and no transformations. It is deliberately slow
+/// and deliberately independent of the optimizer and executor, which makes
+/// it the correctness oracle for the whole pipeline: for any query,
+/// `CbqtOptimizer + Executor` must return the same multiset of rows as this
+/// class (see tests/test_reference_oracle.cc).
+class ReferenceExecutor {
+ public:
+  explicit ReferenceExecutor(const Database& db) : db_(db) {}
+
+  /// Executes a bound query block tree. Output columns follow the select
+  /// list (or the first branch's for set operations).
+  Result<std::vector<Row>> Execute(const QueryBlock& qb);
+
+ private:
+  friend class NaiveSubqueryResolver;
+
+  Result<std::vector<Row>> ExecuteBlock(const QueryBlock& qb,
+                                        EvalContext& ctx);
+  Result<std::vector<Row>> ExecuteRegular(const QueryBlock& qb,
+                                          EvalContext& ctx);
+  Result<std::vector<Row>> ExecuteSetOp(const QueryBlock& qb,
+                                        EvalContext& ctx);
+
+  /// Rows of one FROM entry under the current context (base table with
+  /// ROWIDs, or a recursively executed derived table).
+  Result<std::vector<Row>> EntryRows(const TableRef& tr, EvalContext& ctx);
+
+  const Database& db_;
+  /// Keeps subquery results alive for the duration of one Execute call
+  /// (EvalExpr receives borrowed pointers).
+  std::deque<std::vector<Row>> subquery_results_;
+  std::deque<Schema> schemas_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_EXEC_REFERENCE_H_

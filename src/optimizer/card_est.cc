@@ -1,0 +1,245 @@
+#include "optimizer/card_est.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbqt {
+
+namespace {
+
+constexpr double kDefaultEqSel = 0.01;
+constexpr double kDefaultRangeSel = 1.0 / 3.0;
+constexpr double kDefaultSel = 0.25;
+
+double Clamp01(double s) { return std::min(1.0, std::max(1e-9, s)); }
+
+/// True if `e` acts as a bound value in this block: a literal, a correlated
+/// column ref, or any expression without local (depth-0) column refs.
+bool IsBoundValue(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kColumnRef:
+      return e.corr_depth > 0;
+    case ExprKind::kBinary:
+    case ExprKind::kUnary:
+    case ExprKind::kFuncCall:
+      for (const auto& c : e.children) {
+        if (!IsBoundValue(*c)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Fraction of a numeric column's [min,max] domain selected by `col op lit`.
+double RangeFraction(const ColumnStats& cs, BinaryOp op, const Value& lit) {
+  if (cs.min.is_null() || cs.max.is_null()) return kDefaultRangeSel;
+  bool numeric = (cs.min.kind() == ValueKind::kInt64 ||
+                  cs.min.kind() == ValueKind::kDouble) &&
+                 (lit.kind() == ValueKind::kInt64 ||
+                  lit.kind() == ValueKind::kDouble);
+  if (!numeric) return kDefaultRangeSel;
+  double lo = cs.min.NumericValue();
+  double hi = cs.max.NumericValue();
+  double v = lit.NumericValue();
+  if (hi <= lo) return kDefaultRangeSel;
+  double frac_below = (v - lo) / (hi - lo);
+  frac_below = std::min(1.0, std::max(0.0, frac_below));
+  switch (op) {
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+      return Clamp01(frac_below);
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return Clamp01(1.0 - frac_below);
+    default:
+      return kDefaultRangeSel;
+  }
+}
+
+}  // namespace
+
+void StatsContext::AddRelation(const std::string& alias, RelStats stats) {
+  rels_[alias] = std::move(stats);
+}
+
+const RelStats* StatsContext::FindRelation(const std::string& alias) const {
+  auto it = rels_.find(alias);
+  if (it == rels_.end()) return nullptr;
+  return &it->second;
+}
+
+const ColumnStats* StatsContext::FindColumn(const std::string& alias,
+                                            const std::string& column) const {
+  const RelStats* rel = FindRelation(alias);
+  if (rel == nullptr) return nullptr;
+  auto it = rel->columns.find(column);
+  if (it == rel->columns.end()) return nullptr;
+  return &it->second;
+}
+
+double Selectivity(const Expr& e, const StatsContext& ctx) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      if (e.literal.kind() == ValueKind::kBool) {
+        return e.literal.AsBool() ? 1.0 : 0.0;
+      }
+      return 1.0;
+    case ExprKind::kBinary: {
+      const Expr& l = *e.children[0];
+      const Expr& r = *e.children[1];
+      switch (e.bop) {
+        case BinaryOp::kAnd:
+          return Clamp01(Selectivity(l, ctx) * Selectivity(r, ctx));
+        case BinaryOp::kOr: {
+          double sl = Selectivity(l, ctx);
+          double sr = Selectivity(r, ctx);
+          return Clamp01(sl + sr - sl * sr);
+        }
+        case BinaryOp::kEq:
+        case BinaryOp::kNullSafeEq: {
+          // col = bound-value
+          const Expr* col = nullptr;
+          const Expr* other = nullptr;
+          if (l.kind == ExprKind::kColumnRef && l.corr_depth == 0) {
+            col = &l;
+            other = &r;
+          } else if (r.kind == ExprKind::kColumnRef && r.corr_depth == 0) {
+            col = &r;
+            other = &l;
+          }
+          if (col != nullptr && IsBoundValue(*other)) {
+            const ColumnStats* cs =
+                ctx.FindColumn(col->table_alias, col->column_name);
+            if (cs != nullptr && cs->ndv > 0) {
+              return Clamp01((1.0 - cs->null_frac) / cs->ndv);
+            }
+            return kDefaultEqSel;
+          }
+          // col = col (join-style equality evaluated as a filter)
+          if (l.kind == ExprKind::kColumnRef && r.kind == ExprKind::kColumnRef) {
+            const ColumnStats* cl =
+                ctx.FindColumn(l.table_alias, l.column_name);
+            const ColumnStats* cr =
+                ctx.FindColumn(r.table_alias, r.column_name);
+            double ndv = 0;
+            if (cl != nullptr) ndv = std::max(ndv, cl->ndv);
+            if (cr != nullptr) ndv = std::max(ndv, cr->ndv);
+            if (ndv > 0) return Clamp01(1.0 / ndv);
+            return kDefaultEqSel;
+          }
+          return kDefaultEqSel;
+        }
+        case BinaryOp::kNe: {
+          Expr eq;  // cheap structural reuse: sel(<>) = 1 - sel(=)
+          double s_eq = kDefaultEqSel;
+          const Expr* col = nullptr;
+          if (l.kind == ExprKind::kColumnRef && l.corr_depth == 0) col = &l;
+          if (r.kind == ExprKind::kColumnRef && r.corr_depth == 0) col = &r;
+          if (col != nullptr) {
+            const ColumnStats* cs =
+                ctx.FindColumn(col->table_alias, col->column_name);
+            if (cs != nullptr && cs->ndv > 0) s_eq = 1.0 / cs->ndv;
+          }
+          (void)eq;
+          return Clamp01(1.0 - s_eq);
+        }
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          const Expr* col = nullptr;
+          const Expr* other = nullptr;
+          BinaryOp op = e.bop;
+          if (l.kind == ExprKind::kColumnRef && l.corr_depth == 0) {
+            col = &l;
+            other = &r;
+          } else if (r.kind == ExprKind::kColumnRef && r.corr_depth == 0) {
+            col = &r;
+            other = &l;
+            op = SwapComparison(op);
+          }
+          if (col != nullptr && other != nullptr &&
+              other->kind == ExprKind::kLiteral) {
+            const ColumnStats* cs =
+                ctx.FindColumn(col->table_alias, col->column_name);
+            if (cs != nullptr) return RangeFraction(*cs, op, other->literal);
+          }
+          return kDefaultRangeSel;
+        }
+        default:
+          return kDefaultSel;
+      }
+    }
+    case ExprKind::kUnary:
+      switch (e.uop) {
+        case UnaryOp::kNot:
+          return Clamp01(1.0 - Selectivity(*e.children[0], ctx));
+        case UnaryOp::kLnnvl:
+          // LNNVL(p) = p IS FALSE OR UNKNOWN.
+          return Clamp01(1.0 - Selectivity(*e.children[0], ctx));
+        case UnaryOp::kIsNull: {
+          const Expr& c = *e.children[0];
+          if (c.kind == ExprKind::kColumnRef && c.corr_depth == 0) {
+            const ColumnStats* cs =
+                ctx.FindColumn(c.table_alias, c.column_name);
+            if (cs != nullptr) return Clamp01(std::max(cs->null_frac, 1e-4));
+          }
+          return 0.05;
+        }
+        case UnaryOp::kIsNotNull: {
+          const Expr& c = *e.children[0];
+          if (c.kind == ExprKind::kColumnRef && c.corr_depth == 0) {
+            const ColumnStats* cs =
+                ctx.FindColumn(c.table_alias, c.column_name);
+            if (cs != nullptr) return Clamp01(1.0 - cs->null_frac);
+          }
+          return 0.95;
+        }
+        default:
+          return kDefaultSel;
+      }
+    case ExprKind::kSubquery:
+      // TIS predicates: EXISTS/IN-style default.
+      return 0.5;
+    case ExprKind::kFuncCall:
+      return 0.5;
+    default:
+      return kDefaultSel;
+  }
+}
+
+double EstimateNdv(const Expr& e, const StatsContext& ctx,
+                   double current_rows) {
+  if (e.kind == ExprKind::kColumnRef && e.corr_depth == 0) {
+    const ColumnStats* cs = ctx.FindColumn(e.table_alias, e.column_name);
+    if (cs != nullptr && cs->ndv > 0) {
+      return std::min(cs->ndv, std::max(1.0, current_rows));
+    }
+  }
+  if (e.kind == ExprKind::kLiteral) return 1.0;
+  return std::max(1.0, current_rows / 10.0);
+}
+
+double SemiJoinSelectivity(const Expr& cond, const StatsContext& ctx,
+                           const std::string& right_alias) {
+  if (cond.kind != ExprKind::kBinary || cond.bop != BinaryOp::kEq) return 0.5;
+  const Expr& l = *cond.children[0];
+  const Expr& r = *cond.children[1];
+  if (l.kind != ExprKind::kColumnRef || r.kind != ExprKind::kColumnRef) {
+    return 0.5;
+  }
+  const Expr* left_col = &l;
+  const Expr* right_col = &r;
+  if (l.table_alias == right_alias) std::swap(left_col, right_col);
+  const ColumnStats* cl =
+      ctx.FindColumn(left_col->table_alias, left_col->column_name);
+  const ColumnStats* cr =
+      ctx.FindColumn(right_col->table_alias, right_col->column_name);
+  if (cl == nullptr || cr == nullptr || cl->ndv <= 0) return 0.5;
+  return std::min(1.0, cr->ndv / cl->ndv);
+}
+
+}  // namespace cbqt

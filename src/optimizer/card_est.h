@@ -1,0 +1,55 @@
+#ifndef CBQT_OPTIMIZER_CARD_EST_H_
+#define CBQT_OPTIMIZER_CARD_EST_H_
+
+#include <map>
+#include <string>
+
+#include "catalog/statistics.h"
+#include "sql/expr.h"
+
+namespace cbqt {
+
+/// Statistics of one relation (base table or derived view output) as seen by
+/// the planner of a block.
+struct RelStats {
+  double rows = 0;
+  std::map<std::string, ColumnStats> columns;  ///< by column name
+};
+
+/// Per-block estimation context: alias -> RelStats for every FROM entry.
+/// Column refs with corr_depth > 0 (or whose alias is absent) are treated as
+/// bound constants, which is exactly the TIS view of a correlated predicate.
+class StatsContext {
+ public:
+  void AddRelation(const std::string& alias, RelStats stats);
+
+  const RelStats* FindRelation(const std::string& alias) const;
+
+  /// Column stats of `alias`.`column`, or nullptr.
+  const ColumnStats* FindColumn(const std::string& alias,
+                                const std::string& column) const;
+
+ private:
+  std::map<std::string, RelStats> rels_;
+};
+
+/// Estimated fraction of rows satisfying the predicate `e`, given `ctx`.
+/// Standard System-R-style rules: 1/NDV for equalities, min/max
+/// interpolation for ranges, independence for AND, inclusion-exclusion for
+/// OR, null fractions for IS [NOT] NULL; defaults where stats are missing.
+double Selectivity(const Expr& e, const StatsContext& ctx);
+
+/// Estimated number of distinct values of `e` over `current_rows` input
+/// rows: column NDV (capped) for refs, heuristic fractions otherwise.
+double EstimateNdv(const Expr& e, const StatsContext& ctx,
+                   double current_rows);
+
+/// For an equi condition `left_col = right_col`, the fraction of *left*
+/// rows having at least one match on the right (semijoin selectivity).
+/// `right_alias` identifies which side of the condition is the right input.
+double SemiJoinSelectivity(const Expr& cond, const StatsContext& ctx,
+                           const std::string& right_alias);
+
+}  // namespace cbqt
+
+#endif  // CBQT_OPTIMIZER_CARD_EST_H_

@@ -1,0 +1,32 @@
+#ifndef CBQT_OPTIMIZER_COST_MODEL_H_
+#define CBQT_OPTIMIZER_COST_MODEL_H_
+
+#include <cmath>
+
+namespace cbqt {
+
+/// Cost-model constants, in abstract cost units (1.0 ~ one sequential block
+/// read). The executor's work tracks these shapes: operators touch rows,
+/// index probes descend a sorted structure, expensive functions spin.
+struct CostParams {
+  double cpu_tuple = 0.01;      ///< per row flowing through an operator
+  double cpu_pred = 0.004;      ///< per predicate evaluation per row
+  double seq_block = 1.0;       ///< sequential block read
+  double index_probe = 2.0;     ///< one index descent
+  double index_row = 0.05;      ///< per row fetched via index
+  double hash_build = 0.02;     ///< per build-side row
+  double hash_probe = 0.012;    ///< per probe-side row
+  double sort_factor = 0.004;   ///< * n * log2(n)
+  double agg_row = 0.02;        ///< per input row of aggregation
+  double expensive_call = 25.0; ///< per expensive-function invocation
+  double rescan_row = 0.005;    ///< per row re-read from a materialized input
+
+  double SortCost(double n) const {
+    if (n < 2) return cpu_tuple;
+    return sort_factor * n * std::log2(n);
+  }
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_OPTIMIZER_COST_MODEL_H_

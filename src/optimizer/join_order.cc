@@ -1,0 +1,134 @@
+#include "optimizer/join_order.h"
+
+#include <limits>
+
+namespace cbqt {
+
+JoinOrderEnumerator::JoinOrderEnumerator(std::vector<uint64_t> deps,
+                                         JoinCoster* coster, double cutoff,
+                                         int dp_threshold)
+    : deps_(std::move(deps)),
+      coster_(coster),
+      cutoff_(cutoff),
+      dp_threshold_(dp_threshold) {}
+
+Result<JoinStepPlan> JoinOrderEnumerator::Enumerate() {
+  if (deps_.empty()) {
+    return Status::InvalidArgument("no relations to join");
+  }
+  if (deps_.size() == 1) {
+    auto base = coster_->BaseRel(0);
+    if (!base.ok()) return base.status();
+    if (base->cost > cutoff_) return Status::CostCutoff();
+    return base;
+  }
+  if (static_cast<int>(deps_.size()) <= dp_threshold_) return EnumerateDp();
+  return EnumerateGreedy();
+}
+
+Result<JoinStepPlan> JoinOrderEnumerator::EnumerateDp() {
+  const int n = static_cast<int>(deps_.size());
+  const uint64_t full = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
+  struct Entry {
+    bool valid = false;
+    JoinStepPlan step;
+  };
+  std::vector<Entry> dp(static_cast<size_t>(full) + 1);
+
+  // Seed singletons whose dependencies are empty (a relation with deps can
+  // never start a left-deep order).
+  for (int i = 0; i < n; ++i) {
+    if (deps_[static_cast<size_t>(i)] != 0) continue;
+    auto base = coster_->BaseRel(i);
+    if (!base.ok()) {
+      if (base.status().code() == StatusCode::kCostCutoff) continue;
+      return base.status();
+    }
+    if (base->cost > cutoff_) continue;
+    Entry& e = dp[1ULL << i];
+    e.valid = true;
+    e.step = std::move(base.value());
+  }
+
+  // Extend subsets in increasing population order. Iterating masks in
+  // numeric order suffices: mask' = mask | bit > mask.
+  for (uint64_t mask = 1; mask <= full; ++mask) {
+    if (!dp[mask].valid) continue;
+    for (int i = 0; i < n; ++i) {
+      uint64_t bit = 1ULL << i;
+      if (mask & bit) continue;
+      if ((deps_[static_cast<size_t>(i)] & ~mask) != 0) continue;
+      auto joined = coster_->Join(dp[mask].step, mask, i);
+      if (!joined.ok()) {
+        if (joined.status().code() == StatusCode::kCostCutoff) continue;
+        return joined.status();
+      }
+      if (joined->cost > cutoff_) continue;
+      Entry& target = dp[mask | bit];
+      if (!target.valid || joined->cost < target.step.cost) {
+        target.valid = true;
+        target.step = std::move(joined.value());
+      }
+    }
+  }
+
+  if (!dp[full].valid) return Status::CostCutoff();
+  return std::move(dp[full].step);
+}
+
+Result<JoinStepPlan> JoinOrderEnumerator::EnumerateGreedy() {
+  const int n = static_cast<int>(deps_.size());
+  // Start from the cheapest dependency-free base relation.
+  JoinStepPlan current;
+  uint64_t mask = 0;
+  {
+    double best_cost = std::numeric_limits<double>::infinity();
+    int best = -1;
+    JoinStepPlan best_step;
+    for (int i = 0; i < n; ++i) {
+      if (deps_[static_cast<size_t>(i)] != 0) continue;
+      auto base = coster_->BaseRel(i);
+      if (!base.ok()) {
+        if (base.status().code() == StatusCode::kCostCutoff) continue;
+        return base.status();
+      }
+      // Prefer the smallest relation as the driving table.
+      if (base->rows < best_cost) {
+        best_cost = base->rows;
+        best = i;
+        best_step = std::move(base.value());
+      }
+    }
+    if (best < 0) return Status::CostCutoff();
+    current = std::move(best_step);
+    mask = 1ULL << best;
+  }
+  for (int step = 1; step < n; ++step) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    int best = -1;
+    JoinStepPlan best_step;
+    for (int i = 0; i < n; ++i) {
+      uint64_t bit = 1ULL << i;
+      if (mask & bit) continue;
+      if ((deps_[static_cast<size_t>(i)] & ~mask) != 0) continue;
+      auto joined = coster_->Join(current, mask, i);
+      if (!joined.ok()) {
+        if (joined.status().code() == StatusCode::kCostCutoff) continue;
+        return joined.status();
+      }
+      if (joined->cost < best_cost) {
+        best_cost = joined->cost;
+        best = i;
+        best_step = std::move(joined.value());
+      }
+    }
+    if (best < 0) return Status::CostCutoff();
+    current = std::move(best_step);
+    mask |= 1ULL << best;
+    if (current.cost > cutoff_) return Status::CostCutoff();
+  }
+  if (current.cost > cutoff_) return Status::CostCutoff();
+  return current;
+}
+
+}  // namespace cbqt

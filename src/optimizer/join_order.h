@@ -1,0 +1,64 @@
+#ifndef CBQT_OPTIMIZER_JOIN_ORDER_H_
+#define CBQT_OPTIMIZER_JOIN_ORDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/plan.h"
+
+namespace cbqt {
+
+/// One step of a join order being built: a plan fragment plus its estimates.
+struct JoinStepPlan {
+  std::unique_ptr<PlanNode> plan;
+  double rows = 0;
+  double cost = 0;
+};
+
+/// Cost callbacks implemented by the planner: the enumerator drives the
+/// search, the coster knows scans, join methods and predicates.
+class JoinCoster {
+ public:
+  virtual ~JoinCoster() = default;
+
+  /// Best standalone access plan for relation `rel` (best scan, derived
+  /// plan, ...).
+  virtual Result<JoinStepPlan> BaseRel(int rel) = 0;
+
+  /// Cheapest join of `left` (covering the relations in `left_mask`) with
+  /// relation `rel` on the right, over all join methods.
+  virtual Result<JoinStepPlan> Join(const JoinStepPlan& left,
+                                    uint64_t left_mask, int rel) = 0;
+};
+
+/// Join-order search with non-commutative-join partial orders (paper
+/// §2.1.1/§2.2.3): `deps[i]` is the bitmask of relations that must precede
+/// relation i (semijoin/antijoin/outer-join right sides and JPPD lateral
+/// views). Exhaustive dynamic programming over subsets for small FROM lists,
+/// greedy otherwise (left-deep trees only, per the traditional optimizer the
+/// paper describes).
+///
+/// `cutoff`: partial plans costing more than this are pruned; if nothing
+/// survives, Enumerate returns StatusCode::kCostCutoff (paper §3.4.1).
+class JoinOrderEnumerator {
+ public:
+  JoinOrderEnumerator(std::vector<uint64_t> deps, JoinCoster* coster,
+                      double cutoff, int dp_threshold = 10);
+
+  Result<JoinStepPlan> Enumerate();
+
+ private:
+  Result<JoinStepPlan> EnumerateDp();
+  Result<JoinStepPlan> EnumerateGreedy();
+
+  std::vector<uint64_t> deps_;
+  JoinCoster* coster_;
+  double cutoff_;
+  int dp_threshold_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_OPTIMIZER_JOIN_ORDER_H_

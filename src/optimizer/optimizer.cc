@@ -1,0 +1,18 @@
+#include "optimizer/optimizer.h"
+
+namespace cbqt {
+
+Result<PhysicalOptimization> PhysicalOptimizer::Optimize(
+    const QueryBlock& qb, AnnotationCache* cache, double cost_cutoff) const {
+  Planner planner(db_, params_, cache, cost_cutoff);
+  auto block = planner.PlanBlock(qb);
+  if (!block.ok()) return block.status();
+  PhysicalOptimization out;
+  out.cost = block->plan->est_cost;
+  out.rows = block->plan->est_rows;
+  out.blocks_planned = planner.blocks_planned();
+  out.plan = std::move(block->plan);
+  return out;
+}
+
+}  // namespace cbqt

@@ -1,0 +1,49 @@
+#ifndef CBQT_OPTIMIZER_OPTIMIZER_H_
+#define CBQT_OPTIMIZER_OPTIMIZER_H_
+
+#include <limits>
+#include <memory>
+
+#include "cbqt/annotation_cache.h"
+#include "common/status.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "optimizer/planner.h"
+#include "sql/query_block.h"
+#include "storage/database.h"
+
+namespace cbqt {
+
+/// Result of physically optimizing a query tree.
+struct PhysicalOptimization {
+  std::unique_ptr<PlanNode> plan;
+  double cost = 0;
+  double rows = 0;
+  /// Query blocks fully optimized during this call (cache hits excluded) —
+  /// the quantity Table 1 accounts for.
+  int64_t blocks_planned = 0;
+};
+
+/// Facade over the Planner: the "physical optimizer" box of the paper's
+/// Figure 1. Stateless; each call may share an AnnotationCache to reuse
+/// sub-tree cost annotations across transformation states (§3.4.2) and a
+/// cost cutoff (§3.4.1).
+class PhysicalOptimizer {
+ public:
+  explicit PhysicalOptimizer(const Database& db, CostParams params = {})
+      : db_(db), params_(params) {}
+
+  Result<PhysicalOptimization> Optimize(
+      const QueryBlock& qb, AnnotationCache* cache = nullptr,
+      double cost_cutoff = std::numeric_limits<double>::infinity()) const;
+
+  const CostParams& params() const { return params_; }
+
+ private:
+  const Database& db_;
+  CostParams params_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,76 @@
+#ifndef CBQT_OPTIMIZER_PLANNER_H_
+#define CBQT_OPTIMIZER_PLANNER_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cbqt/annotation_cache.h"
+#include "common/status.h"
+#include "optimizer/card_est.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/join_order.h"
+#include "optimizer/plan.h"
+#include "sql/query_block.h"
+#include "storage/database.h"
+
+namespace cbqt {
+
+/// A planned query block: physical plan plus output statistics (used when
+/// the block is a derived table of some outer block).
+struct BlockPlan {
+  std::unique_ptr<PlanNode> plan;
+  RelStats out_stats;
+};
+
+/// The traditional physical optimizer: plans one (bound) query block tree
+/// bottom-up — access paths, join order (DP with partial-order constraints,
+/// greedy fallback), join methods (hash / merge / nested-loop / index
+/// nested-loop, with semi/anti/outer/null-aware variants), aggregation,
+/// windows, set operations, ROWNUM limits, and TIS subquery-filter costing
+/// with correlation-value caching.
+///
+/// The CBQT framework invokes this as its "cost estimation technique"
+/// (paper §3.1, Figure 1): each transformation state is deep-copied and
+/// handed here for costing. `cost_cutoff` implements §3.4.1; `cache`
+/// implements §3.4.2 (sub-tree cost-annotation reuse).
+class Planner {
+ public:
+  Planner(const Database& db, const CostParams& params,
+          AnnotationCache* cache = nullptr,
+          double cost_cutoff = std::numeric_limits<double>::infinity())
+      : db_(db), params_(params), cache_(cache), cutoff_(cost_cutoff) {}
+
+  /// Plans a bound query block (and, recursively, all nested blocks).
+  Result<BlockPlan> PlanBlock(const QueryBlock& qb);
+
+  /// Number of blocks fully optimized by this planner instance (annotation
+  /// cache hits excluded) — the unit Table 1 counts.
+  int64_t blocks_planned() const { return blocks_planned_; }
+
+ private:
+  Result<BlockPlan> PlanRegular(const QueryBlock& qb);
+  Result<BlockPlan> PlanSetOp(const QueryBlock& qb);
+
+  /// Best standalone scan of a base table `tr` with `filters` applied:
+  /// chooses a full scan or an index scan driven by constant/bound equality
+  /// predicates. `extra_probes` (column-name, probe-expr) adds join-derived
+  /// equalities for index nested-loop planning.
+  Result<JoinStepPlan> BuildScan(
+      const TableRef& tr, const std::vector<const Expr*>& filters,
+      const std::vector<std::pair<std::string, const Expr*>>& extra_probes,
+      const StatsContext& ctx);
+
+  friend class BlockJoinCoster;
+
+  const Database& db_;
+  CostParams params_;
+  AnnotationCache* cache_;
+  double cutoff_;
+  int64_t blocks_planned_ = 0;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_OPTIMIZER_PLANNER_H_

@@ -1,0 +1,164 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace cbqt {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      bool is_hint = i + 2 < n && sql[i + 2] == '+';
+      size_t start = i + (is_hint ? 3 : 2);
+      size_t end = sql.find("*/", start);
+      if (end == std::string::npos) {
+        return Status::ParseError("unterminated comment");
+      }
+      if (is_hint) {
+        Token t;
+        t.kind = TokenKind::kHint;
+        t.text = ToLower(sql.substr(start, end - start));
+        t.offset = i;
+        out.push_back(std::move(t));
+      }
+      i = end + 2;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      t.kind = TokenKind::kIdent;
+      t.text = ToLower(sql.substr(start, i - start));
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          is_real = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        }
+      }
+      std::string text = sql.substr(start, i - start);
+      if (is_real) {
+        t.kind = TokenKind::kReal;
+        t.real_val = std::stod(text);
+      } else {
+        t.kind = TokenKind::kInt;
+        t.int_val = std::stoll(text);
+      }
+      t.text = std::move(text);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += sql[i];
+        ++i;
+      }
+      if (!closed) return Status::ParseError("unterminated string literal");
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Multi-char operators.
+    auto push_symbol = [&](const std::string& sym) {
+      t.kind = TokenKind::kSymbol;
+      t.text = sym;
+      out.push_back(t);
+      i += sym.size();
+    };
+    if (c == '<') {
+      if (i + 1 < n && sql[i + 1] == '=') {
+        push_symbol("<=");
+      } else if (i + 1 < n && sql[i + 1] == '>') {
+        push_symbol("<>");
+      } else {
+        push_symbol("<");
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < n && sql[i + 1] == '=') {
+        push_symbol(">=");
+      } else {
+        push_symbol(">");
+      }
+      continue;
+    }
+    if (c == '!') {
+      if (i + 1 < n && sql[i + 1] == '=') {
+        push_symbol("<>");  // normalize != to <>
+        continue;
+      }
+      return Status::ParseError("unexpected character '!'");
+    }
+    if (std::string("(),.=+-*/;").find(c) != std::string::npos) {
+      push_symbol(std::string(1, c));
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.offset = n;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace cbqt

@@ -1,0 +1,29 @@
+#ifndef CBQT_PARSER_PARSER_H_
+#define CBQT_PARSER_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/query_block.h"
+
+namespace cbqt {
+
+/// Parses a SELECT statement into an (unbound) query-block tree.
+///
+/// Supported subset (everything the paper's examples Q1–Q18 need):
+///   SELECT [DISTINCT] expr [AS alias], ... | *
+///   FROM t [alias], ... | (subselect) alias | [LEFT [OUTER]] JOIN ... ON ...
+///   WHERE <condition with EXISTS / [NOT] IN / ANY / ALL / scalar subqueries>
+///   GROUP BY exprs | ROLLUP(...) | GROUPING SETS ((..), ..)
+///   HAVING ... / ORDER BY expr [DESC], ... / ROWNUM predicates
+///   set operators UNION [ALL] / INTERSECT / MINUS
+///   aggregates COUNT(*)/COUNT/SUM/AVG/MIN/MAX([DISTINCT] x), CASE, BETWEEN,
+///   IS [NOT] NULL, window aggregates `agg(x) OVER (PARTITION BY .. ORDER BY
+///   ..)` (frame clauses accepted, fixed to RANGE UNBOUNDED PRECEDING ..
+///   CURRENT ROW), and `/*+ no_merge(alias) */` hints after SELECT.
+Result<std::unique_ptr<QueryBlock>> ParseSql(const std::string& sql);
+
+}  // namespace cbqt
+
+#endif  // CBQT_PARSER_PARSER_H_

@@ -1,0 +1,280 @@
+#include "sql/expr_util.h"
+
+#include "common/str_util.h"
+
+namespace cbqt {
+
+void VisitExpr(Expr* e, const std::function<void(Expr*)>& fn) {
+  if (e == nullptr) return;
+  fn(e);
+  for (auto& c : e->children) VisitExpr(c.get(), fn);
+  for (auto& c : e->partition_by) VisitExpr(c.get(), fn);
+  for (auto& c : e->win_order_by) VisitExpr(c.get(), fn);
+}
+
+void VisitExprConst(const Expr* e,
+                    const std::function<void(const Expr*)>& fn) {
+  if (e == nullptr) return;
+  fn(e);
+  for (const auto& c : e->children) VisitExprConst(c.get(), fn);
+  for (const auto& c : e->partition_by) VisitExprConst(c.get(), fn);
+  for (const auto& c : e->win_order_by) VisitExprConst(c.get(), fn);
+}
+
+void VisitExprDeep(Expr* e, const std::function<void(Expr*)>& fn) {
+  if (e == nullptr) return;
+  fn(e);
+  for (auto& c : e->children) VisitExprDeep(c.get(), fn);
+  for (auto& c : e->partition_by) VisitExprDeep(c.get(), fn);
+  for (auto& c : e->win_order_by) VisitExprDeep(c.get(), fn);
+  if (e->subquery != nullptr) {
+    VisitAllExprs(e->subquery.get(), fn);
+  }
+}
+
+void VisitExprDeepConst(const Expr* e,
+                        const std::function<void(const Expr*)>& fn) {
+  // const_cast-free reimplementation would duplicate the walk; wrap instead.
+  VisitExprDeep(const_cast<Expr*>(e),
+                [&fn](Expr* x) { fn(static_cast<const Expr*>(x)); });
+}
+
+void VisitAllExprs(QueryBlock* qb, const std::function<void(Expr*)>& fn) {
+  if (qb == nullptr) return;
+  for (auto& b : qb->branches) VisitAllExprs(b.get(), fn);
+  for (auto& item : qb->select) VisitExprDeep(item.expr.get(), fn);
+  for (auto& tr : qb->from) {
+    for (auto& c : tr.join_conds) VisitExprDeep(c.get(), fn);
+    if (tr.derived != nullptr) VisitAllExprs(tr.derived.get(), fn);
+  }
+  for (auto& w : qb->where) VisitExprDeep(w.get(), fn);
+  for (auto& g : qb->group_by) VisitExprDeep(g.get(), fn);
+  for (auto& h : qb->having) VisitExprDeep(h.get(), fn);
+  for (auto& o : qb->order_by) VisitExprDeep(o.expr.get(), fn);
+}
+
+void VisitLocalExprSlots(QueryBlock* qb,
+                         const std::function<void(ExprPtr&)>& fn) {
+  for (auto& item : qb->select) fn(item.expr);
+  for (auto& tr : qb->from) {
+    for (auto& c : tr.join_conds) fn(c);
+  }
+  for (auto& w : qb->where) fn(w);
+  for (auto& g : qb->group_by) fn(g);
+  for (auto& h : qb->having) fn(h);
+  for (auto& o : qb->order_by) fn(o.expr);
+}
+
+void SplitConjuncts(ExprPtr e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->bop == BinaryOp::kAnd) {
+    SplitConjuncts(std::move(e->children[0]), out);
+    SplitConjuncts(std::move(e->children[1]), out);
+    return;
+  }
+  out->push_back(std::move(e));
+}
+
+std::set<std::string> CollectLocalAliases(const Expr& e) {
+  std::set<std::string> out;
+  VisitExprConst(&e, [&out](const Expr* x) {
+    if (x->kind == ExprKind::kColumnRef && x->corr_depth == 0) {
+      out.insert(x->table_alias);
+    }
+  });
+  return out;
+}
+
+std::vector<const Expr*> CollectLocalColumnRefs(const Expr& e) {
+  std::vector<const Expr*> out;
+  VisitExprConst(&e, [&out](const Expr* x) {
+    if (x->kind == ExprKind::kColumnRef && x->corr_depth == 0) {
+      out.push_back(x);
+    }
+  });
+  return out;
+}
+
+std::vector<const Expr*> CollectAllColumnRefs(const Expr& e) {
+  std::vector<const Expr*> out;
+  VisitExprDeepConst(&e, [&out](const Expr* x) {
+    if (x->kind == ExprKind::kColumnRef) out.push_back(x);
+  });
+  return out;
+}
+
+bool ExprUsesAlias(const Expr& e, const std::string& alias) {
+  bool found = false;
+  VisitExprDeepConst(&e, [&](const Expr* x) {
+    if (x->kind == ExprKind::kColumnRef && x->table_alias == alias) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+bool ContainsAggregate(const Expr& e) {
+  bool found = false;
+  VisitExprConst(&e, [&](const Expr* x) {
+    if (x->kind == ExprKind::kAggregate) found = true;
+  });
+  return found;
+}
+
+bool ContainsSubquery(const Expr& e) {
+  bool found = false;
+  VisitExprConst(&e, [&](const Expr* x) {
+    if (x->kind == ExprKind::kSubquery) found = true;
+  });
+  return found;
+}
+
+bool ContainsWindow(const Expr& e) {
+  bool found = false;
+  VisitExprConst(&e, [&](const Expr* x) {
+    if (x->kind == ExprKind::kWindow) found = true;
+  });
+  return found;
+}
+
+bool ContainsRownum(const Expr& e) {
+  bool found = false;
+  VisitExprConst(&e, [&](const Expr* x) {
+    if (x->kind == ExprKind::kRownum) found = true;
+  });
+  return found;
+}
+
+bool IsConstExpr(const Expr& e) {
+  bool non_const = false;
+  VisitExprConst(&e, [&](const Expr* x) {
+    switch (x->kind) {
+      case ExprKind::kColumnRef:
+      case ExprKind::kSubquery:
+      case ExprKind::kAggregate:
+      case ExprKind::kWindow:
+      case ExprKind::kRownum:
+        non_const = true;
+        break;
+      default:
+        break;
+    }
+  });
+  return !non_const;
+}
+
+bool ContainsExpensivePredicate(const Expr& e) {
+  bool found = false;
+  VisitExprConst(&e, [&](const Expr* x) {
+    if (x->kind == ExprKind::kFuncCall &&
+        StartsWith(x->func_name, "expensive_")) {
+      found = true;
+    }
+    if (x->kind == ExprKind::kSubquery) found = true;
+  });
+  return found;
+}
+
+void VisitAllBlocks(QueryBlock* qb,
+                    const std::function<void(QueryBlock*)>& fn) {
+  if (qb == nullptr) return;
+  fn(qb);
+  for (auto& b : qb->branches) VisitAllBlocks(b.get(), fn);
+  for (auto& tr : qb->from) {
+    if (tr.derived != nullptr) VisitAllBlocks(tr.derived.get(), fn);
+  }
+  // Subquery blocks hang off expressions of this block.
+  auto visit_subqueries = [&fn](Expr* e) {
+    if (e->kind == ExprKind::kSubquery && e->subquery != nullptr) {
+      VisitAllBlocks(e->subquery.get(), fn);
+    }
+  };
+  for (auto& item : qb->select) VisitExpr(item.expr.get(), visit_subqueries);
+  for (auto& tr : qb->from) {
+    for (auto& c : tr.join_conds) VisitExpr(c.get(), visit_subqueries);
+  }
+  for (auto& w : qb->where) VisitExpr(w.get(), visit_subqueries);
+  for (auto& g : qb->group_by) VisitExpr(g.get(), visit_subqueries);
+  for (auto& h : qb->having) VisitExpr(h.get(), visit_subqueries);
+  for (auto& o : qb->order_by) VisitExpr(o.expr.get(), visit_subqueries);
+}
+
+void RenameTableAlias(QueryBlock* qb, const std::string& old_alias,
+                      const std::string& new_alias) {
+  VisitAllBlocks(qb, [&](QueryBlock* b) {
+    int idx = b->FindFrom(old_alias);
+    if (idx >= 0) b->from[static_cast<size_t>(idx)].alias = new_alias;
+  });
+  VisitAllExprs(qb, [&](Expr* e) {
+    if (e->kind == ExprKind::kColumnRef && e->table_alias == old_alias) {
+      e->table_alias = new_alias;
+    }
+  });
+}
+
+void RewriteColumnRefs(ExprPtr* e,
+                       const std::function<ExprPtr(const Expr& colref)>& fn) {
+  if (*e == nullptr) return;
+  if ((*e)->kind == ExprKind::kColumnRef) {
+    ExprPtr replacement = fn(**e);
+    if (replacement != nullptr) *e = std::move(replacement);
+    return;
+  }
+  for (auto& c : (*e)->children) RewriteColumnRefs(&c, fn);
+  for (auto& c : (*e)->partition_by) RewriteColumnRefs(&c, fn);
+  for (auto& c : (*e)->win_order_by) RewriteColumnRefs(&c, fn);
+  if ((*e)->subquery != nullptr) {
+    RewriteColumnRefsInBlock((*e)->subquery.get(), fn);
+  }
+}
+
+void RewriteColumnRefsInBlock(
+    QueryBlock* qb, const std::function<ExprPtr(const Expr& colref)>& fn) {
+  VisitLocalExprSlots(qb, [&](ExprPtr& slot) {
+    RewriteColumnRefs(&slot, fn);
+  });
+  for (auto& b : qb->branches) RewriteColumnRefsInBlock(b.get(), fn);
+  for (auto& tr : qb->from) {
+    if (tr.derived != nullptr) RewriteColumnRefsInBlock(tr.derived.get(), fn);
+  }
+}
+
+bool IsJoinPredicate(const Expr& e, const Expr** left, const Expr** right) {
+  if (e.kind != ExprKind::kBinary || !IsComparisonOp(e.bop)) return false;
+  const Expr* l = e.children[0].get();
+  const Expr* r = e.children[1].get();
+  if (l->kind != ExprKind::kColumnRef || r->kind != ExprKind::kColumnRef) {
+    return false;
+  }
+  if (l->corr_depth != 0 || r->corr_depth != 0) return false;
+  if (l->table_alias == r->table_alias) return false;
+  if (left != nullptr) *left = l;
+  if (right != nullptr) *right = r;
+  return true;
+}
+
+bool IsSingleTableFilter(const Expr& e, std::string* alias) {
+  if (ContainsSubquery(e)) return false;
+  std::set<std::string> aliases = CollectLocalAliases(e);
+  if (aliases.size() != 1) return false;
+  if (alias != nullptr) *alias = *aliases.begin();
+  return true;
+}
+
+void CollectDefinedAliases(const QueryBlock& qb, std::set<std::string>* out) {
+  VisitAllBlocks(const_cast<QueryBlock*>(&qb), [out](QueryBlock* b) {
+    for (const auto& tr : b->from) out->insert(tr.alias);
+  });
+}
+
+std::string GlobalUniqueAlias(const QueryBlock& root,
+                              const std::string& prefix) {
+  std::set<std::string> used;
+  CollectDefinedAliases(root, &used);
+  for (int i = 1;; ++i) {
+    std::string candidate = prefix + "_" + std::to_string(i);
+    if (used.count(candidate) == 0) return candidate;
+  }
+}
+
+}  // namespace cbqt

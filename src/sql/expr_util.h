@@ -1,0 +1,121 @@
+#ifndef CBQT_SQL_EXPR_UTIL_H_
+#define CBQT_SQL_EXPR_UTIL_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sql/query_block.h"
+
+namespace cbqt {
+
+// A note on scoping: the binder enforces *globally unique* table aliases
+// across the whole query tree (renaming duplicates at bind time). This means
+// a column reference's alias identifies its table unambiguously at any
+// nesting depth, `corr_depth` can always be recomputed by re-binding, and
+// the transformations below can move expressions between blocks freely and
+// simply re-bind afterwards.
+
+/// Pre-order visit of `e` and all descendants (children, window lists).
+/// Does NOT descend into subquery blocks.
+void VisitExpr(Expr* e, const std::function<void(Expr*)>& fn);
+void VisitExprConst(const Expr* e, const std::function<void(const Expr*)>& fn);
+
+/// Like VisitExpr but also descends into subquery blocks' expressions.
+void VisitExprDeep(Expr* e, const std::function<void(Expr*)>& fn);
+void VisitExprDeepConst(const Expr* e,
+                        const std::function<void(const Expr*)>& fn);
+
+/// Visits every expression owned by `qb` and (recursively) by its nested
+/// blocks — derived tables, subqueries, set-op branches.
+void VisitAllExprs(QueryBlock* qb, const std::function<void(Expr*)>& fn);
+
+/// Visits `qb` and every nested block (set-op branches, derived tables,
+/// subquery blocks), pre-order.
+void VisitAllBlocks(QueryBlock* qb, const std::function<void(QueryBlock*)>& fn);
+
+/// Visits every expression slot (ExprPtr&) directly owned by `qb` itself —
+/// select items, where/having conjuncts, group/order keys, and join_conds of
+/// its FROM entries. Does not descend into nested blocks. Allows wholesale
+/// replacement of the slot.
+void VisitLocalExprSlots(QueryBlock* qb,
+                         const std::function<void(ExprPtr&)>& fn);
+
+/// Splits a (possibly nested) AND tree into conjuncts, transferring
+/// ownership into `out`.
+void SplitConjuncts(ExprPtr e, std::vector<ExprPtr>* out);
+
+/// Table aliases referenced by `e` with corr_depth == 0 (the owning block's
+/// own tables). Does not descend into subqueries.
+std::set<std::string> CollectLocalAliases(const Expr& e);
+
+/// All column refs in `e` with corr_depth == 0 (not descending into
+/// subqueries).
+std::vector<const Expr*> CollectLocalColumnRefs(const Expr& e);
+
+/// All column refs anywhere in `e`, including inside nested subqueries.
+std::vector<const Expr*> CollectAllColumnRefs(const Expr& e);
+
+/// True if any column ref anywhere in `e` (at any depth, including nested
+/// subqueries) has table alias `alias`. Aliases are globally unique, so this
+/// is exact.
+bool ExprUsesAlias(const Expr& e, const std::string& alias);
+
+/// True if any node in `e` is an aggregate function (not descending into
+/// subqueries).
+bool ContainsAggregate(const Expr& e);
+
+/// True if any node in `e` is a subquery.
+bool ContainsSubquery(const Expr& e);
+
+/// True if any node in `e` is a window function.
+bool ContainsWindow(const Expr& e);
+
+/// True if any node is a ROWNUM reference.
+bool ContainsRownum(const Expr& e);
+
+/// True if `e` contains no column refs, rownum, subqueries, aggregates or
+/// windows (a constant-foldable expression).
+bool IsConstExpr(const Expr& e);
+
+/// True if any node calls a function the cost model treats as expensive
+/// (procedural functions / user-defined operators, paper §2.2.6): any
+/// function whose name starts with "expensive_", or any subquery predicate.
+bool ContainsExpensivePredicate(const Expr& e);
+
+/// Renames every reference to table alias `old_alias` anywhere inside `qb`
+/// (any depth) to `new_alias`, and the FROM entry itself if present.
+void RenameTableAlias(QueryBlock* qb, const std::string& old_alias,
+                      const std::string& new_alias);
+
+/// Rewrites column refs throughout `e` in place (descending into
+/// subqueries): for each colref node, calls `fn`; a non-null return replaces
+/// the node.
+void RewriteColumnRefs(ExprPtr* e,
+                       const std::function<ExprPtr(const Expr& colref)>& fn);
+
+/// Applies RewriteColumnRefs to every local expr slot of `qb` and to all
+/// nested blocks' expressions.
+void RewriteColumnRefsInBlock(
+    QueryBlock* qb, const std::function<ExprPtr(const Expr& colref)>& fn);
+
+/// True if `e` is `<colref> <cmp> <colref>` with both refs local (depth 0)
+/// on different aliases. Outputs the two sides if non-null.
+bool IsJoinPredicate(const Expr& e, const Expr** left, const Expr** right);
+
+/// True if `e` references exactly one local alias, and no subqueries — a
+/// single-table filter predicate. Outputs the alias.
+bool IsSingleTableFilter(const Expr& e, std::string* alias);
+
+/// Collects all table aliases defined anywhere in the block tree rooted at
+/// `qb` (FROM entries of every nested block).
+void CollectDefinedAliases(const QueryBlock& qb, std::set<std::string>* out);
+
+/// A fresh alias `<prefix>_<n>` not defined anywhere under `root`.
+std::string GlobalUniqueAlias(const QueryBlock& root,
+                              const std::string& prefix);
+
+}  // namespace cbqt
+
+#endif  // CBQT_SQL_EXPR_UTIL_H_

@@ -1,0 +1,133 @@
+#include "sql/query_block.h"
+
+#include "common/str_util.h"
+
+namespace cbqt {
+
+std::unique_ptr<TableRef> TableRef::CloneRef() const {
+  auto out = std::make_unique<TableRef>();
+  out->alias = alias;
+  out->table_name = table_name;
+  if (derived != nullptr) out->derived = derived->Clone();
+  out->join = join;
+  for (const auto& c : join_conds) out->join_conds.push_back(c->Clone());
+  out->lateral = lateral;
+  out->no_merge = no_merge;
+  out->table_def = table_def;
+  return out;
+}
+
+bool QueryBlock::IsAggregating() const {
+  if (!group_by.empty()) return true;
+  // Scalar aggregation without GROUP BY: look for aggregate functions at the
+  // top of select items (aggregates never appear in WHERE).
+  for (const auto& item : select) {
+    if (item.expr->kind == ExprKind::kAggregate) return true;
+  }
+  for (const auto& h : having) {
+    (void)h;
+    return true;  // HAVING implies aggregation
+  }
+  return false;
+}
+
+std::unique_ptr<QueryBlock> QueryBlock::Clone() const {
+  auto out = std::make_unique<QueryBlock>();
+  out->qb_name = qb_name;
+  out->set_op = set_op;
+  for (const auto& b : branches) out->branches.push_back(b->Clone());
+  out->distinct = distinct;
+  for (const auto& item : select) {
+    SelectItem si;
+    si.expr = item.expr->Clone();
+    si.alias = item.alias;
+    out->select.push_back(std::move(si));
+  }
+  for (const auto& tr : from) out->from.push_back(std::move(*tr.CloneRef()));
+  for (const auto& w : where) out->where.push_back(w->Clone());
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  out->grouping_sets = grouping_sets;
+  for (const auto& h : having) out->having.push_back(h->Clone());
+  for (const auto& o : order_by) {
+    OrderItem oi;
+    oi.expr = o.expr->Clone();
+    oi.ascending = o.ascending;
+    out->order_by.push_back(std::move(oi));
+  }
+  out->rownum_limit = rownum_limit;
+  return out;
+}
+
+int QueryBlock::FindFrom(const std::string& alias) const {
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (from[i].alias == alias) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int QueryBlock::FindSelectItem(const std::string& name) const {
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (select[i].alias == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string QueryBlock::UniqueAlias(const std::string& prefix) const {
+  for (int i = 1;; ++i) {
+    std::string candidate = prefix + "_" + std::to_string(i);
+    if (FindFrom(candidate) < 0) return candidate;
+  }
+}
+
+namespace {
+
+bool ExprListEquals(const std::vector<ExprPtr>& a,
+                    const std::vector<ExprPtr>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!ExprEquals(*a[i], *b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool BlockEquals(const QueryBlock& a, const QueryBlock& b) {
+  if (a.set_op != b.set_op) return false;
+  if (a.branches.size() != b.branches.size()) return false;
+  for (size_t i = 0; i < a.branches.size(); ++i) {
+    if (!BlockEquals(*a.branches[i], *b.branches[i])) return false;
+  }
+  if (a.distinct != b.distinct) return false;
+  if (a.select.size() != b.select.size()) return false;
+  for (size_t i = 0; i < a.select.size(); ++i) {
+    if (a.select[i].alias != b.select[i].alias) return false;
+    if (!ExprEquals(*a.select[i].expr, *b.select[i].expr)) return false;
+  }
+  if (a.from.size() != b.from.size()) return false;
+  for (size_t i = 0; i < a.from.size(); ++i) {
+    const TableRef& x = a.from[i];
+    const TableRef& y = b.from[i];
+    if (x.alias != y.alias || x.table_name != y.table_name || x.join != y.join ||
+        x.lateral != y.lateral) {
+      return false;
+    }
+    if ((x.derived == nullptr) != (y.derived == nullptr)) return false;
+    if (x.derived != nullptr && !BlockEquals(*x.derived, *y.derived)) {
+      return false;
+    }
+    if (!ExprListEquals(x.join_conds, y.join_conds)) return false;
+  }
+  if (!ExprListEquals(a.where, b.where)) return false;
+  if (!ExprListEquals(a.group_by, b.group_by)) return false;
+  if (a.grouping_sets != b.grouping_sets) return false;
+  if (!ExprListEquals(a.having, b.having)) return false;
+  if (a.order_by.size() != b.order_by.size()) return false;
+  for (size_t i = 0; i < a.order_by.size(); ++i) {
+    if (a.order_by[i].ascending != b.order_by[i].ascending) return false;
+    if (!ExprEquals(*a.order_by[i].expr, *b.order_by[i].expr)) return false;
+  }
+  return a.rownum_limit == b.rownum_limit;
+}
+
+}  // namespace cbqt

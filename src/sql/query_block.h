@@ -1,0 +1,126 @@
+#ifndef CBQT_SQL_QUERY_BLOCK_H_
+#define CBQT_SQL_QUERY_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "sql/expr.h"
+
+namespace cbqt {
+
+/// How a FROM-list entry joins the entries before it. Inner joins carry
+/// their predicates in QueryBlock::where (Oracle query trees keep SQL's
+/// declarativeness, paper §2); the non-commutative kinds carry ON/unnesting
+/// conditions in TableRef::join_conds and impose the partial join orders the
+/// paper discusses (§2.1.1, §2.2.3).
+enum class JoinKind {
+  kInner,
+  kLeftOuter,
+  kSemi,      ///< produced by EXISTS/IN unnesting
+  kAnti,      ///< produced by NOT EXISTS unnesting
+  kAntiNA,    ///< null-aware antijoin (NOT IN / ALL with nullable columns)
+};
+
+/// Set operation of a compound block.
+enum class SetOpKind { kNone, kUnionAll, kUnion, kIntersect, kMinus };
+
+/// One FROM-list entry: a base table or a derived table (inline view).
+struct TableRef {
+  std::string alias;        ///< unique within the block
+  std::string table_name;   ///< base-table name; empty for derived tables
+  std::unique_ptr<QueryBlock> derived;  ///< inline view, owned
+
+  JoinKind join = JoinKind::kInner;
+  std::vector<ExprPtr> join_conds;  ///< for non-inner kinds
+
+  /// True once JPPD pushed outer join predicates into `derived`: the view
+  /// references sibling aliases (acts like correlation) and must be planned
+  /// after them with a nested-loop join (paper §2.2.3).
+  bool lateral = false;
+
+  /// NO_MERGE hint: view merging must skip this view.
+  bool no_merge = false;
+
+  // Set by the binder for base tables:
+  const TableDef* table_def = nullptr;
+
+  TableRef() = default;
+  TableRef(const TableRef&) = delete;
+  TableRef& operator=(const TableRef&) = delete;
+  TableRef(TableRef&&) = default;
+  TableRef& operator=(TableRef&&) = default;
+
+  bool IsBaseTable() const { return derived == nullptr; }
+  std::unique_ptr<TableRef> CloneRef() const;
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  ///< output column name; binder fills if empty
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// A declarative query block — the unit the paper's transformations operate
+/// on. Either a regular SELECT block, or (when `set_op != kNone`) a compound
+/// block whose `branches` are combined by the set operator.
+struct QueryBlock {
+  std::string qb_name;  ///< diagnostic name ("SEL$1", "VW_SQ_1", ...)
+
+  // -- compound block --
+  SetOpKind set_op = SetOpKind::kNone;
+  std::vector<std::unique_ptr<QueryBlock>> branches;
+
+  // -- regular block --
+  bool distinct = false;
+  std::vector<SelectItem> select;
+  std::vector<TableRef> from;
+  std::vector<ExprPtr> where;  ///< conjunct list
+  std::vector<ExprPtr> group_by;
+  /// ROLLUP/GROUPING SETS support: each inner vector lists indices into
+  /// `group_by` that form one grouping set. Empty means the single ordinary
+  /// grouping (all of `group_by`). Used by group pruning (paper §2.1.4).
+  std::vector<std::vector<int>> grouping_sets;
+  std::vector<ExprPtr> having;
+  std::vector<OrderItem> order_by;
+  int64_t rownum_limit = -1;  ///< -1 = no ROWNUM < k predicate
+
+  QueryBlock() = default;
+  QueryBlock(const QueryBlock&) = delete;
+  QueryBlock& operator=(const QueryBlock&) = delete;
+  QueryBlock(QueryBlock&&) = default;
+  QueryBlock& operator=(QueryBlock&&) = default;
+
+  bool IsSetOp() const { return set_op != SetOpKind::kNone; }
+
+  /// True if the block computes an aggregation (GROUP BY or aggregates in
+  /// the select/having lists).
+  bool IsAggregating() const;
+
+  /// Deep copy of the entire block tree (the CBQT framework copies a state
+  /// before costing it, paper §3.1).
+  std::unique_ptr<QueryBlock> Clone() const;
+
+  /// Index of `alias` in `from`, or -1.
+  int FindFrom(const std::string& alias) const;
+
+  /// Index of the select item whose alias is `name`, or -1.
+  int FindSelectItem(const std::string& name) const;
+
+  /// A fresh table alias not used by any FROM entry ("vw_1", "vw_2", ...).
+  std::string UniqueAlias(const std::string& prefix) const;
+};
+
+/// Structural equality of whole blocks (used by tests and by join
+/// factorization to match common tables/branches).
+bool BlockEquals(const QueryBlock& a, const QueryBlock& b);
+
+}  // namespace cbqt
+
+#endif  // CBQT_SQL_QUERY_BLOCK_H_

@@ -1,0 +1,9 @@
+#include "sql/signature.h"
+
+#include "sql/unparser.h"
+
+namespace cbqt {
+
+std::string BlockSignature(const QueryBlock& qb) { return BlockToSql(qb); }
+
+}  // namespace cbqt

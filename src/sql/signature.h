@@ -1,0 +1,20 @@
+#ifndef CBQT_SQL_SIGNATURE_H_
+#define CBQT_SQL_SIGNATURE_H_
+
+#include <string>
+
+#include "sql/query_block.h"
+
+namespace cbqt {
+
+/// Canonical structural signature of a query block, used as the key of the
+/// cost-annotation cache (paper §3.4.2): two blocks with equal signatures
+/// are structurally identical and may reuse each other's optimization
+/// results. Built from the unparsed SQL (which is deterministic and covers
+/// every semantically relevant field, including join kinds, laterality and
+/// hints).
+std::string BlockSignature(const QueryBlock& qb);
+
+}  // namespace cbqt
+
+#endif  // CBQT_SQL_SIGNATURE_H_

@@ -1,0 +1,26 @@
+#include "sql/type.h"
+
+namespace cbqt {
+
+std::string DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kUnknown:
+      return "?";
+    case DataType::kInt64:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "VARCHAR";
+    case DataType::kBool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+DataType ArithmeticResultType(DataType a, DataType b) {
+  if (a == DataType::kDouble || b == DataType::kDouble) return DataType::kDouble;
+  return DataType::kInt64;
+}
+
+}  // namespace cbqt

@@ -1,0 +1,21 @@
+#ifndef CBQT_SQL_TYPE_H_
+#define CBQT_SQL_TYPE_H_
+
+#include <string>
+
+namespace cbqt {
+
+/// Static SQL column/expression types. `kUnknown` is the pre-binding state;
+/// the binder derives a concrete type for every expression.
+enum class DataType { kUnknown = 0, kInt64, kDouble, kString, kBool };
+
+/// Name for diagnostics ("INT", "DOUBLE", "VARCHAR", "BOOL", "?").
+std::string DataTypeName(DataType t);
+
+/// Result type of an arithmetic operator over two inputs: DOUBLE if either
+/// side is DOUBLE, else INT.
+DataType ArithmeticResultType(DataType a, DataType b);
+
+}  // namespace cbqt
+
+#endif  // CBQT_SQL_TYPE_H_

@@ -1,0 +1,24 @@
+#ifndef CBQT_SQL_UNPARSER_H_
+#define CBQT_SQL_UNPARSER_H_
+
+#include <string>
+
+#include "sql/query_block.h"
+
+namespace cbqt {
+
+/// Renders an expression back to SQL text.
+std::string ExprToSql(const Expr& e);
+
+/// Renders a query block tree back to SQL text. Semijoins and antijoins
+/// (which standard SQL cannot spell) render as `SEMI JOIN … ON (…)` /
+/// `ANTI JOIN … ON (…)` / `NA-ANTI JOIN … ON (…)`, and JPPD-correlated views
+/// as `LATERAL (…)`, matching the paper's internal notation.
+std::string BlockToSql(const QueryBlock& qb);
+
+/// Multi-line, indented rendering for examples and debugging output.
+std::string BlockToSqlPretty(const QueryBlock& qb);
+
+}  // namespace cbqt
+
+#endif  // CBQT_SQL_UNPARSER_H_

@@ -1,0 +1,113 @@
+#include "storage/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace cbqt {
+
+Status Database::CreateTable(TableDef def) {
+  std::string name = ToLower(def.name);
+  CBQT_RETURN_IF_ERROR(catalog_.AddTable(def));
+  const TableDef* stored = catalog_.FindTable(name);
+  tables_.emplace(name, std::make_unique<Table>(*stored));
+  indexes_.emplace(name, std::vector<std::unique_ptr<Index>>{});
+  return Status::OK();
+}
+
+Status Database::Insert(const std::string& table, Row row) {
+  Table* t = FindMutableTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  return t->Insert(std::move(row));
+}
+
+Status Database::InsertBulk(const std::string& table, std::vector<Row> rows) {
+  Table* t = FindMutableTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  for (auto& row : rows) t->InsertUnchecked(std::move(row));
+  return Status::OK();
+}
+
+Status Database::BuildIndexes(const std::string& table) {
+  std::string name = ToLower(table);
+  const Table* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  auto& built = indexes_[name];
+  built.clear();
+  for (const IndexDef& idef : t->def().indexes) {
+    std::vector<int> cols;
+    for (const auto& c : idef.columns) {
+      int ci = t->def().FindColumn(ToLower(c));
+      if (ci < 0) {
+        return Status::InvalidArgument("index " + idef.name +
+                                       " references unknown column " + c);
+      }
+      cols.push_back(ci);
+    }
+    built.push_back(std::make_unique<Index>(idef.name, *t, cols));
+  }
+  return Status::OK();
+}
+
+Status Database::Analyze() {
+  for (auto& [name, table] : tables_) {
+    CBQT_RETURN_IF_ERROR(BuildIndexes(name));
+    const auto& rows = table->rows();
+    TableStats ts;
+    ts.rows = static_cast<double>(rows.size());
+    ts.blocks = std::max(1.0, std::ceil(ts.rows / kRowsPerBlock));
+    ts.columns.resize(table->def().columns.size());
+    for (size_t c = 0; c < table->def().columns.size(); ++c) {
+      ColumnStats& cs = ts.columns[c];
+      std::unordered_set<size_t> hashes;
+      double nulls = 0;
+      bool have_minmax = false;
+      for (const Row& row : rows) {
+        const Value& v = row[c];
+        if (v.is_null()) {
+          nulls += 1;
+          continue;
+        }
+        hashes.insert(v.Hash());
+        if (!have_minmax) {
+          cs.min = v;
+          cs.max = v;
+          have_minmax = true;
+        } else {
+          if (TotalLess(v, cs.min)) cs.min = v;
+          if (TotalLess(cs.max, v)) cs.max = v;
+        }
+      }
+      cs.ndv = static_cast<double>(hashes.size());
+      cs.null_frac = rows.empty() ? 0.0 : nulls / static_cast<double>(rows.size());
+    }
+    stats_.Put(name, std::move(ts));
+  }
+  return Status::OK();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return nullptr;
+  return it->second.get();
+}
+
+Table* Database::FindMutableTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return nullptr;
+  return it->second.get();
+}
+
+const Index* Database::FindIndex(const std::string& table,
+                                 const std::string& index_name) const {
+  auto it = indexes_.find(ToLower(table));
+  if (it == indexes_.end()) return nullptr;
+  for (const auto& idx : it->second) {
+    if (idx->name() == index_name) return idx.get();
+  }
+  return nullptr;
+}
+
+}  // namespace cbqt

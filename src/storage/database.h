@@ -1,0 +1,67 @@
+#ifndef CBQT_STORAGE_DATABASE_H_
+#define CBQT_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/statistics.h"
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace cbqt {
+
+/// The database instance: catalog + stored tables + indexes + statistics.
+///
+/// This is the substrate every layer above (binder, optimizer, executor,
+/// workload runner) consumes. Single-threaded by design; the paper's
+/// experiments are about plan choice, not concurrency.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Registers the table in the catalog and creates empty storage plus the
+  /// declared indexes' metadata (index contents are built by BuildIndexes /
+  /// Analyze after loading).
+  Status CreateTable(TableDef def);
+
+  /// Inserts a row (validated).
+  Status Insert(const std::string& table, Row row);
+
+  /// Bulk-append without validation.
+  Status InsertBulk(const std::string& table, std::vector<Row> rows);
+
+  /// (Re)builds the physical structures for all declared indexes of `table`.
+  Status BuildIndexes(const std::string& table);
+
+  /// Computes table/column statistics for every table (and builds any
+  /// missing indexes). Equivalent to ANALYZE.
+  Status Analyze();
+
+  const Catalog& catalog() const { return catalog_; }
+  Catalog& mutable_catalog() { return catalog_; }
+  const StatsRegistry& stats() const { return stats_; }
+
+  /// nullptr if absent.
+  const Table* FindTable(const std::string& name) const;
+  Table* FindMutableTable(const std::string& name);
+
+  /// The built index with this name on this table, or nullptr.
+  const Index* FindIndex(const std::string& table,
+                         const std::string& index_name) const;
+
+ private:
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::vector<std::unique_ptr<Index>>> indexes_;
+  StatsRegistry stats_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_STORAGE_DATABASE_H_

@@ -1,0 +1,38 @@
+#ifndef CBQT_STORAGE_TABLE_H_
+#define CBQT_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace cbqt {
+
+/// In-memory row-store table. Row position doubles as the implicit ROWID
+/// pseudo-column (paper Q11 groups by `j.rowid` after group-by view
+/// merging, so ROWIDs are first-class here).
+class Table {
+ public:
+  explicit Table(TableDef def) : def_(std::move(def)) {}
+
+  const TableDef& def() const { return def_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Appends a row. The row must have exactly one value per column; type
+  /// and nullability are validated.
+  Status Insert(Row row);
+
+  /// Appends without validation (bulk loads from the generator).
+  void InsertUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+ private:
+  TableDef def_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_STORAGE_TABLE_H_

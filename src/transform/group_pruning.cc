@@ -1,0 +1,82 @@
+#include "transform/group_pruning.h"
+
+#include <algorithm>
+
+#include "transform/transform_util.h"
+
+namespace cbqt {
+
+namespace {
+
+// A predicate rejects NULL inputs unless it is IS NULL (or contains OR /
+// IS NULL handling). We prune conservatively: only simple comparison /
+// IS NOT NULL predicates count as null-rejecting.
+bool IsNullRejecting(const Expr& e) {
+  if (e.kind == ExprKind::kBinary && IsComparisonOp(e.bop)) return true;
+  if (e.kind == ExprKind::kUnary && e.uop == UnaryOp::kIsNotNull) return true;
+  return false;
+}
+
+bool PruneViewGroups(QueryBlock* qb) {
+  bool changed = false;
+  for (auto& tr : qb->from) {
+    if (tr.IsBaseTable() || tr.derived->IsSetOp()) continue;
+    QueryBlock& view = *tr.derived;
+    if (view.grouping_sets.size() <= 1) continue;
+    auto colmap = ViewColumnMap(view);
+    // Grouping-key indices that outer predicates require to be non-NULL.
+    std::vector<int> required;
+    for (const auto& w : qb->where) {
+      if (!IsNullRejecting(*w)) continue;
+      std::string alias;
+      if (!IsSingleTableFilter(*w, &alias) || alias != tr.alias) continue;
+      for (const Expr* ref : CollectLocalColumnRefs(*w)) {
+        auto it = colmap.find(ref->column_name);
+        if (it == colmap.end()) continue;
+        for (size_t k = 0; k < view.group_by.size(); ++k) {
+          if (ExprEquals(*view.group_by[k], *it->second)) {
+            required.push_back(static_cast<int>(k));
+          }
+        }
+      }
+    }
+    if (required.empty()) continue;
+    std::vector<std::vector<int>> kept;
+    for (auto& set : view.grouping_sets) {
+      bool ok = true;
+      for (int need : required) {
+        if (std::find(set.begin(), set.end(), need) == set.end()) ok = false;
+      }
+      if (ok) kept.push_back(std::move(set));
+    }
+    if (kept.size() == view.grouping_sets.size()) continue;
+    changed = true;
+    if (kept.empty()) {
+      // No grouping set survives: the view is provably empty.
+      view.grouping_sets.clear();
+      view.where.push_back(MakeLiteral(Value::Boolean(false)));
+      continue;
+    }
+    // A single surviving set covering every key is just an ordinary
+    // GROUP BY.
+    if (kept.size() == 1 && kept[0].size() == view.group_by.size()) {
+      view.grouping_sets.clear();
+    } else {
+      view.grouping_sets = std::move(kept);
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+Result<bool> PruneGroups(TransformContext& ctx) {
+  bool changed = false;
+  VisitAllBlocks(ctx.root, [&](QueryBlock* b) {
+    if (b->IsSetOp()) return;
+    if (PruneViewGroups(b)) changed = true;
+  });
+  return changed;
+}
+
+}  // namespace cbqt

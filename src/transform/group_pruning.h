@@ -1,0 +1,21 @@
+#ifndef CBQT_TRANSFORM_GROUP_PRUNING_H_
+#define CBQT_TRANSFORM_GROUP_PRUNING_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// Group pruning (paper §2.1.4, imperative): removes from ROLLUP /
+/// GROUPING SETS views the grouping sets that outer filter predicates
+/// reject. A non-IS-NULL predicate on a grouping column evaluates to
+/// UNKNOWN for every row of a grouping set that does not include that
+/// column (the key is NULL there), so such sets produce no output and can
+/// be pruned (paper Q9). Runs after predicate move-around so pruning
+/// predicates sit next to the group-by view. Returns whether anything
+/// changed; caller re-binds.
+Result<bool> PruneGroups(TransformContext& ctx);
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_GROUP_PRUNING_H_

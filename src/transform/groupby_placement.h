@@ -1,0 +1,36 @@
+#ifndef CBQT_TRANSFORM_GROUPBY_PLACEMENT_H_
+#define CBQT_TRANSFORM_GROUPBY_PLACEMENT_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// Cost-based group-by placement / pushdown — eager aggregation (paper
+/// §2.2.4, after Chaudhuri & Shim and Yan & Larson): pre-aggregates one
+/// table of an aggregating join block inside an inline GROUP BY view,
+/// grouped by that table's join and grouping columns, decomposing the outer
+/// aggregates (SUM -> SUM of partial sums, COUNT -> SUM of partial counts,
+/// MIN/MAX -> MIN/MAX, AVG -> SUM/SUM).
+///
+/// Objects: (aggregating block, candidate table) pairs where every
+/// aggregate argument references only that table and the table's other
+/// columns are used only in equality joins / filters / grouping
+/// expressions. Never applied heuristically (paper §4.3).
+class GroupByPlacementTransformation : public CostBasedTransformation {
+ public:
+  std::string Name() const override { return "groupby-placement"; }
+  int CountObjects(const TransformContext& ctx) const override;
+  Status Apply(TransformContext& ctx,
+               const std::vector<bool>& bits) const override;
+  bool HeuristicDecision(const TransformContext& ctx,
+                         int index) const override {
+    (void)ctx;
+    (void)index;
+    return false;  // GBP is never applied by heuristics (paper §4.3)
+  }
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_GROUPBY_PLACEMENT_H_

@@ -1,0 +1,307 @@
+#include "transform/groupby_view_merge.h"
+
+#include "transform/transform_util.h"
+
+namespace cbqt {
+
+namespace {
+
+struct MergeCandidate {
+  QueryBlock* block;
+  size_t from_index;
+  bool distinct_view;  // false: group-by view
+};
+
+bool ViewSelectShapeOk(const QueryBlock& view) {
+  for (const auto& item : view.select) {
+    if (ContainsWindow(*item.expr) || ContainsSubquery(*item.expr) ||
+        ContainsRownum(*item.expr)) {
+      return false;
+    }
+    if (item.expr->kind == ExprKind::kAggregate) continue;
+    if (ContainsAggregate(*item.expr)) return false;  // agg inside expr: keep
+    // Non-aggregate items must be grouping expressions (or arbitrary for
+    // distinct views).
+    if (!view.group_by.empty()) {
+      bool is_key = false;
+      for (const auto& g : view.group_by) {
+        if (ExprEquals(*g, *item.expr)) is_key = true;
+      }
+      if (!is_key) return false;
+    }
+  }
+  return true;
+}
+
+bool IsMergeableView(const QueryBlock& outer, const TableRef& tr,
+                     bool* distinct_view) {
+  if (tr.IsBaseTable() || tr.no_merge || tr.lateral) return false;
+  if (tr.join != JoinKind::kInner) return false;
+  const QueryBlock& v = *tr.derived;
+  if (v.IsSetOp() || !v.having.empty() || v.rownum_limit >= 0 ||
+      !v.order_by.empty() || !v.grouping_sets.empty()) {
+    return false;
+  }
+  for (const auto& e : v.from) {
+    if (e.join != JoinKind::kInner || e.lateral) return false;
+  }
+  for (const auto& w : v.where) {
+    if (ContainsSubquery(*w) || ContainsRownum(*w)) return false;
+  }
+  if (IsCorrelated(v)) return false;
+  // The containing block must not itself aggregate (double aggregation) and
+  // all of its other FROM entries must be base tables (their ROWIDs become
+  // grouping keys).
+  if (outer.IsAggregating() || !outer.grouping_sets.empty()) return false;
+  for (const auto& e : outer.from) {
+    if (&e == &tr) continue;
+    if (!e.IsBaseTable()) return false;
+    if (e.join != JoinKind::kInner && e.join != JoinKind::kSemi &&
+        e.join != JoinKind::kAnti && e.join != JoinKind::kAntiNA) {
+      return false;
+    }
+    // Join conditions cannot absorb aggregates; if they reference the view
+    // they might after rewriting, so reject.
+    for (const auto& c : e.join_conds) {
+      if (ExprUsesAlias(*c, tr.alias)) return false;
+    }
+  }
+  if (!v.group_by.empty() && !v.distinct) {
+    if (!ViewSelectShapeOk(v)) return false;
+    *distinct_view = false;
+    return true;
+  }
+  if (v.distinct && v.group_by.empty()) {
+    if (outer.distinct) return false;  // nothing to gain, avoid re-nesting
+    if (!ViewSelectShapeOk(v)) return false;
+    *distinct_view = true;
+    return true;
+  }
+  return false;
+}
+
+std::vector<MergeCandidate> FindCandidates(QueryBlock* root) {
+  std::vector<MergeCandidate> out;
+  VisitAllBlocks(root, [&](QueryBlock* b) {
+    if (b->IsSetOp()) return;
+    for (size_t i = 0; i < b->from.size(); ++i) {
+      bool distinct_view = false;
+      if (IsMergeableView(*b, b->from[i], &distinct_view)) {
+        out.push_back(MergeCandidate{b, i, distinct_view});
+      }
+    }
+  });
+  return out;
+}
+
+// Q10 -> Q11.
+void MergeGroupByView(TransformContext& ctx, QueryBlock* qb,
+                      size_t from_index) {
+  TableRef tr = std::move(qb->from[from_index]);
+  qb->from.erase(qb->from.begin() + static_cast<long>(from_index));
+  QueryBlock& view = *tr.derived;
+  std::string valias = tr.alias;
+
+  // ROWIDs of the other outer tables become grouping keys, preserving the
+  // duplicate semantics of the original join.
+  std::vector<ExprPtr> new_group;
+  for (const auto& e : qb->from) {
+    // Semi/anti-joined entries expose no columns and never duplicate left
+    // rows, so they contribute no key.
+    if (e.join == JoinKind::kSemi || e.join == JoinKind::kAnti ||
+        e.join == JoinKind::kAntiNA) {
+      continue;
+    }
+    new_group.push_back(MakeColumnRef(e.alias, "rowid"));
+  }
+  // The view's own grouping keys.
+  for (auto& g : view.group_by) new_group.push_back(std::move(g));
+
+  // Splice tables and predicates.
+  for (auto& e : view.from) qb->from.push_back(std::move(e));
+  for (auto& w : view.where) qb->where.push_back(std::move(w));
+
+  // Rewrite view-output references: group keys map to their defining
+  // expressions, aggregate outputs to the aggregates themselves.
+  std::map<std::string, ExprPtr> colmap;
+  for (auto& item : view.select) colmap[item.alias] = std::move(item.expr);
+  RewriteColumnRefsInBlock(qb, [&](const Expr& ref) -> ExprPtr {
+    if (ref.table_alias != valias) return nullptr;
+    auto it = colmap.find(ref.column_name);
+    if (it == colmap.end()) return nullptr;
+    return it->second->Clone();
+  });
+
+  // WHERE conjuncts that referenced the view's aggregate outputs now
+  // contain aggregates and must move to HAVING (Q11: `HAVING e1.salary >
+  // AVG(e2.salary)`).
+  std::vector<ExprPtr> kept_where;
+  for (auto& w : qb->where) {
+    if (ContainsAggregate(*w)) {
+      qb->having.push_back(std::move(w));
+    } else {
+      kept_where.push_back(std::move(w));
+    }
+  }
+  qb->where = std::move(kept_where);
+
+  // Outer columns used outside aggregates (select/having/order) also become
+  // grouping keys so the merged block is a valid aggregate query. Computed
+  // *after* the rewrite and the WHERE->HAVING move so that predicates that
+  // turned into HAVING contribute their outer columns (Q11 groups by
+  // e1.salary for exactly this reason).
+  auto add_needed = [&](const Expr* e) {
+    std::function<void(const Expr*)> walk = [&](const Expr* x) {
+      if (x == nullptr) return;
+      if (x->kind == ExprKind::kAggregate) return;  // agg args need no key
+      if (x->kind == ExprKind::kColumnRef) {
+        if (qb->FindFrom(x->table_alias) < 0) return;  // correlated outward
+        for (const auto& g : new_group) {
+          if (ExprEquals(*g, *x)) return;
+        }
+        new_group.push_back(MakeColumnRef(x->table_alias, x->column_name));
+        return;
+      }
+      for (const auto& c : x->children) walk(c.get());
+      for (const auto& c : x->partition_by) walk(c.get());
+      for (const auto& c : x->win_order_by) walk(c.get());
+    };
+    walk(e);
+  };
+  for (const auto& item : qb->select) add_needed(item.expr.get());
+  for (const auto& h : qb->having) add_needed(h.get());
+  for (const auto& o : qb->order_by) add_needed(o.expr.get());
+
+  qb->group_by = std::move(new_group);
+  (void)ctx;
+}
+
+// Q12 -> Q18: merge a DISTINCT view by pulling DISTINCT above the joins,
+// wrapping the merged block in a derived table that carries the outer
+// tables' ROWIDs.
+void MergeDistinctView(TransformContext& ctx, QueryBlock* qb,
+                       size_t from_index) {
+  TableRef tr = std::move(qb->from[from_index]);
+  qb->from.erase(qb->from.begin() + static_cast<long>(from_index));
+  QueryBlock& view = *tr.derived;
+  std::string valias = tr.alias;
+  std::string dv_alias = GlobalUniqueAlias(*ctx.root, "vw_dv");
+
+  // Outer tables (before splicing) whose ROWIDs become keys of the new
+  // derived table, preserving the outer join's duplicate semantics.
+  std::vector<std::string> outer_key_aliases;
+  for (const auto& e : qb->from) {
+    if (e.join == JoinKind::kSemi || e.join == JoinKind::kAnti ||
+        e.join == JoinKind::kAntiNA) {
+      continue;
+    }
+    outer_key_aliases.push_back(e.alias);
+  }
+
+  // Build the inner (merged, DISTINCT) block from qb's current content.
+  auto inner = std::make_unique<QueryBlock>();
+  inner->qb_name = dv_alias;
+  inner->distinct = true;
+  inner->from = std::move(qb->from);
+  for (auto& e : view.from) inner->from.push_back(std::move(e));
+  inner->where = std::move(qb->where);
+  for (auto& w : view.where) inner->where.push_back(std::move(w));
+
+  // Inner select: the outer block's select expressions plus the ROWIDs of
+  // the outer tables (key columns that preserve duplicate semantics).
+  std::vector<SelectItem> outer_select = std::move(qb->select);
+  std::map<std::string, ExprPtr> colmap;
+  for (auto& item : view.select) colmap[item.alias] = std::move(item.expr);
+
+  int key_counter = 0;
+  for (const auto& alias : outer_key_aliases) {
+    SelectItem key;
+    key.expr = MakeColumnRef(alias, "rowid");
+    key.alias = "rk" + std::to_string(key_counter++);
+    inner->select.push_back(std::move(key));
+  }
+  for (auto& item : outer_select) {
+    SelectItem moved;
+    moved.alias = item.alias;
+    moved.expr = std::move(item.expr);
+    inner->select.push_back(std::move(moved));
+  }
+
+  // Rewrite view-output references inside the inner block.
+  RewriteColumnRefsInBlock(inner.get(), [&](const Expr& ref) -> ExprPtr {
+    if (ref.table_alias != valias) return nullptr;
+    auto it = colmap.find(ref.column_name);
+    if (it == colmap.end()) return nullptr;
+    return it->second->Clone();
+  });
+
+  // The outer block becomes a thin projection over the derived table,
+  // keeping ORDER BY / ROWNUM where they were.
+  qb->select.clear();
+  qb->where.clear();
+  for (const auto& item : inner->select) {
+    if (item.alias.rfind("rk", 0) == 0) continue;
+    SelectItem si;
+    si.expr = MakeColumnRef(dv_alias, item.alias);
+    si.alias = item.alias;
+    qb->select.push_back(std::move(si));
+  }
+  // ORDER BY expressions must reference the derived table's outputs; they
+  // were outer expressions, so rewrite by matching inner select items.
+  for (auto& o : qb->order_by) {
+    for (const auto& item : inner->select) {
+      if (ExprEquals(*item.expr, *o.expr)) {
+        o.expr = MakeColumnRef(dv_alias, item.alias);
+        break;
+      }
+    }
+  }
+  TableRef dv;
+  dv.alias = dv_alias;
+  dv.derived = std::move(inner);
+  qb->from.clear();
+  qb->from.push_back(std::move(dv));
+}
+
+}  // namespace
+
+int GroupByViewMergeTransformation::CountObjects(
+    const TransformContext& ctx) const {
+  return static_cast<int>(FindCandidates(ctx.root).size());
+}
+
+Status GroupByViewMergeTransformation::Apply(
+    TransformContext& ctx, const std::vector<bool>& bits) const {
+  auto candidates = FindCandidates(ctx.root);
+  if (candidates.size() != bits.size()) {
+    return Status::Internal("group-by merge object count changed");
+  }
+  // Reverse order keeps earlier candidates' from-indices valid (merging
+  // erases one entry and appends others; distinct merges restructure the
+  // whole block, but a block has at most one distinct-view candidate that
+  // is then the only candidate of that block we touch — candidates within
+  // the same block are applied from the highest index down).
+  for (size_t i = candidates.size(); i-- > 0;) {
+    if (!bits[i]) continue;
+    const MergeCandidate& c = candidates[i];
+    // Re-validate: an earlier (higher-index) merge in the same block can
+    // invalidate this candidate (e.g. the block now aggregates, or a
+    // distinct merge restructured it). Skipping silently collapses the
+    // state onto its neighbour, which costs the same and stays correct.
+    if (c.from_index >= c.block->from.size()) continue;
+    bool distinct_view = false;
+    if (!IsMergeableView(*c.block, c.block->from[c.from_index],
+                         &distinct_view) ||
+        distinct_view != c.distinct_view) {
+      continue;
+    }
+    if (c.distinct_view) {
+      MergeDistinctView(ctx, c.block, c.from_index);
+    } else {
+      MergeGroupByView(ctx, c.block, c.from_index);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cbqt

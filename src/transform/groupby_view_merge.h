@@ -1,0 +1,31 @@
+#ifndef CBQT_TRANSFORM_GROUPBY_VIEW_MERGE_H_
+#define CBQT_TRANSFORM_GROUPBY_VIEW_MERGE_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// Cost-based group-by / distinct view merging (paper §2.2.2): pulls the
+/// aggregation above the containing block's joins.
+///  * GROUP BY views (Q10 -> Q11): the view's tables and predicates splice
+///    into the outer block, which becomes GROUP BY {view keys} ∪ {ROWIDs of
+///    the other outer tables} ∪ {outer columns used outside aggregates};
+///    references to the view's aggregate outputs become the aggregates
+///    themselves, now evaluated after the joins.
+///  * DISTINCT views (Q12 -> Q18): the merged query is wrapped in a new
+///    derived table carrying the outer tables' ROWIDs, with DISTINCT pulled
+///    up.
+/// Each mergeable view is one state-space object. Heuristic decision: merge
+/// always (the aggressive legacy rule).
+class GroupByViewMergeTransformation : public CostBasedTransformation {
+ public:
+  std::string Name() const override { return "groupby-view-merge"; }
+  int CountObjects(const TransformContext& ctx) const override;
+  Status Apply(TransformContext& ctx,
+               const std::vector<bool>& bits) const override;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_GROUPBY_VIEW_MERGE_H_

@@ -1,0 +1,164 @@
+#include "transform/join_elimination.h"
+
+#include <algorithm>
+
+#include "transform/transform_util.h"
+
+namespace cbqt {
+
+namespace {
+
+// True if `e` is `a.x = b.y` (either orientation) for the given aliases and
+// columns.
+bool IsColEq(const Expr& e, const std::string& a, const std::string& x,
+             const std::string& b, const std::string& y) {
+  if (e.kind != ExprKind::kBinary || e.bop != BinaryOp::kEq) return false;
+  const Expr& l = *e.children[0];
+  const Expr& r = *e.children[1];
+  if (l.kind != ExprKind::kColumnRef || r.kind != ExprKind::kColumnRef) {
+    return false;
+  }
+  auto match = [](const Expr& c, const std::string& al, const std::string& co) {
+    return c.table_alias == al && c.column_name == co;
+  };
+  return (match(l, a, x) && match(r, b, y)) ||
+         (match(l, b, y) && match(r, a, x));
+}
+
+// Attempts FK -> PK elimination within block `qb`. Returns true on change.
+bool TryFkElimination(TransformContext& ctx, QueryBlock* qb) {
+  for (size_t di = 0; di < qb->from.size(); ++di) {
+    const TableRef& d = qb->from[di];
+    if (!d.IsBaseTable() || d.table_def == nullptr ||
+        d.join != JoinKind::kInner || !d.join_conds.empty()) {
+      continue;
+    }
+    for (size_t ei = 0; ei < qb->from.size(); ++ei) {
+      if (ei == di) continue;
+      const TableRef& e = qb->from[ei];
+      if (!e.IsBaseTable() || e.table_def == nullptr) continue;
+      for (const auto& fk : e.table_def->foreign_keys) {
+        if (fk.ref_table != d.table_name) continue;
+        // The FK must reference d's primary key in full.
+        if (fk.ref_columns.size() != d.table_def->primary_key.size()) continue;
+        bool refs_pk = true;
+        for (const auto& rc : fk.ref_columns) {
+          if (std::find(d.table_def->primary_key.begin(),
+                        d.table_def->primary_key.end(),
+                        rc) == d.table_def->primary_key.end()) {
+            refs_pk = false;
+          }
+        }
+        if (!refs_pk) continue;
+        // Every FK column pair must appear as a WHERE equality.
+        std::set<const Expr*> join_conjuncts;
+        bool all_present = true;
+        for (size_t k = 0; k < fk.columns.size(); ++k) {
+          const Expr* found = nullptr;
+          for (const auto& w : qb->where) {
+            if (IsColEq(*w, e.alias, fk.columns[k], d.alias,
+                        fk.ref_columns[k])) {
+              found = w.get();
+              break;
+            }
+          }
+          if (found == nullptr) {
+            all_present = false;
+            break;
+          }
+          join_conjuncts.insert(found);
+        }
+        if (!all_present) continue;
+        // d must be unreferenced outside these join conjuncts.
+        if (CountAliasUses(*ctx.root, d.alias, join_conjuncts) > 0) continue;
+
+        // Eliminate: drop the join conjuncts and the table; preserve
+        // semantics for nullable FK columns.
+        std::vector<ExprPtr> kept;
+        for (auto& w : qb->where) {
+          if (join_conjuncts.count(w.get()) == 0) kept.push_back(std::move(w));
+        }
+        qb->where = std::move(kept);
+        for (const auto& col : fk.columns) {
+          if (!e.table_def->IsNotNull(col)) {
+            qb->where.push_back(MakeUnary(
+                UnaryOp::kIsNotNull, MakeColumnRef(e.alias, col)));
+          }
+        }
+        qb->from.erase(qb->from.begin() + static_cast<long>(di));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Attempts outer-join-on-unique-key elimination. Returns true on change.
+bool TryOuterUniqueElimination(TransformContext& ctx, QueryBlock* qb) {
+  for (size_t di = 0; di < qb->from.size(); ++di) {
+    const TableRef& d = qb->from[di];
+    if (!d.IsBaseTable() || d.table_def == nullptr ||
+        d.join != JoinKind::kLeftOuter || d.join_conds.empty()) {
+      continue;
+    }
+    // Every join condition must be `other.x = d.y`; the y's must form a
+    // unique key of d.
+    std::vector<std::string> d_cols;
+    bool shape_ok = true;
+    for (const auto& c : d.join_conds) {
+      if (c->kind != ExprKind::kBinary || c->bop != BinaryOp::kEq) {
+        shape_ok = false;
+        break;
+      }
+      const Expr* l = c->children[0].get();
+      const Expr* r = c->children[1].get();
+      if (l->kind != ExprKind::kColumnRef || r->kind != ExprKind::kColumnRef) {
+        shape_ok = false;
+        break;
+      }
+      const Expr* d_side = nullptr;
+      const Expr* o_side = nullptr;
+      if (l->table_alias == d.alias && r->table_alias != d.alias) {
+        d_side = l;
+        o_side = r;
+      } else if (r->table_alias == d.alias && l->table_alias != d.alias) {
+        d_side = r;
+        o_side = l;
+      }
+      if (d_side == nullptr) {
+        shape_ok = false;
+        break;
+      }
+      (void)o_side;
+      d_cols.push_back(d_side->column_name);
+    }
+    if (!shape_ok) continue;
+    if (!d.table_def->IsUniqueKey(d_cols)) continue;
+    std::set<const Expr*> exclude;
+    for (const auto& c : d.join_conds) exclude.insert(c.get());
+    if (CountAliasUses(*ctx.root, d.alias, exclude) > 0) continue;
+    qb->from.erase(qb->from.begin() + static_cast<long>(di));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> EliminateJoins(TransformContext& ctx) {
+  bool changed = false;
+  for (int guard = 0; guard < 64; ++guard) {
+    bool round_changed = false;
+    VisitAllBlocks(ctx.root, [&](QueryBlock* b) {
+      if (round_changed || b->IsSetOp()) return;
+      if (TryFkElimination(ctx, b) || TryOuterUniqueElimination(ctx, b)) {
+        round_changed = true;
+      }
+    });
+    if (!round_changed) break;
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace cbqt

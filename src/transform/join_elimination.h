@@ -1,0 +1,21 @@
+#ifndef CBQT_TRANSFORM_JOIN_ELIMINATION_H_
+#define CBQT_TRANSFORM_JOIN_ELIMINATION_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// Join elimination (paper §2.1.2, imperative): removes a table whose join
+/// provably cannot change the result —
+///  * an inner join over a complete foreign key -> primary key equality
+///    whose key-side table is otherwise unreferenced (Q4), adding
+///    `fk IS NOT NULL` when the FK columns are nullable; and
+///  * a left outer join on a unique key of the right table, right side
+///    otherwise unreferenced (Q5).
+/// Returns whether anything changed; caller re-binds.
+Result<bool> EliminateJoins(TransformContext& ctx);
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_JOIN_ELIMINATION_H_

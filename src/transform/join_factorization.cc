@@ -1,0 +1,473 @@
+#include "transform/join_factorization.h"
+
+#include <algorithm>
+
+#include "transform/transform_util.h"
+
+namespace cbqt {
+
+namespace {
+
+// Canonicalizes expressions for cross-branch comparison by renaming the
+// factored table's alias to a placeholder.
+ExprPtr CanonicalizeForAlias(const Expr& e, const std::string& alias) {
+  ExprPtr copy = e.Clone();
+  RewriteColumnRefs(&copy, [&](const Expr& ref) -> ExprPtr {
+    if (ref.table_alias != alias) return nullptr;
+    return MakeColumnRef("$t", ref.column_name);
+  });
+  return copy;
+}
+
+// Per-branch description of the factored table's role.
+struct BranchRole {
+  size_t entry_index;                 // position of the table in branch FROM
+  std::vector<size_t> filter_idx;     // single-alias conjuncts on t
+  std::vector<ExprPtr> filters_canon; // canonicalized for comparison
+  // Join conjuncts `t.c = E` (E free of t): canonical column sequence and
+  // the E expressions (branch-local).
+  std::vector<size_t> join_idx;
+  std::vector<std::string> join_cols;
+  std::vector<const Expr*> join_others;
+};
+
+bool DescribeBranch(const QueryBlock& branch, const std::string& table_name,
+                    BranchRole* role) {
+  if (branch.IsSetOp() || branch.distinct || branch.IsAggregating() ||
+      branch.rownum_limit >= 0 || !branch.order_by.empty()) {
+    return false;
+  }
+  int found = -1;
+  for (size_t i = 0; i < branch.from.size(); ++i) {
+    const TableRef& tr = branch.from[i];
+    if (tr.IsBaseTable() && tr.table_name == table_name &&
+        tr.join == JoinKind::kInner && tr.join_conds.empty()) {
+      if (found >= 0) return false;  // ambiguous: appears twice
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) return false;
+  if (branch.from.size() < 2) return false;  // nothing left to union
+  role->entry_index = static_cast<size_t>(found);
+  const std::string alias = branch.from[role->entry_index].alias;
+
+  for (size_t i = 0; i < branch.where.size(); ++i) {
+    const Expr& w = *branch.where[i];
+    if (!ExprUsesAlias(w, alias)) continue;
+    if (ContainsSubquery(w) || ContainsRownum(w)) return false;
+    std::string filter_alias;
+    if (IsSingleTableFilter(w, &filter_alias) && filter_alias == alias) {
+      role->filter_idx.push_back(i);
+      role->filters_canon.push_back(CanonicalizeForAlias(w, alias));
+      continue;
+    }
+    // Must be t.c = E with E free of t.
+    if (w.kind != ExprKind::kBinary || w.bop != BinaryOp::kEq) return false;
+    const Expr* l = w.children[0].get();
+    const Expr* r = w.children[1].get();
+    const Expr* tcol = nullptr;
+    const Expr* other = nullptr;
+    if (l->kind == ExprKind::kColumnRef && l->table_alias == alias &&
+        !ExprUsesAlias(*r, alias)) {
+      tcol = l;
+      other = r;
+    } else if (r->kind == ExprKind::kColumnRef && r->table_alias == alias &&
+               !ExprUsesAlias(*l, alias)) {
+      tcol = r;
+      other = l;
+    }
+    if (tcol == nullptr) return false;
+    if (ContainsSubquery(*other)) return false;
+    role->join_idx.push_back(i);
+    role->join_cols.push_back(tcol->column_name);
+    role->join_others.push_back(other);
+  }
+  // Select items referencing t must reference ONLY t (they become outer
+  // expressions) — mixed expressions cannot be factored.
+  for (const auto& item : branch.select) {
+    if (!ExprUsesAlias(*item.expr, alias)) continue;
+    std::set<std::string> used = CollectLocalAliases(*item.expr);
+    if (used.size() != 1) return false;
+  }
+  return true;
+}
+
+struct FactorCandidate {
+  QueryBlock* setop;
+  std::string table_name;
+  /// The paper's §2.2.5 extension ("will be available in the next
+  /// release"): the join predicates cannot be pulled out, so they stay
+  /// inside the branches — which then reference the hoisted table like a
+  /// correlation, making the UNION ALL view lateral (the JPPD technique).
+  bool lateral = false;
+};
+
+bool CandidateApplies(const QueryBlock& u, const std::string& table_name) {
+  if (u.set_op != SetOpKind::kUnionAll || u.branches.size() < 2) return false;
+  std::vector<BranchRole> roles(u.branches.size());
+  for (size_t b = 0; b < u.branches.size(); ++b) {
+    if (!DescribeBranch(*u.branches[b], table_name, &roles[b])) return false;
+  }
+  // Filters and join-column sequences must match across branches; the
+  // t-referencing select items must be identical (modulo alias) and in the
+  // same positions.
+  const BranchRole& first = roles[0];
+  for (size_t b = 1; b < roles.size(); ++b) {
+    const BranchRole& r = roles[b];
+    if (r.filters_canon.size() != first.filters_canon.size()) return false;
+    for (size_t k = 0; k < r.filters_canon.size(); ++k) {
+      if (!ExprEquals(*r.filters_canon[k], *first.filters_canon[k])) {
+        return false;
+      }
+    }
+    if (r.join_cols != first.join_cols) return false;
+  }
+  // Positional select compatibility.
+  const QueryBlock& b0 = *u.branches[0];
+  const std::string a0 = b0.from[first.entry_index].alias;
+  for (size_t b = 1; b < u.branches.size(); ++b) {
+    const QueryBlock& bb = *u.branches[b];
+    const std::string ab = bb.from[roles[b].entry_index].alias;
+    if (bb.select.size() != b0.select.size()) return false;
+    for (size_t i = 0; i < b0.select.size(); ++i) {
+      bool t0 = ExprUsesAlias(*b0.select[i].expr, a0);
+      bool tb = ExprUsesAlias(*bb.select[i].expr, ab);
+      if (t0 != tb) return false;
+      if (t0) {
+        auto c0 = CanonicalizeForAlias(*b0.select[i].expr, a0);
+        auto cb = CanonicalizeForAlias(*bb.select[i].expr, ab);
+        if (!ExprEquals(*c0, *cb)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Lateral variant: the table appears in every branch with matching local
+// filters, but its join predicates need not align (they stay inside). All
+// conjuncts referencing the table besides the matching filters are allowed
+// in any shape, as long as they are subquery-free.
+struct LateralRole {
+  size_t entry_index = 0;
+  std::vector<size_t> filter_idx;
+  std::vector<ExprPtr> filters_canon;
+};
+
+bool DescribeLateralBranch(const QueryBlock& branch,
+                           const std::string& table_name, LateralRole* role) {
+  if (branch.IsSetOp() || branch.distinct || branch.IsAggregating() ||
+      branch.rownum_limit >= 0 || !branch.order_by.empty()) {
+    return false;
+  }
+  int found = -1;
+  for (size_t i = 0; i < branch.from.size(); ++i) {
+    const TableRef& tr = branch.from[i];
+    if (tr.IsBaseTable() && tr.table_name == table_name &&
+        tr.join == JoinKind::kInner && tr.join_conds.empty()) {
+      if (found >= 0) return false;
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) return false;
+  if (branch.from.size() < 2) return false;
+  role->entry_index = static_cast<size_t>(found);
+  const std::string alias = branch.from[role->entry_index].alias;
+  for (size_t i = 0; i < branch.where.size(); ++i) {
+    const Expr& w = *branch.where[i];
+    if (!ExprUsesAlias(w, alias)) continue;
+    if (ContainsSubquery(w) || ContainsRownum(w)) return false;
+    std::string filter_alias;
+    if (IsSingleTableFilter(w, &filter_alias) && filter_alias == alias) {
+      role->filter_idx.push_back(i);
+      role->filters_canon.push_back(CanonicalizeForAlias(w, alias));
+    }
+    // Anything else referencing the table stays inside the branch.
+  }
+  return true;
+}
+
+bool LateralCandidateApplies(const QueryBlock& u,
+                             const std::string& table_name) {
+  if (u.set_op != SetOpKind::kUnionAll || u.branches.size() < 2) return false;
+  std::vector<LateralRole> roles(u.branches.size());
+  for (size_t b = 0; b < u.branches.size(); ++b) {
+    if (!DescribeLateralBranch(*u.branches[b], table_name, &roles[b])) {
+      return false;
+    }
+  }
+  const LateralRole& first = roles[0];
+  for (size_t b = 1; b < roles.size(); ++b) {
+    const LateralRole& r = roles[b];
+    if (r.filters_canon.size() != first.filters_canon.size()) return false;
+    for (size_t k = 0; k < r.filters_canon.size(); ++k) {
+      if (!ExprEquals(*r.filters_canon[k], *first.filters_canon[k])) {
+        return false;
+      }
+    }
+  }
+  // Positional select compatibility (same rule as the pull-out variant).
+  const QueryBlock& b0 = *u.branches[0];
+  const std::string a0 = b0.from[first.entry_index].alias;
+  for (size_t b = 1; b < u.branches.size(); ++b) {
+    const QueryBlock& bb = *u.branches[b];
+    const std::string ab = bb.from[roles[b].entry_index].alias;
+    if (bb.select.size() != b0.select.size()) return false;
+    for (size_t i = 0; i < b0.select.size(); ++i) {
+      bool t0 = ExprUsesAlias(*b0.select[i].expr, a0);
+      bool tb = ExprUsesAlias(*bb.select[i].expr, ab);
+      if (t0 != tb) return false;
+      if (t0) {
+        auto c0 = CanonicalizeForAlias(*b0.select[i].expr, a0);
+        auto cb = CanonicalizeForAlias(*bb.select[i].expr, ab);
+        if (!ExprEquals(*c0, *cb)) return false;
+      }
+    }
+  }
+  // Every branch must still be connected to its other tables somehow; with
+  // no join predicate at all the lateral rewrite degenerates to a plain
+  // pull-out, which CandidateApplies would already accept.
+  return true;
+}
+
+void ApplyLateralFactorization(TransformContext& ctx, QueryBlock* u,
+                               const std::string& table_name) {
+  std::vector<LateralRole> roles(u->branches.size());
+  for (size_t b = 0; b < u->branches.size(); ++b) {
+    DescribeLateralBranch(*u->branches[b], table_name, &roles[b]);
+  }
+  const std::string outer_alias =
+      u->branches[0]->from[roles[0].entry_index].alias;
+  std::string valias = GlobalUniqueAlias(*ctx.root, "vw_jf");
+
+  TableRef outer_t = std::move(u->branches[0]->from[roles[0].entry_index]);
+  std::vector<ExprPtr> outer_filters;
+  for (size_t k : roles[0].filter_idx) {
+    outer_filters.push_back(u->branches[0]->where[k]->Clone());
+  }
+
+  const QueryBlock& b0 = *u->branches[0];
+  std::vector<std::string> out_aliases;
+  std::vector<bool> is_t_col;
+  std::vector<ExprPtr> t_exprs;
+  for (const auto& item : b0.select) {
+    out_aliases.push_back(item.alias);
+    bool is_t = ExprUsesAlias(*item.expr, outer_alias);
+    is_t_col.push_back(is_t);
+    t_exprs.push_back(is_t ? item.expr->Clone() : nullptr);
+  }
+
+  for (size_t b = 0; b < u->branches.size(); ++b) {
+    QueryBlock& branch = *u->branches[b];
+    LateralRole& role = roles[b];
+    const std::string alias = branch.from[role.entry_index].alias;
+
+    std::set<size_t> drop(role.filter_idx.begin(), role.filter_idx.end());
+    std::vector<ExprPtr> kept_where;
+    for (size_t i = 0; i < branch.where.size(); ++i) {
+      if (drop.count(i) == 0) kept_where.push_back(std::move(branch.where[i]));
+    }
+    branch.where = std::move(kept_where);
+    branch.from.erase(branch.from.begin() +
+                      static_cast<long>(role.entry_index));
+    // Remaining references to the branch's copy of the table now refer to
+    // the hoisted sibling: rename to the common outer alias (for branch 0
+    // this is a no-op).
+    if (alias != outer_alias) RenameTableAlias(&branch, alias, outer_alias);
+
+    std::vector<SelectItem> new_select;
+    for (size_t i = 0; i < branch.select.size(); ++i) {
+      if (is_t_col[i]) continue;
+      SelectItem item;
+      item.alias = out_aliases[i];
+      item.expr = std::move(branch.select[i].expr);
+      new_select.push_back(std::move(item));
+    }
+    branch.select = std::move(new_select);
+  }
+
+  auto view = std::make_unique<QueryBlock>();
+  view->set_op = SetOpKind::kUnionAll;
+  view->branches = std::move(u->branches);
+
+  u->set_op = SetOpKind::kNone;
+  u->branches.clear();
+  u->from.clear();
+  u->where.clear();
+  u->select.clear();
+
+  u->from.push_back(std::move(outer_t));
+  TableRef ventry;
+  ventry.alias = valias;
+  ventry.derived = std::move(view);
+  ventry.lateral = true;  // branches reference the hoisted table
+  u->from.push_back(std::move(ventry));
+  for (auto& f : outer_filters) u->where.push_back(std::move(f));
+  for (size_t i = 0; i < out_aliases.size(); ++i) {
+    SelectItem item;
+    item.alias = out_aliases[i];
+    item.expr = is_t_col[i] ? std::move(t_exprs[i])
+                            : MakeColumnRef(valias, out_aliases[i]);
+    u->select.push_back(std::move(item));
+  }
+}
+
+std::vector<FactorCandidate> FindCandidates(QueryBlock* root) {
+  std::vector<FactorCandidate> out;
+  VisitAllBlocks(root, [&](QueryBlock* u) {
+    if (u->set_op != SetOpKind::kUnionAll) return;
+    // Candidate table names: base tables of the first branch.
+    if (u->branches.empty() || u->branches[0]->IsSetOp()) return;
+    std::set<std::string> names;
+    for (const auto& tr : u->branches[0]->from) {
+      if (tr.IsBaseTable()) names.insert(tr.table_name);
+    }
+    for (const auto& name : names) {
+      if (CandidateApplies(*u, name)) {
+        out.push_back(FactorCandidate{u, name, false});
+      } else if (LateralCandidateApplies(*u, name)) {
+        out.push_back(FactorCandidate{u, name, true});
+      }
+    }
+  });
+  return out;
+}
+
+void ApplyFactorization(TransformContext& ctx, QueryBlock* u,
+                        const std::string& table_name) {
+  std::vector<BranchRole> roles(u->branches.size());
+  for (size_t b = 0; b < u->branches.size(); ++b) {
+    DescribeBranch(*u->branches[b], table_name, &roles[b]);
+  }
+  const std::string outer_alias =
+      u->branches[0]->from[roles[0].entry_index].alias;
+  std::string valias = GlobalUniqueAlias(*ctx.root, "vw_jf");
+
+  // Salvage branch 0's entry for the outer table and its filters.
+  TableRef outer_t =
+      std::move(u->branches[0]->from[roles[0].entry_index]);
+  std::vector<ExprPtr> outer_filters;
+  for (size_t k : roles[0].filter_idx) {
+    outer_filters.push_back(u->branches[0]->where[k]->Clone());
+  }
+
+  // Output signature of the original UNION ALL (select aliases of branch 0)
+  // and which positions reference the factored table.
+  const QueryBlock& b0 = *u->branches[0];
+  std::vector<std::string> out_aliases;
+  std::vector<bool> is_t_col;
+  std::vector<ExprPtr> t_exprs;  // outer expressions for t positions
+  for (const auto& item : b0.select) {
+    out_aliases.push_back(item.alias);
+    bool is_t = ExprUsesAlias(*item.expr, outer_alias);
+    is_t_col.push_back(is_t);
+    t_exprs.push_back(is_t ? item.expr->Clone() : nullptr);
+  }
+  size_t num_join = roles[0].join_cols.size();
+
+  // Rewrite each branch: drop the t entry, its filters and join conjuncts;
+  // drop t-referencing select items; export the join "other sides".
+  for (size_t b = 0; b < u->branches.size(); ++b) {
+    QueryBlock& branch = *u->branches[b];
+    BranchRole& role = roles[b];
+    const std::string alias = branch.from[role.entry_index].alias;
+
+    std::set<size_t> drop(role.filter_idx.begin(), role.filter_idx.end());
+    drop.insert(role.join_idx.begin(), role.join_idx.end());
+    std::vector<ExprPtr> kept_where;
+    for (size_t i = 0; i < branch.where.size(); ++i) {
+      if (drop.count(i) == 0) kept_where.push_back(std::move(branch.where[i]));
+    }
+    // Export join columns before clearing (join_others point into the old
+    // where list).
+    std::vector<ExprPtr> exported;
+    for (size_t j = 0; j < num_join; ++j) {
+      exported.push_back(role.join_others[j]->Clone());
+    }
+    branch.where = std::move(kept_where);
+    branch.from.erase(branch.from.begin() +
+                      static_cast<long>(role.entry_index));
+
+    std::vector<SelectItem> new_select;
+    for (size_t i = 0; i < branch.select.size(); ++i) {
+      if (is_t_col[i]) continue;
+      SelectItem item;
+      item.alias = out_aliases[i];
+      item.expr = std::move(branch.select[i].expr);
+      new_select.push_back(std::move(item));
+    }
+    for (size_t j = 0; j < num_join; ++j) {
+      SelectItem item;
+      item.alias = "jc" + std::to_string(j);
+      item.expr = std::move(exported[j]);
+      new_select.push_back(std::move(item));
+    }
+    branch.select = std::move(new_select);
+    (void)alias;
+  }
+
+  // Build the new containing block in place of `u`.
+  auto view = std::make_unique<QueryBlock>();
+  view->set_op = SetOpKind::kUnionAll;
+  view->branches = std::move(u->branches);
+
+  u->set_op = SetOpKind::kNone;
+  u->branches.clear();
+  u->from.clear();
+  u->where.clear();
+  u->select.clear();
+
+  u->from.push_back(std::move(outer_t));
+  TableRef ventry;
+  ventry.alias = valias;
+  ventry.derived = std::move(view);
+  u->from.push_back(std::move(ventry));
+  for (auto& f : outer_filters) u->where.push_back(std::move(f));
+  for (size_t j = 0; j < num_join; ++j) {
+    u->where.push_back(MakeBinary(
+        BinaryOp::kEq, MakeColumnRef(outer_alias, roles[0].join_cols[j]),
+        MakeColumnRef(valias, "jc" + std::to_string(j))));
+  }
+  for (size_t i = 0; i < out_aliases.size(); ++i) {
+    SelectItem item;
+    item.alias = out_aliases[i];
+    item.expr = is_t_col[i] ? std::move(t_exprs[i])
+                            : MakeColumnRef(valias, out_aliases[i]);
+    u->select.push_back(std::move(item));
+  }
+}
+
+}  // namespace
+
+int JoinFactorizationTransformation::CountObjects(
+    const TransformContext& ctx) const {
+  return static_cast<int>(FindCandidates(ctx.root).size());
+}
+
+Status JoinFactorizationTransformation::Apply(
+    TransformContext& ctx, const std::vector<bool>& bits) const {
+  auto candidates = FindCandidates(ctx.root);
+  if (candidates.size() != bits.size()) {
+    return Status::Internal("join factorization object count changed");
+  }
+  for (size_t i = candidates.size(); i-- > 0;) {
+    if (!bits[i]) continue;
+    // Re-validate (an earlier factorization of the same block invalidates
+    // the other candidates of that block).
+    if (candidates[i].lateral) {
+      if (!LateralCandidateApplies(*candidates[i].setop,
+                                   candidates[i].table_name)) {
+        continue;
+      }
+      ApplyLateralFactorization(ctx, candidates[i].setop,
+                                candidates[i].table_name);
+    } else {
+      if (!CandidateApplies(*candidates[i].setop, candidates[i].table_name)) {
+        continue;
+      }
+      ApplyFactorization(ctx, candidates[i].setop, candidates[i].table_name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cbqt

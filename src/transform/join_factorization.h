@@ -1,0 +1,33 @@
+#ifndef CBQT_TRANSFORM_JOIN_FACTORIZATION_H_
+#define CBQT_TRANSFORM_JOIN_FACTORIZATION_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// Cost-based join factorization (paper §2.2.5, Q14 -> Q15): when every
+/// branch of a UNION ALL joins the same table with equivalent local filters,
+/// the table is pulled out into the containing block; the UNION ALL becomes
+/// a view joined to it (the branches export their join columns), so the
+/// common table is scanned once instead of once per branch.
+///
+/// Objects: (UNION ALL block, common table) pairs. Not applied in heuristic
+/// mode (the transformation is introduced by this paper as cost-based).
+class JoinFactorizationTransformation : public CostBasedTransformation {
+ public:
+  std::string Name() const override { return "join-factorization"; }
+  int CountObjects(const TransformContext& ctx) const override;
+  Status Apply(TransformContext& ctx,
+               const std::vector<bool>& bits) const override;
+  bool HeuristicDecision(const TransformContext& ctx,
+                         int index) const override {
+    (void)ctx;
+    (void)index;
+    return false;
+  }
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_JOIN_FACTORIZATION_H_

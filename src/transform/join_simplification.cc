@@ -1,0 +1,120 @@
+#include "transform/join_simplification.h"
+
+#include "transform/transform_util.h"
+
+namespace cbqt {
+
+namespace {
+
+// True if `e` rejects rows where every column of `alias` is NULL: a
+// comparison or IS NOT NULL whose evaluation over NULL inputs cannot be
+// TRUE. Conservative: the predicate must reference `alias`, contain no
+// OR / IS NULL / LNNVL / CASE / subquery, and be a plain comparison or
+// IS NOT NULL at the top.
+bool NullRejectingOn(const Expr& e, const std::string& alias) {
+  if (!ExprUsesAlias(e, alias)) return false;
+  if (ContainsSubquery(e)) return false;
+  bool safe = true;
+  VisitExprConst(&e, [&](const Expr* x) {
+    if (x->kind == ExprKind::kBinary && x->bop == BinaryOp::kOr) safe = false;
+    if (x->kind == ExprKind::kBinary && x->bop == BinaryOp::kNullSafeEq) {
+      safe = false;
+    }
+    if (x->kind == ExprKind::kUnary &&
+        (x->uop == UnaryOp::kIsNull || x->uop == UnaryOp::kLnnvl ||
+         x->uop == UnaryOp::kNot)) {
+      safe = false;
+    }
+    if (x->kind == ExprKind::kCase) safe = false;
+  });
+  if (!safe) return false;
+  if (e.kind == ExprKind::kBinary && IsComparisonOp(e.bop)) return true;
+  if (e.kind == ExprKind::kUnary && e.uop == UnaryOp::kIsNotNull) return true;
+  return false;
+}
+
+bool SimplifyBlock(QueryBlock* qb) {
+  bool changed = false;
+  for (auto& tr : qb->from) {
+    if (tr.join != JoinKind::kLeftOuter) continue;
+    bool rejecting = false;
+    for (const auto& w : qb->where) {
+      if (NullRejectingOn(*w, tr.alias)) rejecting = true;
+    }
+    if (!rejecting) continue;
+    tr.join = JoinKind::kInner;
+    for (auto& c : tr.join_conds) qb->where.push_back(std::move(c));
+    tr.join_conds.clear();
+    changed = true;
+  }
+  return changed;
+}
+
+bool EliminateDistinctInBlock(QueryBlock* qb) {
+  if (!qb->distinct || qb->IsAggregating()) return false;
+  // Exactly one row-producing entry (semi/anti entries never multiply).
+  const TableRef* producer = nullptr;
+  for (const auto& tr : qb->from) {
+    if (tr.join == JoinKind::kSemi || tr.join == JoinKind::kAnti ||
+        tr.join == JoinKind::kAntiNA) {
+      continue;
+    }
+    if (producer != nullptr) return false;
+    producer = &tr;
+  }
+  if (producer == nullptr || !producer->IsBaseTable() ||
+      producer->table_def == nullptr) {
+    return false;
+  }
+  // The select list must contain some unique key of the producer as plain
+  // column refs.
+  auto select_has_col = [&](const std::string& col) {
+    for (const auto& item : qb->select) {
+      const Expr& e = *item.expr;
+      if (e.kind == ExprKind::kColumnRef && e.table_alias == producer->alias &&
+          e.column_name == col) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto covers_key = [&](const std::vector<std::string>& key) {
+    if (key.empty()) return false;
+    for (const auto& col : key) {
+      if (!select_has_col(col)) return false;
+    }
+    return true;
+  };
+  bool unique = covers_key(producer->table_def->primary_key) ||
+                select_has_col("rowid");
+  if (!unique) {
+    for (const auto& key : producer->table_def->unique_keys) {
+      if (covers_key(key)) unique = true;
+    }
+  }
+  if (!unique) return false;
+  qb->distinct = false;
+  return true;
+}
+
+}  // namespace
+
+Result<bool> SimplifyOuterJoins(TransformContext& ctx) {
+  bool changed = false;
+  VisitAllBlocks(ctx.root, [&](QueryBlock* b) {
+    if (b->IsSetOp()) return;
+    if (SimplifyBlock(b)) changed = true;
+  });
+  return changed;
+}
+
+Result<bool> EliminateDistinct(TransformContext& ctx) {
+  bool changed = false;
+  VisitAllBlocks(ctx.root, [&](QueryBlock* b) {
+    if (b->IsSetOp()) return;
+    if (EliminateDistinctInBlock(b)) changed = true;
+  });
+  return changed;
+}
+
+}  // namespace cbqt

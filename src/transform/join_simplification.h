@@ -1,0 +1,28 @@
+#ifndef CBQT_TRANSFORM_JOIN_SIMPLIFICATION_H_
+#define CBQT_TRANSFORM_JOIN_SIMPLIFICATION_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// Outer-join simplification (imperative; the classic rewrite underlying
+/// the outer-join reordering literature the paper cites [3][17][18]):
+/// a LEFT OUTER JOIN whose null-padded rows are provably rejected by a
+/// WHERE predicate on the right side degenerates to an inner join, which
+/// frees the join order (outer joins are non-commutative, §2.1.1).
+///
+/// A predicate is null-rejecting here when it is a comparison or
+/// IS NOT NULL over the outer-joined alias — both evaluate to
+/// FALSE/UNKNOWN on the padded NULLs.
+Result<bool> SimplifyOuterJoins(TransformContext& ctx);
+
+/// Distinct elimination (imperative): DISTINCT is a no-op when the select
+/// list already contains a unique key of a single-table block (each base
+/// row appears at most once, so duplicates are impossible). Semi/anti
+/// joined entries never multiply rows and do not block the rewrite.
+Result<bool> EliminateDistinct(TransformContext& ctx);
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_JOIN_SIMPLIFICATION_H_

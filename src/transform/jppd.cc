@@ -1,0 +1,332 @@
+#include "transform/jppd.h"
+
+#include "transform/transform_util.h"
+
+namespace cbqt {
+
+namespace {
+
+struct JppdCandidate {
+  QueryBlock* block;
+  size_t from_index;
+  /// Indices into block->where (for inner-joined views) or into the
+  /// TableRef's join_conds (for semi/anti/outer-joined views) of the
+  /// pushable predicates.
+  std::vector<size_t> pred_indices;
+  bool preds_in_join_conds;
+};
+
+// Is `e` a pushable join equality for view `valias`: `valias.c = other`,
+// where `other` does not reference the view and has no subqueries?
+bool PushableEquality(const Expr& e, const std::string& valias,
+                      std::string* view_col, const Expr** other_side) {
+  if (e.kind != ExprKind::kBinary || e.bop != BinaryOp::kEq) return false;
+  const Expr* l = e.children[0].get();
+  const Expr* r = e.children[1].get();
+  const Expr* vref = nullptr;
+  const Expr* other = nullptr;
+  if (l->kind == ExprKind::kColumnRef && l->table_alias == valias) {
+    vref = l;
+    other = r;
+  } else if (r->kind == ExprKind::kColumnRef && r->table_alias == valias) {
+    vref = r;
+    other = l;
+  }
+  if (vref == nullptr) return false;
+  if (ExprUsesAlias(*other, valias)) return false;
+  if (ContainsSubquery(*other) || ContainsRownum(*other)) return false;
+  *view_col = vref->column_name;
+  *other_side = other;
+  return true;
+}
+
+// Can a predicate on output column `col` be pushed into regular view `v`?
+bool ColumnPushable(const QueryBlock& v, const std::string& col) {
+  auto colmap = ViewColumnMap(v);
+  auto it = colmap.find(col);
+  if (it == colmap.end()) return false;
+  const Expr* def = it->second;
+  if (ContainsAggregate(*def) || ContainsWindow(*def) ||
+      ContainsSubquery(*def)) {
+    return false;
+  }
+  if (v.IsAggregating()) {
+    int key_index = -1;
+    for (size_t g = 0; g < v.group_by.size(); ++g) {
+      if (ExprEquals(*v.group_by[g], *def)) key_index = static_cast<int>(g);
+    }
+    if (key_index < 0) return false;
+    // Under GROUPING SETS the key must be in every set (see
+    // predicate_moveround.cc for the rationale).
+    for (const auto& set : v.grouping_sets) {
+      bool in_set = false;
+      for (int k : set) {
+        if (k == key_index) in_set = true;
+      }
+      if (!in_set) return false;
+    }
+  }
+  return true;
+}
+
+bool ViewEligible(const TableRef& tr) {
+  if (tr.IsBaseTable() || tr.no_merge || tr.lateral) return false;
+  const QueryBlock& v = *tr.derived;
+  if (v.rownum_limit >= 0) return false;
+  if (v.IsSetOp()) {
+    if (v.set_op != SetOpKind::kUnionAll && v.set_op != SetOpKind::kUnion) {
+      return false;
+    }
+    for (const auto& b : v.branches) {
+      if (b->IsSetOp() || b->rownum_limit >= 0) return false;
+    }
+    return true;
+  }
+  // Unmergeable-view categories the paper lists: distinct, group-by,
+  // semi/anti/outer-joined. (A plain SPJ inner view would just be merged.)
+  return v.distinct || v.IsAggregating() || tr.join != JoinKind::kInner;
+}
+
+bool ColumnPushableBranch(const QueryBlock& b,
+                          const std::map<std::string, const Expr*>& colmap,
+                          const std::string& col) {
+  auto it = colmap.find(col);
+  if (it == colmap.end()) return false;
+  const Expr* def = it->second;
+  if (ContainsAggregate(*def) || ContainsWindow(*def) ||
+      ContainsSubquery(*def)) {
+    return false;
+  }
+  if (b.IsAggregating()) {
+    int key_index = -1;
+    for (size_t g = 0; g < b.group_by.size(); ++g) {
+      if (ExprEquals(*b.group_by[g], *def)) key_index = static_cast<int>(g);
+    }
+    if (key_index < 0) return false;
+    for (const auto& set : b.grouping_sets) {
+      bool in_set = false;
+      for (int k : set) {
+        if (k == key_index) in_set = true;
+      }
+      if (!in_set) return false;
+    }
+  }
+  return true;
+}
+
+bool ColumnPushableIntoView(const QueryBlock& v, const std::string& col) {
+  if (v.IsSetOp()) {
+    for (size_t bi = 0; bi < v.branches.size(); ++bi) {
+      if (v.branches[bi]->IsSetOp()) return false;
+      if (!ColumnPushableBranch(*v.branches[bi], BranchColumnMap(v, bi), col)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return ColumnPushable(v, col);
+}
+
+std::vector<JppdCandidate> FindCandidates(QueryBlock* root) {
+  std::vector<JppdCandidate> out;
+  VisitAllBlocks(root, [&](QueryBlock* b) {
+    if (b->IsSetOp()) return;
+    for (size_t i = 0; i < b->from.size(); ++i) {
+      TableRef& tr = b->from[i];
+      if (!ViewEligible(tr)) continue;
+      JppdCandidate cand;
+      cand.block = b;
+      cand.from_index = i;
+      cand.preds_in_join_conds = tr.join != JoinKind::kInner;
+      const std::vector<ExprPtr>& preds =
+          cand.preds_in_join_conds ? tr.join_conds : b->where;
+      for (size_t p = 0; p < preds.size(); ++p) {
+        std::string col;
+        const Expr* other = nullptr;
+        if (!PushableEquality(*preds[p], tr.alias, &col, &other)) continue;
+        if (!ColumnPushableIntoView(*tr.derived, col)) continue;
+        // For inner-joined views the other side must reference at least one
+        // sibling (otherwise it is just a filter, not a join predicate).
+        if (!cand.preds_in_join_conds) {
+          bool refs_sibling = false;
+          for (const auto& e : b->from) {
+            if (e.alias != tr.alias && ExprUsesAlias(*other, e.alias)) {
+              refs_sibling = true;
+            }
+          }
+          if (!refs_sibling) continue;
+        }
+        cand.pred_indices.push_back(p);
+      }
+      if (!cand.pred_indices.empty()) out.push_back(std::move(cand));
+    }
+  });
+  return out;
+}
+
+void PushPredIntoView(QueryBlock* view, const std::string& valias,
+                      ExprPtr pred) {
+  if (view->IsSetOp()) {
+    for (size_t bi = 0; bi < view->branches.size(); ++bi) {
+      auto& b = view->branches[bi];
+      auto colmap = BranchColumnMap(*view, bi);
+      ExprPtr copy = pred->Clone();
+      RewriteColumnRefs(&copy, [&](const Expr& ref) -> ExprPtr {
+        if (ref.table_alias != valias) return nullptr;
+        auto it = colmap.find(ref.column_name);
+        if (it == colmap.end()) return nullptr;
+        return it->second->Clone();
+      });
+      b->where.push_back(std::move(copy));
+    }
+    return;
+  }
+  auto colmap = ViewColumnMap(*view);
+  RewriteColumnRefs(&pred, [&](const Expr& ref) -> ExprPtr {
+    if (ref.table_alias != valias) return nullptr;
+    auto it = colmap.find(ref.column_name);
+    if (it == colmap.end()) return nullptr;
+    return it->second->Clone();
+  });
+  view->where.push_back(std::move(pred));
+}
+
+void ApplyJppd(TransformContext& ctx, const JppdCandidate& cand) {
+  QueryBlock* b = cand.block;
+  TableRef& tr = b->from[cand.from_index];
+  QueryBlock& view = *tr.derived;
+
+  // Record which view output columns get an equality pushed (for the
+  // duplicate-operator removal below).
+  std::set<std::string> pushed_cols;
+
+  std::vector<ExprPtr>& source =
+      cand.preds_in_join_conds ? tr.join_conds : b->where;
+  // Remove in reverse index order.
+  std::vector<ExprPtr> to_push;
+  for (size_t k = cand.pred_indices.size(); k-- > 0;) {
+    size_t p = cand.pred_indices[k];
+    std::string col;
+    const Expr* other = nullptr;
+    if (PushableEquality(*source[p], tr.alias, &col, &other)) {
+      pushed_cols.insert(col);
+    }
+    to_push.push_back(std::move(source[p]));
+    source.erase(source.begin() + static_cast<long>(p));
+  }
+  for (auto& pred : to_push) {
+    PushPredIntoView(&view, tr.alias, std::move(pred));
+  }
+  tr.lateral = true;
+
+  // Q12 -> Q13: remove DISTINCT / GROUP BY when the pushed equalities cover
+  // every duplicate-removal column of an aggregate-free view, converting
+  // the join into a semijoin.
+  if (!view.IsSetOp() && tr.join == JoinKind::kInner &&
+      tr.join_conds.empty()) {
+    bool has_aggregates = view.IsAggregating() && [&] {
+      for (const auto& item : view.select) {
+        if (ContainsAggregate(*item.expr)) return true;
+      }
+      return false;
+    }();
+    bool removable = false;
+    if (view.distinct && !has_aggregates) {
+      removable = true;
+      for (const auto& item : view.select) {
+        if (pushed_cols.count(item.alias) == 0) removable = false;
+      }
+    } else if (!view.group_by.empty() && !has_aggregates &&
+               view.grouping_sets.empty()) {
+      removable = true;
+      auto colmap = ViewColumnMap(view);
+      for (const auto& g : view.group_by) {
+        bool covered = false;
+        for (const auto& col : pushed_cols) {
+          auto it = colmap.find(col);
+          if (it != colmap.end() && ExprEquals(*it->second, *g)) {
+            covered = true;
+          }
+        }
+        if (!covered) removable = false;
+      }
+    }
+    if (removable) {
+      // The view's outputs must not be referenced elsewhere (a semijoin
+      // hides them).
+      std::set<const Expr*> none;
+      if (CountAliasUses(*ctx.root, tr.alias, none) == 0) {
+        view.distinct = false;
+        view.group_by.clear();
+        tr.join = JoinKind::kSemi;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int JoinPredicatePushdownTransformation::CountObjects(
+    const TransformContext& ctx) const {
+  return static_cast<int>(FindCandidates(ctx.root).size());
+}
+
+Status JoinPredicatePushdownTransformation::Apply(
+    TransformContext& ctx, const std::vector<bool>& bits) const {
+  auto candidates = FindCandidates(ctx.root);
+  if (candidates.size() != bits.size()) {
+    return Status::Internal("jppd object count changed");
+  }
+  // Within a block, applying one candidate erases WHERE conjuncts, which
+  // shifts other candidates' predicate indices. Apply in reverse order of
+  // enumeration; since predicate indices were collected ascending per
+  // candidate and candidates of the same block are ordered by from index,
+  // we conservatively re-enumerate after each application instead.
+  for (size_t i = candidates.size(); i-- > 0;) {
+    if (!bits[i]) continue;
+    // Re-find this candidate by (block, from_index) to get fresh indices.
+    auto fresh = FindCandidates(ctx.root);
+    const JppdCandidate* match = nullptr;
+    for (const auto& f : fresh) {
+      if (f.block == candidates[i].block &&
+          f.from_index == candidates[i].from_index) {
+        match = &f;
+      }
+    }
+    if (match == nullptr) continue;  // invalidated by a prior application
+    ApplyJppd(ctx, *match);
+  }
+  return Status::OK();
+}
+
+bool JoinPredicatePushdownTransformation::HeuristicDecision(
+    const TransformContext& ctx, int index) const {
+  auto candidates = FindCandidates(ctx.root);
+  if (index < 0 || index >= static_cast<int>(candidates.size())) return false;
+  const JppdCandidate& cand = candidates[static_cast<size_t>(index)];
+  const TableRef& tr = cand.block->from[cand.from_index];
+  const QueryBlock* v = tr.derived.get();
+  if (v->IsSetOp()) v = v->branches[0].get();
+  const std::vector<ExprPtr>& preds =
+      cand.preds_in_join_conds ? tr.join_conds : cand.block->where;
+  auto colmap = ViewColumnMap(*tr.derived);
+  for (size_t p : cand.pred_indices) {
+    std::string col;
+    const Expr* other = nullptr;
+    if (!PushableEquality(*preds[p], tr.alias, &col, &other)) continue;
+    auto it = colmap.find(col);
+    if (it == colmap.end()) continue;
+    const Expr* def = it->second;
+    if (def->kind != ExprKind::kColumnRef) continue;
+    int idx = v->FindFrom(def->table_alias);
+    if (idx < 0) continue;
+    const TableRef& inner_tr = v->from[static_cast<size_t>(idx)];
+    if (inner_tr.IsBaseTable() && inner_tr.table_def != nullptr &&
+        !inner_tr.table_def->FindIndexCovering({def->column_name}).empty()) {
+      return true;  // an index inside the view: push
+    }
+  }
+  return false;
+}
+
+}  // namespace cbqt

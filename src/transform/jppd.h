@@ -1,0 +1,35 @@
+#ifndef CBQT_TRANSFORM_JPPD_H_
+#define CBQT_TRANSFORM_JPPD_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// Cost-based join predicate pushdown (paper §2.2.3): pushes equality join
+/// predicates inside distinct / group-by / UNION-ALL / semi- / anti- /
+/// outer-joined views. Inside the view the pushed predicate acts like a
+/// correlation, so the view becomes LATERAL, must follow the tables it now
+/// references, and is joined by nested loop — opening index access paths
+/// that plain views cannot use.
+///
+/// When the pushed equalities cover *all* DISTINCT/GROUP BY columns of an
+/// aggregate-free view, the duplicate-removing operator is deleted and the
+/// join converted to a semijoin (Q12 -> Q13).
+///
+/// Each view with at least one pushable predicate is one state-space
+/// object. Heuristic decision: push when some pushed column maps to an
+/// indexed base column inside the view.
+class JoinPredicatePushdownTransformation : public CostBasedTransformation {
+ public:
+  std::string Name() const override { return "jppd"; }
+  int CountObjects(const TransformContext& ctx) const override;
+  Status Apply(TransformContext& ctx,
+               const std::vector<bool>& bits) const override;
+  bool HeuristicDecision(const TransformContext& ctx,
+                         int index) const override;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_JPPD_H_

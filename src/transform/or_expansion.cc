@@ -1,0 +1,102 @@
+#include "transform/or_expansion.h"
+
+#include "transform/transform_util.h"
+
+namespace cbqt {
+
+namespace {
+
+// Collects the disjuncts of a top-level OR tree.
+void CollectDisjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kBinary && e.bop == BinaryOp::kOr) {
+    CollectDisjuncts(*e.children[0], out);
+    CollectDisjuncts(*e.children[1], out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+int FindExpandableConjunct(const QueryBlock& b) {
+  if (b.IsSetOp() || b.IsAggregating() || b.distinct || b.from.empty() ||
+      b.rownum_limit >= 0 || !b.order_by.empty() || !b.grouping_sets.empty()) {
+    return -1;
+  }
+  for (const auto& item : b.select) {
+    if (ContainsWindow(*item.expr) || ContainsRownum(*item.expr) ||
+        ContainsSubquery(*item.expr)) {
+      return -1;
+    }
+  }
+  for (size_t i = 0; i < b.where.size(); ++i) {
+    const Expr& w = *b.where[i];
+    if (w.kind != ExprKind::kBinary || w.bop != BinaryOp::kOr) continue;
+    if (ContainsSubquery(w) || ContainsRownum(w)) continue;
+    std::vector<const Expr*> disjuncts;
+    CollectDisjuncts(w, &disjuncts);
+    if (disjuncts.size() >= 2 && disjuncts.size() <= 4) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<QueryBlock*> FindCandidates(QueryBlock* root) {
+  std::vector<QueryBlock*> out;
+  VisitAllBlocks(root, [&](QueryBlock* b) {
+    if (FindExpandableConjunct(*b) >= 0) out.push_back(b);
+  });
+  return out;
+}
+
+void ExpandOr(QueryBlock* b) {
+  int idx = FindExpandableConjunct(*b);
+  ExprPtr disjunction = std::move(b->where[static_cast<size_t>(idx)]);
+  b->where.erase(b->where.begin() + idx);
+
+  std::vector<const Expr*> disjuncts;
+  CollectDisjuncts(*disjunction, &disjuncts);
+
+  std::vector<std::unique_ptr<QueryBlock>> branches;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    auto branch = b->Clone();
+    branch->where.push_back(disjuncts[i]->Clone());
+    // LNNVL guards against the earlier disjuncts keep branches disjoint
+    // without a DISTINCT (duplicate-preserving, like Oracle's OR expansion).
+    for (size_t j = 0; j < i; ++j) {
+      branch->where.push_back(
+          MakeUnary(UnaryOp::kLnnvl, disjuncts[j]->Clone()));
+    }
+    branches.push_back(std::move(branch));
+  }
+
+  b->select.clear();
+  b->from.clear();
+  b->where.clear();
+  b->group_by.clear();
+  b->having.clear();
+  b->order_by.clear();
+  b->set_op = SetOpKind::kUnionAll;
+  b->branches = std::move(branches);
+}
+
+}  // namespace
+
+int OrExpansionTransformation::CountObjects(const TransformContext& ctx) const {
+  return static_cast<int>(FindCandidates(ctx.root).size());
+}
+
+Status OrExpansionTransformation::Apply(TransformContext& ctx,
+                                        const std::vector<bool>& bits) const {
+  auto candidates = FindCandidates(ctx.root);
+  if (candidates.size() != bits.size()) {
+    return Status::Internal("or-expansion object count changed");
+  }
+  for (size_t i = candidates.size(); i-- > 0;) {
+    if (!bits[i]) continue;
+    if (FindExpandableConjunct(*candidates[i]) < 0) continue;
+    ExpandOr(candidates[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace cbqt

@@ -1,0 +1,34 @@
+#ifndef CBQT_TRANSFORM_OR_EXPANSION_H_
+#define CBQT_TRANSFORM_OR_EXPANSION_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// Cost-based disjunction-into-UNION-ALL expansion (paper §2.2.8): a block
+/// whose WHERE contains a top-level disjunction `p1 OR p2 OR ... OR pn`
+/// expands into a UNION ALL of n copies of the block, branch i filtered by
+/// `p_i AND LNNVL(p_1) AND ... AND LNNVL(p_{i-1})` — the LNNVL guards keep
+/// rows from appearing in two branches, preserving duplicate semantics
+/// without a DISTINCT.
+///
+/// Objects: blocks with an expandable disjunction (the first one per
+/// block). Never applied heuristically.
+class OrExpansionTransformation : public CostBasedTransformation {
+ public:
+  std::string Name() const override { return "or-expansion"; }
+  int CountObjects(const TransformContext& ctx) const override;
+  Status Apply(TransformContext& ctx,
+               const std::vector<bool>& bits) const override;
+  bool HeuristicDecision(const TransformContext& ctx,
+                         int index) const override {
+    (void)ctx;
+    (void)index;
+    return false;
+  }
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_OR_EXPANSION_H_

@@ -1,0 +1,261 @@
+#include "transform/predicate_moveround.h"
+
+#include <map>
+
+#include "transform/transform_util.h"
+
+namespace cbqt {
+
+namespace {
+
+struct ColKey {
+  std::string alias;
+  std::string column;
+  bool operator<(const ColKey& o) const {
+    if (alias != o.alias) return alias < o.alias;
+    return column < o.column;
+  }
+  bool operator==(const ColKey& o) const {
+    return alias == o.alias && column == o.column;
+  }
+};
+
+// Union-find over columns for the block's equi-join classes.
+class ColumnClasses {
+ public:
+  int Id(const ColKey& k) {
+    auto it = ids_.find(k);
+    if (it != ids_.end()) return it->second;
+    int id = static_cast<int>(parent_.size());
+    ids_[k] = id;
+    parent_.push_back(id);
+    keys_.push_back(k);
+    return id;
+  }
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void Union(const ColKey& a, const ColKey& b) {
+    int ra = Find(Id(a));
+    int rb = Find(Id(b));
+    if (ra != rb) parent_[static_cast<size_t>(ra)] = rb;
+  }
+  std::vector<ColKey> Members(const ColKey& k) {
+    std::vector<ColKey> out;
+    auto it = ids_.find(k);
+    if (it == ids_.end()) return out;
+    int root = Find(it->second);
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (Find(static_cast<int>(i)) == root) out.push_back(keys_[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::map<ColKey, int> ids_;
+  std::vector<int> parent_;
+  std::vector<ColKey> keys_;
+};
+
+bool ConjunctExists(const QueryBlock& qb, const Expr& candidate) {
+  for (const auto& w : qb.where) {
+    if (ExprEquals(*w, candidate)) return true;
+  }
+  return false;
+}
+
+// (1) transitive move-across within one block.
+bool TransitivePredicates(QueryBlock* qb) {
+  ColumnClasses classes;
+  for (const auto& w : qb->where) {
+    const Expr* l = nullptr;
+    const Expr* r = nullptr;
+    if (w->kind == ExprKind::kBinary && w->bop == BinaryOp::kEq &&
+        IsJoinPredicate(*w, &l, &r)) {
+      classes.Union(ColKey{l->table_alias, l->column_name},
+                    ColKey{r->table_alias, r->column_name});
+    }
+  }
+  std::vector<ExprPtr> additions;
+  for (const auto& w : qb->where) {
+    // col cmp literal
+    if (w->kind != ExprKind::kBinary || !IsComparisonOp(w->bop)) continue;
+    const Expr* col = nullptr;
+    const Expr* lit = nullptr;
+    BinaryOp op = w->bop;
+    if (w->children[0]->kind == ExprKind::kColumnRef &&
+        w->children[1]->kind == ExprKind::kLiteral) {
+      col = w->children[0].get();
+      lit = w->children[1].get();
+    } else if (w->children[1]->kind == ExprKind::kColumnRef &&
+               w->children[0]->kind == ExprKind::kLiteral) {
+      col = w->children[1].get();
+      lit = w->children[0].get();
+      op = SwapComparison(op);
+    }
+    if (col == nullptr || col->corr_depth != 0) continue;
+    for (const auto& member :
+         classes.Members(ColKey{col->table_alias, col->column_name})) {
+      if (member == ColKey{col->table_alias, col->column_name}) continue;
+      ExprPtr candidate =
+          MakeBinary(op, MakeColumnRef(member.alias, member.column),
+                     MakeLiteral(lit->literal));
+      if (!ConjunctExists(*qb, *candidate)) {
+        bool already_added = false;
+        for (const auto& a : additions) {
+          if (ExprEquals(*a, *candidate)) already_added = true;
+        }
+        if (!already_added) additions.push_back(std::move(candidate));
+      }
+    }
+  }
+  if (additions.empty()) return false;
+  for (auto& a : additions) qb->where.push_back(std::move(a));
+  return true;
+}
+
+// Legality of pushing a predicate that references view output columns
+// `used_cols` into view block `view` (a regular block). `colmap` maps the
+// view's visible output names to this block's defining expressions.
+bool PushableIntoRegularView(const QueryBlock& view,
+                             const std::map<std::string, const Expr*>& colmap,
+                             const std::vector<std::string>& used_cols) {
+  for (const auto& c : used_cols) {
+    auto it = colmap.find(c);
+    if (it == colmap.end()) return false;
+    const Expr* def = it->second;
+    if (ContainsWindow(*def) || ContainsAggregate(*def) ||
+        ContainsSubquery(*def) || ContainsRownum(*def)) {
+      return false;
+    }
+    if (view.IsAggregating()) {
+      // Must be (equal to) a grouping expression — and, under GROUPING
+      // SETS, one present in *every* set: a set without the key emits NULL
+      // for it, which the pushed-down (pre-aggregation) predicate could not
+      // filter. Group pruning (§2.1.4) removes such sets first; only then
+      // does pushing become legal.
+      int key_index = -1;
+      for (size_t g = 0; g < view.group_by.size(); ++g) {
+        if (ExprEquals(*view.group_by[g], *def)) {
+          key_index = static_cast<int>(g);
+        }
+      }
+      if (key_index < 0) return false;
+      for (const auto& set : view.grouping_sets) {
+        bool in_set = false;
+        for (int k : set) {
+          if (k == key_index) in_set = true;
+        }
+        if (!in_set) return false;
+      }
+    }
+    // Pushing below window functions requires the column to be in the
+    // PARTITION BY of every window function the view computes (paper Q7/Q8).
+    for (const auto& item : view.select) {
+      bool checked = false;
+      VisitExprConst(item.expr.get(), [&](const Expr* x) {
+        if (x->kind != ExprKind::kWindow || checked) return;
+        bool in_pby = false;
+        for (const auto& p : x->partition_by) {
+          if (ExprEquals(*p, *def)) in_pby = true;
+        }
+        if (!in_pby) checked = true;  // mark failure
+      });
+      if (checked) return false;
+    }
+  }
+  if (view.rownum_limit >= 0) return false;  // filtering changes the cutoff
+  return true;
+}
+
+ExprPtr RewriteForView(const Expr& pred, const std::string& valias,
+                       const std::map<std::string, const Expr*>& colmap) {
+  ExprPtr copy = pred.Clone();
+  RewriteColumnRefs(&copy, [&](const Expr& ref) -> ExprPtr {
+    if (ref.table_alias != valias) return nullptr;
+    auto it = colmap.find(ref.column_name);
+    if (it == colmap.end()) return nullptr;
+    return it->second->Clone();
+  });
+  return copy;
+}
+
+// (2) pushdown into views of one block.
+bool PushIntoViews(QueryBlock* qb) {
+  bool changed = false;
+  std::vector<ExprPtr> kept;
+  for (auto& w : qb->where) {
+    std::string alias;
+    bool pushed = false;
+    // Only *inexpensive* predicates move around (paper §2.1.3); pushing an
+    // expensive predicate down would undo cost-based predicate pullup.
+    if (!ContainsRownum(*w) && !ContainsExpensivePredicate(*w) &&
+        IsSingleTableFilter(*w, &alias)) {
+      int idx = qb->FindFrom(alias);
+      if (idx >= 0) {
+        TableRef& tr = qb->from[static_cast<size_t>(idx)];
+        if (!tr.IsBaseTable() && !tr.no_merge && !tr.lateral &&
+            tr.join == JoinKind::kInner) {
+          std::vector<std::string> used;
+          for (const Expr* ref : CollectLocalColumnRefs(*w)) {
+            used.push_back(ref->column_name);
+          }
+          if (tr.derived->IsSetOp()) {
+            bool all_ok = tr.derived->set_op == SetOpKind::kUnionAll ||
+                          tr.derived->set_op == SetOpKind::kUnion;
+            for (size_t bi = 0; bi < tr.derived->branches.size(); ++bi) {
+              const auto& b = tr.derived->branches[bi];
+              auto colmap = BranchColumnMap(*tr.derived, bi);
+              if (b->IsSetOp() || !PushableIntoRegularView(*b, colmap, used)) {
+                all_ok = false;
+              }
+            }
+            if (all_ok) {
+              for (size_t bi = 0; bi < tr.derived->branches.size(); ++bi) {
+                auto colmap = BranchColumnMap(*tr.derived, bi);
+                tr.derived->branches[bi]->where.push_back(
+                    RewriteForView(*w, alias, colmap));
+              }
+              pushed = true;
+            }
+          } else if (PushableIntoRegularView(*tr.derived,
+                                             ViewColumnMap(*tr.derived),
+                                             used)) {
+            auto colmap = ViewColumnMap(*tr.derived);
+            tr.derived->where.push_back(RewriteForView(*w, alias, colmap));
+            pushed = true;
+          }
+        }
+      }
+    }
+    if (pushed) {
+      changed = true;
+    } else {
+      kept.push_back(std::move(w));
+    }
+  }
+  qb->where = std::move(kept);
+  return changed;
+}
+
+}  // namespace
+
+Result<bool> MovePredicatesAround(TransformContext& ctx) {
+  bool changed = false;
+  for (int round = 0; round < 3; ++round) {
+    bool round_changed = false;
+    VisitAllBlocks(ctx.root, [&](QueryBlock* b) {
+      if (b->IsSetOp()) return;
+      if (TransitivePredicates(b)) round_changed = true;
+      if (PushIntoViews(b)) round_changed = true;
+    });
+    if (!round_changed) break;
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace cbqt

@@ -1,0 +1,23 @@
+#ifndef CBQT_TRANSFORM_PREDICATE_MOVEROUND_H_
+#define CBQT_TRANSFORM_PREDICATE_MOVEROUND_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// Filter predicate move-around (paper §2.1.3, imperative):
+///  * transitive predicate generation across equi-join equivalence classes
+///    ("move across": a literal filter on one side of an equi join spawns
+///    the same filter on the other side);
+///  * pushdown of single-view filters into derived tables — through plain
+///    views, group-by views (group columns only), set-operation branches,
+///    and window functions via their PARTITION BY columns (pushing through
+///    ORDER BY would need range analysis and is not attempted, matching the
+///    paper's "requires analysis" caveat).
+/// Returns whether anything changed; caller re-binds.
+Result<bool> MovePredicatesAround(TransformContext& ctx);
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_PREDICATE_MOVEROUND_H_

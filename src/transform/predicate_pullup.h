@@ -1,0 +1,36 @@
+#ifndef CBQT_TRANSFORM_PREDICATE_PULLUP_H_
+#define CBQT_TRANSFORM_PREDICATE_PULLUP_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// Cost-based predicate pullup (paper §2.2.6, Q16 -> Q17): hoists expensive
+/// predicates out of a view into the containing query when the containing
+/// query has a ROWNUM cutoff and the view contains a blocking operator
+/// (ORDER BY / DISTINCT). The expensive predicate is then evaluated lazily
+/// under the ROWNUM limit — on roughly `limit / selectivity` rows instead
+/// of the full data set.
+///
+/// Objects: individual expensive predicates eligible for pullup (Q16's two
+/// predicates give 3 + 1 = 4 exhaustive states, matching the paper's "three
+/// ways ... can be applied" plus the identity). Never applied heuristically
+/// (the paper makes this decision purely by cost).
+class PredicatePullupTransformation : public CostBasedTransformation {
+ public:
+  std::string Name() const override { return "predicate-pullup"; }
+  int CountObjects(const TransformContext& ctx) const override;
+  Status Apply(TransformContext& ctx,
+               const std::vector<bool>& bits) const override;
+  bool HeuristicDecision(const TransformContext& ctx,
+                         int index) const override {
+    (void)ctx;
+    (void)index;
+    return false;
+  }
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_PREDICATE_PULLUP_H_

@@ -1,0 +1,111 @@
+#include "transform/setop_to_join.h"
+
+#include "binder/binder.h"
+#include "transform/transform_util.h"
+
+namespace cbqt {
+
+namespace {
+
+// Two state-space objects per INTERSECT/MINUS block: bit one converts the
+// set operator into a join; bit two moves the duplicate removal from the
+// join's output to its inputs — the paper's "cost-based decision ... as to
+// whether duplicates should be removed at the inputs or the output of the
+// joins" (§2.2.7, "similar to distinct placement").
+struct SetOpCandidate {
+  QueryBlock* block;
+  bool input_dedup_variant;
+};
+
+std::vector<SetOpCandidate> FindCandidates(QueryBlock* root) {
+  std::vector<SetOpCandidate> out;
+  VisitAllBlocks(root, [&](QueryBlock* b) {
+    if ((b->set_op == SetOpKind::kIntersect ||
+         b->set_op == SetOpKind::kMinus) &&
+        b->branches.size() == 2) {
+      out.push_back(SetOpCandidate{b, false});
+      out.push_back(SetOpCandidate{b, true});
+    }
+  });
+  return out;
+}
+
+void ConvertSetOp(TransformContext& ctx, QueryBlock* b, bool input_dedup) {
+  JoinKind kind =
+      b->set_op == SetOpKind::kIntersect ? JoinKind::kSemi : JoinKind::kAnti;
+  std::string a1 = GlobalUniqueAlias(*ctx.root, "vw_st");
+  auto left = std::move(b->branches[0]);
+  auto right = std::move(b->branches[1]);
+  std::string a2 = a1 + "r";
+
+  auto lcols = BlockOutputColumns(*left);
+  auto rcols = BlockOutputColumns(*right);
+
+  b->set_op = SetOpKind::kNone;
+  b->branches.clear();
+  // Input dedup requires a regular left branch (DISTINCT on a compound
+  // block has no meaning); fall back to output dedup otherwise.
+  if (input_dedup && left->IsSetOp()) input_dedup = false;
+  if (input_dedup) {
+    // Dedup at the inputs: the left branch becomes DISTINCT, after which
+    // the semijoin/antijoin preserves uniqueness and no output DISTINCT is
+    // needed. (The right side of a semi/antijoin never multiplies rows.)
+    left->distinct = true;
+    b->distinct = false;
+  } else {
+    b->distinct = true;
+  }
+
+  TableRef lref;
+  lref.alias = a1;
+  lref.derived = std::move(left);
+  TableRef rref;
+  rref.alias = a2;
+  rref.derived = std::move(right);
+  rref.join = kind;
+  for (size_t i = 0; i < lcols.size() && i < rcols.size(); ++i) {
+    // Null-safe equality: INTERSECT/MINUS match NULLs (paper §2.2.7).
+    rref.join_conds.push_back(
+        MakeBinary(BinaryOp::kNullSafeEq, MakeColumnRef(a1, lcols[i].name),
+                   MakeColumnRef(a2, rcols[i].name)));
+  }
+  for (const auto& col : lcols) {
+    SelectItem item;
+    item.expr = MakeColumnRef(a1, col.name);
+    item.alias = col.name;
+    b->select.push_back(std::move(item));
+  }
+  b->from.push_back(std::move(lref));
+  b->from.push_back(std::move(rref));
+}
+
+}  // namespace
+
+int SetOpToJoinTransformation::CountObjects(const TransformContext& ctx) const {
+  return static_cast<int>(FindCandidates(ctx.root).size());
+}
+
+Status SetOpToJoinTransformation::Apply(TransformContext& ctx,
+                                        const std::vector<bool>& bits) const {
+  auto candidates = FindCandidates(ctx.root);
+  if (candidates.size() != bits.size()) {
+    return Status::Internal("setop-to-join object count changed");
+  }
+  // Candidates come in (convert, input-dedup) pairs per block; either bit
+  // converts, the second selects where duplicates are removed. Process per
+  // block in reverse so nested candidates stay valid.
+  for (size_t i = 0; i < candidates.size(); i += 2) {
+    size_t j = candidates.size() - 2 - i;
+    bool convert = bits[j] || bits[j + 1];
+    if (!convert) continue;
+    QueryBlock* block = candidates[j].block;
+    if (block->set_op != SetOpKind::kIntersect &&
+        block->set_op != SetOpKind::kMinus) {
+      continue;  // already converted via an enclosing application
+    }
+    ConvertSetOp(ctx, block, /*input_dedup=*/bits[j + 1]);
+  }
+  return Status::OK();
+}
+
+}  // namespace cbqt

@@ -1,0 +1,32 @@
+#ifndef CBQT_TRANSFORM_SETOP_TO_JOIN_H_
+#define CBQT_TRANSFORM_SETOP_TO_JOIN_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// Cost-based conversion of set operators into joins (paper §2.2.7):
+/// INTERSECT becomes a null-safe semijoin and MINUS a null-safe antijoin
+/// between the two branches (as derived tables), with DISTINCT applied to
+/// the output. Null-safety (`IS NOT DISTINCT FROM` conditions) preserves
+/// the set operators' NULL-matching semantics, which ordinary joins lack.
+///
+/// Objects: INTERSECT / MINUS blocks. Never applied heuristically.
+class SetOpToJoinTransformation : public CostBasedTransformation {
+ public:
+  std::string Name() const override { return "setop-to-join"; }
+  int CountObjects(const TransformContext& ctx) const override;
+  Status Apply(TransformContext& ctx,
+               const std::vector<bool>& bits) const override;
+  bool HeuristicDecision(const TransformContext& ctx,
+                         int index) const override {
+    (void)ctx;
+    (void)index;
+    return false;
+  }
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_SETOP_TO_JOIN_H_

@@ -1,0 +1,44 @@
+#ifndef CBQT_TRANSFORM_SUBQUERY_UNNEST_H_
+#define CBQT_TRANSFORM_SUBQUERY_UNNEST_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// Heuristic subquery unnesting by *merging* (paper §2.1.1, imperative):
+/// single-table, aggregate-free EXISTS / NOT EXISTS / IN / NOT IN / ANY /
+/// ALL subqueries correlated only to their parent become semijoined /
+/// antijoined FROM entries of the parent. NOT IN and ALL over possibly-NULL
+/// columns use the null-aware antijoin (the paper's "next release" feature,
+/// implemented here). Returns whether anything changed; caller re-binds.
+Result<bool> UnnestSubqueriesByMerge(TransformContext& ctx);
+
+/// Cost-based subquery unnesting that *generates inline views* (paper
+/// §2.2.1):
+///  * correlated scalar aggregate subqueries (`x > (SELECT AVG(..) ..)`)
+///    become inline GROUP BY views joined on the correlation columns
+///    (Q1 -> Q10);
+///  * multi-table EXISTS / NOT EXISTS / IN / NOT IN subqueries become
+///    semi-/anti-joined inline views.
+/// Each unnestable subquery is one state-space object. The heuristic
+/// decision reproduces the pre-10g rule: do NOT unnest when the outer query
+/// has filter predicates and the correlation's local columns are indexed.
+class SubqueryUnnestViewTransformation : public CostBasedTransformation {
+ public:
+  std::string Name() const override { return "unnest-view"; }
+  int CountObjects(const TransformContext& ctx) const override;
+  Status Apply(TransformContext& ctx,
+               const std::vector<bool>& bits) const override;
+  bool HeuristicDecision(const TransformContext& ctx,
+                         int index) const override;
+};
+
+/// True if `e` provably cannot be NULL: a non-NULL literal, or a column
+/// declared NOT NULL / ROWID (resolved against the FROM entries under
+/// `root`).
+bool ProvablyNonNull(const QueryBlock& root, const Expr& e);
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_SUBQUERY_UNNEST_H_

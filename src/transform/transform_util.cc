@@ -1,0 +1,218 @@
+#include "transform/transform_util.h"
+
+#include "transform/group_pruning.h"
+#include "transform/join_elimination.h"
+#include "transform/join_simplification.h"
+#include "transform/predicate_moveround.h"
+#include "transform/subquery_unnest.h"
+#include "transform/view_merge.h"
+
+namespace cbqt {
+
+std::map<std::string, const Expr*> ViewColumnMap(const QueryBlock& view) {
+  std::map<std::string, const Expr*> out;
+  const QueryBlock* block = &view;
+  if (view.IsSetOp() && !view.branches.empty()) block = view.branches[0].get();
+  for (const auto& item : block->select) {
+    out[item.alias] = item.expr.get();
+  }
+  return out;
+}
+
+std::map<std::string, const Expr*> BranchColumnMap(const QueryBlock& setop,
+                                                   size_t branch_idx) {
+  std::map<std::string, const Expr*> out;
+  if (!setop.IsSetOp() || branch_idx >= setop.branches.size()) return out;
+  const QueryBlock& names = *setop.branches[0];
+  const QueryBlock& exprs = *setop.branches[branch_idx];
+  for (size_t i = 0; i < names.select.size() && i < exprs.select.size(); ++i) {
+    out[names.select[i].alias] = exprs.select[i].expr.get();
+  }
+  return out;
+}
+
+bool IsCorrelated(const QueryBlock& sub) {
+  std::set<std::string> inner;
+  CollectDefinedAliases(sub, &inner);
+  bool correlated = false;
+  VisitAllExprs(const_cast<QueryBlock*>(&sub), [&](Expr* e) {
+    if (e->kind == ExprKind::kColumnRef && !e->table_alias.empty() &&
+        inner.count(e->table_alias) == 0) {
+      correlated = true;
+    }
+  });
+  return correlated;
+}
+
+bool CorrelatedOnlyToParent(const QueryBlock& sub, const QueryBlock& parent) {
+  std::set<std::string> inner;
+  CollectDefinedAliases(sub, &inner);
+  std::set<std::string> parent_aliases;
+  for (const auto& tr : parent.from) parent_aliases.insert(tr.alias);
+  bool ok = true;
+  VisitAllExprs(const_cast<QueryBlock*>(&sub), [&](Expr* e) {
+    if (e->kind == ExprKind::kColumnRef && !e->table_alias.empty() &&
+        inner.count(e->table_alias) == 0 &&
+        parent_aliases.count(e->table_alias) == 0) {
+      ok = false;
+    }
+  });
+  return ok;
+}
+
+bool ExtractCorrelatedEqualities(QueryBlock* sub, const QueryBlock& parent,
+                                 std::vector<CorrelatedEq>* eqs,
+                                 std::vector<ExprPtr>* rest) {
+  std::set<std::string> inner;
+  CollectDefinedAliases(*sub, &inner);
+  std::set<std::string> parent_aliases;
+  for (const auto& tr : parent.from) parent_aliases.insert(tr.alias);
+
+  auto refs_only = [&](const Expr& e, const std::set<std::string>& allowed,
+                       bool* any) {
+    bool ok = true;
+    bool found = false;
+    VisitExprDeepConst(&e, [&](const Expr* x) {
+      if (x->kind == ExprKind::kColumnRef && !x->table_alias.empty()) {
+        if (allowed.count(x->table_alias) == 0) {
+          ok = false;
+        } else {
+          found = true;
+        }
+      }
+    });
+    if (any != nullptr) *any = found;
+    return ok;
+  };
+
+  auto touches_outer_fn = [&](const Expr& e) {
+    bool touches = false;
+    VisitExprDeepConst(&e, [&](const Expr* x) {
+      if (x->kind == ExprKind::kColumnRef && !x->table_alias.empty() &&
+          inner.count(x->table_alias) == 0) {
+        touches = true;
+      }
+    });
+    return touches;
+  };
+
+  // Validation pass: every outer-touching conjunct must be `local = outer`.
+  for (const auto& w : sub->where) {
+    if (!touches_outer_fn(*w)) continue;
+    if (w->kind != ExprKind::kBinary || w->bop != BinaryOp::kEq) return false;
+    const Expr& a = *w->children[0];
+    const Expr& b = *w->children[1];
+    bool ok_ab = refs_only(a, inner, nullptr) &&
+                 refs_only(b, parent_aliases, nullptr);
+    bool ok_ba = refs_only(b, inner, nullptr) &&
+                 refs_only(a, parent_aliases, nullptr);
+    if (!ok_ab && !ok_ba) return false;
+  }
+
+  // Extraction pass.
+  std::vector<CorrelatedEq> found_eqs;
+  std::vector<ExprPtr> remaining;
+  for (auto& w : sub->where) {
+    if (!touches_outer_fn(*w)) {
+      remaining.push_back(std::move(w));
+      continue;
+    }
+    CorrelatedEq eq;
+    if (refs_only(*w->children[0], inner, nullptr) &&
+        refs_only(*w->children[1], parent_aliases, nullptr)) {
+      eq.local = std::move(w->children[0]);
+      eq.outer = std::move(w->children[1]);
+    } else {
+      eq.local = std::move(w->children[1]);
+      eq.outer = std::move(w->children[0]);
+    }
+    found_eqs.push_back(std::move(eq));
+  }
+  *eqs = std::move(found_eqs);
+  *rest = std::move(remaining);
+  sub->where.clear();
+  return true;
+}
+
+int CountAliasUses(const QueryBlock& root, const std::string& a,
+                   const std::set<const Expr*>& exclude) {
+  int count = 0;
+  auto counter = [&](const Expr* e) {
+    VisitExprDeepConst(e, [&](const Expr* x) {
+      if (x->kind == ExprKind::kColumnRef && x->table_alias == a) ++count;
+    });
+  };
+  // Walk every expression slot of every block, skipping excluded roots.
+  VisitAllBlocks(const_cast<QueryBlock*>(&root), [&](QueryBlock* b) {
+    VisitLocalExprSlots(b, [&](ExprPtr& slot) {
+      if (exclude.count(slot.get()) == 0) counter(slot.get());
+    });
+  });
+  return count;
+}
+
+bool IsSpjView(const QueryBlock& view) {
+  if (view.IsSetOp()) return false;
+  if (view.distinct || !view.group_by.empty() || !view.having.empty()) {
+    return false;
+  }
+  if (!view.order_by.empty() || view.rownum_limit >= 0) return false;
+  for (const auto& item : view.select) {
+    if (ContainsAggregate(*item.expr) || ContainsWindow(*item.expr) ||
+        ContainsSubquery(*item.expr) || ContainsRownum(*item.expr)) {
+      return false;
+    }
+  }
+  for (const auto& w : view.where) {
+    if (ContainsRownum(*w)) return false;
+  }
+  return true;
+}
+
+Status ApplyHeuristicTransformations(TransformContext& ctx,
+                                     const HeuristicOptions& opts) {
+  // Repeat to fixpoint: transformations enable one another (e.g. a merged
+  // view exposes new unnestable subqueries; unnesting creates SPJ views).
+  for (int round = 0; round < 4; ++round) {
+    bool changed = false;
+    if (opts.outer_join_simplification) {
+      auto r = SimplifyOuterJoins(ctx);
+      if (!r.ok()) return r.status();
+      changed |= r.value();
+    }
+    if (opts.view_merge) {
+      auto r = MergeSpjViews(ctx);
+      if (!r.ok()) return r.status();
+      changed |= r.value();
+    }
+    if (opts.join_elimination) {
+      auto r = EliminateJoins(ctx);
+      if (!r.ok()) return r.status();
+      changed |= r.value();
+    }
+    if (opts.subquery_unnest) {
+      auto r = UnnestSubqueriesByMerge(ctx);
+      if (!r.ok()) return r.status();
+      changed |= r.value();
+    }
+    if (opts.predicate_moveround) {
+      auto r = MovePredicatesAround(ctx);
+      if (!r.ok()) return r.status();
+      changed |= r.value();
+    }
+    if (opts.group_pruning) {
+      auto r = PruneGroups(ctx);
+      if (!r.ok()) return r.status();
+      changed |= r.value();
+    }
+    if (opts.distinct_elimination) {
+      auto r = EliminateDistinct(ctx);
+      if (!r.ok()) return r.status();
+      changed |= r.value();
+    }
+    if (!changed) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace cbqt

@@ -1,0 +1,79 @@
+#ifndef CBQT_TRANSFORM_TRANSFORM_UTIL_H_
+#define CBQT_TRANSFORM_TRANSFORM_UTIL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sql/expr_util.h"
+#include "sql/query_block.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// A correlated equality conjunct of a subquery: `local = outer` where
+/// `local` references only the subquery's own tables and `outer` references
+/// only enclosing blocks' tables.
+struct CorrelatedEq {
+  ExprPtr local;
+  ExprPtr outer;
+};
+
+/// View output column name -> defining select expression.
+std::map<std::string, const Expr*> ViewColumnMap(const QueryBlock& view);
+
+/// For a set-operation view: output column name (branch 0's select aliases,
+/// which are the view's visible columns) -> the *positionally matching*
+/// select expression of branch `branch_idx`. Branches may use different
+/// aliases; set-op outputs align by position.
+std::map<std::string, const Expr*> BranchColumnMap(const QueryBlock& setop,
+                                                   size_t branch_idx);
+
+/// True if every outer reference of `sub` resolves to a FROM alias of
+/// `parent` itself — the paper's "correlated to parent only" unnesting
+/// precondition (§2.1.1).
+bool CorrelatedOnlyToParent(const QueryBlock& sub, const QueryBlock& parent);
+
+/// True if `sub` has any outer reference at all.
+bool IsCorrelated(const QueryBlock& sub);
+
+/// Splits `sub`'s WHERE conjuncts into correlated equalities (local = outer
+/// w.r.t. `parent`) and the rest. Returns false (leaving `sub` untouched)
+/// if some correlated conjunct is not a plain equality with a local column
+/// side — those subqueries are not unnestable by view generation.
+bool ExtractCorrelatedEqualities(QueryBlock* sub, const QueryBlock& parent,
+                                 std::vector<CorrelatedEq>* eqs,
+                                 std::vector<ExprPtr>* rest);
+
+/// Number of references to alias `a` anywhere under `root`, excluding the
+/// expressions in `exclude`.
+int CountAliasUses(const QueryBlock& root, const std::string& a,
+                   const std::set<const Expr*>& exclude);
+
+/// True if the view block is a "simple SPJ" mergeable view: regular block,
+/// no DISTINCT/GROUP BY/HAVING/set-op/window/ROWNUM/ORDER BY, and select
+/// items free of aggregates and subqueries.
+bool IsSpjView(const QueryBlock& view);
+
+/// Applies the full heuristic (imperative) transformation battery to the
+/// tree, bottom-up, repeating to fixpoint: SPJ view merging, join
+/// elimination, heuristic subquery unnesting (merge into semi/antijoin),
+/// group pruning, and filter predicate move-around (paper §2.1).
+/// `enable_unnest` disables the unnesting step (Figure 3's baseline).
+/// Re-binding is the caller's responsibility.
+struct HeuristicOptions {
+  bool view_merge = true;
+  bool join_elimination = true;
+  bool subquery_unnest = true;
+  bool group_pruning = true;
+  bool predicate_moveround = true;
+  bool outer_join_simplification = true;
+  bool distinct_elimination = true;
+};
+Status ApplyHeuristicTransformations(TransformContext& ctx,
+                                     const HeuristicOptions& opts);
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_TRANSFORM_UTIL_H_

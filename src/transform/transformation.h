@@ -1,0 +1,56 @@
+#ifndef CBQT_TRANSFORM_TRANSFORMATION_H_
+#define CBQT_TRANSFORM_TRANSFORMATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/query_block.h"
+#include "storage/database.h"
+
+namespace cbqt {
+
+/// Context shared by all transformations: the root of the query tree being
+/// mutated (alias uniqueness and rebinding are root-scoped) and the database
+/// (catalog for legality checks, statistics for heuristic rules).
+struct TransformContext {
+  QueryBlock* root = nullptr;
+  const Database* db = nullptr;
+};
+
+/// A cost-based transformation in the paper's sense (§3.1): it applies to N
+/// *objects* found in the query tree (subqueries, views, join-graph nodes,
+/// expensive predicates, ...), and a transformation *state* is a bit vector
+/// selecting which objects to transform.
+///
+/// Object identity across deep copies: `CountObjects` enumerates objects in
+/// a deterministic tree order, and `Apply` re-enumerates on the (copied)
+/// tree, transforming the i-th object iff bits[i]. Every state is applied to
+/// a fresh copy of the same original tree, so enumeration is stable.
+class CostBasedTransformation {
+ public:
+  virtual ~CostBasedTransformation() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Number of applicable objects in the tree.
+  virtual int CountObjects(const TransformContext& ctx) const = 0;
+
+  /// Mutates the tree, transforming selected objects. The caller re-binds
+  /// afterwards. bits.size() must equal CountObjects() on this tree.
+  virtual Status Apply(TransformContext& ctx,
+                       const std::vector<bool>& bits) const = 0;
+
+  /// Heuristic-mode decision for object i (used when cost-based
+  /// transformation is disabled, Figure 2's baseline): whether the legacy
+  /// heuristic rule would transform this object. Default: transform always.
+  virtual bool HeuristicDecision(const TransformContext& ctx, int index) const {
+    (void)ctx;
+    (void)index;
+    return true;
+  }
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_TRANSFORMATION_H_

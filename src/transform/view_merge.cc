@@ -1,0 +1,93 @@
+#include "transform/view_merge.h"
+
+#include "transform/transform_util.h"
+
+namespace cbqt {
+
+namespace {
+
+// Finds one mergeable view in `qb` (not descending); returns its index or -1.
+int FindMergeableView(const QueryBlock& qb) {
+  for (size_t i = 0; i < qb.from.size(); ++i) {
+    const TableRef& tr = qb.from[i];
+    if (tr.IsBaseTable() || tr.no_merge || tr.lateral) continue;
+    if (!IsSpjView(*tr.derived)) continue;
+    if (tr.derived->from.empty()) continue;
+    if (tr.join != JoinKind::kInner && tr.derived->from.size() != 1) {
+      continue;  // non-inner views merge only when single-table
+    }
+    // All view FROM entries must be inner unless the view itself is inner
+    // joined (then non-inner entries splice in unchanged).
+    if (tr.join != JoinKind::kInner &&
+        tr.derived->from[0].join != JoinKind::kInner) {
+      continue;
+    }
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void MergeViewAt(TransformContext& ctx, QueryBlock* qb, int index) {
+  TableRef tr = std::move(qb->from[static_cast<size_t>(index)]);
+  qb->from.erase(qb->from.begin() + index);
+  QueryBlock& view = *tr.derived;
+  std::string valias = tr.alias;
+
+  // Column map (name -> owned expr) before we disturb the view.
+  std::map<std::string, ExprPtr> colmap;
+  for (auto& item : view.select) colmap[item.alias] = std::move(item.expr);
+
+  if (tr.join == JoinKind::kInner) {
+    // Splice the view's FROM entries at the view's position and its WHERE
+    // into the outer WHERE.
+    for (size_t k = 0; k < view.from.size(); ++k) {
+      qb->from.insert(qb->from.begin() + index + static_cast<long>(k),
+                      std::move(view.from[k]));
+    }
+    for (auto& w : view.where) qb->where.push_back(std::move(w));
+  } else {
+    // Single-table non-inner view: the table inherits the view's join kind
+    // and conditions; the view's WHERE predicates become join conditions
+    // (they filter the right side before the semi/anti/outer join).
+    TableRef entry = std::move(view.from[0]);
+    entry.join = tr.join;
+    entry.join_conds = std::move(tr.join_conds);
+    for (auto& w : view.where) entry.join_conds.push_back(std::move(w));
+    qb->from.insert(qb->from.begin() + index, std::move(entry));
+  }
+
+  // Rewrite references to the view's outputs throughout the block subtree
+  // (including its nested subqueries). Note join_conds moved above are now
+  // owned by qb's FROM entries and get rewritten too.
+  RewriteColumnRefsInBlock(qb, [&](const Expr& ref) -> ExprPtr {
+    if (ref.table_alias != valias) return nullptr;
+    auto it = colmap.find(ref.column_name);
+    if (it == colmap.end()) return nullptr;
+    return it->second->Clone();
+  });
+  (void)ctx;
+}
+
+}  // namespace
+
+Result<bool> MergeSpjViews(TransformContext& ctx) {
+  bool changed = false;
+  for (int guard = 0; guard < 64; ++guard) {
+    QueryBlock* target = nullptr;
+    int index = -1;
+    VisitAllBlocks(ctx.root, [&](QueryBlock* b) {
+      if (target != nullptr) return;
+      int i = FindMergeableView(*b);
+      if (i >= 0) {
+        target = b;
+        index = i;
+      }
+    });
+    if (target == nullptr) break;
+    MergeViewAt(ctx, target, index);
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace cbqt

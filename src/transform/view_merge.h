@@ -1,0 +1,19 @@
+#ifndef CBQT_TRANSFORM_VIEW_MERGE_H_
+#define CBQT_TRANSFORM_VIEW_MERGE_H_
+
+#include "common/status.h"
+#include "transform/transformation.h"
+
+namespace cbqt {
+
+/// SPJ view merging (paper §2.1, imperative): splices simple
+/// select-project-join views into their containing block, removing
+/// restrictions on the join permutations the physical optimizer can
+/// consider. Views joined with semi/anti/outer semantics merge only when
+/// they contain a single table (paper footnote 3). Returns whether anything
+/// changed; caller re-binds.
+Result<bool> MergeSpjViews(TransformContext& ctx);
+
+}  // namespace cbqt
+
+#endif  // CBQT_TRANSFORM_VIEW_MERGE_H_

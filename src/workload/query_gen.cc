@@ -1,0 +1,389 @@
+#include "workload/query_gen.h"
+
+#include "common/str_util.h"
+
+namespace cbqt {
+
+const char* QueryFamilyName(QueryFamily f) {
+  switch (f) {
+    case QueryFamily::kSpj:
+      return "spj";
+    case QueryFamily::kAggSubquery:
+      return "agg-subquery";
+    case QueryFamily::kSemiSubquery:
+      return "semi-subquery";
+    case QueryFamily::kGbView:
+      return "gb-view";
+    case QueryFamily::kDistinctView:
+      return "distinct-view";
+    case QueryFamily::kUnionView:
+      return "union-view";
+    case QueryFamily::kGbp:
+      return "gbp";
+    case QueryFamily::kFactorization:
+      return "factorization";
+    case QueryFamily::kPullup:
+      return "pullup";
+    case QueryFamily::kSetOp:
+      return "setop";
+    case QueryFamily::kOrExpansion:
+      return "or-expansion";
+    case QueryFamily::kWindowView:
+      return "window-view";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* kCountries[] = {"US", "UK", "DE", "JP", "IN", "BR", "FR", "CA"};
+const char* kStatuses[] = {"OPEN", "SHIPPED", "CLOSED", "CANCELLED"};
+const char* kSegments[] = {"RETAIL", "CORP", "GOV", "SMB"};
+
+// A date string whose selectivity over the uniform 12-year range is
+// roughly `keep_fraction` (rows later than the date).
+std::string DateCut(double keep_fraction) {
+  double frac = 1.0 - keep_fraction;
+  int64_t day = static_cast<int64_t>(frac * 360 * 12);
+  int64_t year = 1995 + day / 360;
+  int64_t month = 1 + (day % 360) / 30;
+  int64_t dd = 1 + (day % 30);
+  return StrFormat("%04d%02d%02d", static_cast<int>(year),
+                   static_cast<int>(month), static_cast<int>(dd));
+}
+
+std::string SalaryCut(double keep_fraction) {
+  // salary uniform in [30k, 150k].
+  double v = 30000 + (1.0 - keep_fraction) * 120000;
+  return StrFormat("%.0f", v);
+}
+
+std::string SpjQuery(Rng& rng, const SchemaConfig& cfg) {
+  switch (rng.NextUint(4)) {
+    case 0:
+      return StrFormat(
+          "SELECT e.employee_name, d.dept_name FROM employees e, departments "
+          "d WHERE e.dept_id = d.dept_id AND e.salary > %s AND d.loc_id = %d",
+          SalaryCut(rng.NextDouble() * 0.5).c_str(),
+          static_cast<int>(rng.NextUint(
+              static_cast<uint64_t>(cfg.locations))));
+    case 1:
+      return StrFormat(
+          "SELECT c.cust_name, o.order_id, o.total FROM customers c, orders "
+          "o WHERE o.cust_id = c.cust_id AND o.status = '%s' AND "
+          "c.country_id = '%s'",
+          kStatuses[rng.NextUint(4)], kCountries[rng.NextUint(8)]);
+    case 2:
+      return StrFormat(
+          "SELECT e.employee_name, d.dept_name, l.city FROM employees e, "
+          "departments d, locations l WHERE e.dept_id = d.dept_id AND "
+          "d.loc_id = l.loc_id AND l.country_id = '%s' AND e.salary > %s",
+          kCountries[rng.NextUint(8)],
+          SalaryCut(rng.NextDouble() * 0.4).c_str());
+    default:
+      return StrFormat(
+          "SELECT o.order_id, oi.product_id, oi.price FROM orders o, "
+          "order_items oi WHERE oi.order_id = o.order_id AND o.order_date > "
+          "'%s' AND oi.quantity >= %d",
+          DateCut(0.02 + rng.NextDouble() * 0.2).c_str(),
+          static_cast<int>(1 + rng.NextUint(8)));
+  }
+}
+
+std::string AggSubqueryQuery(Rng& rng, const SchemaConfig& cfg) {
+  (void)cfg;
+  // Outer selectivity varies from very selective (TIS + index wins) to
+  // unselective (unnesting wins) — the Q1 trade-off.
+  double outer_keep = rng.NextBool(0.4) ? 0.002 + rng.NextDouble() * 0.01
+                                        : 0.2 + rng.NextDouble() * 0.6;
+  if (rng.NextBool(0.34)) {
+    // Correlation on an UNindexed column (orders.emp_id): TIS degenerates
+    // to one full scan per distinct correlation value — the unnesting
+    // blowout cases behind the paper's 387% Figure 3 number.
+    return StrFormat(
+        "SELECT e.employee_name FROM employees e WHERE e.salary > %s AND "
+        "e.salary / 40 > (SELECT AVG(o.total) FROM orders o WHERE o.emp_id "
+        "= e.emp_id)",
+        SalaryCut(0.01 + rng.NextDouble() * 0.06).c_str());
+  }
+  if (rng.NextBool(0.5)) {
+    return StrFormat(
+        "SELECT e1.employee_name, j.job_title FROM employees e1, job_history "
+        "j WHERE e1.emp_id = j.emp_id AND j.start_date > '%s' AND e1.salary "
+        "> (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = "
+        "e1.dept_id)",
+        DateCut(outer_keep).c_str());
+  }
+  return StrFormat(
+      "SELECT c.cust_name, o.order_id FROM customers c, orders o WHERE "
+      "o.cust_id = c.cust_id AND o.order_date > '%s' AND o.total > (SELECT "
+      "AVG(o2.total) FROM orders o2 WHERE o2.cust_id = c.cust_id)",
+      DateCut(outer_keep).c_str());
+}
+
+std::string SemiSubqueryQuery(Rng& rng, const SchemaConfig& cfg) {
+  switch (rng.NextUint(6)) {
+    case 5:  // correlated EXISTS on an unindexed column (job_history.dept_id)
+      return StrFormat(
+          "SELECT d.dept_name FROM departments d WHERE d.budget > %.0f AND "
+          "EXISTS (SELECT 1 FROM job_history j WHERE j.dept_id = d.dept_id "
+          "AND j.start_date > '%s')",
+          1e5 + rng.NextDouble() * 3e5,
+          DateCut(0.05 + rng.NextDouble() * 0.5).c_str());
+    case 0:  // single-table EXISTS (heuristic merge territory)
+      return StrFormat(
+          "SELECT d.dept_name FROM departments d WHERE d.budget > %.0f AND "
+          "EXISTS (SELECT 1 FROM employees e WHERE e.dept_id = d.dept_id AND "
+          "e.salary > %s)",
+          1e5 + rng.NextDouble() * 5e5,
+          SalaryCut(0.05 + rng.NextDouble() * 0.3).c_str());
+    case 1:  // multi-table EXISTS (cost-based view unnesting)
+      return StrFormat(
+          "SELECT d.dept_name FROM departments d WHERE EXISTS (SELECT 1 FROM "
+          "employees e, job_history j WHERE e.emp_id = j.emp_id AND "
+          "e.dept_id = d.dept_id AND j.start_date > '%s')",
+          DateCut(0.05 + rng.NextDouble() * 0.5).c_str());
+    case 2:  // IN with a multi-table subquery
+      return StrFormat(
+          "SELECT o.order_id, o.total FROM orders o WHERE o.order_date > "
+          "'%s' AND o.order_id IN (SELECT oi.order_id FROM order_items oi, "
+          "products p WHERE oi.product_id = p.product_id AND p.list_price > "
+          "%.0f)",
+          DateCut(0.05 + rng.NextDouble() * 0.4).c_str(),
+          100 + rng.NextDouble() * 800);
+    case 3:  // NOT EXISTS
+      return StrFormat(
+          "SELECT c.cust_name FROM customers c WHERE c.country_id = '%s' AND "
+          "NOT EXISTS (SELECT 1 FROM orders o WHERE o.cust_id = c.cust_id "
+          "AND o.status = '%s')",
+          kCountries[rng.NextUint(8)], kStatuses[rng.NextUint(4)]);
+    default:  // NOT IN over a nullable column: null-aware antijoin
+      return StrFormat(
+          "SELECT e.employee_name FROM employees e WHERE e.salary > %s AND "
+          "e.emp_id NOT IN (SELECT o.emp_id FROM orders o WHERE o.total > "
+          "%.0f)",
+          SalaryCut(0.02 + rng.NextDouble() * 0.1).c_str(),
+          3000 + rng.NextDouble() * 1900);
+  }
+  (void)cfg;
+}
+
+std::string GbViewQuery(Rng& rng, const SchemaConfig& cfg) {
+  double inner_keep = 0.2 + rng.NextDouble() * 0.8;
+  if (rng.NextBool(0.5)) {
+    return StrFormat(
+        "SELECT d.dept_name, v.avg_sal FROM departments d, (SELECT e.dept_id "
+        "AS dept_id, AVG(e.salary) AS avg_sal FROM employees e WHERE "
+        "e.salary > %s GROUP BY e.dept_id) v WHERE v.dept_id = d.dept_id AND "
+        "d.loc_id = %d",
+        SalaryCut(inner_keep).c_str(),
+        static_cast<int>(rng.NextUint(static_cast<uint64_t>(cfg.locations))));
+  }
+  return StrFormat(
+      "SELECT c.cust_name, v.order_cnt FROM customers c, (SELECT o.cust_id "
+      "AS cust_id, COUNT(o.order_id) AS order_cnt FROM orders o WHERE "
+      "o.order_date > '%s' GROUP BY o.cust_id) v WHERE v.cust_id = "
+      "c.cust_id AND c.segment = '%s'",
+      DateCut(inner_keep).c_str(), kSegments[rng.NextUint(4)]);
+}
+
+std::string DistinctViewQuery(Rng& rng, const SchemaConfig& cfg) {
+  (void)cfg;
+  return StrFormat(
+      "SELECT e.employee_name, e.salary FROM employees e, (SELECT DISTINCT "
+      "j.emp_id AS emp_id FROM job_history j WHERE j.start_date > '%s') v "
+      "WHERE v.emp_id = e.emp_id AND e.salary > %s",
+      DateCut(0.1 + rng.NextDouble() * 0.8).c_str(),
+      SalaryCut(0.01 + rng.NextDouble() * 0.4).c_str());
+}
+
+std::string UnionViewQuery(Rng& rng, const SchemaConfig& cfg) {
+  (void)cfg;
+  return StrFormat(
+      "SELECT c.cust_name, v.total FROM customers c, (SELECT o.cust_id AS "
+      "cust_id, o.total AS total FROM orders o WHERE o.status = 'OPEN' "
+      "UNION ALL SELECT o.cust_id, o.total FROM orders o WHERE o.status = "
+      "'SHIPPED' AND o.total > %.0f) v WHERE v.cust_id = c.cust_id AND "
+      "c.country_id = '%s' AND c.segment = '%s'",
+      500 + rng.NextDouble() * 3000, kCountries[rng.NextUint(8)],
+      kSegments[rng.NextUint(4)]);
+}
+
+std::string GbpQuery(Rng& rng, const SchemaConfig& cfg) {
+  (void)cfg;
+  if (rng.NextBool(0.4)) {
+    // Pre-aggregating order_items by product collapses ~60k rows to ~800
+    // before the join — the eager-aggregation win of Yan & Larson.
+    return StrFormat(
+        "SELECT p.product_name, SUM(oi.price) AS rev, COUNT(oi.quantity) AS "
+        "cnt FROM products p, order_items oi WHERE oi.product_id = "
+        "p.product_id AND p.category_id < %d GROUP BY p.product_name",
+        static_cast<int>(5 + rng.NextUint(35)));
+  }
+  if (rng.NextBool(0.5)) {
+    return StrFormat(
+        "SELECT c.cust_name, SUM(oi.price) AS rev FROM customers c, orders "
+        "o, order_items oi WHERE o.cust_id = c.cust_id AND oi.order_id = "
+        "o.order_id AND c.segment = '%s' GROUP BY c.cust_name",
+        kSegments[rng.NextUint(4)]);
+  }
+  return StrFormat(
+      "SELECT d.dept_name, SUM(e.salary) AS payroll, COUNT(e.emp_id) AS "
+      "headcount FROM departments d, employees e WHERE e.dept_id = "
+      "d.dept_id AND d.loc_id = %d GROUP BY d.dept_name",
+      static_cast<int>(rng.NextUint(50)));
+}
+
+std::string FactorizationQuery(Rng& rng, const SchemaConfig& cfg) {
+  (void)cfg;
+  if (rng.NextBool(0.25)) {
+    // Join predicates differ across branches (emp_id vs mgr_id): only the
+    // lateral variant of factorization applies (paper §2.2.5 extension).
+    std::string cut = SalaryCut(0.05 + rng.NextDouble() * 0.2);
+    return StrFormat(
+        "SELECT e.employee_name, j.job_title FROM employees e, job_history "
+        "j WHERE j.emp_id = e.emp_id AND e.salary > %s UNION ALL SELECT "
+        "e.employee_name, j.job_title FROM employees e, job_history j WHERE "
+        "j.dept_id = e.dept_id AND e.salary > %s",
+        cut.c_str(), cut.c_str());
+  }
+  if (rng.NextBool(0.5)) {
+    // The *large* table (job_history, joined on an unindexed column) is
+    // common and filter-free across the branches; factoring it out scans
+    // and joins it once instead of per branch (Q14 -> Q15's shape).
+    return StrFormat(
+        "SELECT j.job_title, d.dept_name FROM job_history j, departments d "
+        "WHERE j.dept_id = d.dept_id AND d.loc_id = %d UNION ALL SELECT "
+        "j.job_title, d.dept_name FROM job_history j, departments d WHERE "
+        "j.dept_id = d.dept_id AND d.budget > %.0f",
+        static_cast<int>(rng.NextUint(20)), 7e5 + rng.NextDouble() * 2.5e5);
+  }
+  // Common small table: factoring buys little — a losing instance the
+  // cost-based decision should reject.
+  std::string hi = SalaryCut(0.1 + rng.NextDouble() * 0.2);
+  std::string lo = SalaryCut(0.7 + rng.NextDouble() * 0.25);
+  return StrFormat(
+      "SELECT e.employee_name, d.dept_name FROM employees e, departments d "
+      "WHERE e.dept_id = d.dept_id AND e.salary > %s UNION ALL SELECT "
+      "e.employee_name, d.dept_name FROM employees e, departments d WHERE "
+      "e.dept_id = d.dept_id AND e.salary < %s",
+      hi.c_str(), lo.c_str());
+}
+
+std::string PullupQuery(Rng& rng, const SchemaConfig& cfg) {
+  (void)cfg;
+  // expensive_filter(x, m) keeps ~1/m of the rows; the optimizer weighs
+  // full-set evaluation inside the view against lazy evaluation above the
+  // ROWNUM cutoff.
+  int m = static_cast<int>(2 + rng.NextUint(30));
+  int k = static_cast<int>(5 + rng.NextUint(40));
+  return StrFormat(
+      "SELECT v.order_id, v.total FROM (SELECT o.order_id AS order_id, "
+      "o.total AS total, o.order_date AS order_date FROM orders o WHERE "
+      "expensive_filter(o.order_id, %d) = 1 ORDER BY o.order_date) v WHERE "
+      "rownum <= %d",
+      m, k);
+}
+
+std::string SetOpQuery(Rng& rng, const SchemaConfig& cfg) {
+  (void)cfg;
+  const char* op = rng.NextBool(0.5) ? "INTERSECT" : "MINUS";
+  return StrFormat(
+      "SELECT o.cust_id FROM orders o WHERE o.status = '%s' %s SELECT "
+      "o.cust_id FROM orders o WHERE o.total > %.0f",
+      kStatuses[rng.NextUint(4)], op, 1000 + rng.NextDouble() * 3500);
+}
+
+std::string OrExpansionQuery(Rng& rng, const SchemaConfig& cfg) {
+  return StrFormat(
+      "SELECT o.order_id, o.total FROM orders o, customers c WHERE "
+      "o.cust_id = c.cust_id AND (o.order_id = %d OR c.cust_id = %d)",
+      static_cast<int>(rng.NextUint(static_cast<uint64_t>(cfg.orders))),
+      static_cast<int>(rng.NextUint(static_cast<uint64_t>(cfg.customers))));
+}
+
+std::string WindowViewQuery(Rng& rng, const SchemaConfig& cfg) {
+  return StrFormat(
+      "SELECT v.acct_id, v.time, v.ravg FROM (SELECT a.acct_id AS acct_id, "
+      "a.time AS time, AVG(a.balance) OVER (PARTITION BY a.acct_id ORDER BY "
+      "a.time) AS ravg FROM accounts a) v WHERE v.acct_id = %d AND v.time "
+      "<= %d",
+      static_cast<int>(rng.NextUint(static_cast<uint64_t>(cfg.accounts))),
+      static_cast<int>(6 + rng.NextUint(12)));
+}
+
+std::string GenerateOne(QueryFamily f, Rng& rng, const SchemaConfig& cfg) {
+  switch (f) {
+    case QueryFamily::kSpj:
+      return SpjQuery(rng, cfg);
+    case QueryFamily::kAggSubquery:
+      return AggSubqueryQuery(rng, cfg);
+    case QueryFamily::kSemiSubquery:
+      return SemiSubqueryQuery(rng, cfg);
+    case QueryFamily::kGbView:
+      return GbViewQuery(rng, cfg);
+    case QueryFamily::kDistinctView:
+      return DistinctViewQuery(rng, cfg);
+    case QueryFamily::kUnionView:
+      return UnionViewQuery(rng, cfg);
+    case QueryFamily::kGbp:
+      return GbpQuery(rng, cfg);
+    case QueryFamily::kFactorization:
+      return FactorizationQuery(rng, cfg);
+    case QueryFamily::kPullup:
+      return PullupQuery(rng, cfg);
+    case QueryFamily::kSetOp:
+      return SetOpQuery(rng, cfg);
+    case QueryFamily::kOrExpansion:
+      return OrExpansionQuery(rng, cfg);
+    case QueryFamily::kWindowView:
+      return WindowViewQuery(rng, cfg);
+  }
+  return "SELECT 1";
+}
+
+}  // namespace
+
+std::vector<WorkloadQuery> GenerateFamily(QueryFamily family, int count,
+                                          const SchemaConfig& schema,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WorkloadQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    WorkloadQuery q;
+    q.id = i;
+    q.family = family;
+    q.sql = GenerateOne(family, rng, schema);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<WorkloadQuery> GenerateMixedWorkload(int count,
+                                                 double transformable_fraction,
+                                                 const SchemaConfig& schema,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  static const QueryFamily kTransformable[] = {
+      QueryFamily::kAggSubquery,  QueryFamily::kSemiSubquery,
+      QueryFamily::kGbView,       QueryFamily::kDistinctView,
+      QueryFamily::kUnionView,    QueryFamily::kGbp,
+      QueryFamily::kFactorization, QueryFamily::kPullup,
+      QueryFamily::kSetOp,        QueryFamily::kOrExpansion,
+      QueryFamily::kWindowView};
+  std::vector<WorkloadQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    WorkloadQuery q;
+    q.id = i;
+    q.family = rng.NextBool(transformable_fraction)
+                   ? kTransformable[rng.NextUint(11)]
+                   : QueryFamily::kSpj;
+    q.sql = GenerateOne(q.family, rng, schema);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace cbqt

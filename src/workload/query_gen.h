@@ -1,0 +1,56 @@
+#ifndef CBQT_WORKLOAD_QUERY_GEN_H_
+#define CBQT_WORKLOAD_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/schema_gen.h"
+
+namespace cbqt {
+
+/// Query families of the synthetic workload, each exercising one of the
+/// paper's transformations (plus plain SPJ filler, which dominates the
+/// paper's real workload).
+enum class QueryFamily {
+  kSpj,            ///< simple select-project-join (the 92% filler)
+  kAggSubquery,    ///< Q1-style correlated aggregate subqueries (§2.2.1)
+  kSemiSubquery,   ///< EXISTS/IN/NOT EXISTS/NOT IN, single- and multi-table
+  kGbView,         ///< joins against GROUP BY views (§2.2.2 + JPPD §2.2.3)
+  kDistinctView,   ///< joins against DISTINCT views (Q12 family)
+  kUnionView,      ///< joins against UNION ALL views (JPPD)
+  kGbp,            ///< aggregation over joins (group-by placement §2.2.4)
+  kFactorization,  ///< UNION ALL with common join tables (§2.2.5)
+  kPullup,         ///< ROWNUM + blocking view + expensive predicate (§2.2.6)
+  kSetOp,          ///< INTERSECT / MINUS (§2.2.7)
+  kOrExpansion,    ///< disjunctive predicates (§2.2.8)
+  kWindowView,     ///< Q7-style window view (predicate move-around §2.1.3)
+};
+
+const char* QueryFamilyName(QueryFamily f);
+
+struct WorkloadQuery {
+  int id = 0;
+  QueryFamily family = QueryFamily::kSpj;
+  std::string sql;
+};
+
+/// Generates `count` randomized queries of one family. Literal parameters
+/// vary widely so that each transformation family contains both winning and
+/// losing instances — the property the cost-based-vs-heuristic comparison
+/// depends on.
+std::vector<WorkloadQuery> GenerateFamily(QueryFamily family, int count,
+                                          const SchemaConfig& schema,
+                                          uint64_t seed);
+
+/// Generates a mixed workload with the paper's shape: mostly simple SPJ,
+/// with a transformable fraction (paper §4: ~8% of queries have
+/// subqueries / GROUP BY / DISTINCT / UNION ALL views).
+std::vector<WorkloadQuery> GenerateMixedWorkload(int count,
+                                                 double transformable_fraction,
+                                                 const SchemaConfig& schema,
+                                                 uint64_t seed);
+
+}  // namespace cbqt
+
+#endif  // CBQT_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,89 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "parser/parser.h"
+
+namespace cbqt {
+
+CbqtConfig ConfigForMode(OptimizerMode mode) {
+  CbqtConfig cfg;
+  switch (mode) {
+    case OptimizerMode::kCostBased:
+      break;
+    case OptimizerMode::kHeuristicOnly:
+      cfg.cost_based = false;
+      break;
+    case OptimizerMode::kUnnestOff:
+      cfg.enable_unnest = false;
+      break;
+    case OptimizerMode::kJppdOff:
+      cfg.enable_jppd = false;
+      break;
+    case OptimizerMode::kGbpOff:
+      cfg.enable_gbp = false;
+      break;
+  }
+  return cfg;
+}
+
+double NowMs() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}
+
+Result<RunMeasurement> WorkloadRunner::Run(const std::string& sql,
+                                           const CbqtConfig& config) const {
+  auto parsed = ParseSql(sql);
+  if (!parsed.ok()) return parsed.status();
+
+  RunMeasurement m;
+  double t0 = NowMs();
+  CbqtOptimizer optimizer(db_, config, params_);
+  auto optimized = optimizer.Optimize(*parsed.value());
+  double t1 = NowMs();
+  if (!optimized.ok()) return optimized.status();
+  m.opt_ms = t1 - t0;
+  m.est_cost = optimized->cost;
+  m.plan_shape = PlanShape(*optimized->plan);
+  m.cbqt = optimized->stats;
+
+  Executor executor(db_);
+  ExecStats stats;
+  double t2 = NowMs();
+  auto rows = executor.Execute(*optimized->plan, &stats);
+  double t3 = NowMs();
+  if (!rows.ok()) return rows.status();
+  m.exec_ms = t3 - t2;
+  m.rows_processed = stats.rows_processed;
+  m.result_rows = rows->size();
+  return m;
+}
+
+Result<std::vector<Row>> WorkloadRunner::RunToSortedRows(
+    const std::string& sql, const CbqtConfig& config) const {
+  auto parsed = ParseSql(sql);
+  if (!parsed.ok()) return parsed.status();
+  CbqtOptimizer optimizer(db_, config, params_);
+  auto optimized = optimizer.Optimize(*parsed.value());
+  if (!optimized.ok()) return optimized.status();
+  Executor executor(db_);
+  auto rows = executor.Execute(*optimized->plan);
+  if (!rows.ok()) return rows.status();
+  SortRowsCanonical(&rows.value());
+  return std::move(rows.value());
+}
+
+void SortRowsCanonical(std::vector<Row>* rows) {
+  std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (TotalLess(a[i], b[i])) return true;
+      if (TotalLess(b[i], a[i])) return false;
+    }
+    return a.size() < b.size();
+  });
+}
+
+}  // namespace cbqt

@@ -1,0 +1,66 @@
+#ifndef CBQT_WORKLOAD_RUNNER_H_
+#define CBQT_WORKLOAD_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "cbqt/framework.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "storage/database.h"
+
+namespace cbqt {
+
+/// Optimizer configurations used by the experiments.
+enum class OptimizerMode {
+  kCostBased,       ///< full CBQT (Figure 2 "on")
+  kHeuristicOnly,   ///< transformations by legacy rules (Figure 2 "off")
+  kUnnestOff,       ///< all unnesting disabled (Figure 3 baseline)
+  kJppdOff,         ///< JPPD disabled (Figure 4 baseline)
+  kGbpOff,          ///< group-by placement disabled (§4.3 baseline)
+};
+
+CbqtConfig ConfigForMode(OptimizerMode mode);
+
+/// Measurements of one optimization + execution run.
+struct RunMeasurement {
+  double opt_ms = 0;
+  double exec_ms = 0;
+  double total_ms() const { return opt_ms + exec_ms; }
+  int64_t rows_processed = 0;  ///< deterministic work units
+  size_t result_rows = 0;
+  double est_cost = 0;
+  std::string plan_shape;
+  CbqtStats cbqt;
+};
+
+/// Monotonic wall clock in milliseconds.
+double NowMs();
+
+/// Parses, CBQT-optimizes and executes queries against one database.
+class WorkloadRunner {
+ public:
+  explicit WorkloadRunner(const Database& db, CostParams params = {})
+      : db_(db), params_(params) {}
+
+  /// Full pipeline with timing.
+  Result<RunMeasurement> Run(const std::string& sql,
+                             const CbqtConfig& config) const;
+
+  /// Executes and returns the result rows, canonically sorted — used by
+  /// the correctness tests to prove transformation equivalence across
+  /// optimizer modes.
+  Result<std::vector<Row>> RunToSortedRows(const std::string& sql,
+                                           const CbqtConfig& config) const;
+
+ private:
+  const Database& db_;
+  CostParams params_;
+};
+
+/// Sorts rows into a canonical total order (for result comparison).
+void SortRowsCanonical(std::vector<Row>* rows);
+
+}  // namespace cbqt
+
+#endif  // CBQT_WORKLOAD_RUNNER_H_

@@ -1,0 +1,39 @@
+#ifndef CBQT_WORKLOAD_SCHEMA_GEN_H_
+#define CBQT_WORKLOAD_SCHEMA_GEN_H_
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace cbqt {
+
+/// Sizing and skew knobs for the synthetic "Oracle-Applications-like"
+/// schema. The paper's workload came from a 14,000-table ERP install; we
+/// substitute a compact HR + order-entry schema whose shapes (normalized
+/// dimension chains, skewed foreign keys, selective and unselective
+/// filters, indexed and unindexed correlation columns) exercise the same
+/// transformation trade-offs (see DESIGN.md, substitution 2).
+struct SchemaConfig {
+  int locations = 50;
+  int departments = 200;
+  int employees = 20000;
+  int job_history = 30000;
+  int jobs = 50;
+  int customers = 4000;
+  int orders = 30000;
+  int order_items = 60000;
+  int products = 800;
+  int accounts = 400;     ///< accounts
+  int months = 48;        ///< balance rows per account (accounts * months)
+  double skew = 0.4;      ///< zipf exponent for foreign keys
+  uint64_t seed = 7;
+  /// When false, employees.dept_id has no index — flips the paper's
+  /// pre-10g unnesting heuristic and the TIS cost balance.
+  bool index_on_correlations = true;
+};
+
+/// Creates tables, loads generated data, builds indexes and statistics.
+Status BuildHrDatabase(const SchemaConfig& config, Database* db);
+
+}  // namespace cbqt
+
+#endif  // CBQT_WORKLOAD_SCHEMA_GEN_H_

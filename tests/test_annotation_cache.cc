@@ -1,0 +1,93 @@
+#include "cbqt/annotation_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/planner.h"
+#include "sql/signature.h"
+#include "tests/test_util.h"
+
+namespace cbqt {
+namespace {
+
+TEST(AnnotationCache, PutFindHitMissCounters) {
+  AnnotationCache cache;
+  EXPECT_EQ(cache.Find("sig-a"), nullptr);
+  EXPECT_EQ(cache.misses(), 1);
+  CostAnnotation ann;
+  ann.cost = 12;
+  ann.rows = 3;
+  ann.plan = std::make_unique<PlanNode>(PlanOp::kTableScan);
+  cache.Put("sig-a", std::move(ann));
+  const CostAnnotation* hit = cache.Find("sig-a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->cost, 12);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0);
+}
+
+class AnnotationReuseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeSmallHrDb();
+    ASSERT_NE(db_, nullptr);
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(AnnotationReuseTest, PlannerReusesSubBlockAnnotations) {
+  // Planning the same query twice with a shared cache: the second pass
+  // reuses every block (paper §3.4.2).
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT e.employee_name FROM employees e WHERE e.salary > (SELECT "
+      "AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e.dept_id) AND "
+      "e.dept_id IN (SELECT d.dept_id FROM departments d, locations l WHERE "
+      "d.loc_id = l.loc_id)");
+  ASSERT_NE(qb, nullptr);
+
+  AnnotationCache cache;
+  Planner p1(*db_, CostParams{}, &cache);
+  auto r1 = p1.PlanBlock(*qb);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(p1.blocks_planned(), 3);  // outer + two subqueries
+  EXPECT_EQ(cache.hits(), 0);
+
+  Planner p2(*db_, CostParams{}, &cache);
+  auto r2 = p2.PlanBlock(*qb);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(p2.blocks_planned(), 0);  // everything reused
+  EXPECT_GE(cache.hits(), 1);
+  EXPECT_DOUBLE_EQ(r1->plan->est_cost, r2->plan->est_cost);
+}
+
+TEST_F(AnnotationReuseTest, DifferentBlocksDifferentSignatures) {
+  auto a = ParseAndBind(*db_, "SELECT e.salary FROM employees e");
+  auto b = ParseAndBind(*db_,
+                        "SELECT e.salary FROM employees e WHERE e.salary > 1");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(BlockSignature(*a), BlockSignature(*b));
+}
+
+TEST_F(AnnotationReuseTest, CachedPlanIsDeepCopied) {
+  auto qb = ParseAndBind(*db_, "SELECT e.salary FROM employees e");
+  ASSERT_NE(qb, nullptr);
+  AnnotationCache cache;
+  Planner p(*db_, CostParams{}, &cache);
+  auto r1 = p.PlanBlock(*qb);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = p.PlanBlock(*qb);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r1->plan.get(), r2->plan.get());
+  // Mutating one copy cannot corrupt the cache.
+  r1->plan->table_name = "corrupted";
+  auto r3 = p.PlanBlock(*qb);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_NE(r3->plan->table_name, "corrupted");
+}
+
+}  // namespace
+}  // namespace cbqt

@@ -1,0 +1,187 @@
+#include "binder/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cbqt {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeSmallHrDb();
+    ASSERT_NE(db_, nullptr);
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(BinderTest, QualifiesUnqualifiedColumns) {
+  auto qb = ParseAndBind(*db_, "SELECT salary FROM employees e");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->select[0].expr->table_alias, "e");
+  EXPECT_EQ(qb->select[0].expr->type, DataType::kDouble);
+}
+
+TEST_F(BinderTest, AmbiguousColumnRejected) {
+  auto parsed = ParseSql(
+      "SELECT dept_id FROM employees e, departments d");
+  ASSERT_TRUE(parsed.ok());
+  Status st = BindQuery(*db_, parsed.value().get());
+  EXPECT_EQ(st.code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnknownTableAndColumnRejected) {
+  auto p1 = ParseSql("SELECT x FROM nonexistent");
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(BindQuery(*db_, p1.value().get()).code(), StatusCode::kBindError);
+  auto p2 = ParseSql("SELECT nocolumn FROM employees e");
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(BindQuery(*db_, p2.value().get()).code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, StarExpansion) {
+  auto qb = ParseAndBind(*db_, "SELECT * FROM departments d");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->select.size(), 4u);  // dept_id, dept_name, loc_id, budget
+  EXPECT_EQ(qb->select[0].alias, "dept_id");
+}
+
+TEST_F(BinderTest, QualifiedStarExpansion) {
+  auto qb = ParseAndBind(
+      *db_, "SELECT d.* FROM employees e, departments d");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->select.size(), 4u);
+  EXPECT_EQ(qb->select[0].expr->table_alias, "d");
+}
+
+TEST_F(BinderTest, CorrelationDepthMarked) {
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT e.salary FROM employees e WHERE e.salary > (SELECT "
+      "AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e.dept_id)");
+  ASSERT_NE(qb, nullptr);
+  const Expr& sub = *qb->where[0]->children[1];
+  ASSERT_EQ(sub.kind, ExprKind::kSubquery);
+  const Expr& corr = *sub.subquery->where[0];
+  // e2.dept_id = e.dept_id: e2 local (depth 0), e correlated (depth 1).
+  const Expr* e2_ref = corr.children[0].get();
+  const Expr* e_ref = corr.children[1].get();
+  if (e2_ref->table_alias != "e2") std::swap(e2_ref, e_ref);
+  EXPECT_EQ(e2_ref->corr_depth, 0);
+  EXPECT_EQ(e_ref->corr_depth, 1);
+}
+
+TEST_F(BinderTest, DuplicateAliasesRenamedGlobally) {
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT e.salary FROM employees e WHERE EXISTS (SELECT 1 FROM "
+      "employees e WHERE e.dept_id = 3)");
+  ASSERT_NE(qb, nullptr);
+  const Expr& sub = *qb->where[0];
+  ASSERT_EQ(sub.kind, ExprKind::kSubquery);
+  const std::string inner_alias = sub.subquery->from[0].alias;
+  EXPECT_NE(inner_alias, "e");
+  // The inner reference follows the rename (shadowing semantics).
+  EXPECT_EQ(sub.subquery->where[0]->children[0]->table_alias, inner_alias);
+}
+
+TEST_F(BinderTest, RownumLimitExtracted) {
+  auto qb = ParseAndBind(
+      *db_, "SELECT e.salary FROM employees e WHERE rownum < 20");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->rownum_limit, 19);
+  EXPECT_TRUE(qb->where.empty());
+
+  qb = ParseAndBind(
+      *db_,
+      "SELECT e.salary FROM employees e WHERE rownum <= 20 AND e.salary > 0");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->rownum_limit, 20);
+  EXPECT_EQ(qb->where.size(), 1u);
+}
+
+TEST_F(BinderTest, RownumReversedLiteral) {
+  auto qb = ParseAndBind(
+      *db_, "SELECT e.salary FROM employees e WHERE 10 > rownum");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->rownum_limit, 9);
+}
+
+TEST_F(BinderTest, RowidPseudoColumn) {
+  auto qb = ParseAndBind(*db_, "SELECT e.rowid FROM employees e");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->select[0].expr->type, DataType::kInt64);
+}
+
+TEST_F(BinderTest, DerivedTableColumns) {
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT v.avg_sal FROM (SELECT AVG(e.salary) AS avg_sal, e.dept_id AS "
+      "dept_id FROM employees e GROUP BY e.dept_id) v WHERE v.dept_id = 3");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->select[0].expr->type, DataType::kDouble);
+}
+
+TEST_F(BinderTest, SetOpArityChecked) {
+  auto parsed = ParseSql(
+      "SELECT emp_id FROM employees UNION ALL SELECT dept_id, dept_name "
+      "FROM departments");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(BindQuery(*db_, parsed.value().get()).code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, InArityChecked) {
+  auto parsed = ParseSql(
+      "SELECT e.emp_id FROM employees e WHERE (e.emp_id, e.dept_id) IN "
+      "(SELECT d.dept_id FROM departments d)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(BindQuery(*db_, parsed.value().get()).code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, OrderByAliasResolvesToSelectItem) {
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT e.salary * 2 AS dbl FROM employees e ORDER BY dbl");
+  ASSERT_NE(qb, nullptr);
+  // The alias resolves to a copy of the select expression.
+  EXPECT_EQ(qb->order_by[0].expr->kind, ExprKind::kBinary);
+}
+
+TEST_F(BinderTest, SelectAliasesAssignedAndUnique) {
+  auto qb = ParseAndBind(
+      *db_, "SELECT e.salary, e.salary, e.salary + 1 FROM employees e");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->select[0].alias, "salary");
+  EXPECT_EQ(qb->select[1].alias, "salary_2");
+  EXPECT_FALSE(qb->select[2].alias.empty());
+}
+
+TEST_F(BinderTest, BindingIsIdempotent) {
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT e.employee_name FROM employees e WHERE e.salary > (SELECT "
+      "AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e.dept_id)");
+  ASSERT_NE(qb, nullptr);
+  std::string first = BlockToSql(*qb);
+  ASSERT_TRUE(BindQuery(*db_, qb.get()).ok());
+  EXPECT_EQ(BlockToSql(*qb), first);
+}
+
+TEST_F(BinderTest, TypeDerivation) {
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT e.emp_id + 1, e.salary / 2, e.emp_id > 3, COUNT(*), "
+      "AVG(e.salary) FROM employees e");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->select[0].expr->type, DataType::kInt64);
+  EXPECT_EQ(qb->select[1].expr->type, DataType::kDouble);
+  EXPECT_EQ(qb->select[2].expr->type, DataType::kBool);
+  EXPECT_EQ(qb->select[3].expr->type, DataType::kInt64);
+  EXPECT_EQ(qb->select[4].expr->type, DataType::kDouble);
+}
+
+}  // namespace
+}  // namespace cbqt

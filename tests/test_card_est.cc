@@ -1,0 +1,156 @@
+#include "optimizer/card_est.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace cbqt {
+namespace {
+
+StatsContext MakeCtx() {
+  StatsContext ctx;
+  RelStats emp;
+  emp.rows = 10000;
+  ColumnStats dept;
+  dept.ndv = 100;
+  dept.null_frac = 0;
+  dept.min = Value::Int(0);
+  dept.max = Value::Int(99);
+  emp.columns["dept_id"] = dept;
+  ColumnStats salary;
+  salary.ndv = 5000;
+  salary.null_frac = 0;
+  salary.min = Value::Real(0);
+  salary.max = Value::Real(100000);
+  emp.columns["salary"] = salary;
+  ColumnStats mgr;
+  mgr.ndv = 50;
+  mgr.null_frac = 0.2;
+  mgr.min = Value::Int(0);
+  mgr.max = Value::Int(49);
+  emp.columns["mgr_id"] = mgr;
+  ctx.AddRelation("e", emp);
+
+  RelStats dep;
+  dep.rows = 100;
+  ColumnStats did;
+  did.ndv = 100;
+  did.null_frac = 0;
+  did.min = Value::Int(0);
+  did.max = Value::Int(99);
+  dep.columns["dept_id"] = did;
+  ctx.AddRelation("d", dep);
+  return ctx;
+}
+
+ExprPtr Pred(const std::string& where) {
+  auto qb = ParseSql("SELECT x FROM t WHERE " + where);
+  EXPECT_TRUE(qb.ok());
+  EXPECT_EQ(qb.value()->where.size(), 1u);
+  return std::move(qb.value()->where[0]);
+}
+
+TEST(CardEst, EqualityUsesNdv) {
+  StatsContext ctx = MakeCtx();
+  ExprPtr p = Pred("e.dept_id = 5");
+  EXPECT_NEAR(Selectivity(*p, ctx), 0.01, 1e-9);
+}
+
+TEST(CardEst, EqualityAccountsForNulls) {
+  StatsContext ctx = MakeCtx();
+  ExprPtr p = Pred("e.mgr_id = 5");
+  EXPECT_NEAR(Selectivity(*p, ctx), 0.8 / 50, 1e-9);
+}
+
+TEST(CardEst, RangeInterpolates) {
+  StatsContext ctx = MakeCtx();
+  EXPECT_NEAR(Selectivity(*Pred("e.salary > 75000"), ctx), 0.25, 1e-9);
+  EXPECT_NEAR(Selectivity(*Pred("e.salary < 25000"), ctx), 0.25, 1e-9);
+  EXPECT_NEAR(Selectivity(*Pred("25000 < e.salary"), ctx), 0.75, 1e-9);
+}
+
+TEST(CardEst, RangeClampedToBounds) {
+  StatsContext ctx = MakeCtx();
+  EXPECT_LE(Selectivity(*Pred("e.salary > 200000"), ctx), 1e-6);
+  EXPECT_NEAR(Selectivity(*Pred("e.salary < 200000"), ctx), 1.0, 1e-9);
+}
+
+TEST(CardEst, ConjunctionMultiplies) {
+  StatsContext ctx = MakeCtx();
+  // The parser splits top-level ANDs, so build the conjunction directly.
+  ExprPtr conj = MakeBinary(BinaryOp::kAnd, Pred("e.dept_id = 5"),
+                            Pred("e.salary > 75000"));
+  EXPECT_NEAR(Selectivity(*conj, ctx), 0.01 * 0.25, 1e-9);
+}
+
+TEST(CardEst, DisjunctionInclusionExclusion) {
+  StatsContext ctx = MakeCtx();
+  double s = Selectivity(*Pred("e.dept_id = 5 OR e.dept_id = 6"), ctx);
+  EXPECT_NEAR(s, 0.01 + 0.01 - 0.0001, 1e-9);
+}
+
+TEST(CardEst, NotComplements) {
+  StatsContext ctx = MakeCtx();
+  double s = Selectivity(*Pred("NOT e.dept_id = 5"), ctx);
+  EXPECT_NEAR(s, 0.99, 1e-9);
+}
+
+TEST(CardEst, IsNullUsesNullFraction) {
+  StatsContext ctx = MakeCtx();
+  EXPECT_NEAR(Selectivity(*Pred("e.mgr_id IS NULL"), ctx), 0.2, 1e-9);
+  EXPECT_NEAR(Selectivity(*Pred("e.mgr_id IS NOT NULL"), ctx), 0.8, 1e-9);
+}
+
+TEST(CardEst, JoinEqualityUsesMaxNdv) {
+  StatsContext ctx = MakeCtx();
+  double s = Selectivity(*Pred("e.dept_id = d.dept_id"), ctx);
+  EXPECT_NEAR(s, 1.0 / 100, 1e-9);
+}
+
+TEST(CardEst, CorrelatedRefTreatedAsBoundValue) {
+  StatsContext ctx = MakeCtx();
+  ExprPtr p = Pred("e.dept_id = outer_tbl.dept_id");
+  // outer_tbl is not in the context: treated like a constant probe.
+  p->children[1]->corr_depth = 1;
+  EXPECT_NEAR(Selectivity(*p, ctx), 0.01, 1e-9);
+}
+
+TEST(CardEst, UnknownColumnUsesDefault) {
+  StatsContext ctx = MakeCtx();
+  double s = Selectivity(*Pred("zz.c = 1"), ctx);
+  EXPECT_GT(s, 0);
+  EXPECT_LE(s, 0.05);
+}
+
+TEST(CardEst, EstimateNdv) {
+  StatsContext ctx = MakeCtx();
+  ExprPtr col = Pred("e.dept_id = 1");
+  const Expr& ref = *col->children[0];
+  EXPECT_DOUBLE_EQ(EstimateNdv(ref, ctx, 1e6), 100);
+  // Capped at current rows.
+  EXPECT_DOUBLE_EQ(EstimateNdv(ref, ctx, 10), 10);
+}
+
+TEST(CardEst, SemiJoinSelectivity) {
+  StatsContext ctx = MakeCtx();
+  ExprPtr p = Pred("e.dept_id = d.dept_id");
+  // All of e's 100 dept values appear among d's 100: fraction 1.0.
+  EXPECT_NEAR(SemiJoinSelectivity(*p, ctx, "d"), 1.0, 1e-9);
+  // Reverse: d rows matching e - also 100/100.
+  EXPECT_NEAR(SemiJoinSelectivity(*p, ctx, "e"), 1.0, 1e-9);
+}
+
+TEST(CardEst, SemiJoinSelectivityPartial) {
+  StatsContext ctx = MakeCtx();
+  RelStats small;
+  small.rows = 10;
+  ColumnStats did;
+  did.ndv = 10;
+  small.columns["dept_id"] = did;
+  ctx.AddRelation("s", small);
+  ExprPtr p = Pred("e.dept_id = s.dept_id");
+  EXPECT_NEAR(SemiJoinSelectivity(*p, ctx, "s"), 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace cbqt

@@ -1,0 +1,91 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace cbqt {
+namespace {
+
+TableDef EmployeesDef() {
+  TableDef t;
+  t.name = "employees";
+  t.columns = {{"emp_id", DataType::kInt64, false},
+               {"name", DataType::kString, false},
+               {"dept_id", DataType::kInt64, true},
+               {"salary", DataType::kDouble, false}};
+  t.primary_key = {"emp_id"};
+  t.foreign_keys = {{{"dept_id"}, "departments", {"dept_id"}}};
+  t.indexes = {{"emp_pk", {"emp_id"}, true},
+               {"emp_dept_sal", {"dept_id", "salary"}, false}};
+  return t;
+}
+
+TEST(Catalog, AddAndFindCaseInsensitive) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(EmployeesDef()).ok());
+  EXPECT_NE(cat.FindTable("employees"), nullptr);
+  EXPECT_NE(cat.FindTable("EMPLOYEES"), nullptr);
+  EXPECT_EQ(cat.FindTable("nope"), nullptr);
+}
+
+TEST(Catalog, DuplicateRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(EmployeesDef()).ok());
+  Status st = cat.AddTable(EmployeesDef());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Catalog, ForeignKeyArityValidated) {
+  TableDef t = EmployeesDef();
+  t.name = "bad";
+  t.foreign_keys = {{{"dept_id", "salary"}, "departments", {"dept_id"}}};
+  Catalog cat;
+  EXPECT_EQ(cat.AddTable(t).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableDef, FindColumn) {
+  TableDef t = EmployeesDef();
+  EXPECT_EQ(t.FindColumn("salary"), 3);
+  EXPECT_EQ(t.FindColumn("missing"), -1);
+}
+
+TEST(TableDef, IsUniqueKey) {
+  TableDef t = EmployeesDef();
+  EXPECT_TRUE(t.IsUniqueKey({"emp_id"}));
+  EXPECT_FALSE(t.IsUniqueKey({"dept_id"}));
+  t.unique_keys.push_back({"name", "dept_id"});
+  EXPECT_TRUE(t.IsUniqueKey({"dept_id", "name"}));  // order-insensitive
+}
+
+TEST(TableDef, FindIndexCoveringPrefix) {
+  TableDef t = EmployeesDef();
+  EXPECT_EQ(t.FindIndexCovering({"emp_id"}), "emp_pk");
+  EXPECT_EQ(t.FindIndexCovering({"dept_id"}), "emp_dept_sal");
+  EXPECT_EQ(t.FindIndexCovering({"salary", "dept_id"}), "emp_dept_sal");
+  // salary alone is not a leading prefix of any index.
+  EXPECT_EQ(t.FindIndexCovering({"salary"}), "");
+  EXPECT_EQ(t.FindIndexCovering({}), "");
+}
+
+TEST(TableDef, IsNotNull) {
+  TableDef t = EmployeesDef();
+  EXPECT_TRUE(t.IsNotNull("emp_id"));
+  EXPECT_FALSE(t.IsNotNull("dept_id"));
+  EXPECT_FALSE(t.IsNotNull("missing"));
+}
+
+TEST(Catalog, TableNamesSorted) {
+  Catalog cat;
+  TableDef a = EmployeesDef();
+  a.name = "zeta";
+  TableDef b = EmployeesDef();
+  b.name = "alpha";
+  ASSERT_TRUE(cat.AddTable(a).ok());
+  ASSERT_TRUE(cat.AddTable(b).ok());
+  auto names = cat.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace cbqt

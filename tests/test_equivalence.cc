@@ -1,0 +1,106 @@
+// The library's strongest correctness property: for every generated query
+// of every family, all optimizer modes (full CBQT, heuristic-only, and each
+// transformation disabled) must return the same multiset of rows. This is a
+// parameterized sweep over (family, seed) — each instance checks several
+// randomized queries.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/query_gen.h"
+#include "workload/runner.h"
+
+namespace cbqt {
+namespace {
+
+struct Case {
+  QueryFamily family;
+  uint64_t seed;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<Case> {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = MakeSmallHrDb().release();
+    schema_ = new SchemaConfig();
+    schema_->locations = 10;
+    schema_->departments = 20;
+    schema_->employees = 500;
+    schema_->customers = 100;
+    schema_->orders = 600;
+    schema_->products = 50;
+    schema_->accounts = 10;
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+    delete schema_;
+    schema_ = nullptr;
+  }
+
+  static Database* db_;
+  static SchemaConfig* schema_;
+};
+
+Database* EquivalenceTest::db_ = nullptr;
+SchemaConfig* EquivalenceTest::schema_ = nullptr;
+
+TEST_P(EquivalenceTest, AllModesAgree) {
+  const Case c = GetParam();
+  WorkloadRunner runner(*db_);
+  auto queries = GenerateFamily(c.family, 3, *schema_, c.seed);
+  for (const auto& q : queries) {
+    auto reference =
+        runner.RunToSortedRows(q.sql, ConfigForMode(OptimizerMode::kUnnestOff));
+    ASSERT_TRUE(reference.ok())
+        << reference.status().ToString() << "\n" << q.sql;
+    for (OptimizerMode mode :
+         {OptimizerMode::kCostBased, OptimizerMode::kHeuristicOnly,
+          OptimizerMode::kJppdOff, OptimizerMode::kGbpOff}) {
+      auto rows = runner.RunToSortedRows(q.sql, ConfigForMode(mode));
+      ASSERT_TRUE(rows.ok()) << rows.status().ToString() << "\nmode="
+                             << static_cast<int>(mode) << "\n" << q.sql;
+      ASSERT_EQ(rows->size(), reference->size())
+          << "mode=" << static_cast<int>(mode) << "\n" << q.sql;
+      for (size_t i = 0; i < rows->size(); ++i) {
+        ASSERT_TRUE(RowsEqualStructural((*rows)[i], (*reference)[i]))
+            << "row " << i << " mode=" << static_cast<int>(mode) << "\n"
+            << q.sql;
+      }
+    }
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = QueryFamilyName(info.param.family);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_s" + std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, EquivalenceTest,
+    ::testing::Values(
+        Case{QueryFamily::kSpj, 1}, Case{QueryFamily::kSpj, 2},
+        Case{QueryFamily::kAggSubquery, 1}, Case{QueryFamily::kAggSubquery, 2},
+        Case{QueryFamily::kAggSubquery, 3},
+        Case{QueryFamily::kSemiSubquery, 1},
+        Case{QueryFamily::kSemiSubquery, 2},
+        Case{QueryFamily::kSemiSubquery, 3},
+        Case{QueryFamily::kGbView, 1}, Case{QueryFamily::kGbView, 2},
+        Case{QueryFamily::kDistinctView, 1},
+        Case{QueryFamily::kDistinctView, 2},
+        Case{QueryFamily::kUnionView, 1}, Case{QueryFamily::kUnionView, 2},
+        Case{QueryFamily::kGbp, 1}, Case{QueryFamily::kGbp, 2},
+        Case{QueryFamily::kFactorization, 1},
+        Case{QueryFamily::kFactorization, 2},
+        Case{QueryFamily::kPullup, 1},
+        Case{QueryFamily::kSetOp, 1}, Case{QueryFamily::kSetOp, 2},
+        Case{QueryFamily::kOrExpansion, 1},
+        Case{QueryFamily::kOrExpansion, 2},
+        Case{QueryFamily::kWindowView, 1}),
+    CaseName);
+
+}  // namespace
+}  // namespace cbqt

@@ -1,0 +1,299 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/planner.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+
+namespace cbqt {
+namespace {
+
+// A tiny, fully controlled database for exact result assertions.
+//
+//  t(id, grp, val):   (1,1,10) (2,1,20) (3,2,30) (4,2,NULL) (5,3,50)
+//  s(k, tag):         (1,'a') (2,'b') (2,'b') (NULL,'n')
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableDef t;
+    t.name = "t";
+    t.columns = {{"id", DataType::kInt64, false},
+                 {"grp", DataType::kInt64, false},
+                 {"val", DataType::kInt64, true}};
+    t.primary_key = {"id"};
+    t.indexes = {{"t_pk", {"id"}, true}, {"t_grp", {"grp"}, false}};
+    ASSERT_TRUE(db_.CreateTable(t).ok());
+    int64_t vals[5][3] = {{1, 1, 10}, {2, 1, 20}, {3, 2, 30},
+                          {4, 2, -1}, {5, 3, 50}};
+    for (auto& v : vals) {
+      Row row{Value::Int(v[0]), Value::Int(v[1]),
+              v[2] < 0 ? Value::Null() : Value::Int(v[2])};
+      ASSERT_TRUE(db_.Insert("t", std::move(row)).ok());
+    }
+    TableDef s;
+    s.name = "s";
+    s.columns = {{"k", DataType::kInt64, true},
+                 {"tag", DataType::kString, false}};
+    ASSERT_TRUE(db_.CreateTable(s).ok());
+    ASSERT_TRUE(db_.Insert("s", {Value::Int(1), Value::Str("a")}).ok());
+    ASSERT_TRUE(db_.Insert("s", {Value::Int(2), Value::Str("b")}).ok());
+    ASSERT_TRUE(db_.Insert("s", {Value::Int(2), Value::Str("b")}).ok());
+    ASSERT_TRUE(db_.Insert("s", {Value::Null(), Value::Str("n")}).ok());
+    ASSERT_TRUE(db_.Analyze().ok());
+  }
+
+  std::vector<Row> Run(const std::string& sql) {
+    auto qb = ParseAndBind(db_, sql);
+    if (qb == nullptr) return {};
+    Planner planner(db_, CostParams{});
+    auto bp = planner.PlanBlock(*qb);
+    if (!bp.ok()) {
+      ADD_FAILURE() << "plan: " << bp.status().ToString();
+      return {};
+    }
+    Executor exec(db_);
+    auto rows = exec.Execute(*bp->plan, &stats_);
+    if (!rows.ok()) {
+      ADD_FAILURE() << "exec: " << rows.status().ToString();
+      return {};
+    }
+    SortRowsCanonical(&rows.value());
+    return std::move(rows.value());
+  }
+
+  Database db_;
+  ExecStats stats_;
+};
+
+TEST_F(ExecutorTest, ScanWithFilter) {
+  auto rows = Run("SELECT t.id FROM t WHERE t.val > 15");
+  ASSERT_EQ(rows.size(), 3u);  // 20, 30, 50; NULL excluded
+  EXPECT_EQ(rows[0][0].AsInt(), 2);
+  EXPECT_EQ(rows[2][0].AsInt(), 5);
+}
+
+TEST_F(ExecutorTest, NullNeverPassesComparison) {
+  EXPECT_EQ(Run("SELECT t.id FROM t WHERE t.val > 0").size(), 4u);
+  EXPECT_EQ(Run("SELECT t.id FROM t WHERE NOT t.val > 0").size(), 0u);
+  EXPECT_EQ(Run("SELECT t.id FROM t WHERE t.val IS NULL").size(), 1u);
+}
+
+TEST_F(ExecutorTest, Projection) {
+  auto rows = Run("SELECT t.val + 1, t.val / 2 FROM t WHERE t.id = 1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 11);
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 5.0);
+}
+
+TEST_F(ExecutorTest, InnerJoinWithDuplicates) {
+  auto rows = Run("SELECT t.id, s.tag FROM t, s WHERE t.id = s.k");
+  // t.id=1 matches one 'a'; t.id=2 matches two 'b' rows.
+  ASSERT_EQ(rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, LeftOuterJoinPadsNulls) {
+  auto rows =
+      Run("SELECT t.id, s.tag FROM t LEFT OUTER JOIN s ON t.id = s.k");
+  ASSERT_EQ(rows.size(), 6u);  // 1:1, 2:2, 3..5 padded
+  int nulls = 0;
+  for (const auto& r : rows) {
+    if (r[1].is_null()) ++nulls;
+  }
+  EXPECT_EQ(nulls, 3);
+}
+
+TEST_F(ExecutorTest, GroupByAggregates) {
+  auto rows = Run(
+      "SELECT t.grp, COUNT(*), COUNT(t.val), SUM(t.val), AVG(t.val), "
+      "MIN(t.val), MAX(t.val) FROM t GROUP BY t.grp");
+  ASSERT_EQ(rows.size(), 3u);
+  // group 2: vals {30, NULL}
+  const Row& g2 = rows[1];
+  EXPECT_EQ(g2[0].AsInt(), 2);
+  EXPECT_EQ(g2[1].AsInt(), 2);   // COUNT(*)
+  EXPECT_EQ(g2[2].AsInt(), 1);   // COUNT(val) skips NULL
+  EXPECT_EQ(g2[3].AsInt(), 30);  // SUM
+  EXPECT_DOUBLE_EQ(g2[4].AsDouble(), 30.0);
+  EXPECT_EQ(g2[5].AsInt(), 30);
+  EXPECT_EQ(g2[6].AsInt(), 30);
+}
+
+TEST_F(ExecutorTest, ScalarAggregateOnEmptyInput) {
+  auto rows = Run("SELECT COUNT(*), SUM(t.val) FROM t WHERE t.id > 100");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, CountDistinct) {
+  auto rows = Run("SELECT COUNT(DISTINCT s.tag) FROM s");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 3);  // a, b, n
+}
+
+TEST_F(ExecutorTest, HavingFiltersGroups) {
+  auto rows =
+      Run("SELECT t.grp FROM t GROUP BY t.grp HAVING COUNT(*) > 1");
+  ASSERT_EQ(rows.size(), 2u);  // groups 1 and 2
+}
+
+TEST_F(ExecutorTest, GroupingSetsProduceNullKeys) {
+  auto rows = Run(
+      "SELECT t.grp, t.id, COUNT(*) FROM t GROUP BY GROUPING SETS ((grp), "
+      "(grp, id))");
+  // 3 grp-groups + 5 (grp,id)-groups.
+  EXPECT_EQ(rows.size(), 8u);
+  int null_id_rows = 0;
+  for (const auto& r : rows) {
+    if (r[1].is_null()) ++null_id_rows;
+  }
+  EXPECT_EQ(null_id_rows, 3);
+}
+
+TEST_F(ExecutorTest, DistinctRemovesDuplicates) {
+  auto rows = Run("SELECT DISTINCT s.tag FROM s");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, OrderByDescWithNulls) {
+  auto qb = ParseAndBind(db_, "SELECT t.val FROM t ORDER BY t.val DESC");
+  ASSERT_NE(qb, nullptr);
+  Planner planner(db_, CostParams{});
+  auto bp = planner.PlanBlock(*qb);
+  ASSERT_TRUE(bp.ok());
+  Executor exec(db_);
+  auto rows = exec.Execute(*bp->plan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 5u);
+  // DESC: NULLS FIRST (Oracle default), then 50, 30, 20, 10.
+  EXPECT_TRUE((*rows)[0][0].is_null());
+  EXPECT_EQ((*rows)[1][0].AsInt(), 50);
+  EXPECT_EQ((*rows)[4][0].AsInt(), 10);
+}
+
+TEST_F(ExecutorTest, RownumLimit) {
+  auto rows = Run("SELECT t.id FROM t WHERE rownum <= 2");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, UnionAllKeepsDuplicates) {
+  auto rows = Run("SELECT s.tag FROM s UNION ALL SELECT s.tag FROM s");
+  EXPECT_EQ(rows.size(), 8u);
+}
+
+TEST_F(ExecutorTest, UnionDeduplicates) {
+  auto rows = Run("SELECT s.tag FROM s UNION SELECT s.tag FROM s");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, IntersectNullsMatch) {
+  // k values: {1,2,2,NULL} intersect {NULL}: NULL matches NULL
+  // (paper §2.2.7 semantics).
+  auto rows = Run(
+      "SELECT s.k FROM s INTERSECT SELECT s.k FROM s WHERE s.tag = 'n'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][0].is_null());
+}
+
+TEST_F(ExecutorTest, MinusRemovesAndDeduplicates) {
+  auto rows = Run(
+      "SELECT s.k FROM s MINUS SELECT s.k FROM s WHERE s.tag = 'b'");
+  // {1,2,2,NULL} minus {2} = {1, NULL}
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, ExistsSubquery) {
+  auto rows = Run(
+      "SELECT t.id FROM t WHERE EXISTS (SELECT 1 FROM s WHERE s.k = t.id)");
+  EXPECT_EQ(rows.size(), 2u);  // ids 1 and 2
+}
+
+TEST_F(ExecutorTest, NotInWithNullInSubqueryIsEmpty) {
+  // s.k contains NULL: NOT IN semantics make every row unknown.
+  auto rows = Run("SELECT t.id FROM t WHERE t.id NOT IN (SELECT s.k FROM s)");
+  EXPECT_EQ(rows.size(), 0u);
+}
+
+TEST_F(ExecutorTest, NotInWithoutNulls) {
+  auto rows = Run(
+      "SELECT t.id FROM t WHERE t.id NOT IN (SELECT s.k FROM s WHERE s.k IS "
+      "NOT NULL)");
+  EXPECT_EQ(rows.size(), 3u);  // 3, 4, 5
+}
+
+TEST_F(ExecutorTest, ScalarSubqueryCorrelated) {
+  auto rows = Run(
+      "SELECT t.id FROM t WHERE t.val > (SELECT AVG(t2.val) FROM t t2 WHERE "
+      "t2.grp = t.grp)");
+  // grp1 avg 15 -> id 2; grp2 avg 30 -> none (30 not > 30); grp3 avg 50 ->
+  // none.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, AnyAllComparisons) {
+  EXPECT_EQ(Run("SELECT t.id FROM t WHERE t.id < ANY (SELECT s.k FROM s "
+                "WHERE s.k IS NOT NULL)")
+                .size(),
+            1u);  // only id 1 < 2
+  EXPECT_EQ(Run("SELECT t.id FROM t WHERE t.id >= ALL (SELECT s.k FROM s "
+                "WHERE s.k IS NOT NULL)")
+                .size(),
+            4u);  // ids 2..5
+}
+
+TEST_F(ExecutorTest, SubqueryCachingCountsExecutions) {
+  Run("SELECT t.id FROM t WHERE t.val > (SELECT AVG(t2.val) FROM t t2 "
+      "WHERE t2.grp = t.grp)");
+  // 3 distinct grp values -> at most 3 subquery executions for 5 rows.
+  EXPECT_LE(stats_.subquery_executions, 3);
+  EXPECT_GE(stats_.subquery_cache_hits, 2);
+}
+
+TEST_F(ExecutorTest, WindowRunningAverage) {
+  auto qb = ParseAndBind(
+      db_,
+      "SELECT t.id, AVG(t.val) OVER (PARTITION BY t.grp ORDER BY t.id) AS r "
+      "FROM t ORDER BY t.id");
+  ASSERT_NE(qb, nullptr);
+  Planner planner(db_, CostParams{});
+  auto bp = planner.PlanBlock(*qb);
+  ASSERT_TRUE(bp.ok()) << bp.status().ToString();
+  Executor exec(db_);
+  auto rows = exec.Execute(*bp->plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 5u);
+  // grp 1: id1 avg 10, id2 avg 15.
+  EXPECT_DOUBLE_EQ((*rows)[0][1].AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ((*rows)[1][1].AsDouble(), 15.0);
+  // grp 2: id3 avg 30; id4 (NULL val) running avg still 30.
+  EXPECT_DOUBLE_EQ((*rows)[2][1].AsDouble(), 30.0);
+  EXPECT_DOUBLE_EQ((*rows)[3][1].AsDouble(), 30.0);
+}
+
+TEST_F(ExecutorTest, CaseExpression) {
+  auto rows = Run(
+      "SELECT CASE WHEN t.val > 25 THEN 'big' WHEN t.val > 5 THEN 'small' "
+      "ELSE 'none' END FROM t WHERE t.id = 3");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsString(), "big");
+}
+
+TEST_F(ExecutorTest, ScalarFunctions) {
+  auto rows = Run(
+      "SELECT mod(t.id, 2), abs(0 - t.val), upper(s.tag) FROM t, s WHERE "
+      "t.id = 1 AND s.tag = 'a'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 10.0);
+  EXPECT_EQ(rows[0][2].AsString(), "A");
+}
+
+TEST_F(ExecutorTest, RowsProcessedAccumulates) {
+  Run("SELECT t.id FROM t");
+  EXPECT_GE(stats_.rows_processed, 5);
+}
+
+}  // namespace
+}  // namespace cbqt

@@ -1,0 +1,147 @@
+#include "sql/expr_util.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "sql/unparser.h"
+
+namespace cbqt {
+namespace {
+
+ExprPtr FirstWhere(const std::string& sql) {
+  auto qb = ParseSql(sql);
+  EXPECT_TRUE(qb.ok());
+  EXPECT_FALSE(qb.value()->where.empty());
+  return std::move(qb.value()->where[0]);
+}
+
+TEST(ExprUtil, SplitConjunctsFlattensNestedAnds) {
+  auto qb = ParseSql("SELECT a FROM t WHERE (a = 1 AND b = 2) AND (c = 3)");
+  ASSERT_TRUE(qb.ok());
+  EXPECT_EQ(qb.value()->where.size(), 3u);
+}
+
+TEST(ExprUtil, CollectLocalAliases) {
+  ExprPtr e = FirstWhere("SELECT x FROM t WHERE t1.a = t2.b + t3.c");
+  auto aliases = CollectLocalAliases(*e);
+  EXPECT_EQ(aliases.size(), 3u);
+  EXPECT_TRUE(aliases.count("t1"));
+  EXPECT_TRUE(aliases.count("t3"));
+}
+
+TEST(ExprUtil, ExprUsesAliasSeesIntoSubqueries) {
+  ExprPtr e = FirstWhere(
+      "SELECT x FROM t WHERE EXISTS (SELECT 1 FROM s WHERE s.k = outer_t.k)");
+  EXPECT_TRUE(ExprUsesAlias(*e, "outer_t"));
+  EXPECT_TRUE(ExprUsesAlias(*e, "s"));
+  EXPECT_FALSE(ExprUsesAlias(*e, "zzz"));
+}
+
+TEST(ExprUtil, ContainsPredicates) {
+  ExprPtr agg = FirstWhere("SELECT x FROM t WHERE SUM(a) > 1");
+  EXPECT_TRUE(ContainsAggregate(*agg));
+  ExprPtr sub = FirstWhere("SELECT x FROM t WHERE a IN (SELECT b FROM s)");
+  EXPECT_TRUE(ContainsSubquery(*sub));
+  EXPECT_FALSE(ContainsSubquery(*agg));
+  ExprPtr rn = FirstWhere("SELECT x FROM t WHERE rownum < 5");
+  EXPECT_TRUE(ContainsRownum(*rn));
+}
+
+TEST(ExprUtil, IsConstExpr) {
+  ExprPtr c = FirstWhere("SELECT x FROM t WHERE 1 + 2 * 3 > 4");
+  EXPECT_TRUE(IsConstExpr(*c));
+  ExprPtr nc = FirstWhere("SELECT x FROM t WHERE a > 4");
+  EXPECT_FALSE(IsConstExpr(*nc));
+}
+
+TEST(ExprUtil, ContainsExpensivePredicate) {
+  ExprPtr e = FirstWhere("SELECT x FROM t WHERE expensive_filter(a, 3) = 1");
+  EXPECT_TRUE(ContainsExpensivePredicate(*e));
+  ExprPtr cheap = FirstWhere("SELECT x FROM t WHERE mod(a, 3) = 1");
+  EXPECT_FALSE(ContainsExpensivePredicate(*cheap));
+  // Subquery predicates count as expensive too (paper §2.2.6).
+  ExprPtr sub = FirstWhere("SELECT x FROM t WHERE a IN (SELECT b FROM s)");
+  EXPECT_TRUE(ContainsExpensivePredicate(*sub));
+}
+
+TEST(ExprUtil, IsJoinPredicate) {
+  ExprPtr jp = FirstWhere("SELECT x FROM t WHERE t1.a = t2.b");
+  const Expr* l = nullptr;
+  const Expr* r = nullptr;
+  EXPECT_TRUE(IsJoinPredicate(*jp, &l, &r));
+  EXPECT_EQ(l->table_alias, "t1");
+  EXPECT_EQ(r->table_alias, "t2");
+  ExprPtr same = FirstWhere("SELECT x FROM t WHERE t1.a = t1.b");
+  EXPECT_FALSE(IsJoinPredicate(*same, nullptr, nullptr));
+  ExprPtr lit = FirstWhere("SELECT x FROM t WHERE t1.a = 3");
+  EXPECT_FALSE(IsJoinPredicate(*lit, nullptr, nullptr));
+}
+
+TEST(ExprUtil, IsSingleTableFilter) {
+  std::string alias;
+  ExprPtr f = FirstWhere("SELECT x FROM t WHERE t1.a > 3 AND t1.b < 9");
+  // Note: where[0] after conjunct split is just t1.a > 3.
+  EXPECT_TRUE(IsSingleTableFilter(*f, &alias));
+  EXPECT_EQ(alias, "t1");
+  ExprPtr j = FirstWhere("SELECT x FROM t WHERE t1.a = t2.b");
+  EXPECT_FALSE(IsSingleTableFilter(*j, &alias));
+}
+
+TEST(ExprUtil, RenameTableAliasDeep) {
+  auto qb = ParseSql(
+      "SELECT e.a FROM emp e WHERE EXISTS (SELECT 1 FROM s WHERE s.k = e.a)");
+  ASSERT_TRUE(qb.ok());
+  RenameTableAlias(qb.value().get(), "e", "e9");
+  EXPECT_EQ(qb.value()->from[0].alias, "e9");
+  EXPECT_TRUE(ExprUsesAlias(*qb.value()->where[0], "e9"));
+  EXPECT_FALSE(ExprUsesAlias(*qb.value()->where[0], "e"));
+  EXPECT_EQ(qb.value()->select[0].expr->table_alias, "e9");
+}
+
+TEST(ExprUtil, RewriteColumnRefs) {
+  ExprPtr e = FirstWhere("SELECT x FROM t WHERE v.a + v.b > 3");
+  RewriteColumnRefs(&e, [](const Expr& ref) -> ExprPtr {
+    if (ref.table_alias != "v") return nullptr;
+    return MakeColumnRef("base", ref.column_name + "_mapped");
+  });
+  EXPECT_TRUE(ExprUsesAlias(*e, "base"));
+  EXPECT_FALSE(ExprUsesAlias(*e, "v"));
+}
+
+TEST(ExprUtil, GlobalUniqueAlias) {
+  auto qb = ParseSql(
+      "SELECT a FROM t vw_x_1 WHERE EXISTS (SELECT 1 FROM s vw_x_2)");
+  ASSERT_TRUE(qb.ok());
+  EXPECT_EQ(GlobalUniqueAlias(*qb.value(), "vw_x"), "vw_x_3");
+  EXPECT_EQ(GlobalUniqueAlias(*qb.value(), "other"), "other_1");
+}
+
+TEST(ExprUtil, ExprEqualsStructural) {
+  ExprPtr a = FirstWhere("SELECT x FROM t WHERE t1.a + 1 > 2");
+  ExprPtr b = FirstWhere("SELECT x FROM t WHERE t1.a + 1 > 2");
+  ExprPtr c = FirstWhere("SELECT x FROM t WHERE t1.a + 1 > 3");
+  EXPECT_TRUE(ExprEquals(*a, *b));
+  EXPECT_FALSE(ExprEquals(*a, *c));
+}
+
+TEST(ExprUtil, CloneIsDeepAndEqual) {
+  ExprPtr e = FirstWhere(
+      "SELECT x FROM t WHERE a > (SELECT MAX(b) FROM s WHERE s.k = t.k)");
+  ExprPtr copy = e->Clone();
+  EXPECT_TRUE(ExprEquals(*e, *copy));
+  // Mutating the copy must not affect the original.
+  copy->children[0]->column_name = "zzz";
+  EXPECT_FALSE(ExprEquals(*e, *copy));
+}
+
+TEST(ExprUtil, ComparisonOpHelpers) {
+  EXPECT_EQ(SwapComparison(BinaryOp::kLt), BinaryOp::kGt);
+  EXPECT_EQ(SwapComparison(BinaryOp::kEq), BinaryOp::kEq);
+  EXPECT_EQ(NegateComparison(BinaryOp::kLt), BinaryOp::kGe);
+  EXPECT_EQ(NegateComparison(BinaryOp::kEq), BinaryOp::kNe);
+  EXPECT_TRUE(IsComparisonOp(BinaryOp::kLe));
+  EXPECT_FALSE(IsComparisonOp(BinaryOp::kAnd));
+}
+
+}  // namespace
+}  // namespace cbqt

@@ -1,0 +1,198 @@
+#include "cbqt/framework.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "sql/expr_util.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+
+namespace cbqt {
+namespace {
+
+class FrameworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeSmallHrDb();
+    ASSERT_NE(db_, nullptr);
+  }
+
+  Result<CbqtResult> Optimize(const std::string& sql, CbqtConfig cfg = {}) {
+    auto parsed = ParseSql(sql);
+    if (!parsed.ok()) return parsed.status();
+    CbqtOptimizer opt(*db_, cfg);
+    return opt.Optimize(*parsed.value());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+// The §4.4 query shape: three outer tables, four subqueries (NOT IN,
+// EXISTS, NOT EXISTS, IN), all unnestable by view generation.
+std::string Table2Query() {
+  return
+      "SELECT e.employee_name FROM employees e, departments d, locations l "
+      "WHERE e.dept_id = d.dept_id AND d.loc_id = l.loc_id "
+      "AND e.emp_id NOT IN (SELECT o.emp_id FROM orders o, customers c, "
+      "products p WHERE o.cust_id = c.cust_id AND p.product_id = o.order_id "
+      "AND o.total > 100) "
+      "AND EXISTS (SELECT 1 FROM job_history j, jobs jb, employees e2 WHERE "
+      "j.job_id = jb.job_id AND e2.emp_id = j.emp_id AND j.emp_id = "
+      "e.emp_id) "
+      "AND NOT EXISTS (SELECT 1 FROM orders o2, customers c2, locations l2 "
+      "WHERE o2.cust_id = c2.cust_id AND c2.country_id = l2.country_id AND "
+      "o2.emp_id = e.emp_id AND o2.status = 'CANCELLED') "
+      "AND e.dept_id IN (SELECT d2.dept_id FROM departments d2, locations "
+      "l3, jobs jb2 WHERE d2.loc_id = l3.loc_id AND jb2.job_id = d2.dept_id "
+      "AND l3.country_id = 'US')";
+}
+
+TEST_F(FrameworkTest, OptimizesAndExecutes) {
+  auto r = Optimize(
+      "SELECT e.employee_name FROM employees e WHERE e.salary > 100000");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Executor exec(*db_);
+  auto rows = exec.Execute(*r->plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GT(rows->size(), 0u);
+}
+
+TEST_F(FrameworkTest, HeuristicPhaseMergesSpjViews) {
+  auto r = Optimize(
+      "SELECT v.nm FROM (SELECT e.employee_name AS nm FROM employees e) v");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->tree->from[0].IsBaseTable());
+}
+
+TEST_F(FrameworkTest, StatesCountedPerTransformation) {
+  auto r = Optimize(
+      "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > (SELECT "
+      "AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id)");
+  ASSERT_TRUE(r.ok());
+  // One unnestable subquery: exhaustive search evaluates 2 states.
+  EXPECT_EQ(r->stats.states_per_transformation.at("unnest-view"), 2);
+}
+
+TEST_F(FrameworkTest, Table2StateCounts) {
+  // Paper Table 2: the 4-subquery query under each forced strategy.
+  std::map<SearchStrategy, int> expected = {
+      {SearchStrategy::kTwoPass, 2},
+      {SearchStrategy::kLinear, 5},
+      {SearchStrategy::kExhaustive, 16},
+  };
+  for (const auto& [strategy, states] : expected) {
+    CbqtConfig cfg;
+    cfg.force_strategy = true;
+    cfg.forced_strategy = strategy;
+    auto r = Optimize(Table2Query(), cfg);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->stats.states_per_transformation.at("unnest-view"), states)
+        << SearchStrategyName(strategy);
+  }
+}
+
+TEST_F(FrameworkTest, HeuristicModeEvaluatesNoStates) {
+  CbqtConfig cfg;
+  cfg.cost_based = false;
+  auto r = Optimize(Table2Query(), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.states_evaluated, 0);
+}
+
+TEST_F(FrameworkTest, AutomaticStrategySelection) {
+  CbqtConfig cfg;
+  cfg.exhaustive_threshold = 4;
+  cfg.two_pass_total_threshold = 10;
+  CbqtOptimizer opt(*db_, cfg);
+  EXPECT_EQ(opt.ChooseStrategy(3, 5), SearchStrategy::kExhaustive);
+  EXPECT_EQ(opt.ChooseStrategy(6, 8), SearchStrategy::kLinear);
+  EXPECT_EQ(opt.ChooseStrategy(3, 11), SearchStrategy::kTwoPass);
+}
+
+TEST_F(FrameworkTest, AnnotationReuseAcrossStates) {
+  // Table 1's accounting: exhaustive search over 2 subqueries optimizes 12
+  // blocks without reuse; with reuse at least 4 are cache hits.
+  auto r = Optimize(
+      "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > (SELECT "
+      "AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id) AND "
+      "e1.dept_id IN (SELECT d.dept_id FROM departments d, locations l "
+      "WHERE d.loc_id = l.loc_id AND l.country_id = 'US')");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->stats.annotation_hits, 4);
+}
+
+TEST_F(FrameworkTest, CostCutoffReducesWork) {
+  CbqtConfig with_cutoff;
+  CbqtConfig without_cutoff;
+  without_cutoff.cost_cutoff = false;
+  auto a = Optimize(Table2Query(), with_cutoff);
+  auto b = Optimize(Table2Query(), without_cutoff);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Same final choice either way.
+  EXPECT_DOUBLE_EQ(a->cost, b->cost);
+}
+
+TEST_F(FrameworkTest, DisablingUnnestKeepsSubqueries) {
+  CbqtConfig cfg;
+  cfg.enable_unnest = false;
+  auto r = Optimize(
+      "SELECT d.dept_name FROM departments d WHERE EXISTS (SELECT 1 FROM "
+      "employees e WHERE e.dept_id = d.dept_id)",
+      cfg);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->tree->from.size(), 1u);
+  EXPECT_TRUE(ContainsSubquery(*r->tree->where[0]));
+}
+
+TEST_F(FrameworkTest, InterleavingProtectsUnnesting) {
+  // Interleaving on vs off may pick different trees but both must run and
+  // produce identical results.
+  const std::string sql =
+      "SELECT e1.employee_name FROM employees e1, job_history j WHERE "
+      "e1.emp_id = j.emp_id AND e1.salary > (SELECT AVG(e2.salary) FROM "
+      "employees e2 WHERE e2.dept_id = e1.dept_id)";
+  CbqtConfig on;
+  CbqtConfig off;
+  off.interleave_view_merge = false;
+  auto a = Optimize(sql, on);
+  auto b = Optimize(sql, off);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GE(a->stats.interleaved_states, 1);
+  Executor exec(*db_);
+  auto ra = exec.Execute(*a->plan);
+  auto rb = exec.Execute(*b->plan);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->size(), rb->size());
+}
+
+TEST_F(FrameworkTest, AppliedTransformationsRecorded) {
+  auto r = Optimize(
+      "SELECT d.dept_name FROM departments d WHERE d.budget > 200000 AND "
+      "EXISTS (SELECT 1 FROM job_history j WHERE j.dept_id = d.dept_id)");
+  ASSERT_TRUE(r.ok());
+  // The heuristic merge unnesting leaves no record, but the tree shows it.
+  ASSERT_EQ(r->tree->from.size(), 2u);
+  EXPECT_EQ(r->tree->from[1].join, JoinKind::kSemi);
+}
+
+TEST_F(FrameworkTest, FinalPlanCostMatchesReportedCost) {
+  auto r = Optimize(Table2Query());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->cost, r->plan->est_cost);
+  EXPECT_GT(r->stats.blocks_planned, 0);
+}
+
+TEST_F(FrameworkTest, IterativeStrategyWorksEndToEnd) {
+  CbqtConfig cfg;
+  cfg.force_strategy = true;
+  cfg.forced_strategy = SearchStrategy::kIterative;
+  cfg.iterative_max_states = 12;
+  auto r = Optimize(Table2Query(), cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  int states = r->stats.states_per_transformation.at("unnest-view");
+  EXPECT_GE(states, 2);
+  EXPECT_LE(states, 16);
+}
+
+}  // namespace
+}  // namespace cbqt

@@ -1,0 +1,165 @@
+#include "transform/join_simplification.h"
+
+#include "transform/transform_util.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/reference.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+
+namespace cbqt {
+namespace {
+
+class JoinSimplificationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeSmallHrDb();
+    ASSERT_NE(db_, nullptr);
+  }
+
+  // Applies the transformation and cross-checks results against the
+  // reference interpreter on the ORIGINAL tree.
+  template <typename Fn>
+  std::unique_ptr<QueryBlock> Check(const std::string& sql, Fn transform,
+                                    bool expect_change) {
+    auto qb = ParseAndBind(*db_, sql);
+    if (qb == nullptr) return nullptr;
+    ReferenceExecutor reference(*db_);
+    auto expected = reference.Execute(*qb);
+    EXPECT_TRUE(expected.ok()) << expected.status().ToString();
+    SortRowsCanonical(&expected.value());
+
+    TransformContext ctx{qb.get(), db_.get()};
+    auto changed = transform(ctx);
+    EXPECT_TRUE(changed.ok());
+    EXPECT_EQ(changed.value(), expect_change) << sql;
+    EXPECT_TRUE(BindQuery(*db_, qb.get()).ok());
+
+    auto actual = reference.Execute(*qb);
+    EXPECT_TRUE(actual.ok()) << actual.status().ToString() << "\n"
+                             << BlockToSql(*qb);
+    if (actual.ok()) {
+      SortRowsCanonical(&actual.value());
+      EXPECT_EQ(actual->size(), expected->size()) << BlockToSql(*qb);
+      for (size_t i = 0; i < actual->size() && i < expected->size(); ++i) {
+        EXPECT_TRUE(RowsEqualStructural((*actual)[i], (*expected)[i]))
+            << "row " << i;
+      }
+    }
+    return qb;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(JoinSimplificationTest, NullRejectingWhereMakesOuterInner) {
+  auto qb = Check(
+      "SELECT e.employee_name, d.dept_name FROM employees e LEFT OUTER JOIN "
+      "departments d ON e.dept_id = d.dept_id WHERE d.budget > 200000",
+      [](TransformContext& ctx) { return SimplifyOuterJoins(ctx); }, true);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kInner);
+  EXPECT_TRUE(qb->from[1].join_conds.empty());
+  // The ON condition moved to WHERE.
+  EXPECT_EQ(qb->where.size(), 2u);
+}
+
+TEST_F(JoinSimplificationTest, IsNotNullAlsoRejects) {
+  auto qb = Check(
+      "SELECT c.cust_name FROM customers c LEFT OUTER JOIN orders o ON "
+      "o.cust_id = c.cust_id WHERE o.emp_id IS NOT NULL",
+      [](TransformContext& ctx) { return SimplifyOuterJoins(ctx); }, true);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kInner);
+}
+
+TEST_F(JoinSimplificationTest, IsNullDoesNotReject) {
+  auto qb = Check(
+      "SELECT c.cust_name FROM customers c LEFT OUTER JOIN orders o ON "
+      "o.cust_id = c.cust_id WHERE o.emp_id IS NULL",
+      [](TransformContext& ctx) { return SimplifyOuterJoins(ctx); }, false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kLeftOuter);
+}
+
+TEST_F(JoinSimplificationTest, OrPredicateDoesNotReject) {
+  auto qb = Check(
+      "SELECT c.cust_name FROM customers c LEFT OUTER JOIN orders o ON "
+      "o.cust_id = c.cust_id WHERE o.total > 100 OR c.segment = 'GOV'",
+      [](TransformContext& ctx) { return SimplifyOuterJoins(ctx); }, false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kLeftOuter);
+}
+
+TEST_F(JoinSimplificationTest, PredicateOnLeftSideDoesNotSimplify) {
+  auto qb = Check(
+      "SELECT c.cust_name FROM customers c LEFT OUTER JOIN orders o ON "
+      "o.cust_id = c.cust_id WHERE c.segment = 'GOV'",
+      [](TransformContext& ctx) { return SimplifyOuterJoins(ctx); }, false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kLeftOuter);
+}
+
+TEST_F(JoinSimplificationTest, DistinctDroppedWhenPkSelected) {
+  auto qb = Check(
+      "SELECT DISTINCT e.emp_id, e.employee_name FROM employees e WHERE "
+      "e.salary > 100000",
+      [](TransformContext& ctx) { return EliminateDistinct(ctx); }, true);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_FALSE(qb->distinct);
+}
+
+TEST_F(JoinSimplificationTest, DistinctKeptWithoutKey) {
+  auto qb = Check(
+      "SELECT DISTINCT e.dept_id FROM employees e",
+      [](TransformContext& ctx) { return EliminateDistinct(ctx); }, false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_TRUE(qb->distinct);
+}
+
+TEST_F(JoinSimplificationTest, DistinctKeptWithJoin) {
+  // Joins can multiply rows; the conservative rule requires a single
+  // producer entry.
+  auto qb = Check(
+      "SELECT DISTINCT e.emp_id FROM employees e, job_history j WHERE "
+      "j.emp_id = e.emp_id",
+      [](TransformContext& ctx) { return EliminateDistinct(ctx); }, false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_TRUE(qb->distinct);
+}
+
+TEST_F(JoinSimplificationTest, DistinctDroppedWithSemiJoinEntry) {
+  // Semijoins never multiply rows: the PK still guarantees uniqueness.
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT DISTINCT e.emp_id FROM employees e WHERE EXISTS (SELECT 1 "
+      "FROM job_history j WHERE j.emp_id = e.emp_id)");
+  ASSERT_NE(qb, nullptr);
+  TransformContext ctx{qb.get(), db_.get()};
+  HeuristicOptions opts;
+  ASSERT_TRUE(ApplyHeuristicTransformations(ctx, opts).ok());
+  ASSERT_TRUE(BindQuery(*db_, qb.get()).ok());
+  EXPECT_EQ(qb->from[1].join, JoinKind::kSemi);
+  EXPECT_FALSE(qb->distinct);
+}
+
+TEST_F(JoinSimplificationTest, SimplificationEnablesJoinElimination) {
+  // After outer->inner simplification, the FK join becomes eliminable if
+  // the dimension's columns vanish... here budget is referenced, so the
+  // join stays — but the full battery still returns correct results.
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT e.employee_name FROM employees e LEFT OUTER JOIN departments "
+      "d ON e.dept_id = d.dept_id WHERE d.budget > 0");
+  ASSERT_NE(qb, nullptr);
+  TransformContext ctx{qb.get(), db_.get()};
+  HeuristicOptions opts;
+  ASSERT_TRUE(ApplyHeuristicTransformations(ctx, opts).ok());
+  ASSERT_TRUE(BindQuery(*db_, qb.get()).ok());
+  EXPECT_EQ(qb->from.size(), 2u);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kInner);
+}
+
+}  // namespace
+}  // namespace cbqt

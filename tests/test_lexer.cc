@@ -1,0 +1,85 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace cbqt {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& sql) {
+  auto r = Tokenize(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r.value()) : std::vector<Token>{};
+}
+
+TEST(Lexer, IdentifiersLowercased) {
+  auto toks = MustTokenize("SELECT Foo FROM Bar_9");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "select");
+  EXPECT_EQ(toks[1].text, "foo");
+  EXPECT_EQ(toks[3].text, "bar_9");
+}
+
+TEST(Lexer, Numbers) {
+  auto toks = MustTokenize("42 3.5 1e3 2.5e-2");
+  EXPECT_EQ(toks[0].kind, TokenKind::kInt);
+  EXPECT_EQ(toks[0].int_val, 42);
+  EXPECT_EQ(toks[1].kind, TokenKind::kReal);
+  EXPECT_DOUBLE_EQ(toks[1].real_val, 3.5);
+  EXPECT_EQ(toks[2].kind, TokenKind::kReal);
+  EXPECT_DOUBLE_EQ(toks[2].real_val, 1000.0);
+  EXPECT_EQ(toks[3].kind, TokenKind::kReal);
+  EXPECT_DOUBLE_EQ(toks[3].real_val, 0.025);
+}
+
+TEST(Lexer, StringsWithEscapedQuote) {
+  auto toks = MustTokenize("'abc' 'O''Neil'");
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[0].text, "abc");
+  EXPECT_EQ(toks[1].text, "O'Neil");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'abc").ok());
+}
+
+TEST(Lexer, Operators) {
+  auto toks = MustTokenize("< <= <> >= > != = + - * /");
+  std::vector<std::string> expect = {"<", "<=", "<>", ">=", ">",
+                                     "<>", "=", "+", "-", "*", "/"};
+  ASSERT_GE(toks.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(toks[i].text, expect[i]) << i;
+  }
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto toks = MustTokenize("a -- line comment\n b /* block */ c");
+  ASSERT_EQ(toks.size(), 4u);  // a b c EOF
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, HintCommentPreserved) {
+  auto toks = MustTokenize("select /*+ NO_MERGE(v) */ x");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kHint);
+  EXPECT_EQ(toks[1].text, " no_merge(v) ");
+}
+
+TEST(Lexer, UnterminatedCommentFails) {
+  EXPECT_FALSE(Tokenize("a /* b").ok());
+}
+
+TEST(Lexer, EofToken) {
+  auto toks = MustTokenize("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+}  // namespace
+}  // namespace cbqt

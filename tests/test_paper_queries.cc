@@ -1,0 +1,196 @@
+// Analogues of the paper's running examples Q1..Q18, run end-to-end through
+// the CBQT optimizer and executor, with result equivalence across optimizer
+// modes as the correctness oracle.
+
+#include <gtest/gtest.h>
+
+#include "cbqt/framework.h"
+#include "exec/executor.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+
+namespace cbqt {
+namespace {
+
+class PaperQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeSmallHrDb();
+    ASSERT_NE(db_, nullptr);
+    runner_ = std::make_unique<WorkloadRunner>(*db_);
+  }
+
+  // Runs under all modes and requires identical sorted results.
+  void CheckAllModes(const std::string& sql) {
+    auto reference = runner_->RunToSortedRows(
+        sql, ConfigForMode(OptimizerMode::kUnnestOff));
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString() << "\n"
+                                << sql;
+    for (OptimizerMode mode :
+         {OptimizerMode::kCostBased, OptimizerMode::kHeuristicOnly,
+          OptimizerMode::kJppdOff, OptimizerMode::kGbpOff}) {
+      auto rows = runner_->RunToSortedRows(sql, ConfigForMode(mode));
+      ASSERT_TRUE(rows.ok())
+          << rows.status().ToString() << " mode=" << static_cast<int>(mode)
+          << "\n" << sql;
+      ASSERT_EQ(rows->size(), reference->size())
+          << "mode=" << static_cast<int>(mode) << "\n" << sql;
+      for (size_t i = 0; i < rows->size(); ++i) {
+        ASSERT_TRUE(RowsEqualStructural((*rows)[i], (*reference)[i]))
+            << "row " << i << " mode=" << static_cast<int>(mode) << "\n"
+            << sql;
+      }
+    }
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<WorkloadRunner> runner_;
+};
+
+TEST_F(PaperQueryTest, Q1_TwoSubqueries) {
+  // Q1: employees above their department's average salary, in US
+  // departments, with post-1998 job history.
+  CheckAllModes(
+      "SELECT e1.employee_name, j.job_title FROM employees e1, job_history "
+      "j WHERE e1.emp_id = j.emp_id AND j.start_date > '19980101' AND "
+      "e1.salary > (SELECT AVG(e2.salary) FROM employees e2 WHERE "
+      "e2.dept_id = e1.dept_id) AND e1.dept_id IN (SELECT d.dept_id FROM "
+      "departments d, locations l WHERE d.loc_id = l.loc_id AND "
+      "l.country_id = 'US')");
+}
+
+TEST_F(PaperQueryTest, Q2_SingleTableExists) {
+  CheckAllModes(
+      "SELECT d.dept_name FROM departments d WHERE EXISTS (SELECT 1 FROM "
+      "employees e WHERE e.dept_id = d.dept_id AND e.salary > 120000)");
+}
+
+TEST_F(PaperQueryTest, Q4_FkJoinElimination) {
+  CheckAllModes(
+      "SELECT e.employee_name, e.salary FROM employees e, departments d "
+      "WHERE e.dept_id = d.dept_id");
+}
+
+TEST_F(PaperQueryTest, Q5_OuterJoinElimination) {
+  CheckAllModes(
+      "SELECT e.employee_name, e.salary FROM employees e LEFT OUTER JOIN "
+      "departments d ON e.dept_id = d.dept_id");
+}
+
+TEST_F(PaperQueryTest, Q7_WindowViewWithPartitionFilter) {
+  CheckAllModes(
+      "SELECT v.acct_id, v.time, v.ravg FROM (SELECT a.acct_id AS acct_id, "
+      "a.time AS time, AVG(a.balance) OVER (PARTITION BY a.acct_id ORDER "
+      "BY a.time) AS ravg FROM accounts a) v WHERE v.acct_id = 3 AND "
+      "v.time <= 6");
+}
+
+TEST_F(PaperQueryTest, Q9_GroupPruning) {
+  CheckAllModes(
+      "SELECT v.l, v.d, v.c FROM (SELECT d.loc_id AS l, d.dept_id AS d, "
+      "COUNT(*) AS c FROM departments d GROUP BY ROLLUP(d.loc_id, "
+      "d.dept_id)) v WHERE v.d = 5");
+}
+
+TEST_F(PaperQueryTest, Q10_Q11_GroupByViewAndMerge) {
+  CheckAllModes(
+      "SELECT e1.employee_name, v.avg_sal FROM employees e1, (SELECT "
+      "AVG(e2.salary) AS avg_sal, e2.dept_id AS dept_id FROM employees e2 "
+      "GROUP BY e2.dept_id) v WHERE e1.dept_id = v.dept_id AND e1.salary > "
+      "v.avg_sal");
+}
+
+TEST_F(PaperQueryTest, Q12_Q13_Q18_DistinctViewJppdJuxtaposition) {
+  // The three-way comparison: keep the DISTINCT view (Q12), push the join
+  // predicate (Q13), or merge with DISTINCT pullup (Q18).
+  CheckAllModes(
+      "SELECT e1.employee_name, e1.salary FROM employees e1, (SELECT "
+      "DISTINCT j.emp_id AS emp_id FROM job_history j WHERE j.start_date > "
+      "'19980101') v WHERE v.emp_id = e1.emp_id AND e1.salary > 90000");
+}
+
+TEST_F(PaperQueryTest, Q14_Q15_JoinFactorization) {
+  CheckAllModes(
+      "SELECT j.job_title, d.dept_name FROM job_history j, departments d "
+      "WHERE j.dept_id = d.dept_id AND d.loc_id = 2 UNION ALL SELECT "
+      "j.job_title, d.dept_name FROM job_history j, departments d WHERE "
+      "j.dept_id = d.dept_id AND d.budget > 500000");
+}
+
+TEST_F(PaperQueryTest, Q16_Q17_PredicatePullup) {
+  CheckAllModes(
+      "SELECT v.oid, v.tt FROM (SELECT o.order_id AS oid, o.total AS tt, "
+      "o.order_date AS od FROM orders o WHERE expensive_filter(o.order_id, "
+      "4) = 1 AND expensive_filter(o.total, 3) = 1 ORDER BY o.order_date) "
+      "v WHERE rownum <= 7");
+}
+
+TEST_F(PaperQueryTest, SetOpIntersect) {
+  CheckAllModes(
+      "SELECT o.cust_id FROM orders o WHERE o.status = 'OPEN' INTERSECT "
+      "SELECT o.cust_id FROM orders o WHERE o.total > 2500");
+}
+
+TEST_F(PaperQueryTest, SetOpMinus) {
+  CheckAllModes(
+      "SELECT o.cust_id FROM orders o WHERE o.status = 'OPEN' MINUS SELECT "
+      "o.cust_id FROM orders o WHERE o.status = 'CLOSED'");
+}
+
+TEST_F(PaperQueryTest, OrExpansion) {
+  CheckAllModes(
+      "SELECT o.order_id, o.total FROM orders o, customers c WHERE "
+      "o.cust_id = c.cust_id AND (o.order_id = 11 OR c.cust_id = 22)");
+}
+
+TEST_F(PaperQueryTest, NotInNullableColumn) {
+  CheckAllModes(
+      "SELECT e.employee_name FROM employees e WHERE e.emp_id NOT IN "
+      "(SELECT o.emp_id FROM orders o WHERE o.total > 3000)");
+}
+
+TEST_F(PaperQueryTest, AllQuantifier) {
+  CheckAllModes(
+      "SELECT e.employee_name FROM employees e WHERE e.salary >= ALL "
+      "(SELECT e2.salary FROM employees e2 WHERE e2.dept_id = e.dept_id)");
+}
+
+TEST_F(PaperQueryTest, AnyQuantifier) {
+  CheckAllModes(
+      "SELECT d.dept_name FROM departments d WHERE d.budget > ANY (SELECT "
+      "e.salary * 5 FROM employees e WHERE e.dept_id = d.dept_id)");
+}
+
+TEST_F(PaperQueryTest, GroupByPlacementQuery) {
+  CheckAllModes(
+      "SELECT p.product_name, SUM(oi.price) AS rev FROM products p, "
+      "order_items oi WHERE oi.product_id = p.product_id GROUP BY "
+      "p.product_name");
+}
+
+TEST_F(PaperQueryTest, MultiTableExists) {
+  CheckAllModes(
+      "SELECT d.dept_name FROM departments d WHERE EXISTS (SELECT 1 FROM "
+      "employees e, job_history j WHERE e.emp_id = j.emp_id AND e.dept_id "
+      "= d.dept_id AND j.start_date > '20000101')");
+}
+
+TEST_F(PaperQueryTest, CbqtChoosesUnnestingForQ10Shape) {
+  // Structural check: the Q1 aggregate subquery gets unnested (view or
+  // merged) under cost-based optimization on this data.
+  auto parsed = ParseSql(
+      "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > (SELECT "
+      "AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id)");
+  ASSERT_TRUE(parsed.ok());
+  CbqtOptimizer opt(*db_, ConfigForMode(OptimizerMode::kCostBased));
+  auto r = opt.Optimize(*parsed.value());
+  ASSERT_TRUE(r.ok());
+  bool applied_unnest = false;
+  for (const auto& a : r->stats.applied) {
+    if (a.find("unnest-view") != std::string::npos) applied_unnest = true;
+  }
+  EXPECT_TRUE(applied_unnest);
+}
+
+}  // namespace
+}  // namespace cbqt

@@ -1,0 +1,260 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/unparser.h"
+
+namespace cbqt {
+namespace {
+
+std::unique_ptr<QueryBlock> MustParse(const std::string& sql) {
+  auto r = ParseSql(sql);
+  EXPECT_TRUE(r.ok()) << sql << "\n-> " << r.status().ToString();
+  return r.ok() ? std::move(r.value()) : nullptr;
+}
+
+TEST(Parser, SimpleSelect) {
+  auto qb = MustParse("SELECT a, b FROM t WHERE a = 1");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->select.size(), 2u);
+  EXPECT_EQ(qb->from.size(), 1u);
+  EXPECT_EQ(qb->from[0].table_name, "t");
+  EXPECT_EQ(qb->from[0].alias, "t");
+  EXPECT_EQ(qb->where.size(), 1u);
+}
+
+TEST(Parser, AliasesWithAndWithoutAs) {
+  auto qb = MustParse("SELECT e.salary AS s, e.name n FROM employees e");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->select[0].alias, "s");
+  EXPECT_EQ(qb->select[1].alias, "n");
+  EXPECT_EQ(qb->from[0].alias, "e");
+}
+
+TEST(Parser, WhereConjunctsSplit) {
+  auto qb = MustParse("SELECT a FROM t WHERE a = 1 AND b > 2 AND c < 3");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->where.size(), 3u);
+}
+
+TEST(Parser, OrStaysOneConjunct) {
+  auto qb = MustParse("SELECT a FROM t WHERE a = 1 OR b = 2");
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->where.size(), 1u);
+  EXPECT_EQ(qb->where[0]->bop, BinaryOp::kOr);
+}
+
+TEST(Parser, CommaJoinAndAnsiJoin) {
+  auto qb = MustParse(
+      "SELECT a FROM t1, t2 JOIN t3 ON t2.x = t3.x LEFT OUTER JOIN t4 ON "
+      "t3.y = t4.y");
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->from.size(), 4u);
+  EXPECT_EQ(qb->from[3].join, JoinKind::kLeftOuter);
+  EXPECT_EQ(qb->from[3].join_conds.size(), 1u);
+  // Inner ON conditions become WHERE conjuncts in the declarative tree.
+  EXPECT_EQ(qb->where.size(), 1u);
+}
+
+TEST(Parser, DerivedTable) {
+  auto qb = MustParse("SELECT v.x FROM (SELECT a AS x FROM t) v");
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->from.size(), 1u);
+  EXPECT_FALSE(qb->from[0].IsBaseTable());
+  EXPECT_EQ(qb->from[0].alias, "v");
+  EXPECT_EQ(qb->from[0].derived->select[0].alias, "x");
+}
+
+TEST(Parser, ExistsAndNotExists) {
+  auto qb = MustParse(
+      "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM s) AND NOT EXISTS "
+      "(SELECT 1 FROM r)");
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->where.size(), 2u);
+  EXPECT_EQ(qb->where[0]->subkind, SubqueryKind::kExists);
+  EXPECT_EQ(qb->where[1]->subkind, SubqueryKind::kNotExists);
+}
+
+TEST(Parser, InSubqueryAndNotIn) {
+  auto qb = MustParse(
+      "SELECT a FROM t WHERE a IN (SELECT b FROM s) AND c NOT IN (SELECT d "
+      "FROM r)");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->where[0]->subkind, SubqueryKind::kIn);
+  EXPECT_EQ(qb->where[0]->children.size(), 1u);
+  EXPECT_EQ(qb->where[1]->subkind, SubqueryKind::kNotIn);
+}
+
+TEST(Parser, RowInSubquery) {
+  auto qb = MustParse("SELECT a FROM t WHERE (a, b) IN (SELECT c, d FROM s)");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->where[0]->subkind, SubqueryKind::kIn);
+  EXPECT_EQ(qb->where[0]->children.size(), 2u);
+}
+
+TEST(Parser, InValueListExpandsToOr) {
+  auto qb = MustParse("SELECT a FROM t WHERE a IN (1, 2, 3)");
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->where.size(), 1u);
+  EXPECT_EQ(qb->where[0]->bop, BinaryOp::kOr);
+}
+
+TEST(Parser, AnyAllComparisons) {
+  auto qb = MustParse(
+      "SELECT a FROM t WHERE a > ANY (SELECT b FROM s) AND a >= ALL (SELECT "
+      "c FROM r)");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->where[0]->subkind, SubqueryKind::kAnyCmp);
+  EXPECT_EQ(qb->where[0]->sub_cmp, BinaryOp::kGt);
+  EXPECT_EQ(qb->where[1]->subkind, SubqueryKind::kAllCmp);
+  EXPECT_EQ(qb->where[1]->sub_cmp, BinaryOp::kGe);
+}
+
+TEST(Parser, ScalarSubqueryInComparison) {
+  auto qb = MustParse(
+      "SELECT a FROM t WHERE a > (SELECT AVG(b) FROM s WHERE s.k = t.k)");
+  ASSERT_NE(qb, nullptr);
+  const Expr& w = *qb->where[0];
+  EXPECT_EQ(w.bop, BinaryOp::kGt);
+  EXPECT_EQ(w.children[1]->subkind, SubqueryKind::kScalar);
+}
+
+TEST(Parser, Aggregates) {
+  auto qb = MustParse(
+      "SELECT COUNT(*), COUNT(a), SUM(b), AVG(c), MIN(d), MAX(e), "
+      "COUNT(DISTINCT f) FROM t GROUP BY g HAVING COUNT(*) > 2");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->select[0].expr->agg, AggFunc::kCountStar);
+  EXPECT_EQ(qb->select[1].expr->agg, AggFunc::kCount);
+  EXPECT_EQ(qb->select[2].expr->agg, AggFunc::kSum);
+  EXPECT_TRUE(qb->select[6].expr->agg_distinct);
+  EXPECT_EQ(qb->group_by.size(), 1u);
+  EXPECT_EQ(qb->having.size(), 1u);
+}
+
+TEST(Parser, OrderByAscDesc) {
+  auto qb = MustParse("SELECT a FROM t ORDER BY a DESC, b ASC, c");
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->order_by.size(), 3u);
+  EXPECT_FALSE(qb->order_by[0].ascending);
+  EXPECT_TRUE(qb->order_by[1].ascending);
+  EXPECT_TRUE(qb->order_by[2].ascending);
+}
+
+TEST(Parser, SetOperators) {
+  auto qb = MustParse(
+      "SELECT a FROM t UNION ALL SELECT a FROM s UNION ALL SELECT a FROM r");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->set_op, SetOpKind::kUnionAll);
+  // Same-kind UNION ALL chains flatten into one multi-branch block.
+  EXPECT_EQ(qb->branches.size(), 3u);
+}
+
+TEST(Parser, IntersectAndMinus) {
+  auto qb = MustParse("SELECT a FROM t INTERSECT SELECT a FROM s");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->set_op, SetOpKind::kIntersect);
+  qb = MustParse("SELECT a FROM t MINUS SELECT a FROM s");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->set_op, SetOpKind::kMinus);
+}
+
+TEST(Parser, Between) {
+  auto qb = MustParse("SELECT a FROM t WHERE a BETWEEN 1 AND 5");
+  ASSERT_NE(qb, nullptr);
+  // Expands to a >= 1 AND a <= 5 (split into two conjuncts).
+  EXPECT_EQ(qb->where.size(), 2u);
+}
+
+TEST(Parser, IsNullIsNotNull) {
+  auto qb = MustParse("SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->where[0]->uop, UnaryOp::kIsNull);
+  EXPECT_EQ(qb->where[1]->uop, UnaryOp::kIsNotNull);
+}
+
+TEST(Parser, CaseExpression) {
+  auto qb = MustParse(
+      "SELECT CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END "
+      "FROM t");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->select[0].expr->kind, ExprKind::kCase);
+  EXPECT_EQ(qb->select[0].expr->children.size(), 5u);
+}
+
+TEST(Parser, WindowFunction) {
+  auto qb = MustParse(
+      "SELECT AVG(balance) OVER (PARTITION BY acct_id ORDER BY time RANGE "
+      "BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) FROM accounts");
+  ASSERT_NE(qb, nullptr);
+  const Expr& w = *qb->select[0].expr;
+  EXPECT_EQ(w.kind, ExprKind::kWindow);
+  EXPECT_EQ(w.win_func, AggFunc::kAvg);
+  EXPECT_EQ(w.partition_by.size(), 1u);
+  EXPECT_EQ(w.win_order_by.size(), 1u);
+}
+
+TEST(Parser, RownumPredicate) {
+  auto qb = MustParse("SELECT a FROM t WHERE rownum <= 10");
+  ASSERT_NE(qb, nullptr);
+  // The binder extracts ROWNUM limits; the parser keeps it as a predicate.
+  ASSERT_EQ(qb->where.size(), 1u);
+  EXPECT_EQ(qb->where[0]->children[0]->kind, ExprKind::kRownum);
+}
+
+TEST(Parser, NoMergeHint) {
+  auto qb = MustParse(
+      "SELECT /*+ no_merge(v) */ v.a FROM (SELECT a FROM t) v");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_TRUE(qb->from[0].no_merge);
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  auto qb = MustParse("SELECT a + b * c - d / 2 FROM t");
+  ASSERT_NE(qb, nullptr);
+  // ((a + (b*c)) - (d/2))
+  const Expr& top = *qb->select[0].expr;
+  EXPECT_EQ(top.bop, BinaryOp::kSub);
+  EXPECT_EQ(top.children[0]->bop, BinaryOp::kAdd);
+  EXPECT_EQ(top.children[0]->children[1]->bop, BinaryOp::kMul);
+  EXPECT_EQ(top.children[1]->bop, BinaryOp::kDiv);
+}
+
+TEST(Parser, GroupingSetsAndRollup) {
+  auto qb = MustParse(
+      "SELECT a, b, COUNT(*) FROM t GROUP BY GROUPING SETS ((a), (a, b), "
+      "())");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->group_by.size(), 2u);
+  ASSERT_EQ(qb->grouping_sets.size(), 3u);
+  EXPECT_EQ(qb->grouping_sets[2].size(), 0u);
+
+  qb = MustParse("SELECT a, b, COUNT(*) FROM t GROUP BY ROLLUP(a, b)");
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->grouping_sets.size(), 3u);  // (a,b), (a), ()
+}
+
+TEST(Parser, ErrorsReported) {
+  EXPECT_FALSE(ParseSql("SELECT , FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t GROUP a").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t extra_garbage junk").ok());
+}
+
+TEST(Parser, RoundTripThroughUnparser) {
+  const char* sql =
+      "SELECT e.name AS n, SUM(e.salary) AS total FROM employees e, "
+      "departments d WHERE e.dept_id = d.dept_id AND e.salary > 100 GROUP "
+      "BY e.name HAVING SUM(e.salary) > 1000 ORDER BY n DESC";
+  auto qb = MustParse(sql);
+  ASSERT_NE(qb, nullptr);
+  std::string rendered = BlockToSql(*qb);
+  // The unparsed text must itself parse to an equal tree.
+  auto qb2 = MustParse(rendered);
+  ASSERT_NE(qb2, nullptr);
+  EXPECT_TRUE(BlockEquals(*qb, *qb2)) << rendered;
+}
+
+}  // namespace
+}  // namespace cbqt

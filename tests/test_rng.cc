@@ -1,0 +1,94 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cbqt {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextUintInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint(17), 17u);
+  }
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.03);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(6);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.2)) ++heads;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.2, 0.03);
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  Rng rng(8);
+  Zipf zipf(10, 0.0);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  for (const auto& [v, c] : counts) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+    EXPECT_NEAR(c / 20000.0, 0.1, 0.03);
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnSmallValues) {
+  Rng rng(9);
+  Zipf zipf(100, 1.0);
+  int first_ten = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) < 10) ++first_ten;
+  }
+  // With theta=1 the first 10 of 100 values carry well over a third of the
+  // mass.
+  EXPECT_GT(first_ten, n / 3);
+}
+
+}  // namespace
+}  // namespace cbqt

@@ -1,0 +1,148 @@
+#include "cbqt/search.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cbqt {
+namespace {
+
+// A deterministic cost function over states: cost = base - sum of gains for
+// set bits, plus an optional interaction term.
+struct CostFn {
+  std::vector<double> gains;
+  double interaction = 0;  // added when bits 0 and 1 are both set
+
+  double operator()(const TransformState& s) const {
+    double cost = 100;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i]) cost -= gains[i];
+    }
+    if (s.size() >= 2 && s[0] && s[1]) cost += interaction;
+    return cost;
+  }
+};
+
+StateEvaluator Wrap(const CostFn& fn, int* calls = nullptr) {
+  return [fn, calls](const TransformState& s) -> Result<double> {
+    if (calls != nullptr) ++*calls;
+    return fn(s);
+  };
+}
+
+TEST(Search, ExhaustiveEvaluatesAllStates) {
+  CostFn fn{{5, -3, 1}, 0};
+  auto r = RunSearch(SearchStrategy::kExhaustive, 3, Wrap(fn), nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->states_evaluated, 8);
+  // Optimal: bits with positive gain set -> (1,0,1), cost 94.
+  EXPECT_EQ(r->best_state, TransformState({true, false, true}));
+  EXPECT_DOUBLE_EQ(r->best_cost, 94);
+}
+
+TEST(Search, ExhaustiveFindsInteractionOptimum) {
+  // Individually bad, jointly good: only exhaustive-style search sees it.
+  CostFn fn{{-2, -2, 0}, -10};  // cost(1,1,*) = 100 +2+2-10 = 94
+  auto r = RunSearch(SearchStrategy::kExhaustive, 3, Wrap(fn), nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->best_state[0] && r->best_state[1]);
+  EXPECT_DOUBLE_EQ(r->best_cost, 94);
+}
+
+TEST(Search, LinearEvaluatesNPlusOneStates) {
+  CostFn fn{{5, 3, 1, 2}, 0};
+  int calls = 0;
+  auto r = RunSearch(SearchStrategy::kLinear, 4, Wrap(fn, &calls), nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->states_evaluated, 5);  // N+1 (paper Table 2: 5 for N=4)
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(r->best_state, TransformState({true, true, true, true}));
+}
+
+TEST(Search, LinearGreedyKeepsOnlyImprovingBits) {
+  CostFn fn{{5, -3, 1}, 0};
+  auto r = RunSearch(SearchStrategy::kLinear, 3, Wrap(fn), nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->best_state, TransformState({true, false, true}));
+}
+
+TEST(Search, LinearMissesInteractionOptimum) {
+  // The documented limitation (paper: linear "works best when the
+  // transformations are independent").
+  CostFn fn{{-2, -2, 0}, -10};
+  auto r = RunSearch(SearchStrategy::kLinear, 3, Wrap(fn), nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->best_cost, 100);  // stuck at the zero state
+}
+
+TEST(Search, TwoPassEvaluatesTwoStates) {
+  CostFn fn{{5, 3}, 0};
+  auto r = RunSearch(SearchStrategy::kTwoPass, 2, Wrap(fn), nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->states_evaluated, 2);
+  EXPECT_EQ(r->best_state, TransformState({true, true}));
+}
+
+TEST(Search, TwoPassPicksZeroWhenTransformAllIsWorse) {
+  CostFn fn{{5, -30}, 0};
+  auto r = RunSearch(SearchStrategy::kTwoPass, 2, Wrap(fn), nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->best_state, TransformState({false, false}));
+}
+
+TEST(Search, IterativeFindsOptimumWithinBudget) {
+  CostFn fn{{5, 3, 1, 2, 4}, 0};
+  Rng rng(42);
+  auto r = RunSearch(SearchStrategy::kIterative, 5, Wrap(fn), &rng,
+                     /*max_states=*/32);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->best_state, TransformState({true, true, true, true, true}));
+  EXPECT_GE(r->states_evaluated, 5);
+  EXPECT_LE(r->states_evaluated, 32);
+}
+
+TEST(Search, IterativeRespectsMaxStates) {
+  CostFn fn{{1, 1, 1, 1, 1, 1, 1, 1}, 0};
+  Rng rng(7);
+  auto r = RunSearch(SearchStrategy::kIterative, 8, Wrap(fn), &rng, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->states_evaluated, 10 + 8);  // one descent may finish
+}
+
+TEST(Search, CutoffStatesTreatedAsWorse) {
+  int calls = 0;
+  auto eval = [&calls](const TransformState& s) -> Result<double> {
+    ++calls;
+    bool any = false;
+    for (bool b : s) any |= b;
+    if (any) return Status::CostCutoff();
+    return 50.0;
+  };
+  auto r = RunSearch(SearchStrategy::kExhaustive, 2, eval, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->best_state, TransformState({false, false}));
+  EXPECT_EQ(r->states_evaluated, 4);
+}
+
+TEST(Search, HardErrorAbortsSearch) {
+  auto eval = [](const TransformState&) -> Result<double> {
+    return Status::Internal("boom");
+  };
+  auto r = RunSearch(SearchStrategy::kExhaustive, 2, eval, nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Search, ZeroObjectsRejected) {
+  auto eval = [](const TransformState&) -> Result<double> { return 1.0; };
+  EXPECT_FALSE(RunSearch(SearchStrategy::kExhaustive, 0, eval, nullptr).ok());
+}
+
+TEST(State, Helpers) {
+  EXPECT_EQ(StateToString({true, false, true}), "(1,0,1)");
+  EXPECT_EQ(ZeroState(3), TransformState({false, false, false}));
+  EXPECT_EQ(OnesState(2), TransformState({true, true}));
+  EXPECT_EQ(StateFromMask(0b101, 3), TransformState({true, false, true}));
+}
+
+}  // namespace
+}  // namespace cbqt

@@ -1,0 +1,33 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cbqt {
+namespace {
+
+TEST(StrUtil, ToLowerUpper) {
+  EXPECT_EQ(ToLower("SeLeCt * FROM T_1"), "select * from t_1");
+  EXPECT_EQ(ToUpper("avg"), "AVG");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StrUtil, JoinStrings) {
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+  EXPECT_EQ(JoinStrings({"a"}, ", "), "a");
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, " AND "), "a AND b AND c");
+}
+
+TEST(StrUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%04d", 7), "0007");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StrUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("expensive_filter", "expensive_"));
+  EXPECT_FALSE(StartsWith("exp", "expensive_"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+}  // namespace
+}  // namespace cbqt

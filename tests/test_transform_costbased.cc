@@ -1,0 +1,561 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "sql/expr_util.h"
+#include "optimizer/planner.h"
+#include "tests/test_util.h"
+#include "transform/groupby_placement.h"
+#include "transform/groupby_view_merge.h"
+#include "transform/join_factorization.h"
+#include "transform/jppd.h"
+#include "transform/or_expansion.h"
+#include "transform/predicate_pullup.h"
+#include "transform/setop_to_join.h"
+#include "transform/subquery_unnest.h"
+#include "workload/runner.h"
+
+namespace cbqt {
+namespace {
+
+class CostBasedTransformTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeSmallHrDb();
+    ASSERT_NE(db_, nullptr);
+  }
+
+  std::vector<Row> Execute(const QueryBlock& qb) {
+    Planner planner(*db_, CostParams{});
+    auto bp = planner.PlanBlock(qb);
+    if (!bp.ok()) {
+      ADD_FAILURE() << bp.status().ToString() << "\n" << BlockToSql(qb);
+      return {};
+    }
+    Executor exec(*db_);
+    auto rows = exec.Execute(*bp->plan);
+    if (!rows.ok()) {
+      ADD_FAILURE() << rows.status().ToString() << "\n" << BlockToSql(qb);
+      return {};
+    }
+    SortRowsCanonical(&rows.value());
+    return std::move(rows.value());
+  }
+
+  // Applies the all-ones state of `t` and checks result equivalence.
+  std::unique_ptr<QueryBlock> ApplyAll(const CostBasedTransformation& t,
+                                       const std::string& sql,
+                                       int expect_objects) {
+    auto qb = ParseAndBind(*db_, sql);
+    if (qb == nullptr) return nullptr;
+    auto before = Execute(*qb);
+    TransformContext ctx{qb.get(), db_.get()};
+    int n = t.CountObjects(ctx);
+    EXPECT_EQ(n, expect_objects) << sql;
+    if (n == 0) return qb;
+    Status st = t.Apply(ctx, std::vector<bool>(static_cast<size_t>(n), true));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    st = BindQuery(*db_, qb.get());
+    EXPECT_TRUE(st.ok()) << st.ToString() << "\n" << BlockToSql(*qb);
+    auto after = Execute(*qb);
+    EXPECT_EQ(before.size(), after.size()) << BlockToSql(*qb);
+    for (size_t i = 0; i < before.size() && i < after.size(); ++i) {
+      EXPECT_TRUE(RowsEqualStructural(before[i], after[i]))
+          << "row " << i << "\n"
+          << BlockToSql(*qb);
+    }
+    return qb;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+// ---- group-by / distinct view merging (§2.2.2) ----
+
+TEST_F(CostBasedTransformTest, GroupByViewMergesIntoOuterBlock) {
+  GroupByViewMergeTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT d.dept_name, v.avg_sal FROM departments d, (SELECT e.dept_id "
+      "AS dept_id, AVG(e.salary) AS avg_sal FROM employees e GROUP BY "
+      "e.dept_id) v WHERE v.dept_id = d.dept_id",
+      1);
+  ASSERT_NE(qb, nullptr);
+  // View gone; block now aggregates with ROWID keys (Q11 shape).
+  for (const auto& tr : qb->from) EXPECT_TRUE(tr.IsBaseTable());
+  EXPECT_TRUE(qb->IsAggregating());
+  bool has_rowid_key = false;
+  for (const auto& g : qb->group_by) {
+    if (g->kind == ExprKind::kColumnRef && g->column_name == "rowid") {
+      has_rowid_key = true;
+    }
+  }
+  EXPECT_TRUE(has_rowid_key);
+}
+
+TEST_F(CostBasedTransformTest, AggregateComparisonMovesToHaving) {
+  GroupByViewMergeTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT e1.employee_name FROM employees e1, (SELECT e2.dept_id AS d, "
+      "AVG(e2.salary) AS a FROM employees e2 GROUP BY e2.dept_id) v WHERE "
+      "v.d = e1.dept_id AND e1.salary > v.a",
+      1);
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->having.size(), 1u);
+  EXPECT_TRUE(ContainsAggregate(*qb->having[0]));
+}
+
+TEST_F(CostBasedTransformTest, DistinctViewMergeWrapsWithRowids) {
+  GroupByViewMergeTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT e.employee_name FROM employees e, (SELECT DISTINCT j.emp_id "
+      "AS emp_id FROM job_history j) v WHERE v.emp_id = e.emp_id AND "
+      "e.salary > 100000",
+      1);
+  ASSERT_NE(qb, nullptr);
+  // Q18 shape: the outer block is a projection over a new DISTINCT view
+  // carrying ROWID keys.
+  ASSERT_EQ(qb->from.size(), 1u);
+  ASSERT_FALSE(qb->from[0].IsBaseTable());
+  const QueryBlock& dv = *qb->from[0].derived;
+  EXPECT_TRUE(dv.distinct);
+  bool has_rowid = false;
+  for (const auto& item : dv.select) {
+    if (item.expr->kind == ExprKind::kColumnRef &&
+        item.expr->column_name == "rowid") {
+      has_rowid = true;
+    }
+  }
+  EXPECT_TRUE(has_rowid);
+}
+
+TEST_F(CostBasedTransformTest, AggregatingOuterBlockNotMerged) {
+  GroupByViewMergeTransformation t;
+  ApplyAll(t,
+           "SELECT COUNT(*) FROM departments d, (SELECT e.dept_id AS dept_id "
+           "FROM employees e GROUP BY e.dept_id) v WHERE v.dept_id = "
+           "d.dept_id",
+           0);
+}
+
+// ---- JPPD (§2.2.3) ----
+
+TEST_F(CostBasedTransformTest, JppdMakesViewLateral) {
+  JoinPredicatePushdownTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT d.dept_name, v.cnt FROM departments d, (SELECT e.dept_id AS "
+      "dept_id, COUNT(*) AS cnt FROM employees e GROUP BY e.dept_id) v "
+      "WHERE v.dept_id = d.dept_id",
+      1);
+  ASSERT_NE(qb, nullptr);
+  const TableRef& vw = qb->from[1];
+  EXPECT_TRUE(vw.lateral);
+  // The join predicate moved inside the view as a correlation.
+  EXPECT_TRUE(qb->where.empty());
+  EXPECT_FALSE(vw.derived->where.empty());
+}
+
+TEST_F(CostBasedTransformTest, JppdDistinctRemovalConvertsToSemijoin) {
+  // Q12 -> Q13: all DISTINCT columns equi-joined; DISTINCT removed, join
+  // becomes a semijoin.
+  JoinPredicatePushdownTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT e.employee_name FROM employees e, (SELECT DISTINCT j.emp_id "
+      "AS emp_id FROM job_history j) v WHERE v.emp_id = e.emp_id",
+      1);
+  ASSERT_NE(qb, nullptr);
+  const TableRef& vw = qb->from[1];
+  EXPECT_TRUE(vw.lateral);
+  EXPECT_EQ(vw.join, JoinKind::kSemi);
+  EXPECT_FALSE(vw.derived->distinct);
+}
+
+TEST_F(CostBasedTransformTest, JppdDistinctKeptWhenOutputsStillUsed) {
+  JoinPredicatePushdownTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT e.employee_name, v.emp_id FROM employees e, (SELECT DISTINCT "
+      "j.emp_id AS emp_id FROM job_history j) v WHERE v.emp_id = e.emp_id",
+      1);
+  ASSERT_NE(qb, nullptr);
+  const TableRef& vw = qb->from[1];
+  EXPECT_TRUE(vw.lateral);
+  EXPECT_EQ(vw.join, JoinKind::kInner);
+  EXPECT_TRUE(vw.derived->distinct);
+}
+
+TEST_F(CostBasedTransformTest, JppdIntoUnionAllBranches) {
+  JoinPredicatePushdownTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT c.cust_name, v.total FROM customers c, (SELECT o.cust_id AS "
+      "cust_id, o.total AS total FROM orders o WHERE o.status = 'OPEN' "
+      "UNION ALL SELECT o.cust_id, o.total FROM orders o WHERE o.status = "
+      "'SHIPPED') v WHERE v.cust_id = c.cust_id",
+      1);
+  ASSERT_NE(qb, nullptr);
+  const TableRef& vw = qb->from[1];
+  EXPECT_TRUE(vw.lateral);
+  for (const auto& b : vw.derived->branches) {
+    EXPECT_EQ(b->where.size(), 2u);  // status filter + pushed correlation
+  }
+}
+
+TEST_F(CostBasedTransformTest, JppdIntoSemiJoinedViewConditions) {
+  // Semi-joined views (e.g. produced by unnesting) carry their predicates
+  // in join_conds; JPPD pushes those inside, making the view lateral — the
+  // combination behind Figure 3's indexed-TIS-like plans after unnesting.
+  JoinPredicatePushdownTransformation t;
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT d.dept_name FROM departments d WHERE EXISTS (SELECT 1 FROM "
+      "employees e, job_history j WHERE e.emp_id = j.emp_id AND e.dept_id "
+      "= d.dept_id)");
+  ASSERT_NE(qb, nullptr);
+  auto before = Execute(*qb);
+  // First unnest into a semi-joined view.
+  {
+    SubqueryUnnestViewTransformation unnest;
+    TransformContext ctx{qb.get(), db_.get()};
+    ASSERT_EQ(unnest.CountObjects(ctx), 1);
+    ASSERT_TRUE(unnest.Apply(ctx, {true}).ok());
+    ASSERT_TRUE(BindQuery(*db_, qb.get()).ok());
+  }
+  ASSERT_EQ(qb->from[1].join, JoinKind::kSemi);
+  ASSERT_FALSE(qb->from[1].join_conds.empty());
+  // Then push the semijoin condition into the view.
+  {
+    TransformContext ctx{qb.get(), db_.get()};
+    ASSERT_EQ(t.CountObjects(ctx), 1);
+    ASSERT_TRUE(t.Apply(ctx, {true}).ok());
+    ASSERT_TRUE(BindQuery(*db_, qb.get()).ok());
+  }
+  EXPECT_TRUE(qb->from[1].lateral);
+  EXPECT_TRUE(qb->from[1].join_conds.empty());
+  auto after = Execute(*qb);
+  ASSERT_EQ(before.size(), after.size()) << BlockToSql(*qb);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(RowsEqualStructural(before[i], after[i])) << "row " << i;
+  }
+}
+
+TEST_F(CostBasedTransformTest, JppdAggregateColumnNotPushable) {
+  JoinPredicatePushdownTransformation t;
+  ApplyAll(t,
+           "SELECT d.dept_name FROM departments d, (SELECT e.dept_id AS "
+           "dept_id, COUNT(*) AS cnt FROM employees e GROUP BY e.dept_id) v "
+           "WHERE v.cnt = d.dept_id",
+           0);
+}
+
+// ---- group-by placement (§2.2.4) ----
+
+TEST_F(CostBasedTransformTest, GbpCreatesPreAggregatedView) {
+  GroupByPlacementTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT p.product_name, SUM(oi.price) AS rev FROM products p, "
+      "order_items oi WHERE oi.product_id = p.product_id GROUP BY "
+      "p.product_name",
+      1);
+  ASSERT_NE(qb, nullptr);
+  // order_items replaced by a group-by view with a partial SUM.
+  bool has_view = false;
+  for (const auto& tr : qb->from) {
+    if (!tr.IsBaseTable()) {
+      has_view = true;
+      EXPECT_FALSE(tr.derived->group_by.empty());
+      bool has_partial_sum = false;
+      for (const auto& item : tr.derived->select) {
+        if (item.expr->kind == ExprKind::kAggregate &&
+            item.expr->agg == AggFunc::kSum) {
+          has_partial_sum = true;
+        }
+      }
+      EXPECT_TRUE(has_partial_sum);
+    }
+  }
+  EXPECT_TRUE(has_view);
+}
+
+TEST_F(CostBasedTransformTest, GbpAvgDecomposesToSumOverCount) {
+  GroupByPlacementTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT p.product_name, AVG(oi.price) AS avg_price FROM products p, "
+      "order_items oi WHERE oi.product_id = p.product_id GROUP BY "
+      "p.product_name",
+      1);
+  ASSERT_NE(qb, nullptr);
+  // Outer select must contain SUM(..)/SUM(..).
+  bool found_div = false;
+  VisitExprConst(qb->select[1].expr.get(), [&](const Expr* e) {
+    if (e->kind == ExprKind::kBinary && e->bop == BinaryOp::kDiv) {
+      found_div = true;
+    }
+  });
+  EXPECT_TRUE(found_div) << BlockToSql(*qb);
+}
+
+TEST_F(CostBasedTransformTest, GbpCountStarRejected) {
+  GroupByPlacementTransformation t;
+  ApplyAll(t,
+           "SELECT p.product_name, COUNT(*) FROM products p, order_items oi "
+           "WHERE oi.product_id = p.product_id GROUP BY p.product_name",
+           0);
+}
+
+TEST_F(CostBasedTransformTest, GbpMixedTableAggregatesRejected) {
+  GroupByPlacementTransformation t;
+  ApplyAll(t,
+           "SELECT SUM(oi.price), SUM(p.list_price) FROM products p, "
+           "order_items oi WHERE oi.product_id = p.product_id GROUP BY "
+           "p.category_id",
+           0);
+}
+
+// ---- join factorization (§2.2.5) ----
+
+TEST_F(CostBasedTransformTest, CommonTableFactoredOut) {
+  JoinFactorizationTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT j.job_title, d.dept_name FROM job_history j, departments d "
+      "WHERE j.dept_id = d.dept_id AND d.loc_id = 3 UNION ALL SELECT "
+      "j.job_title, d.dept_name FROM job_history j, departments d WHERE "
+      "j.dept_id = d.dept_id AND d.budget > 500000",
+      1);
+  ASSERT_NE(qb, nullptr);
+  // The top block is now a join of job_history with a UNION ALL view.
+  EXPECT_FALSE(qb->IsSetOp());
+  ASSERT_EQ(qb->from.size(), 2u);
+  EXPECT_EQ(qb->from[0].table_name, "job_history");
+  EXPECT_TRUE(qb->from[1].derived->IsSetOp());
+}
+
+TEST_F(CostBasedTransformTest, LateralFactorizationWhenPredsDiffer) {
+  // The paper's §2.2.5 extension: the branches join employees on DIFFERENT
+  // columns (emp_id vs mgr_id), so the join predicates cannot be pulled
+  // out; the table is still hoisted and the branches keep their predicates,
+  // referencing the sibling — a lateral UNION ALL view.
+  JoinFactorizationTransformation t;
+  // Both tables qualify (employees laterally, job_history too) -> 2 state
+  // objects; select only the employees candidate.
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT e.employee_name, j.job_title FROM employees e, job_history j "
+      "WHERE j.emp_id = e.emp_id AND e.salary > 120000 UNION ALL SELECT "
+      "e.employee_name, j.job_title FROM employees e, job_history j WHERE "
+      "j.dept_id = e.dept_id AND e.salary > 120000");
+  ASSERT_NE(qb, nullptr);
+  auto before = Execute(*qb);
+  TransformContext ctx{qb.get(), db_.get()};
+  ASSERT_EQ(t.CountObjects(ctx), 2);
+  ASSERT_TRUE(t.Apply(ctx, {true, false}).ok());  // candidate 0: employees
+  ASSERT_TRUE(BindQuery(*db_, qb.get()).ok());
+  auto after = Execute(*qb);
+  ASSERT_EQ(before.size(), after.size()) << BlockToSql(*qb);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(RowsEqualStructural(before[i], after[i])) << "row " << i;
+  }
+  EXPECT_FALSE(qb->IsSetOp());
+  ASSERT_EQ(qb->from.size(), 2u);
+  EXPECT_EQ(qb->from[0].table_name, "employees");
+  EXPECT_TRUE(qb->from[1].lateral);
+  ASSERT_TRUE(qb->from[1].derived->IsSetOp());
+  // Branch predicates reference the hoisted alias.
+  for (const auto& b : qb->from[1].derived->branches) {
+    bool refs_outer = false;
+    for (const auto& w : b->where) {
+      if (ExprUsesAlias(*w, qb->from[0].alias)) refs_outer = true;
+    }
+    EXPECT_TRUE(refs_outer);
+  }
+  // The matching salary filter was hoisted with the table.
+  EXPECT_EQ(qb->where.size(), 1u);
+}
+
+TEST_F(CostBasedTransformTest, DifferentFiltersBlockFactorization) {
+  JoinFactorizationTransformation t;
+  ApplyAll(t,
+           "SELECT j.job_title FROM job_history j, departments d WHERE "
+           "j.dept_id = d.dept_id AND j.start_date > '20000101' UNION ALL "
+           "SELECT j.job_title FROM job_history j, departments d WHERE "
+           "j.dept_id = d.dept_id AND j.start_date < '19960101'",
+           // departments is factorable (no filters); job_history is not.
+           1);
+}
+
+// ---- predicate pullup (§2.2.6) ----
+
+TEST_F(CostBasedTransformTest, ExpensivePredicatePulledAboveBlockingView) {
+  PredicatePullupTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT v.oid FROM (SELECT o.order_id AS oid, o.order_date AS od FROM "
+      "orders o WHERE expensive_filter(o.order_id, 3) = 1 ORDER BY "
+      "o.order_date) v WHERE rownum <= 5",
+      1);
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->where.size(), 1u);
+  EXPECT_TRUE(ContainsExpensivePredicate(*qb->where[0]));
+  EXPECT_TRUE(qb->from[0].derived->where.empty());
+}
+
+TEST_F(CostBasedTransformTest, TwoExpensivePredicatesTwoObjects) {
+  PredicatePullupTransformation t;
+  // Q16's shape: two expensive predicates -> two independent objects.
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT v.oid FROM (SELECT o.order_id AS oid, o.total AS tt FROM "
+      "orders o WHERE expensive_filter(o.order_id, 3) = 1 AND "
+      "expensive_filter(o.total, 2) = 1 ORDER BY o.order_date) v WHERE "
+      "rownum <= 5");
+  ASSERT_NE(qb, nullptr);
+  TransformContext ctx{qb.get(), db_.get()};
+  EXPECT_EQ(t.CountObjects(ctx), 2);
+}
+
+TEST_F(CostBasedTransformTest, NoPullupWithoutRownum) {
+  PredicatePullupTransformation t;
+  ApplyAll(t,
+           "SELECT v.oid FROM (SELECT o.order_id AS oid FROM orders o WHERE "
+           "expensive_filter(o.order_id, 3) = 1 ORDER BY o.order_id) v",
+           0);
+}
+
+TEST_F(CostBasedTransformTest, NoPullupThroughAggregation) {
+  PredicatePullupTransformation t;
+  ApplyAll(t,
+           "SELECT v.d FROM (SELECT o.cust_id AS d FROM orders o WHERE "
+           "expensive_filter(o.order_id, 3) = 1 GROUP BY o.cust_id) v WHERE "
+           "rownum <= 5",
+           0);
+}
+
+// ---- set operators into joins (§2.2.7) ----
+
+TEST_F(CostBasedTransformTest, IntersectBecomesNullSafeSemijoin) {
+  // Two objects per set-op block: convert + distinct placement (§2.2.7).
+  SetOpToJoinTransformation t;
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT o.cust_id FROM orders o WHERE o.status = 'OPEN' INTERSECT "
+      "SELECT o.cust_id FROM orders o WHERE o.total > 2000");
+  ASSERT_NE(qb, nullptr);
+  auto before = Execute(*qb);
+  TransformContext ctx{qb.get(), db_.get()};
+  ASSERT_EQ(t.CountObjects(ctx), 2);
+  ASSERT_TRUE(t.Apply(ctx, {true, false}).ok());  // output-dedup variant
+  ASSERT_TRUE(BindQuery(*db_, qb.get()).ok());
+  auto after = Execute(*qb);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(RowsEqualStructural(before[i], after[i])) << i;
+  }
+  EXPECT_FALSE(qb->IsSetOp());
+  ASSERT_EQ(qb->from.size(), 2u);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kSemi);
+  EXPECT_TRUE(qb->distinct);
+  ASSERT_EQ(qb->from[1].join_conds.size(), 1u);
+  EXPECT_EQ(qb->from[1].join_conds[0]->bop, BinaryOp::kNullSafeEq);
+}
+
+TEST_F(CostBasedTransformTest, IntersectInputDedupVariant) {
+  SetOpToJoinTransformation t;
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT o.cust_id FROM orders o WHERE o.status = 'OPEN' INTERSECT "
+      "SELECT o.cust_id FROM orders o WHERE o.total > 2000");
+  ASSERT_NE(qb, nullptr);
+  auto before = Execute(*qb);
+  TransformContext ctx{qb.get(), db_.get()};
+  ASSERT_EQ(t.CountObjects(ctx), 2);
+  ASSERT_TRUE(t.Apply(ctx, {true, true}).ok());  // dedup at the input
+  ASSERT_TRUE(BindQuery(*db_, qb.get()).ok());
+  auto after = Execute(*qb);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(RowsEqualStructural(before[i], after[i])) << i;
+  }
+  EXPECT_FALSE(qb->distinct);
+  ASSERT_FALSE(qb->from[0].IsBaseTable());
+  EXPECT_TRUE(qb->from[0].derived->distinct);
+}
+
+TEST_F(CostBasedTransformTest, MinusBecomesNullSafeAntijoin) {
+  SetOpToJoinTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT o.cust_id FROM orders o WHERE o.status = 'OPEN' MINUS SELECT "
+      "o.cust_id FROM orders o WHERE o.status = 'CLOSED'",
+      2);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kAnti);
+  // All-ones state selects the input-dedup variant.
+  EXPECT_FALSE(qb->distinct);
+  EXPECT_TRUE(qb->from[0].derived->distinct);
+}
+
+TEST_F(CostBasedTransformTest, UnionAllNotConverted) {
+  SetOpToJoinTransformation t;
+  ApplyAll(t,
+           "SELECT o.cust_id FROM orders o UNION ALL SELECT o.cust_id FROM "
+           "orders o",
+           0);
+}
+
+// ---- OR expansion (§2.2.8) ----
+
+TEST_F(CostBasedTransformTest, DisjunctionExpandsToUnionAll) {
+  OrExpansionTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT o.order_id FROM orders o, customers c WHERE o.cust_id = "
+      "c.cust_id AND (o.order_id = 5 OR c.cust_id = 7)",
+      1);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->set_op, SetOpKind::kUnionAll);
+  ASSERT_EQ(qb->branches.size(), 2u);
+  // Branch 2 carries the LNNVL guard.
+  bool has_lnnvl = false;
+  for (const auto& w : qb->branches[1]->where) {
+    if (w->kind == ExprKind::kUnary && w->uop == UnaryOp::kLnnvl) {
+      has_lnnvl = true;
+    }
+  }
+  EXPECT_TRUE(has_lnnvl);
+}
+
+TEST_F(CostBasedTransformTest, ThreeWayDisjunctionThreeBranches) {
+  OrExpansionTransformation t;
+  auto qb = ApplyAll(
+      t,
+      "SELECT o.order_id FROM orders o WHERE o.order_id = 1 OR o.order_id "
+      "= 2 OR o.order_id = 3",
+      1);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->branches.size(), 3u);
+}
+
+TEST_F(CostBasedTransformTest, AggregatingBlockNotExpanded) {
+  OrExpansionTransformation t;
+  ApplyAll(t,
+           "SELECT COUNT(*) FROM orders o WHERE o.order_id = 1 OR o.total > "
+           "4000",
+           0);
+}
+
+TEST_F(CostBasedTransformTest, SubqueryDisjunctNotExpanded) {
+  OrExpansionTransformation t;
+  ApplyAll(t,
+           "SELECT o.order_id FROM orders o WHERE o.order_id = 1 OR EXISTS "
+           "(SELECT 1 FROM customers c WHERE c.cust_id = o.cust_id)",
+           0);
+}
+
+}  // namespace
+}  // namespace cbqt

@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "optimizer/planner.h"
+#include "tests/test_util.h"
+#include "transform/group_pruning.h"
+#include "transform/join_elimination.h"
+#include "transform/predicate_moveround.h"
+#include "transform/subquery_unnest.h"
+#include "transform/view_merge.h"
+#include "workload/runner.h"
+
+namespace cbqt {
+namespace {
+
+class HeuristicTransformTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeSmallHrDb();
+    ASSERT_NE(db_, nullptr);
+  }
+
+  // Runs `sql` before/after calling `transform` and checks structural
+  // expectations plus result equivalence.
+  template <typename Fn>
+  std::unique_ptr<QueryBlock> Transformed(const std::string& sql,
+                                          Fn transform,
+                                          bool expect_change = true) {
+    auto qb = ParseAndBind(*db_, sql);
+    if (qb == nullptr) return nullptr;
+    auto before = Execute(*qb);
+    TransformContext ctx{qb.get(), db_.get()};
+    auto changed = transform(ctx);
+    EXPECT_TRUE(changed.ok()) << changed.status().ToString();
+    if (expect_change) {
+      EXPECT_TRUE(changed.ok() && changed.value()) << "no change for " << sql;
+    }
+    Status st = BindQuery(*db_, qb.get());
+    EXPECT_TRUE(st.ok()) << st.ToString() << "\n" << BlockToSql(*qb);
+    auto after = Execute(*qb);
+    EXPECT_EQ(before.size(), after.size()) << BlockToSql(*qb);
+    for (size_t i = 0; i < before.size() && i < after.size(); ++i) {
+      EXPECT_TRUE(RowsEqualStructural(before[i], after[i]))
+          << "row " << i << " differs\n"
+          << BlockToSql(*qb);
+    }
+    return qb;
+  }
+
+  std::vector<Row> Execute(const QueryBlock& qb) {
+    Planner planner(*db_, CostParams{});
+    auto bp = planner.PlanBlock(qb);
+    if (!bp.ok()) {
+      ADD_FAILURE() << "plan: " << bp.status().ToString() << "\n"
+                    << BlockToSql(qb);
+      return {};
+    }
+    Executor exec(*db_);
+    auto rows = exec.Execute(*bp->plan);
+    if (!rows.ok()) {
+      ADD_FAILURE() << "exec: " << rows.status().ToString() << "\n"
+                    << BlockToSql(qb);
+      return {};
+    }
+    SortRowsCanonical(&rows.value());
+    return std::move(rows.value());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+// ---- SPJ view merging ----
+
+TEST_F(HeuristicTransformTest, SpjViewMerged) {
+  auto qb = Transformed(
+      "SELECT v.nm FROM (SELECT e.employee_name AS nm, e.dept_id AS d FROM "
+      "employees e WHERE e.salary > 100000) v WHERE v.d = 3",
+      [](TransformContext& ctx) { return MergeSpjViews(ctx); });
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->from.size(), 1u);
+  EXPECT_TRUE(qb->from[0].IsBaseTable());
+  EXPECT_EQ(qb->from[0].table_name, "employees");
+  EXPECT_EQ(qb->where.size(), 2u);
+}
+
+TEST_F(HeuristicTransformTest, NoMergeHintRespected) {
+  auto qb = Transformed(
+      "SELECT /*+ no_merge(v) */ v.nm FROM (SELECT e.employee_name AS nm "
+      "FROM employees e) v",
+      [](TransformContext& ctx) { return MergeSpjViews(ctx); },
+      /*expect_change=*/false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_FALSE(qb->from[0].IsBaseTable());
+}
+
+TEST_F(HeuristicTransformTest, GroupByViewNotSpjMerged) {
+  auto qb = Transformed(
+      "SELECT v.c FROM (SELECT COUNT(*) AS c FROM employees e GROUP BY "
+      "e.dept_id) v",
+      [](TransformContext& ctx) { return MergeSpjViews(ctx); },
+      /*expect_change=*/false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_FALSE(qb->from[0].IsBaseTable());
+}
+
+TEST_F(HeuristicTransformTest, NestedViewsMergeToFixpoint) {
+  auto qb = Transformed(
+      "SELECT v2.nm FROM (SELECT v1.nm AS nm FROM (SELECT e.employee_name "
+      "AS nm FROM employees e) v1) v2",
+      [](TransformContext& ctx) { return MergeSpjViews(ctx); });
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->from.size(), 1u);
+  EXPECT_TRUE(qb->from[0].IsBaseTable());
+}
+
+// ---- join elimination ----
+
+TEST_F(HeuristicTransformTest, FkJoinEliminated) {
+  // Q4 analog: employees.dept_id references departments' PK; departments
+  // otherwise unused.
+  auto qb = Transformed(
+      "SELECT e.employee_name, e.salary FROM employees e, departments d "
+      "WHERE e.dept_id = d.dept_id",
+      [](TransformContext& ctx) { return EliminateJoins(ctx); });
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->from.size(), 1u);
+  EXPECT_EQ(qb->from[0].table_name, "employees");
+}
+
+TEST_F(HeuristicTransformTest, FkJoinKeptWhenDimensionUsed) {
+  auto qb = Transformed(
+      "SELECT e.employee_name, d.dept_name FROM employees e, departments d "
+      "WHERE e.dept_id = d.dept_id",
+      [](TransformContext& ctx) { return EliminateJoins(ctx); },
+      /*expect_change=*/false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from.size(), 2u);
+}
+
+TEST_F(HeuristicTransformTest, OuterJoinOnUniqueKeyEliminated) {
+  // Q5 analog.
+  auto qb = Transformed(
+      "SELECT e.employee_name, e.salary FROM employees e LEFT OUTER JOIN "
+      "departments d ON e.dept_id = d.dept_id",
+      [](TransformContext& ctx) { return EliminateJoins(ctx); });
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from.size(), 1u);
+}
+
+TEST_F(HeuristicTransformTest, OuterJoinOnNonUniqueKeyKept) {
+  auto qb = Transformed(
+      "SELECT e.employee_name FROM employees e LEFT OUTER JOIN job_history "
+      "j ON e.emp_id = j.emp_id",
+      [](TransformContext& ctx) { return EliminateJoins(ctx); },
+      /*expect_change=*/false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from.size(), 2u);
+}
+
+// ---- predicate move-around ----
+
+TEST_F(HeuristicTransformTest, FilterPushedIntoView) {
+  auto qb = Transformed(
+      "SELECT v.nm FROM (SELECT e.employee_name AS nm, e.salary AS sal FROM "
+      "employees e) v WHERE v.sal > 100000",
+      [](TransformContext& ctx) { return MovePredicatesAround(ctx); });
+  ASSERT_NE(qb, nullptr);
+  EXPECT_TRUE(qb->where.empty());
+  EXPECT_EQ(qb->from[0].derived->where.size(), 1u);
+}
+
+TEST_F(HeuristicTransformTest, FilterPushedIntoGroupByViewOnGroupColumn) {
+  auto qb = Transformed(
+      "SELECT v.d FROM (SELECT e.dept_id AS d, AVG(e.salary) AS a FROM "
+      "employees e GROUP BY e.dept_id) v WHERE v.d = 3",
+      [](TransformContext& ctx) { return MovePredicatesAround(ctx); });
+  ASSERT_NE(qb, nullptr);
+  EXPECT_TRUE(qb->where.empty());
+}
+
+TEST_F(HeuristicTransformTest, FilterOnAggregateOutputNotPushed) {
+  auto qb = Transformed(
+      "SELECT v.d FROM (SELECT e.dept_id AS d, AVG(e.salary) AS a FROM "
+      "employees e GROUP BY e.dept_id) v WHERE v.a > 50000",
+      [](TransformContext& ctx) { return MovePredicatesAround(ctx); },
+      /*expect_change=*/false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->where.size(), 1u);
+}
+
+TEST_F(HeuristicTransformTest, FilterPushedThroughWindowPartitionBy) {
+  // Q7 -> Q8: predicate on the PARTITION BY column moves inside.
+  auto qb = Transformed(
+      "SELECT v.acct_id, v.ravg FROM (SELECT a.acct_id AS acct_id, "
+      "AVG(a.balance) OVER (PARTITION BY a.acct_id ORDER BY a.time) AS ravg "
+      "FROM accounts a) v WHERE v.acct_id = 3",
+      [](TransformContext& ctx) { return MovePredicatesAround(ctx); });
+  ASSERT_NE(qb, nullptr);
+  EXPECT_TRUE(qb->where.empty());
+  EXPECT_EQ(qb->from[0].derived->where.size(), 1u);
+}
+
+TEST_F(HeuristicTransformTest, FilterOnNonPartitionColumnNotPushed) {
+  // Predicate on the window ORDER BY column requires range analysis; we
+  // leave it outside (paper notes the analysis requirement).
+  auto qb = Transformed(
+      "SELECT v.t, v.ravg FROM (SELECT a.time AS t, AVG(a.balance) OVER "
+      "(PARTITION BY a.acct_id ORDER BY a.time) AS ravg FROM accounts a) v "
+      "WHERE v.t <= 6",
+      [](TransformContext& ctx) { return MovePredicatesAround(ctx); },
+      /*expect_change=*/false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->where.size(), 1u);
+}
+
+TEST_F(HeuristicTransformTest, TransitivePredicateGenerated) {
+  auto qb = Transformed(
+      "SELECT e.employee_name FROM employees e, departments d WHERE "
+      "e.dept_id = d.dept_id AND d.dept_id = 3",
+      [](TransformContext& ctx) { return MovePredicatesAround(ctx); });
+  ASSERT_NE(qb, nullptr);
+  // e.dept_id = 3 must have been added.
+  bool found = false;
+  for (const auto& w : qb->where) {
+    if (w->kind == ExprKind::kBinary && w->bop == BinaryOp::kEq &&
+        w->children[0]->kind == ExprKind::kColumnRef &&
+        w->children[0]->table_alias == "e" &&
+        w->children[0]->column_name == "dept_id" &&
+        w->children[1]->kind == ExprKind::kLiteral) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << BlockToSql(*qb);
+}
+
+TEST_F(HeuristicTransformTest, ExpensivePredicateNotPushed) {
+  auto qb = Transformed(
+      "SELECT v.oid FROM (SELECT o.order_id AS oid FROM orders o ORDER BY "
+      "o.order_date) v WHERE expensive_filter(v.oid, 3) = 1",
+      [](TransformContext& ctx) { return MovePredicatesAround(ctx); },
+      /*expect_change=*/false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->where.size(), 1u);
+}
+
+TEST_F(HeuristicTransformTest, PushIntoUnionAllBranches) {
+  auto qb = Transformed(
+      "SELECT v.t FROM (SELECT o.total AS t FROM orders o WHERE o.status = "
+      "'OPEN' UNION ALL SELECT o.total FROM orders o WHERE o.status = "
+      "'SHIPPED') v WHERE v.t > 1000",
+      [](TransformContext& ctx) { return MovePredicatesAround(ctx); });
+  ASSERT_NE(qb, nullptr);
+  EXPECT_TRUE(qb->where.empty());
+  for (const auto& b : qb->from[0].derived->branches) {
+    EXPECT_EQ(b->where.size(), 2u);
+  }
+}
+
+// ---- group pruning ----
+
+TEST_F(HeuristicTransformTest, RollupGroupsPruned) {
+  auto qb = Transformed(
+      "SELECT v.l, v.d, v.c FROM (SELECT d.loc_id AS l, d.dept_id AS d, "
+      "COUNT(*) AS c FROM departments d GROUP BY ROLLUP(d.loc_id, "
+      "d.dept_id)) v WHERE v.d = 3",
+      [](TransformContext& ctx) { return PruneGroups(ctx); });
+  ASSERT_NE(qb, nullptr);
+  // Of (l,d),(l),() only (l,d) references d: others pruned, leaving plain
+  // GROUP BY.
+  EXPECT_TRUE(qb->from[0].derived->grouping_sets.empty());
+  EXPECT_EQ(qb->from[0].derived->group_by.size(), 2u);
+}
+
+TEST_F(HeuristicTransformTest, IsNullPredicateDoesNotPrune) {
+  auto qb = Transformed(
+      "SELECT v.l, v.d, v.c FROM (SELECT d.loc_id AS l, d.dept_id AS d, "
+      "COUNT(*) AS c FROM departments d GROUP BY ROLLUP(d.loc_id, "
+      "d.dept_id)) v WHERE v.d IS NULL",
+      [](TransformContext& ctx) { return PruneGroups(ctx); },
+      /*expect_change=*/false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[0].derived->grouping_sets.size(), 3u);
+}
+
+// ---- heuristic (merge) unnesting ----
+
+TEST_F(HeuristicTransformTest, ExistsBecomesSemijoin) {
+  auto qb = Transformed(
+      "SELECT d.dept_name FROM departments d WHERE EXISTS (SELECT 1 FROM "
+      "employees e WHERE e.dept_id = d.dept_id AND e.salary > 100000)",
+      [](TransformContext& ctx) { return UnnestSubqueriesByMerge(ctx); });
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->from.size(), 2u);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kSemi);
+  EXPECT_TRUE(qb->where.size() >= 1);  // local salary filter moved out
+}
+
+TEST_F(HeuristicTransformTest, NotExistsBecomesAntijoin) {
+  auto qb = Transformed(
+      "SELECT d.dept_name FROM departments d WHERE NOT EXISTS (SELECT 1 "
+      "FROM employees e WHERE e.dept_id = d.dept_id)",
+      [](TransformContext& ctx) { return UnnestSubqueriesByMerge(ctx); });
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kAnti);
+}
+
+TEST_F(HeuristicTransformTest, InBecomesSemijoinWithConnectingCondition) {
+  auto qb = Transformed(
+      "SELECT d.dept_name FROM departments d WHERE d.dept_id IN (SELECT "
+      "e.dept_id FROM employees e WHERE e.salary > 120000)",
+      [](TransformContext& ctx) { return UnnestSubqueriesByMerge(ctx); });
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kSemi);
+  EXPECT_FALSE(qb->from[1].join_conds.empty());
+}
+
+TEST_F(HeuristicTransformTest, NotInOnNullableColumnUsesNullAwareAnti) {
+  // orders.emp_id is nullable: NOT IN needs the null-aware antijoin.
+  auto qb = Transformed(
+      "SELECT e.emp_id FROM employees e WHERE e.emp_id NOT IN (SELECT "
+      "o.emp_id FROM orders o)",
+      [](TransformContext& ctx) { return UnnestSubqueriesByMerge(ctx); });
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kAntiNA);
+}
+
+TEST_F(HeuristicTransformTest, NotInOnNonNullColumnUsesPlainAnti) {
+  auto qb = Transformed(
+      "SELECT o.order_id FROM orders o WHERE o.cust_id NOT IN (SELECT "
+      "c.cust_id FROM customers c WHERE c.segment = 'GOV')",
+      [](TransformContext& ctx) { return UnnestSubqueriesByMerge(ctx); });
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kAnti);
+}
+
+TEST_F(HeuristicTransformTest, AllBecomesAntijoinOnViolation) {
+  auto qb = Transformed(
+      "SELECT e.emp_id FROM employees e WHERE e.salary >= ALL (SELECT "
+      "e2.salary FROM employees e2 WHERE e2.dept_id = e.dept_id)",
+      [](TransformContext& ctx) { return UnnestSubqueriesByMerge(ctx); });
+  ASSERT_NE(qb, nullptr);
+  // ALL -> antijoin with the negated comparison (salary < salary2).
+  JoinKind k = qb->from[1].join;
+  EXPECT_TRUE(k == JoinKind::kAnti || k == JoinKind::kAntiNA);
+}
+
+TEST_F(HeuristicTransformTest, MultiTableSubqueryNotMergedHere) {
+  auto qb = Transformed(
+      "SELECT d.dept_name FROM departments d WHERE EXISTS (SELECT 1 FROM "
+      "employees e, job_history j WHERE e.emp_id = j.emp_id AND e.dept_id "
+      "= d.dept_id)",
+      [](TransformContext& ctx) { return UnnestSubqueriesByMerge(ctx); },
+      /*expect_change=*/false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from.size(), 1u);  // stays a subquery (cost-based path)
+}
+
+TEST_F(HeuristicTransformTest, DisjunctiveSubqueryNotUnnested) {
+  auto qb = Transformed(
+      "SELECT d.dept_name FROM departments d WHERE d.loc_id = 1 OR EXISTS "
+      "(SELECT 1 FROM employees e WHERE e.dept_id = d.dept_id)",
+      [](TransformContext& ctx) { return UnnestSubqueriesByMerge(ctx); },
+      /*expect_change=*/false);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cbqt

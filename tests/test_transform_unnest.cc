@@ -1,0 +1,243 @@
+#include "transform/subquery_unnest.h"
+
+#include "sql/expr_util.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "optimizer/planner.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+
+namespace cbqt {
+namespace {
+
+class UnnestViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeSmallHrDb();
+    ASSERT_NE(db_, nullptr);
+  }
+
+  std::vector<Row> Execute(const QueryBlock& qb) {
+    Planner planner(*db_, CostParams{});
+    auto bp = planner.PlanBlock(qb);
+    if (!bp.ok()) {
+      ADD_FAILURE() << bp.status().ToString() << "\n" << BlockToSql(qb);
+      return {};
+    }
+    Executor exec(*db_);
+    auto rows = exec.Execute(*bp->plan);
+    if (!rows.ok()) {
+      ADD_FAILURE() << rows.status().ToString() << "\n" << BlockToSql(qb);
+      return {};
+    }
+    SortRowsCanonical(&rows.value());
+    return std::move(rows.value());
+  }
+
+  // Applies the all-ones state and verifies result equivalence.
+  std::unique_ptr<QueryBlock> UnnestAll(const std::string& sql,
+                                        int expect_objects) {
+    auto qb = ParseAndBind(*db_, sql);
+    if (qb == nullptr) return nullptr;
+    auto before = Execute(*qb);
+    TransformContext ctx{qb.get(), db_.get()};
+    SubqueryUnnestViewTransformation t;
+    int n = t.CountObjects(ctx);
+    EXPECT_EQ(n, expect_objects) << sql;
+    if (n == 0) return qb;
+    Status st = t.Apply(ctx, std::vector<bool>(static_cast<size_t>(n), true));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    st = BindQuery(*db_, qb.get());
+    EXPECT_TRUE(st.ok()) << st.ToString() << "\n" << BlockToSql(*qb);
+    auto after = Execute(*qb);
+    EXPECT_EQ(before.size(), after.size()) << BlockToSql(*qb);
+    for (size_t i = 0; i < before.size() && i < after.size(); ++i) {
+      EXPECT_TRUE(RowsEqualStructural(before[i], after[i])) << "row " << i;
+    }
+    return qb;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(UnnestViewTest, AggregateSubqueryBecomesGroupByView) {
+  // Q1 -> Q10.
+  auto qb = UnnestAll(
+      "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > (SELECT "
+      "AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id)",
+      1);
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->from.size(), 2u);
+  const TableRef& vw = qb->from[1];
+  EXPECT_FALSE(vw.IsBaseTable());
+  EXPECT_EQ(vw.derived->group_by.size(), 1u);
+  EXPECT_EQ(vw.derived->select[0].expr->kind, ExprKind::kAggregate);
+  // Rebuilt comparison + the correlation join condition.
+  EXPECT_EQ(qb->where.size(), 2u);
+}
+
+TEST_F(UnnestViewTest, ComparisonOrientationPreserved) {
+  auto qb = UnnestAll(
+      "SELECT e1.employee_name FROM employees e1 WHERE (SELECT "
+      "MIN(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id) < "
+      "e1.salary",
+      1);
+  ASSERT_NE(qb, nullptr);
+  // Subquery was on the left: `vw.agg_val < e1.salary`.
+  bool found = false;
+  for (const auto& w : qb->where) {
+    if (w->kind == ExprKind::kBinary && w->bop == BinaryOp::kLt &&
+        w->children[0]->kind == ExprKind::kColumnRef &&
+        w->children[0]->column_name == "agg_val") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << BlockToSql(*qb);
+}
+
+TEST_F(UnnestViewTest, CountSubqueryRejected) {
+  // COUNT over an empty group yields 0, not NULL: the classic COUNT bug
+  // makes plain unnesting illegal.
+  UnnestAll(
+      "SELECT e1.employee_name FROM employees e1 WHERE 1 > (SELECT "
+      "COUNT(*) FROM orders o WHERE o.emp_id = e1.emp_id)",
+      0);
+}
+
+TEST_F(UnnestViewTest, UncorrelatedScalarRejected) {
+  UnnestAll(
+      "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > (SELECT "
+      "AVG(e2.salary) FROM employees e2)",
+      0);
+}
+
+TEST_F(UnnestViewTest, NonEqualityCorrelationRejected) {
+  UnnestAll(
+      "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > (SELECT "
+      "AVG(e2.salary) FROM employees e2 WHERE e2.dept_id > e1.dept_id)",
+      0);
+}
+
+TEST_F(UnnestViewTest, MultiTableExistsBecomesSemiJoinedView) {
+  auto qb = UnnestAll(
+      "SELECT d.dept_name FROM departments d WHERE EXISTS (SELECT 1 FROM "
+      "employees e, job_history j WHERE e.emp_id = j.emp_id AND e.dept_id "
+      "= d.dept_id)",
+      1);
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->from.size(), 2u);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kSemi);
+  EXPECT_FALSE(qb->from[1].IsBaseTable());
+  EXPECT_EQ(qb->from[1].derived->from.size(), 2u);
+}
+
+TEST_F(UnnestViewTest, MultiTableNotExistsBecomesAntiJoinedView) {
+  auto qb = UnnestAll(
+      "SELECT d.dept_name FROM departments d WHERE NOT EXISTS (SELECT 1 "
+      "FROM employees e, job_history j WHERE e.emp_id = j.emp_id AND "
+      "e.dept_id = d.dept_id)",
+      1);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kAnti);
+}
+
+TEST_F(UnnestViewTest, MultiTableInExportsSelectItems) {
+  auto qb = UnnestAll(
+      "SELECT o.order_id FROM orders o WHERE o.order_id IN (SELECT "
+      "oi.order_id FROM order_items oi, products p WHERE oi.product_id = "
+      "p.product_id AND p.list_price > 500)",
+      1);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from[1].join, JoinKind::kSemi);
+  // The IN item is exported through the view and joined.
+  EXPECT_FALSE(qb->from[1].join_conds.empty());
+}
+
+TEST_F(UnnestViewTest, TwoSubqueriesTwoObjects) {
+  // Q1's shape: two independently unnestable subqueries -> 2 objects,
+  // 4 exhaustive states.
+  auto qb = UnnestAll(
+      "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > (SELECT "
+      "AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id) AND "
+      "e1.dept_id IN (SELECT d.dept_id FROM departments d, locations l "
+      "WHERE d.loc_id = l.loc_id AND l.country_id = 'US')",
+      2);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->from.size(), 3u);  // e1 + two generated views
+}
+
+TEST_F(UnnestViewTest, PartialStateUnnestsOnlySelected) {
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > (SELECT "
+      "AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id) AND "
+      "e1.dept_id IN (SELECT d.dept_id FROM departments d, locations l "
+      "WHERE d.loc_id = l.loc_id AND l.country_id = 'US')");
+  ASSERT_NE(qb, nullptr);
+  TransformContext ctx{qb.get(), db_.get()};
+  SubqueryUnnestViewTransformation t;
+  ASSERT_EQ(t.CountObjects(ctx), 2);
+  // State (1,0): unnest only the first.
+  ASSERT_TRUE(t.Apply(ctx, {true, false}).ok());
+  ASSERT_TRUE(BindQuery(*db_, qb.get()).ok());
+  EXPECT_EQ(qb->from.size(), 2u);
+  // One subquery remains.
+  int remaining = 0;
+  for (const auto& w : qb->where) {
+    if (ContainsSubquery(*w)) ++remaining;
+  }
+  EXPECT_EQ(remaining, 1);
+}
+
+TEST_F(UnnestViewTest, HeuristicRuleIndexAndFilters) {
+  // Outer filter + indexed correlation column (employees.dept_id):
+  // pre-10g rule says do NOT unnest.
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > 100000 "
+      "AND e1.salary > (SELECT AVG(e2.salary) FROM employees e2 WHERE "
+      "e2.dept_id = e1.dept_id)");
+  ASSERT_NE(qb, nullptr);
+  TransformContext ctx{qb.get(), db_.get()};
+  SubqueryUnnestViewTransformation t;
+  ASSERT_EQ(t.CountObjects(ctx), 1);
+  EXPECT_FALSE(t.HeuristicDecision(ctx, 0));
+}
+
+TEST_F(UnnestViewTest, HeuristicRuleUnnestsWithoutOuterFilters) {
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > (SELECT "
+      "AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id)");
+  ASSERT_NE(qb, nullptr);
+  TransformContext ctx{qb.get(), db_.get()};
+  SubqueryUnnestViewTransformation t;
+  ASSERT_EQ(t.CountObjects(ctx), 1);
+  EXPECT_TRUE(t.HeuristicDecision(ctx, 0));
+}
+
+TEST_F(UnnestViewTest, HeuristicRuleUnnestsWhenNoIndex) {
+  // orders.emp_id has no index: unnest even with outer filters.
+  auto qb = ParseAndBind(
+      *db_,
+      "SELECT e.employee_name FROM employees e WHERE e.salary > 100000 AND "
+      "e.salary / 40 > (SELECT AVG(o.total) FROM orders o WHERE o.emp_id = "
+      "e.emp_id)");
+  ASSERT_NE(qb, nullptr);
+  TransformContext ctx{qb.get(), db_.get()};
+  SubqueryUnnestViewTransformation t;
+  ASSERT_EQ(t.CountObjects(ctx), 1);
+  EXPECT_TRUE(t.HeuristicDecision(ctx, 0));
+}
+
+TEST_F(UnnestViewTest, ProvablyNonNull) {
+  auto qb = ParseAndBind(*db_, "SELECT e.emp_id, e.mgr_id FROM employees e");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_TRUE(ProvablyNonNull(*qb, *qb->select[0].expr));   // PK NOT NULL
+  EXPECT_FALSE(ProvablyNonNull(*qb, *qb->select[1].expr));  // nullable
+}
+
+}  // namespace
+}  // namespace cbqt

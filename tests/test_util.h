@@ -1,0 +1,59 @@
+#ifndef CBQT_TESTS_TEST_UTIL_H_
+#define CBQT_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "binder/binder.h"
+#include "parser/parser.h"
+#include "sql/unparser.h"
+#include "storage/database.h"
+#include "workload/schema_gen.h"
+
+namespace cbqt {
+
+/// A small HR database shared by parser/binder/optimizer/executor tests.
+/// Deterministic (fixed seed) and fast to build.
+inline std::unique_ptr<Database> MakeSmallHrDb(bool index_on_correlations = true) {
+  auto db = std::make_unique<Database>();
+  SchemaConfig cfg;
+  cfg.locations = 10;
+  cfg.departments = 20;
+  cfg.employees = 500;
+  cfg.job_history = 800;
+  cfg.jobs = 10;
+  cfg.customers = 100;
+  cfg.orders = 600;
+  cfg.order_items = 1200;
+  cfg.products = 50;
+  cfg.accounts = 10;
+  cfg.months = 12;
+  cfg.seed = 99;
+  cfg.index_on_correlations = index_on_correlations;
+  Status st = BuildHrDatabase(cfg, db.get());
+  if (!st.ok()) return nullptr;
+  return db;
+}
+
+/// Parses and binds, aborting the test on failure.
+inline std::unique_ptr<QueryBlock> ParseAndBind(const Database& db,
+                                                const std::string& sql) {
+  auto parsed = ParseSql(sql);
+  if (!parsed.ok()) {
+    ADD_FAILURE() << "parse failed: " << parsed.status().ToString() << "\n"
+                  << sql;
+    return nullptr;
+  }
+  Status st = BindQuery(db, parsed.value().get());
+  if (!st.ok()) {
+    ADD_FAILURE() << "bind failed: " << st.ToString() << "\n" << sql;
+    return nullptr;
+  }
+  return std::move(parsed.value());
+}
+
+}  // namespace cbqt
+
+#endif  // CBQT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,99 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace cbqt {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Str("abc").AsString(), "abc");
+  EXPECT_TRUE(Value::Boolean(true).AsBool());
+}
+
+TEST(Value, NumericValueCrossesKinds) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).NumericValue(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Real(3.5).NumericValue(), 3.5);
+  EXPECT_DOUBLE_EQ(Value::Boolean(true).NumericValue(), 1.0);
+}
+
+TEST(Value, StructuralEqualityTreatsNullAsEqual) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int(0));
+  EXPECT_EQ(Value::Int(7), Value::Int(7));
+  EXPECT_NE(Value::Int(7), Value::Real(7.0));  // structural, not numeric
+}
+
+TEST(Value, SqlCompareNumericAcrossKinds) {
+  EXPECT_EQ(CompareValues(Value::Int(2), Value::Real(2.0)), Ordering::kEqual);
+  EXPECT_EQ(CompareValues(Value::Int(1), Value::Real(1.5)), Ordering::kLess);
+  EXPECT_EQ(CompareValues(Value::Real(3.0), Value::Int(2)),
+            Ordering::kGreater);
+}
+
+TEST(Value, SqlCompareNullIsUnknown) {
+  EXPECT_EQ(CompareValues(Value::Null(), Value::Int(1)), Ordering::kUnknown);
+  EXPECT_EQ(CompareValues(Value::Int(1), Value::Null()), Ordering::kUnknown);
+  EXPECT_EQ(CompareValues(Value::Null(), Value::Null()), Ordering::kUnknown);
+}
+
+TEST(Value, SqlCompareStrings) {
+  EXPECT_EQ(CompareValues(Value::Str("a"), Value::Str("b")), Ordering::kLess);
+  EXPECT_EQ(CompareValues(Value::Str("b"), Value::Str("b")), Ordering::kEqual);
+  // Date strings compare lexicographically, which is chronological for
+  // YYYYMMDD (the paper's Q1 uses '19980101'-style literals).
+  EXPECT_EQ(CompareValues(Value::Str("19980101"), Value::Str("20050101")),
+            Ordering::kLess);
+}
+
+TEST(Value, CrossKindNonNumericIsUnknown) {
+  EXPECT_EQ(CompareValues(Value::Str("1"), Value::Int(1)), Ordering::kUnknown);
+}
+
+TEST(Value, NullSafeEqual) {
+  EXPECT_TRUE(NullSafeEqual(Value::Null(), Value::Null()));
+  EXPECT_FALSE(NullSafeEqual(Value::Null(), Value::Int(1)));
+  EXPECT_TRUE(NullSafeEqual(Value::Int(2), Value::Real(2.0)));
+  EXPECT_FALSE(NullSafeEqual(Value::Int(2), Value::Int(3)));
+}
+
+TEST(Value, TotalLessPutsNullLast) {
+  EXPECT_TRUE(TotalLess(Value::Int(1), Value::Null()));
+  EXPECT_FALSE(TotalLess(Value::Null(), Value::Int(1)));
+  EXPECT_FALSE(TotalLess(Value::Null(), Value::Null()));
+  EXPECT_TRUE(TotalLess(Value::Int(1), Value::Int(2)));
+}
+
+TEST(Value, HashConsistentForNumericKinds) {
+  // Int(2) and Real(2.0) must hash identically so mixed numeric join keys
+  // land in the same bucket.
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Real(2.0).Hash());
+}
+
+TEST(Value, RowHashAndEquality) {
+  Row a{Value::Int(1), Value::Str("x"), Value::Null()};
+  Row b{Value::Int(1), Value::Str("x"), Value::Null()};
+  Row c{Value::Int(1), Value::Str("y"), Value::Null()};
+  EXPECT_EQ(HashRow(a), HashRow(b));
+  EXPECT_TRUE(RowsEqualStructural(a, b));
+  EXPECT_FALSE(RowsEqualStructural(a, c));
+  EXPECT_FALSE(RowsEqualStructural(a, Row{Value::Int(1)}));
+}
+
+TEST(Value, RowsEqualStructuralNumericKinds) {
+  Row a{Value::Int(2)};
+  Row b{Value::Real(2.0)};
+  EXPECT_TRUE(RowsEqualStructural(a, b));
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(5).ToString(), "5");
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Boolean(false).ToString(), "FALSE");
+}
+
+}  // namespace
+}  // namespace cbqt

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_util.h"
+#include "workload/query_gen.h"
+#include "workload/runner.h"
+
+namespace cbqt {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeSmallHrDb();
+    ASSERT_NE(db_, nullptr);
+    schema_.locations = 10;
+    schema_.departments = 20;
+    schema_.employees = 500;
+    schema_.customers = 100;
+    schema_.orders = 600;
+    schema_.products = 50;
+    schema_.accounts = 10;
+  }
+  std::unique_ptr<Database> db_;
+  SchemaConfig schema_;
+};
+
+TEST_F(WorkloadTest, SchemaBuildsAllTables) {
+  for (const char* name :
+       {"locations", "departments", "employees", "job_history", "jobs",
+        "customers", "orders", "order_items", "products", "accounts"}) {
+    const Table* t = db_->FindTable(name);
+    ASSERT_NE(t, nullptr) << name;
+    EXPECT_GT(t->NumRows(), 0u) << name;
+    EXPECT_NE(db_->stats().Find(name), nullptr) << name;
+  }
+}
+
+TEST_F(WorkloadTest, IndexOnCorrelationsToggle) {
+  auto without = MakeSmallHrDb(/*index_on_correlations=*/false);
+  ASSERT_NE(without, nullptr);
+  EXPECT_NE(db_->FindIndex("employees", "emp_dept_idx"), nullptr);
+  EXPECT_EQ(without->FindIndex("employees", "emp_dept_idx"), nullptr);
+}
+
+TEST_F(WorkloadTest, GenerationIsDeterministic) {
+  auto a = GenerateFamily(QueryFamily::kAggSubquery, 5, schema_, 42);
+  auto b = GenerateFamily(QueryFamily::kAggSubquery, 5, schema_, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].sql, b[i].sql);
+  auto c = GenerateFamily(QueryFamily::kAggSubquery, 5, schema_, 43);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].sql != c[i].sql) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(WorkloadTest, AllFamiliesParseBindAndRun) {
+  WorkloadRunner runner(*db_);
+  for (QueryFamily f :
+       {QueryFamily::kSpj, QueryFamily::kAggSubquery,
+        QueryFamily::kSemiSubquery, QueryFamily::kGbView,
+        QueryFamily::kDistinctView, QueryFamily::kUnionView, QueryFamily::kGbp,
+        QueryFamily::kFactorization, QueryFamily::kPullup, QueryFamily::kSetOp,
+        QueryFamily::kOrExpansion, QueryFamily::kWindowView}) {
+    for (const auto& q : GenerateFamily(f, 4, schema_, 7)) {
+      auto m = runner.Run(q.sql, ConfigForMode(OptimizerMode::kCostBased));
+      ASSERT_TRUE(m.ok()) << QueryFamilyName(f) << ": "
+                          << m.status().ToString() << "\n" << q.sql;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, MixedWorkloadShape) {
+  auto queries = GenerateMixedWorkload(400, 0.08, schema_, 5);
+  ASSERT_EQ(queries.size(), 400u);
+  int transformable = 0;
+  for (const auto& q : queries) {
+    if (q.family != QueryFamily::kSpj) ++transformable;
+  }
+  // ~8% like the paper's workload.
+  EXPECT_GT(transformable, 10);
+  EXPECT_LT(transformable, 80);
+}
+
+TEST_F(WorkloadTest, ModesConfigureFramework) {
+  EXPECT_FALSE(ConfigForMode(OptimizerMode::kHeuristicOnly).cost_based);
+  EXPECT_FALSE(ConfigForMode(OptimizerMode::kUnnestOff).enable_unnest);
+  EXPECT_FALSE(ConfigForMode(OptimizerMode::kJppdOff).enable_jppd);
+  EXPECT_FALSE(ConfigForMode(OptimizerMode::kGbpOff).enable_gbp);
+  EXPECT_TRUE(ConfigForMode(OptimizerMode::kCostBased).cost_based);
+}
+
+TEST_F(WorkloadTest, RunnerMeasuresAndExecutes) {
+  WorkloadRunner runner(*db_);
+  auto m = runner.Run("SELECT e.employee_name FROM employees e",
+                      ConfigForMode(OptimizerMode::kCostBased));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->result_rows, 500u);
+  EXPECT_GT(m->rows_processed, 0);
+  EXPECT_GE(m->opt_ms, 0);
+  EXPECT_FALSE(m->plan_shape.empty());
+}
+
+TEST_F(WorkloadTest, SortRowsCanonicalIsTotal) {
+  std::vector<Row> rows = {
+      {Value::Int(2)}, {Value::Null()}, {Value::Int(1)}, {Value::Str("x")}};
+  SortRowsCanonical(&rows);
+  EXPECT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rows[1][0].AsInt(), 2);
+  EXPECT_TRUE(rows[3][0].is_null());
+}
+
+}  // namespace
+}  // namespace cbqt
