@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cbqt.dir/bench_fig2_cbqt.cc.o"
+  "CMakeFiles/bench_fig2_cbqt.dir/bench_fig2_cbqt.cc.o.d"
+  "bench_fig2_cbqt"
+  "bench_fig2_cbqt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cbqt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

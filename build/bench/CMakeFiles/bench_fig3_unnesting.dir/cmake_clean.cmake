@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_unnesting.dir/bench_fig3_unnesting.cc.o"
+  "CMakeFiles/bench_fig3_unnesting.dir/bench_fig3_unnesting.cc.o.d"
+  "bench_fig3_unnesting"
+  "bench_fig3_unnesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_unnesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_jppd.dir/bench_fig4_jppd.cc.o"
+  "CMakeFiles/bench_fig4_jppd.dir/bench_fig4_jppd.cc.o.d"
+  "bench_fig4_jppd"
+  "bench_fig4_jppd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_jppd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

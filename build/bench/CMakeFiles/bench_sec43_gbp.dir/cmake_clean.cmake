@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_gbp.dir/bench_sec43_gbp.cc.o"
+  "CMakeFiles/bench_sec43_gbp.dir/bench_sec43_gbp.cc.o.d"
+  "bench_sec43_gbp"
+  "bench_sec43_gbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_gbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_reuse.dir/bench_table1_reuse.cc.o"
+  "CMakeFiles/bench_table1_reuse.dir/bench_table1_reuse.cc.o.d"
+  "bench_table1_reuse"
+  "bench_table1_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbqt_shell.dir/cbqt_shell.cpp.o"
+  "CMakeFiles/cbqt_shell.dir/cbqt_shell.cpp.o.d"
+  "cbqt_shell"
+  "cbqt_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbqt_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

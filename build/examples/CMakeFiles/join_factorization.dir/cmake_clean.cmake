@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_factorization.dir/join_factorization.cpp.o"
+  "CMakeFiles/join_factorization.dir/join_factorization.cpp.o.d"
+  "join_factorization"
+  "join_factorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jppd_juxtaposition.dir/jppd_juxtaposition.cpp.o"
+  "CMakeFiles/jppd_juxtaposition.dir/jppd_juxtaposition.cpp.o.d"
+  "jppd_juxtaposition"
+  "jppd_juxtaposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jppd_juxtaposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

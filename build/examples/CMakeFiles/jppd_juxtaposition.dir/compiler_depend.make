@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jppd_juxtaposition.
+# This may be replaced when dependencies are built.

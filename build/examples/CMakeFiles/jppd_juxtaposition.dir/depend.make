@@ -1,0 +1,2 @@
+# Empty dependencies file for jppd_juxtaposition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unnesting_tour.dir/unnesting_tour.cpp.o"
+  "CMakeFiles/unnesting_tour.dir/unnesting_tour.cpp.o.d"
+  "unnesting_tour"
+  "unnesting_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unnesting_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binder/binder.cc" "src/CMakeFiles/cbqt_lib.dir/binder/binder.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/binder/binder.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/cbqt_lib.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/statistics.cc" "src/CMakeFiles/cbqt_lib.dir/catalog/statistics.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/catalog/statistics.cc.o.d"
+  "/root/repo/src/cbqt/annotation_cache.cc" "src/CMakeFiles/cbqt_lib.dir/cbqt/annotation_cache.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/cbqt/annotation_cache.cc.o.d"
+  "/root/repo/src/cbqt/framework.cc" "src/CMakeFiles/cbqt_lib.dir/cbqt/framework.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/cbqt/framework.cc.o.d"
+  "/root/repo/src/cbqt/search.cc" "src/CMakeFiles/cbqt_lib.dir/cbqt/search.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/cbqt/search.cc.o.d"
+  "/root/repo/src/cbqt/state.cc" "src/CMakeFiles/cbqt_lib.dir/cbqt/state.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/cbqt/state.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/cbqt_lib.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cbqt_lib.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/cbqt_lib.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/common/str_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/cbqt_lib.dir/common/value.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/common/value.cc.o.d"
+  "/root/repo/src/exec/eval.cc" "src/CMakeFiles/cbqt_lib.dir/exec/eval.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/exec/eval.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/cbqt_lib.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/reference.cc" "src/CMakeFiles/cbqt_lib.dir/exec/reference.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/exec/reference.cc.o.d"
+  "/root/repo/src/optimizer/card_est.cc" "src/CMakeFiles/cbqt_lib.dir/optimizer/card_est.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/optimizer/card_est.cc.o.d"
+  "/root/repo/src/optimizer/join_order.cc" "src/CMakeFiles/cbqt_lib.dir/optimizer/join_order.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/optimizer/join_order.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/cbqt_lib.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/CMakeFiles/cbqt_lib.dir/optimizer/plan.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/optimizer/plan.cc.o.d"
+  "/root/repo/src/optimizer/planner.cc" "src/CMakeFiles/cbqt_lib.dir/optimizer/planner.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/optimizer/planner.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/cbqt_lib.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/cbqt_lib.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/parser/parser.cc.o.d"
+  "/root/repo/src/sql/expr.cc" "src/CMakeFiles/cbqt_lib.dir/sql/expr.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/sql/expr.cc.o.d"
+  "/root/repo/src/sql/expr_util.cc" "src/CMakeFiles/cbqt_lib.dir/sql/expr_util.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/sql/expr_util.cc.o.d"
+  "/root/repo/src/sql/query_block.cc" "src/CMakeFiles/cbqt_lib.dir/sql/query_block.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/sql/query_block.cc.o.d"
+  "/root/repo/src/sql/signature.cc" "src/CMakeFiles/cbqt_lib.dir/sql/signature.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/sql/signature.cc.o.d"
+  "/root/repo/src/sql/type.cc" "src/CMakeFiles/cbqt_lib.dir/sql/type.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/sql/type.cc.o.d"
+  "/root/repo/src/sql/unparser.cc" "src/CMakeFiles/cbqt_lib.dir/sql/unparser.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/sql/unparser.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/cbqt_lib.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/cbqt_lib.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/cbqt_lib.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/storage/table.cc.o.d"
+  "/root/repo/src/transform/group_pruning.cc" "src/CMakeFiles/cbqt_lib.dir/transform/group_pruning.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/group_pruning.cc.o.d"
+  "/root/repo/src/transform/groupby_placement.cc" "src/CMakeFiles/cbqt_lib.dir/transform/groupby_placement.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/groupby_placement.cc.o.d"
+  "/root/repo/src/transform/groupby_view_merge.cc" "src/CMakeFiles/cbqt_lib.dir/transform/groupby_view_merge.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/groupby_view_merge.cc.o.d"
+  "/root/repo/src/transform/join_elimination.cc" "src/CMakeFiles/cbqt_lib.dir/transform/join_elimination.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/join_elimination.cc.o.d"
+  "/root/repo/src/transform/join_factorization.cc" "src/CMakeFiles/cbqt_lib.dir/transform/join_factorization.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/join_factorization.cc.o.d"
+  "/root/repo/src/transform/join_simplification.cc" "src/CMakeFiles/cbqt_lib.dir/transform/join_simplification.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/join_simplification.cc.o.d"
+  "/root/repo/src/transform/jppd.cc" "src/CMakeFiles/cbqt_lib.dir/transform/jppd.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/jppd.cc.o.d"
+  "/root/repo/src/transform/or_expansion.cc" "src/CMakeFiles/cbqt_lib.dir/transform/or_expansion.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/or_expansion.cc.o.d"
+  "/root/repo/src/transform/predicate_moveround.cc" "src/CMakeFiles/cbqt_lib.dir/transform/predicate_moveround.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/predicate_moveround.cc.o.d"
+  "/root/repo/src/transform/predicate_pullup.cc" "src/CMakeFiles/cbqt_lib.dir/transform/predicate_pullup.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/predicate_pullup.cc.o.d"
+  "/root/repo/src/transform/setop_to_join.cc" "src/CMakeFiles/cbqt_lib.dir/transform/setop_to_join.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/setop_to_join.cc.o.d"
+  "/root/repo/src/transform/subquery_unnest.cc" "src/CMakeFiles/cbqt_lib.dir/transform/subquery_unnest.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/subquery_unnest.cc.o.d"
+  "/root/repo/src/transform/transform_util.cc" "src/CMakeFiles/cbqt_lib.dir/transform/transform_util.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/transform_util.cc.o.d"
+  "/root/repo/src/transform/view_merge.cc" "src/CMakeFiles/cbqt_lib.dir/transform/view_merge.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/transform/view_merge.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/CMakeFiles/cbqt_lib.dir/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/workload/query_gen.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/CMakeFiles/cbqt_lib.dir/workload/runner.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/workload/runner.cc.o.d"
+  "/root/repo/src/workload/schema_gen.cc" "src/CMakeFiles/cbqt_lib.dir/workload/schema_gen.cc.o" "gcc" "src/CMakeFiles/cbqt_lib.dir/workload/schema_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

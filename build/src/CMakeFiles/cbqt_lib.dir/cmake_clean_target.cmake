@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbqt_lib.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binder.dir/test_binder.cc.o"
+  "CMakeFiles/test_binder.dir/test_binder.cc.o.d"
+  "test_binder"
+  "test_binder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

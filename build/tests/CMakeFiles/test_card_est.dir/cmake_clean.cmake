@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_card_est.dir/test_card_est.cc.o"
+  "CMakeFiles/test_card_est.dir/test_card_est.cc.o.d"
+  "test_card_est"
+  "test_card_est.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_card_est.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expr_util.dir/test_expr_util.cc.o"
+  "CMakeFiles/test_expr_util.dir/test_expr_util.cc.o.d"
+  "test_expr_util"
+  "test_expr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

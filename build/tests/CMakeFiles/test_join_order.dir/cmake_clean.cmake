@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_join_order.dir/test_join_order.cc.o"
+  "CMakeFiles/test_join_order.dir/test_join_order.cc.o.d"
+  "test_join_order"
+  "test_join_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_join_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_join_simplification.dir/test_join_simplification.cc.o"
+  "CMakeFiles/test_join_simplification.dir/test_join_simplification.cc.o.d"
+  "test_join_simplification"
+  "test_join_simplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_join_simplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_queries.dir/test_paper_queries.cc.o"
+  "CMakeFiles/test_paper_queries.dir/test_paper_queries.cc.o.d"
+  "test_paper_queries"
+  "test_paper_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_oracle.dir/test_reference_oracle.cc.o"
+  "CMakeFiles/test_reference_oracle.dir/test_reference_oracle.cc.o.d"
+  "test_reference_oracle"
+  "test_reference_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

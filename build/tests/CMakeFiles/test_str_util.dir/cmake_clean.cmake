@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_str_util.dir/test_str_util.cc.o"
+  "CMakeFiles/test_str_util.dir/test_str_util.cc.o.d"
+  "test_str_util"
+  "test_str_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_str_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transform_costbased.dir/test_transform_costbased.cc.o"
+  "CMakeFiles/test_transform_costbased.dir/test_transform_costbased.cc.o.d"
+  "test_transform_costbased"
+  "test_transform_costbased.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transform_costbased.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

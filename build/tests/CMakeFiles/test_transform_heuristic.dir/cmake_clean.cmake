@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transform_heuristic.dir/test_transform_heuristic.cc.o"
+  "CMakeFiles/test_transform_heuristic.dir/test_transform_heuristic.cc.o.d"
+  "test_transform_heuristic"
+  "test_transform_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transform_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transform_unnest.dir/test_transform_unnest.cc.o"
+  "CMakeFiles/test_transform_unnest.dir/test_transform_unnest.cc.o.d"
+  "test_transform_unnest"
+  "test_transform_unnest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transform_unnest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unparser.dir/test_unparser.cc.o"
+  "CMakeFiles/test_unparser.dir/test_unparser.cc.o.d"
+  "test_unparser"
+  "test_unparser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unparser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
