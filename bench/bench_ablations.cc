@@ -145,8 +145,7 @@ int main() {
          {SearchStrategy::kTwoPass, SearchStrategy::kLinear,
           SearchStrategy::kIterative, SearchStrategy::kExhaustive}) {
       CbqtConfig cfg;
-      cfg.force_strategy = true;
-      cfg.forced_strategy = s;
+      cfg.strategy_override = s;
       Timing t = RunOnce(db, kFourSubqueries, cfg);
       std::printf("    %-12s %8d %10.2f %12.0f\n", SearchStrategyName(s),
                   t.states, t.ms, t.cost);

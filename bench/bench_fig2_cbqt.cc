@@ -23,7 +23,6 @@ int main() {
     std::fprintf(stderr, "schema build failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  WorkloadRunner runner(db);
 
   // The CBQT-relevant slice of the workload (the paper's ~19k of 241k):
   // subqueries, group-by/distinct/union-all views, plus SPJ filler whose
@@ -46,7 +45,7 @@ int main() {
   std::vector<QueryComparison> results;
   for (const auto& q : queries) {
     QueryComparison cmp;
-    if (CompareModes(runner, q, OptimizerMode::kHeuristicOnly,
+    if (CompareModes(db, q, OptimizerMode::kHeuristicOnly,
                      OptimizerMode::kCostBased, &cmp)) {
       results.push_back(cmp);
     }

@@ -23,7 +23,6 @@ int main() {
     std::fprintf(stderr, "schema build failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  WorkloadRunner runner(db);
 
   int per_family = BenchQueryCount(18);
   std::vector<WorkloadQuery> queries;
@@ -39,7 +38,7 @@ int main() {
   std::vector<QueryComparison> results;
   for (const auto& q : queries) {
     QueryComparison cmp;
-    if (CompareModes(runner, q, OptimizerMode::kUnnestOff,
+    if (CompareModes(db, q, OptimizerMode::kUnnestOff,
                      OptimizerMode::kCostBased, &cmp)) {
       results.push_back(cmp);
     }

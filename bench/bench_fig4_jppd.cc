@@ -23,7 +23,6 @@ int main() {
     std::fprintf(stderr, "schema build failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  WorkloadRunner runner(db);
 
   int per_family = BenchQueryCount(18);
   std::vector<WorkloadQuery> queries;
@@ -42,7 +41,7 @@ int main() {
   std::vector<QueryComparison> results;
   for (const auto& q : queries) {
     QueryComparison cmp;
-    if (CompareModes(runner, q, OptimizerMode::kJppdOff,
+    if (CompareModes(db, q, OptimizerMode::kJppdOff,
                      OptimizerMode::kCostBased, &cmp)) {
       results.push_back(cmp);
     }

@@ -20,13 +20,12 @@ int main() {
     std::fprintf(stderr, "schema build failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  WorkloadRunner runner(db);
 
   int count = BenchQueryCount(18) * 2;
   std::vector<QueryComparison> results;
   for (const auto& q : GenerateFamily(QueryFamily::kGbp, count, schema, 41)) {
     QueryComparison cmp;
-    if (CompareModes(runner, q, OptimizerMode::kGbpOff,
+    if (CompareModes(db, q, OptimizerMode::kGbpOff,
                      OptimizerMode::kCostBased, &cmp)) {
       results.push_back(cmp);
     }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cbqt/engine.h"
 #include "common/str_util.h"
 #include "workload/query_gen.h"
 #include "workload/runner.h"
@@ -128,29 +129,33 @@ inline int BenchQueryCount(int default_count) {
   return default_count;
 }
 
-/// Runs one query under two modes and returns the comparison, or false on
-/// error (errors are reported and the query skipped).
-inline bool CompareModes(const WorkloadRunner& runner,
-                         const WorkloadQuery& query, OptimizerMode base_mode,
-                         OptimizerMode new_mode, QueryComparison* out) {
-  auto base = runner.Run(query.sql, ConfigForMode(base_mode));
+/// Runs one query end-to-end under two optimizer modes through the
+/// QueryEngine facade and returns the comparison, or false on error (errors
+/// are reported and the query skipped).
+inline bool CompareModes(const Database& db, const WorkloadQuery& query,
+                         OptimizerMode base_mode, OptimizerMode new_mode,
+                         QueryComparison* out) {
+  QueryEngine base_engine(db, ConfigForMode(base_mode));
+  auto base = base_engine.Run(query.sql);
   if (!base.ok()) {
     std::fprintf(stderr, "  [skip] %s: %s\n", QueryFamilyName(query.family),
                  base.status().ToString().c_str());
     return false;
   }
-  auto now = runner.Run(query.sql, ConfigForMode(new_mode));
+  QueryEngine new_engine(db, ConfigForMode(new_mode));
+  auto now = new_engine.Run(query.sql);
   if (!now.ok()) {
     std::fprintf(stderr, "  [skip] %s: %s\n", QueryFamilyName(query.family),
                  now.status().ToString().c_str());
     return false;
   }
   out->family = QueryFamilyName(query.family);
-  out->base_opt_ms = base->opt_ms;
-  out->base_exec_ms = base->exec_ms;
-  out->new_opt_ms = now->opt_ms;
-  out->new_exec_ms = now->exec_ms;
-  out->plan_changed = base->plan_shape != now->plan_shape;
+  out->base_opt_ms = base->prepared.optimize_ms;
+  out->base_exec_ms = base->execute_ms;
+  out->new_opt_ms = now->prepared.optimize_ms;
+  out->new_exec_ms = now->execute_ms;
+  out->plan_changed =
+      PlanShape(*base->prepared.plan) != PlanShape(*now->prepared.plan);
   return true;
 }
 

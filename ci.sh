@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: builds the Release and ThreadSanitizer configurations and
+# runs the test suite on both. TSan must report zero races — the parallel
+# CBQT search (ThreadPool + sharded AnnotationCache) is exercised by
+# test_parallel_search.
+#
+#   $ ./ci.sh            # release + tsan
+#   $ ./ci.sh release    # just the release config
+#   $ ./ci.sh tsan       # just the thread-sanitizer config
+set -euo pipefail
+cd "$(dirname "$0")"
+
+want="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_config() {
+  local name="$1"; shift
+  local dir="build-ci-${name}"
+  echo "=== [${name}] configure + build ==="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  cmake --build "${dir}" -j "${jobs}"
+  echo "=== [${name}] ctest ==="
+  (cd "${dir}" && ctest --output-on-failure -j "${jobs}")
+}
+
+if [[ "${want}" == "all" || "${want}" == "release" ]]; then
+  run_config release -DCMAKE_BUILD_TYPE=Release
+fi
+
+if [[ "${want}" == "all" || "${want}" == "tsan" ]]; then
+  # TSAN_OPTIONS makes any reported race fail the run (exit code != 0).
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" run_config tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+fi
+
+echo "=== CI OK (${want}) ==="

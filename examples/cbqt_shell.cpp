@@ -1,22 +1,22 @@
 // An interactive SQL shell over the built-in HR database — the "downstream
 // user" artifact: type queries, see the transformed tree, the plan, and the
-// results.
+// results. Everything runs through the cbqt::QueryEngine facade.
 //
 //   $ ./build/examples/cbqt_shell
 //   cbqt> SELECT d.dept_name FROM departments d WHERE EXISTS
 //         (SELECT 1 FROM employees e WHERE e.dept_id = d.dept_id);
 //   cbqt> .mode heuristic      -- switch optimizer mode
+//   cbqt> .threads 4           -- parallel state evaluation
 //   cbqt> .explain on          -- toggle plan printing
 //   cbqt> .tables              -- list tables
 //   cbqt> .quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
-#include "cbqt/framework.h"
-#include "exec/executor.h"
-#include "parser/parser.h"
+#include "cbqt/engine.h"
 #include "sql/unparser.h"
 #include "workload/runner.h"
 #include "workload/schema_gen.h"
@@ -65,9 +65,10 @@ int main() {
       "tables: departments employees job_history jobs locations customers\n"
       "        orders order_items products accounts\n"
       "commands: .mode cost|heuristic|unnest-off|jppd-off  .explain on|off\n"
-      "          .tables  .quit     (end SQL with ';')\n\n");
+      "          .threads N  .tables  .quit     (end SQL with ';')\n\n");
 
   OptimizerMode mode = OptimizerMode::kCostBased;
+  int num_threads = 1;
   bool explain = true;
   std::string buffer;
   std::string line;
@@ -86,6 +87,14 @@ int main() {
         explain = true;
       } else if (line == ".explain off") {
         explain = false;
+      } else if (line.rfind(".threads ", 0) == 0) {
+        int n = std::atoi(line.substr(9).c_str());
+        if (n >= 1) {
+          num_threads = n;
+          std::printf("state evaluation on %d thread(s)\n", num_threads);
+        } else {
+          std::printf("usage: .threads N  (N >= 1)\n");
+        }
       } else if (line.rfind(".mode ", 0) == 0) {
         std::string m = line.substr(6);
         if (m == "cost") mode = OptimizerMode::kCostBased;
@@ -110,46 +119,30 @@ int main() {
     std::string sql = buffer.substr(0, buffer.find(';'));
     buffer.clear();
 
-    auto parsed = ParseSql(sql);
-    if (!parsed.ok()) {
-      std::printf("parse error: %s\n", parsed.status().message().c_str());
+    CbqtConfig config = ConfigForMode(mode);
+    config.num_threads = num_threads;
+    QueryEngine engine(db, config);
+    auto result = engine.Run(sql);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
       std::printf("cbqt> ");
       std::fflush(stdout);
       continue;
     }
-    double t0 = NowMs();
-    CbqtOptimizer optimizer(db, ConfigForMode(mode));
-    auto optimized = optimizer.Optimize(*parsed.value());
-    double t1 = NowMs();
-    if (!optimized.ok()) {
-      std::printf("optimize error: %s\n",
-                  optimized.status().ToString().c_str());
-      std::printf("cbqt> ");
-      std::fflush(stdout);
-      continue;
-    }
+    const PreparedQuery& prepared = result->prepared;
     if (explain) {
-      std::printf("-- transformed (%.2f ms", t1 - t0);
-      for (const auto& a : optimized->stats.applied) {
+      std::printf("-- transformed (%.2f ms", prepared.optimize_ms);
+      for (const auto& a : prepared.stats.applied) {
         std::printf("; %s", a.c_str());
       }
       std::printf(")\n%s\n\n-- plan (cost %.1f)\n%s\n",
-                  BlockToSqlPretty(*optimized->tree).c_str(), optimized->cost,
-                  PlanToString(*optimized->plan).c_str());
+                  BlockToSqlPretty(*prepared.tree).c_str(), prepared.cost,
+                  PlanToString(*prepared.plan).c_str());
     }
-    Executor executor(db);
-    ExecStats stats;
-    double t2 = NowMs();
-    auto rows = executor.Execute(*optimized->plan, &stats);
-    double t3 = NowMs();
-    if (!rows.ok()) {
-      std::printf("execution error: %s\n", rows.status().ToString().c_str());
-    } else {
-      PrintRows(rows.value(), optimized->plan->output);
-      std::printf("optimize %.2f ms, execute %.2f ms, %lld rows processed\n",
-                  t1 - t0, t3 - t2,
-                  static_cast<long long>(stats.rows_processed));
-    }
+    PrintRows(result->rows, prepared.plan->output);
+    std::printf("optimize %.2f ms, execute %.2f ms, %lld rows processed\n",
+                prepared.optimize_ms, result->execute_ms,
+                static_cast<long long>(result->rows_processed));
     std::printf("cbqt> ");
     std::fflush(stdout);
   }

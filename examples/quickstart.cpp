@@ -1,15 +1,14 @@
 // Quickstart: build a database, run a SQL query through the cost-based
-// transformation framework, and inspect what the optimizer did.
+// transformation framework, and inspect what the optimizer did. The whole
+// pipeline (parse -> bind -> CBQT -> physical plan -> execute) is behind
+// the cbqt::QueryEngine facade.
 //
 //   $ ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "cbqt/framework.h"
-#include "exec/executor.h"
-#include "parser/parser.h"
+#include "cbqt/engine.h"
 #include "sql/unparser.h"
-#include "workload/runner.h"
 #include "workload/schema_gen.h"
 
 using namespace cbqt;
@@ -37,48 +36,44 @@ int main() {
       "                   WHERE d.loc_id = l.loc_id AND l.country_id = 'US')";
   std::printf("Original SQL:\n%s\n\n", sql);
 
-  auto parsed = ParseSql(sql);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "parse: %s\n", parsed.status().ToString().c_str());
-    return 1;
-  }
-
-  // 3. Optimize: heuristic transformations run imperatively, cost-based
-  //    ones through state-space search (paper §3).
-  CbqtOptimizer optimizer(db);
-  auto result = optimizer.Optimize(*parsed.value());
-  if (!result.ok()) {
-    std::fprintf(stderr, "optimize: %s\n",
-                 result.status().ToString().c_str());
+  // 3. Prepare: heuristic transformations run imperatively, cost-based
+  //    ones through state-space search (paper §3). CbqtConfig::num_threads
+  //    would evaluate transformation states concurrently.
+  QueryEngine engine(db);
+  auto prepared = engine.Prepare(sql);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare: %s\n",
+                 prepared.status().ToString().c_str());
     return 1;
   }
 
   std::printf("Transformed query tree:\n%s\n\n",
-              BlockToSqlPretty(*result->tree).c_str());
+              BlockToSqlPretty(*prepared->tree).c_str());
   std::printf("Transformations applied:");
-  for (const auto& a : result->stats.applied) std::printf(" %s", a.c_str());
+  for (const auto& a : prepared->stats.applied) std::printf(" %s", a.c_str());
   std::printf("\nStates costed: %d  (interleaved: %d, annotations reused: "
               "%lld)\n\n",
-              result->stats.states_evaluated,
-              result->stats.interleaved_states,
-              static_cast<long long>(result->stats.annotation_hits));
-  std::printf("Physical plan (cost %.1f):\n%s\n", result->cost,
-              PlanToString(*result->plan).c_str());
+              prepared->stats.states_evaluated,
+              prepared->stats.interleaved_states,
+              static_cast<long long>(prepared->stats.annotation_hits));
+  std::printf("Physical plan (cost %.1f):\n%s\n", prepared->cost,
+              PlanToString(*prepared->plan).c_str());
 
-  // 4. Execute.
-  Executor executor(db);
-  ExecStats stats;
-  auto rows = executor.Execute(*result->plan, &stats);
-  if (!rows.ok()) {
-    std::fprintf(stderr, "execute: %s\n", rows.status().ToString().c_str());
+  // 4. Execute the prepared query.
+  auto result = engine.Execute(std::move(prepared.value()));
+  if (!result.ok()) {
+    std::fprintf(stderr, "execute: %s\n", result.status().ToString().c_str());
     return 1;
   }
   std::printf("Result: %zu rows (%lld rows processed by operators)\n",
-              rows->size(), static_cast<long long>(stats.rows_processed));
-  for (size_t i = 0; i < rows->size() && i < 5; ++i) {
-    std::printf("  %s, %s\n", (*rows)[i][0].ToString().c_str(),
-                (*rows)[i][1].ToString().c_str());
+              result->rows.size(),
+              static_cast<long long>(result->rows_processed));
+  for (size_t i = 0; i < result->rows.size() && i < 5; ++i) {
+    std::printf("  %s, %s\n", result->rows[i][0].ToString().c_str(),
+                result->rows[i][1].ToString().c_str());
   }
-  if (rows->size() > 5) std::printf("  ... and %zu more\n", rows->size() - 5);
+  if (result->rows.size() > 5) {
+    std::printf("  ... and %zu more\n", result->rows.size() - 5);
+  }
   return 0;
 }

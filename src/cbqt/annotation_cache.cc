@@ -1,27 +1,62 @@
 #include "cbqt/annotation_cache.h"
 
+#include <algorithm>
+#include <functional>
+
 namespace cbqt {
 
-const CostAnnotation* AnnotationCache::Find(
+AnnotationCache::AnnotationCache(int num_shards) {
+  int n = std::max(1, num_shards);
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+AnnotationCache::Shard& AnnotationCache::ShardFor(
     const std::string& signature) const {
-  auto it = cache_.find(signature);
-  if (it == cache_.end()) {
-    ++misses_;
+  size_t h = std::hash<std::string>{}(signature);
+  return *shards_[h % shards_.size()];
+}
+
+std::shared_ptr<const CostAnnotation> AnnotationCache::Find(
+    const std::string& signature) const {
+  Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(signature);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
-  return &it->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
 }
 
 void AnnotationCache::Put(const std::string& signature,
                           CostAnnotation annotation) {
-  cache_[signature] = std::move(annotation);
+  auto entry =
+      std::make_shared<const CostAnnotation>(std::move(annotation));
+  Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map[signature] = std::move(entry);
 }
 
 void AnnotationCache::Clear() {
-  cache_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+size_t AnnotationCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
 }
 
 }  // namespace cbqt

@@ -1,9 +1,13 @@
 #ifndef CBQT_CBQT_ANNOTATION_CACHE_H_
 #define CBQT_CBQT_ANNOTATION_CACHE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "optimizer/card_est.h"
 #include "optimizer/plan.h"
@@ -25,24 +29,43 @@ struct CostAnnotation {
 /// are reused instead of re-planned. The paper's Table 1 counts exactly
 /// these reuses (12 blocks optimized, 4 reused, for Q1 under exhaustive
 /// search).
+///
+/// Thread-safe: the map is split into mutex-guarded shards keyed by a hash
+/// of the signature, so concurrent state evaluations (parallel search)
+/// contend only when they touch the same shard. Entries are immutable once
+/// published; Find hands out a shared_ptr so a hit stays valid even if the
+/// entry is concurrently replaced or the cache cleared.
 class AnnotationCache {
  public:
+  explicit AnnotationCache(int num_shards = kDefaultShards);
+
   /// nullptr if not cached.
-  const CostAnnotation* Find(const std::string& signature) const;
+  std::shared_ptr<const CostAnnotation> Find(
+      const std::string& signature) const;
 
   void Put(const std::string& signature, CostAnnotation annotation);
 
   void Clear();
 
   /// Telemetry for Table 1 and the micro benches.
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
-  size_t size() const { return cache_.size(); }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
 
  private:
-  std::unordered_map<std::string, CostAnnotation> cache_;
-  mutable int64_t hits_ = 0;
-  mutable int64_t misses_ = 0;
+  static constexpr int kDefaultShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const CostAnnotation>>
+        map;
+  };
+
+  Shard& ShardFor(const std::string& signature) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
 };
 
 }  // namespace cbqt

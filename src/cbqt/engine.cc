@@ -1,0 +1,54 @@
+#include "cbqt/engine.h"
+
+#include <chrono>
+
+#include "parser/parser.h"
+
+namespace cbqt {
+
+namespace {
+
+double MonotonicMs() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}
+
+}  // namespace
+
+Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) const {
+  double t0 = MonotonicMs();
+  auto parsed = ParseSql(sql);
+  if (!parsed.ok()) return parsed.status();
+  auto optimized = optimizer_.Optimize(*parsed.value());
+  if (!optimized.ok()) return optimized.status();
+  PreparedQuery out;
+  out.tree = std::move(optimized->tree);
+  out.plan = std::move(optimized->plan);
+  out.cost = optimized->cost;
+  out.stats = std::move(optimized->stats);
+  out.optimize_ms = MonotonicMs() - t0;
+  return out;
+}
+
+Result<QueryResult> QueryEngine::Execute(PreparedQuery prepared) const {
+  Executor executor(db_);
+  ExecStats exec_stats;
+  double t0 = MonotonicMs();
+  auto rows = executor.Execute(*prepared.plan, &exec_stats);
+  double t1 = MonotonicMs();
+  if (!rows.ok()) return rows.status();
+  QueryResult out;
+  out.rows = std::move(rows.value());
+  out.prepared = std::move(prepared);
+  out.execute_ms = t1 - t0;
+  out.rows_processed = exec_stats.rows_processed;
+  return out;
+}
+
+Result<QueryResult> QueryEngine::Run(const std::string& sql) const {
+  auto prepared = Prepare(sql);
+  if (!prepared.ok()) return prepared.status();
+  return Execute(std::move(prepared.value()));
+}
+
+}  // namespace cbqt

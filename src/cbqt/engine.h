@@ -1,0 +1,74 @@
+#ifndef CBQT_CBQT_ENGINE_H_
+#define CBQT_CBQT_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cbqt/framework.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/executor.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "sql/query_block.h"
+#include "storage/database.h"
+
+namespace cbqt {
+
+/// A query that went through parse → bind → cost-based transformation →
+/// physical planning and is ready to execute.
+struct PreparedQuery {
+  std::unique_ptr<QueryBlock> tree;  ///< the chosen (transformed) query tree
+  std::unique_ptr<PlanNode> plan;    ///< its physical plan
+  double cost = 0;                   ///< estimated cost of `plan`
+  CbqtStats stats;                   ///< CBQT telemetry
+  double optimize_ms = 0;            ///< wall time of parse + CBQT + planning
+};
+
+/// One end-to-end query execution.
+struct QueryResult {
+  std::vector<Row> rows;
+  PreparedQuery prepared;      ///< the plan the rows were produced from
+  double execute_ms = 0;       ///< wall time of execution
+  int64_t rows_processed = 0;  ///< rows pushed through operators (work units)
+};
+
+/// The public facade over the whole pipeline — the one place that wires
+/// parse → bind → CBQT → physical plan → execute together. Examples,
+/// benches, the workload runner, and downstream users all go through this;
+/// nothing else should re-assemble the pipeline by hand.
+///
+/// A QueryEngine is immutable after construction and safe to share across
+/// threads for concurrent Prepare/Run calls; the CbqtConfig fixed at
+/// construction covers transformation selection, search strategy, and
+/// intra-query parallelism (CbqtConfig::num_threads).
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Database& db, CbqtConfig config = {},
+                       CostParams params = {})
+      : db_(db), optimizer_(db, config, params), config_(config) {}
+
+  /// Parses, transforms, and plans `sql` without executing it.
+  Result<PreparedQuery> Prepare(const std::string& sql) const;
+
+  /// Executes a previously prepared query (consumes it; the prepared query
+  /// is returned inside the result for plan/stats inspection).
+  Result<QueryResult> Execute(PreparedQuery prepared) const;
+
+  /// Prepare + Execute in one call.
+  Result<QueryResult> Run(const std::string& sql) const;
+
+  const Database& db() const { return db_; }
+  const CbqtConfig& config() const { return config_; }
+
+ private:
+  const Database& db_;
+  CbqtOptimizer optimizer_;
+  CbqtConfig config_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_CBQT_ENGINE_H_

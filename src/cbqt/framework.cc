@@ -1,5 +1,6 @@
 #include "cbqt/framework.h"
 
+#include <atomic>
 #include <limits>
 
 #include "binder/binder.h"
@@ -33,9 +34,19 @@ Status FollowUpHeuristics(TransformContext& ctx) {
 
 }  // namespace
 
+CbqtOptimizer::CbqtOptimizer(const Database& db, CbqtConfig config,
+                             CostParams params)
+    : db_(db), config_(config), physical_(db, params) {
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+}
+
 SearchStrategy CbqtOptimizer::ChooseStrategy(int num_objects,
                                              int total_objects) const {
-  if (config_.force_strategy) return config_.forced_strategy;
+  if (config_.strategy_override.has_value()) {
+    return *config_.strategy_override;
+  }
   if (total_objects > config_.two_pass_total_threshold) {
     return SearchStrategy::kTwoPass;
   }
@@ -50,15 +61,21 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
   CBQT_RETURN_IF_ERROR(BindQuery(db_, tree.get()));
 
   CbqtStats stats;
+  stats.threads_used = pool_ != nullptr ? pool_->num_threads() : 1;
   AnnotationCache cache;
   AnnotationCache* cache_ptr = config_.reuse_annotations ? &cache : nullptr;
   Rng rng(config_.seed);
+
+  // State evaluations may run concurrently (parallel search), so the
+  // counters they bump are atomics, folded into `stats` at the end.
+  std::atomic<int64_t> blocks_planned{0};
+  std::atomic<int> interleaved_states{0};
 
   // ---- Heuristic (imperative) phase, paper §2.1. ----
   if (config_.enable_heuristic_phase) {
     TransformContext hctx{tree.get(), &db_};
     HeuristicOptions hopts;
-    hopts.subquery_unnest = config_.enable_unnest;
+    hopts.subquery_unnest = config_.transforms.enabled(Transform::kUnnest);
     CBQT_RETURN_IF_ERROR(ApplyHeuristicTransformations(hctx, hopts));
     CBQT_RETURN_IF_ERROR(BindQuery(db_, tree.get()));
   }
@@ -73,6 +90,7 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
   OrExpansionTransformation or_expand;
   JoinPredicatePushdownTransformation jppd;
 
+  const TransformMask& mask = config_.transforms;
   struct Step {
     const CostBasedTransformation* t;
     bool enabled;
@@ -80,19 +98,21 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
     bool juxtapose_jppd;    // §3.3.2: merge states also costed with JPPD
   };
   std::vector<Step> steps = {
-      {&unnest, config_.enable_unnest, config_.interleave_view_merge, false},
+      {&unnest, mask.enabled(Transform::kUnnest),
+       config_.interleave_view_merge, false},
       // View merging is juxtaposed with JPPD (§3.3.2): each merge state is
       // also costed with JPPD applied to the surviving views, so "don't
       // merge, push instead" (Q13) can beat "merge" (Q18) — the three-way
       // Q12/Q13/Q18 comparison. The JPPD step below then performs the
       // actual pushdown on the chosen tree.
-      {&gb_merge, config_.enable_gb_view_merge, false, config_.enable_jppd},
-      {&setop, config_.enable_setop_to_join, false, false},
-      {&gbp, config_.enable_gbp, false, false},
-      {&pullup, config_.enable_predicate_pullup, false, false},
-      {&factorize, config_.enable_join_factorization, false, false},
-      {&or_expand, config_.enable_or_expansion, false, false},
-      {&jppd, config_.enable_jppd, false, false},
+      {&gb_merge, mask.enabled(Transform::kGroupByViewMerge), false,
+       mask.enabled(Transform::kJppd)},
+      {&setop, mask.enabled(Transform::kSetOpToJoin), false, false},
+      {&gbp, mask.enabled(Transform::kGroupByPlacement), false, false},
+      {&pullup, mask.enabled(Transform::kPredicatePullup), false, false},
+      {&factorize, mask.enabled(Transform::kJoinFactorization), false, false},
+      {&or_expand, mask.enabled(Transform::kOrExpansion), false, false},
+      {&jppd, mask.enabled(Transform::kJppd), false, false},
   };
 
   // Total transformable objects (for the global two-pass threshold).
@@ -130,20 +150,27 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
       continue;
     }
 
-    double best_so_far = std::numeric_limits<double>::infinity();
-    auto evaluate = [&](const TransformState& state) -> Result<double> {
+    // Re-entrant state evaluator: every invocation works on its own deep
+    // copy of the tree; the only shared structures are the sharded
+    // annotation cache and the atomic telemetry counters. The cost cut-off
+    // (§3.4.1) is owned by the search, which passes the best committed cost
+    // so far; with the cut-off disabled we simply ignore it.
+    auto evaluate = [&](const TransformState& state,
+                        double search_cutoff) -> Result<double> {
       auto copy = tree->Clone();
       TransformContext cctx{copy.get(), &db_};
       CBQT_RETURN_IF_ERROR(step.t->Apply(cctx, state));
       CBQT_RETURN_IF_ERROR(BindQuery(db_, copy.get()));
       CBQT_RETURN_IF_ERROR(FollowUpHeuristics(cctx));
       CBQT_RETURN_IF_ERROR(BindQuery(db_, copy.get()));
-      double cutoff = config_.cost_cutoff ? best_so_far
-                                          : std::numeric_limits<double>::infinity();
+      double cutoff = config_.cost_cutoff
+                          ? search_cutoff
+                          : std::numeric_limits<double>::infinity();
       auto opt = physical_.Optimize(*copy, cache_ptr, cutoff);
       double cost = std::numeric_limits<double>::infinity();
       if (opt.ok()) {
-        stats.blocks_planned += opt->blocks_planned;
+        blocks_planned.fetch_add(opt->blocks_planned,
+                                 std::memory_order_relaxed);
         cost = opt->cost;
       } else if (opt.status().code() != StatusCode::kCostCutoff) {
         return opt.status();
@@ -166,9 +193,10 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
         if (st.ok()) st = BindQuery(db_, companion.get());
         if (!st.ok()) return;
         auto mopt = physical_.Optimize(*companion, cache_ptr, cutoff);
-        ++stats.interleaved_states;
+        interleaved_states.fetch_add(1, std::memory_order_relaxed);
         if (mopt.ok()) {
-          stats.blocks_planned += mopt->blocks_planned;
+          blocks_planned.fetch_add(mopt->blocks_planned,
+                                   std::memory_order_relaxed);
           if (mopt->cost < cost) cost = mopt->cost;
         }
       };
@@ -181,15 +209,20 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
         cost_with_companion(jppd_all);
       }
       if (!std::isfinite(cost)) return Status::CostCutoff();
-      if (cost < best_so_far) best_so_far = cost;
       return cost;
     };
 
     SearchStrategy strategy = ChooseStrategy(n, total_objects);
-    auto outcome = RunSearch(strategy, n, evaluate, &rng,
-                             config_.iterative_max_states);
+    SearchOptions search_options;
+    search_options.rng = &rng;
+    search_options.max_states = config_.iterative_max_states;
+    search_options.pool = pool_.get();
+    auto outcome = RunSearch(strategy, n, evaluate, search_options);
     if (!outcome.ok()) return outcome.status();
     stats.states_evaluated += outcome->states_evaluated;
+    stats.parallel_batches += outcome->parallel_batches;
+    stats.speculative_wasted += outcome->speculative_wasted;
+    stats.cutoff_races_lost += outcome->cutoff_races_lost;
     stats.states_per_transformation[step.t->Name()] =
         outcome->states_evaluated;
 
@@ -211,7 +244,11 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
   // ---- Final physical optimization of the chosen tree. ----
   auto final_opt = physical_.Optimize(*tree, cache_ptr);
   if (!final_opt.ok()) return final_opt.status();
-  stats.blocks_planned += final_opt->blocks_planned;
+  stats.blocks_planned =
+      blocks_planned.load(std::memory_order_relaxed) +
+      final_opt->blocks_planned;
+  stats.interleaved_states =
+      interleaved_states.load(std::memory_order_relaxed);
   stats.annotation_hits = cache.hits();
 
   CbqtResult result;

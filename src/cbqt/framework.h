@@ -3,12 +3,15 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cbqt/annotation_cache.h"
 #include "cbqt/search.h"
+#include "cbqt/transform_mask.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "optimizer/optimizer.h"
 #include "sql/query_block.h"
 #include "storage/database.h"
@@ -21,23 +24,19 @@ struct CbqtConfig {
   /// transformation decided by its legacy rule) — Figure 2's baseline.
   bool cost_based = true;
 
-  // Per-transformation switches (used by Figures 3/4 and §4.3).
-  bool enable_unnest = true;  ///< both merge- and view-generating unnesting
-  bool enable_gb_view_merge = true;
-  bool enable_jppd = true;
-  bool enable_gbp = true;
-  bool enable_join_factorization = true;
-  bool enable_predicate_pullup = true;
-  bool enable_setop_to_join = true;
-  bool enable_or_expansion = true;
+  /// Which cost-based transformations participate (used by Figures 3/4 and
+  /// §4.3 ablations). Default: all of them.
+  TransformMask transforms = TransformMask::All();
+
   bool enable_heuristic_phase = true;  ///< §2.1 imperative battery
 
   // Search-space management (paper §3.2 last paragraph).
   int exhaustive_threshold = 4;      ///< N <= this: exhaustive, else linear
   int two_pass_total_threshold = 10; ///< total objects > this: two-pass
   int iterative_max_states = 32;
-  bool force_strategy = false;       ///< override automatic selection
-  SearchStrategy forced_strategy = SearchStrategy::kExhaustive;
+
+  /// When set, overrides the automatic strategy selection for every search.
+  std::optional<SearchStrategy> strategy_override;
 
   /// Interleave group-by view merging with view-generating unnesting
   /// (paper §3.3.1): a state whose unnesting looks unprofitable is also
@@ -51,6 +50,12 @@ struct CbqtConfig {
   bool reuse_annotations = true;
 
   uint64_t seed = 42;  ///< iterative-search randomness
+
+  /// Threads used to evaluate transformation states concurrently (exhaustive
+  /// and linear searches). 1 (the default) keeps the historical fully serial
+  /// behavior; any value preserves the chosen state/cost/plan bit-for-bit —
+  /// see SearchOptions::pool for the determinism contract.
+  int num_threads = 1;
 };
 
 /// Telemetry of one CBQT optimization.
@@ -63,6 +68,12 @@ struct CbqtStats {
   std::map<std::string, int> states_per_transformation;
   /// transformations actually applied, e.g. "unnest-view(1,0)"
   std::vector<std::string> applied;
+
+  // Parallel-evaluation telemetry (see SearchOutcome).
+  int threads_used = 1;        ///< pool width states were evaluated on
+  int parallel_batches = 0;    ///< batches dispatched across all searches
+  int speculative_wasted = 0;  ///< linear speculation discarded
+  int cutoff_races_lost = 0;   ///< full costings a serial cut-off would skip
 };
 
 /// Result of CBQT optimization: the chosen (transformed) query tree, its
@@ -79,12 +90,15 @@ struct CbqtResult {
 /// transformation then enumerates its state space (with automatically
 /// selected search strategy), deep-copies the query tree per state, applies
 /// the state, invokes the physical optimizer for the cost (with cost
-/// cut-off and annotation reuse), and keeps the cheapest tree.
+/// cut-off and annotation reuse), and keeps the cheapest tree. With
+/// `config.num_threads > 1` the states of one search are costed
+/// concurrently on an internal thread pool (each on its own deep copy,
+/// sharing only the sharded AnnotationCache and an atomic cut-off), with
+/// results guaranteed identical to the serial search.
 class CbqtOptimizer {
  public:
-  CbqtOptimizer(const Database& db, CbqtConfig config = {},
-                CostParams params = {})
-      : db_(db), config_(config), physical_(db, params) {}
+  explicit CbqtOptimizer(const Database& db, CbqtConfig config = {},
+                         CostParams params = {});
 
   /// Optimizes a bound or unbound query tree (the input is cloned and
   /// re-bound internally).
@@ -94,10 +108,14 @@ class CbqtOptimizer {
   /// `num_objects` objects given `total_objects` in the whole query.
   SearchStrategy ChooseStrategy(int num_objects, int total_objects) const;
 
+  const CbqtConfig& config() const { return config_; }
+
  private:
   const Database& db_;
   CbqtConfig config_;
   PhysicalOptimizer physical_;
+  /// Shared across Optimize() calls; null when num_threads <= 1.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace cbqt

@@ -1,6 +1,9 @@
 #include "cbqt/search.h"
 
+#include <atomic>
+#include <cmath>
 #include <set>
+#include <vector>
 
 namespace cbqt {
 
@@ -20,17 +23,18 @@ const char* SearchStrategyName(SearchStrategy s) {
 
 namespace {
 
-// Evaluates `state`; updates the outcome if it is the new best. Returns a
-// non-OK status only on hard errors (cost cutoff counts as "worse").
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Evaluates `state` with the committed best as cut-off; updates the outcome
+// if it is the new best. Returns a non-OK status only on hard errors (cost
+// cutoff counts as "worse").
 Status Consider(const TransformState& state, const StateEvaluator& evaluate,
                 SearchOutcome* outcome, double* out_cost = nullptr) {
-  auto cost = evaluate(state);
+  auto cost = evaluate(state, outcome->best_cost);
   ++outcome->states_evaluated;
   if (!cost.ok()) {
     if (cost.status().code() == StatusCode::kCostCutoff) {
-      if (out_cost != nullptr) {
-        *out_cost = std::numeric_limits<double>::infinity();
-      }
+      if (out_cost != nullptr) *out_cost = kInf;
       return Status::OK();
     }
     return cost.status();
@@ -43,7 +47,48 @@ Status Consider(const TransformState& state, const StateEvaluator& evaluate,
   return Status::OK();
 }
 
-Result<SearchOutcome> Exhaustive(int n, const StateEvaluator& evaluate) {
+// One slot of a parallel batch: the evaluated cost (infinity when the
+// evaluator returned kCostCutoff) or a hard error.
+struct SlotResult {
+  double cost = kInf;
+  Status error;
+};
+
+// Evaluates `states` on the pool. Workers read `shared_cutoff` at task start
+// and, when `publish` is set, CAS-min their finite cost back into it so
+// later tasks in the same batch benefit (legal only when every batched state
+// is a committed member of the search — true for exhaustive, not for linear
+// speculation).
+void EvaluateBatch(const std::vector<TransformState>& states,
+                   const StateEvaluator& evaluate, ThreadPool* pool,
+                   std::atomic<double>* shared_cutoff, bool publish,
+                   std::vector<SlotResult>* results) {
+  results->assign(states.size(), SlotResult{});
+  for (size_t idx = 0; idx < states.size(); ++idx) {
+    pool->Submit([&, idx] {
+      double cutoff = shared_cutoff->load(std::memory_order_relaxed);
+      auto cost = evaluate(states[idx], cutoff);
+      SlotResult& slot = (*results)[idx];
+      if (!cost.ok()) {
+        if (cost.status().code() != StatusCode::kCostCutoff) {
+          slot.error = cost.status();
+        }
+        return;  // cutoff: slot.cost stays infinite
+      }
+      slot.cost = cost.value();
+      if (publish) {
+        double cur = shared_cutoff->load(std::memory_order_relaxed);
+        while (cost.value() < cur &&
+               !shared_cutoff->compare_exchange_weak(
+                   cur, cost.value(), std::memory_order_relaxed)) {
+        }
+      }
+    });
+  }
+  pool->Wait();
+}
+
+Result<SearchOutcome> ExhaustiveSerial(int n, const StateEvaluator& evaluate) {
   SearchOutcome outcome;
   uint64_t total = 1ULL << n;
   for (uint64_t mask = 0; mask < total; ++mask) {
@@ -53,7 +98,50 @@ Result<SearchOutcome> Exhaustive(int n, const StateEvaluator& evaluate) {
   return outcome;
 }
 
-Result<SearchOutcome> Linear(int n, const StateEvaluator& evaluate) {
+Result<SearchOutcome> ExhaustiveParallel(int n, const StateEvaluator& evaluate,
+                                         ThreadPool* pool) {
+  SearchOutcome outcome;
+  uint64_t total = 1ULL << n;
+
+  // Zero state first, serially: it seeds the cut-off (paper §3.4.1) so no
+  // worker ever runs without an upper bound.
+  CBQT_RETURN_IF_ERROR(Consider(ZeroState(n), evaluate, &outcome));
+  std::atomic<double> cutoff{outcome.best_cost};
+
+  // Batches merge in ascending mask order with a strict '<', so the chosen
+  // state and cost are identical to the serial search no matter how the
+  // workers interleave: a state abandoned by a racing cut-off had a cost
+  // strictly above the final best, and equal-cost ties keep the lower mask.
+  uint64_t batch = static_cast<uint64_t>(pool->num_threads()) * 4;
+  std::vector<TransformState> states;
+  std::vector<SlotResult> results;
+  for (uint64_t next = 1; next < total; next += batch) {
+    uint64_t end = std::min(total, next + batch);
+    states.clear();
+    for (uint64_t mask = next; mask < end; ++mask) {
+      states.push_back(StateFromMask(mask, n));
+    }
+    EvaluateBatch(states, evaluate, pool, &cutoff, /*publish=*/true,
+                  &results);
+    ++outcome.parallel_batches;
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].error.ok()) return results[i].error;
+      ++outcome.states_evaluated;
+      double c = results[i].cost;
+      if (c < outcome.best_cost) {
+        outcome.best_cost = c;
+        outcome.best_state = states[i];
+      } else if (std::isfinite(c) && c > outcome.best_cost) {
+        // Fully costed, yet strictly worse than a best that was already
+        // known: a serial pass would have cut this state off.
+        ++outcome.cutoff_races_lost;
+      }
+    }
+  }
+  return outcome;
+}
+
+Result<SearchOutcome> LinearSerial(int n, const StateEvaluator& evaluate) {
   // Dynamic-programming flavour (paper §3.2): accept each object's
   // transformation iff it improves on the best state found so far; never
   // revisit. Exactly N+1 states.
@@ -74,6 +162,61 @@ Result<SearchOutcome> Linear(int n, const StateEvaluator& evaluate) {
   return outcome;
 }
 
+Result<SearchOutcome> LinearParallel(int n, const StateEvaluator& evaluate,
+                                     ThreadPool* pool) {
+  // Speculative parallel variant of LinearSerial with bit-identical results:
+  // assume the upcoming candidates are all rejections (the common case) and
+  // cost them concurrently against the current base; consume the results in
+  // order and, on the first acceptance, discard the now-stale remainder and
+  // re-speculate from the new base. Within a batch every candidate sees
+  // exactly the serial cut-off, because rejections never lower it and an
+  // acceptance aborts the batch.
+  SearchOutcome outcome;
+  TransformState current = ZeroState(n);
+  CBQT_RETURN_IF_ERROR(Consider(current, evaluate, &outcome));
+  double current_cost = outcome.best_cost;
+
+  std::vector<TransformState> states;
+  std::vector<SlotResult> results;
+  int i = 0;
+  while (i < n) {
+    states.clear();
+    for (int j = i; j < n; ++j) {
+      TransformState cand = current;
+      cand[static_cast<size_t>(j)] = true;
+      states.push_back(std::move(cand));
+    }
+    std::atomic<double> cutoff{outcome.best_cost};
+    EvaluateBatch(states, evaluate, pool, &cutoff, /*publish=*/false,
+                  &results);
+    ++outcome.parallel_batches;
+
+    bool accepted = false;
+    for (size_t j = 0; j < results.size(); ++j) {
+      // Hard errors only matter for consumed slots; the serial search would
+      // never have evaluated the states behind an acceptance.
+      if (!results[j].error.ok()) return results[j].error;
+      ++outcome.states_evaluated;
+      double c = results[j].cost;
+      if (c < outcome.best_cost) {
+        outcome.best_cost = c;
+        outcome.best_state = states[j];
+      }
+      if (c < current_cost) {
+        current = states[j];
+        current_cost = c;
+        i += static_cast<int>(j) + 1;
+        outcome.speculative_wasted +=
+            static_cast<int>(results.size() - j) - 1;
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) break;  // consumed through bit n-1 without accepting
+  }
+  return outcome;
+}
+
 Result<SearchOutcome> TwoPass(int n, const StateEvaluator& evaluate) {
   SearchOutcome outcome;
   CBQT_RETURN_IF_ERROR(Consider(ZeroState(n), evaluate, &outcome));
@@ -85,13 +228,14 @@ Result<SearchOutcome> Iterative(int n, const StateEvaluator& evaluate,
                                 Rng* rng, int max_states) {
   // Iterative improvement (paper §3.2): from a random initial state, take
   // any downhill single-bit move until a local minimum, then restart;
-  // stop when no unseen states remain or max_states is reached.
+  // stop when no unseen states remain or max_states is reached. Inherently
+  // sequential (every move depends on the last), so never parallelized.
   SearchOutcome outcome;
   std::set<TransformState> seen;
   auto consider_once = [&](const TransformState& s,
                            double* cost) -> Status {
     if (seen.count(s) > 0) {
-      *cost = std::numeric_limits<double>::infinity();
+      *cost = kInf;
       return Status::OK();
     }
     seen.insert(s);
@@ -136,23 +280,29 @@ Result<SearchOutcome> Iterative(int n, const StateEvaluator& evaluate,
 }  // namespace
 
 Result<SearchOutcome> RunSearch(SearchStrategy strategy, int num_objects,
-                                const StateEvaluator& evaluate, Rng* rng,
-                                int max_states) {
+                                const StateEvaluator& evaluate,
+                                const SearchOptions& options) {
   if (num_objects <= 0) {
     return Status::InvalidArgument("search requires at least one object");
   }
   if (num_objects > 20 && strategy == SearchStrategy::kExhaustive) {
     strategy = SearchStrategy::kLinear;  // safety valve
   }
+  ThreadPool* pool = options.pool != nullptr && options.pool->num_threads() > 1
+                         ? options.pool
+                         : nullptr;
   switch (strategy) {
     case SearchStrategy::kExhaustive:
-      return Exhaustive(num_objects, evaluate);
+      return pool != nullptr ? ExhaustiveParallel(num_objects, evaluate, pool)
+                             : ExhaustiveSerial(num_objects, evaluate);
     case SearchStrategy::kLinear:
-      return Linear(num_objects, evaluate);
+      return pool != nullptr ? LinearParallel(num_objects, evaluate, pool)
+                             : LinearSerial(num_objects, evaluate);
     case SearchStrategy::kTwoPass:
       return TwoPass(num_objects, evaluate);
     case SearchStrategy::kIterative:
-      return Iterative(num_objects, evaluate, rng, max_states);
+      return Iterative(num_objects, evaluate, options.rng,
+                       options.max_states);
   }
   return Status::Internal("unknown search strategy");
 }

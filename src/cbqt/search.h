@@ -7,6 +7,7 @@
 #include "cbqt/state.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace cbqt {
 
@@ -20,23 +21,49 @@ enum class SearchStrategy {
 
 const char* SearchStrategyName(SearchStrategy s);
 
-/// Evaluates one state and returns its cost. A kCostCutoff status means the
-/// state was abandoned mid-optimization (treated as "not better"); other
-/// errors abort the search.
-using StateEvaluator = std::function<Result<double>(const TransformState&)>;
+/// Evaluates one state and returns its cost. `cost_cutoff` is the best cost
+/// the search has committed so far (infinity until the zero state is costed);
+/// evaluators may abandon a state once its accumulated cost exceeds it
+/// (§3.4.1) by returning a kCostCutoff status, which the search treats as
+/// "not better". Other errors abort the search.
+///
+/// Under a parallel search the evaluator is invoked concurrently from pool
+/// workers and must be re-entrant: it may only mutate state it owns (deep
+/// copies of the query tree) or thread-safe shared structures (the sharded
+/// AnnotationCache, atomic counters).
+using StateEvaluator =
+    std::function<Result<double>(const TransformState&, double cost_cutoff)>;
 
 struct SearchOutcome {
   TransformState best_state;
   double best_cost = std::numeric_limits<double>::infinity();
-  int states_evaluated = 0;
+  int states_evaluated = 0;  ///< states whose result the search consumed
+
+  // Parallel-execution telemetry (all zero under serial execution).
+  int parallel_batches = 0;    ///< batches dispatched to the pool
+  int speculative_wasted = 0;  ///< linear: speculative evals discarded
+  /// Exhaustive: states fully costed in parallel that a serial pass would
+  /// have abandoned via cut-off (the cut-off update raced and arrived late).
+  int cutoff_races_lost = 0;
+};
+
+/// Knobs of one search run.
+struct SearchOptions {
+  Rng* rng = nullptr;       ///< iterative strategy only
+  int max_states = 64;      ///< bounds iterative search
+  /// When non-null (and sized >= 2 threads), exhaustive and linear searches
+  /// evaluate batches of states concurrently. Results are bit-identical to
+  /// the serial search: the zero state is always costed serially first to
+  /// seed the cut-off, batches merge in state-bit-vector order, and ties on
+  /// cost keep the earlier (lower) bit vector.
+  ThreadPool* pool = nullptr;
 };
 
 /// Runs the chosen strategy over an N-object state space. The zero state is
-/// always evaluated first (it seeds the cost cutoff). `rng` is used by the
-/// iterative strategy only; `max_states` bounds iterative search.
+/// always evaluated first (it seeds the cost cutoff).
 Result<SearchOutcome> RunSearch(SearchStrategy strategy, int num_objects,
-                                const StateEvaluator& evaluate, Rng* rng,
-                                int max_states = 64);
+                                const StateEvaluator& evaluate,
+                                const SearchOptions& options = {});
 
 }  // namespace cbqt
 

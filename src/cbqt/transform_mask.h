@@ -1,0 +1,79 @@
+#ifndef CBQT_CBQT_TRANSFORM_MASK_H_
+#define CBQT_CBQT_TRANSFORM_MASK_H_
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace cbqt {
+
+/// The cost-based transformations of the framework's sequential pipeline
+/// (paper §3.1), in pipeline order.
+enum class Transform : uint8_t {
+  kUnnest = 0,          ///< view-generating subquery unnesting (§2.2.1)
+  kGroupByViewMerge,    ///< group-by/distinct view merging (§2.2.2)
+  kSetOpToJoin,         ///< INTERSECT/MINUS into joins (§2.2.7)
+  kGroupByPlacement,    ///< eager aggregation (§2.2.4)
+  kPredicatePullup,     ///< expensive-predicate pullup (§2.2.6)
+  kJoinFactorization,   ///< UNION ALL factorization (§2.2.5)
+  kOrExpansion,         ///< disjunction into UNION ALL (§2.2.8)
+  kJppd,                ///< join predicate pushdown (§2.2.3)
+};
+
+inline constexpr int kNumTransforms = 8;
+
+/// An enable/disable set over the cost-based transformations — the grouped
+/// replacement for what used to be eight independent `enable_*` booleans on
+/// CbqtConfig. Value type; all operations are constexpr and non-mutating
+/// (With/Without return a new mask), so configs compose declaratively:
+///
+///   cfg.transforms = TransformMask::All().Without(Transform::kJppd);
+///   cfg.transforms = TransformMask::Only({Transform::kUnnest});
+class TransformMask {
+ public:
+  /// Default-constructed mask enables everything (matching the historical
+  /// CbqtConfig defaults).
+  constexpr TransformMask() : bits_(kAllBits) {}
+
+  static constexpr TransformMask All() { return TransformMask(kAllBits); }
+  static constexpr TransformMask None() { return TransformMask(0); }
+
+  /// A mask with exactly the listed transformations enabled.
+  static constexpr TransformMask Only(std::initializer_list<Transform> ts) {
+    uint32_t bits = 0;
+    for (Transform t : ts) bits |= Bit(t);
+    return TransformMask(bits);
+  }
+
+  constexpr TransformMask With(Transform t) const {
+    return TransformMask(bits_ | Bit(t));
+  }
+  constexpr TransformMask Without(Transform t) const {
+    return TransformMask(bits_ & ~Bit(t));
+  }
+
+  constexpr bool enabled(Transform t) const {
+    return (bits_ & Bit(t)) != 0;
+  }
+
+  friend constexpr bool operator==(TransformMask a, TransformMask b) {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(TransformMask a, TransformMask b) {
+    return a.bits_ != b.bits_;
+  }
+
+ private:
+  static constexpr uint32_t kAllBits = (1u << kNumTransforms) - 1;
+
+  static constexpr uint32_t Bit(Transform t) {
+    return 1u << static_cast<uint8_t>(t);
+  }
+
+  explicit constexpr TransformMask(uint32_t bits) : bits_(bits) {}
+
+  uint32_t bits_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_CBQT_TRANSFORM_MASK_H_

@@ -1,0 +1,54 @@
+#ifndef CBQT_COMMON_THREAD_POOL_H_
+#define CBQT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cbqt {
+
+/// A fixed-size thread pool with a single shared FIFO queue (deliberately no
+/// work stealing: tasks in this codebase are coarse — one physical
+/// optimization of a whole transformation state each — so a contended deque
+/// would buy nothing and cost determinism-debugging pain).
+///
+/// Usage: Submit() closures, then Wait() for the queue to drain. Submit/Wait
+/// are safe to call from multiple threads; Wait returns once every task
+/// submitted before the call has finished executing.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;   // workers wait here
+  std::condition_variable all_done_;     // Wait() waits here
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;  // queued + currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_COMMON_THREAD_POOL_H_

@@ -607,7 +607,7 @@ Result<BlockPlan> Planner::PlanBlock(const QueryBlock& qb) {
   std::string sig;
   if (cache_ != nullptr) {
     sig = BlockSignature(qb);
-    const CostAnnotation* hit = cache_->Find(sig);
+    std::shared_ptr<const CostAnnotation> hit = cache_->Find(sig);
     if (hit != nullptr) {
       BlockPlan out;
       out.plan = hit->plan->Clone();

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <chrono>
 
-#include "parser/parser.h"
-
 namespace cbqt {
 
 CbqtConfig ConfigForMode(OptimizerMode mode) {
@@ -16,13 +14,13 @@ CbqtConfig ConfigForMode(OptimizerMode mode) {
       cfg.cost_based = false;
       break;
     case OptimizerMode::kUnnestOff:
-      cfg.enable_unnest = false;
+      cfg.transforms = cfg.transforms.Without(Transform::kUnnest);
       break;
     case OptimizerMode::kJppdOff:
-      cfg.enable_jppd = false;
+      cfg.transforms = cfg.transforms.Without(Transform::kJppd);
       break;
     case OptimizerMode::kGbpOff:
-      cfg.enable_gbp = false;
+      cfg.transforms = cfg.transforms.Without(Transform::kGroupByPlacement);
       break;
   }
   return cfg;
@@ -35,44 +33,28 @@ double NowMs() {
 
 Result<RunMeasurement> WorkloadRunner::Run(const std::string& sql,
                                            const CbqtConfig& config) const {
-  auto parsed = ParseSql(sql);
-  if (!parsed.ok()) return parsed.status();
+  QueryEngine engine(db_, config, params_);
+  auto result = engine.Run(sql);
+  if (!result.ok()) return result.status();
 
   RunMeasurement m;
-  double t0 = NowMs();
-  CbqtOptimizer optimizer(db_, config, params_);
-  auto optimized = optimizer.Optimize(*parsed.value());
-  double t1 = NowMs();
-  if (!optimized.ok()) return optimized.status();
-  m.opt_ms = t1 - t0;
-  m.est_cost = optimized->cost;
-  m.plan_shape = PlanShape(*optimized->plan);
-  m.cbqt = optimized->stats;
-
-  Executor executor(db_);
-  ExecStats stats;
-  double t2 = NowMs();
-  auto rows = executor.Execute(*optimized->plan, &stats);
-  double t3 = NowMs();
-  if (!rows.ok()) return rows.status();
-  m.exec_ms = t3 - t2;
-  m.rows_processed = stats.rows_processed;
-  m.result_rows = rows->size();
+  m.opt_ms = result->prepared.optimize_ms;
+  m.exec_ms = result->execute_ms;
+  m.est_cost = result->prepared.cost;
+  m.plan_shape = PlanShape(*result->prepared.plan);
+  m.cbqt = std::move(result->prepared.stats);
+  m.rows_processed = result->rows_processed;
+  m.result_rows = result->rows.size();
   return m;
 }
 
 Result<std::vector<Row>> WorkloadRunner::RunToSortedRows(
     const std::string& sql, const CbqtConfig& config) const {
-  auto parsed = ParseSql(sql);
-  if (!parsed.ok()) return parsed.status();
-  CbqtOptimizer optimizer(db_, config, params_);
-  auto optimized = optimizer.Optimize(*parsed.value());
-  if (!optimized.ok()) return optimized.status();
-  Executor executor(db_);
-  auto rows = executor.Execute(*optimized->plan);
-  if (!rows.ok()) return rows.status();
-  SortRowsCanonical(&rows.value());
-  return std::move(rows.value());
+  QueryEngine engine(db_, config, params_);
+  auto result = engine.Run(sql);
+  if (!result.ok()) return result.status();
+  SortRowsCanonical(&result->rows);
+  return std::move(result->rows);
 }
 
 void SortRowsCanonical(std::vector<Row>* rows) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "cbqt/engine.h"
 #include "cbqt/framework.h"
 #include "common/status.h"
 #include "exec/executor.h"
@@ -37,7 +38,9 @@ struct RunMeasurement {
 /// Monotonic wall clock in milliseconds.
 double NowMs();
 
-/// Parses, CBQT-optimizes and executes queries against one database.
+/// Measurement wrapper for the experiments: runs queries through the
+/// QueryEngine facade (the single place the pipeline is wired) and shapes
+/// the timings/telemetry into RunMeasurement.
 class WorkloadRunner {
  public:
   explicit WorkloadRunner(const Database& db, CostParams params = {})

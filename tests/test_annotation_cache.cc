@@ -18,7 +18,7 @@ TEST(AnnotationCache, PutFindHitMissCounters) {
   ann.rows = 3;
   ann.plan = std::make_unique<PlanNode>(PlanOp::kTableScan);
   cache.Put("sig-a", std::move(ann));
-  const CostAnnotation* hit = cache.Find("sig-a");
+  std::shared_ptr<const CostAnnotation> hit = cache.Find("sig-a");
   ASSERT_NE(hit, nullptr);
   EXPECT_DOUBLE_EQ(hit->cost, 12);
   EXPECT_EQ(cache.hits(), 1);

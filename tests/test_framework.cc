@@ -82,8 +82,7 @@ TEST_F(FrameworkTest, Table2StateCounts) {
   };
   for (const auto& [strategy, states] : expected) {
     CbqtConfig cfg;
-    cfg.force_strategy = true;
-    cfg.forced_strategy = strategy;
+    cfg.strategy_override = strategy;
     auto r = Optimize(Table2Query(), cfg);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     EXPECT_EQ(r->stats.states_per_transformation.at("unnest-view"), states)
@@ -134,7 +133,7 @@ TEST_F(FrameworkTest, CostCutoffReducesWork) {
 
 TEST_F(FrameworkTest, DisablingUnnestKeepsSubqueries) {
   CbqtConfig cfg;
-  cfg.enable_unnest = false;
+  cfg.transforms = TransformMask::All().Without(Transform::kUnnest);
   auto r = Optimize(
       "SELECT d.dept_name FROM departments d WHERE EXISTS (SELECT 1 FROM "
       "employees e WHERE e.dept_id = d.dept_id)",
@@ -184,8 +183,7 @@ TEST_F(FrameworkTest, FinalPlanCostMatchesReportedCost) {
 
 TEST_F(FrameworkTest, IterativeStrategyWorksEndToEnd) {
   CbqtConfig cfg;
-  cfg.force_strategy = true;
-  cfg.forced_strategy = SearchStrategy::kIterative;
+  cfg.strategy_override = SearchStrategy::kIterative;
   cfg.iterative_max_states = 12;
   auto r = Optimize(Table2Query(), cfg);
   ASSERT_TRUE(r.ok()) << r.status().ToString();

@@ -24,7 +24,8 @@ struct CostFn {
 };
 
 StateEvaluator Wrap(const CostFn& fn, int* calls = nullptr) {
-  return [fn, calls](const TransformState& s) -> Result<double> {
+  return [fn, calls](const TransformState& s,
+                     double /*cost_cutoff*/) -> Result<double> {
     if (calls != nullptr) ++*calls;
     return fn(s);
   };
@@ -32,7 +33,7 @@ StateEvaluator Wrap(const CostFn& fn, int* calls = nullptr) {
 
 TEST(Search, ExhaustiveEvaluatesAllStates) {
   CostFn fn{{5, -3, 1}, 0};
-  auto r = RunSearch(SearchStrategy::kExhaustive, 3, Wrap(fn), nullptr);
+  auto r = RunSearch(SearchStrategy::kExhaustive, 3, Wrap(fn));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->states_evaluated, 8);
   // Optimal: bits with positive gain set -> (1,0,1), cost 94.
@@ -43,7 +44,7 @@ TEST(Search, ExhaustiveEvaluatesAllStates) {
 TEST(Search, ExhaustiveFindsInteractionOptimum) {
   // Individually bad, jointly good: only exhaustive-style search sees it.
   CostFn fn{{-2, -2, 0}, -10};  // cost(1,1,*) = 100 +2+2-10 = 94
-  auto r = RunSearch(SearchStrategy::kExhaustive, 3, Wrap(fn), nullptr);
+  auto r = RunSearch(SearchStrategy::kExhaustive, 3, Wrap(fn));
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->best_state[0] && r->best_state[1]);
   EXPECT_DOUBLE_EQ(r->best_cost, 94);
@@ -52,7 +53,7 @@ TEST(Search, ExhaustiveFindsInteractionOptimum) {
 TEST(Search, LinearEvaluatesNPlusOneStates) {
   CostFn fn{{5, 3, 1, 2}, 0};
   int calls = 0;
-  auto r = RunSearch(SearchStrategy::kLinear, 4, Wrap(fn, &calls), nullptr);
+  auto r = RunSearch(SearchStrategy::kLinear, 4, Wrap(fn, &calls));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->states_evaluated, 5);  // N+1 (paper Table 2: 5 for N=4)
   EXPECT_EQ(calls, 5);
@@ -61,7 +62,7 @@ TEST(Search, LinearEvaluatesNPlusOneStates) {
 
 TEST(Search, LinearGreedyKeepsOnlyImprovingBits) {
   CostFn fn{{5, -3, 1}, 0};
-  auto r = RunSearch(SearchStrategy::kLinear, 3, Wrap(fn), nullptr);
+  auto r = RunSearch(SearchStrategy::kLinear, 3, Wrap(fn));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->best_state, TransformState({true, false, true}));
 }
@@ -70,14 +71,14 @@ TEST(Search, LinearMissesInteractionOptimum) {
   // The documented limitation (paper: linear "works best when the
   // transformations are independent").
   CostFn fn{{-2, -2, 0}, -10};
-  auto r = RunSearch(SearchStrategy::kLinear, 3, Wrap(fn), nullptr);
+  auto r = RunSearch(SearchStrategy::kLinear, 3, Wrap(fn));
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->best_cost, 100);  // stuck at the zero state
 }
 
 TEST(Search, TwoPassEvaluatesTwoStates) {
   CostFn fn{{5, 3}, 0};
-  auto r = RunSearch(SearchStrategy::kTwoPass, 2, Wrap(fn), nullptr);
+  auto r = RunSearch(SearchStrategy::kTwoPass, 2, Wrap(fn));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->states_evaluated, 2);
   EXPECT_EQ(r->best_state, TransformState({true, true}));
@@ -85,7 +86,7 @@ TEST(Search, TwoPassEvaluatesTwoStates) {
 
 TEST(Search, TwoPassPicksZeroWhenTransformAllIsWorse) {
   CostFn fn{{5, -30}, 0};
-  auto r = RunSearch(SearchStrategy::kTwoPass, 2, Wrap(fn), nullptr);
+  auto r = RunSearch(SearchStrategy::kTwoPass, 2, Wrap(fn));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->best_state, TransformState({false, false}));
 }
@@ -93,8 +94,10 @@ TEST(Search, TwoPassPicksZeroWhenTransformAllIsWorse) {
 TEST(Search, IterativeFindsOptimumWithinBudget) {
   CostFn fn{{5, 3, 1, 2, 4}, 0};
   Rng rng(42);
-  auto r = RunSearch(SearchStrategy::kIterative, 5, Wrap(fn), &rng,
-                     /*max_states=*/32);
+  SearchOptions options;
+  options.rng = &rng;
+  options.max_states = 32;
+  auto r = RunSearch(SearchStrategy::kIterative, 5, Wrap(fn), options);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->best_state, TransformState({true, true, true, true, true}));
   EXPECT_GE(r->states_evaluated, 5);
@@ -104,37 +107,42 @@ TEST(Search, IterativeFindsOptimumWithinBudget) {
 TEST(Search, IterativeRespectsMaxStates) {
   CostFn fn{{1, 1, 1, 1, 1, 1, 1, 1}, 0};
   Rng rng(7);
-  auto r = RunSearch(SearchStrategy::kIterative, 8, Wrap(fn), &rng, 10);
+  SearchOptions options;
+  options.rng = &rng;
+  options.max_states = 10;
+  auto r = RunSearch(SearchStrategy::kIterative, 8, Wrap(fn), options);
   ASSERT_TRUE(r.ok());
   EXPECT_LE(r->states_evaluated, 10 + 8);  // one descent may finish
 }
 
 TEST(Search, CutoffStatesTreatedAsWorse) {
   int calls = 0;
-  auto eval = [&calls](const TransformState& s) -> Result<double> {
+  auto eval = [&calls](const TransformState& s, double) -> Result<double> {
     ++calls;
     bool any = false;
     for (bool b : s) any |= b;
     if (any) return Status::CostCutoff();
     return 50.0;
   };
-  auto r = RunSearch(SearchStrategy::kExhaustive, 2, eval, nullptr);
+  auto r = RunSearch(SearchStrategy::kExhaustive, 2, eval);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->best_state, TransformState({false, false}));
   EXPECT_EQ(r->states_evaluated, 4);
 }
 
 TEST(Search, HardErrorAbortsSearch) {
-  auto eval = [](const TransformState&) -> Result<double> {
+  auto eval = [](const TransformState&, double) -> Result<double> {
     return Status::Internal("boom");
   };
-  auto r = RunSearch(SearchStrategy::kExhaustive, 2, eval, nullptr);
+  auto r = RunSearch(SearchStrategy::kExhaustive, 2, eval);
   EXPECT_FALSE(r.ok());
 }
 
 TEST(Search, ZeroObjectsRejected) {
-  auto eval = [](const TransformState&) -> Result<double> { return 1.0; };
-  EXPECT_FALSE(RunSearch(SearchStrategy::kExhaustive, 0, eval, nullptr).ok());
+  auto eval = [](const TransformState&, double) -> Result<double> {
+    return 1.0;
+  };
+  EXPECT_FALSE(RunSearch(SearchStrategy::kExhaustive, 0, eval).ok());
 }
 
 TEST(State, Helpers) {

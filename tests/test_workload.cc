@@ -87,9 +87,12 @@ TEST_F(WorkloadTest, MixedWorkloadShape) {
 
 TEST_F(WorkloadTest, ModesConfigureFramework) {
   EXPECT_FALSE(ConfigForMode(OptimizerMode::kHeuristicOnly).cost_based);
-  EXPECT_FALSE(ConfigForMode(OptimizerMode::kUnnestOff).enable_unnest);
-  EXPECT_FALSE(ConfigForMode(OptimizerMode::kJppdOff).enable_jppd);
-  EXPECT_FALSE(ConfigForMode(OptimizerMode::kGbpOff).enable_gbp);
+  EXPECT_FALSE(ConfigForMode(OptimizerMode::kUnnestOff)
+                   .transforms.enabled(Transform::kUnnest));
+  EXPECT_FALSE(ConfigForMode(OptimizerMode::kJppdOff)
+                   .transforms.enabled(Transform::kJppd));
+  EXPECT_FALSE(ConfigForMode(OptimizerMode::kGbpOff)
+                   .transforms.enabled(Transform::kGroupByPlacement));
   EXPECT_TRUE(ConfigForMode(OptimizerMode::kCostBased).cost_based);
 }
 
