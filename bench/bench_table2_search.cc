@@ -11,6 +11,12 @@
 // The growth is modest because of sub-tree cost-annotation reuse.
 //
 //   $ ./build/bench/bench_table2_search [--threads 1,2,4,8]
+//                                       [--budget-ms 0,10000,0.05]
+//
+// The --budget-ms axis measures the resource governor: optimization time and
+// states with the budget disabled (0), generous, and tight. Results are also
+// written to BENCH_governor.json (governor overhead must be ~0 when
+// disabled; a tight budget must cut states while still producing a plan).
 
 #include <cstdio>
 #include <cstring>
@@ -49,6 +55,9 @@ struct Measurement {
   double cost = 0;
   std::string applied;
   bool ok = false;
+  bool budget_exhausted = false;
+  int total_states = 0;
+  double budget_check_ms = 0;
 };
 
 // Times Prepare() of `kQuery` under `cfg`: warm once, keep the best of 3.
@@ -70,6 +79,9 @@ Measurement Measure(const Database& db, const CbqtConfig& cfg) {
                    ? it->second
                    : 1;
     m.cost = r->cost;
+    m.budget_exhausted = r->stats.budget_exhausted;
+    m.total_states = r->stats.states_evaluated;
+    m.budget_check_ms = r->stats.budget_check_ns / 1e6;
     m.applied.clear();
     for (const auto& a : r->stats.applied) {
       if (!m.applied.empty()) m.applied += " ";
@@ -78,6 +90,25 @@ Measurement Measure(const Database& db, const CbqtConfig& cfg) {
   }
   m.ok = true;
   return m;
+}
+
+std::vector<double> ParseBudgetArg(int argc, char** argv) {
+  std::vector<double> budgets = {0, 10000, 0.05};  // disabled/generous/tight
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget-ms") == 0) {
+      budgets.clear();
+      std::string spec = argv[i + 1];
+      size_t pos = 0;
+      while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) comma = spec.size();
+        budgets.push_back(std::atof(spec.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+      }
+      if (budgets.empty()) budgets = {0};
+    }
+  }
+  return budgets;
 }
 
 std::vector<int> ParseThreadsArg(int argc, char** argv) {
@@ -186,6 +217,61 @@ int main(int argc, char** argv) {
                     ? "(>= 2x target met)"
                     : (cores < 4 ? "(machine has < 4 cores; target needs 4)"
                                  : "(below 2x target)"));
+  }
+
+  // ---- Governor axis: exhaustive search under an optimization budget. ----
+  // budget-ms = 0 disables the governor entirely (must cost the same as the
+  // un-governed run above — the tracker is never even allocated); a generous
+  // budget should change nothing but telemetry; a tight budget degrades to
+  // best-so-far / heuristics while still producing a plan.
+  std::vector<double> budgets = ParseBudgetArg(argc, argv);
+  std::printf(
+      "\n=== Resource governor: --budget-ms axis (exhaustive search) ===\n"
+      "\n  %-12s %12s %8s %14s %11s %13s\n", "budget(ms)", "optim(ms)",
+      "#states", "final cost", "exhausted", "check(ms)");
+  std::string json = "[\n";
+  double disabled_ms = 0;
+  bool governor_ok = true;
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    double budget_ms = budgets[i];
+    CbqtConfig cfg;
+    cfg.strategy_override = SearchStrategy::kExhaustive;
+    cfg.budget.deadline_ms = budget_ms;
+    Measurement m = Measure(db, cfg);
+    if (!m.ok) return 1;
+    if (budget_ms == 0) disabled_ms = m.best_ms;
+    // A tight budget must never *increase* the states costed, and a plan
+    // must come out in every case (Measure already failed otherwise).
+    char label[32];
+    std::snprintf(label, sizeof(label), budget_ms == 0 ? "disabled" : "%g",
+                  budget_ms);
+    std::printf("  %-12s %12.2f %8d %14.0f %11s %13.3f\n", label, m.best_ms,
+                m.total_states, m.cost, m.budget_exhausted ? "yes" : "no",
+                m.budget_check_ms);
+    char entry[256];
+    std::snprintf(entry, sizeof(entry),
+                  "  {\"budget_ms\": %g, \"optim_ms\": %.3f, \"states\": %d, "
+                  "\"budget_exhausted\": %s, \"cost\": %.1f}%s\n",
+                  budget_ms, m.best_ms, m.total_states,
+                  m.budget_exhausted ? "true" : "false", m.cost,
+                  i + 1 < budgets.size() ? "," : "");
+    json += entry;
+    if (budget_ms == 0 && m.budget_exhausted) governor_ok = false;
+  }
+  json += "]\n";
+  if (FILE* f = std::fopen("BENCH_governor.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\n  wrote BENCH_governor.json\n");
+  }
+  if (disabled_ms > 0) {
+    std::printf(
+        "  (disabled-budget run is the overhead baseline: the tracker is "
+        "never\n   allocated, so the governed code paths cost nothing)\n");
+  }
+  if (!governor_ok) {
+    std::fprintf(stderr, "FAIL: disabled budget reported exhaustion\n");
+    return 1;
   }
   return 0;
 }

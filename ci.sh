@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# CI entry point: builds the Release and ThreadSanitizer configurations and
-# runs the test suite on both. TSan must report zero races — the parallel
-# CBQT search (ThreadPool + sharded AnnotationCache) is exercised by
-# test_parallel_search.
+# CI entry point: builds the Release, ThreadSanitizer, and Address/UB
+# sanitizer configurations and runs the test suite on each. TSan must
+# report zero races — the parallel CBQT search (ThreadPool + sharded
+# AnnotationCache) and the fault-injection tests (test_fault_injection,
+# injected faults + budget under num_threads >= 4) are exercised in every
+# config. ASan/UBSan additionally covers the robustness corpus
+# (test_parser_robustness, test_governor).
 #
-#   $ ./ci.sh            # release + tsan
+#   $ ./ci.sh            # release + tsan + asan
 #   $ ./ci.sh release    # just the release config
 #   $ ./ci.sh tsan       # just the thread-sanitizer config
+#   $ ./ci.sh asan       # just the address/UB-sanitizer config
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -33,6 +37,14 @@ if [[ "${want}" == "all" || "${want}" == "tsan" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+fi
+
+if [[ "${want}" == "all" || "${want}" == "asan" ]]; then
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" run_config asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 fi
 
 echo "=== CI OK (${want}) ==="

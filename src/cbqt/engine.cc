@@ -31,7 +31,11 @@ Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) const {
 }
 
 Result<QueryResult> QueryEngine::Execute(PreparedQuery prepared) const {
-  Executor executor(db_);
+  // Row-budget governor for this execution (OptimizerBudget::max_exec_rows):
+  // a runaway query fails fast with kBudgetExhausted instead of grinding on.
+  BudgetTracker exec_budget(config_.budget);
+  Executor executor(db_, config_.budget.max_exec_rows > 0 ? &exec_budget
+                                                          : nullptr);
   ExecStats exec_stats;
   double t0 = MonotonicMs();
   auto rows = executor.Execute(*prepared.plan, &exec_stats);

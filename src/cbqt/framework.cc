@@ -66,6 +66,16 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
   AnnotationCache* cache_ptr = config_.reuse_annotations ? &cache : nullptr;
   Rng rng(config_.seed);
 
+  // Resource governor for this optimization; null when unbudgeted so the
+  // historical path pays nothing. FaultInjector likewise (testing only).
+  std::unique_ptr<BudgetTracker> tracker_owner;
+  BudgetTracker* tracker = nullptr;
+  if (config_.budget.limits_optimization()) {
+    tracker_owner = std::make_unique<BudgetTracker>(config_.budget);
+    tracker = tracker_owner.get();
+  }
+  FaultInjector* injector = config_.fault_injector.get();
+
   // State evaluations may run concurrently (parallel search), so the
   // counters they bump are atomics, folded into `stats` at the end.
   std::atomic<int64_t> blocks_planned{0};
@@ -126,13 +136,25 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
 
   for (const auto& step : steps) {
     if (!step.enabled) continue;
+
+    // Governor poll once per step, before any costing: when the budget is
+    // already exhausted, this step's search never starts and its decision
+    // degrades to the legacy heuristic rule (the same path heuristic-only
+    // mode takes) — a fully exhausted budget degrades the whole cost-based
+    // phase to the heuristic-only optimizer.
+    bool degraded = false;
+    if (config_.cost_based && tracker != nullptr) {
+      degraded = tracker->exhausted() || tracker->CheckDeadline();
+    }
+
     TransformContext count_ctx{tree.get(), &db_};
     int n = step.t->CountObjects(count_ctx);
     if (n == 0) continue;
 
-    if (!config_.cost_based) {
-      // Heuristic mode (Figure 2 baseline): each object decided by the
-      // legacy rule, no costing.
+    if (!config_.cost_based || degraded) {
+      // Heuristic mode (Figure 2 baseline) or budget-degraded step: each
+      // object decided by the legacy rule, no costing.
+      if (degraded) ++stats.searches_degraded;
       TransformState bits(static_cast<size_t>(n), false);
       bool any = false;
       for (int i = 0; i < n; ++i) {
@@ -152,21 +174,38 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
 
     // Re-entrant state evaluator: every invocation works on its own deep
     // copy of the tree; the only shared structures are the sharded
-    // annotation cache and the atomic telemetry counters. The cost cut-off
-    // (§3.4.1) is owned by the search, which passes the best committed cost
-    // so far; with the cut-off disabled we simply ignore it.
+    // annotation cache, the budget tracker, the fault injector, and the
+    // atomic telemetry counters. The cost cut-off (§3.4.1) is owned by the
+    // search, which passes the best committed cost so far; with the cut-off
+    // disabled we simply ignore it.
     auto evaluate = [&](const TransformState& state,
                         double search_cutoff) -> Result<double> {
+      bool any_bit = false;
+      for (bool b : state) any_bit |= b;
+      if (injector != nullptr) {
+        // A hard error here is isolated by the search for non-zero states
+        // and fatal for the zero state — exactly like a real failure in
+        // Apply/Bind below.
+        CBQT_RETURN_IF_ERROR(injector->MaybeFail(FaultSite::kStateEval));
+        injector->MaybeDelay(FaultSite::kSlowState);
+      }
       auto copy = tree->Clone();
       TransformContext cctx{copy.get(), &db_};
       CBQT_RETURN_IF_ERROR(step.t->Apply(cctx, state));
       CBQT_RETURN_IF_ERROR(BindQuery(db_, copy.get()));
       CBQT_RETURN_IF_ERROR(FollowUpHeuristics(cctx));
       CBQT_RETURN_IF_ERROR(BindQuery(db_, copy.get()));
-      double cutoff = config_.cost_cutoff
-                          ? search_cutoff
-                          : std::numeric_limits<double>::infinity();
-      auto opt = physical_.Optimize(*copy, cache_ptr, cutoff);
+      PhysicalOptimizeOptions popts;
+      popts.cache = cache_ptr;
+      popts.cost_cutoff = config_.cost_cutoff
+                              ? search_cutoff
+                              : std::numeric_limits<double>::infinity();
+      // The zero state is exempt from the budget: it is the guaranteed
+      // fallback answer and must always be costed (§3.4-style bound on the
+      // cost of costing is what the budget provides for the other states).
+      popts.budget = any_bit ? tracker : nullptr;
+      popts.faults = injector;
+      auto opt = physical_.Optimize(*copy, popts);
       double cost = std::numeric_limits<double>::infinity();
       if (opt.ok()) {
         blocks_planned.fetch_add(opt->blocks_planned,
@@ -182,8 +221,6 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
       // merging) and take the minimum. The companion transformation itself
       // is (re-)decided by its own later step; here the extra costing only
       // protects this decision from being rejected prematurely.
-      bool any_bit = false;
-      for (bool b : state) any_bit |= b;
       auto cost_with_companion = [&](const CostBasedTransformation& comp) {
         auto companion = copy->Clone();
         TransformContext mctx{companion.get(), &db_};
@@ -192,7 +229,7 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
         Status st = comp.Apply(mctx, OnesState(m));
         if (st.ok()) st = BindQuery(db_, companion.get());
         if (!st.ok()) return;
-        auto mopt = physical_.Optimize(*companion, cache_ptr, cutoff);
+        auto mopt = physical_.Optimize(*companion, popts);
         interleaved_states.fetch_add(1, std::memory_order_relaxed);
         if (mopt.ok()) {
           blocks_planned.fetch_add(mopt->blocks_planned,
@@ -217,6 +254,7 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
     search_options.rng = &rng;
     search_options.max_states = config_.iterative_max_states;
     search_options.pool = pool_.get();
+    search_options.budget = tracker;
     auto outcome = RunSearch(strategy, n, evaluate, search_options);
     if (!outcome.ok()) return outcome.status();
     stats.states_evaluated += outcome->states_evaluated;
@@ -225,6 +263,11 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
     stats.cutoff_races_lost += outcome->cutoff_races_lost;
     stats.states_per_transformation[step.t->Name()] =
         outcome->states_evaluated;
+    stats.failed_states += outcome->failed_states;
+    if (outcome->failed_states > 0) {
+      stats.failed_per_transformation[step.t->Name()] +=
+          outcome->failed_states;
+    }
 
     bool any = false;
     for (bool b : outcome->best_state) any |= b;
@@ -242,7 +285,14 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
   }
 
   // ---- Final physical optimization of the chosen tree. ----
-  auto final_opt = physical_.Optimize(*tree, cache_ptr);
+  // Deliberately unbudgeted: whatever the governor cut short above, the
+  // chosen tree must still get a plan — a budgeted Optimize() never fails
+  // for budget reasons. (Injected planner faults still apply: a failure
+  // here is the zero-state-equivalent and legitimately fatal.)
+  PhysicalOptimizeOptions final_popts;
+  final_popts.cache = cache_ptr;
+  final_popts.faults = injector;
+  auto final_opt = physical_.Optimize(*tree, final_popts);
   if (!final_opt.ok()) return final_opt.status();
   stats.blocks_planned =
       blocks_planned.load(std::memory_order_relaxed) +
@@ -250,6 +300,10 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
   stats.interleaved_states =
       interleaved_states.load(std::memory_order_relaxed);
   stats.annotation_hits = cache.hits();
+  if (tracker != nullptr) {
+    stats.budget_exhausted = tracker->exhausted();
+    stats.budget_check_ns = tracker->check_ns();
+  }
 
   CbqtResult result;
   result.tree = std::move(tree);

@@ -10,6 +10,8 @@
 #include "cbqt/annotation_cache.h"
 #include "cbqt/search.h"
 #include "cbqt/transform_mask.h"
+#include "common/budget.h"
+#include "common/fault_injector.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "optimizer/optimizer.h"
@@ -56,6 +58,19 @@ struct CbqtConfig {
   /// behavior; any value preserves the chosen state/cost/plan bit-for-bit —
   /// see SearchOptions::pool for the determinism contract.
   int num_threads = 1;
+
+  /// Resource governor: ceilings on optimization wall time, states costed,
+  /// and executor rows. All disabled by default. When a ceiling trips
+  /// mid-search the framework degrades gracefully (best-so-far state, then
+  /// heuristic decisions for searches that never started) — a budgeted
+  /// Optimize() never fails for budget reasons. The executor row cap is the
+  /// exception: it is a hard stop on runaway execution.
+  OptimizerBudget budget;
+
+  /// Testing only: deterministic fault injection into state evaluation, the
+  /// physical optimizer, and simulated slow states. Null (the default) in
+  /// production; shared because CbqtConfig is copied by value.
+  std::shared_ptr<FaultInjector> fault_injector;
 };
 
 /// Telemetry of one CBQT optimization.
@@ -74,6 +89,17 @@ struct CbqtStats {
   int parallel_batches = 0;    ///< batches dispatched across all searches
   int speculative_wasted = 0;  ///< linear speculation discarded
   int cutoff_races_lost = 0;   ///< full costings a serial cut-off would skip
+
+  // Resource-governor / fault-isolation telemetry.
+  bool budget_exhausted = false;  ///< the OptimizerBudget tripped
+  /// Searches that fell back to the transformation's heuristic decision
+  /// because the budget was already exhausted before they started.
+  int searches_degraded = 0;
+  /// State evaluations that failed hard and were isolated (infinite cost).
+  int failed_states = 0;
+  /// transformation name -> isolated state failures in its search
+  std::map<std::string, int> failed_per_transformation;
+  int64_t budget_check_ns = 0;  ///< time spent inside governor checks
 };
 
 /// Result of CBQT optimization: the chosen (transformed) query tree, its

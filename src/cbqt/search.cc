@@ -25,21 +25,20 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Evaluates `state` with the committed best as cut-off; updates the outcome
-// if it is the new best. Returns a non-OK status only on hard errors (cost
-// cutoff counts as "worse").
-Status Consider(const TransformState& state, const StateEvaluator& evaluate,
-                SearchOutcome* outcome, double* out_cost = nullptr) {
+// Evaluates the zero state (always first: it seeds the cost cutoff and is
+// the search's guaranteed fallback answer). Charged against the budget for
+// accounting but never stopped by it; a hard evaluation error here is fatal
+// — without the untransformed query's cost there is nothing to fall back to.
+Status ConsiderZero(const TransformState& state,
+                    const StateEvaluator& evaluate, BudgetTracker* budget,
+                    SearchOutcome* outcome) {
+  if (budget != nullptr) budget->ChargeState();
   auto cost = evaluate(state, outcome->best_cost);
   ++outcome->states_evaluated;
   if (!cost.ok()) {
-    if (cost.status().code() == StatusCode::kCostCutoff) {
-      if (out_cost != nullptr) *out_cost = kInf;
-      return Status::OK();
-    }
+    if (cost.status().code() == StatusCode::kCostCutoff) return Status::OK();
     return cost.status();
   }
-  if (out_cost != nullptr) *out_cost = cost.value();
   if (cost.value() < outcome->best_cost) {
     outcome->best_cost = cost.value();
     outcome->best_state = state;
@@ -47,33 +46,96 @@ Status Consider(const TransformState& state, const StateEvaluator& evaluate,
   return Status::OK();
 }
 
+// Evaluates a non-zero state with the committed best as cut-off; updates the
+// outcome if it is the new best. Returns true to continue the search, false
+// to stop it (resource budget exhausted). Hard evaluator errors are
+// fault-isolated: recorded in outcome->failed_states and treated as
+// infinite cost instead of aborting.
+bool Consider(const TransformState& state, const StateEvaluator& evaluate,
+              BudgetTracker* budget, SearchOutcome* outcome,
+              double* out_cost = nullptr) {
+  if (out_cost != nullptr) *out_cost = kInf;
+  if (budget != nullptr && budget->ChargeState()) {
+    outcome->budget_exhausted = true;
+    return false;  // state not evaluated; keep best-so-far
+  }
+  auto cost = evaluate(state, outcome->best_cost);
+  if (!cost.ok()) {
+    switch (cost.status().code()) {
+      case StatusCode::kCostCutoff:
+        ++outcome->states_evaluated;
+        return true;  // abandoned: "not better"
+      case StatusCode::kBudgetExhausted:
+        // The evaluator (physical optimizer) noticed the deadline mid-state.
+        outcome->budget_exhausted = true;
+        return false;
+      default:
+        ++outcome->states_evaluated;
+        ++outcome->failed_states;
+        return true;  // isolated: infinite cost
+    }
+  }
+  ++outcome->states_evaluated;
+  if (out_cost != nullptr) *out_cost = cost.value();
+  if (cost.value() < outcome->best_cost) {
+    outcome->best_cost = cost.value();
+    outcome->best_state = state;
+  }
+  return true;
+}
+
+// True when the budget tripped (or trips now, deadline-wise); used between
+// parallel batches so exhausted searches stop dispatching work.
+bool BudgetStop(BudgetTracker* budget, SearchOutcome* outcome) {
+  if (budget == nullptr) return false;
+  if (budget->exhausted() || budget->CheckDeadline()) {
+    outcome->budget_exhausted = true;
+    return true;
+  }
+  return false;
+}
+
 // One slot of a parallel batch: the evaluated cost (infinity when the
-// evaluator returned kCostCutoff) or a hard error.
+// evaluator returned kCostCutoff or failed hard) plus what happened.
 struct SlotResult {
   double cost = kInf;
-  Status error;
+  bool skipped = false;      // budget tripped before evaluation
+  bool budget_stop = false;  // evaluator returned kBudgetExhausted
+  bool failed = false;       // hard error, fault-isolated
 };
 
 // Evaluates `states` on the pool. Workers read `shared_cutoff` at task start
 // and, when `publish` is set, CAS-min their finite cost back into it so
 // later tasks in the same batch benefit (legal only when every batched state
 // is a committed member of the search — true for exhaustive, not for linear
-// speculation).
+// speculation). Each worker charges its state against the budget first and
+// skips the evaluation once the budget is exhausted.
 void EvaluateBatch(const std::vector<TransformState>& states,
                    const StateEvaluator& evaluate, ThreadPool* pool,
                    std::atomic<double>* shared_cutoff, bool publish,
-                   std::vector<SlotResult>* results) {
+                   BudgetTracker* budget, std::vector<SlotResult>* results) {
   results->assign(states.size(), SlotResult{});
   for (size_t idx = 0; idx < states.size(); ++idx) {
     pool->Submit([&, idx] {
+      SlotResult& slot = (*results)[idx];
+      if (budget != nullptr && budget->ChargeState()) {
+        slot.skipped = true;
+        return;
+      }
       double cutoff = shared_cutoff->load(std::memory_order_relaxed);
       auto cost = evaluate(states[idx], cutoff);
-      SlotResult& slot = (*results)[idx];
       if (!cost.ok()) {
-        if (cost.status().code() != StatusCode::kCostCutoff) {
-          slot.error = cost.status();
+        switch (cost.status().code()) {
+          case StatusCode::kCostCutoff:
+            break;  // slot.cost stays infinite
+          case StatusCode::kBudgetExhausted:
+            slot.budget_stop = true;
+            break;
+          default:
+            slot.failed = true;  // isolated: infinite cost
+            break;
         }
-        return;  // cutoff: slot.cost stays infinite
+        return;
       }
       slot.cost = cost.value();
       if (publish) {
@@ -88,24 +150,40 @@ void EvaluateBatch(const std::vector<TransformState>& states,
   pool->Wait();
 }
 
-Result<SearchOutcome> ExhaustiveSerial(int n, const StateEvaluator& evaluate) {
+// Folds one batch slot into the outcome; returns false when the budget
+// tripped and the search should stop after this batch.
+bool ConsumeSlot(const SlotResult& slot, SearchOutcome* outcome) {
+  if (slot.skipped || slot.budget_stop) {
+    outcome->budget_exhausted = true;
+    return false;
+  }
+  ++outcome->states_evaluated;
+  if (slot.failed) ++outcome->failed_states;
+  return true;
+}
+
+Result<SearchOutcome> ExhaustiveSerial(int n, const StateEvaluator& evaluate,
+                                       BudgetTracker* budget) {
   SearchOutcome outcome;
+  CBQT_RETURN_IF_ERROR(
+      ConsiderZero(ZeroState(n), evaluate, budget, &outcome));
   uint64_t total = 1ULL << n;
-  for (uint64_t mask = 0; mask < total; ++mask) {
-    CBQT_RETURN_IF_ERROR(
-        Consider(StateFromMask(mask, n), evaluate, &outcome));
+  for (uint64_t mask = 1; mask < total; ++mask) {
+    if (!Consider(StateFromMask(mask, n), evaluate, budget, &outcome)) break;
   }
   return outcome;
 }
 
 Result<SearchOutcome> ExhaustiveParallel(int n, const StateEvaluator& evaluate,
-                                         ThreadPool* pool) {
+                                         ThreadPool* pool,
+                                         BudgetTracker* budget) {
   SearchOutcome outcome;
   uint64_t total = 1ULL << n;
 
   // Zero state first, serially: it seeds the cut-off (paper §3.4.1) so no
   // worker ever runs without an upper bound.
-  CBQT_RETURN_IF_ERROR(Consider(ZeroState(n), evaluate, &outcome));
+  CBQT_RETURN_IF_ERROR(
+      ConsiderZero(ZeroState(n), evaluate, budget, &outcome));
   std::atomic<double> cutoff{outcome.best_cost};
 
   // Batches merge in ascending mask order with a strict '<', so the chosen
@@ -116,17 +194,21 @@ Result<SearchOutcome> ExhaustiveParallel(int n, const StateEvaluator& evaluate,
   std::vector<TransformState> states;
   std::vector<SlotResult> results;
   for (uint64_t next = 1; next < total; next += batch) {
+    if (BudgetStop(budget, &outcome)) break;
     uint64_t end = std::min(total, next + batch);
     states.clear();
     for (uint64_t mask = next; mask < end; ++mask) {
       states.push_back(StateFromMask(mask, n));
     }
-    EvaluateBatch(states, evaluate, pool, &cutoff, /*publish=*/true,
+    EvaluateBatch(states, evaluate, pool, &cutoff, /*publish=*/true, budget,
                   &results);
     ++outcome.parallel_batches;
+    bool stop = false;
     for (size_t i = 0; i < results.size(); ++i) {
-      if (!results[i].error.ok()) return results[i].error;
-      ++outcome.states_evaluated;
+      if (!ConsumeSlot(results[i], &outcome)) {
+        stop = true;
+        continue;  // later slots of this batch may still hold results
+      }
       double c = results[i].cost;
       if (c < outcome.best_cost) {
         outcome.best_cost = c;
@@ -137,23 +219,25 @@ Result<SearchOutcome> ExhaustiveParallel(int n, const StateEvaluator& evaluate,
         ++outcome.cutoff_races_lost;
       }
     }
+    if (stop) break;
   }
   return outcome;
 }
 
-Result<SearchOutcome> LinearSerial(int n, const StateEvaluator& evaluate) {
+Result<SearchOutcome> LinearSerial(int n, const StateEvaluator& evaluate,
+                                   BudgetTracker* budget) {
   // Dynamic-programming flavour (paper §3.2): accept each object's
   // transformation iff it improves on the best state found so far; never
   // revisit. Exactly N+1 states.
   SearchOutcome outcome;
   TransformState current = ZeroState(n);
-  CBQT_RETURN_IF_ERROR(Consider(current, evaluate, &outcome));
+  CBQT_RETURN_IF_ERROR(ConsiderZero(current, evaluate, budget, &outcome));
   double current_cost = outcome.best_cost;
   for (int i = 0; i < n; ++i) {
     TransformState next = current;
     next[static_cast<size_t>(i)] = true;
     double cost = 0;
-    CBQT_RETURN_IF_ERROR(Consider(next, evaluate, &outcome, &cost));
+    if (!Consider(next, evaluate, budget, &outcome, &cost)) break;
     if (cost < current_cost) {
       current = std::move(next);
       current_cost = cost;
@@ -163,7 +247,7 @@ Result<SearchOutcome> LinearSerial(int n, const StateEvaluator& evaluate) {
 }
 
 Result<SearchOutcome> LinearParallel(int n, const StateEvaluator& evaluate,
-                                     ThreadPool* pool) {
+                                     ThreadPool* pool, BudgetTracker* budget) {
   // Speculative parallel variant of LinearSerial with bit-identical results:
   // assume the upcoming candidates are all rejections (the common case) and
   // cost them concurrently against the current base; consume the results in
@@ -173,13 +257,14 @@ Result<SearchOutcome> LinearParallel(int n, const StateEvaluator& evaluate,
   // acceptance aborts the batch.
   SearchOutcome outcome;
   TransformState current = ZeroState(n);
-  CBQT_RETURN_IF_ERROR(Consider(current, evaluate, &outcome));
+  CBQT_RETURN_IF_ERROR(ConsiderZero(current, evaluate, budget, &outcome));
   double current_cost = outcome.best_cost;
 
   std::vector<TransformState> states;
   std::vector<SlotResult> results;
   int i = 0;
   while (i < n) {
+    if (BudgetStop(budget, &outcome)) break;
     states.clear();
     for (int j = i; j < n; ++j) {
       TransformState cand = current;
@@ -187,16 +272,20 @@ Result<SearchOutcome> LinearParallel(int n, const StateEvaluator& evaluate,
       states.push_back(std::move(cand));
     }
     std::atomic<double> cutoff{outcome.best_cost};
-    EvaluateBatch(states, evaluate, pool, &cutoff, /*publish=*/false,
+    EvaluateBatch(states, evaluate, pool, &cutoff, /*publish=*/false, budget,
                   &results);
     ++outcome.parallel_batches;
 
     bool accepted = false;
+    bool stop = false;
     for (size_t j = 0; j < results.size(); ++j) {
-      // Hard errors only matter for consumed slots; the serial search would
-      // never have evaluated the states behind an acceptance.
-      if (!results[j].error.ok()) return results[j].error;
-      ++outcome.states_evaluated;
+      // Only consumed slots matter; the serial search would never have
+      // evaluated the states behind an acceptance. Failed slots keep their
+      // infinite cost (fault isolation) and read as rejections.
+      if (!ConsumeSlot(results[j], &outcome)) {
+        stop = true;
+        break;
+      }
       double c = results[j].cost;
       if (c < outcome.best_cost) {
         outcome.best_cost = c;
@@ -212,49 +301,54 @@ Result<SearchOutcome> LinearParallel(int n, const StateEvaluator& evaluate,
         break;
       }
     }
-    if (!accepted) break;  // consumed through bit n-1 without accepting
+    if (stop || !accepted) break;  // budget, or consumed all bits rejected
   }
   return outcome;
 }
 
-Result<SearchOutcome> TwoPass(int n, const StateEvaluator& evaluate) {
+Result<SearchOutcome> TwoPass(int n, const StateEvaluator& evaluate,
+                              BudgetTracker* budget) {
   SearchOutcome outcome;
-  CBQT_RETURN_IF_ERROR(Consider(ZeroState(n), evaluate, &outcome));
-  CBQT_RETURN_IF_ERROR(Consider(OnesState(n), evaluate, &outcome));
+  CBQT_RETURN_IF_ERROR(
+      ConsiderZero(ZeroState(n), evaluate, budget, &outcome));
+  Consider(OnesState(n), evaluate, budget, &outcome);
   return outcome;
 }
 
 Result<SearchOutcome> Iterative(int n, const StateEvaluator& evaluate,
-                                Rng* rng, int max_states) {
+                                Rng* rng, int max_states,
+                                BudgetTracker* budget) {
   // Iterative improvement (paper §3.2): from a random initial state, take
   // any downhill single-bit move until a local minimum, then restart;
   // stop when no unseen states remain or max_states is reached. Inherently
   // sequential (every move depends on the last), so never parallelized.
   SearchOutcome outcome;
   std::set<TransformState> seen;
-  auto consider_once = [&](const TransformState& s,
-                           double* cost) -> Status {
-    if (seen.count(s) > 0) {
-      *cost = kInf;
-      return Status::OK();
-    }
+  // Returns true to continue the search (budget semantics of Consider).
+  auto consider_once = [&](const TransformState& s, double* cost) -> bool {
+    *cost = kInf;
+    if (seen.count(s) > 0) return true;
     seen.insert(s);
-    return Consider(s, evaluate, &outcome, cost);
+    return Consider(s, evaluate, budget, &outcome, cost);
   };
 
-  double zero_cost = 0;
-  CBQT_RETURN_IF_ERROR(consider_once(ZeroState(n), &zero_cost));
+  {
+    TransformState zero = ZeroState(n);
+    seen.insert(zero);
+    CBQT_RETURN_IF_ERROR(ConsiderZero(zero, evaluate, budget, &outcome));
+  }
 
   Rng fallback(12345);
   Rng& random = rng != nullptr ? *rng : fallback;
   uint64_t total = n >= 63 ? ~0ULL : (1ULL << n);
-  while (outcome.states_evaluated < max_states &&
+  bool stop = false;
+  while (!stop && outcome.states_evaluated < max_states &&
          seen.size() < static_cast<size_t>(total)) {
     // Random restart.
     TransformState current = StateFromMask(random.Next() % total, n);
     double current_cost = 0;
     if (seen.count(current) > 0) continue;
-    CBQT_RETURN_IF_ERROR(consider_once(current, &current_cost));
+    if (!consider_once(current, &current_cost)) break;
     bool improved = true;
     while (improved && outcome.states_evaluated < max_states) {
       improved = false;
@@ -263,7 +357,10 @@ Result<SearchOutcome> Iterative(int n, const StateEvaluator& evaluate,
         neighbor[static_cast<size_t>(i)] = !neighbor[static_cast<size_t>(i)];
         if (seen.count(neighbor) > 0) continue;
         double cost = 0;
-        CBQT_RETURN_IF_ERROR(consider_once(neighbor, &cost));
+        if (!consider_once(neighbor, &cost)) {
+          stop = true;
+          break;
+        }
         if (cost < current_cost) {
           current = std::move(neighbor);
           current_cost = cost;
@@ -272,6 +369,7 @@ Result<SearchOutcome> Iterative(int n, const StateEvaluator& evaluate,
         }
         if (outcome.states_evaluated >= max_states) break;
       }
+      if (stop) break;
     }
   }
   return outcome;
@@ -291,18 +389,21 @@ Result<SearchOutcome> RunSearch(SearchStrategy strategy, int num_objects,
   ThreadPool* pool = options.pool != nullptr && options.pool->num_threads() > 1
                          ? options.pool
                          : nullptr;
+  BudgetTracker* budget = options.budget;
   switch (strategy) {
     case SearchStrategy::kExhaustive:
-      return pool != nullptr ? ExhaustiveParallel(num_objects, evaluate, pool)
-                             : ExhaustiveSerial(num_objects, evaluate);
+      return pool != nullptr
+                 ? ExhaustiveParallel(num_objects, evaluate, pool, budget)
+                 : ExhaustiveSerial(num_objects, evaluate, budget);
     case SearchStrategy::kLinear:
-      return pool != nullptr ? LinearParallel(num_objects, evaluate, pool)
-                             : LinearSerial(num_objects, evaluate);
+      return pool != nullptr
+                 ? LinearParallel(num_objects, evaluate, pool, budget)
+                 : LinearSerial(num_objects, evaluate, budget);
     case SearchStrategy::kTwoPass:
-      return TwoPass(num_objects, evaluate);
+      return TwoPass(num_objects, evaluate, budget);
     case SearchStrategy::kIterative:
       return Iterative(num_objects, evaluate, options.rng,
-                       options.max_states);
+                       options.max_states, budget);
   }
   return Status::Internal("unknown search strategy");
 }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "cbqt/state.h"
+#include "common/budget.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -25,7 +26,14 @@ const char* SearchStrategyName(SearchStrategy s);
 /// the search has committed so far (infinity until the zero state is costed);
 /// evaluators may abandon a state once its accumulated cost exceeds it
 /// (§3.4.1) by returning a kCostCutoff status, which the search treats as
-/// "not better". Other errors abort the search.
+/// "not better".
+///
+/// Fault isolation: any other error in a *non-zero* state is recorded in
+/// SearchOutcome::failed_states and treated as infinite cost — one
+/// pathological state must not kill the optimization of an otherwise-fine
+/// query. Only a failure of the zero state (the untransformed query, the
+/// search's guaranteed fallback) aborts the search. A kBudgetExhausted
+/// error is a cooperative stop signal: the search returns best-so-far.
 ///
 /// Under a parallel search the evaluator is invoked concurrently from pool
 /// workers and must be re-entrant: it may only mutate state it owns (deep
@@ -38,6 +46,14 @@ struct SearchOutcome {
   TransformState best_state;
   double best_cost = std::numeric_limits<double>::infinity();
   int states_evaluated = 0;  ///< states whose result the search consumed
+
+  // Robustness telemetry.
+  /// Non-zero states whose evaluation failed hard and was isolated
+  /// (counted as infinite cost instead of aborting the search).
+  int failed_states = 0;
+  /// The resource budget tripped and the search stopped early with its
+  /// best-so-far state (always valid: the zero state is costed first).
+  bool budget_exhausted = false;
 
   // Parallel-execution telemetry (all zero under serial execution).
   int parallel_batches = 0;    ///< batches dispatched to the pool
@@ -57,6 +73,10 @@ struct SearchOptions {
   /// seed the cut-off, batches merge in state-bit-vector order, and ties on
   /// cost keep the earlier (lower) bit vector.
   ThreadPool* pool = nullptr;
+  /// When non-null, every costed state is charged against the budget; once
+  /// it trips the search stops and returns best-so-far (the zero state is
+  /// always charged and costed, so a valid answer always exists).
+  BudgetTracker* budget = nullptr;
 };
 
 /// Runs the chosen strategy over an N-object state space. The zero state is

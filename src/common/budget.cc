@@ -1,0 +1,50 @@
+#include "common/budget.h"
+
+namespace cbqt {
+
+const char* BudgetDimensionName(BudgetDimension d) {
+  switch (d) {
+    case BudgetDimension::kNone:
+      return "none";
+    case BudgetDimension::kDeadline:
+      return "deadline";
+    case BudgetDimension::kStates:
+      return "states";
+    case BudgetDimension::kExecRows:
+      return "exec-rows";
+  }
+  return "?";
+}
+
+void BudgetTracker::MarkExhausted(BudgetDimension d) {
+  uint8_t expected = static_cast<uint8_t>(BudgetDimension::kNone);
+  // First tripper wins; later dimensions keep the original cause.
+  dimension_.compare_exchange_strong(expected, static_cast<uint8_t>(d),
+                                     std::memory_order_relaxed);
+}
+
+bool BudgetTracker::CheckDeadline() {
+  if (exhausted()) return true;
+  if (budget_.deadline_ms <= 0) return false;
+  auto t0 = std::chrono::steady_clock::now();
+  double elapsed_ms =
+      std::chrono::duration<double, std::milli>(t0 - start_).count();
+  if (elapsed_ms > budget_.deadline_ms) MarkExhausted(BudgetDimension::kDeadline);
+  check_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count(),
+                      std::memory_order_relaxed);
+  return exhausted();
+}
+
+bool BudgetTracker::ChargeState() {
+  int64_t n = states_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (exhausted()) return true;
+  if (budget_.max_states > 0 && n > budget_.max_states) {
+    MarkExhausted(BudgetDimension::kStates);
+    return true;
+  }
+  return CheckDeadline();
+}
+
+}  // namespace cbqt

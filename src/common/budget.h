@@ -1,0 +1,99 @@
+#ifndef CBQT_COMMON_BUDGET_H_
+#define CBQT_COMMON_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cbqt {
+
+/// Resource limits of one optimization + execution, all disabled (<= 0) by
+/// default. The paper's §3.4 bounds the *number* of states via search
+/// strategy selection; an industrial deployment additionally needs hard
+/// ceilings so that cost-based transformation can never make a query slower
+/// than skipping it — when a ceiling is hit the optimizer degrades
+/// gracefully (best-so-far state, then heuristic decisions) instead of
+/// failing.
+struct OptimizerBudget {
+  double deadline_ms = 0;     ///< wall-clock ceiling for optimization
+  int64_t max_states = 0;     ///< total transformation states costed
+  int64_t max_exec_rows = 0;  ///< executor rows processed (hard error)
+
+  bool limited() const {
+    return deadline_ms > 0 || max_states > 0 || max_exec_rows > 0;
+  }
+  /// True when any optimization-phase ceiling is set (the executor row cap
+  /// alone does not require a tracker during optimization).
+  bool limits_optimization() const {
+    return deadline_ms > 0 || max_states > 0;
+  }
+};
+
+/// Which ceiling tripped first.
+enum class BudgetDimension : uint8_t {
+  kNone = 0,
+  kDeadline,
+  kStates,
+  kExecRows,
+};
+
+const char* BudgetDimensionName(BudgetDimension d);
+
+/// Thread-safe cooperative enforcement of an OptimizerBudget. One tracker is
+/// created per Optimize() (or Execute()) call and threaded through the
+/// search, the state evaluator, the physical optimizer, and the executor;
+/// each layer polls at a natural granularity (per state, per planned block,
+/// per executor row). Once any dimension trips, `exhausted()` stays true —
+/// the flag is sticky, so a cheap relaxed load is enough for workers that
+/// only need to stop early.
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(const OptimizerBudget& budget)
+      : budget_(budget), start_(std::chrono::steady_clock::now()) {}
+
+  BudgetTracker(const BudgetTracker&) = delete;
+  BudgetTracker& operator=(const BudgetTracker&) = delete;
+
+  /// Charges one costed transformation state and checks the state cap and
+  /// the deadline. Returns true when the budget is (now) exhausted.
+  bool ChargeState();
+
+  /// Checks the wall-clock deadline without charging anything. Returns true
+  /// when the budget is (now) exhausted.
+  bool CheckDeadline();
+
+  /// Sticky exhaustion flag (relaxed; safe from any thread).
+  bool exhausted() const {
+    return dimension_.load(std::memory_order_relaxed) !=
+           static_cast<uint8_t>(BudgetDimension::kNone);
+  }
+
+  /// The first dimension that tripped (kNone while within budget).
+  BudgetDimension dimension() const {
+    return static_cast<BudgetDimension>(
+        dimension_.load(std::memory_order_relaxed));
+  }
+
+  void MarkExhausted(BudgetDimension d);
+
+  int64_t states_charged() const {
+    return states_.load(std::memory_order_relaxed);
+  }
+
+  /// Total time spent inside budget checks (telemetry: the governor's own
+  /// overhead, measured with the same clock it polls).
+  int64_t check_ns() const { return check_ns_.load(std::memory_order_relaxed); }
+
+  const OptimizerBudget& budget() const { return budget_; }
+
+ private:
+  const OptimizerBudget budget_;
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<int64_t> states_{0};
+  std::atomic<int64_t> check_ns_{0};
+  std::atomic<uint8_t> dimension_{0};  // BudgetDimension, kNone = in budget
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_COMMON_BUDGET_H_

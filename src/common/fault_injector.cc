@@ -1,0 +1,74 @@
+#include "common/fault_injector.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace cbqt {
+
+namespace {
+
+// splitmix64: a tiny stateless mixer — deterministic per (seed, site, index).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kStateEval:
+      return "state-eval";
+    case FaultSite::kPlanner:
+      return "planner";
+    case FaultSite::kSlowState:
+      return "slow-state";
+  }
+  return "?";
+}
+
+void FaultInjector::Arm(FaultSite site, FaultSpec spec) {
+  specs_[static_cast<size_t>(site)] = std::move(spec);
+}
+
+bool FaultInjector::Fires(FaultSite site, int64_t index) const {
+  const FaultSpec& spec = specs_[static_cast<size_t>(site)];
+  for (int64_t i : spec.indices) {
+    if (i == index) return true;
+  }
+  if (spec.every_n > 0 && (index + 1) % spec.every_n == 0) return true;
+  if (spec.probability > 0) {
+    uint64_t h = Mix(seed_ ^ (static_cast<uint64_t>(site) << 56) ^
+                     static_cast<uint64_t>(index));
+    double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (u < spec.probability) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::NextHitFires(FaultSite site) {
+  size_t s = static_cast<size_t>(site);
+  if (!specs_[s].armed()) return false;
+  int64_t index = hits_[s].fetch_add(1, std::memory_order_relaxed);
+  if (!Fires(site, index)) return false;
+  injected_[s].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Status FaultInjector::MaybeFail(FaultSite site) {
+  if (!NextHitFires(site)) return Status::OK();
+  return Status::Internal(std::string("injected fault at ") +
+                          FaultSiteName(site));
+}
+
+void FaultInjector::MaybeDelay(FaultSite site) {
+  if (!NextHitFires(site)) return;
+  double ms = specs_[static_cast<size_t>(site)].delay_ms;
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace cbqt

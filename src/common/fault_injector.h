@@ -1,0 +1,90 @@
+#ifndef CBQT_COMMON_FAULT_INJECTOR_H_
+#define CBQT_COMMON_FAULT_INJECTOR_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cbqt {
+
+/// Places in the pipeline where faults can be injected.
+enum class FaultSite : int {
+  kStateEval = 0,  ///< evaluation of one transformation state (framework)
+  kPlanner = 1,    ///< one physical optimization (PhysicalOptimizer)
+  kSlowState = 2,  ///< simulated slow state: a deterministic stall
+};
+
+inline constexpr int kNumFaultSites = 3;
+
+const char* FaultSiteName(FaultSite site);
+
+/// What fires at one site. A site's hits are numbered 0, 1, 2, ... in
+/// process order (the counter is atomic, so every hit gets a unique index
+/// even under the parallel search); a hit fires when its index is listed in
+/// `indices`, when `every_n > 0` and (index + 1) % every_n == 0, or when the
+/// seeded per-index hash falls below `probability`. All three criteria are
+/// pure functions of (seed, site, index), so the *set* of firing indices is
+/// deterministic regardless of thread interleaving.
+struct FaultSpec {
+  std::vector<int64_t> indices;
+  int64_t every_n = 0;
+  double probability = 0;
+  /// kSlowState only: how long a firing hit stalls.
+  double delay_ms = 0;
+
+  bool armed() const {
+    return !indices.empty() || every_n > 0 || probability > 0;
+  }
+};
+
+/// Deterministic fault injection for robustness tests: proves that the CBQT
+/// pipeline isolates per-state failures, degrades under budget pressure, and
+/// never crashes on an injected error — including under the parallel search
+/// with TSan. Wired through CbqtConfig::fault_injector; production configs
+/// leave it null and pay nothing.
+///
+/// Thread-safe: hit counters are atomics, specs are immutable after Arm()
+/// (arm all sites before handing the injector to an optimizer).
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void Arm(FaultSite site, FaultSpec spec);
+
+  /// Consumes one hit at `site`; returns an injected kInternal error when it
+  /// fires, OK otherwise.
+  Status MaybeFail(FaultSite site);
+
+  /// Consumes one hit at `site` (normally kSlowState); stalls the calling
+  /// thread for the spec's delay when it fires.
+  void MaybeDelay(FaultSite site);
+
+  int64_t hits(FaultSite site) const {
+    return hits_[static_cast<size_t>(site)].load(std::memory_order_relaxed);
+  }
+  int64_t injected(FaultSite site) const {
+    return injected_[static_cast<size_t>(site)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  /// True when hit `index` at `site` fires (pure function of seed/spec).
+  bool Fires(FaultSite site, int64_t index) const;
+  /// Claims the next hit index at `site` and reports whether it fires.
+  bool NextHitFires(FaultSite site);
+
+  const uint64_t seed_;
+  std::array<FaultSpec, kNumFaultSites> specs_;
+  std::array<std::atomic<int64_t>, kNumFaultSites> hits_{};
+  std::array<std::atomic<int64_t>, kNumFaultSites> injected_{};
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_COMMON_FAULT_INJECTOR_H_

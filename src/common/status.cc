@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace cbqt {
 
 namespace {
@@ -24,11 +27,23 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kCostCutoff:
       return "CostCutoff";
+    case StatusCode::kBudgetExhausted:
+      return "BudgetExhausted";
   }
   return "Unknown";
 }
 
 }  // namespace
+
+namespace internal {
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "FATAL: Result::value() called on failed Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

@@ -22,6 +22,11 @@ enum class StatusCode {
   /// Physical optimization was aborted because accumulated cost exceeded
   /// the best transformation state found so far (paper §3.4.1).
   kCostCutoff,
+  /// Work was abandoned because the optimization resource budget
+  /// (OptimizerBudget: deadline / state cap / executor row cap) tripped.
+  /// During the search this is a cooperative stop signal, not an error: the
+  /// framework degrades to its best-so-far answer instead of failing.
+  kBudgetExhausted,
 };
 
 /// Result of an operation: either OK or an error code plus message.
@@ -59,6 +64,9 @@ class Status {
   static Status CostCutoff() {
     return Status(StatusCode::kCostCutoff, "cost cutoff exceeded");
   }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -72,10 +80,17 @@ class Status {
   std::string message_;
 };
 
+namespace internal {
+/// Prints the status and aborts — value access on a failed Result is a
+/// programming error and must die loudly in every build type rather than
+/// silently handing out a default-constructed value.
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
 /// A value-or-error holder, analogous to absl::StatusOr.
 ///
 /// Access the value only after checking `ok()`; accessing the value of a
-/// failed Result aborts in debug builds and is undefined otherwise.
+/// failed Result aborts with the status message in all build types.
 template <typename T>
 class Result {
  public:
@@ -85,16 +100,20 @@ class Result {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  T& value() & { return value_; }
-  const T& value() const& { return value_; }
-  T&& value() && { return std::move(value_); }
+  T& value() & { EnsureOk(); return value_; }
+  const T& value() const& { EnsureOk(); return value_; }
+  T&& value() && { EnsureOk(); return std::move(value_); }
 
-  T& operator*() { return value_; }
-  const T& operator*() const { return value_; }
-  T* operator->() { return &value_; }
-  const T* operator->() const { return &value_; }
+  T& operator*() { EnsureOk(); return value_; }
+  const T& operator*() const { EnsureOk(); return value_; }
+  T* operator->() { EnsureOk(); return &value_; }
+  const T* operator->() const { EnsureOk(); return &value_; }
 
  private:
+  void EnsureOk() const {
+    if (!status_.ok()) internal::DieOnBadResultAccess(status_);
+  }
+
   Status status_;
   T value_{};
 };

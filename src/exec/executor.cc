@@ -183,7 +183,7 @@ Result<std::vector<Row>> Executor::RunTableScan(const PlanNode& node,
   std::vector<Row> out;
   const auto& rows = table->rows();
   for (size_t i = 0; i < rows.size(); ++i) {
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     Row r = rows[i];
     r.push_back(Value::Int(static_cast<int64_t>(i)));  // rowid
     if (!node.filter.empty()) {
@@ -215,7 +215,7 @@ Result<std::vector<Row>> Executor::RunIndexScan(const PlanNode& node,
   }
   std::vector<Row> out;
   for (int64_t rowid : index->LookupEqual(key)) {
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     Row r = table->rows()[static_cast<size_t>(rowid)];
     r.push_back(Value::Int(rowid));
     if (!node.filter.empty()) {
@@ -236,7 +236,7 @@ Result<std::vector<Row>> Executor::RunFilter(const PlanNode& node,
   if (!input.ok()) return input.status();
   std::vector<Row> out;
   for (auto& r : input.value()) {
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     ctx.frames.push_back(Frame{&node.output, &r});
     auto pass = EvalConjuncts(node.filter, ctx);
     ctx.frames.pop_back();
@@ -262,7 +262,7 @@ Result<std::vector<Row>> Executor::RunProject(const PlanNode& node,
   out.reserve(input.size());
   int64_t saved_rownum = ctx.rownum;
   for (size_t i = 0; i < input.size(); ++i) {
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     ctx.rownum = static_cast<int64_t>(i) + 1;
     ctx.frames.push_back(Frame{&in_schema, &input[i]});
     Row r;
@@ -306,7 +306,7 @@ Result<std::vector<Row>> Executor::RunNestedLoopJoin(const PlanNode& node,
 
   std::vector<Row> out;
   for (auto& lrow : left.value()) {
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     const std::vector<Row>* right_rows = &right_cache;
     std::vector<Row> per_row;
     if (!right_materialized) {
@@ -320,7 +320,7 @@ Result<std::vector<Row>> Executor::RunNestedLoopJoin(const PlanNode& node,
     bool matched = false;
     bool unknown = false;
     for (const auto& rrow : *right_rows) {
-      ++stats_->rows_processed;
+      CBQT_RETURN_IF_ERROR(CountRow());
       Row comb = lrow;
       comb.insert(comb.end(), rrow.begin(), rrow.end());
       Value pass = Value::Boolean(true);
@@ -396,7 +396,7 @@ Result<std::vector<Row>> Executor::RunHashJoin(const PlanNode& node,
   bool build_has_null_key = false;
   const auto& rrows = right.value();
   for (size_t i = 0; i < rrows.size(); ++i) {
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     ctx.frames.push_back(Frame{&right_schema, &rrows[i]});
     Row key;
     bool has_null = false;
@@ -419,7 +419,7 @@ Result<std::vector<Row>> Executor::RunHashJoin(const PlanNode& node,
 
   std::vector<Row> out;
   for (auto& lrow : left.value()) {
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     ctx.frames.push_back(Frame{&left_schema, &lrow});
     Row key;
     bool has_null = false;
@@ -439,7 +439,7 @@ Result<std::vector<Row>> Executor::RunHashJoin(const PlanNode& node,
       auto it = table.find(key);
       if (it != table.end()) {
         for (size_t ri : it->second) {
-          ++stats_->rows_processed;
+          CBQT_RETURN_IF_ERROR(CountRow());
           Row comb = lrow;
           const Row& rrow = rrows[ri];
           comb.insert(comb.end(), rrow.begin(), rrow.end());
@@ -526,7 +526,7 @@ Result<std::vector<Row>> Executor::RunMergeJoin(const PlanNode& node,
   };
   std::vector<Keyed> lk, rk;
   for (const auto& r : left.value()) {
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     Keyed k{{}, &r};
     CBQT_RETURN_IF_ERROR(eval_keys(left_schema, r, node.hash_left_keys, &k.keys));
     bool has_null = false;
@@ -536,7 +536,7 @@ Result<std::vector<Row>> Executor::RunMergeJoin(const PlanNode& node,
     if (!has_null) lk.push_back(std::move(k));
   }
   for (const auto& r : right.value()) {
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     Keyed k{{}, &r};
     CBQT_RETURN_IF_ERROR(
         eval_keys(right_schema, r, node.hash_right_keys, &k.keys));
@@ -580,7 +580,7 @@ Result<std::vector<Row>> Executor::RunMergeJoin(const PlanNode& node,
     }
     for (size_t a = i; a < i_end; ++a) {
       for (size_t b = j; b < j_end; ++b) {
-        ++stats_->rows_processed;
+        CBQT_RETURN_IF_ERROR(CountRow());
         Row comb = *lk[a].row;
         comb.insert(comb.end(), rk[b].row->begin(), rk[b].row->end());
         if (!node.join_conds.empty()) {
@@ -622,7 +622,7 @@ Result<std::vector<Row>> Executor::RunAggregate(const PlanNode& node,
 
     std::unordered_map<Row, std::vector<AggAccum>, RowHasher, RowEq> groups;
     for (const auto& r : input.value()) {
-      ++stats_->rows_processed;
+      CBQT_RETURN_IF_ERROR(CountRow());
       ctx.frames.push_back(Frame{&in_schema, &r});
       Row key;
       key.reserve(num_keys);
@@ -689,7 +689,7 @@ Result<std::vector<Row>> Executor::RunSort(const PlanNode& node,
   std::vector<Keyed> keyed;
   keyed.reserve(input->size());
   for (size_t i = 0; i < input->size(); ++i) {
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     ctx.frames.push_back(Frame{&in_schema, &(*input)[i]});
     Keyed k{{}, i};
     for (const auto& key : node.sort_keys) {
@@ -720,7 +720,7 @@ Result<std::vector<Row>> Executor::RunDistinct(const PlanNode& node,
   std::unordered_map<Row, bool, RowHasher, RowEq> seen;
   std::vector<Row> out;
   for (auto& r : input.value()) {
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     if (seen.emplace(r, true).second) out.push_back(std::move(r));
   }
   return out;
@@ -739,7 +739,7 @@ Result<std::vector<Row>> Executor::RunSetOp(const PlanNode& node,
     case SetOpKind::kUnionAll: {
       for (auto& in : inputs) {
         for (auto& r : in) {
-          ++stats_->rows_processed;
+          CBQT_RETURN_IF_ERROR(CountRow());
           out.push_back(std::move(r));
         }
       }
@@ -749,7 +749,7 @@ Result<std::vector<Row>> Executor::RunSetOp(const PlanNode& node,
       std::unordered_map<Row, bool, RowHasher, RowEq> seen;
       for (auto& in : inputs) {
         for (auto& r : in) {
-          ++stats_->rows_processed;
+          CBQT_RETURN_IF_ERROR(CountRow());
           if (seen.emplace(r, true).second) out.push_back(std::move(r));
         }
       }
@@ -760,13 +760,13 @@ Result<std::vector<Row>> Executor::RunSetOp(const PlanNode& node,
       std::unordered_map<Row, bool, RowHasher, RowEq> right;
       for (size_t b = 1; b < inputs.size(); ++b) {
         for (auto& r : inputs[b]) {
-          ++stats_->rows_processed;
+          CBQT_RETURN_IF_ERROR(CountRow());
           right.emplace(std::move(r), true);
         }
       }
       std::unordered_map<Row, bool, RowHasher, RowEq> emitted;
       for (auto& r : inputs[0]) {
-        ++stats_->rows_processed;
+        CBQT_RETURN_IF_ERROR(CountRow());
         if (right.count(r) > 0 && emitted.emplace(r, true).second) {
           out.push_back(std::move(r));
         }
@@ -777,13 +777,13 @@ Result<std::vector<Row>> Executor::RunSetOp(const PlanNode& node,
       std::unordered_map<Row, bool, RowHasher, RowEq> right;
       for (size_t b = 1; b < inputs.size(); ++b) {
         for (auto& r : inputs[b]) {
-          ++stats_->rows_processed;
+          CBQT_RETURN_IF_ERROR(CountRow());
           right.emplace(std::move(r), true);
         }
       }
       std::unordered_map<Row, bool, RowHasher, RowEq> emitted;
       for (auto& r : inputs[0]) {
-        ++stats_->rows_processed;
+        CBQT_RETURN_IF_ERROR(CountRow());
         if (right.count(r) == 0 && emitted.emplace(r, true).second) {
           out.push_back(std::move(r));
         }
@@ -805,7 +805,7 @@ Result<std::vector<Row>> Executor::RunLimit(const PlanNode& node,
   int64_t saved_rownum = ctx.rownum;
   for (auto& r : input.value()) {
     if (static_cast<int64_t>(out.size()) >= node.limit) break;
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     if (!node.filter.empty()) {
       ctx.rownum = static_cast<int64_t>(out.size()) + 1;
       ctx.frames.push_back(Frame{&in_schema, &r});
@@ -835,7 +835,7 @@ Result<std::vector<Row>> Executor::RunWindow(const PlanNode& node,
     // Partition rows.
     std::unordered_map<Row, std::vector<size_t>, RowHasher, RowEq> parts;
     for (size_t i = 0; i < n; ++i) {
-      ++stats_->rows_processed;
+      CBQT_RETURN_IF_ERROR(CountRow());
       ctx.frames.push_back(Frame{&in_schema, &(*input)[i]});
       Row key;
       for (const auto& p : win.partition_by) {
@@ -1023,7 +1023,7 @@ Result<std::vector<Row>> Executor::RunSubqueryFilter(const PlanNode& node,
   SubqueryResolver* saved = ctx.subquery_resolver;
   std::vector<Row> out;
   for (auto& r : input.value()) {
-    ++stats_->rows_processed;
+    CBQT_RETURN_IF_ERROR(CountRow());
     ctx.frames.push_back(Frame{&in_schema, &r});
     ctx.subquery_resolver = &resolver;
     auto pass = EvalConjuncts(node.filter, ctx);

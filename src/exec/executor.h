@@ -1,8 +1,12 @@
 #ifndef CBQT_EXEC_EXECUTOR_H_
 #define CBQT_EXEC_EXECUTOR_H_
 
+#include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "exec/eval.h"
@@ -28,7 +32,15 @@ struct ExecStats {
 /// correlation-value caching, lazy ROWNUM filters, grouping sets, windows.
 class Executor {
  public:
-  explicit Executor(const Database& db) : db_(db) {}
+  /// `budget`, when non-null, caps the rows pushed through operators
+  /// (OptimizerBudget::max_exec_rows): a runaway query fails fast with
+  /// kBudgetExhausted instead of grinding through an unbounded join.
+  explicit Executor(const Database& db, BudgetTracker* budget = nullptr)
+      : db_(db), budget_(budget) {
+    if (budget != nullptr && budget->budget().max_exec_rows > 0) {
+      row_cap_ = budget->budget().max_exec_rows;
+    }
+  }
 
   /// Runs the plan to completion and returns the result rows (matching
   /// `plan.output`).
@@ -36,6 +48,19 @@ class Executor {
                                    ExecStats* stats = nullptr);
 
  private:
+  /// Counts one row of operator work against the stats and the row budget.
+  /// The hot path is one increment and one predictable compare; the cap is
+  /// infinite when no budget is set.
+  Status CountRow() {
+    if (++stats_->rows_processed > row_cap_) {
+      budget_->MarkExhausted(BudgetDimension::kExecRows);
+      return Status::BudgetExhausted(
+          "executor row budget exceeded (max_exec_rows=" +
+          std::to_string(budget_->budget().max_exec_rows) + ")");
+    }
+    return Status::OK();
+  }
+
   Result<std::vector<Row>> Run(const PlanNode& node, EvalContext& ctx);
 
   Result<std::vector<Row>> RunTableScan(const PlanNode& node, EvalContext& ctx);
@@ -56,6 +81,8 @@ class Executor {
                                              EvalContext& ctx);
 
   const Database& db_;
+  BudgetTracker* budget_ = nullptr;
+  int64_t row_cap_ = std::numeric_limits<int64_t>::max();
   ExecStats* stats_ = nullptr;
 };
 

@@ -3,8 +3,16 @@
 namespace cbqt {
 
 Result<PhysicalOptimization> PhysicalOptimizer::Optimize(
-    const QueryBlock& qb, AnnotationCache* cache, double cost_cutoff) const {
-  Planner planner(db_, params_, cache, cost_cutoff);
+    const QueryBlock& qb, const PhysicalOptimizeOptions& options) const {
+  if (options.faults != nullptr) {
+    CBQT_RETURN_IF_ERROR(options.faults->MaybeFail(FaultSite::kPlanner));
+  }
+  if (options.budget != nullptr && options.budget->CheckDeadline()) {
+    return Status::BudgetExhausted(
+        "optimization deadline exceeded before planning");
+  }
+  Planner planner(db_, params_, options.cache, options.cost_cutoff,
+                  options.budget);
   auto block = planner.PlanBlock(qb);
   if (!block.ok()) return block.status();
   PhysicalOptimization out;

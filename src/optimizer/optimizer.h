@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "cbqt/annotation_cache.h"
+#include "common/budget.h"
+#include "common/fault_injector.h"
 #include "common/status.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
@@ -24,18 +26,41 @@ struct PhysicalOptimization {
   int64_t blocks_planned = 0;
 };
 
+/// Per-call knobs of one physical optimization.
+struct PhysicalOptimizeOptions {
+  AnnotationCache* cache = nullptr;  ///< §3.4.2 sub-tree annotation reuse
+  double cost_cutoff =
+      std::numeric_limits<double>::infinity();  ///< §3.4.1 cut-off
+  /// When non-null, the planner polls the optimization deadline per planned
+  /// block and aborts with kBudgetExhausted once it trips — the caller
+  /// (search / framework) degrades to its best-so-far answer.
+  BudgetTracker* budget = nullptr;
+  /// Testing only: deterministic fault injection (FaultSite::kPlanner fires
+  /// once per Optimize call).
+  FaultInjector* faults = nullptr;
+};
+
 /// Facade over the Planner: the "physical optimizer" box of the paper's
 /// Figure 1. Stateless; each call may share an AnnotationCache to reuse
-/// sub-tree cost annotations across transformation states (§3.4.2) and a
-/// cost cutoff (§3.4.1).
+/// sub-tree cost annotations across transformation states (§3.4.2), a cost
+/// cutoff (§3.4.1), and a resource budget (governor).
 class PhysicalOptimizer {
  public:
   explicit PhysicalOptimizer(const Database& db, CostParams params = {})
       : db_(db), params_(params) {}
 
   Result<PhysicalOptimization> Optimize(
-      const QueryBlock& qb, AnnotationCache* cache = nullptr,
-      double cost_cutoff = std::numeric_limits<double>::infinity()) const;
+      const QueryBlock& qb, const PhysicalOptimizeOptions& options = {}) const;
+
+  /// Convenience overload predating PhysicalOptimizeOptions.
+  Result<PhysicalOptimization> Optimize(
+      const QueryBlock& qb, AnnotationCache* cache,
+      double cost_cutoff = std::numeric_limits<double>::infinity()) const {
+    PhysicalOptimizeOptions options;
+    options.cache = cache;
+    options.cost_cutoff = cost_cutoff;
+    return Optimize(qb, options);
+  }
 
   const CostParams& params() const { return params_; }
 

@@ -604,6 +604,12 @@ class BlockJoinCoster : public JoinCoster {
 // ---------------------------------------------------------------------------
 
 Result<BlockPlan> Planner::PlanBlock(const QueryBlock& qb) {
+  // Cooperative governor poll: one cheap deadline check per planned block,
+  // so a runaway optimization of a deeply nested query cancels mid-plan.
+  if (budget_ != nullptr && budget_->CheckDeadline()) {
+    return Status::BudgetExhausted(
+        "optimization deadline exceeded while planning");
+  }
   std::string sig;
   if (cache_ != nullptr) {
     sig = BlockSignature(qb);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cbqt/annotation_cache.h"
+#include "common/budget.h"
 #include "common/status.h"
 #include "optimizer/card_est.h"
 #include "optimizer/cost_model.h"
@@ -34,13 +35,21 @@ struct BlockPlan {
 /// The CBQT framework invokes this as its "cost estimation technique"
 /// (paper §3.1, Figure 1): each transformation state is deep-copied and
 /// handed here for costing. `cost_cutoff` implements §3.4.1; `cache`
-/// implements §3.4.2 (sub-tree cost-annotation reuse).
+/// implements §3.4.2 (sub-tree cost-annotation reuse); `budget` is the
+/// optimization resource governor, polled once per planned block — when the
+/// deadline trips mid-plan the planner aborts with kBudgetExhausted and the
+/// caller degrades to its best-so-far answer.
 class Planner {
  public:
   Planner(const Database& db, const CostParams& params,
           AnnotationCache* cache = nullptr,
-          double cost_cutoff = std::numeric_limits<double>::infinity())
-      : db_(db), params_(params), cache_(cache), cutoff_(cost_cutoff) {}
+          double cost_cutoff = std::numeric_limits<double>::infinity(),
+          BudgetTracker* budget = nullptr)
+      : db_(db),
+        params_(params),
+        cache_(cache),
+        cutoff_(cost_cutoff),
+        budget_(budget) {}
 
   /// Plans a bound query block (and, recursively, all nested blocks).
   Result<BlockPlan> PlanBlock(const QueryBlock& qb);
@@ -68,6 +77,7 @@ class Planner {
   CostParams params_;
   AnnotationCache* cache_;
   double cutoff_;
+  BudgetTracker* budget_;
   int64_t blocks_planned_ = 0;
 };
 

@@ -45,6 +45,21 @@ class Parser {
     }
   }
 
+  // Robustness guard: the parser is recursive-descent, so adversarially
+  // nested input (parentheses, subqueries) would otherwise overflow the
+  // stack. Every recursion entry point bumps the depth; past the limit the
+  // parse fails with a clean Status instead of crashing.
+  static constexpr int kMaxNestingDepth = 200;
+  bool EnterNesting() {
+    if (++depth_ > kMaxNestingDepth) {
+      Fail("query nesting exceeds depth limit of " +
+           std::to_string(kMaxNestingDepth));
+      return false;
+    }
+    return true;
+  }
+  void LeaveNesting() { --depth_; }
+
   bool AtKeyword(const std::string& kw) const {
     return Cur().kind == TokenKind::kIdent && Cur().text == kw;
   }
@@ -132,6 +147,13 @@ class Parser {
   }
 
   std::unique_ptr<QueryBlock> ParseSelectBlock() {
+    if (!EnterNesting()) return nullptr;
+    auto qb = ParseSelectBlockInner();
+    LeaveNesting();
+    return qb;
+  }
+
+  std::unique_ptr<QueryBlock> ParseSelectBlockInner() {
     if (AcceptSymbol("(")) {
       auto qb = ParseSelect();
       if (!ok()) return nullptr;
@@ -365,7 +387,12 @@ class Parser {
 
   // ---- expressions ----
 
-  ExprPtr ParseExpr() { return ParseOr(); }
+  ExprPtr ParseExpr() {
+    if (!EnterNesting()) return nullptr;
+    ExprPtr e = ParseOr();
+    LeaveNesting();
+    return e;
+  }
 
   ExprPtr ParseOr() {
     ExprPtr left = ParseAnd();
@@ -756,6 +783,7 @@ class Parser {
   std::vector<Token> tokens_;
   size_t pos_ = 0;
   Status error_;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -48,6 +48,54 @@ Result<RunMeasurement> WorkloadRunner::Run(const std::string& sql,
   return m;
 }
 
+WorkloadRunReport WorkloadRunner::RunAll(
+    const std::vector<WorkloadQuery>& queries,
+    const CbqtConfig& config) const {
+  WorkloadRunReport report;
+  QueryEngine engine(db_, config, params_);
+  for (const auto& q : queries) {
+    ++report.attempted;
+    auto result = engine.Run(q.sql);
+    if (!result.ok()) {
+      ++report.failed;
+      if (static_cast<int>(report.error_messages.size()) <
+          WorkloadRunReport::kMaxErrorMessages) {
+        report.error_messages.push_back(
+            "query " + std::to_string(q.id) + " [" + QueryFamilyName(q.family) +
+            "]: " + result.status().ToString());
+      }
+      continue;
+    }
+    ++report.succeeded;
+    RunMeasurement m;
+    m.opt_ms = result->prepared.optimize_ms;
+    m.exec_ms = result->execute_ms;
+    m.est_cost = result->prepared.cost;
+    m.plan_shape = PlanShape(*result->prepared.plan);
+    m.rows_processed = result->rows_processed;
+    m.result_rows = result->rows.size();
+    m.cbqt = std::move(result->prepared.stats);
+    if (m.cbqt.budget_exhausted) ++report.budget_exhausted_queries;
+    report.searches_degraded += m.cbqt.searches_degraded;
+    report.failed_states += m.cbqt.failed_states;
+    report.measurements.push_back(std::move(m));
+  }
+  return report;
+}
+
+std::string WorkloadRunReport::ErrorSummary() const {
+  if (failed == 0) return "";
+  std::string out = std::to_string(failed) + " of " +
+                    std::to_string(attempted) + " queries failed";
+  if (!error_messages.empty()) {
+    out += "; first " + std::to_string(error_messages.size()) + ":";
+    for (const auto& msg : error_messages) {
+      out += "\n  " + msg;
+    }
+  }
+  return out;
+}
+
 Result<std::vector<Row>> WorkloadRunner::RunToSortedRows(
     const std::string& sql, const CbqtConfig& config) const {
   QueryEngine engine(db_, config, params_);

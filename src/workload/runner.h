@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "exec/executor.h"
 #include "storage/database.h"
+#include "workload/query_gen.h"
 
 namespace cbqt {
 
@@ -38,6 +39,31 @@ struct RunMeasurement {
 /// Monotonic wall clock in milliseconds.
 double NowMs();
 
+/// Aggregate report of one batch run. A failing query no longer aborts the
+/// whole workload: its error is recorded and the run continues, so one
+/// pathological query cannot take down a measurement campaign (or, in
+/// production terms, one bad tenant query cannot starve the rest).
+struct WorkloadRunReport {
+  /// Per-query measurements, one per *successful* query, in input order.
+  std::vector<RunMeasurement> measurements;
+  int attempted = 0;
+  int succeeded = 0;
+  int failed = 0;
+  /// "query <id> [family]: <status>" for the first kMaxErrorMessages
+  /// failures (the count above covers the rest).
+  std::vector<std::string> error_messages;
+
+  // Governor telemetry aggregated over the successful queries.
+  int budget_exhausted_queries = 0;  ///< queries whose optimizer budget tripped
+  int searches_degraded = 0;         ///< searches that fell back to heuristics
+  int failed_states = 0;             ///< fault-isolated state evaluations
+
+  static constexpr int kMaxErrorMessages = 5;
+
+  /// One-paragraph human-readable error summary (empty when failed == 0).
+  std::string ErrorSummary() const;
+};
+
 /// Measurement wrapper for the experiments: runs queries through the
 /// QueryEngine facade (the single place the pipeline is wired) and shapes
 /// the timings/telemetry into RunMeasurement.
@@ -49,6 +75,12 @@ class WorkloadRunner {
   /// Full pipeline with timing.
   Result<RunMeasurement> Run(const std::string& sql,
                              const CbqtConfig& config) const;
+
+  /// Runs a whole workload under one config, isolating per-query failures:
+  /// errors are recorded in the report and the run continues with the next
+  /// query. Never fails wholesale.
+  WorkloadRunReport RunAll(const std::vector<WorkloadQuery>& queries,
+                           const CbqtConfig& config) const;
 
   /// Executes and returns the result rows, canonically sorted — used by
   /// the correctness tests to prove transformation equivalence across

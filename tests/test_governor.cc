@@ -1,0 +1,279 @@
+// Tests of the optimization resource governor (OptimizerBudget /
+// BudgetTracker): graceful degradation under deadline and state-count
+// ceilings, the executor row cap, and zero overhead when disabled.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cbqt/engine.h"
+#include "cbqt/framework.h"
+#include "cbqt/search.h"
+#include "common/budget.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+
+namespace cbqt {
+namespace {
+
+// Q1 shape from the paper: two subqueries, guaranteed transformable objects
+// for the unnesting search, so the cost-based path always runs a search.
+const char* kTransformableSql =
+    "SELECT e1.employee_name, j.job_title FROM employees e1, job_history "
+    "j WHERE e1.emp_id = j.emp_id AND j.start_date > '19980101' AND "
+    "e1.salary > (SELECT AVG(e2.salary) FROM employees e2 WHERE "
+    "e2.dept_id = e1.dept_id) AND e1.dept_id IN (SELECT d.dept_id FROM "
+    "departments d, locations l WHERE d.loc_id = l.loc_id AND "
+    "l.country_id = 'US')";
+
+// ---------------------------------------------------------------------------
+// BudgetTracker unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(BudgetTracker, UnlimitedBudgetNeverTrips) {
+  OptimizerBudget budget;
+  EXPECT_FALSE(budget.limited());
+  EXPECT_FALSE(budget.limits_optimization());
+  BudgetTracker tracker(budget);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(tracker.ChargeState());
+  EXPECT_FALSE(tracker.CheckDeadline());
+  EXPECT_FALSE(tracker.exhausted());
+  EXPECT_EQ(tracker.dimension(), BudgetDimension::kNone);
+  EXPECT_EQ(tracker.states_charged(), 1000);
+}
+
+TEST(BudgetTracker, MaxStatesTripsAtExactBoundary) {
+  OptimizerBudget budget;
+  budget.max_states = 3;
+  EXPECT_TRUE(budget.limits_optimization());
+  BudgetTracker tracker(budget);
+  EXPECT_FALSE(tracker.ChargeState());  // 1
+  EXPECT_FALSE(tracker.ChargeState());  // 2
+  EXPECT_FALSE(tracker.ChargeState());  // 3 — at the cap, still allowed
+  EXPECT_TRUE(tracker.ChargeState());   // 4 — over
+  EXPECT_TRUE(tracker.exhausted());
+  EXPECT_EQ(tracker.dimension(), BudgetDimension::kStates);
+}
+
+TEST(BudgetTracker, ExpiredDeadlineTrips) {
+  OptimizerBudget budget;
+  budget.deadline_ms = 1e-6;  // effectively already expired
+  BudgetTracker tracker(budget);
+  // The first check may or may not observe the elapsed time, but spinning
+  // a few times must trip it.
+  bool tripped = false;
+  for (int i = 0; i < 1000 && !tripped; ++i) tripped = tracker.CheckDeadline();
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(tracker.dimension(), BudgetDimension::kDeadline);
+  EXPECT_GT(tracker.check_ns(), 0);
+}
+
+TEST(BudgetTracker, FirstTripperWinsDimension) {
+  OptimizerBudget budget;
+  budget.max_states = 1;
+  BudgetTracker tracker(budget);
+  tracker.MarkExhausted(BudgetDimension::kExecRows);
+  tracker.MarkExhausted(BudgetDimension::kStates);
+  EXPECT_EQ(tracker.dimension(), BudgetDimension::kExecRows);
+}
+
+// ---------------------------------------------------------------------------
+// Budget inside RunSearch: best-so-far semantics
+// ---------------------------------------------------------------------------
+
+// Synthetic evaluator where the all-zero state costs 100 and every set bit
+// improves the cost, so exhaustive search without a budget would pick the
+// all-ones state.
+Result<double> DescendingCost(const TransformState& s, double) {
+  double cost = 100.0;
+  for (bool b : s) {
+    if (b) cost -= 1.0;
+  }
+  return cost;
+}
+
+TEST(SearchBudget, MaxStatesReturnsBestSoFar) {
+  OptimizerBudget budget;
+  budget.max_states = 3;
+  BudgetTracker tracker(budget);
+  SearchOptions options;
+  options.budget = &tracker;
+  auto r = RunSearch(SearchStrategy::kExhaustive, 4, DescendingCost, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->budget_exhausted);
+  // Only the states charged before the trip were consumed; the best of
+  // those is still a valid answer (zero state is always one of them).
+  EXPECT_LE(r->states_evaluated, 3);
+  EXPECT_GE(r->states_evaluated, 1);
+  EXPECT_LE(r->best_cost, 100.0);
+
+  // Without a budget the search sees all 16 states and does better.
+  auto full = RunSearch(SearchStrategy::kExhaustive, 4, DescendingCost);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->budget_exhausted);
+  EXPECT_EQ(full->states_evaluated, 16);
+  EXPECT_DOUBLE_EQ(full->best_cost, 96.0);
+  EXPECT_LE(full->best_cost, r->best_cost);
+}
+
+TEST(SearchBudget, ZeroStateIsBudgetExempt) {
+  // Even a budget of max_states = 1 must still produce the zero-state
+  // answer: the zero state is charged but never stopped.
+  OptimizerBudget budget;
+  budget.max_states = 1;
+  for (SearchStrategy strategy :
+       {SearchStrategy::kExhaustive, SearchStrategy::kLinear,
+        SearchStrategy::kTwoPass, SearchStrategy::kIterative}) {
+    BudgetTracker t(budget);
+    SearchOptions o;
+    o.budget = &t;
+    auto r = RunSearch(strategy, 4, DescendingCost, o);
+    ASSERT_TRUE(r.ok()) << static_cast<int>(strategy);
+    EXPECT_EQ(r->best_state, TransformState(4, false))
+        << static_cast<int>(strategy);
+    EXPECT_DOUBLE_EQ(r->best_cost, 100.0);
+    EXPECT_TRUE(r->budget_exhausted);
+  }
+}
+
+TEST(SearchBudget, ParallelSearchRespectsBudget) {
+  OptimizerBudget budget;
+  budget.max_states = 5;
+  ThreadPool pool(4);
+  for (SearchStrategy strategy :
+       {SearchStrategy::kExhaustive, SearchStrategy::kLinear}) {
+    BudgetTracker tracker(budget);
+    SearchOptions options;
+    options.pool = &pool;
+    options.budget = &tracker;
+    auto r = RunSearch(strategy, 6, DescendingCost, options);
+    ASSERT_TRUE(r.ok()) << static_cast<int>(strategy);
+    EXPECT_TRUE(r->budget_exhausted);
+    // The answer is the best of the consumed states — always valid.
+    EXPECT_LE(r->best_cost, 100.0);
+    EXPECT_GE(r->states_evaluated, 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end governor behavior through the QueryEngine
+// ---------------------------------------------------------------------------
+
+class GovernorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeSmallHrDb();
+    ASSERT_NE(db_, nullptr);
+  }
+
+  std::vector<Row> ReferenceRows() {
+    WorkloadRunner runner(*db_);
+    auto rows = runner.RunToSortedRows(kTransformableSql, CbqtConfig{});
+    EXPECT_TRUE(rows.ok());
+    return rows.ok() ? std::move(rows.value()) : std::vector<Row>{};
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(GovernorTest, TightDeadlineDegradesToHeuristicsNeverErrors) {
+  auto reference = ReferenceRows();
+  CbqtConfig cfg;
+  cfg.budget.deadline_ms = 1e-6;
+  QueryEngine engine(*db_, cfg);
+  auto result = engine.Run(kTransformableSql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->prepared.stats.budget_exhausted);
+  EXPECT_GT(result->prepared.stats.searches_degraded, 0);
+  SortRowsCanonical(&result->rows);
+  ASSERT_EQ(result->rows.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_TRUE(RowsEqualStructural(result->rows[i], reference[i])) << i;
+  }
+}
+
+TEST_F(GovernorTest, MaxStatesStopsSearchMidwayWithValidAnswer) {
+  auto reference = ReferenceRows();
+  CbqtConfig cfg;
+  cfg.budget.max_states = 2;  // zero state + one more, then stop
+  QueryEngine engine(*db_, cfg);
+  auto result = engine.Run(kTransformableSql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->prepared.stats.budget_exhausted);
+  SortRowsCanonical(&result->rows);
+  ASSERT_EQ(result->rows.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_TRUE(RowsEqualStructural(result->rows[i], reference[i])) << i;
+  }
+}
+
+TEST_F(GovernorTest, GenerousBudgetMatchesUnbudgetedSearch) {
+  CbqtConfig unbudgeted;
+  QueryEngine base(*db_, unbudgeted);
+  auto base_result = base.Run(kTransformableSql);
+  ASSERT_TRUE(base_result.ok());
+
+  CbqtConfig cfg;
+  cfg.budget.deadline_ms = 60000;
+  cfg.budget.max_states = 1 << 20;
+  QueryEngine engine(*db_, cfg);
+  auto result = engine.Run(kTransformableSql);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->prepared.stats.budget_exhausted);
+  EXPECT_EQ(result->prepared.stats.searches_degraded, 0);
+  // Same search, same chosen plan and cost.
+  EXPECT_EQ(result->prepared.stats.states_evaluated,
+            base_result->prepared.stats.states_evaluated);
+  EXPECT_DOUBLE_EQ(result->prepared.cost, base_result->prepared.cost);
+}
+
+TEST_F(GovernorTest, DisabledBudgetHasNoTelemetry) {
+  CbqtConfig cfg;  // budget defaults to disabled
+  QueryEngine engine(*db_, cfg);
+  auto result = engine.Run(kTransformableSql);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->prepared.stats.budget_exhausted);
+  EXPECT_EQ(result->prepared.stats.searches_degraded, 0);
+  EXPECT_EQ(result->prepared.stats.budget_check_ns, 0);
+}
+
+TEST_F(GovernorTest, ParallelOptimizationUnderBudgetStaysCorrect) {
+  auto reference = ReferenceRows();
+  CbqtConfig cfg;
+  cfg.num_threads = 4;
+  cfg.budget.max_states = 3;
+  QueryEngine engine(*db_, cfg);
+  auto result = engine.Run(kTransformableSql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->prepared.stats.budget_exhausted);
+  SortRowsCanonical(&result->rows);
+  ASSERT_EQ(result->rows.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_TRUE(RowsEqualStructural(result->rows[i], reference[i])) << i;
+  }
+}
+
+TEST_F(GovernorTest, ExecutorRowCapIsAHardStop) {
+  CbqtConfig cfg;
+  cfg.budget.max_exec_rows = 1;  // absurdly small: must trip
+  QueryEngine engine(*db_, cfg);
+  auto result = engine.Run(kTransformableSql);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBudgetExhausted)
+      << result.status().ToString();
+}
+
+TEST_F(GovernorTest, GenerousRowCapDoesNotTrip) {
+  auto reference = ReferenceRows();
+  CbqtConfig cfg;
+  cfg.budget.max_exec_rows = 100000000;
+  QueryEngine engine(*db_, cfg);
+  auto result = engine.Run(kTransformableSql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  SortRowsCanonical(&result->rows);
+  EXPECT_EQ(result->rows.size(), reference.size());
+}
+
+}  // namespace
+}  // namespace cbqt

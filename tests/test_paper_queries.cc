@@ -41,6 +41,24 @@ class PaperQueryTest : public ::testing::Test {
             << sql;
       }
     }
+
+    // Resource governor: a pathologically tight budget must degrade the
+    // optimization (heuristic fallback), never error, and still execute to
+    // the same rows as the unbudgeted reference.
+    CbqtConfig tight = ConfigForMode(OptimizerMode::kCostBased);
+    tight.budget.deadline_ms = 1e-6;
+    QueryEngine engine(*db_, tight);
+    auto budgeted = engine.Run(sql);
+    ASSERT_TRUE(budgeted.ok())
+        << "tight budget errored: " << budgeted.status().ToString() << "\n"
+        << sql;
+    EXPECT_TRUE(budgeted->prepared.stats.budget_exhausted) << sql;
+    SortRowsCanonical(&budgeted->rows);
+    ASSERT_EQ(budgeted->rows.size(), reference->size()) << sql;
+    for (size_t i = 0; i < budgeted->rows.size(); ++i) {
+      ASSERT_TRUE(RowsEqualStructural(budgeted->rows[i], (*reference)[i]))
+          << "tight-budget row " << i << "\n" << sql;
+    }
   }
 
   std::unique_ptr<Database> db_;

@@ -126,7 +126,10 @@ TEST(ParallelSearch, LinearMatchesSerialExactly) {
   }
 }
 
-TEST(ParallelSearch, HardErrorInConsumedStateAborts) {
+// Fault isolation: a hard error in a non-zero state no longer aborts the
+// whole search. The failing states are counted and treated as infinite
+// cost; the zero state (which always costs cleanly here) wins.
+TEST(ParallelSearch, HardErrorInNonZeroStateIsolated) {
   auto eval = [](const TransformState& s, double) -> Result<double> {
     bool any = false;
     for (bool b : s) any |= b;
@@ -137,7 +140,17 @@ TEST(ParallelSearch, HardErrorInConsumedStateAborts) {
   SearchOptions options;
   options.pool = &pool;
   auto r = RunSearch(SearchStrategy::kExhaustive, 4, eval, options);
-  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->best_state, TransformState(4, false));
+  EXPECT_DOUBLE_EQ(r->best_cost, 10.0);
+  EXPECT_EQ(r->failed_states, 15);  // all 2^4 - 1 non-zero states failed
+  EXPECT_EQ(r->states_evaluated, 16);
+
+  // Serial path isolates identically.
+  auto serial = RunSearch(SearchStrategy::kExhaustive, 4, eval);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->best_state, r->best_state);
+  EXPECT_EQ(serial->failed_states, 15);
 }
 
 // ---------------------------------------------------------------------------

@@ -107,6 +107,40 @@ TEST_F(WorkloadTest, RunnerMeasuresAndExecutes) {
   EXPECT_FALSE(m->plan_shape.empty());
 }
 
+TEST_F(WorkloadTest, RunAllIsolatesPerQueryFailures) {
+  // One malformed query in the middle of a batch must not abort the rest.
+  std::vector<WorkloadQuery> queries;
+  WorkloadQuery good1;
+  good1.id = 1;
+  good1.sql = "SELECT e.employee_name FROM employees e";
+  WorkloadQuery bad;
+  bad.id = 2;
+  bad.sql = "SELECT nope.nothing FROM no_such_table nope";
+  WorkloadQuery good2;
+  good2.id = 3;
+  good2.sql = "SELECT d.dept_name FROM departments d";
+  queries = {good1, bad, good2};
+
+  WorkloadRunner runner(*db_);
+  auto report =
+      runner.RunAll(queries, ConfigForMode(OptimizerMode::kCostBased));
+  EXPECT_EQ(report.attempted, 3);
+  EXPECT_EQ(report.succeeded, 2);
+  EXPECT_EQ(report.failed, 1);
+  ASSERT_EQ(report.measurements.size(), 2u);
+  EXPECT_EQ(report.measurements[0].result_rows, 500u);
+  ASSERT_EQ(report.error_messages.size(), 1u);
+  EXPECT_NE(report.error_messages[0].find("query 2"), std::string::npos);
+  EXPECT_NE(report.ErrorSummary().find("1 of 3 queries failed"),
+            std::string::npos);
+
+  // All-good batch: empty summary.
+  auto clean = runner.RunAll({good1, good2},
+                             ConfigForMode(OptimizerMode::kCostBased));
+  EXPECT_EQ(clean.failed, 0);
+  EXPECT_TRUE(clean.ErrorSummary().empty());
+}
+
 TEST_F(WorkloadTest, SortRowsCanonicalIsTotal) {
   std::vector<Row> rows = {
       {Value::Int(2)}, {Value::Null()}, {Value::Int(1)}, {Value::Str("x")}};
