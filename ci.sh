@@ -7,10 +7,11 @@
 # config. ASan/UBSan additionally covers the robustness corpus
 # (test_parser_robustness, test_governor).
 #
-#   $ ./ci.sh            # release + tsan + asan
-#   $ ./ci.sh release    # just the release config
-#   $ ./ci.sh tsan       # just the thread-sanitizer config
-#   $ ./ci.sh asan       # just the address/UB-sanitizer config
+#   $ ./ci.sh              # release + tsan + asan + bench-smoke
+#   $ ./ci.sh release      # just the release config
+#   $ ./ci.sh tsan         # just the thread-sanitizer config
+#   $ ./ci.sh asan         # just the address/UB-sanitizer config
+#   $ ./ci.sh bench-smoke  # quick Release run of the perf benches
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -37,6 +38,21 @@ if [[ "${want}" == "all" || "${want}" == "tsan" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+fi
+
+if [[ "${want}" == "all" || "${want}" == "bench-smoke" ]]; then
+  # Smoke-runs the perf benches on the Release build with minimal reps, so a
+  # change that breaks bench linkage or the plan cache's warm-Prepare speedup
+  # (>= 10x, asserted by bench_plan_cache itself) fails CI without paying for
+  # a full measurement campaign.
+  dir="build-ci-release"
+  echo "=== [bench-smoke] configure + build ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "${dir}" -j "${jobs}" --target bench_table1_reuse bench_plan_cache
+  echo "=== [bench-smoke] bench_table1_reuse ==="
+  (cd "${dir}" && ./bench/bench_table1_reuse)
+  echo "=== [bench-smoke] bench_plan_cache ==="
+  (cd "${dir}" && ./bench/bench_plan_cache --reps 3)
 fi
 
 if [[ "${want}" == "all" || "${want}" == "asan" ]]; then

@@ -1,26 +1,30 @@
 #include "cbqt/annotation_cache.h"
 
 #include <algorithm>
-#include <functional>
 
 namespace cbqt {
 
-AnnotationCache::AnnotationCache(int num_shards) {
+AnnotationCache::AnnotationCache(int num_shards, size_t capacity)
+    : capacity_(capacity) {
   int n = std::max(1, num_shards);
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (capacity_ > 0) {
+    shard_capacity_ =
+        std::max<size_t>(1, capacity_ / static_cast<size_t>(n));
+  }
 }
 
 AnnotationCache::Shard& AnnotationCache::ShardFor(
-    const std::string& signature) const {
-  size_t h = std::hash<std::string>{}(signature);
+    std::string_view signature) const {
+  size_t h = std::hash<std::string_view>{}(signature);
   return *shards_[h % shards_.size()];
 }
 
 std::shared_ptr<const CostAnnotation> AnnotationCache::Find(
-    const std::string& signature) const {
+    std::string_view signature) const {
   Shard& shard = ShardFor(signature);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(signature);
@@ -29,25 +33,43 @@ std::shared_ptr<const CostAnnotation> AnnotationCache::Find(
     return nullptr;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  return it->second.annotation;
 }
 
-void AnnotationCache::Put(const std::string& signature,
+void AnnotationCache::Put(std::string_view signature,
                           CostAnnotation annotation) {
   auto entry =
       std::make_shared<const CostAnnotation>(std::move(annotation));
   Shard& shard = ShardFor(signature);
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.map[signature] = std::move(entry);
+  auto it = shard.map.find(signature);
+  if (it != shard.map.end()) {
+    it->second.annotation = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return;
+  }
+  auto pos = shard.map.try_emplace(std::string(signature)).first;
+  pos->second.annotation = std::move(entry);
+  shard.lru.push_front(&pos->first);
+  pos->second.lru_it = shard.lru.begin();
+  if (shard_capacity_ > 0 && shard.map.size() > shard_capacity_) {
+    const std::string* victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.map.erase(shard.map.find(*victim));
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void AnnotationCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->map.clear();
+    shard->lru.clear();
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 size_t AnnotationCache::size() const {

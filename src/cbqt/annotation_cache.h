@@ -3,9 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -34,38 +37,73 @@ struct CostAnnotation {
 /// of the signature, so concurrent state evaluations (parallel search)
 /// contend only when they touch the same shard. Entries are immutable once
 /// published; Find hands out a shared_ptr so a hit stays valid even if the
-/// entry is concurrently replaced or the cache cleared.
+/// entry is concurrently replaced, evicted, or the cache cleared.
+///
+/// Bounded: `capacity` (total entries, split evenly across shards) caps the
+/// cache with per-shard LRU eviction, so a pathological state space cannot
+/// grow it without limit; evictions are counted. The default capacity is far
+/// above any per-optimization signature population the paper's workloads
+/// produce (Table 1 needs a few dozen), so reuse numbers are unaffected.
+/// 0 = unbounded.
+///
+/// Lookup is heterogeneous (transparent hash/equality): Find and Put accept
+/// std::string_view, so per-state probes with an already-materialized
+/// signature never copy the string.
 class AnnotationCache {
  public:
-  explicit AnnotationCache(int num_shards = kDefaultShards);
+  static constexpr int kDefaultShards = 16;
+  static constexpr size_t kDefaultCapacity = 4096;
 
-  /// nullptr if not cached.
-  std::shared_ptr<const CostAnnotation> Find(
-      const std::string& signature) const;
+  explicit AnnotationCache(int num_shards = kDefaultShards,
+                           size_t capacity = kDefaultCapacity);
 
-  void Put(const std::string& signature, CostAnnotation annotation);
+  /// nullptr if not cached. A hit refreshes the entry's LRU position.
+  std::shared_ptr<const CostAnnotation> Find(std::string_view signature) const;
+
+  void Put(std::string_view signature, CostAnnotation annotation);
 
   void Clear();
 
   /// Telemetry for Table 1 and the micro benches.
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   size_t size() const;
+  size_t capacity() const { return capacity_; }
 
  private:
-  static constexpr int kDefaultShards = 16;
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  struct Slot {
+    std::shared_ptr<const CostAnnotation> annotation;
+    /// Position in the shard's LRU list (front = most recently used).
+    std::list<const std::string*>::iterator lru_it;
+  };
 
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::string, std::shared_ptr<const CostAnnotation>>
+    /// Keys live in the map nodes (stable addresses); the LRU list points
+    /// back at them.
+    std::unordered_map<std::string, Slot, TransparentHash, std::equal_to<>>
         map;
+    std::list<const std::string*> lru;
   };
 
-  Shard& ShardFor(const std::string& signature) const;
+  Shard& ShardFor(std::string_view signature) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  size_t capacity_ = kDefaultCapacity;  ///< total; 0 = unbounded
+  size_t shard_capacity_ = 0;           ///< per shard; 0 = unbounded
   mutable std::atomic<int64_t> hits_{0};
   mutable std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
 };
 
 }  // namespace cbqt

@@ -1,8 +1,11 @@
 #include "cbqt/engine.h"
 
 #include <chrono>
+#include <cmath>
+#include <utility>
 
 #include "parser/parser.h"
+#include "sql/parameterize.h"
 
 namespace cbqt {
 
@@ -13,9 +16,26 @@ double MonotonicMs() {
   return std::chrono::duration<double, std::milli>(now).count();
 }
 
+bool IsDegraded(const CbqtStats& stats) {
+  return stats.budget_exhausted || stats.searches_degraded > 0;
+}
+
 }  // namespace
 
-Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) const {
+QueryEngine::QueryEngine(const Database& db, CbqtConfig config,
+                         CostParams params)
+    : db_(db), optimizer_(db, config, params), config_(config) {
+  if (config_.plan_cache.enabled()) {
+    plan_cache_ = std::make_unique<PlanCache>(config_.plan_cache);
+  }
+}
+
+PlanCacheStats QueryEngine::plan_cache_stats() const {
+  return plan_cache_ != nullptr ? plan_cache_->stats() : PlanCacheStats{};
+}
+
+Result<PreparedQuery> QueryEngine::PrepareUncached(
+    const std::string& sql) const {
   double t0 = MonotonicMs();
   auto parsed = ParseSql(sql);
   if (!parsed.ok()) return parsed.status();
@@ -26,7 +46,111 @@ Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) const {
   out.plan = std::move(optimized->plan);
   out.cost = optimized->cost;
   out.stats = std::move(optimized->stats);
+  out.degraded = IsDegraded(out.stats);
   out.optimize_ms = MonotonicMs() - t0;
+  return out;
+}
+
+std::shared_ptr<const CachedPlanEntry> QueryEngine::MaybeUpgrade(
+    std::shared_ptr<const CachedPlanEntry> entry, uint64_t epoch) const {
+  int64_t hit_count = entry->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!entry->degraded) return entry;
+  const PlanCacheConfig& pc = config_.plan_cache;
+  if (hit_count < pc.upgrade_after_hits) return entry;
+  if (entry->upgrade_attempts >= pc.max_upgrade_attempts) return entry;
+  bool expected = false;
+  if (!entry->upgrade_in_flight.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return entry;  // another thread is already re-optimizing this statement
+  }
+  // Re-optimize the original parameterized statement under an enlarged
+  // budget: the original budget scaled by multiplier^attempt, so persistent
+  // exhaustion climbs the ladder instead of retrying the same ceiling.
+  double factor = std::pow(pc.upgrade_budget_multiplier,
+                           static_cast<double>(entry->upgrade_attempts + 1));
+  OptimizerBudget enlarged = ScaledBudget(entry->planned_budget, factor);
+  auto optimized = optimizer_.Optimize(*entry->source_tree, enlarged);
+
+  auto fresh = std::make_shared<CachedPlanEntry>();
+  fresh->key = entry->key;
+  fresh->stats_epoch = epoch;
+  fresh->num_params = entry->num_params;
+  fresh->planned_budget = entry->planned_budget;
+  fresh->upgrade_attempts = entry->upgrade_attempts + 1;
+  fresh->source_tree = entry->source_tree->Clone();
+  if (optimized.ok()) {
+    fresh->tree = std::move(optimized->tree);
+    fresh->plan = std::move(optimized->plan);
+    fresh->cost = optimized->cost;
+    fresh->stats = std::move(optimized->stats);
+    fresh->degraded = IsDegraded(fresh->stats);
+  } else {
+    // Keep serving the degraded plan, but burn the attempt so a statement
+    // that cannot be re-optimized stops retrying.
+    fresh->tree = entry->tree->Clone();
+    fresh->plan = entry->plan->Clone();
+    fresh->cost = entry->cost;
+    fresh->stats = entry->stats;
+    fresh->degraded = true;
+  }
+  plan_cache_->RecordUpgradeAttempt(!fresh->degraded);
+  plan_cache_->Put(fresh);
+  entry->upgrade_in_flight.store(false, std::memory_order_release);
+  return fresh;
+}
+
+Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) const {
+  if (plan_cache_ == nullptr) return PrepareUncached(sql);
+
+  double t0 = MonotonicMs();
+  auto parsed = ParseSql(sql);
+  if (!parsed.ok()) return parsed.status();
+  ParameterizedStatement ps = ParameterizeQuery(parsed.value().get());
+  // Captured before optimization: if Analyze() runs concurrently the entry
+  // is cached under the old epoch and lazily invalidated on its next lookup.
+  uint64_t epoch = db_.stats_epoch();
+
+  auto entry = plan_cache_->Find(ps.key, epoch);
+  if (entry != nullptr) {
+    entry = MaybeUpgrade(std::move(entry), epoch);
+    PreparedQuery out;
+    out.tree = entry->tree->Clone();
+    BindTreeParams(out.tree.get(), ps.params);
+    out.plan = entry->plan->Clone();
+    RebindPlanParams(out.plan.get(), ps.params);
+    out.cost = entry->cost;
+    out.stats = entry->stats;
+    out.from_plan_cache = true;
+    out.degraded = entry->degraded;
+    out.optimize_ms = MonotonicMs() - t0;
+    plan_cache_->RecordHitLatency(out.optimize_ms);
+    return out;
+  }
+
+  auto optimized = optimizer_.Optimize(*parsed.value());
+  if (!optimized.ok()) return optimized.status();
+
+  auto fresh = std::make_shared<CachedPlanEntry>();
+  fresh->key = std::move(ps.key);
+  fresh->stats_epoch = epoch;
+  fresh->tree = optimized->tree->Clone();
+  fresh->plan = optimized->plan->Clone();
+  fresh->source_tree = parsed.value()->Clone();
+  fresh->cost = optimized->cost;
+  fresh->stats = optimized->stats;
+  fresh->num_params = ps.params.size();
+  fresh->degraded = IsDegraded(fresh->stats);
+  fresh->planned_budget = config_.budget;
+  plan_cache_->Put(std::move(fresh));
+
+  PreparedQuery out;
+  out.tree = std::move(optimized->tree);
+  out.plan = std::move(optimized->plan);
+  out.cost = optimized->cost;
+  out.stats = std::move(optimized->stats);
+  out.degraded = IsDegraded(out.stats);
+  out.optimize_ms = MonotonicMs() - t0;
+  plan_cache_->RecordMissLatency(out.optimize_ms);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cbqt/framework.h"
+#include "cbqt/plan_cache.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "exec/executor.h"
@@ -25,6 +26,10 @@ struct PreparedQuery {
   double cost = 0;                   ///< estimated cost of `plan`
   CbqtStats stats;                   ///< CBQT telemetry
   double optimize_ms = 0;            ///< wall time of parse + CBQT + planning
+  bool from_plan_cache = false;      ///< served from the engine plan cache
+  /// Planned under a tripped OptimizerBudget (the plan cache's upgrade path
+  /// re-optimizes such statements once they prove hot).
+  bool degraded = false;
 };
 
 /// One end-to-end query execution.
@@ -42,13 +47,20 @@ struct QueryResult {
 ///
 /// A QueryEngine is immutable after construction and safe to share across
 /// threads for concurrent Prepare/Run calls; the CbqtConfig fixed at
-/// construction covers transformation selection, search strategy, and
-/// intra-query parallelism (CbqtConfig::num_threads).
+/// construction covers transformation selection, search strategy,
+/// intra-query parallelism (CbqtConfig::num_threads), and the plan cache
+/// (CbqtConfig::plan_cache — off by default).
+///
+/// With the plan cache enabled, Prepare parameterizes the statement's
+/// literals (sql/parameterize.h) and serves repeats of the same shape from
+/// the cache, re-binding the literal values into a clone of the cached plan.
+/// Entries are pinned to the Database stats epoch and invalidated lazily
+/// after a stats refresh; entries planned under a tripped OptimizerBudget
+/// are re-optimized with an enlarged budget once hot (budget upgrade).
 class QueryEngine {
  public:
   explicit QueryEngine(const Database& db, CbqtConfig config = {},
-                       CostParams params = {})
-      : db_(db), optimizer_(db, config, params), config_(config) {}
+                       CostParams params = {});
 
   /// Parses, transforms, and plans `sql` without executing it.
   Result<PreparedQuery> Prepare(const std::string& sql) const;
@@ -63,10 +75,28 @@ class QueryEngine {
   const Database& db() const { return db_; }
   const CbqtConfig& config() const { return config_; }
 
+  bool plan_cache_enabled() const { return plan_cache_ != nullptr; }
+  /// Telemetry of the plan cache; all-zero when the cache is disabled.
+  PlanCacheStats plan_cache_stats() const;
+
  private:
+  /// The historical Prepare path: parse + optimize, no cache involvement.
+  Result<PreparedQuery> PrepareUncached(const std::string& sql) const;
+
+  /// Budget-upgrade ladder: called on every cache hit. For a degraded entry
+  /// that has accumulated enough hits (and attempts remain), re-optimizes
+  /// under an enlarged budget and atomically replaces the entry; returns the
+  /// entry to serve (the fresh one if an upgrade happened on this call).
+  std::shared_ptr<const CachedPlanEntry> MaybeUpgrade(
+      std::shared_ptr<const CachedPlanEntry> entry, uint64_t epoch) const;
+
   const Database& db_;
   CbqtOptimizer optimizer_;
   CbqtConfig config_;
+  /// Null when CbqtConfig::plan_cache is disabled. Mutable state lives in
+  /// the cache itself (sharded mutexes + atomics), so const Prepare stays
+  /// thread-safe.
+  std::unique_ptr<PlanCache> plan_cache_;
 };
 
 }  // namespace cbqt

@@ -56,13 +56,15 @@ SearchStrategy CbqtOptimizer::ChooseStrategy(int num_objects,
   return SearchStrategy::kLinear;
 }
 
-Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
+Result<CbqtResult> CbqtOptimizer::Optimize(
+    const QueryBlock& query, const OptimizerBudget& budget) const {
   auto tree = query.Clone();
   CBQT_RETURN_IF_ERROR(BindQuery(db_, tree.get()));
 
   CbqtStats stats;
   stats.threads_used = pool_ != nullptr ? pool_->num_threads() : 1;
-  AnnotationCache cache;
+  AnnotationCache cache(AnnotationCache::kDefaultShards,
+                        config_.annotation_cache_capacity);
   AnnotationCache* cache_ptr = config_.reuse_annotations ? &cache : nullptr;
   Rng rng(config_.seed);
 
@@ -70,8 +72,8 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
   // historical path pays nothing. FaultInjector likewise (testing only).
   std::unique_ptr<BudgetTracker> tracker_owner;
   BudgetTracker* tracker = nullptr;
-  if (config_.budget.limits_optimization()) {
-    tracker_owner = std::make_unique<BudgetTracker>(config_.budget);
+  if (budget.limits_optimization()) {
+    tracker_owner = std::make_unique<BudgetTracker>(budget);
     tracker = tracker_owner.get();
   }
   FaultInjector* injector = config_.fault_injector.get();
@@ -300,6 +302,7 @@ Result<CbqtResult> CbqtOptimizer::Optimize(const QueryBlock& query) const {
   stats.interleaved_states =
       interleaved_states.load(std::memory_order_relaxed);
   stats.annotation_hits = cache.hits();
+  stats.annotation_evictions = cache.evictions();
   if (tracker != nullptr) {
     stats.budget_exhausted = tracker->exhausted();
     stats.budget_check_ns = tracker->check_ns();

@@ -20,6 +20,27 @@
 
 namespace cbqt {
 
+/// Configuration of the engine-level plan cache (cbqt/plan_cache.h): a
+/// sharded LRU map from a parameterized statement key to an immutable cached
+/// plan, owned by QueryEngine. Disabled by default (capacity 0) so that
+/// optimization-time measurements keep measuring optimization; workloads
+/// with repeated statements opt in.
+struct PlanCacheConfig {
+  size_t capacity = 0;  ///< total entries; 0 disables the cache
+  int num_shards = 8;   ///< use 1 for strict global LRU order
+
+  // Budget-upgrade of degraded plans: an entry produced under a tripped
+  // OptimizerBudget re-optimizes itself with an enlarged budget once it
+  // proves hot, replacing the degraded plan in place.
+  int upgrade_after_hits = 2;   ///< degraded-entry hits before an attempt
+  int max_upgrade_attempts = 3; ///< bounded retries per statement
+  /// Budget enlargement per attempt: attempt k re-optimizes under the
+  /// original budget scaled by multiplier^k (deadline and state cap).
+  double upgrade_budget_multiplier = 8.0;
+
+  bool enabled() const { return capacity > 0; }
+};
+
 /// Configuration of the cost-based transformation framework.
 struct CbqtConfig {
   /// Master switch: false reproduces the heuristic-only optimizer (each
@@ -51,6 +72,16 @@ struct CbqtConfig {
   /// §3.4.2 reuse of query sub-tree cost annotations.
   bool reuse_annotations = true;
 
+  /// Capacity of the per-optimization annotation cache (total entries, LRU
+  /// beyond it; 0 = unbounded). The default is far above the signature
+  /// population of any paper workload, so Table 1 reuse is unaffected; it
+  /// exists so a pathological state space cannot grow the cache without
+  /// limit.
+  size_t annotation_cache_capacity = 4096;
+
+  /// Engine-level plan cache (QueryEngine). Off by default.
+  PlanCacheConfig plan_cache;
+
   uint64_t seed = 42;  ///< iterative-search randomness
 
   /// Threads used to evaluate transformation states concurrently (exhaustive
@@ -79,6 +110,7 @@ struct CbqtStats {
   int interleaved_states = 0;    ///< extra states from interleaving
   int64_t blocks_planned = 0;    ///< query blocks physically optimized
   int64_t annotation_hits = 0;   ///< §3.4.2 reuses
+  int64_t annotation_evictions = 0;  ///< LRU evictions from the bounded cache
   /// transformation name -> states evaluated in its search
   std::map<std::string, int> states_per_transformation;
   /// transformations actually applied, e.g. "unnest-view(1,0)"
@@ -127,8 +159,16 @@ class CbqtOptimizer {
                          CostParams params = {});
 
   /// Optimizes a bound or unbound query tree (the input is cloned and
-  /// re-bound internally).
-  Result<CbqtResult> Optimize(const QueryBlock& query) const;
+  /// re-bound internally) under the configured budget.
+  Result<CbqtResult> Optimize(const QueryBlock& query) const {
+    return Optimize(query, config_.budget);
+  }
+
+  /// Same, under an explicit budget overriding CbqtConfig::budget — the plan
+  /// cache's upgrade path re-optimizes degraded statements with an enlarged
+  /// budget through this overload.
+  Result<CbqtResult> Optimize(const QueryBlock& query,
+                              const OptimizerBudget& budget) const;
 
   /// The strategy the framework would pick for a transformation with
   /// `num_objects` objects given `total_objects` in the whole query.

@@ -1,0 +1,160 @@
+#include "cbqt/plan_cache.h"
+
+#include <algorithm>
+
+#include "sql/expr_util.h"
+
+namespace cbqt {
+
+PlanCache::PlanCache(PlanCacheConfig config) : config_(config) {
+  int n = std::max(1, config_.num_shards);
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (config_.capacity > 0) {
+    shard_capacity_ =
+        std::max<size_t>(1, config_.capacity / static_cast<size_t>(n));
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(std::string_view key) const {
+  size_t h = std::hash<std::string_view>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+std::shared_ptr<const CachedPlanEntry> PlanCache::Find(std::string_view key,
+                                                       uint64_t current_epoch) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (it->second.entry->stats_epoch != current_epoch) {
+    // Planned against stale statistics: drop lazily and re-optimize.
+    shard.lru.erase(it->second.lru_it);
+    shard.map.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  return it->second.entry;
+}
+
+void PlanCache::Put(std::shared_ptr<const CachedPlanEntry> entry) {
+  Shard& shard = ShardFor(entry->key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(entry->key);
+  if (it != shard.map.end()) {
+    it->second.entry = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto pos = shard.map.try_emplace(entry->key).first;
+  pos->second.entry = std::move(entry);
+  shard.lru.push_front(&pos->first);
+  pos->second.lru_it = shard.lru.begin();
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (shard_capacity_ > 0 && shard.map.size() > shard_capacity_) {
+    const std::string* victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.map.erase(shard.map.find(*victim));
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PlanCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.upgrade_attempts = upgrade_attempts_.load(std::memory_order_relaxed);
+  out.upgrades = upgrades_.load(std::memory_order_relaxed);
+  out.hit_prepares = hit_prepares_.load(std::memory_order_relaxed);
+  out.miss_prepares = miss_prepares_.load(std::memory_order_relaxed);
+  out.hit_prepare_ms_total =
+      static_cast<double>(hit_prepare_ns_.load(std::memory_order_relaxed)) /
+      1e6;
+  out.miss_prepare_ms_total =
+      static_cast<double>(miss_prepare_ns_.load(std::memory_order_relaxed)) /
+      1e6;
+  out.entries = size();
+  return out;
+}
+
+void PlanCache::RecordHitLatency(double ms) {
+  hit_prepares_.fetch_add(1, std::memory_order_relaxed);
+  hit_prepare_ns_.fetch_add(static_cast<int64_t>(ms * 1e6),
+                            std::memory_order_relaxed);
+}
+
+void PlanCache::RecordMissLatency(double ms) {
+  miss_prepares_.fetch_add(1, std::memory_order_relaxed);
+  miss_prepare_ns_.fetch_add(static_cast<int64_t>(ms * 1e6),
+                             std::memory_order_relaxed);
+}
+
+void PlanCache::RecordUpgradeAttempt(bool upgraded) {
+  upgrade_attempts_.fetch_add(1, std::memory_order_relaxed);
+  if (upgraded) upgrades_.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+void RebindExprVec(std::vector<ExprPtr>& exprs,
+                   const std::vector<Value>& params) {
+  for (auto& e : exprs) {
+    if (e == nullptr) continue;
+    VisitExprDeep(e.get(), [&params](Expr* node) {
+      if (node->kind == ExprKind::kLiteral && node->param_index >= 0 &&
+          static_cast<size_t>(node->param_index) < params.size()) {
+        node->literal = params[static_cast<size_t>(node->param_index)];
+      }
+    });
+  }
+}
+
+}  // namespace
+
+void RebindPlanParams(PlanNode* plan, const std::vector<Value>& params) {
+  if (plan == nullptr || params.empty()) return;
+  RebindExprVec(plan->probes, params);
+  RebindExprVec(plan->filter, params);
+  RebindExprVec(plan->join_conds, params);
+  RebindExprVec(plan->hash_left_keys, params);
+  RebindExprVec(plan->hash_right_keys, params);
+  RebindExprVec(plan->group_keys, params);
+  RebindExprVec(plan->agg_exprs, params);
+  RebindExprVec(plan->projections, params);
+  RebindExprVec(plan->sort_keys, params);
+  RebindExprVec(plan->window_exprs, params);
+  for (auto& keys : plan->subplan_corr_keys) RebindExprVec(keys, params);
+  for (auto& sub : plan->subplans) RebindPlanParams(sub.get(), params);
+  for (auto& child : plan->children) RebindPlanParams(child.get(), params);
+}
+
+}  // namespace cbqt

@@ -1,0 +1,174 @@
+#ifndef CBQT_CBQT_PLAN_CACHE_H_
+#define CBQT_CBQT_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cbqt/framework.h"
+#include "common/budget.h"
+#include "common/value.h"
+#include "optimizer/plan.h"
+#include "sql/query_block.h"
+
+namespace cbqt {
+
+/// One cached optimization result, keyed by a parameterized statement key
+/// (sql/parameterize.h) and pinned to the catalog stats epoch it was planned
+/// under. Immutable once published — a hit clones the tree/plan and re-binds
+/// the caller's literal values into the clones; upgrades replace the whole
+/// entry rather than mutating it. The only mutable members are the atomics
+/// driving the budget-upgrade ladder.
+struct CachedPlanEntry {
+  std::string key;
+  uint64_t stats_epoch = 0;
+
+  /// The chosen (transformed, bound) query tree and physical plan, with
+  /// parameterized literals carrying their Expr::param_index slots.
+  std::unique_ptr<const QueryBlock> tree;
+  std::unique_ptr<const PlanNode> plan;
+  /// The *original* parsed (parameterized, untransformed) statement: the
+  /// budget-upgrade path re-optimizes from here, because a degraded
+  /// optimization may have applied heuristic transformations that a
+  /// full-budget search starting from the transformed tree could not undo.
+  std::unique_ptr<const QueryBlock> source_tree;
+  double cost = 0;
+  CbqtStats stats;  ///< telemetry of the Optimize() that produced the plan
+  size_t num_params = 0;
+
+  // Budget-upgrade state (PlanCacheConfig): a degraded entry was planned
+  // under a tripped OptimizerBudget and re-optimizes itself with an enlarged
+  // budget once hot.
+  bool degraded = false;
+  OptimizerBudget planned_budget;  ///< budget the plan was produced under
+  int upgrade_attempts = 0;        ///< attempts consumed so far (inherited)
+  mutable std::atomic<int64_t> hits{0};  ///< hits since this entry was cached
+  /// CAS gate so at most one thread runs the (expensive) re-optimization for
+  /// this statement at a time; others keep serving the degraded plan.
+  mutable std::atomic<bool> upgrade_in_flight{false};
+};
+
+/// Telemetry snapshot of a PlanCache (QueryEngine::plan_cache_stats()).
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;          ///< includes epoch invalidations
+  int64_t evictions = 0;       ///< LRU capacity evictions
+  int64_t invalidations = 0;   ///< entries dropped for a stale stats epoch
+  int64_t insertions = 0;
+  int64_t upgrade_attempts = 0;  ///< budget-upgrade re-optimizations started
+  int64_t upgrades = 0;          ///< ... that produced a non-degraded plan
+  int64_t hit_prepares = 0;      ///< Prepare calls served from the cache
+  int64_t miss_prepares = 0;     ///< Prepare calls that optimized from scratch
+  double hit_prepare_ms_total = 0;
+  double miss_prepare_ms_total = 0;
+  size_t entries = 0;
+
+  double hit_rate() const {
+    int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0;
+  }
+  double avg_hit_prepare_ms() const {
+    return hit_prepares > 0 ? hit_prepare_ms_total / hit_prepares : 0;
+  }
+  double avg_miss_prepare_ms() const {
+    return miss_prepares > 0 ? miss_prepare_ms_total / miss_prepares : 0;
+  }
+};
+
+/// Engine-level plan cache: a sharded, thread-safe, LRU-bounded map from a
+/// normalized (literal-parameterized) statement key to an immutable cached
+/// plan entry. Owned by QueryEngine; `WHERE id = 7` and `WHERE id = 9` map
+/// to one entry whose literal vector is re-bound at Prepare time.
+///
+/// Invalidation is lazy and epoch-based: every entry records the Database
+/// stats epoch it was planned under, and Find() drops entries whose epoch no
+/// longer matches — a stats refresh (Database::Analyze) silently invalidates
+/// the whole cache without touching it.
+///
+/// Same locking structure as AnnotationCache: mutex-guarded shards, keys
+/// living in map nodes with the LRU list pointing back at them, entries
+/// handed out as shared_ptr so a hit survives concurrent replacement or
+/// eviction.
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheConfig config);
+
+  /// The cached entry for `key` planned under `current_epoch`, or nullptr.
+  /// An entry with a stale epoch is erased (counted as invalidation + miss).
+  /// A hit refreshes LRU position and bumps the entry's hit counter.
+  std::shared_ptr<const CachedPlanEntry> Find(std::string_view key,
+                                              uint64_t current_epoch);
+
+  /// Inserts or replaces the entry under entry->key, evicting the LRU tail
+  /// beyond the per-shard capacity.
+  void Put(std::shared_ptr<const CachedPlanEntry> entry);
+
+  void Clear();
+
+  size_t size() const;
+  PlanCacheStats stats() const;
+  const PlanCacheConfig& config() const { return config_; }
+
+  // Latency / upgrade telemetry, recorded by QueryEngine::Prepare.
+  void RecordHitLatency(double ms);
+  void RecordMissLatency(double ms);
+  void RecordUpgradeAttempt(bool upgraded);
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  struct Slot {
+    std::shared_ptr<const CachedPlanEntry> entry;
+    std::list<const std::string*>::iterator lru_it;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Slot, TransparentHash, std::equal_to<>>
+        map;
+    std::list<const std::string*> lru;  ///< front = most recently used
+  };
+
+  Shard& ShardFor(std::string_view key) const;
+
+  PlanCacheConfig config_;
+  size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> invalidations_{0};
+  std::atomic<int64_t> insertions_{0};
+  std::atomic<int64_t> upgrade_attempts_{0};
+  std::atomic<int64_t> upgrades_{0};
+  std::atomic<int64_t> hit_prepares_{0};
+  std::atomic<int64_t> miss_prepares_{0};
+  std::atomic<int64_t> hit_prepare_ns_{0};
+  std::atomic<int64_t> miss_prepare_ns_{0};
+};
+
+/// Overwrites, in place, the value of every parameterized literal
+/// (Expr::param_index >= 0) anywhere in `plan` — probes, filters, join
+/// conditions, keys, projections, subplans, TIS cache keys, recursively —
+/// with the value of its slot in `params`. The complement of BindTreeParams
+/// for physical plans: together they turn a cloned cache entry into the
+/// caller's statement.
+void RebindPlanParams(PlanNode* plan, const std::vector<Value>& params);
+
+}  // namespace cbqt
+
+#endif  // CBQT_CBQT_PLAN_CACHE_H_

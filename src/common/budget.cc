@@ -16,6 +16,18 @@ const char* BudgetDimensionName(BudgetDimension d) {
   return "?";
 }
 
+OptimizerBudget ScaledBudget(const OptimizerBudget& budget, double factor) {
+  OptimizerBudget out = budget;
+  if (factor < 1) return out;
+  if (out.deadline_ms > 0) out.deadline_ms *= factor;
+  if (out.max_states > 0) {
+    double scaled = static_cast<double>(out.max_states) * factor;
+    constexpr double kMax = 1e15;  // far beyond any real search space
+    out.max_states = static_cast<int64_t>(scaled < kMax ? scaled : kMax);
+  }
+  return out;
+}
+
 void BudgetTracker::MarkExhausted(BudgetDimension d) {
   uint8_t expected = static_cast<uint8_t>(BudgetDimension::kNone);
   // First tripper wins; later dimensions keep the original cause.

@@ -39,6 +39,13 @@ enum class BudgetDimension : uint8_t {
 
 const char* BudgetDimensionName(BudgetDimension d);
 
+/// `budget` with its optimization-phase ceilings (deadline, state cap)
+/// multiplied by `factor` (>= 1), saturating instead of overflowing. The
+/// executor row cap is a correctness guard, not an optimization-effort
+/// ceiling, and is left unchanged. Used by the plan cache's budget-upgrade
+/// path: a degraded plan is re-optimized under an enlarged budget.
+OptimizerBudget ScaledBudget(const OptimizerBudget& budget, double factor);
+
 /// Thread-safe cooperative enforcement of an OptimizerBudget. One tracker is
 /// created per Optimize() (or Execute()) call and threaded through the
 /// search, the state evaluator, the physical optimizer, and the executor;

@@ -14,6 +14,7 @@ ExprPtr Expr::Clone() const {
   out->column_name = column_name;
   out->corr_depth = corr_depth;
   out->literal = literal;
+  out->param_index = param_index;
   out->bop = bop;
   out->uop = uop;
   out->agg = agg;

@@ -83,6 +83,13 @@ struct Expr {
 
   // -- kLiteral --
   Value literal;
+  /// Plan-cache parameter slot (see sql/parameterize.h): >= 0 marks a
+  /// literal that stands for the i-th extracted parameter of the statement.
+  /// The literal still carries its concrete value — every consumer
+  /// (transformations, costing, execution) treats it as an ordinary
+  /// constant — but a cached plan can be re-bound to new parameter values by
+  /// rewriting all literals that share a slot. -1 = not parameterized.
+  int param_index = -1;
 
   // -- kBinary / kUnary --
   BinaryOp bop = BinaryOp::kEq;

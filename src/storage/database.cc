@@ -85,6 +85,7 @@ Status Database::Analyze() {
     }
     stats_.Put(name, std::move(ts));
   }
+  stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 

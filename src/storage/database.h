@@ -1,6 +1,8 @@
 #ifndef CBQT_STORAGE_DATABASE_H_
 #define CBQT_STORAGE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -47,6 +49,14 @@ class Database {
   Catalog& mutable_catalog() { return catalog_; }
   const StatsRegistry& stats() const { return stats_; }
 
+  /// Monotonic version of the statistics, bumped by every successful
+  /// Analyze(). Plans are cached against an epoch (cbqt/plan_cache.h) and
+  /// lazily invalidated when it moves — a stats refresh implicitly flushes
+  /// every engine plan cache over this database.
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_acquire);
+  }
+
   /// nullptr if absent.
   const Table* FindTable(const std::string& name) const;
   Table* FindMutableTable(const std::string& name);
@@ -60,6 +70,7 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::vector<std::unique_ptr<Index>>> indexes_;
   StatsRegistry stats_;
+  std::atomic<uint64_t> stats_epoch_{0};
 };
 
 }  // namespace cbqt

@@ -100,9 +100,12 @@ bool TransitivePredicates(QueryBlock* qb) {
     for (const auto& member :
          classes.Members(ColKey{col->table_alias, col->column_name})) {
       if (member == ColKey{col->table_alias, col->column_name}) continue;
-      ExprPtr candidate =
-          MakeBinary(op, MakeColumnRef(member.alias, member.column),
-                     MakeLiteral(lit->literal));
+      // Clone (rather than rebuild from the value) so a parameterized
+      // literal's slot rides along: when a cached plan is re-bound to new
+      // parameter values, the derived transitive predicate follows its
+      // source predicate's value (sql/parameterize.h).
+      ExprPtr candidate = MakeBinary(
+          op, MakeColumnRef(member.alias, member.column), lit->Clone());
       if (!ConjunctExists(*qb, *candidate)) {
         bool already_added = false;
         for (const auto& a : additions) {

@@ -45,6 +45,7 @@ Result<RunMeasurement> WorkloadRunner::Run(const std::string& sql,
   m.cbqt = std::move(result->prepared.stats);
   m.rows_processed = result->rows_processed;
   m.result_rows = result->rows.size();
+  m.from_plan_cache = result->prepared.from_plan_cache;
   return m;
 }
 
@@ -75,10 +76,17 @@ WorkloadRunReport WorkloadRunner::RunAll(
     m.rows_processed = result->rows_processed;
     m.result_rows = result->rows.size();
     m.cbqt = std::move(result->prepared.stats);
+    m.from_plan_cache = result->prepared.from_plan_cache;
     if (m.cbqt.budget_exhausted) ++report.budget_exhausted_queries;
     report.searches_degraded += m.cbqt.searches_degraded;
     report.failed_states += m.cbqt.failed_states;
     report.measurements.push_back(std::move(m));
+  }
+  if (engine.plan_cache_enabled()) {
+    PlanCacheStats pcs = engine.plan_cache_stats();
+    report.plan_cache_hits = pcs.hits;
+    report.plan_cache_misses = pcs.misses;
+    report.plan_cache_upgrades = pcs.upgrades;
   }
   return report;
 }

@@ -34,6 +34,7 @@ struct RunMeasurement {
   double est_cost = 0;
   std::string plan_shape;
   CbqtStats cbqt;
+  bool from_plan_cache = false;  ///< plan served from the engine plan cache
 };
 
 /// Monotonic wall clock in milliseconds.
@@ -57,6 +58,12 @@ struct WorkloadRunReport {
   int budget_exhausted_queries = 0;  ///< queries whose optimizer budget tripped
   int searches_degraded = 0;         ///< searches that fell back to heuristics
   int failed_states = 0;             ///< fault-isolated state evaluations
+
+  // Plan-cache telemetry (all zero when CbqtConfig::plan_cache is off; the
+  // cache lives for the duration of one RunAll's shared engine).
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t plan_cache_upgrades = 0;
 
   static constexpr int kMaxErrorMessages = 5;
 

@@ -28,6 +28,61 @@ TEST(AnnotationCache, PutFindHitMissCounters) {
   EXPECT_EQ(cache.hits(), 0);
 }
 
+TEST(AnnotationCache, LruEvictionBeyondCapacity) {
+  // One shard so LRU order is global and deterministic.
+  AnnotationCache cache(/*num_shards=*/1, /*capacity=*/2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  auto put = [&cache](const char* sig, double cost) {
+    CostAnnotation ann;
+    ann.cost = cost;
+    ann.plan = std::make_unique<PlanNode>(PlanOp::kTableScan);
+    cache.Put(sig, std::move(ann));
+  };
+  put("sig-a", 1);
+  put("sig-b", 2);
+  // Touch A: B becomes the eviction victim when C arrives.
+  ASSERT_NE(cache.Find("sig-a"), nullptr);
+  put("sig-c", 3);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Find("sig-a"), nullptr);
+  EXPECT_EQ(cache.Find("sig-b"), nullptr);
+  EXPECT_NE(cache.Find("sig-c"), nullptr);
+  // An entry handed out before eviction stays valid afterwards.
+  auto held = cache.Find("sig-c");
+  put("sig-d", 4);
+  put("sig-e", 5);
+  ASSERT_NE(held, nullptr);
+  EXPECT_DOUBLE_EQ(held->cost, 3);
+}
+
+TEST(AnnotationCache, ZeroCapacityIsUnbounded) {
+  AnnotationCache cache(/*num_shards=*/1, /*capacity=*/0);
+  for (int i = 0; i < 100; ++i) {
+    CostAnnotation ann;
+    ann.plan = std::make_unique<PlanNode>(PlanOp::kTableScan);
+    cache.Put("sig-" + std::to_string(i), std::move(ann));
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.evictions(), 0);
+}
+
+TEST(AnnotationCache, HeterogeneousStringViewLookup) {
+  AnnotationCache cache;
+  CostAnnotation ann;
+  ann.cost = 7;
+  ann.plan = std::make_unique<PlanNode>(PlanOp::kTableScan);
+  // Probe with a view into a larger buffer: no std::string is materialized
+  // on the lookup path.
+  std::string buffer = "prefix|sig-view|suffix";
+  std::string_view sig = std::string_view(buffer).substr(7, 8);
+  ASSERT_EQ(sig, "sig-view");
+  cache.Put(sig, std::move(ann));
+  auto hit = cache.Find(std::string_view(buffer).substr(7, 8));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->cost, 7);
+}
+
 class AnnotationReuseTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -1,0 +1,351 @@
+#include "cbqt/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cbqt/engine.h"
+#include "sql/parameterize.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+
+namespace cbqt {
+namespace {
+
+CbqtConfig CachedConfig(size_t capacity = 64, int num_shards = 1) {
+  CbqtConfig cfg;
+  cfg.plan_cache.capacity = capacity;
+  cfg.plan_cache.num_shards = num_shards;
+  return cfg;
+}
+
+std::vector<Row> SortedRows(QueryResult result) {
+  SortRowsCanonical(&result.rows);
+  return result.rows;
+}
+
+TEST(Parameterize, SameShapeDifferentLiteralsShareKey) {
+  auto a = ParseSql("SELECT e.salary FROM employees e WHERE e.salary > 5000");
+  auto b = ParseSql("SELECT e.salary FROM employees e WHERE e.salary > 7500");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto pa = ParameterizeQuery(a.value().get());
+  auto pb = ParameterizeQuery(b.value().get());
+  EXPECT_EQ(pa.key, pb.key);
+  ASSERT_EQ(pa.params.size(), 1u);
+  ASSERT_EQ(pb.params.size(), 1u);
+  EXPECT_EQ(pa.params[0], Value::Int(5000));
+  EXPECT_EQ(pb.params[0], Value::Int(7500));
+}
+
+TEST(Parameterize, TypeAndEqualityClassGuardTheKey) {
+  auto int_lit =
+      ParseSql("SELECT e.salary FROM employees e WHERE e.employee_name = 7");
+  auto str_lit =
+      ParseSql("SELECT e.salary FROM employees e WHERE e.employee_name = 'x'");
+  ASSERT_TRUE(int_lit.ok());
+  ASSERT_TRUE(str_lit.ok());
+  // Same shape, different literal type: must not share a plan.
+  EXPECT_NE(ParameterizeQuery(int_lit.value().get()).key,
+            ParameterizeQuery(str_lit.value().get()).key);
+
+  // Equality classes of the literal values are part of the key: transforms
+  // that compare literal values positionally must see the same classes.
+  auto eq = ParseSql(
+      "SELECT e.salary FROM employees e WHERE e.salary > 1 AND e.dept_id > 1");
+  auto eq2 = ParseSql(
+      "SELECT e.salary FROM employees e WHERE e.salary > 3 AND e.dept_id > 3");
+  auto ne = ParseSql(
+      "SELECT e.salary FROM employees e WHERE e.salary > 1 AND e.dept_id > 2");
+  ASSERT_TRUE(eq.ok());
+  ASSERT_TRUE(eq2.ok());
+  ASSERT_TRUE(ne.ok());
+  std::string k_eq = ParameterizeQuery(eq.value().get()).key;
+  std::string k_eq2 = ParameterizeQuery(eq2.value().get()).key;
+  std::string k_ne = ParameterizeQuery(ne.value().get()).key;
+  EXPECT_EQ(k_eq, k_eq2);
+  EXPECT_NE(k_eq, k_ne);
+}
+
+TEST(Parameterize, BindTreeParamsRewritesAnnotatedLiterals) {
+  auto q = ParseSql("SELECT e.salary FROM employees e WHERE e.salary > 5000");
+  ASSERT_TRUE(q.ok());
+  auto ps = ParameterizeQuery(q.value().get());
+  ASSERT_EQ(ps.params.size(), 1u);
+  BindTreeParams(q.value().get(), {Value::Int(123)});
+  std::string sql = BlockToSql(*q.value());
+  EXPECT_NE(sql.find("123"), std::string::npos) << sql;
+  EXPECT_EQ(sql.find("5000"), std::string::npos) << sql;
+}
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeSmallHrDb();
+    ASSERT_NE(db_, nullptr);
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(PlanCacheTest, ParameterizedStatementsShareOneEntry) {
+  QueryEngine engine(*db_, CachedConfig());
+  auto first = engine.Prepare(
+      "SELECT e.employee_name FROM employees e WHERE e.salary > 5000");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->from_plan_cache);
+
+  auto second = engine.Prepare(
+      "SELECT e.employee_name FROM employees e WHERE e.salary > 9000");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_plan_cache);
+  // Same entry, re-bound literal: the cost is the entry's, and the served
+  // plan carries the *new* literal.
+  EXPECT_DOUBLE_EQ(second->cost, first->cost);
+  EXPECT_NE(PlanShape(*second->plan).find("9000"), std::string::npos);
+
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hit_prepares, 1);
+  EXPECT_EQ(stats.miss_prepares, 1);
+}
+
+TEST_F(PlanCacheTest, CachedResultsMatchUncachedAcrossLiterals) {
+  QueryEngine cached(*db_, CachedConfig());
+  QueryEngine uncached(*db_, CbqtConfig{});
+  ASSERT_FALSE(uncached.plan_cache_enabled());
+  const std::vector<std::string> sqls = {
+      // Same shape, varied literals: every run after the first is a hit whose
+      // plan literals were re-bound.
+      "SELECT e.employee_name, e.salary FROM employees e, departments d "
+      "WHERE e.dept_id = d.dept_id AND e.salary > 5000",
+      "SELECT e.employee_name, e.salary FROM employees e, departments d "
+      "WHERE e.dept_id = d.dept_id AND e.salary > 8000",
+      "SELECT e.employee_name, e.salary FROM employees e, departments d "
+      "WHERE e.dept_id = d.dept_id AND e.salary > 100",
+      // Subquery shape with two parameterized literals.
+      "SELECT e.employee_name FROM employees e WHERE e.salary > 7000 AND "
+      "e.dept_id IN (SELECT d.dept_id FROM departments d WHERE d.loc_id < 5)",
+      "SELECT e.employee_name FROM employees e WHERE e.salary > 2000 AND "
+      "e.dept_id IN (SELECT d.dept_id FROM departments d WHERE d.loc_id < 9)",
+  };
+  for (const auto& sql : sqls) {
+    auto hit = cached.Run(sql);
+    auto ref = uncached.Run(sql);
+    ASSERT_TRUE(hit.ok()) << sql << "\n" << hit.status().ToString();
+    ASSERT_TRUE(ref.ok()) << sql;
+    EXPECT_EQ(SortedRows(std::move(hit.value())),
+              SortedRows(std::move(ref.value())))
+        << sql;
+  }
+  EXPECT_GE(cached.plan_cache_stats().hits, 3);
+}
+
+TEST_F(PlanCacheTest, RownumLimitsAreNeverParameterized) {
+  // ROWNUM cutoffs are baked into the plan as a scalar; two statements
+  // differing in the cutoff must therefore use distinct entries.
+  QueryEngine engine(*db_, CachedConfig());
+  auto two = engine.Run(
+      "SELECT e.employee_name FROM employees e WHERE rownum <= 2");
+  auto three = engine.Run(
+      "SELECT e.employee_name FROM employees e WHERE rownum <= 3");
+  ASSERT_TRUE(two.ok());
+  ASSERT_TRUE(three.ok());
+  EXPECT_EQ(two->rows.size(), 2u);
+  EXPECT_EQ(three->rows.size(), 3u);
+  EXPECT_EQ(engine.plan_cache_stats().hits, 0);
+  EXPECT_EQ(engine.plan_cache_stats().entries, 2u);
+}
+
+TEST_F(PlanCacheTest, StatsEpochBumpInvalidatesEntries) {
+  QueryEngine engine(*db_, CachedConfig());
+  const std::string sql =
+      "SELECT e.employee_name FROM employees e WHERE e.salary > 5000";
+  ASSERT_TRUE(engine.Prepare(sql).ok());
+  uint64_t epoch_before = db_->stats_epoch();
+  ASSERT_TRUE(db_->Analyze().ok());
+  EXPECT_EQ(db_->stats_epoch(), epoch_before + 1);
+
+  auto after = engine.Prepare(sql);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->from_plan_cache);  // stale entry dropped, re-planned
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.invalidations, 1);
+  EXPECT_EQ(stats.hits, 0);
+
+  // The re-planned entry is cached under the new epoch and serves hits.
+  auto again = engine.Prepare(sql);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->from_plan_cache);
+}
+
+TEST_F(PlanCacheTest, LruEvictsLeastRecentlyTouchedEntry) {
+  QueryEngine engine(*db_, CachedConfig(/*capacity=*/2, /*num_shards=*/1));
+  const std::string a = "SELECT e.salary FROM employees e WHERE e.salary > 1";
+  const std::string b = "SELECT d.dept_name FROM departments d WHERE d.loc_id > 1";
+  const std::string c = "SELECT l.city FROM locations l WHERE l.loc_id > 1";
+  ASSERT_TRUE(engine.Prepare(a).ok());
+  ASSERT_TRUE(engine.Prepare(b).ok());
+  // Touch A so B becomes the LRU victim when C arrives.
+  auto a_hit = engine.Prepare(a);
+  ASSERT_TRUE(a_hit.ok());
+  EXPECT_TRUE(a_hit->from_plan_cache);
+  ASSERT_TRUE(engine.Prepare(c).ok());
+
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2u);
+  auto a_again = engine.Prepare(a);
+  auto b_again = engine.Prepare(b);
+  ASSERT_TRUE(a_again.ok());
+  ASSERT_TRUE(b_again.ok());
+  EXPECT_TRUE(a_again->from_plan_cache);    // survived
+  EXPECT_FALSE(b_again->from_plan_cache);   // was evicted
+}
+
+// A query with a cost-based unnesting search (correlated scalar subquery +
+// IN subquery over a join) that a low state cap cannot cover — the same
+// shape the governor tests use to trip the budget.
+const char* kDegradableSql =
+    "SELECT e1.employee_name, j.job_title FROM employees e1, job_history "
+    "j WHERE e1.emp_id = j.emp_id AND j.start_date > '19980101' AND "
+    "e1.salary > (SELECT AVG(e2.salary) FROM employees e2 WHERE "
+    "e2.dept_id = e1.dept_id) AND e1.dept_id IN (SELECT d.dept_id FROM "
+    "departments d, locations l WHERE d.loc_id = l.loc_id AND "
+    "l.country_id = 'US')";
+
+TEST_F(PlanCacheTest, DegradedEntryUpgradesToFullBudgetPlan) {
+  const std::string sql = kDegradableSql;
+
+  QueryEngine reference(*db_, CbqtConfig{});
+  auto full = reference.Prepare(sql);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_FALSE(full->degraded);
+
+  CbqtConfig cfg = CachedConfig();
+  cfg.budget.max_states = 2;  // zero state + one more, then stop
+  cfg.plan_cache.upgrade_after_hits = 2;
+  cfg.plan_cache.max_upgrade_attempts = 3;
+  cfg.plan_cache.upgrade_budget_multiplier = 1e6;
+  QueryEngine engine(*db_, cfg);
+
+  auto degraded = engine.Prepare(sql);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_TRUE(degraded->stats.budget_exhausted);
+
+  // Hits below the threshold keep serving the degraded plan.
+  auto warm = engine.Prepare(sql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->from_plan_cache);
+
+  // The threshold hit triggers the in-line upgrade: re-optimized under the
+  // budget scaled by 1e6, i.e. effectively unbudgeted.
+  auto upgraded = engine.Prepare(sql);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_TRUE(upgraded->from_plan_cache);
+  EXPECT_FALSE(upgraded->degraded);
+  EXPECT_EQ(PlanShape(*upgraded->plan), PlanShape(*full->plan));
+  EXPECT_DOUBLE_EQ(upgraded->cost, full->cost);
+
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.upgrade_attempts, 1);
+  EXPECT_EQ(stats.upgrades, 1);
+
+  // The upgraded entry is sticky: further hits stay non-degraded with no
+  // additional attempts.
+  auto settled = engine.Prepare(sql);
+  ASSERT_TRUE(settled.ok());
+  EXPECT_FALSE(settled->degraded);
+  EXPECT_EQ(engine.plan_cache_stats().upgrade_attempts, 1);
+
+  // And executes correctly with fresh literals re-bound into the upgraded
+  // plan.
+  QueryEngine uncached(*db_, CbqtConfig{});
+  std::string variant = sql;
+  variant.replace(variant.find("19980101"), 8, "19930101");
+  auto hit = engine.Run(variant);
+  auto ref = uncached.Run(variant);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(hit->prepared.from_plan_cache);
+  EXPECT_EQ(SortedRows(std::move(hit.value())),
+            SortedRows(std::move(ref.value())));
+}
+
+TEST_F(PlanCacheTest, UpgradeAttemptsAreBounded) {
+  const std::string sql = kDegradableSql;
+  CbqtConfig cfg = CachedConfig();
+  cfg.budget.max_states = 2;
+  cfg.plan_cache.upgrade_after_hits = 1;
+  cfg.plan_cache.max_upgrade_attempts = 2;
+  // A multiplier of 1 never enlarges the budget, so every attempt stays
+  // degraded — the ladder must still stop at max_upgrade_attempts.
+  cfg.plan_cache.upgrade_budget_multiplier = 1.0;
+  QueryEngine engine(*db_, cfg);
+  ASSERT_TRUE(engine.Prepare(sql).ok());
+  for (int i = 0; i < 6; ++i) {
+    auto p = engine.Prepare(sql);
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(p->degraded);
+  }
+  EXPECT_EQ(engine.plan_cache_stats().upgrade_attempts, 2);
+  EXPECT_EQ(engine.plan_cache_stats().upgrades, 0);
+}
+
+TEST_F(PlanCacheTest, ConcurrentSharedEngineRunsAreSafe) {
+  // One shared engine + plan cache hammered from many threads mixing the
+  // same statement shape (hits, re-binds, upgrades) and distinct shapes
+  // (misses, evictions). Run under TSan in CI.
+  CbqtConfig cfg = CachedConfig(/*capacity=*/8, /*num_shards=*/4);
+  cfg.budget.max_states = 3;  // some entries degrade → upgrade races too
+  cfg.plan_cache.upgrade_after_hits = 1;
+  QueryEngine engine(*db_, cfg);
+  QueryEngine uncached(*db_, CbqtConfig{});
+
+  const std::vector<std::string> shapes = {
+      "SELECT e.employee_name FROM employees e WHERE e.salary > ",
+      "SELECT e.employee_name FROM employees e, departments d "
+      "WHERE e.dept_id = d.dept_id AND e.salary > ",
+      "SELECT d.dept_name FROM departments d WHERE d.loc_id > ",
+      // Degrades under the tight budget: threads race on the upgrade path.
+      std::string(kDegradableSql) + " AND e1.salary > ",
+  };
+  std::vector<std::vector<Row>> expected;
+  for (const auto& shape : shapes) {
+    auto ref = uncached.Run(shape + "5000");
+    ASSERT_TRUE(ref.ok());
+    expected.push_back(SortedRows(std::move(ref.value())));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kIters; ++i) {
+        size_t shape = static_cast<size_t>((t + i) % shapes.size());
+        auto result = engine.Run(shapes[shape] + "5000");
+        if (!result.ok() ||
+            SortedRows(std::move(result.value())) != expected[shape]) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<int64_t>(kThreads) * kIters);
+  EXPECT_GE(stats.hits, 1);
+}
+
+}  // namespace
+}  // namespace cbqt
