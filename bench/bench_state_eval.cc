@@ -1,0 +1,200 @@
+// Per-state CBQT evaluation cost: copy-on-write query trees + cross-state
+// join-order memoization vs forced full deep clones.
+//
+// The workload is a Table-2-style query scaled up (six outer tables, four
+// three-table subqueries, all unnestable) searched exhaustively: 16 states,
+// each re-planning a root block of up to ten relations. Every outer table
+// is referenced in the SELECT list so join elimination cannot shrink the
+// root block behind the search's back. The fast path
+// hands every state a structurally shared CloneCow copy (only rewritten
+// blocks are thawed) and shares finished join-order DP subproblems between
+// states through canonical subset fingerprints; the slow path forces a full
+// Clone() per state and re-runs every DP from scratch. Both produce
+// bit-identical plans — this bench measures only the states/sec gap and
+// fails if it drops below 2x.
+//
+//   $ ./build/bench/bench_state_eval [--reps 5]
+//
+// Results go to BENCH_state_eval.json.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cbqt/engine.h"
+#include "workload/runner.h"
+#include "workload/schema_gen.h"
+
+using namespace cbqt;
+
+namespace {
+
+// Six outer tables (employees–departments–locations–job_history–jobs
+// chain plus orders) and the four Table-2 subqueries (NOT IN / EXISTS /
+// NOT EXISTS / IN, three tables each). Exhaustive unnesting search = 2^4
+// states; a fully unnested state joins ten relations in the root block.
+// Each subquery anchors to a different outer table (o, jh, d, l): a state
+// that keeps subquery i nested carries its residual predicate only on that
+// one table, so join-order subproblems avoiding the table stay
+// byte-identical — and memoizable — across states.
+const char* kQuery =
+    "SELECT e.employee_name, d.dept_name, l.city, jh.job_title, j.job_title, "
+    "o.total "
+    "FROM employees e, departments d, locations l, job_history jh, jobs j, "
+    "orders o "
+    "WHERE e.dept_id = d.dept_id AND d.loc_id = l.loc_id "
+    "AND jh.emp_id = e.emp_id AND jh.job_id = j.job_id "
+    "AND o.emp_id = e.emp_id "
+    "AND o.order_id NOT IN (SELECT oi.order_id FROM order_items oi, "
+    "products p, customers c WHERE oi.product_id = p.product_id AND "
+    "c.cust_id = oi.order_id AND oi.quantity > 4) "
+    "AND EXISTS (SELECT 1 FROM job_history j2, jobs jb, employees e2 WHERE "
+    "j2.job_id = jb.job_id AND e2.emp_id = j2.emp_id AND j2.emp_id = jh.emp_id) "
+    "AND NOT EXISTS (SELECT 1 FROM orders o2, customers c2, locations l2 "
+    "WHERE o2.cust_id = c2.cust_id AND c2.country_id = l2.country_id AND "
+    "l2.loc_id = d.loc_id AND o2.status = 'CANCELLED') "
+    "AND l.country_id IN (SELECT c3.country_id FROM customers c3, orders o3, "
+    "products p3 WHERE o3.cust_id = c3.cust_id AND p3.product_id = o3.order_id "
+    "AND c3.segment = 'GOLD')";
+
+struct Measurement {
+  double best_ms = 1e18;
+  int states = 0;
+  double cost = 0;
+  std::string applied;
+  int64_t blocks_cloned = 0;
+  int64_t blocks_shared = 0;
+  int64_t join_memo_hits = 0;
+  int64_t join_memo_misses = 0;
+  double states_per_sec = 0;
+  bool ok = false;
+};
+
+Measurement Measure(const Database& db, bool fast, int reps) {
+  CbqtConfig cfg;
+  cfg.strategy_override = SearchStrategy::kExhaustive;
+  // The §3.4.1 cost cut-off prunes a state's DP as soon as it exceeds the
+  // best committed cost, which hides exactly the work this bench measures.
+  // It only helps when states arrive in a lucky order, though: an improving
+  // sequence of states runs every DP to completion. Disabling it here makes
+  // each state pay its full evaluation cost in both modes, so the gap
+  // isolates what COW trees and the join-order memo save per state.
+  cfg.cost_cutoff = false;
+  cfg.cow_clone = fast;
+  cfg.reuse_join_orders = fast;
+  QueryEngine engine(db, cfg);
+  Measurement m;
+  for (int rep = 0; rep < reps + 1; ++rep) {  // rep 0 warms, then best-of
+    double t0 = NowMs();
+    auto r = engine.Prepare(kQuery);
+    double t1 = NowMs();
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return m;
+    }
+    if (rep == 0) continue;
+    m.best_ms = std::min(m.best_ms, t1 - t0);
+    m.states = r->stats.states_evaluated;
+    m.cost = r->cost;
+    m.blocks_cloned = r->stats.blocks_cloned;
+    m.blocks_shared = r->stats.blocks_shared;
+    m.join_memo_hits = r->stats.join_memo_hits;
+    m.join_memo_misses = r->stats.join_memo_misses;
+    m.applied.clear();
+    for (const auto& a : r->stats.applied) {
+      if (!m.applied.empty()) m.applied += " ";
+      m.applied += a;
+    }
+  }
+  m.states_per_sec = m.states / (m.best_ms / 1000.0);
+  m.ok = true;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 5;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
+  }
+  if (reps < 1) reps = 1;
+
+  std::printf(
+      "=== Per-state evaluation cost: COW + join-order memo vs full clones "
+      "===\n");
+  SchemaConfig schema;
+  Database db;
+  Status st = BuildHrDatabase(schema, &db);
+  if (!st.ok()) {
+    std::fprintf(stderr, "schema build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  Measurement fast = Measure(db, /*fast=*/true, reps);
+  Measurement slow = Measure(db, /*fast=*/false, reps);
+  if (!fast.ok || !slow.ok) return 1;
+
+  std::printf("\n  %-12s %12s %9s %13s %14s %11s %10s %10s\n", "mode",
+              "optim(ms)", "#states", "states/sec", "blocks-cloned",
+              "blk-shared", "memo-hits", "memo-miss");
+  std::printf("  %-12s %12.2f %9d %13.0f %14lld %11lld %10lld %10lld\n",
+              "cow+memo", fast.best_ms, fast.states, fast.states_per_sec,
+              static_cast<long long>(fast.blocks_cloned),
+              static_cast<long long>(fast.blocks_shared),
+              static_cast<long long>(fast.join_memo_hits),
+              static_cast<long long>(fast.join_memo_misses));
+  std::printf("  %-12s %12.2f %9d %13.0f %14lld %11lld %10lld %10lld\n",
+              "full-clone", slow.best_ms, slow.states, slow.states_per_sec,
+              static_cast<long long>(slow.blocks_cloned),
+              static_cast<long long>(slow.blocks_shared),
+              static_cast<long long>(slow.join_memo_hits),
+              static_cast<long long>(slow.join_memo_misses));
+
+  double speedup = fast.states_per_sec / slow.states_per_sec;
+  bool identical = fast.cost == slow.cost && fast.applied == slow.applied &&
+                   fast.states == slow.states;
+  std::printf("\n  states/sec speedup: %.2fx (target >= 2x)  identical: %s\n",
+              speedup, identical ? "yes" : "NO");
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"query_states\": %d,\n"
+      "  \"fast\": {\"optim_ms\": %.3f, \"states_per_sec\": %.1f, "
+      "\"blocks_cloned\": %lld, \"blocks_shared\": %lld, "
+      "\"join_memo_hits\": %lld},\n"
+      "  \"slow\": {\"optim_ms\": %.3f, \"states_per_sec\": %.1f, "
+      "\"blocks_cloned\": %lld, \"blocks_shared\": %lld, "
+      "\"join_memo_hits\": %lld},\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"identical\": %s\n"
+      "}\n",
+      fast.states, fast.best_ms, fast.states_per_sec,
+      static_cast<long long>(fast.blocks_cloned),
+      static_cast<long long>(fast.blocks_shared),
+      static_cast<long long>(fast.join_memo_hits), slow.best_ms,
+      slow.states_per_sec, static_cast<long long>(slow.blocks_cloned),
+      static_cast<long long>(slow.blocks_shared),
+      static_cast<long long>(slow.join_memo_hits), speedup,
+      identical ? "true" : "false");
+  if (FILE* f = std::fopen("BENCH_state_eval.json", "w")) {
+    std::fputs(json, f);
+    std::fclose(f);
+    std::printf("  wrote BENCH_state_eval.json\n");
+  }
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: COW+memo changed the chosen state/cost vs full "
+                 "clones\n");
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: states/sec speedup %.2fx below the 2x target\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

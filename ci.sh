@@ -2,10 +2,12 @@
 # CI entry point: builds the Release, ThreadSanitizer, and Address/UB
 # sanitizer configurations and runs the test suite on each. TSan must
 # report zero races — the parallel CBQT search (ThreadPool + sharded
-# AnnotationCache) and the fault-injection tests (test_fault_injection,
-# injected faults + budget under num_threads >= 4) are exercised in every
-# config. ASan/UBSan additionally covers the robustness corpus
-# (test_parser_robustness, test_governor).
+# AnnotationCache), the fault-injection tests (test_fault_injection,
+# injected faults + budget under num_threads >= 4), and the COW + join-order
+# memo equivalence sweeps (CowMemoMatchesFullClones in test_equivalence and
+# CowMemoEscapeHatchBitIdentical in test_paper_queries, both at
+# num_threads = 4) are exercised in every config. ASan/UBSan additionally
+# covers the robustness corpus (test_parser_robustness, test_governor).
 #
 #   $ ./ci.sh              # release + tsan + asan + bench-smoke
 #   $ ./ci.sh release      # just the release config
@@ -48,11 +50,16 @@ if [[ "${want}" == "all" || "${want}" == "bench-smoke" ]]; then
   dir="build-ci-release"
   echo "=== [bench-smoke] configure + build ==="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build "${dir}" -j "${jobs}" --target bench_table1_reuse bench_plan_cache
+  cmake --build "${dir}" -j "${jobs}" \
+    --target bench_table1_reuse bench_plan_cache bench_state_eval
   echo "=== [bench-smoke] bench_table1_reuse ==="
   (cd "${dir}" && ./bench/bench_table1_reuse)
   echo "=== [bench-smoke] bench_plan_cache ==="
   (cd "${dir}" && ./bench/bench_plan_cache --reps 3)
+  # bench_state_eval asserts its own gates: bit-identical plans between
+  # COW+memo and forced full clones, and >= 2x states/sec.
+  echo "=== [bench-smoke] bench_state_eval ==="
+  (cd "${dir}" && ./bench/bench_state_eval --reps 3)
 fi
 
 if [[ "${want}" == "all" || "${want}" == "asan" ]]; then

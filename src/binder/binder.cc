@@ -41,7 +41,7 @@ void RenameRefsScopedExpr(Expr* e, const std::string& old_a,
   for (auto& c : e->children) RenameRefsScopedExpr(c.get(), old_a, new_a);
   for (auto& c : e->partition_by) RenameRefsScopedExpr(c.get(), old_a, new_a);
   for (auto& c : e->win_order_by) RenameRefsScopedExpr(c.get(), old_a, new_a);
-  if (e->subquery != nullptr && !BlockDeclaresAlias(*e->subquery, old_a)) {
+  if (e->subquery != nullptr && !BlockDeclaresAlias(*e->subquery.peek(), old_a)) {
     RenameRefsScoped(e->subquery.get(), old_a, new_a);
   }
 }
@@ -51,7 +51,7 @@ void RenameRefsScoped(QueryBlock* b, const std::string& old_a,
   for (auto& item : b->select) RenameRefsScopedExpr(item.expr.get(), old_a, new_a);
   for (auto& tr : b->from) {
     for (auto& c : tr.join_conds) RenameRefsScopedExpr(c.get(), old_a, new_a);
-    if (tr.derived != nullptr && !BlockDeclaresAlias(*tr.derived, old_a)) {
+    if (tr.derived != nullptr && !BlockDeclaresAlias(*tr.derived.peek(), old_a)) {
       RenameRefsScoped(tr.derived.get(), old_a, new_a);
     }
   }
@@ -60,7 +60,9 @@ void RenameRefsScoped(QueryBlock* b, const std::string& old_a,
   for (auto& h : b->having) RenameRefsScopedExpr(h.get(), old_a, new_a);
   for (auto& o : b->order_by) RenameRefsScopedExpr(o.expr.get(), old_a, new_a);
   for (auto& br : b->branches) {
-    if (!BlockDeclaresAlias(*br, old_a)) RenameRefsScoped(br.get(), old_a, new_a);
+    if (!BlockDeclaresAlias(*br.peek(), old_a)) {
+      RenameRefsScoped(br.get(), old_a, new_a);
+    }
   }
 }
 
@@ -77,6 +79,17 @@ Status Binder::Bind(QueryBlock* root) {
   return BindBlock(root);
 }
 
+bool Binder::TrySkipSharedSubtree(CowPtr<QueryBlock>& edge) {
+  if (!edge.shared()) return false;
+  std::set<std::string> defined;
+  CollectDefinedAliases(*edge.peek(), &defined);
+  for (const auto& a : defined) {
+    if (used_aliases_.count(a) > 0) return false;
+  }
+  used_aliases_.insert(defined.begin(), defined.end());
+  return true;
+}
+
 Status Binder::BindBlock(QueryBlock* qb) {
   if (qb->IsSetOp()) {
     if (qb->branches.size() < 2) {
@@ -84,8 +97,10 @@ Status Binder::BindBlock(QueryBlock* qb) {
     }
     size_t arity = 0;
     for (size_t i = 0; i < qb->branches.size(); ++i) {
-      CBQT_RETURN_IF_ERROR(BindBlock(qb->branches[i].get()));
-      size_t n = BlockOutputColumns(*qb->branches[i]).size();
+      if (!TrySkipSharedSubtree(qb->branches[i])) {
+        CBQT_RETURN_IF_ERROR(BindBlock(qb->branches[i].get()));
+      }
+      size_t n = BlockOutputColumns(*qb->branches[i].peek()).size();
       if (i == 0) {
         arity = n;
       } else if (n != arity) {
@@ -171,7 +186,7 @@ Status Binder::BindRegularBlock(QueryBlock* qb) {
         st = Status::BindError("no such table: " + tr.table_name);
         break;
       }
-    } else {
+    } else if (!TrySkipSharedSubtree(tr.derived)) {
       st = BindBlock(tr.derived.get());
       if (!st.ok()) break;
     }
@@ -272,8 +287,10 @@ Status Binder::BindExpr(Expr* e, QueryBlock* qb, bool allow_order_alias) {
     CBQT_RETURN_IF_ERROR(BindExpr(c.get(), qb, false));
   }
   if (e->kind == ExprKind::kSubquery) {
-    CBQT_RETURN_IF_ERROR(BindBlock(e->subquery.get()));
-    size_t out_cols = BlockOutputColumns(*e->subquery).size();
+    if (!TrySkipSharedSubtree(e->subquery)) {
+      CBQT_RETURN_IF_ERROR(BindBlock(e->subquery.get()));
+    }
+    size_t out_cols = BlockOutputColumns(*e->subquery.peek()).size();
     if ((e->subkind == SubqueryKind::kIn ||
          e->subkind == SubqueryKind::kNotIn) &&
         e->children.size() != out_cols) {
@@ -443,7 +460,7 @@ Status Binder::DeriveType(Expr* e) {
       break;
     case ExprKind::kSubquery:
       if (e->subkind == SubqueryKind::kScalar) {
-        auto cols = BlockOutputColumns(*e->subquery);
+        auto cols = BlockOutputColumns(*e->subquery.peek());
         e->type = cols.empty() ? DataType::kUnknown : cols[0].type;
       } else {
         e->type = DataType::kBool;

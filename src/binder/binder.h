@@ -52,6 +52,12 @@ class Binder {
 
   Status BindBlock(QueryBlock* qb);
   Status BindRegularBlock(QueryBlock* qb);
+  // COW fast path: a structurally shared nested block is an unmodified —
+  // and therefore already bound — subtree of the base tree. Records its
+  // defined aliases in used_aliases_ and skips the descent (returning true)
+  // unless one of them collides with an alias already seen, in which case
+  // the subtree must be re-bound (and thawed) the ordinary way.
+  bool TrySkipSharedSubtree(CowPtr<QueryBlock>& edge);
   Status EnsureUniqueAliases(QueryBlock* qb);
   Status ExpandStars(QueryBlock* qb);
   Status BindExpr(Expr* e, QueryBlock* qb, bool allow_order_alias);

@@ -27,11 +27,18 @@ QueryEngine::QueryEngine(const Database& db, CbqtConfig config,
     : db_(db), optimizer_(db, config, params), config_(config) {
   if (config_.plan_cache.enabled()) {
     plan_cache_ = std::make_unique<PlanCache>(config_.plan_cache);
+    // One worker is plenty: upgrades are rare (bounded per statement) and
+    // coarse (a whole re-optimization each).
+    upgrade_pool_ = std::make_unique<ThreadPool>(1);
   }
 }
 
 PlanCacheStats QueryEngine::plan_cache_stats() const {
   return plan_cache_ != nullptr ? plan_cache_->stats() : PlanCacheStats{};
+}
+
+void QueryEngine::WaitForUpgrades() const {
+  if (upgrade_pool_ != nullptr) upgrade_pool_->Wait();
 }
 
 Result<PreparedQuery> QueryEngine::PrepareUncached(
@@ -51,18 +58,28 @@ Result<PreparedQuery> QueryEngine::PrepareUncached(
   return out;
 }
 
-std::shared_ptr<const CachedPlanEntry> QueryEngine::MaybeUpgrade(
-    std::shared_ptr<const CachedPlanEntry> entry, uint64_t epoch) const {
+void QueryEngine::MaybeUpgrade(
+    const std::shared_ptr<const CachedPlanEntry>& entry, uint64_t epoch) const {
   int64_t hit_count = entry->hits.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (!entry->degraded) return entry;
+  if (!entry->degraded) return;
   const PlanCacheConfig& pc = config_.plan_cache;
-  if (hit_count < pc.upgrade_after_hits) return entry;
-  if (entry->upgrade_attempts >= pc.max_upgrade_attempts) return entry;
+  if (hit_count < pc.upgrade_after_hits) return;
+  if (entry->upgrade_attempts >= pc.max_upgrade_attempts) return;
   bool expected = false;
   if (!entry->upgrade_in_flight.compare_exchange_strong(
           expected, true, std::memory_order_acq_rel)) {
-    return entry;  // another thread is already re-optimizing this statement
+    return;  // an upgrade of this statement is already in flight
   }
+  // CAS won: hand the re-optimization to the background pool and keep
+  // serving the degraded plan. The pool outlives every captured reference
+  // (it is the first engine member destroyed, and its destructor drains).
+  upgrade_pool_->Submit(
+      [this, entry, epoch]() { RunUpgrade(entry, epoch); });
+}
+
+void QueryEngine::RunUpgrade(std::shared_ptr<const CachedPlanEntry> entry,
+                             uint64_t epoch) const {
+  const PlanCacheConfig& pc = config_.plan_cache;
   // Re-optimize the original parameterized statement under an enlarged
   // budget: the original budget scaled by multiplier^attempt, so persistent
   // exhaustion climbs the ladder instead of retrying the same ceiling.
@@ -96,7 +113,6 @@ std::shared_ptr<const CachedPlanEntry> QueryEngine::MaybeUpgrade(
   plan_cache_->RecordUpgradeAttempt(!fresh->degraded);
   plan_cache_->Put(fresh);
   entry->upgrade_in_flight.store(false, std::memory_order_release);
-  return fresh;
 }
 
 Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) const {
@@ -112,7 +128,7 @@ Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) const {
 
   auto entry = plan_cache_->Find(ps.key, epoch);
   if (entry != nullptr) {
-    entry = MaybeUpgrade(std::move(entry), epoch);
+    MaybeUpgrade(entry, epoch);
     PreparedQuery out;
     out.tree = entry->tree->Clone();
     BindTreeParams(out.tree.get(), ps.params);

@@ -9,6 +9,7 @@
 #include "cbqt/framework.h"
 #include "cbqt/plan_cache.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/value.h"
 #include "exec/executor.h"
 #include "optimizer/cost_model.h"
@@ -79,16 +80,31 @@ class QueryEngine {
   /// Telemetry of the plan cache; all-zero when the cache is disabled.
   PlanCacheStats plan_cache_stats() const;
 
+  /// Blocks until every background budget-upgrade scheduled so far has
+  /// finished (re-optimized and republished, or burned its attempt). Used by
+  /// tests and benches for deterministic observation; production callers
+  /// never need it — hits keep serving the degraded plan until the upgraded
+  /// entry lands.
+  void WaitForUpgrades() const;
+
  private:
   /// The historical Prepare path: parse + optimize, no cache involvement.
   Result<PreparedQuery> PrepareUncached(const std::string& sql) const;
 
   /// Budget-upgrade ladder: called on every cache hit. For a degraded entry
-  /// that has accumulated enough hits (and attempts remain), re-optimizes
-  /// under an enlarged budget and atomically replaces the entry; returns the
-  /// entry to serve (the fresh one if an upgrade happened on this call).
-  std::shared_ptr<const CachedPlanEntry> MaybeUpgrade(
-      std::shared_ptr<const CachedPlanEntry> entry, uint64_t epoch) const;
+  /// that has accumulated enough hits (and attempts remain), wins the
+  /// per-entry CAS gate and schedules RunUpgrade on the engine's background
+  /// pool — the serving thread returns the degraded entry immediately
+  /// instead of paying for the re-optimization inline.
+  void MaybeUpgrade(const std::shared_ptr<const CachedPlanEntry>& entry,
+                    uint64_t epoch) const;
+
+  /// The actual upgrade (runs on upgrade_pool_): re-optimizes the entry's
+  /// parameterized statement under the enlarged budget and atomically
+  /// replaces the cache entry; on failure keeps the degraded plan but burns
+  /// the attempt.
+  void RunUpgrade(std::shared_ptr<const CachedPlanEntry> entry,
+                  uint64_t epoch) const;
 
   const Database& db_;
   CbqtOptimizer optimizer_;
@@ -97,6 +113,10 @@ class QueryEngine {
   /// the cache itself (sharded mutexes + atomics), so const Prepare stays
   /// thread-safe.
   std::unique_ptr<PlanCache> plan_cache_;
+  /// Background worker for budget upgrades; null when the plan cache is
+  /// disabled. Declared last so it is destroyed first: the destructor drains
+  /// in-flight upgrades while plan_cache_ and optimizer_ are still alive.
+  std::unique_ptr<ThreadPool> upgrade_pool_;
 };
 
 }  // namespace cbqt

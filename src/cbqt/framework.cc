@@ -66,6 +66,17 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
   AnnotationCache cache(AnnotationCache::kDefaultShards,
                         config_.annotation_cache_capacity);
   AnnotationCache* cache_ptr = config_.reuse_annotations ? &cache : nullptr;
+  // Cross-state join-order memo (subset-granularity DP reuse); same sharded
+  // store as the block annotations, different key space ("jo:" prefixed).
+  AnnotationCache join_memo(AnnotationCache::kDefaultShards,
+                            config_.join_memo_capacity);
+  AnnotationCache* join_memo_ptr =
+      config_.reuse_join_orders ? &join_memo : nullptr;
+  // Clone telemetry: process-wide counters, reported as this optimization's
+  // deltas (concurrent Optimize() calls may inflate each other's numbers;
+  // the counters are diagnostics, not decisions).
+  const int64_t cloned_before = CowBlocksClonedCount();
+  const int64_t shared_before = CowSharesCount();
   Rng rng(config_.seed);
 
   // Resource governor for this optimization; null when unbudgeted so the
@@ -191,7 +202,13 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
         CBQT_RETURN_IF_ERROR(injector->MaybeFail(FaultSite::kStateEval));
         injector->MaybeDelay(FaultSite::kSlowState);
       }
-      auto copy = tree->Clone();
+      // COW-safe transformations get a structurally shared copy: only the
+      // blocks this state actually rewrites (via Apply, the binder, or the
+      // follow-up heuristics) are thawed into private copies; the rest stays
+      // shared with the base tree, whose references keep shared nodes at
+      // use_count >= 2 for the whole search.
+      auto copy = (config_.cow_clone && step.t->CowSafe()) ? tree->CloneCow()
+                                                           : tree->Clone();
       TransformContext cctx{copy.get(), &db_};
       CBQT_RETURN_IF_ERROR(step.t->Apply(cctx, state));
       CBQT_RETURN_IF_ERROR(BindQuery(db_, copy.get()));
@@ -199,6 +216,7 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
       CBQT_RETURN_IF_ERROR(BindQuery(db_, copy.get()));
       PhysicalOptimizeOptions popts;
       popts.cache = cache_ptr;
+      popts.join_memo = join_memo_ptr;
       popts.cost_cutoff = config_.cost_cutoff
                               ? search_cutoff
                               : std::numeric_limits<double>::infinity();
@@ -293,6 +311,7 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
   // here is the zero-state-equivalent and legitimately fatal.)
   PhysicalOptimizeOptions final_popts;
   final_popts.cache = cache_ptr;
+  final_popts.join_memo = join_memo_ptr;
   final_popts.faults = injector;
   auto final_opt = physical_.Optimize(*tree, final_popts);
   if (!final_opt.ok()) return final_opt.status();
@@ -303,6 +322,10 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
       interleaved_states.load(std::memory_order_relaxed);
   stats.annotation_hits = cache.hits();
   stats.annotation_evictions = cache.evictions();
+  stats.blocks_cloned = CowBlocksClonedCount() - cloned_before;
+  stats.blocks_shared = CowSharesCount() - shared_before;
+  stats.join_memo_hits = join_memo.hits();
+  stats.join_memo_misses = join_memo.misses();
   if (tracker != nullptr) {
     stats.budget_exhausted = tracker->exhausted();
     stats.budget_check_ns = tracker->check_ns();

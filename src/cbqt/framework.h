@@ -72,6 +72,28 @@ struct CbqtConfig {
   /// §3.4.2 reuse of query sub-tree cost annotations.
   bool reuse_annotations = true;
 
+  /// Copy-on-write per-state tree copies: transformations whose Apply is
+  /// CowSafe() get a structurally shared CloneCow() copy of the base tree —
+  /// applying a state copies only the blocks a flipped transformation
+  /// rewrites (plus the spine above them); untouched blocks are shared
+  /// read-only across states and pool workers. Results are bit-identical to
+  /// full deep copies; false forces Clone() everywhere (the escape hatch the
+  /// equivalence tests compare against).
+  bool cow_clone = true;
+
+  /// Cross-state join-order memoization: finished join-order DP subproblems
+  /// are keyed by canonical fingerprints of (relation set, dependencies,
+  /// local predicates, applicable join predicates), so states whose blocks
+  /// pose byte-identical FROM+predicate subproblems reuse the enumerated
+  /// JoinStepPlans instead of re-running the DP. Bit-identical results;
+  /// false disables the memo.
+  bool reuse_join_orders = true;
+
+  /// Capacity of the per-optimization join-order memo (total entries, LRU
+  /// beyond it; 0 = unbounded). Subset-granularity entries are more numerous
+  /// than block annotations, hence the larger default.
+  size_t join_memo_capacity = 8192;
+
   /// Capacity of the per-optimization annotation cache (total entries, LRU
   /// beyond it; 0 = unbounded). The default is far above the signature
   /// population of any paper workload, so Table 1 reuse is unaffected; it
@@ -111,6 +133,12 @@ struct CbqtStats {
   int64_t blocks_planned = 0;    ///< query blocks physically optimized
   int64_t annotation_hits = 0;   ///< §3.4.2 reuses
   int64_t annotation_evictions = 0;  ///< LRU evictions from the bounded cache
+
+  // Per-state evaluation cost telemetry (copy-on-write trees + join memo).
+  int64_t blocks_cloned = 0;     ///< block nodes deep-copied during search
+  int64_t blocks_shared = 0;     ///< block edges structurally shared instead
+  int64_t join_memo_hits = 0;    ///< join-order subproblems reused
+  int64_t join_memo_misses = 0;  ///< join-order subproblems computed fresh
   /// transformation name -> states evaluated in its search
   std::map<std::string, int> states_per_transformation;
   /// transformations actually applied, e.g. "unnest-view(1,0)"

@@ -6,11 +6,12 @@ namespace cbqt {
 
 JoinOrderEnumerator::JoinOrderEnumerator(std::vector<uint64_t> deps,
                                          JoinCoster* coster, double cutoff,
-                                         int dp_threshold)
+                                         int dp_threshold, JoinOrderMemo* memo)
     : deps_(std::move(deps)),
       coster_(coster),
       cutoff_(cutoff),
-      dp_threshold_(dp_threshold) {}
+      dp_threshold_(dp_threshold),
+      memo_(memo) {}
 
 Result<JoinStepPlan> JoinOrderEnumerator::Enumerate() {
   if (deps_.empty()) {
@@ -26,6 +27,17 @@ Result<JoinStepPlan> JoinOrderEnumerator::Enumerate() {
   return EnumerateGreedy();
 }
 
+// Pull-style subset DP: each target mask is settled in a single visit —
+// memo lookup first, otherwise the best of Join(dp[mask \ i], i) over the
+// member relations i. This is the same recurrence as the classic
+// source-major ("push") formulation, restructured so a memo hit skips every
+// join costing for that subset, not just the final comparison.
+//
+// Tie-breaks match the push formulation exactly: there, sources were
+// visited in ascending mask order and a target kept its first-written plan
+// among equal costs, and for a fixed target the source mask ascends as the
+// removed bit descends. Hence candidates here run from the highest member
+// bit down with a strict `<` replacement.
 Result<JoinStepPlan> JoinOrderEnumerator::EnumerateDp() {
   const int n = static_cast<int>(deps_.size());
   const uint64_t full = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
@@ -35,41 +47,52 @@ Result<JoinStepPlan> JoinOrderEnumerator::EnumerateDp() {
   };
   std::vector<Entry> dp(static_cast<size_t>(full) + 1);
 
-  // Seed singletons whose dependencies are empty (a relation with deps can
-  // never start a left-deep order).
-  for (int i = 0; i < n; ++i) {
-    if (deps_[static_cast<size_t>(i)] != 0) continue;
-    auto base = coster_->BaseRel(i);
-    if (!base.ok()) {
-      if (base.status().code() == StatusCode::kCostCutoff) continue;
-      return base.status();
-    }
-    if (base->cost > cutoff_) continue;
-    Entry& e = dp[1ULL << i];
-    e.valid = true;
-    e.step = std::move(base.value());
-  }
-
-  // Extend subsets in increasing population order. Iterating masks in
-  // numeric order suffices: mask' = mask | bit > mask.
   for (uint64_t mask = 1; mask <= full; ++mask) {
-    if (!dp[mask].valid) continue;
-    for (int i = 0; i < n; ++i) {
-      uint64_t bit = 1ULL << i;
-      if (mask & bit) continue;
-      if ((deps_[static_cast<size_t>(i)] & ~mask) != 0) continue;
-      auto joined = coster_->Join(dp[mask].step, mask, i);
-      if (!joined.ok()) {
-        if (joined.status().code() == StatusCode::kCostCutoff) continue;
-        return joined.status();
-      }
-      if (joined->cost > cutoff_) continue;
-      Entry& target = dp[mask | bit];
-      if (!target.valid || joined->cost < target.step.cost) {
-        target.valid = true;
-        target.step = std::move(joined.value());
+    Entry& e = dp[mask];
+    if (memo_ != nullptr) {
+      switch (memo_->Lookup(mask, cutoff_, &e.step)) {
+        case JoinOrderMemo::Probe::kHit:
+          e.valid = true;
+          continue;
+        case JoinOrderMemo::Probe::kPruned:
+          continue;
+        case JoinOrderMemo::Probe::kMiss:
+          break;
       }
     }
+    if ((mask & (mask - 1)) == 0) {
+      // Singleton: a relation with deps can never start a left-deep order.
+      int i = 0;
+      while ((mask >> i) != 1) ++i;
+      if (deps_[static_cast<size_t>(i)] != 0) continue;
+      auto base = coster_->BaseRel(i);
+      if (!base.ok()) {
+        if (base.status().code() == StatusCode::kCostCutoff) continue;
+        return base.status();
+      }
+      if (base->cost > cutoff_) continue;
+      e.valid = true;
+      e.step = std::move(base.value());
+    } else {
+      for (int i = n - 1; i >= 0; --i) {
+        uint64_t bit = 1ULL << i;
+        if (!(mask & bit)) continue;
+        uint64_t sub = mask & ~bit;
+        if (!dp[sub].valid) continue;
+        if ((deps_[static_cast<size_t>(i)] & ~sub) != 0) continue;
+        auto joined = coster_->Join(dp[sub].step, sub, i);
+        if (!joined.ok()) {
+          if (joined.status().code() == StatusCode::kCostCutoff) continue;
+          return joined.status();
+        }
+        if (joined->cost > cutoff_) continue;
+        if (!e.valid || joined->cost < e.step.cost) {
+          e.valid = true;
+          e.step = std::move(joined.value());
+        }
+      }
+    }
+    if (e.valid && memo_ != nullptr) memo_->Store(mask, e.step);
   }
 
   if (!dp[full].valid) return Status::CostCutoff();
@@ -78,6 +101,21 @@ Result<JoinStepPlan> JoinOrderEnumerator::EnumerateDp() {
 
 Result<JoinStepPlan> JoinOrderEnumerator::EnumerateGreedy() {
   const int n = static_cast<int>(deps_.size());
+  const uint64_t full = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
+  // The greedy choice sequence is cutoff-independent (candidates are never
+  // filtered by the cutoff, and cost grows monotonically along the order),
+  // so the completed result is memoizable at full-set granularity.
+  JoinStepPlan memoized;
+  if (memo_ != nullptr) {
+    switch (memo_->Lookup(full, cutoff_, &memoized)) {
+      case JoinOrderMemo::Probe::kHit:
+        return memoized;
+      case JoinOrderMemo::Probe::kPruned:
+        return Status::CostCutoff();
+      case JoinOrderMemo::Probe::kMiss:
+        break;
+    }
+  }
   // Start from the cheapest dependency-free base relation.
   JoinStepPlan current;
   uint64_t mask = 0;
@@ -128,6 +166,7 @@ Result<JoinStepPlan> JoinOrderEnumerator::EnumerateGreedy() {
     if (current.cost > cutoff_) return Status::CostCutoff();
   }
   if (current.cost > cutoff_) return Status::CostCutoff();
+  if (memo_ != nullptr) memo_->Store(full, current);
   return current;
 }
 

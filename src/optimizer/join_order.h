@@ -11,10 +11,28 @@
 namespace cbqt {
 
 /// One step of a join order being built: a plan fragment plus its estimates.
+///
+/// The fragment is either owned (freshly built by a coster) or borrowed
+/// read-only from a memo/cache entry that the shared_ptr keeps alive.
+/// Borrowing lets a memo hit or a cached base-relation plan be used as a
+/// join input — which only ever reads and Clone()s it — without paying a
+/// deep copy per use; the one place that needs ownership (the completed
+/// enumeration result) materializes it via TakePlan().
 struct JoinStepPlan {
-  std::unique_ptr<PlanNode> plan;
+  std::unique_ptr<PlanNode> plan;          // owned fragment, or
+  std::shared_ptr<const PlanNode> shared;  // borrowed immutable fragment
   double rows = 0;
   double cost = 0;
+
+  const PlanNode* node() const {
+    return plan != nullptr ? plan.get() : shared.get();
+  }
+  /// Owned plan: moves the owned fragment out, or deep-copies the borrowed
+  /// one (so callers may mutate the result freely).
+  std::unique_ptr<PlanNode> TakePlan() {
+    if (plan != nullptr) return std::move(plan);
+    return shared->Clone();
+  }
 };
 
 /// Cost callbacks implemented by the planner: the enumerator drives the
@@ -33,6 +51,31 @@ class JoinCoster {
                                     uint64_t left_mask, int rel) = 0;
 };
 
+/// Cross-state memo for join-order subproblems. The caller (the planner)
+/// owns key construction: a subset `mask` of this enumeration is translated
+/// into a canonical fingerprint of the member relations and the predicates
+/// that apply within the subset, so byte-identical subproblems arising in
+/// different transformation states share results.
+///
+/// Contract (relies on join-cost monotonicity, joined.cost >= left.cost,
+/// which every coster here satisfies): a stored entry is the
+/// cutoff-independent best plan for its subset. Lookup must fill `out` only
+/// when returning kHit, and may fill it with a borrowed (shared) plan — the
+/// enumerator only reads and Clone()s hit plans, never mutates them.
+class JoinOrderMemo {
+ public:
+  virtual ~JoinOrderMemo() = default;
+
+  enum class Probe {
+    kMiss,    ///< nothing memoized for this subset
+    kHit,     ///< `out` filled with the best plan, cost <= cutoff
+    kPruned,  ///< memoized best exceeds cutoff: subset is pruned
+  };
+
+  virtual Probe Lookup(uint64_t mask, double cutoff, JoinStepPlan* out) = 0;
+  virtual void Store(uint64_t mask, const JoinStepPlan& step) = 0;
+};
+
 /// Join-order search with non-commutative-join partial orders (paper
 /// §2.1.1/§2.2.3): `deps[i]` is the bitmask of relations that must precede
 /// relation i (semijoin/antijoin/outer-join right sides and JPPD lateral
@@ -42,10 +85,18 @@ class JoinCoster {
 ///
 /// `cutoff`: partial plans costing more than this are pruned; if nothing
 /// survives, Enumerate returns StatusCode::kCostCutoff (paper §3.4.1).
+///
+/// `memo`: optional cross-state subproblem memo. Memoized subsets are
+/// settled without re-costing; every freshly computed valid subset is
+/// stored. With the monotonicity contract above, a subset is valid under a
+/// cutoff iff its unconstrained best cost is within the cutoff — so hits
+/// from states searched under different cutoffs are exact, and a hit whose
+/// cost exceeds the current cutoff is exactly a pruned subset.
 class JoinOrderEnumerator {
  public:
   JoinOrderEnumerator(std::vector<uint64_t> deps, JoinCoster* coster,
-                      double cutoff, int dp_threshold = 10);
+                      double cutoff, int dp_threshold = 10,
+                      JoinOrderMemo* memo = nullptr);
 
   Result<JoinStepPlan> Enumerate();
 
@@ -57,6 +108,7 @@ class JoinOrderEnumerator {
   JoinCoster* coster_;
   double cutoff_;
   int dp_threshold_;
+  JoinOrderMemo* memo_;
 };
 
 }  // namespace cbqt

@@ -12,7 +12,7 @@ Result<PhysicalOptimization> PhysicalOptimizer::Optimize(
         "optimization deadline exceeded before planning");
   }
   Planner planner(db_, params_, options.cache, options.cost_cutoff,
-                  options.budget);
+                  options.budget, options.join_memo);
   auto block = planner.PlanBlock(qb);
   if (!block.ok()) return block.status();
   PhysicalOptimization out;

@@ -38,6 +38,12 @@ struct PhysicalOptimizeOptions {
   /// Testing only: deterministic fault injection (FaultSite::kPlanner fires
   /// once per Optimize call).
   FaultInjector* faults = nullptr;
+  /// When non-null, cross-state join-order memoization: finished DP
+  /// subproblems (per subset of a block's FROM list) are keyed by canonical
+  /// fingerprints of the member relations and applicable predicates, so
+  /// byte-identical join problems recurring across transformation states
+  /// skip re-enumeration. Results are bit-identical with and without it.
+  AnnotationCache* join_memo = nullptr;
 };
 
 /// Facade over the Planner: the "physical optimizer" box of the paper's

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <set>
 
 #include "common/str_util.h"
 #include "sql/expr_util.h"
 #include "sql/signature.h"
+#include "sql/unparser.h"
 
 namespace cbqt {
 
@@ -114,7 +116,7 @@ std::vector<std::pair<std::string, std::string>> CollectOuterRefs(
   CollectDefinedAliases(qb, &inner);
   std::set<std::pair<std::string, std::string>> seen;
   std::vector<std::pair<std::string, std::string>> out;
-  VisitAllExprs(const_cast<QueryBlock*>(&qb), [&](Expr* e) {
+  VisitAllExprsConst(&qb, [&](const Expr* e) {
     if (e->kind == ExprKind::kColumnRef && inner.count(e->table_alias) == 0 &&
         !e->table_alias.empty()) {
       auto key = std::make_pair(e->table_alias, e->column_name);
@@ -488,10 +490,10 @@ class BlockJoinCoster : public JoinCoster {
     auto node = std::make_unique<PlanNode>(best.op);
     node->join_kind = kind;
     node->null_aware = null_aware;
-    node->children.push_back(left.plan->Clone());
+    node->children.push_back(left.node()->Clone());
 
     if (best.op == PlanOp::kHashJoin || best.op == PlanOp::kMergeJoin) {
-      node->children.push_back(right_base->plan->Clone());
+      node->children.push_back(right_base->node()->Clone());
       std::set<const Expr*> used;
       for (const auto& eq : equis) {
         node->hash_left_keys.push_back(eq.left_side->Clone());
@@ -527,7 +529,7 @@ class BlockJoinCoster : public JoinCoster {
         if (probe_preds.count(c) == 0) node->join_conds.push_back(c->Clone());
       }
     } else {
-      node->children.push_back(right_base->plan->Clone());
+      node->children.push_back(right_base->node()->Clone());
       for (const Expr* c : conds) node->join_conds.push_back(c->Clone());
     }
 
@@ -584,7 +586,11 @@ class BlockJoinCoster : public JoinCoster {
       it = base_cache_.emplace(rel, std::move(base.value())).first;
     }
     JoinStepPlan copy;
-    copy.plan = it->second.plan->Clone();
+    // Borrow the cached scan: Join() only reads and Clone()s the right
+    // input, and the cache entry (a stable map node) outlives every
+    // borrower, all of which die with the enumeration.
+    copy.shared = std::shared_ptr<const PlanNode>(std::shared_ptr<void>(),
+                                                  it->second.plan.get());
     copy.rows = it->second.rows;
     copy.cost = it->second.cost;
     return copy;
@@ -598,6 +604,123 @@ class BlockJoinCoster : public JoinCoster {
   std::map<std::string, int> alias_to_rel_;
   std::map<int, JoinStepPlan> base_cache_;
 };
+
+// ---------------------------------------------------------------------------
+// SubsetJoinMemo: cross-state join-order memoization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Keys one block's join-order DP subproblems so their results transfer
+// across transformation states. A subset mask is fingerprinted by its member
+// relations in FROM order — alias, content (table name or the derived
+// block's structural signature), join kind, laterality, ON conditions,
+// single-relation filters (including the constant predicates attached to
+// relation 0), dependency aliases — plus every WHERE join predicate falling
+// entirely within the subset, in WHERE order. Everything the DP value of a
+// subset depends on is covered: selectivities resolve through the member
+// aliases only, derived-table stats are functions of the block signature,
+// and correlated references degrade to defaults deterministically.
+//
+// Serialization keeps relative FROM / WHERE order (rather than sorting) so
+// the enumerator's tie-break order is identical whenever fingerprints
+// match — a hit returns exactly what this state's own DP would have built.
+class SubsetJoinMemo : public JoinOrderMemo {
+ public:
+  SubsetJoinMemo(AnnotationCache* cache, std::vector<std::string> rel_fps,
+                 std::vector<std::pair<uint64_t, std::string>> pred_fps) {
+    cache_ = cache;
+    // Hash every fingerprint string once up front; per-mask keys are then
+    // order-dependent 128-bit combinations rendered as 32 hex chars. The
+    // enumerator probes the memo for every subset of every state, so key
+    // construction must not re-serialize the (view-signature-sized)
+    // fingerprint strings per probe.
+    rel_h_.reserve(rel_fps.size());
+    for (const std::string& fp : rel_fps) {
+      rel_h_.push_back({Fnv1a(fp, kSeedLo), Fnv1a(fp, kSeedHi)});
+    }
+    pred_h_.reserve(pred_fps.size());
+    for (const auto& [pmask, fp] : pred_fps) {
+      pred_h_.push_back({pmask, {Fnv1a(fp, kSeedLo), Fnv1a(fp, kSeedHi)}});
+    }
+  }
+
+  Probe Lookup(uint64_t mask, double cutoff, JoinStepPlan* out) override {
+    char key[kKeyLen];
+    KeyFor(mask, key);
+    std::shared_ptr<const CostAnnotation> hit =
+        cache_->Find(std::string_view(key, kKeyLen));
+    if (hit == nullptr) return Probe::kMiss;
+    // The stored entry is the subset's cutoff-independent best (see
+    // join_order.h): a best above the cutoff means the subset is pruned
+    // under it, exactly as a from-scratch DP would conclude.
+    if (hit->cost > cutoff) return Probe::kPruned;
+    // Borrow the memoized plan: the aliasing shared_ptr pins the cache
+    // entry (Find hands out ownership), so the hit stays valid even if the
+    // entry is evicted mid-enumeration. No per-hit deep copy.
+    out->plan.reset();
+    out->shared = std::shared_ptr<const PlanNode>(hit, hit->plan.get());
+    out->rows = hit->rows;
+    out->cost = hit->cost;
+    return Probe::kHit;
+  }
+
+  void Store(uint64_t mask, const JoinStepPlan& step) override {
+    CostAnnotation ann;
+    ann.cost = step.cost;
+    ann.rows = step.rows;
+    ann.plan = step.node()->Clone();
+    char key[kKeyLen];
+    KeyFor(mask, key);
+    cache_->Put(std::string_view(key, kKeyLen), std::move(ann));
+  }
+
+ private:
+  struct Hash128 {
+    uint64_t lo;
+    uint64_t hi;
+  };
+  static constexpr uint64_t kSeedLo = 14695981039346656037ULL;  // FNV offset
+  static constexpr uint64_t kSeedHi = 0x9e3779b97f4a7c15ULL;
+  static constexpr size_t kKeyLen = 3 + 32;  // "jo:" + 2x16 hex chars
+
+  static uint64_t Fnv1a(std::string_view s, uint64_t h) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+  static void Mix(Hash128* acc, const Hash128& v) {
+    // Order-dependent combine (serialization order carries the tie-break
+    // identity argument, so the key must not be commutative).
+    acc->lo = (acc->lo ^ v.lo) * 1099511628211ULL + (acc->lo << 7);
+    acc->hi = (acc->hi ^ v.hi) * 0xc2b2ae3d27d4eb4fULL + (acc->hi >> 9);
+  }
+
+  void KeyFor(uint64_t mask, char out[kKeyLen]) const {
+    Hash128 acc{kSeedLo, kSeedHi};
+    for (size_t i = 0; i < rel_h_.size(); ++i) {
+      if (mask & (1ULL << i)) Mix(&acc, rel_h_[i]);
+    }
+    Mix(&acc, {0x50u, 0x50u});  // relation/predicate section separator
+    for (const auto& [pmask, h] : pred_h_) {
+      if ((pmask & ~mask) == 0) Mix(&acc, h);
+    }
+    std::memcpy(out, "jo:", 3);
+    static const char* hex = "0123456789abcdef";
+    for (int i = 0; i < 16; ++i) {
+      out[3 + i] = hex[(acc.lo >> (60 - 4 * i)) & 0xf];
+      out[19 + i] = hex[(acc.hi >> (60 - 4 * i)) & 0xf];
+    }
+  }
+
+  AnnotationCache* cache_;
+  std::vector<Hash128> rel_h_;
+  std::vector<std::pair<uint64_t, Hash128>> pred_h_;
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Planner
@@ -809,12 +932,58 @@ Result<BlockPlan> Planner::PlanRegular(const QueryBlock& qb) {
   }
 
   // ---- 3. Join order search. ----
+  std::unique_ptr<SubsetJoinMemo> memo;
+  if (join_memo_ != nullptr && qb.from.size() >= 2 && qb.from.size() <= 64) {
+    std::vector<std::string> rel_fps;
+    rel_fps.reserve(qb.from.size());
+    for (size_t i = 0; i < qb.from.size(); ++i) {
+      const TableRef& tr = qb.from[i];
+      std::string fp = tr.alias;
+      fp += '=';
+      if (tr.IsBaseTable()) {
+        fp += "T:";
+        fp += tr.table_name;
+      } else {
+        fp += "V:";
+        fp += BlockSignature(*tr.derived);
+      }
+      fp += ";k";
+      fp += std::to_string(static_cast<int>(tr.join));
+      if (tr.lateral) fp += ";lat";
+      for (const auto& c : tr.join_conds) {
+        fp += ";on:";
+        fp += ExprToSql(*c);
+      }
+      for (const Expr* f : rels[i].filters) {
+        fp += ";f:";
+        fp += ExprToSql(*f);
+      }
+      // Dependencies as alias names, so the fingerprint is independent of
+      // absolute FROM positions (masks are not transferable across blocks).
+      fp += ";d:";
+      for (size_t j = 0; j < qb.from.size(); ++j) {
+        if (deps[i] & (1ULL << j)) {
+          fp += qb.from[j].alias;
+          fp += ',';
+        }
+      }
+      rel_fps.push_back(std::move(fp));
+    }
+    std::vector<std::pair<uint64_t, std::string>> pred_fps;
+    pred_fps.reserve(join_preds.size());
+    for (const auto& p : join_preds) {
+      pred_fps.emplace_back(p.mask, ExprToSql(*p.expr));
+    }
+    memo = std::make_unique<SubsetJoinMemo>(join_memo_, std::move(rel_fps),
+                                            std::move(pred_fps));
+  }
   BlockJoinCoster coster(this, P, ctx, std::move(rels), join_preds,
                          alias_to_rel);
-  JoinOrderEnumerator enumerator(deps, &coster, cutoff_);
+  JoinOrderEnumerator enumerator(deps, &coster, cutoff_,
+                                 /*dp_threshold=*/10, memo.get());
   auto joined = enumerator.Enumerate();
   if (!joined.ok()) return joined.status();
-  std::unique_ptr<PlanNode> top = std::move(joined->plan);
+  std::unique_ptr<PlanNode> top = joined->TakePlan();
   double rows = joined->rows;
   double cost = joined->cost;
 

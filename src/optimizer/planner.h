@@ -44,12 +44,14 @@ class Planner {
   Planner(const Database& db, const CostParams& params,
           AnnotationCache* cache = nullptr,
           double cost_cutoff = std::numeric_limits<double>::infinity(),
-          BudgetTracker* budget = nullptr)
+          BudgetTracker* budget = nullptr,
+          AnnotationCache* join_memo = nullptr)
       : db_(db),
         params_(params),
         cache_(cache),
         cutoff_(cost_cutoff),
-        budget_(budget) {}
+        budget_(budget),
+        join_memo_(join_memo) {}
 
   /// Plans a bound query block (and, recursively, all nested blocks).
   Result<BlockPlan> PlanBlock(const QueryBlock& qb);
@@ -78,6 +80,11 @@ class Planner {
   AnnotationCache* cache_;
   double cutoff_;
   BudgetTracker* budget_;
+  /// Cross-state join-order memo: subset-granularity DP results keyed by
+  /// canonical relation/predicate fingerprints (see SubsetJoinMemo in
+  /// planner.cc). Shared by the CBQT framework across transformation states
+  /// alongside the block-level annotation cache.
+  AnnotationCache* join_memo_;
   int64_t blocks_planned_ = 0;
 };
 

@@ -1,0 +1,24 @@
+#include "sql/cow.h"
+
+#include <atomic>
+
+namespace cbqt {
+
+namespace {
+std::atomic<int64_t> g_blocks_cloned{0};
+std::atomic<int64_t> g_shares{0};
+}  // namespace
+
+void CowNoteBlockCloned() {
+  g_blocks_cloned.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CowNoteShared() { g_shares.fetch_add(1, std::memory_order_relaxed); }
+
+int64_t CowBlocksClonedCount() {
+  return g_blocks_cloned.load(std::memory_order_relaxed);
+}
+
+int64_t CowSharesCount() { return g_shares.load(std::memory_order_relaxed); }
+
+}  // namespace cbqt

@@ -1,0 +1,130 @@
+#ifndef CBQT_SQL_COW_H_
+#define CBQT_SQL_COW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace cbqt {
+
+// Telemetry hooks (sql/cow.cc): process-wide relaxed counters behind the
+// CbqtStats clone telemetry. CowNoteBlockCloned() is called by
+// QueryBlock::Clone / QueryBlock::CloneCow for every block node copied;
+// CowNoteShared() by CowPtr::Share() for every edge structurally reused.
+void CowNoteBlockCloned();
+void CowNoteShared();
+int64_t CowBlocksClonedCount();
+int64_t CowSharesCount();
+
+/// Copy-on-write owning pointer for query-tree edges (TableRef::derived,
+/// QueryBlock::branches, Expr::subquery).
+///
+/// Semantics:
+///  - Behaves like std::unique_ptr<T> for a privately owned target: move-only
+///    (plain copying is deleted), implicitly constructible/assignable from
+///    std::unique_ptr<T>, and any non-const access reaches the target.
+///  - `Share()` creates a second owner of the *same* target — this is how
+///    CloneCow builds a structurally shared state copy.
+///  - Copy-on-write is enforced by construction: every non-const accessor
+///    (get / * / -> / write) first "thaws" the edge, replacing a shared
+///    target with a private copy produced by the free function
+///    `CowCloneForWrite(const T&)` (one node deep — the copy's own edges
+///    share *their* targets again). Const accessors and `peek()` never copy.
+///
+/// Thread-safety: the refcount is std::shared_ptr's atomic control block.
+/// Concurrent readers of a shared target are safe; a thaw replaces only the
+/// calling CowPtr and never mutates the shared target itself. The CBQT
+/// framework keeps the base tree's references alive for the whole search, so
+/// a pool worker that is about to mutate always observes use_count >= 2 and
+/// copies instead of mutating in place.
+///
+/// Invariant relied on by the binder's shared-subtree skip: Share() is only
+/// invoked on already-bound trees (CloneCow's contract), so a shared block
+/// can be assumed bound.
+template <typename T>
+class CowPtr {
+ public:
+  CowPtr() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): stands in for unique_ptr
+  CowPtr(std::nullptr_t) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  CowPtr(std::unique_ptr<T> p) : ptr_(std::move(p)) {}
+  CowPtr& operator=(std::unique_ptr<T> p) {
+    ptr_ = std::move(p);
+    return *this;
+  }
+  CowPtr& operator=(std::nullptr_t) {
+    ptr_.reset();
+    return *this;
+  }
+
+  CowPtr(CowPtr&&) noexcept = default;
+  CowPtr& operator=(CowPtr&&) noexcept = default;
+  CowPtr(const CowPtr&) = delete;
+  CowPtr& operator=(const CowPtr&) = delete;
+
+  /// Explicit structural sharing: a second owner of the same target.
+  CowPtr Share() const {
+    if (ptr_ != nullptr) CowNoteShared();
+    CowPtr out;
+    out.ptr_ = ptr_;
+    return out;
+  }
+
+  // Const access never copies.
+  const T* get() const { return ptr_.get(); }
+  const T& operator*() const { return *ptr_; }
+  const T* operator->() const { return ptr_.get(); }
+  /// Non-thawing const view, usable on a non-const CowPtr.
+  const T* peek() const { return ptr_.get(); }
+
+  // Non-const access thaws (copies a shared target) first.
+  T* get() { return write(); }
+  T& operator*() { return *write(); }
+  T* operator->() { return write(); }
+
+  /// Thaw: after this call the target is privately owned and mutable.
+  /// Cost on an unshared edge: a use_count load.
+  T* write() {
+    if (ptr_ != nullptr && ptr_.use_count() > 1) {
+      const T& src = *ptr_;
+      ptr_ = std::shared_ptr<T>(CowCloneForWrite(src));
+    }
+    return ptr_.get();
+  }
+
+  /// Moves the (thawed) target out as a unique_ptr, leaving this null — for
+  /// call sites that transfer ownership out of the tree.
+  std::unique_ptr<T> Extract() {
+    if (ptr_ == nullptr) return nullptr;
+    T* p = write();
+    auto out = std::make_unique<T>(std::move(*p));
+    ptr_.reset();
+    return out;
+  }
+
+  void reset() { ptr_.reset(); }
+  bool shared() const { return ptr_.use_count() > 1; }
+  explicit operator bool() const { return ptr_ != nullptr; }
+
+  friend bool operator==(const CowPtr& p, std::nullptr_t) {
+    return p.ptr_ == nullptr;
+  }
+  friend bool operator!=(const CowPtr& p, std::nullptr_t) {
+    return p.ptr_ != nullptr;
+  }
+  friend bool operator==(std::nullptr_t, const CowPtr& p) {
+    return p.ptr_ == nullptr;
+  }
+  friend bool operator!=(std::nullptr_t, const CowPtr& p) {
+    return p.ptr_ != nullptr;
+  }
+
+ private:
+  std::shared_ptr<T> ptr_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_SQL_COW_H_

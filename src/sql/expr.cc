@@ -31,6 +31,34 @@ ExprPtr Expr::Clone() const {
   return out;
 }
 
+ExprPtr Expr::CloneCow() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->table_alias = table_alias;
+  out->column_name = column_name;
+  out->corr_depth = corr_depth;
+  out->literal = literal;
+  out->param_index = param_index;
+  out->bop = bop;
+  out->uop = uop;
+  out->agg = agg;
+  out->agg_distinct = agg_distinct;
+  out->func_name = func_name;
+  out->subkind = subkind;
+  out->sub_cmp = sub_cmp;
+  out->subquery = subquery.Share();
+  out->win_func = win_func;
+  for (const auto& e : partition_by) {
+    out->partition_by.push_back(e->CloneCow());
+  }
+  for (const auto& e : win_order_by) {
+    out->win_order_by.push_back(e->CloneCow());
+  }
+  for (const auto& e : children) out->children.push_back(e->CloneCow());
+  out->type = type;
+  return out;
+}
+
 ExprPtr MakeColumnRef(std::string table_alias, std::string column_name) {
   auto e = std::make_unique<Expr>();
   e->kind = ExprKind::kColumnRef;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/value.h"
+#include "sql/cow.h"
 #include "sql/type.h"
 
 namespace cbqt {
@@ -105,7 +106,9 @@ struct Expr {
   // -- kSubquery --
   SubqueryKind subkind = SubqueryKind::kExists;
   BinaryOp sub_cmp = BinaryOp::kEq;  ///< for ANY/ALL
-  std::unique_ptr<QueryBlock> subquery;
+  /// Copy-on-write edge like TableRef::derived: CloneCow() shares the inner
+  /// block, non-const access thaws it (sql/cow.h).
+  CowPtr<QueryBlock> subquery;
 
   // -- kWindow --
   AggFunc win_func = AggFunc::kCountStar;
@@ -127,6 +130,11 @@ struct Expr {
 
   /// Deep copy, including any owned subquery blocks.
   ExprPtr Clone() const;
+
+  /// Copy-on-write copy: the expression nodes are copied but a subquery
+  /// block is *shared* (refcounted read-only until thawed). Used by
+  /// QueryBlock::CloneCow for state copies in the CBQT framework.
+  ExprPtr CloneCow() const;
 };
 
 // ---- constructors --------------------------------------------------------

@@ -34,9 +34,17 @@ void VisitExprDeep(Expr* e, const std::function<void(Expr*)>& fn) {
 
 void VisitExprDeepConst(const Expr* e,
                         const std::function<void(const Expr*)>& fn) {
-  // const_cast-free reimplementation would duplicate the walk; wrap instead.
-  VisitExprDeep(const_cast<Expr*>(e),
-                [&fn](Expr* x) { fn(static_cast<const Expr*>(x)); });
+  // A real const walk (not a const_cast wrapper): non-const traversal of a
+  // CowPtr subquery edge would thaw it, deep-copying shared blocks on what
+  // are read-only analysis paths.
+  if (e == nullptr) return;
+  fn(e);
+  for (const auto& c : e->children) VisitExprDeepConst(c.get(), fn);
+  for (const auto& c : e->partition_by) VisitExprDeepConst(c.get(), fn);
+  for (const auto& c : e->win_order_by) VisitExprDeepConst(c.get(), fn);
+  if (e->subquery != nullptr) {
+    VisitAllExprsConst(e->subquery.peek(), fn);
+  }
 }
 
 void VisitAllExprs(QueryBlock* qb, const std::function<void(Expr*)>& fn) {
@@ -51,6 +59,21 @@ void VisitAllExprs(QueryBlock* qb, const std::function<void(Expr*)>& fn) {
   for (auto& g : qb->group_by) VisitExprDeep(g.get(), fn);
   for (auto& h : qb->having) VisitExprDeep(h.get(), fn);
   for (auto& o : qb->order_by) VisitExprDeep(o.expr.get(), fn);
+}
+
+void VisitAllExprsConst(const QueryBlock* qb,
+                        const std::function<void(const Expr*)>& fn) {
+  if (qb == nullptr) return;
+  for (const auto& b : qb->branches) VisitAllExprsConst(b.peek(), fn);
+  for (const auto& item : qb->select) VisitExprDeepConst(item.expr.get(), fn);
+  for (const auto& tr : qb->from) {
+    for (const auto& c : tr.join_conds) VisitExprDeepConst(c.get(), fn);
+    if (tr.derived != nullptr) VisitAllExprsConst(tr.derived.peek(), fn);
+  }
+  for (const auto& w : qb->where) VisitExprDeepConst(w.get(), fn);
+  for (const auto& g : qb->group_by) VisitExprDeepConst(g.get(), fn);
+  for (const auto& h : qb->having) VisitExprDeepConst(h.get(), fn);
+  for (const auto& o : qb->order_by) VisitExprDeepConst(o.expr.get(), fn);
 }
 
 void VisitLocalExprSlots(QueryBlock* qb,
@@ -199,6 +222,202 @@ void VisitAllBlocks(QueryBlock* qb,
   for (auto& o : qb->order_by) VisitExpr(o.expr.get(), visit_subqueries);
 }
 
+void VisitAllBlocksConst(const QueryBlock* qb,
+                         const std::function<void(const QueryBlock*)>& fn) {
+  if (qb == nullptr) return;
+  fn(qb);
+  for (const auto& b : qb->branches) VisitAllBlocksConst(b.peek(), fn);
+  for (const auto& tr : qb->from) {
+    if (tr.derived != nullptr) VisitAllBlocksConst(tr.derived.peek(), fn);
+  }
+  auto visit_subqueries = [&fn](const Expr* e) {
+    if (e->kind == ExprKind::kSubquery && e->subquery != nullptr) {
+      VisitAllBlocksConst(e->subquery.peek(), fn);
+    }
+  };
+  for (const auto& item : qb->select) {
+    VisitExprConst(item.expr.get(), visit_subqueries);
+  }
+  for (const auto& tr : qb->from) {
+    for (const auto& c : tr.join_conds) {
+      VisitExprConst(c.get(), visit_subqueries);
+    }
+  }
+  for (const auto& w : qb->where) VisitExprConst(w.get(), visit_subqueries);
+  for (const auto& g : qb->group_by) VisitExprConst(g.get(), visit_subqueries);
+  for (const auto& h : qb->having) VisitExprConst(h.get(), visit_subqueries);
+  for (const auto& o : qb->order_by) {
+    VisitExprConst(o.expr.get(), visit_subqueries);
+  }
+}
+
+namespace {
+
+// Thaws and returns the k-th subquery block hanging off `qb`'s own
+// expressions, counted in the same pre-order as VisitAllBlocks' subquery
+// descent (select, join_conds, where, group_by, having, order_by).
+QueryBlock* WritableSubqueryEdge(QueryBlock* qb, size_t k) {
+  QueryBlock* out = nullptr;
+  size_t seen = 0;
+  auto scan = [&](Expr* e) {
+    VisitExpr(e, [&](Expr* x) {
+      if (x->kind == ExprKind::kSubquery && x->subquery != nullptr) {
+        if (seen == k && out == nullptr) out = x->subquery.write();
+        ++seen;
+      }
+    });
+  };
+  for (auto& item : qb->select) scan(item.expr.get());
+  for (auto& tr : qb->from) {
+    for (auto& c : tr.join_conds) scan(c.get());
+  }
+  for (auto& w : qb->where) scan(w.get());
+  for (auto& g : qb->group_by) scan(g.get());
+  for (auto& h : qb->having) scan(h.get());
+  for (auto& o : qb->order_by) scan(o.expr.get());
+  return out;
+}
+
+void VisitBlocksWithPathImpl(
+    const QueryBlock* qb, std::vector<BlockStep>* path,
+    const std::function<void(const QueryBlock*, const std::vector<BlockStep>&)>&
+        fn) {
+  if (qb == nullptr) return;
+  fn(qb, *path);
+  for (size_t i = 0; i < qb->branches.size(); ++i) {
+    path->push_back({BlockStep::Kind::kBranch, i});
+    VisitBlocksWithPathImpl(qb->branches[i].peek(), path, fn);
+    path->pop_back();
+  }
+  for (size_t i = 0; i < qb->from.size(); ++i) {
+    if (qb->from[i].derived == nullptr) continue;
+    path->push_back({BlockStep::Kind::kDerived, i});
+    VisitBlocksWithPathImpl(qb->from[i].derived.peek(), path, fn);
+    path->pop_back();
+  }
+  size_t sub_idx = 0;
+  auto visit_subqueries = [&](const Expr* e) {
+    VisitExprConst(e, [&](const Expr* x) {
+      if (x->kind == ExprKind::kSubquery && x->subquery != nullptr) {
+        path->push_back({BlockStep::Kind::kSubquery, sub_idx});
+        VisitBlocksWithPathImpl(x->subquery.peek(), path, fn);
+        path->pop_back();
+        ++sub_idx;
+      }
+    });
+  };
+  for (const auto& item : qb->select) visit_subqueries(item.expr.get());
+  for (const auto& tr : qb->from) {
+    for (const auto& c : tr.join_conds) visit_subqueries(c.get());
+  }
+  for (const auto& w : qb->where) visit_subqueries(w.get());
+  for (const auto& g : qb->group_by) visit_subqueries(g.get());
+  for (const auto& h : qb->having) visit_subqueries(h.get());
+  for (const auto& o : qb->order_by) visit_subqueries(o.expr.get());
+}
+
+bool MutateBlocksCowImpl(const QueryBlock* node,
+                         const std::function<QueryBlock*()>& thaw,
+                         const std::function<bool(const QueryBlock&)>& decide,
+                         const std::function<bool(QueryBlock*)>& mutate) {
+  if (node == nullptr) return false;
+  bool changed = false;
+  // After any thaw below, `node` can be a stale pre-thaw peek. That is safe:
+  // a thaw clones the block faithfully and shares its children, so the stale
+  // copy's containers and nested-block targets match the writable copy's
+  // until `mutate` runs — and when mutate runs we switch to the writable
+  // block so its structural changes are visible to the descent.
+  const QueryBlock* cur = node;
+  if (decide(*cur)) {
+    QueryBlock* w = thaw();
+    if (mutate(w)) changed = true;
+    cur = w;
+  }
+  for (size_t i = 0; i < cur->branches.size(); ++i) {
+    std::function<QueryBlock*()> child = [&thaw, i]() {
+      return thaw()->branches[i].write();
+    };
+    if (MutateBlocksCowImpl(cur->branches[i].peek(), child, decide, mutate)) {
+      changed = true;
+    }
+  }
+  for (size_t i = 0; i < cur->from.size(); ++i) {
+    if (cur->from[i].derived == nullptr) continue;
+    std::function<QueryBlock*()> child = [&thaw, i]() {
+      return thaw()->from[i].derived.write();
+    };
+    if (MutateBlocksCowImpl(cur->from[i].derived.peek(), child, decide,
+                            mutate)) {
+      changed = true;
+    }
+  }
+  // Subquery blocks are addressed positionally (k-th subquery node) because
+  // thawing a block clones its expression nodes, invalidating pointers.
+  size_t sub_idx = 0;
+  auto visit_subqueries = [&](const Expr* e) {
+    VisitExprConst(e, [&](const Expr* x) {
+      if (x->kind == ExprKind::kSubquery && x->subquery != nullptr) {
+        size_t k = sub_idx;
+        ++sub_idx;
+        std::function<QueryBlock*()> child = [&thaw, k]() {
+          return WritableSubqueryEdge(thaw(), k);
+        };
+        if (MutateBlocksCowImpl(x->subquery.peek(), child, decide, mutate)) {
+          changed = true;
+        }
+      }
+    });
+  };
+  for (const auto& item : cur->select) visit_subqueries(item.expr.get());
+  for (const auto& tr : cur->from) {
+    for (const auto& c : tr.join_conds) visit_subqueries(c.get());
+  }
+  for (const auto& w : cur->where) visit_subqueries(w.get());
+  for (const auto& g : cur->group_by) visit_subqueries(g.get());
+  for (const auto& h : cur->having) visit_subqueries(h.get());
+  for (const auto& o : cur->order_by) visit_subqueries(o.expr.get());
+  return changed;
+}
+
+}  // namespace
+
+void VisitAllBlocksWithPath(
+    const QueryBlock* qb,
+    const std::function<void(const QueryBlock*, const std::vector<BlockStep>&)>&
+        fn) {
+  std::vector<BlockStep> path;
+  VisitBlocksWithPathImpl(qb, &path, fn);
+}
+
+QueryBlock* ThawBlockPath(QueryBlock* root,
+                          const std::vector<BlockStep>& path) {
+  QueryBlock* w = root;
+  for (const auto& step : path) {
+    if (w == nullptr) return nullptr;
+    switch (step.kind) {
+      case BlockStep::Kind::kBranch:
+        if (step.index >= w->branches.size()) return nullptr;
+        w = w->branches[step.index].write();
+        break;
+      case BlockStep::Kind::kDerived:
+        if (step.index >= w->from.size()) return nullptr;
+        w = w->from[step.index].derived.write();
+        break;
+      case BlockStep::Kind::kSubquery:
+        w = WritableSubqueryEdge(w, step.index);
+        break;
+    }
+  }
+  return w;
+}
+
+bool MutateBlocksCow(QueryBlock* root,
+                     const std::function<bool(const QueryBlock&)>& decide,
+                     const std::function<bool(QueryBlock*)>& mutate) {
+  std::function<QueryBlock*()> thaw = [root]() { return root; };
+  return MutateBlocksCowImpl(root, thaw, decide, mutate);
+}
+
 void RenameTableAlias(QueryBlock* qb, const std::string& old_alias,
                       const std::string& new_alias) {
   VisitAllBlocks(qb, [&](QueryBlock* b) {
@@ -262,7 +481,7 @@ bool IsSingleTableFilter(const Expr& e, std::string* alias) {
 }
 
 void CollectDefinedAliases(const QueryBlock& qb, std::set<std::string>* out) {
-  VisitAllBlocks(const_cast<QueryBlock*>(&qb), [out](QueryBlock* b) {
+  VisitAllBlocksConst(&qb, [out](const QueryBlock* b) {
     for (const auto& tr : b->from) out->insert(tr.alias);
   });
 }

@@ -30,10 +30,56 @@ void VisitExprDeepConst(const Expr* e,
 /// Visits every expression owned by `qb` and (recursively) by its nested
 /// blocks — derived tables, subqueries, set-op branches.
 void VisitAllExprs(QueryBlock* qb, const std::function<void(Expr*)>& fn);
+/// Const variant. Analysis code on potentially COW-shared trees must use
+/// this: the non-const walk thaws (copies) every shared nested block it
+/// descends into.
+void VisitAllExprsConst(const QueryBlock* qb,
+                        const std::function<void(const Expr*)>& fn);
 
 /// Visits `qb` and every nested block (set-op branches, derived tables,
 /// subquery blocks), pre-order.
 void VisitAllBlocks(QueryBlock* qb, const std::function<void(QueryBlock*)>& fn);
+/// Const variant (same pre-order; see VisitAllExprsConst on why analysis
+/// paths need it).
+void VisitAllBlocksConst(const QueryBlock* qb,
+                         const std::function<void(const QueryBlock*)>& fn);
+
+/// One step from a block to a nested block, by *position* rather than by
+/// pointer. Positions stay valid across COW thaws (a thaw replaces the child
+/// block object but keeps its slot), so a path of steps can address a block
+/// discovered on a shared subtree and later thaw exactly that block.
+struct BlockStep {
+  enum class Kind { kBranch, kDerived, kSubquery };
+  Kind kind = Kind::kBranch;
+  // kBranch: index into branches. kDerived: index into from. kSubquery: the
+  // k-th kSubquery expression node (with a non-null block) encountered in
+  // the block's local expression walk, in VisitAllBlocks' slot order.
+  size_t index = 0;
+};
+
+/// Pre-order walk over `qb` and every nested block — same order as
+/// VisitAllBlocksConst — passing each block's path from the root. Purely
+/// const: never thaws shared blocks.
+void VisitAllBlocksWithPath(
+    const QueryBlock* qb,
+    const std::function<void(const QueryBlock*, const std::vector<BlockStep>&)>&
+        fn);
+
+/// Thaws (copy-on-write) every block along `path` starting at `root` and
+/// returns the writable block the path addresses, or nullptr if the path no
+/// longer resolves. Paths must come from VisitAllBlocksWithPath over the
+/// same tree (possibly after thaws of other paths).
+QueryBlock* ThawBlockPath(QueryBlock* root, const std::vector<BlockStep>& path);
+
+/// COW-aware mutating traversal: visits `root` and every nested block in
+/// VisitAllBlocks pre-order, but descends read-only. For each block where
+/// `decide` returns true it thaws just that block (plus the spine of edges
+/// leading to it) and calls `mutate` on the writable copy; blocks where
+/// `decide` is false stay shared. `decide` must be a pure read; `mutate`
+/// returns whether it changed anything. Returns true if any mutate did.
+bool MutateBlocksCow(QueryBlock* root,
+                     const std::function<bool(const QueryBlock&)>& decide,
+                     const std::function<bool(QueryBlock*)>& mutate);
 
 /// Visits every expression slot (ExprPtr&) directly owned by `qb` itself —
 /// select items, where/having conjuncts, group/order keys, and join_conds of

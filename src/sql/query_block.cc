@@ -17,6 +17,19 @@ std::unique_ptr<TableRef> TableRef::CloneRef() const {
   return out;
 }
 
+TableRef TableRef::CloneRefCow() const {
+  TableRef out;
+  out.alias = alias;
+  out.table_name = table_name;
+  out.derived = derived.Share();
+  out.join = join;
+  for (const auto& c : join_conds) out.join_conds.push_back(c->CloneCow());
+  out.lateral = lateral;
+  out.no_merge = no_merge;
+  out.table_def = table_def;
+  return out;
+}
+
 bool QueryBlock::IsAggregating() const {
   if (!group_by.empty()) return true;
   // Scalar aggregation without GROUP BY: look for aggregate functions at the
@@ -32,6 +45,7 @@ bool QueryBlock::IsAggregating() const {
 }
 
 std::unique_ptr<QueryBlock> QueryBlock::Clone() const {
+  CowNoteBlockCloned();
   auto out = std::make_unique<QueryBlock>();
   out->qb_name = qb_name;
   out->set_op = set_op;
@@ -51,6 +65,37 @@ std::unique_ptr<QueryBlock> QueryBlock::Clone() const {
   for (const auto& o : order_by) {
     OrderItem oi;
     oi.expr = o.expr->Clone();
+    oi.ascending = o.ascending;
+    out->order_by.push_back(std::move(oi));
+  }
+  out->rownum_limit = rownum_limit;
+  return out;
+}
+
+std::unique_ptr<QueryBlock> QueryBlock::CloneCow() const {
+  CowNoteBlockCloned();
+  auto out = std::make_unique<QueryBlock>();
+  out->qb_name = qb_name;
+  out->set_op = set_op;
+  out->branches.reserve(branches.size());
+  for (const auto& b : branches) out->branches.push_back(b.Share());
+  out->distinct = distinct;
+  out->select.reserve(select.size());
+  for (const auto& item : select) {
+    SelectItem si;
+    si.expr = item.expr->CloneCow();
+    si.alias = item.alias;
+    out->select.push_back(std::move(si));
+  }
+  out->from.reserve(from.size());
+  for (const auto& tr : from) out->from.push_back(tr.CloneRefCow());
+  for (const auto& w : where) out->where.push_back(w->CloneCow());
+  for (const auto& g : group_by) out->group_by.push_back(g->CloneCow());
+  out->grouping_sets = grouping_sets;
+  for (const auto& h : having) out->having.push_back(h->CloneCow());
+  for (const auto& o : order_by) {
+    OrderItem oi;
+    oi.expr = o.expr->CloneCow();
     oi.ascending = o.ascending;
     out->order_by.push_back(std::move(oi));
   }

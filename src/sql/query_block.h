@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "sql/cow.h"
 #include "sql/expr.h"
 
 namespace cbqt {
@@ -31,7 +32,9 @@ enum class SetOpKind { kNone, kUnionAll, kUnion, kIntersect, kMinus };
 struct TableRef {
   std::string alias;        ///< unique within the block
   std::string table_name;   ///< base-table name; empty for derived tables
-  std::unique_ptr<QueryBlock> derived;  ///< inline view, owned
+  /// Inline view. A copy-on-write edge: CloneCow() shares the view across
+  /// state copies; any non-const access thaws it (sql/cow.h).
+  CowPtr<QueryBlock> derived;
 
   JoinKind join = JoinKind::kInner;
   std::vector<ExprPtr> join_conds;  ///< for non-inner kinds
@@ -55,6 +58,8 @@ struct TableRef {
 
   bool IsBaseTable() const { return derived == nullptr; }
   std::unique_ptr<TableRef> CloneRef() const;
+  /// Copy-on-write clone: exprs are deep-copied, `derived` is shared.
+  TableRef CloneRefCow() const;
 };
 
 struct SelectItem {
@@ -75,7 +80,8 @@ struct QueryBlock {
 
   // -- compound block --
   SetOpKind set_op = SetOpKind::kNone;
-  std::vector<std::unique_ptr<QueryBlock>> branches;
+  /// Copy-on-write edges, like TableRef::derived.
+  std::vector<CowPtr<QueryBlock>> branches;
 
   // -- regular block --
   bool distinct = false;
@@ -104,8 +110,15 @@ struct QueryBlock {
   bool IsAggregating() const;
 
   /// Deep copy of the entire block tree (the CBQT framework copies a state
-  /// before costing it, paper §3.1).
+  /// before costing it, paper §3.1). The copy shares nothing with `this`.
   std::unique_ptr<QueryBlock> Clone() const;
+
+  /// Copy-on-write clone: copies this block node (and its expressions) but
+  /// *shares* the nested-block edges — set-op branches, derived tables, and
+  /// expression subqueries stay refcounted read-only until a writer thaws
+  /// them (CowPtr, sql/cow.h). Only valid on a bound tree: the binder skips
+  /// shared subtrees on re-bind under the invariant "shared implies bound".
+  std::unique_ptr<QueryBlock> CloneCow() const;
 
   /// Index of `alias` in `from`, or -1.
   int FindFrom(const std::string& alias) const;
@@ -120,6 +133,13 @@ struct QueryBlock {
 /// Structural equality of whole blocks (used by tests and by join
 /// factorization to match common tables/branches).
 bool BlockEquals(const QueryBlock& a, const QueryBlock& b);
+
+/// CowPtr<QueryBlock> thaw hook (sql/cow.h): the private copy a shared block
+/// is replaced with on first write. One node deep — the copy's own edges
+/// share their targets again.
+inline std::unique_ptr<QueryBlock> CowCloneForWrite(const QueryBlock& qb) {
+  return qb.CloneCow();
+}
 
 }  // namespace cbqt
 

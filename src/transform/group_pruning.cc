@@ -17,40 +17,66 @@ bool IsNullRejecting(const Expr& e) {
   return false;
 }
 
-bool PruneViewGroups(QueryBlock* qb) {
-  bool changed = false;
-  for (auto& tr : qb->from) {
-    if (tr.IsBaseTable() || tr.derived->IsSetOp()) continue;
-    QueryBlock& view = *tr.derived;
-    if (view.grouping_sets.size() <= 1) continue;
-    auto colmap = ViewColumnMap(view);
-    // Grouping-key indices that outer predicates require to be non-NULL.
-    std::vector<int> required;
-    for (const auto& w : qb->where) {
-      if (!IsNullRejecting(*w)) continue;
-      std::string alias;
-      if (!IsSingleTableFilter(*w, &alias) || alias != tr.alias) continue;
-      for (const Expr* ref : CollectLocalColumnRefs(*w)) {
-        auto it = colmap.find(ref->column_name);
-        if (it == colmap.end()) continue;
-        for (size_t k = 0; k < view.group_by.size(); ++k) {
-          if (ExprEquals(*view.group_by[k], *it->second)) {
-            required.push_back(static_cast<int>(k));
-          }
+// Read-only: computes the grouping sets of `view` (joined as `tr` inside
+// `qb`) that survive the null-rejecting outer predicates. Returns false if
+// pruning would not change the view.
+bool ComputeKeptSets(const QueryBlock& qb, const TableRef& tr,
+                     const QueryBlock& view,
+                     std::vector<std::vector<int>>* kept_out) {
+  auto colmap = ViewColumnMap(view);
+  // Grouping-key indices that outer predicates require to be non-NULL.
+  std::vector<int> required;
+  for (const auto& w : qb.where) {
+    if (!IsNullRejecting(*w)) continue;
+    std::string alias;
+    if (!IsSingleTableFilter(*w, &alias) || alias != tr.alias) continue;
+    for (const Expr* ref : CollectLocalColumnRefs(*w)) {
+      auto it = colmap.find(ref->column_name);
+      if (it == colmap.end()) continue;
+      for (size_t k = 0; k < view.group_by.size(); ++k) {
+        if (ExprEquals(*view.group_by[k], *it->second)) {
+          required.push_back(static_cast<int>(k));
         }
       }
     }
-    if (required.empty()) continue;
-    std::vector<std::vector<int>> kept;
-    for (auto& set : view.grouping_sets) {
-      bool ok = true;
-      for (int need : required) {
-        if (std::find(set.begin(), set.end(), need) == set.end()) ok = false;
-      }
-      if (ok) kept.push_back(std::move(set));
+  }
+  if (required.empty()) return false;
+  std::vector<std::vector<int>> kept;
+  for (const auto& set : view.grouping_sets) {
+    bool ok = true;
+    for (int need : required) {
+      if (std::find(set.begin(), set.end(), need) == set.end()) ok = false;
     }
-    if (kept.size() == view.grouping_sets.size()) continue;
+    if (ok) kept.push_back(set);
+  }
+  if (kept.size() == view.grouping_sets.size()) return false;
+  *kept_out = std::move(kept);
+  return true;
+}
+
+bool PruneViewGroupsWouldChange(const QueryBlock& qb) {
+  for (const auto& tr : qb.from) {
+    if (tr.IsBaseTable() || tr.derived->IsSetOp()) continue;
+    const QueryBlock& view = *tr.derived;
+    if (view.grouping_sets.size() <= 1) continue;
+    std::vector<std::vector<int>> kept;
+    if (ComputeKeptSets(qb, tr, view, &kept)) return true;
+  }
+  return false;
+}
+
+bool PruneViewGroups(QueryBlock* qb) {
+  bool changed = false;
+  for (auto& tr : qb->from) {
+    // Decide on a read-only view of the child; thaw only if pruning fires,
+    // so untouched views stay shared with the base tree.
+    const QueryBlock* vc = tr.derived.peek();
+    if (tr.IsBaseTable() || vc->IsSetOp()) continue;
+    if (vc->grouping_sets.size() <= 1) continue;
+    std::vector<std::vector<int>> kept;
+    if (!ComputeKeptSets(*qb, tr, *vc, &kept)) continue;
     changed = true;
+    QueryBlock& view = *tr.derived.write();
     if (kept.empty()) {
       // No grouping set survives: the view is provably empty.
       view.grouping_sets.clear();
@@ -71,11 +97,12 @@ bool PruneViewGroups(QueryBlock* qb) {
 }  // namespace
 
 Result<bool> PruneGroups(TransformContext& ctx) {
-  bool changed = false;
-  VisitAllBlocks(ctx.root, [&](QueryBlock* b) {
-    if (b->IsSetOp()) return;
-    if (PruneViewGroups(b)) changed = true;
-  });
+  bool changed = MutateBlocksCow(
+      ctx.root,
+      [](const QueryBlock& b) {
+        return !b.IsSetOp() && PruneViewGroupsWouldChange(b);
+      },
+      [](QueryBlock* b) { return PruneViewGroups(b); });
   return changed;
 }
 

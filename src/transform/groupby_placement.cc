@@ -45,9 +45,12 @@ std::set<std::string> NonAggregateRefs(QueryBlock* qb,
     for (const auto& c : e->partition_by) walk(c.get());
     for (const auto& c : e->win_order_by) walk(c.get());
     if (e->subquery != nullptr) {
-      VisitAllBlocks(e->subquery.get(), [&](QueryBlock* b) {
-        VisitLocalExprSlots(b, [&](ExprPtr& slot) { walk(slot.get()); });
-      });
+      // Read-only walk: const access avoids thawing a shared COW edge.
+      VisitAllBlocks(const_cast<QueryBlock*>(e->subquery.peek()),
+                     [&](QueryBlock* b) {
+                       VisitLocalExprSlots(
+                           b, [&](ExprPtr& slot) { walk(slot.get()); });
+                     });
     }
   };
   VisitLocalExprSlots(qb, [&](ExprPtr& slot) { walk(slot.get()); });

@@ -33,6 +33,17 @@ bool NullRejectingOn(const Expr& e, const std::string& alias) {
   return false;
 }
 
+// Read-only half of SimplifyBlock: would it change anything?
+bool WouldSimplifyBlock(const QueryBlock& qb) {
+  for (const auto& tr : qb.from) {
+    if (tr.join != JoinKind::kLeftOuter) continue;
+    for (const auto& w : qb.where) {
+      if (NullRejectingOn(*w, tr.alias)) return true;
+    }
+  }
+  return false;
+}
+
 bool SimplifyBlock(QueryBlock* qb) {
   bool changed = false;
   for (auto& tr : qb->from) {
@@ -50,11 +61,13 @@ bool SimplifyBlock(QueryBlock* qb) {
   return changed;
 }
 
-bool EliminateDistinctInBlock(QueryBlock* qb) {
-  if (!qb->distinct || qb->IsAggregating()) return false;
+// Every check of distinct elimination except the final mutation, so the
+// COW traversal can decide without thawing.
+bool DistinctRemovable(const QueryBlock& qb) {
+  if (!qb.distinct || qb.IsAggregating()) return false;
   // Exactly one row-producing entry (semi/anti entries never multiply).
   const TableRef* producer = nullptr;
-  for (const auto& tr : qb->from) {
+  for (const auto& tr : qb.from) {
     if (tr.join == JoinKind::kSemi || tr.join == JoinKind::kAnti ||
         tr.join == JoinKind::kAntiNA) {
       continue;
@@ -69,7 +82,7 @@ bool EliminateDistinctInBlock(QueryBlock* qb) {
   // The select list must contain some unique key of the producer as plain
   // column refs.
   auto select_has_col = [&](const std::string& col) {
-    for (const auto& item : qb->select) {
+    for (const auto& item : qb.select) {
       const Expr& e = *item.expr;
       if (e.kind == ExprKind::kColumnRef && e.table_alias == producer->alias &&
           e.column_name == col) {
@@ -92,28 +105,29 @@ bool EliminateDistinctInBlock(QueryBlock* qb) {
       if (covers_key(key)) unique = true;
     }
   }
-  if (!unique) return false;
-  qb->distinct = false;
-  return true;
+  return unique;
 }
 
 }  // namespace
 
 Result<bool> SimplifyOuterJoins(TransformContext& ctx) {
-  bool changed = false;
-  VisitAllBlocks(ctx.root, [&](QueryBlock* b) {
-    if (b->IsSetOp()) return;
-    if (SimplifyBlock(b)) changed = true;
-  });
+  // COW-aware: blocks that would not change are traversed read-only and
+  // stay shared with the base tree.
+  bool changed = MutateBlocksCow(
+      ctx.root,
+      [](const QueryBlock& b) { return !b.IsSetOp() && WouldSimplifyBlock(b); },
+      [](QueryBlock* b) { return SimplifyBlock(b); });
   return changed;
 }
 
 Result<bool> EliminateDistinct(TransformContext& ctx) {
-  bool changed = false;
-  VisitAllBlocks(ctx.root, [&](QueryBlock* b) {
-    if (b->IsSetOp()) return;
-    if (EliminateDistinctInBlock(b)) changed = true;
-  });
+  bool changed = MutateBlocksCow(
+      ctx.root,
+      [](const QueryBlock& b) { return !b.IsSetOp() && DistinctRemovable(b); },
+      [](QueryBlock* b) {
+        b->distinct = false;
+        return true;
+      });
   return changed;
 }
 

@@ -56,7 +56,7 @@ void ExpandOr(QueryBlock* b) {
   std::vector<const Expr*> disjuncts;
   CollectDisjuncts(*disjunction, &disjuncts);
 
-  std::vector<std::unique_ptr<QueryBlock>> branches;
+  std::vector<CowPtr<QueryBlock>> branches;
   for (size_t i = 0; i < disjuncts.size(); ++i) {
     auto branch = b->Clone();
     branch->where.push_back(disjuncts[i]->Clone());

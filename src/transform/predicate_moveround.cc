@@ -67,10 +67,11 @@ bool ConjunctExists(const QueryBlock& qb, const Expr& candidate) {
   return false;
 }
 
-// (1) transitive move-across within one block.
-bool TransitivePredicates(QueryBlock* qb) {
+// (1) transitive move-across within one block. Read-only computation of the
+// derived predicates so the COW traversal can decide without thawing.
+std::vector<ExprPtr> ComputeTransitiveAdditions(const QueryBlock& qb) {
   ColumnClasses classes;
-  for (const auto& w : qb->where) {
+  for (const auto& w : qb.where) {
     const Expr* l = nullptr;
     const Expr* r = nullptr;
     if (w->kind == ExprKind::kBinary && w->bop == BinaryOp::kEq &&
@@ -80,7 +81,7 @@ bool TransitivePredicates(QueryBlock* qb) {
     }
   }
   std::vector<ExprPtr> additions;
-  for (const auto& w : qb->where) {
+  for (const auto& w : qb.where) {
     // col cmp literal
     if (w->kind != ExprKind::kBinary || !IsComparisonOp(w->bop)) continue;
     const Expr* col = nullptr;
@@ -106,7 +107,7 @@ bool TransitivePredicates(QueryBlock* qb) {
       // source predicate's value (sql/parameterize.h).
       ExprPtr candidate = MakeBinary(
           op, MakeColumnRef(member.alias, member.column), lit->Clone());
-      if (!ConjunctExists(*qb, *candidate)) {
+      if (!ConjunctExists(qb, *candidate)) {
         bool already_added = false;
         for (const auto& a : additions) {
           if (ExprEquals(*a, *candidate)) already_added = true;
@@ -115,6 +116,11 @@ bool TransitivePredicates(QueryBlock* qb) {
       }
     }
   }
+  return additions;
+}
+
+bool TransitivePredicates(QueryBlock* qb) {
+  std::vector<ExprPtr> additions = ComputeTransitiveAdditions(*qb);
   if (additions.empty()) return false;
   for (auto& a : additions) qb->where.push_back(std::move(a));
   return true;
@@ -186,59 +192,80 @@ ExprPtr RewriteForView(const Expr& pred, const std::string& valias,
   return copy;
 }
 
-// (2) pushdown into views of one block.
+// Full legality check for pushing conjunct `w` of `qb` into the view it
+// filters: read-only, shared by the COW decide pass and the mutation pass.
+// Only *inexpensive* predicates move around (paper §2.1.3); pushing an
+// expensive predicate down would undo cost-based predicate pullup.
+bool ConjunctPushable(const QueryBlock& qb, const Expr& w,
+                      std::string* alias_out) {
+  std::string alias;
+  if (ContainsRownum(w) || ContainsExpensivePredicate(w) ||
+      !IsSingleTableFilter(w, &alias)) {
+    return false;
+  }
+  int idx = qb.FindFrom(alias);
+  if (idx < 0) return false;
+  const TableRef& tr = qb.from[static_cast<size_t>(idx)];
+  if (tr.IsBaseTable() || tr.no_merge || tr.lateral ||
+      tr.join != JoinKind::kInner) {
+    return false;
+  }
+  std::vector<std::string> used;
+  for (const Expr* ref : CollectLocalColumnRefs(w)) {
+    used.push_back(ref->column_name);
+  }
+  const QueryBlock& view = *tr.derived;
+  if (view.IsSetOp()) {
+    if (view.set_op != SetOpKind::kUnionAll &&
+        view.set_op != SetOpKind::kUnion) {
+      return false;
+    }
+    for (size_t bi = 0; bi < view.branches.size(); ++bi) {
+      const QueryBlock& b = *view.branches[bi];
+      auto colmap = BranchColumnMap(view, bi);
+      if (b.IsSetOp() || !PushableIntoRegularView(b, colmap, used)) {
+        return false;
+      }
+    }
+  } else if (!PushableIntoRegularView(view, ViewColumnMap(view), used)) {
+    return false;
+  }
+  if (alias_out != nullptr) *alias_out = alias;
+  return true;
+}
+
+bool AnyPushableIntoViews(const QueryBlock& qb) {
+  for (const auto& w : qb.where) {
+    if (ConjunctPushable(qb, *w, nullptr)) return true;
+  }
+  return false;
+}
+
+// (2) pushdown into views of one block. Thaws a view only when a predicate
+// actually moves into it; unaffected views stay shared.
 bool PushIntoViews(QueryBlock* qb) {
   bool changed = false;
   std::vector<ExprPtr> kept;
   for (auto& w : qb->where) {
     std::string alias;
-    bool pushed = false;
-    // Only *inexpensive* predicates move around (paper §2.1.3); pushing an
-    // expensive predicate down would undo cost-based predicate pullup.
-    if (!ContainsRownum(*w) && !ContainsExpensivePredicate(*w) &&
-        IsSingleTableFilter(*w, &alias)) {
-      int idx = qb->FindFrom(alias);
-      if (idx >= 0) {
-        TableRef& tr = qb->from[static_cast<size_t>(idx)];
-        if (!tr.IsBaseTable() && !tr.no_merge && !tr.lateral &&
-            tr.join == JoinKind::kInner) {
-          std::vector<std::string> used;
-          for (const Expr* ref : CollectLocalColumnRefs(*w)) {
-            used.push_back(ref->column_name);
-          }
-          if (tr.derived->IsSetOp()) {
-            bool all_ok = tr.derived->set_op == SetOpKind::kUnionAll ||
-                          tr.derived->set_op == SetOpKind::kUnion;
-            for (size_t bi = 0; bi < tr.derived->branches.size(); ++bi) {
-              const auto& b = tr.derived->branches[bi];
-              auto colmap = BranchColumnMap(*tr.derived, bi);
-              if (b->IsSetOp() || !PushableIntoRegularView(*b, colmap, used)) {
-                all_ok = false;
-              }
-            }
-            if (all_ok) {
-              for (size_t bi = 0; bi < tr.derived->branches.size(); ++bi) {
-                auto colmap = BranchColumnMap(*tr.derived, bi);
-                tr.derived->branches[bi]->where.push_back(
-                    RewriteForView(*w, alias, colmap));
-              }
-              pushed = true;
-            }
-          } else if (PushableIntoRegularView(*tr.derived,
-                                             ViewColumnMap(*tr.derived),
-                                             used)) {
-            auto colmap = ViewColumnMap(*tr.derived);
-            tr.derived->where.push_back(RewriteForView(*w, alias, colmap));
-            pushed = true;
-          }
-        }
-      }
-    }
-    if (pushed) {
-      changed = true;
-    } else {
+    if (!ConjunctPushable(*qb, *w, &alias)) {
       kept.push_back(std::move(w));
+      continue;
     }
+    int idx = qb->FindFrom(alias);
+    TableRef& tr = qb->from[static_cast<size_t>(idx)];
+    if (tr.derived.peek()->IsSetOp()) {
+      QueryBlock* view = tr.derived.write();
+      for (size_t bi = 0; bi < view->branches.size(); ++bi) {
+        auto colmap = BranchColumnMap(*view, bi);
+        view->branches[bi].write()->where.push_back(
+            RewriteForView(*w, alias, colmap));
+      }
+    } else {
+      auto colmap = ViewColumnMap(*tr.derived.peek());
+      tr.derived.write()->where.push_back(RewriteForView(*w, alias, colmap));
+    }
+    changed = true;
   }
   qb->where = std::move(kept);
   return changed;
@@ -249,12 +276,18 @@ bool PushIntoViews(QueryBlock* qb) {
 Result<bool> MovePredicatesAround(TransformContext& ctx) {
   bool changed = false;
   for (int round = 0; round < 3; ++round) {
-    bool round_changed = false;
-    VisitAllBlocks(ctx.root, [&](QueryBlock* b) {
-      if (b->IsSetOp()) return;
-      if (TransitivePredicates(b)) round_changed = true;
-      if (PushIntoViews(b)) round_changed = true;
-    });
+    bool round_changed = MutateBlocksCow(
+        ctx.root,
+        [](const QueryBlock& b) {
+          if (b.IsSetOp()) return false;
+          return !ComputeTransitiveAdditions(b).empty() ||
+                 AnyPushableIntoViews(b);
+        },
+        [](QueryBlock* b) {
+          bool c = TransitivePredicates(b);
+          if (PushIntoViews(b)) c = true;
+          return c;
+        });
     if (!round_changed) break;
     changed = true;
   }

@@ -11,7 +11,7 @@ bool ProvablyNonNull(const QueryBlock& root, const Expr& e) {
   if (e.kind != ExprKind::kColumnRef) return false;
   if (e.column_name == "rowid") return true;
   bool non_null = false;
-  VisitAllBlocks(const_cast<QueryBlock*>(&root), [&](QueryBlock* b) {
+  VisitAllBlocksConst(&root, [&](const QueryBlock* b) {
     int idx = b->FindFrom(e.table_alias);
     if (idx < 0) return;
     const TableRef& tr = b->from[static_cast<size_t>(idx)];
@@ -143,8 +143,12 @@ void MergeUnnest(TransformContext& ctx, QueryBlock* parent, ExprPtr w) {
 // ---------------------------------------------------------------------------
 
 // One candidate: a WHERE conjunct of `block` holding an unnestable subquery.
+// Discovery is read-only (blocks may be COW-shared with the base tree);
+// `path` addresses the block positionally so Apply can thaw exactly the
+// blocks whose bits are set.
 struct ViewUnnestCandidate {
-  QueryBlock* block;
+  const QueryBlock* block;
+  std::vector<BlockStep> path;  // root -> block
   size_t conjunct;   // index into block->where
   bool aggregate;    // true: scalar aggregate comparison; false: multi-table
 };
@@ -217,26 +221,28 @@ bool MultiTableUnnestable(const QueryBlock& parent, const Expr& w) {
   return ExtractCorrelatedEqualities(probe.get(), parent, &eqs, &rest);
 }
 
-std::vector<ViewUnnestCandidate> FindViewUnnestCandidates(QueryBlock* root) {
+std::vector<ViewUnnestCandidate> FindViewUnnestCandidates(
+    const QueryBlock* root) {
   std::vector<ViewUnnestCandidate> out;
-  VisitAllBlocks(root, [&](QueryBlock* b) {
-    if (b->IsSetOp()) return;
-    for (size_t i = 0; i < b->where.size(); ++i) {
-      const Expr& w = *b->where[i];
-      if (AggregateUnnestable(*b, w)) {
-        out.push_back(ViewUnnestCandidate{b, i, true});
-      } else if (MultiTableUnnestable(*b, w)) {
-        out.push_back(ViewUnnestCandidate{b, i, false});
-      }
-    }
-  });
+  VisitAllBlocksWithPath(
+      root, [&](const QueryBlock* b, const std::vector<BlockStep>& path) {
+        if (b->IsSetOp()) return;
+        for (size_t i = 0; i < b->where.size(); ++i) {
+          const Expr& w = *b->where[i];
+          if (AggregateUnnestable(*b, w)) {
+            out.push_back(ViewUnnestCandidate{b, path, i, true});
+          } else if (MultiTableUnnestable(*b, w)) {
+            out.push_back(ViewUnnestCandidate{b, path, i, false});
+          }
+        }
+      });
   return out;
 }
 
 // Q1 -> Q10: unnest a correlated scalar aggregate subquery into an inline
 // GROUP BY view joined on the correlation columns.
 Status ApplyAggregateUnnest(TransformContext& ctx, QueryBlock* block,
-                            size_t conjunct_idx) {
+                            size_t conjunct_idx, size_t cand_index) {
   ExprPtr w = std::move(block->where[conjunct_idx]);
   block->where.erase(block->where.begin() + static_cast<long>(conjunct_idx));
 
@@ -251,7 +257,12 @@ Status ApplyAggregateUnnest(TransformContext& ctx, QueryBlock* block,
     return Status::Internal("aggregate unnest candidate became illegal");
   }
 
-  std::string valias = GlobalUniqueAlias(*ctx.root, "vw_sq");
+  // The alias is keyed by the candidate's (state-independent) discovery
+  // index: a candidate's view is named identically in every state that
+  // unnests it, which is what lets block annotations and join-order memo
+  // fingerprints match across states.
+  std::string valias =
+      GlobalUniqueAlias(*ctx.root, "vw_sq" + std::to_string(cand_index));
   auto view = std::make_unique<QueryBlock>();
   view->qb_name = valias;
   view->from = std::move(s.from);
@@ -293,7 +304,7 @@ Status ApplyAggregateUnnest(TransformContext& ctx, QueryBlock* block,
 // Multi-table EXISTS / IN and negations: unnest into a semi-/anti-joined
 // inline view (paper §2.2.1 first paragraph).
 Status ApplyMultiTableUnnest(TransformContext& ctx, QueryBlock* block,
-                             size_t conjunct_idx) {
+                             size_t conjunct_idx, size_t cand_index) {
   ExprPtr w = std::move(block->where[conjunct_idx]);
   block->where.erase(block->where.begin() + static_cast<long>(conjunct_idx));
   QueryBlock& s = *w->subquery;
@@ -304,7 +315,12 @@ Status ApplyMultiTableUnnest(TransformContext& ctx, QueryBlock* block,
     return Status::Internal("multi-table unnest candidate became illegal");
   }
 
-  std::string valias = GlobalUniqueAlias(*ctx.root, "vw_sq");
+  // The alias is keyed by the candidate's (state-independent) discovery
+  // index: a candidate's view is named identically in every state that
+  // unnests it, which is what lets block annotations and join-order memo
+  // fingerprints match across states.
+  std::string valias =
+      GlobalUniqueAlias(*ctx.root, "vw_sq" + std::to_string(cand_index));
   auto view = std::make_unique<QueryBlock>();
   view->qb_name = valias;
   view->from = std::move(s.from);
@@ -432,12 +448,21 @@ Status SubqueryUnnestViewTransformation::Apply(
   // non-candidate conjuncts at the end, so earlier candidates' coordinates
   // stay valid. Candidate subqueries never nest inside one another (the
   // legality checks reject subqueries whose WHERE contains subqueries).
+  // Discovery was read-only; thaw each chosen candidate's block by path so
+  // untouched blocks stay shared with the base tree. Mutating an earlier
+  // (pre-order) block never invalidates a later candidate's path: the
+  // removed conjunct only shifts subquery positions *within* its own block,
+  // and remaining candidates are never in an applied block's subtree.
   for (size_t i = candidates.size(); i-- > 0;) {
     if (!bits[i]) continue;
     const ViewUnnestCandidate& cand = candidates[i];
+    QueryBlock* block = ThawBlockPath(ctx.root, cand.path);
+    if (block == nullptr) {
+      return Status::Internal("unnest candidate path no longer resolves");
+    }
     Status st = cand.aggregate
-                    ? ApplyAggregateUnnest(ctx, cand.block, cand.conjunct)
-                    : ApplyMultiTableUnnest(ctx, cand.block, cand.conjunct);
+                    ? ApplyAggregateUnnest(ctx, block, cand.conjunct, i)
+                    : ApplyMultiTableUnnest(ctx, block, cand.conjunct, i);
     if (!st.ok()) return st;
   }
   return Status::OK();

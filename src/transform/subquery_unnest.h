@@ -32,6 +32,9 @@ class SubqueryUnnestViewTransformation : public CostBasedTransformation {
                const std::vector<bool>& bits) const override;
   bool HeuristicDecision(const TransformContext& ctx,
                          int index) const override;
+  // Candidate discovery is read-only and Apply thaws only the rewritten
+  // blocks, so states may be evaluated on structurally shared tree copies.
+  bool CowSafe() const override { return true; }
 };
 
 /// True if `e` provably cannot be NULL: a non-NULL literal, or a column

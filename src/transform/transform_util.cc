@@ -35,7 +35,7 @@ bool IsCorrelated(const QueryBlock& sub) {
   std::set<std::string> inner;
   CollectDefinedAliases(sub, &inner);
   bool correlated = false;
-  VisitAllExprs(const_cast<QueryBlock*>(&sub), [&](Expr* e) {
+  VisitAllExprsConst(&sub, [&](const Expr* e) {
     if (e->kind == ExprKind::kColumnRef && !e->table_alias.empty() &&
         inner.count(e->table_alias) == 0) {
       correlated = true;
@@ -50,7 +50,7 @@ bool CorrelatedOnlyToParent(const QueryBlock& sub, const QueryBlock& parent) {
   std::set<std::string> parent_aliases;
   for (const auto& tr : parent.from) parent_aliases.insert(tr.alias);
   bool ok = true;
-  VisitAllExprs(const_cast<QueryBlock*>(&sub), [&](Expr* e) {
+  VisitAllExprsConst(&sub, [&](const Expr* e) {
     if (e->kind == ExprKind::kColumnRef && !e->table_alias.empty() &&
         inner.count(e->table_alias) == 0 &&
         parent_aliases.count(e->table_alias) == 0) {
@@ -143,10 +143,18 @@ int CountAliasUses(const QueryBlock& root, const std::string& a,
     });
   };
   // Walk every expression slot of every block, skipping excluded roots.
-  VisitAllBlocks(const_cast<QueryBlock*>(&root), [&](QueryBlock* b) {
-    VisitLocalExprSlots(b, [&](ExprPtr& slot) {
-      if (exclude.count(slot.get()) == 0) counter(slot.get());
-    });
+  VisitAllBlocksConst(&root, [&](const QueryBlock* b) {
+    auto slot = [&](const ExprPtr& e) {
+      if (exclude.count(e.get()) == 0) counter(e.get());
+    };
+    for (const auto& item : b->select) slot(item.expr);
+    for (const auto& tr : b->from) {
+      for (const auto& c : tr.join_conds) slot(c);
+    }
+    for (const auto& w : b->where) slot(w);
+    for (const auto& g : b->group_by) slot(g);
+    for (const auto& h : b->having) slot(h);
+    for (const auto& o : b->order_by) slot(o.expr);
   });
   return count;
 }

@@ -49,6 +49,13 @@ class CostBasedTransformation {
     (void)index;
     return true;
   }
+
+  /// True if Apply is copy-on-write safe: it discovers its objects through
+  /// read-only traversals and thaws (privately copies) only the blocks it
+  /// actually rewrites, so the framework may hand it a structurally shared
+  /// CloneCow copy of the base tree instead of a full deep copy. The default
+  /// is false: Apply gets a deep copy and may mutate freely.
+  virtual bool CowSafe() const { return false; }
 };
 
 }  // namespace cbqt

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "cbqt/engine.h"
+#include "cbqt/search.h"
 #include "tests/test_util.h"
 #include "workload/query_gen.h"
 #include "workload/runner.h"
@@ -66,6 +68,50 @@ TEST_P(EquivalenceTest, AllModesAgree) {
         ASSERT_TRUE(RowsEqualStructural((*rows)[i], (*reference)[i]))
             << "row " << i << " mode=" << static_cast<int>(mode) << "\n"
             << q.sql;
+      }
+    }
+  }
+}
+
+// Per-state copy-on-write trees and cross-state join-order memoization are
+// pure evaluation-cost optimizations: under every search strategy, serial
+// and parallel, the chosen transformations, the best cost (to the bit), and
+// the executed rows must match a run with the escape hatch forcing full
+// deep clones and from-scratch join-order DP.
+TEST_P(EquivalenceTest, CowMemoMatchesFullClones) {
+  const Case c = GetParam();
+  auto queries = GenerateFamily(c.family, 2, *schema_, c.seed);
+  for (const auto& q : queries) {
+    for (SearchStrategy strategy :
+         {SearchStrategy::kExhaustive, SearchStrategy::kIterative,
+          SearchStrategy::kLinear, SearchStrategy::kTwoPass}) {
+      for (int threads : {1, 4}) {
+        CbqtConfig fast = ConfigForMode(OptimizerMode::kCostBased);
+        fast.strategy_override = strategy;
+        fast.num_threads = threads;
+        CbqtConfig slow = fast;
+        slow.cow_clone = false;
+        slow.reuse_join_orders = false;
+
+        QueryEngine fast_engine(*db_, fast);
+        QueryEngine slow_engine(*db_, slow);
+        auto fr = fast_engine.Run(q.sql);
+        auto sr = slow_engine.Run(q.sql);
+        const std::string where = std::string(SearchStrategyName(strategy)) +
+                                  " threads=" + std::to_string(threads) +
+                                  "\n" + q.sql;
+        ASSERT_TRUE(fr.ok()) << fr.status().ToString() << "\n" << where;
+        ASSERT_TRUE(sr.ok()) << sr.status().ToString() << "\n" << where;
+        EXPECT_EQ(fr->prepared.cost, sr->prepared.cost) << where;
+        EXPECT_EQ(fr->prepared.stats.applied, sr->prepared.stats.applied)
+            << where;
+        SortRowsCanonical(&fr->rows);
+        SortRowsCanonical(&sr->rows);
+        ASSERT_EQ(fr->rows.size(), sr->rows.size()) << where;
+        for (size_t i = 0; i < fr->rows.size(); ++i) {
+          ASSERT_TRUE(RowsEqualStructural(fr->rows[i], sr->rows[i]))
+              << "row " << i << " " << where;
+        }
       }
     }
   }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "cbqt/framework.h"
+#include "cbqt/search.h"
 #include "exec/executor.h"
 #include "tests/test_util.h"
 #include "workload/runner.h"
@@ -191,6 +192,52 @@ TEST_F(PaperQueryTest, MultiTableExists) {
       "SELECT d.dept_name FROM departments d WHERE EXISTS (SELECT 1 FROM "
       "employees e, job_history j WHERE e.emp_id = j.emp_id AND e.dept_id "
       "= d.dept_id AND j.start_date > '20000101')");
+}
+
+TEST_F(PaperQueryTest, CowMemoEscapeHatchBitIdentical) {
+  // COW per-state trees + join-order memoization vs the escape hatch
+  // forcing full deep clones: best cost to the bit, same applied
+  // transformations, same rows — under every strategy, serial and parallel.
+  // The query is the Table-2 shape (multiple unnestable subqueries), which
+  // exercises every COW edge and the cross-state memo.
+  const std::string sql =
+      "SELECT e.employee_name, j.job_title FROM employees e, job_history j "
+      "WHERE e.emp_id = j.emp_id "
+      "AND e.dept_id IN (SELECT d.dept_id FROM departments d, locations l "
+      "WHERE d.loc_id = l.loc_id AND l.country_id = 'US') "
+      "AND EXISTS (SELECT 1 FROM job_history j2 WHERE j2.emp_id = e.emp_id) "
+      "AND e.emp_id NOT IN (SELECT o.emp_id FROM orders o WHERE "
+      "o.status = 'CANCELLED')";
+  for (SearchStrategy strategy :
+       {SearchStrategy::kExhaustive, SearchStrategy::kIterative,
+        SearchStrategy::kLinear, SearchStrategy::kTwoPass}) {
+    for (int threads : {1, 4}) {
+      CbqtConfig fast = ConfigForMode(OptimizerMode::kCostBased);
+      fast.strategy_override = strategy;
+      fast.num_threads = threads;
+      CbqtConfig slow = fast;
+      slow.cow_clone = false;
+      slow.reuse_join_orders = false;
+      QueryEngine fast_engine(*db_, fast);
+      QueryEngine slow_engine(*db_, slow);
+      auto fr = fast_engine.Run(sql);
+      auto sr = slow_engine.Run(sql);
+      const std::string where = std::string(SearchStrategyName(strategy)) +
+                                " threads=" + std::to_string(threads);
+      ASSERT_TRUE(fr.ok()) << fr.status().ToString() << " " << where;
+      ASSERT_TRUE(sr.ok()) << sr.status().ToString() << " " << where;
+      EXPECT_EQ(fr->prepared.cost, sr->prepared.cost) << where;
+      EXPECT_EQ(fr->prepared.stats.applied, sr->prepared.stats.applied)
+          << where;
+      SortRowsCanonical(&fr->rows);
+      SortRowsCanonical(&sr->rows);
+      ASSERT_EQ(fr->rows.size(), sr->rows.size()) << where;
+      for (size_t i = 0; i < fr->rows.size(); ++i) {
+        ASSERT_TRUE(RowsEqualStructural(fr->rows[i], sr->rows[i]))
+            << "row " << i << " " << where;
+      }
+    }
+  }
 }
 
 TEST_F(PaperQueryTest, CbqtChoosesUnnestingForQ10Shape) {

@@ -243,8 +243,14 @@ TEST_F(PlanCacheTest, DegradedEntryUpgradesToFullBudgetPlan) {
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(warm->from_plan_cache);
 
-  // The threshold hit triggers the in-line upgrade: re-optimized under the
-  // budget scaled by 1e6, i.e. effectively unbudgeted.
+  // The threshold hit wins the CAS gate and schedules the upgrade on the
+  // engine's background pool; the serving call itself still returns the
+  // degraded plan. Once the background re-optimization (budget scaled by
+  // 1e6, i.e. effectively unbudgeted) lands, hits serve the full plan.
+  auto trigger = engine.Prepare(sql);
+  ASSERT_TRUE(trigger.ok());
+  EXPECT_TRUE(trigger->from_plan_cache);
+  engine.WaitForUpgrades();
   auto upgraded = engine.Prepare(sql);
   ASSERT_TRUE(upgraded.ok());
   EXPECT_TRUE(upgraded->from_plan_cache);
@@ -292,9 +298,41 @@ TEST_F(PlanCacheTest, UpgradeAttemptsAreBounded) {
     auto p = engine.Prepare(sql);
     ASSERT_TRUE(p.ok());
     EXPECT_TRUE(p->degraded);
+    // Drain the background attempt (if this hit scheduled one) so the
+    // ladder's state is deterministic for the next iteration.
+    engine.WaitForUpgrades();
   }
   EXPECT_EQ(engine.plan_cache_stats().upgrade_attempts, 2);
   EXPECT_EQ(engine.plan_cache_stats().upgrades, 0);
+}
+
+TEST_F(PlanCacheTest, BackgroundUpgradeDoesNotBlockServing) {
+  // The upgrade runs off the serving thread: the hit that wins the CAS gate
+  // returns the degraded cached plan immediately (a blocking upgrade would
+  // have returned the full-budget plan from that very call), and the
+  // upgraded entry becomes visible only after the background task lands.
+  CbqtConfig cfg = CachedConfig();
+  cfg.budget.max_states = 2;
+  cfg.plan_cache.upgrade_after_hits = 1;  // first hit schedules the upgrade
+  cfg.plan_cache.upgrade_budget_multiplier = 1e6;
+  QueryEngine engine(*db_, cfg);
+
+  auto miss = engine.Prepare(kDegradableSql);
+  ASSERT_TRUE(miss.ok());
+  ASSERT_TRUE(miss->degraded);
+
+  auto trigger = engine.Prepare(kDegradableSql);
+  ASSERT_TRUE(trigger.ok());
+  EXPECT_TRUE(trigger->from_plan_cache);
+  EXPECT_TRUE(trigger->degraded);  // served before the upgrade completed
+
+  engine.WaitForUpgrades();
+  EXPECT_EQ(engine.plan_cache_stats().upgrade_attempts, 1);
+  EXPECT_EQ(engine.plan_cache_stats().upgrades, 1);
+  auto settled = engine.Prepare(kDegradableSql);
+  ASSERT_TRUE(settled.ok());
+  EXPECT_TRUE(settled->from_plan_cache);
+  EXPECT_FALSE(settled->degraded);
 }
 
 TEST_F(PlanCacheTest, ConcurrentSharedEngineRunsAreSafe) {
