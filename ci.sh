@@ -51,7 +51,8 @@ if [[ "${want}" == "all" || "${want}" == "bench-smoke" ]]; then
   echo "=== [bench-smoke] configure + build ==="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "${dir}" -j "${jobs}" \
-    --target bench_table1_reuse bench_plan_cache bench_state_eval
+    --target bench_table1_reuse bench_plan_cache bench_state_eval \
+    bench_guardrails
   echo "=== [bench-smoke] bench_table1_reuse ==="
   (cd "${dir}" && ./bench/bench_table1_reuse)
   echo "=== [bench-smoke] bench_plan_cache ==="
@@ -60,6 +61,16 @@ if [[ "${want}" == "all" || "${want}" == "bench-smoke" ]]; then
   # COW+memo and forced full clones, and >= 2x states/sec.
   echo "=== [bench-smoke] bench_state_eval ==="
   (cd "${dir}" && ./bench/bench_state_eval --reps 3)
+  # bench_guardrails asserts the runtime-guardrail gates: < 5% end-to-end
+  # overhead with every polling/charging site active, p99 cancel latency
+  # < 2x the polling quantum, and an 8-seed probabilistic fault-injection
+  # sweep over a mixed workload that must complete process-level (counts
+  # reconcile; injected failures stay per-query).
+  echo "=== [bench-smoke] bench_guardrails ==="
+  # 5 reps (not 3): the overhead gate is a best-of comparison of two ~100 ms
+  # runs, and on a loaded single-core box 3 reps leaves enough noise to brush
+  # the 5% gate.
+  (cd "${dir}" && ./bench/bench_guardrails --reps 5 --cancel-samples 15)
 fi
 
 if [[ "${want}" == "all" || "${want}" == "asan" ]]; then

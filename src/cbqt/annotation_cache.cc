@@ -4,8 +4,23 @@
 
 namespace cbqt {
 
-AnnotationCache::AnnotationCache(int num_shards, size_t capacity)
-    : capacity_(capacity) {
+namespace {
+
+/// Estimated footprint of one cached annotation: the entry struct, the key
+/// string, the out-stats, and the memoized plan tree.
+int64_t EstimateEntryBytes(std::string_view signature,
+                           const CostAnnotation& annotation) {
+  int64_t bytes = static_cast<int64_t>(sizeof(CostAnnotation)) +
+                  static_cast<int64_t>(signature.size());
+  if (annotation.plan != nullptr) bytes += annotation.plan->EstimateBytes();
+  return bytes;
+}
+
+}  // namespace
+
+AnnotationCache::AnnotationCache(int num_shards, size_t capacity,
+                                 MemoryTracker* tracker)
+    : capacity_(capacity), tracker_(tracker) {
   int n = std::max(1, num_shards);
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -14,6 +29,13 @@ AnnotationCache::AnnotationCache(int num_shards, size_t capacity)
   if (capacity_ > 0) {
     shard_capacity_ =
         std::max<size_t>(1, capacity_ / static_cast<size_t>(n));
+  }
+}
+
+AnnotationCache::~AnnotationCache() {
+  if (tracker_ != nullptr) {
+    int64_t held = memory_bytes_.load(std::memory_order_relaxed);
+    if (held > 0) tracker_->Release(held);
   }
 }
 
@@ -39,25 +61,46 @@ std::shared_ptr<const CostAnnotation> AnnotationCache::Find(
 
 void AnnotationCache::Put(std::string_view signature,
                           CostAnnotation annotation) {
+  int64_t entry_bytes =
+      tracker_ != nullptr ? EstimateEntryBytes(signature, annotation) : 0;
   auto entry =
       std::make_shared<const CostAnnotation>(std::move(annotation));
   Shard& shard = ShardFor(signature);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(signature);
-  if (it != shard.map.end()) {
-    it->second.annotation = std::move(entry);
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-    return;
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(signature);
+    if (it != shard.map.end()) {
+      delta = entry_bytes - it->second.bytes;
+      it->second.annotation = std::move(entry);
+      it->second.bytes = entry_bytes;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    } else {
+      auto pos = shard.map.try_emplace(std::string(signature)).first;
+      pos->second.annotation = std::move(entry);
+      pos->second.bytes = entry_bytes;
+      shard.lru.push_front(&pos->first);
+      pos->second.lru_it = shard.lru.begin();
+      delta = entry_bytes;
+      if (shard_capacity_ > 0 && shard.map.size() > shard_capacity_) {
+        const std::string* victim = shard.lru.back();
+        shard.lru.pop_back();
+        auto vit = shard.map.find(*victim);
+        delta -= vit->second.bytes;
+        shard.map.erase(vit);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
-  auto pos = shard.map.try_emplace(std::string(signature)).first;
-  pos->second.annotation = std::move(entry);
-  shard.lru.push_front(&pos->first);
-  pos->second.lru_it = shard.lru.begin();
-  if (shard_capacity_ > 0 && shard.map.size() > shard_capacity_) {
-    const std::string* victim = shard.lru.back();
-    shard.lru.pop_back();
-    shard.map.erase(shard.map.find(*victim));
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (tracker_ != nullptr && delta != 0) {
+    // ForceReserve: cache growth must not fail an insert mid-structure; the
+    // shared tracker's next TryReserve is the enforcement point.
+    if (delta > 0) {
+      tracker_->ForceReserve(delta);
+    } else {
+      tracker_->Release(-delta);
+    }
+    memory_bytes_.fetch_add(delta, std::memory_order_relaxed);
   }
 }
 
@@ -70,6 +113,8 @@ void AnnotationCache::Clear() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+  int64_t held = memory_bytes_.exchange(0, std::memory_order_relaxed);
+  if (tracker_ != nullptr && held > 0) tracker_->Release(held);
 }
 
 size_t AnnotationCache::size() const {

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "optimizer/card_est.h"
 #include "optimizer/plan.h"
 
@@ -54,8 +55,18 @@ class AnnotationCache {
   static constexpr int kDefaultShards = 16;
   static constexpr size_t kDefaultCapacity = 4096;
 
+  /// `tracker` (optional) charges every cached entry's estimated bytes for
+  /// its lifetime in the cache — the CBQT framework passes the query's
+  /// memory tracker so annotation / join-memo growth shows up in the
+  /// query's accounting. Charges use ForceReserve (an insert never fails
+  /// mid-structure); the enforcement point is the next TryReserve of
+  /// whoever shares the tracker. All bytes are released on eviction,
+  /// Clear(), and destruction.
   explicit AnnotationCache(int num_shards = kDefaultShards,
-                           size_t capacity = kDefaultCapacity);
+                           size_t capacity = kDefaultCapacity,
+                           MemoryTracker* tracker = nullptr);
+
+  ~AnnotationCache();
 
   /// nullptr if not cached. A hit refreshes the entry's LRU position.
   std::shared_ptr<const CostAnnotation> Find(std::string_view signature) const;
@@ -72,6 +83,10 @@ class AnnotationCache {
   }
   size_t size() const;
   size_t capacity() const { return capacity_; }
+  /// Estimated bytes currently held by cached entries.
+  int64_t memory_bytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct TransparentHash {
@@ -85,6 +100,7 @@ class AnnotationCache {
     std::shared_ptr<const CostAnnotation> annotation;
     /// Position in the shard's LRU list (front = most recently used).
     std::list<const std::string*>::iterator lru_it;
+    int64_t bytes = 0;  ///< estimate charged to tracker_ while cached
   };
 
   struct Shard {
@@ -101,6 +117,8 @@ class AnnotationCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t capacity_ = kDefaultCapacity;  ///< total; 0 = unbounded
   size_t shard_capacity_ = 0;           ///< per shard; 0 = unbounded
+  MemoryTracker* tracker_ = nullptr;    ///< optional byte accounting
+  std::atomic<int64_t> memory_bytes_{0};
   mutable std::atomic<int64_t> hits_{0};
   mutable std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};

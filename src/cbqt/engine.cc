@@ -1,7 +1,9 @@
 #include "cbqt/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <utility>
 
 #include "parser/parser.h"
@@ -20,17 +22,113 @@ bool IsDegraded(const CbqtStats& stats) {
   return stats.budget_exhausted || stats.searches_degraded > 0;
 }
 
+/// Estimated footprint of one plan-cache entry, charged against the engine
+/// memory tracker while cached.
+int64_t EstimateEntryBytes(const CachedPlanEntry& entry) {
+  int64_t bytes = static_cast<int64_t>(sizeof(CachedPlanEntry)) +
+                  static_cast<int64_t>(entry.key.capacity());
+  if (entry.tree != nullptr) bytes += entry.tree->EstimateBytes();
+  if (entry.source_tree != nullptr) bytes += entry.source_tree->EstimateBytes();
+  if (entry.plan != nullptr) bytes += entry.plan->EstimateBytes();
+  return bytes;
+}
+
+/// RAII pairing of Admit/EndQuery so every exit path (including early
+/// returns on parse errors) frees the admission slot and records the
+/// outcome.
+class AdmissionScope {
+ public:
+  using EndFn = std::function<void(uint64_t, const Status&)>;
+  AdmissionScope(uint64_t id, EndFn end) : id_(id), end_(std::move(end)) {}
+  ~AdmissionScope() { end_(id_, status_); }
+  AdmissionScope(const AdmissionScope&) = delete;
+  AdmissionScope& operator=(const AdmissionScope&) = delete;
+
+  void set_status(const Status& s) { status_ = s; }
+
+ private:
+  uint64_t id_;
+  EndFn end_;
+  Status status_;
+};
+
 }  // namespace
 
 QueryEngine::QueryEngine(const Database& db, CbqtConfig config,
                          CostParams params)
     : db_(db), optimizer_(db, config, params), config_(config) {
+  const GuardrailConfig& gr = config_.guardrails;
+  if (gr.engine_memory_bytes > 0 || gr.query_memory_bytes > 0) {
+    root_memory_ = std::make_unique<MemoryTracker>("engine",
+                                                   gr.engine_memory_bytes);
+    // Pressure ladder, engine level: shed cached plans before failing a
+    // reservation against the engine budget...
+    root_memory_->set_pressure_callback([this](int64_t missing) -> int64_t {
+      if (plan_cache_ == nullptr) return 0;
+      return plan_cache_->EvictBytes(missing);
+    });
+    // ...and as a last resort fail the largest admitted query. The victim
+    // is cancelled with kResourceExhausted through the same token plumbing
+    // as a user cancel; when the requester itself is the largest there is
+    // no victim and the requester's own reservation fails.
+    root_memory_->set_victim_callback(
+        [this](const MemoryTracker* requester, int64_t missing) -> bool {
+          (void)missing;
+          std::lock_guard<std::mutex> lock(admission_mu_);
+          const ActiveQuery* victim = nullptr;
+          int64_t victim_used = -1;
+          for (const auto& [id, aq] : active_) {
+            if (aq.memory == nullptr) continue;
+            int64_t used = aq.memory->used_bytes();
+            if (used > victim_used) {
+              victim_used = used;
+              victim = &aq;
+            }
+          }
+          if (victim == nullptr || victim->memory.get() == requester) {
+            return false;  // requester is the largest: it fails itself
+          }
+          if (victim->token == nullptr) return false;
+          bool tripped = victim->token->CancelWith(Status::ResourceExhausted(
+              "cancelled as engine memory-pressure victim (largest admitted "
+              "query, " +
+              std::to_string(victim_used) + " bytes)"));
+          if (tripped) {
+            memory_victims_.fetch_add(1, std::memory_order_relaxed);
+          }
+          return tripped;
+        });
+  }
   if (config_.plan_cache.enabled()) {
-    plan_cache_ = std::make_unique<PlanCache>(config_.plan_cache);
+    plan_cache_ =
+        std::make_unique<PlanCache>(config_.plan_cache, root_memory_.get());
     // One worker is plenty: upgrades are rare (bounded per statement) and
     // coarse (a whole re-optimization each).
     upgrade_pool_ = std::make_unique<ThreadPool>(1);
+    shutdown_token_ = std::make_shared<CancellationToken>();
   }
+}
+
+QueryEngine::~QueryEngine() {
+  // Shutdown ordering: trip the shutdown token first so an in-flight
+  // background upgrade unwinds at its next polling quantum instead of
+  // finishing a long re-optimization, then cancel whatever queries are
+  // still admitted, then drain the upgrade pool explicitly while
+  // plan_cache_ and optimizer_ are guaranteed alive. (Member order alone
+  // would destroy the pool first too, but only after blocking on the full
+  // upgrade; and it would not stop admitted queries from racing teardown.)
+  if (shutdown_token_ != nullptr) {
+    shutdown_token_->CancelWith(Status::Cancelled("engine shutting down"));
+  }
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    for (auto& [id, aq] : active_) {
+      if (aq.token != nullptr) {
+        aq.token->CancelWith(Status::Cancelled("engine shutting down"));
+      }
+    }
+  }
+  if (upgrade_pool_ != nullptr) upgrade_pool_->Wait();
 }
 
 PlanCacheStats QueryEngine::plan_cache_stats() const {
@@ -41,12 +139,150 @@ void QueryEngine::WaitForUpgrades() const {
   if (upgrade_pool_ != nullptr) upgrade_pool_->Wait();
 }
 
+GuardrailStats QueryEngine::guardrail_stats() const {
+  GuardrailStats out;
+  out.admitted = admitted_.load(std::memory_order_relaxed);
+  out.queued = queued_total_.load(std::memory_order_relaxed);
+  out.admission_rejected =
+      admission_rejected_.load(std::memory_order_relaxed);
+  out.cancelled = cancelled_.load(std::memory_order_relaxed);
+  out.resource_exhausted =
+      resource_exhausted_.load(std::memory_order_relaxed);
+  out.memory_victims = memory_victims_.load(std::memory_order_relaxed);
+  if (plan_cache_ != nullptr) {
+    out.cache_shed_bytes = plan_cache_->stats().shed_bytes;
+  }
+  if (root_memory_ != nullptr) {
+    out.engine_used_bytes = root_memory_->used_bytes();
+    out.engine_peak_bytes = root_memory_->peak_bytes();
+  }
+  return out;
+}
+
+bool QueryEngine::Cancel(uint64_t query_id) const {
+  // The token is tripped while admission_mu_ is held: EndQuery removes
+  // registry entries under the same mutex, so the (possibly caller-owned)
+  // token pointer cannot dangle during the trip.
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  auto it = active_.find(query_id);
+  if (it == active_.end() || it->second.token == nullptr) return false;
+  return it->second.token->Cancel();
+}
+
+std::vector<uint64_t> QueryEngine::ActiveQueryIds() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  std::vector<uint64_t> out;
+  out.reserve(active_.size());
+  for (const auto& [id, aq] : active_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<uint64_t> QueryEngine::Admit(CancellationToken* cancel) const {
+  // Cancel-before-admit: a token tripped at entry fails fast without
+  // consuming an admission slot or doing any work.
+  if (cancel != nullptr && cancel->cancelled()) {
+    Status st = cancel->status();
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+
+  const AdmissionConfig& ac = config_.guardrails.admission;
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (ac.enabled() && running_ >= ac.max_concurrent) {
+    if (queued_ >= std::max(0, ac.max_queued) || ac.queue_timeout_ms <= 0) {
+      admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::AdmissionRejected(
+          ac.queue_timeout_ms <= 0
+              ? "all " + std::to_string(ac.max_concurrent) +
+                    " execution slots busy (no queueing configured)"
+              : "admission queue full (" + std::to_string(queued_) +
+                    " waiting for " + std::to_string(ac.max_concurrent) +
+                    " slots)");
+    }
+    ++queued_;
+    queued_total_.fetch_add(1, std::memory_order_relaxed);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            ac.queue_timeout_ms));
+    bool got_slot = admission_cv_.wait_until(lock, deadline, [&] {
+      return running_ < ac.max_concurrent ||
+             (cancel != nullptr && cancel->cancelled());
+    });
+    --queued_;
+    if (cancel != nullptr && cancel->cancelled()) {
+      Status st = cancel->status();
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      return st;
+    }
+    if (!got_slot || running_ >= ac.max_concurrent) {
+      admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::AdmissionRejected(
+          "queued for " + std::to_string(ac.queue_timeout_ms) +
+          " ms without getting one of " + std::to_string(ac.max_concurrent) +
+          " execution slots");
+    }
+  }
+  if (ac.enabled()) ++running_;
+
+  uint64_t id = next_query_id_++;
+  ActiveQuery aq;
+  if (cancel != nullptr) {
+    aq.token = cancel;
+  } else {
+    aq.owned_token = std::make_shared<CancellationToken>();
+    aq.token = aq.owned_token.get();
+  }
+  if (root_memory_ != nullptr) {
+    aq.memory = std::make_unique<MemoryTracker>(
+        "query-" + std::to_string(id), config_.guardrails.query_memory_bytes,
+        root_memory_.get());
+  }
+  active_.emplace(id, std::move(aq));
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void QueryEngine::EndQuery(uint64_t id, const Status& final_status) const {
+  switch (final_status.code()) {
+    case StatusCode::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kResourceExhausted:
+      resource_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  active_.erase(id);
+  if (config_.guardrails.admission.enabled()) {
+    --running_;
+    admission_cv_.notify_one();
+  }
+}
+
+QueryGuards QueryEngine::GuardsFor(uint64_t id) const {
+  QueryGuards g;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    auto it = active_.find(id);
+    if (it != active_.end()) {
+      g.cancel = it->second.token;
+      g.memory = it->second.memory.get();
+    }
+  }
+  g.faults = config_.fault_injector.get();
+  return g;
+}
+
 Result<PreparedQuery> QueryEngine::PrepareUncached(
-    const std::string& sql) const {
+    const std::string& sql, const QueryGuards& guards) const {
   double t0 = MonotonicMs();
   auto parsed = ParseSql(sql);
   if (!parsed.ok()) return parsed.status();
-  auto optimized = optimizer_.Optimize(*parsed.value());
+  auto optimized = optimizer_.Optimize(*parsed.value(), config_.budget, guards);
   if (!optimized.ok()) return optimized.status();
   PreparedQuery out;
   out.tree = std::move(optimized->tree);
@@ -72,7 +308,8 @@ void QueryEngine::MaybeUpgrade(
   }
   // CAS won: hand the re-optimization to the background pool and keep
   // serving the degraded plan. The pool outlives every captured reference
-  // (it is the first engine member destroyed, and its destructor drains).
+  // (the engine destructor trips the shutdown token and drains it while the
+  // cache and optimizer are still alive).
   upgrade_pool_->Submit(
       [this, entry, epoch]() { RunUpgrade(entry, epoch); });
 }
@@ -80,13 +317,27 @@ void QueryEngine::MaybeUpgrade(
 void QueryEngine::RunUpgrade(std::shared_ptr<const CachedPlanEntry> entry,
                              uint64_t epoch) const {
   const PlanCacheConfig& pc = config_.plan_cache;
+  // Hold the database read lock like any foreground engine operation: the
+  // re-optimization must not race a concurrent Analyze().
+  auto db_lock = db_.ReadLock();
   // Re-optimize the original parameterized statement under an enlarged
   // budget: the original budget scaled by multiplier^attempt, so persistent
   // exhaustion climbs the ladder instead of retrying the same ceiling.
   double factor = std::pow(pc.upgrade_budget_multiplier,
                            static_cast<double>(entry->upgrade_attempts + 1));
   OptimizerBudget enlarged = ScaledBudget(entry->planned_budget, factor);
-  auto optimized = optimizer_.Optimize(*entry->source_tree, enlarged);
+  // The shutdown token makes an upgrade caught mid-flight by ~QueryEngine
+  // unwind at its next per-state poll instead of finishing the whole
+  // re-optimization against an engine that is tearing down.
+  QueryGuards upgrade_guards;
+  upgrade_guards.cancel = shutdown_token_.get();
+  auto optimized =
+      optimizer_.Optimize(*entry->source_tree, enlarged, upgrade_guards);
+  if (shutdown_token_->cancelled()) {
+    // Engine teardown in progress: do not touch the cache; leave the
+    // in-flight flag set so no new upgrade starts either.
+    return;
+  }
 
   auto fresh = std::make_shared<CachedPlanEntry>();
   fresh->key = entry->key;
@@ -110,13 +361,16 @@ void QueryEngine::RunUpgrade(std::shared_ptr<const CachedPlanEntry> entry,
     fresh->stats = entry->stats;
     fresh->degraded = true;
   }
+  fresh->bytes = EstimateEntryBytes(*fresh);
   plan_cache_->RecordUpgradeAttempt(!fresh->degraded);
   plan_cache_->Put(fresh);
   entry->upgrade_in_flight.store(false, std::memory_order_release);
 }
 
-Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) const {
-  if (plan_cache_ == nullptr) return PrepareUncached(sql);
+Result<PreparedQuery> QueryEngine::PrepareAdmitted(const std::string& sql,
+                                                   uint64_t id) const {
+  QueryGuards guards = GuardsFor(id);
+  if (plan_cache_ == nullptr) return PrepareUncached(sql, guards);
 
   double t0 = MonotonicMs();
   auto parsed = ParseSql(sql);
@@ -143,8 +397,11 @@ Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) const {
     return out;
   }
 
-  auto optimized = optimizer_.Optimize(*parsed.value());
+  auto optimized = optimizer_.Optimize(*parsed.value(), config_.budget, guards);
   if (!optimized.ok()) return optimized.status();
+  // A cancelled or memory-failed optimization returned above — only fully
+  // successful plans are published, so guardrail unwinds can never leak a
+  // partial result into the cache.
 
   auto fresh = std::make_shared<CachedPlanEntry>();
   fresh->key = std::move(ps.key);
@@ -157,6 +414,7 @@ Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) const {
   fresh->num_params = ps.params.size();
   fresh->degraded = IsDegraded(fresh->stats);
   fresh->planned_budget = config_.budget;
+  fresh->bytes = EstimateEntryBytes(*fresh);
   plan_cache_->Put(std::move(fresh));
 
   PreparedQuery out;
@@ -170,12 +428,15 @@ Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) const {
   return out;
 }
 
-Result<QueryResult> QueryEngine::Execute(PreparedQuery prepared) const {
+Result<QueryResult> QueryEngine::ExecuteAdmitted(PreparedQuery prepared,
+                                                 uint64_t id) const {
+  QueryGuards guards = GuardsFor(id);
   // Row-budget governor for this execution (OptimizerBudget::max_exec_rows):
   // a runaway query fails fast with kBudgetExhausted instead of grinding on.
   BudgetTracker exec_budget(config_.budget);
-  Executor executor(db_, config_.budget.max_exec_rows > 0 ? &exec_budget
-                                                          : nullptr);
+  Executor executor(db_,
+                    config_.budget.max_exec_rows > 0 ? &exec_budget : nullptr,
+                    guards);
   ExecStats exec_stats;
   double t0 = MonotonicMs();
   auto rows = executor.Execute(*prepared.plan, &exec_stats);
@@ -186,13 +447,56 @@ Result<QueryResult> QueryEngine::Execute(PreparedQuery prepared) const {
   out.prepared = std::move(prepared);
   out.execute_ms = t1 - t0;
   out.rows_processed = exec_stats.rows_processed;
+  if (guards.memory != nullptr) {
+    out.peak_memory_bytes = guards.memory->peak_bytes();
+  }
   return out;
 }
 
-Result<QueryResult> QueryEngine::Run(const std::string& sql) const {
-  auto prepared = Prepare(sql);
-  if (!prepared.ok()) return prepared.status();
-  return Execute(std::move(prepared.value()));
+Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql,
+                                           CancellationToken* cancel) const {
+  auto admitted = Admit(cancel);
+  if (!admitted.ok()) return admitted.status();
+  AdmissionScope scope(*admitted, [this](uint64_t id, const Status& s) {
+    EndQuery(id, s);
+  });
+  auto db_lock = db_.ReadLock();
+  auto out = PrepareAdmitted(sql, *admitted);
+  scope.set_status(out.status());
+  return out;
+}
+
+Result<QueryResult> QueryEngine::Execute(PreparedQuery prepared,
+                                         CancellationToken* cancel) const {
+  auto admitted = Admit(cancel);
+  if (!admitted.ok()) return admitted.status();
+  AdmissionScope scope(*admitted, [this](uint64_t id, const Status& s) {
+    EndQuery(id, s);
+  });
+  auto db_lock = db_.ReadLock();
+  auto out = ExecuteAdmitted(std::move(prepared), *admitted);
+  scope.set_status(out.status());
+  return out;
+}
+
+Result<QueryResult> QueryEngine::Run(const std::string& sql,
+                                     CancellationToken* cancel) const {
+  // One admission slot and one per-query memory tracker cover the whole
+  // prepare + execute pipeline.
+  auto admitted = Admit(cancel);
+  if (!admitted.ok()) return admitted.status();
+  AdmissionScope scope(*admitted, [this](uint64_t id, const Status& s) {
+    EndQuery(id, s);
+  });
+  auto db_lock = db_.ReadLock();
+  auto prepared = PrepareAdmitted(sql, *admitted);
+  if (!prepared.ok()) {
+    scope.set_status(prepared.status());
+    return prepared.status();
+  }
+  auto out = ExecuteAdmitted(std::move(prepared.value()), *admitted);
+  scope.set_status(out.status());
+  return out;
 }
 
 }  // namespace cbqt

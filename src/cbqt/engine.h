@@ -1,13 +1,20 @@
 #ifndef CBQT_CBQT_ENGINE_H_
 #define CBQT_CBQT_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cbqt/framework.h"
 #include "cbqt/plan_cache.h"
+#include "common/cancellation.h"
+#include "common/guardrails.h"
+#include "common/memory_tracker.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/value.h"
@@ -39,6 +46,22 @@ struct QueryResult {
   PreparedQuery prepared;      ///< the plan the rows were produced from
   double execute_ms = 0;       ///< wall time of execution
   int64_t rows_processed = 0;  ///< rows pushed through operators (work units)
+  /// High-water mark of the per-query memory tracker over the execution
+  /// (zero when memory guardrails are off).
+  int64_t peak_memory_bytes = 0;
+};
+
+/// Telemetry of the engine runtime guardrails (all zero when disabled).
+struct GuardrailStats {
+  int64_t admitted = 0;            ///< engine operations admitted
+  int64_t queued = 0;              ///< admissions that waited for a slot
+  int64_t admission_rejected = 0;  ///< typed kAdmissionRejected turn-aways
+  int64_t cancelled = 0;           ///< operations that unwound kCancelled
+  int64_t resource_exhausted = 0;  ///< operations failing kResourceExhausted
+  int64_t memory_victims = 0;      ///< queries failed by the victim callback
+  int64_t cache_shed_bytes = 0;    ///< plan-cache bytes freed under pressure
+  int64_t engine_used_bytes = 0;   ///< root tracker charge right now
+  int64_t engine_peak_bytes = 0;   ///< root tracker high-water mark
 };
 
 /// The public facade over the whole pipeline — the one place that wires
@@ -58,23 +81,62 @@ struct QueryResult {
 /// Entries are pinned to the Database stats epoch and invalidated lazily
 /// after a stats refresh; entries planned under a tripped OptimizerBudget
 /// are re-optimized with an enlarged budget once hot (budget upgrade).
+///
+/// Runtime guardrails (CbqtConfig::guardrails, all off by default): every
+/// engine operation is admitted through a bounded queue (overload is turned
+/// away with a fast typed kAdmissionRejected), registered with a
+/// cancellation token (Cancel(query_id), or a caller-supplied token), and —
+/// when byte budgets are configured — charged against a per-query child of
+/// the engine memory tracker. Per-query budget overruns fail that query
+/// with kResourceExhausted; engine-budget pressure first sheds plan-cache
+/// memory, then fails the largest admitted query (never a bystander).
 class QueryEngine {
  public:
   explicit QueryEngine(const Database& db, CbqtConfig config = {},
                        CostParams params = {});
 
+  /// Trips the engine shutdown token (unwinding any in-flight background
+  /// plan-cache upgrade within one polling quantum), cancels the still-
+  /// admitted queries, and drains the upgrade pool while the plan cache and
+  /// optimizer are still alive.
+  ~QueryEngine();
+
   /// Parses, transforms, and plans `sql` without executing it.
-  Result<PreparedQuery> Prepare(const std::string& sql) const;
+  ///
+  /// `cancel` (optional, caller-owned, must outlive the call): cooperative
+  /// cancellation token. Tripping it — from any thread, or via
+  /// Cancel(query_id) — makes the operation unwind with the token's status
+  /// within one polling quantum (per transformation state in the search,
+  /// per block in the planner, per row in the executor). A token already
+  /// tripped at entry fails fast without doing any work.
+  Result<PreparedQuery> Prepare(const std::string& sql,
+                                CancellationToken* cancel = nullptr) const;
 
   /// Executes a previously prepared query (consumes it; the prepared query
   /// is returned inside the result for plan/stats inspection).
-  Result<QueryResult> Execute(PreparedQuery prepared) const;
+  Result<QueryResult> Execute(PreparedQuery prepared,
+                              CancellationToken* cancel = nullptr) const;
 
-  /// Prepare + Execute in one call.
-  Result<QueryResult> Run(const std::string& sql) const;
+  /// Prepare + Execute in one call, under a single admission slot and one
+  /// per-query memory tracker covering both phases.
+  Result<QueryResult> Run(const std::string& sql,
+                          CancellationToken* cancel = nullptr) const;
+
+  /// Trips the cancellation token of the in-flight engine operation
+  /// `query_id` (see ActiveQueryIds). Returns true when this call tripped
+  /// it; false when the id is unknown (already finished) or the token was
+  /// already tripped. Idempotent and safe from any thread.
+  bool Cancel(uint64_t query_id) const;
+
+  /// IDs of the engine operations currently admitted (snapshot).
+  std::vector<uint64_t> ActiveQueryIds() const;
 
   const Database& db() const { return db_; }
   const CbqtConfig& config() const { return config_; }
+
+  bool guardrails_enabled() const { return config_.guardrails.enabled(); }
+  /// Snapshot of the guardrail telemetry (admission, cancels, memory).
+  GuardrailStats guardrail_stats() const;
 
   bool plan_cache_enabled() const { return plan_cache_ != nullptr; }
   /// Telemetry of the plan cache; all-zero when the cache is disabled.
@@ -88,8 +150,40 @@ class QueryEngine {
   void WaitForUpgrades() const;
 
  private:
+  /// One admitted engine operation in the registry: its cancellation token
+  /// (caller-supplied or engine-owned) and its per-query memory tracker
+  /// (child of the engine root; null when memory guardrails are off).
+  struct ActiveQuery {
+    CancellationToken* token = nullptr;
+    std::shared_ptr<CancellationToken> owned_token;  ///< when none supplied
+    std::unique_ptr<MemoryTracker> memory;
+  };
+
+  /// Admission control + registration. Blocks in the bounded queue when all
+  /// `max_concurrent` slots are busy (up to `queue_timeout_ms`), fails fast
+  /// with kAdmissionRejected when the queue is full or the wait times out,
+  /// and fails with the token's status when `cancel` trips before
+  /// admission. On success returns the registered query id; the caller must
+  /// pair it with EndQuery.
+  Result<uint64_t> Admit(CancellationToken* cancel) const;
+
+  /// Unregisters `id`, frees its admission slot, and folds the operation's
+  /// final status into the guardrail counters.
+  void EndQuery(uint64_t id, const Status& final_status) const;
+
+  /// The guardrail handles of the admitted operation `id` (token, per-query
+  /// tracker, configured fault injector).
+  QueryGuards GuardsFor(uint64_t id) const;
+
+  /// Prepare/Execute bodies running under an already-admitted id.
+  Result<PreparedQuery> PrepareAdmitted(const std::string& sql,
+                                        uint64_t id) const;
+  Result<QueryResult> ExecuteAdmitted(PreparedQuery prepared,
+                                      uint64_t id) const;
+
   /// The historical Prepare path: parse + optimize, no cache involvement.
-  Result<PreparedQuery> PrepareUncached(const std::string& sql) const;
+  Result<PreparedQuery> PrepareUncached(const std::string& sql,
+                                        const QueryGuards& guards) const;
 
   /// Budget-upgrade ladder: called on every cache hit. For a degraded entry
   /// that has accumulated enough hits (and attempts remain), wins the
@@ -109,6 +203,33 @@ class QueryEngine {
   const Database& db_;
   CbqtOptimizer optimizer_;
   CbqtConfig config_;
+
+  /// Engine-wide memory tracker (root of the per-query children). Created
+  /// when either byte budget is configured; its pressure callback sheds the
+  /// plan cache and its victim callback fails the largest admitted query.
+  std::unique_ptr<MemoryTracker> root_memory_;
+
+  /// Tripped by the destructor so in-flight background upgrades unwind
+  /// promptly instead of finishing a long re-optimization during teardown.
+  std::shared_ptr<CancellationToken> shutdown_token_;
+
+  // Admission control + registry of in-flight operations. All mutable: the
+  // engine stays logically const for concurrent queries.
+  mutable std::mutex admission_mu_;
+  mutable std::condition_variable admission_cv_;
+  mutable int running_ = 0;  ///< operations admitted and not yet ended
+  mutable int queued_ = 0;   ///< operations waiting in the bounded queue
+  mutable uint64_t next_query_id_ = 1;
+  mutable std::unordered_map<uint64_t, ActiveQuery> active_;
+
+  // Guardrail telemetry.
+  mutable std::atomic<int64_t> admitted_{0};
+  mutable std::atomic<int64_t> queued_total_{0};
+  mutable std::atomic<int64_t> admission_rejected_{0};
+  mutable std::atomic<int64_t> cancelled_{0};
+  mutable std::atomic<int64_t> resource_exhausted_{0};
+  mutable std::atomic<int64_t> memory_victims_{0};
+
   /// Null when CbqtConfig::plan_cache is disabled. Mutable state lives in
   /// the cache itself (sharded mutexes + atomics), so const Prepare stays
   /// thread-safe.

@@ -57,19 +57,29 @@ SearchStrategy CbqtOptimizer::ChooseStrategy(int num_objects,
 }
 
 Result<CbqtResult> CbqtOptimizer::Optimize(
-    const QueryBlock& query, const OptimizerBudget& budget) const {
+    const QueryBlock& query, const OptimizerBudget& budget,
+    const QueryGuards& caller_guards) const {
+  // Per-query guardrails: the caller's handles, with the configured fault
+  // injector filled in so the kCancelAt / kMemoryPressure sites fire even
+  // when the caller only set the token/tracker.
+  QueryGuards guards = caller_guards;
+  if (guards.faults == nullptr) guards.faults = config_.fault_injector.get();
+  if (guards.any()) CBQT_RETURN_IF_ERROR(guards.Poll());
+
   auto tree = query.Clone();
   CBQT_RETURN_IF_ERROR(BindQuery(db_, tree.get()));
 
   CbqtStats stats;
   stats.threads_used = pool_ != nullptr ? pool_->num_threads() : 1;
+  // Both per-optimization caches charge their entries against the query's
+  // memory tracker (no-op when guardrails are off).
   AnnotationCache cache(AnnotationCache::kDefaultShards,
-                        config_.annotation_cache_capacity);
+                        config_.annotation_cache_capacity, guards.memory);
   AnnotationCache* cache_ptr = config_.reuse_annotations ? &cache : nullptr;
   // Cross-state join-order memo (subset-granularity DP reuse); same sharded
   // store as the block annotations, different key space ("jo:" prefixed).
   AnnotationCache join_memo(AnnotationCache::kDefaultShards,
-                            config_.join_memo_capacity);
+                            config_.join_memo_capacity, guards.memory);
   AnnotationCache* join_memo_ptr =
       config_.reuse_join_orders ? &join_memo : nullptr;
   // Clone telemetry: process-wide counters, reported as this optimization's
@@ -150,6 +160,10 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
   for (const auto& step : steps) {
     if (!step.enabled) continue;
 
+    // Guardrail poll once per step: cancellation is a hard stop here even
+    // in heuristic mode (where the per-state polls never run).
+    if (guards.any()) CBQT_RETURN_IF_ERROR(guards.Poll());
+
     // Governor poll once per step, before any costing: when the budget is
     // already exhausted, this step's search never starts and its decision
     // degrades to the legacy heuristic rule (the same path heuristic-only
@@ -195,6 +209,10 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
                         double search_cutoff) -> Result<double> {
       bool any_bit = false;
       for (bool b : state) any_bit |= b;
+      // Guardrail poll at the per-state quantum: fires kCancelAt, observes
+      // the token. kCancelled / kResourceExhausted abort the whole search
+      // (never fault-isolated); see search.h.
+      if (guards.any()) CBQT_RETURN_IF_ERROR(guards.Poll());
       if (injector != nullptr) {
         // A hard error here is isolated by the search for non-zero states
         // and fatal for the zero state — exactly like a real failure in
@@ -214,6 +232,21 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
       CBQT_RETURN_IF_ERROR(BindQuery(db_, copy.get()));
       CBQT_RETURN_IF_ERROR(FollowUpHeuristics(cctx));
       CBQT_RETURN_IF_ERROR(BindQuery(db_, copy.get()));
+      // Charge the state copy's privately owned bytes for the lifetime of
+      // this evaluation (released when the lambda unwinds): concurrent pool
+      // states accumulate in the tracker, so the peak reflects true search
+      // memory width. Injected memory pressure fires here too.
+      ScopedReservation state_mem(guards.memory);
+      if (guards.memory != nullptr || guards.faults != nullptr) {
+        if (guards.faults != nullptr &&
+            guards.faults->MaybeFire(FaultSite::kMemoryPressure)) {
+          return Status::ResourceExhausted(
+              "injected memory pressure (state clone)");
+        }
+        if (guards.memory != nullptr) {
+          CBQT_RETURN_IF_ERROR(state_mem.Grow(copy->EstimateBytes()));
+        }
+      }
       PhysicalOptimizeOptions popts;
       popts.cache = cache_ptr;
       popts.join_memo = join_memo_ptr;
@@ -225,6 +258,7 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
       // cost of costing is what the budget provides for the other states).
       popts.budget = any_bit ? tracker : nullptr;
       popts.faults = injector;
+      popts.guards = guards;
       auto opt = physical_.Optimize(*copy, popts);
       double cost = std::numeric_limits<double>::infinity();
       if (opt.ok()) {
@@ -275,6 +309,7 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
     search_options.max_states = config_.iterative_max_states;
     search_options.pool = pool_.get();
     search_options.budget = tracker;
+    search_options.cancel = guards.cancel;
     auto outcome = RunSearch(strategy, n, evaluate, search_options);
     if (!outcome.ok()) return outcome.status();
     stats.states_evaluated += outcome->states_evaluated;
@@ -313,6 +348,7 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
   final_popts.cache = cache_ptr;
   final_popts.join_memo = join_memo_ptr;
   final_popts.faults = injector;
+  final_popts.guards = guards;
   auto final_opt = physical_.Optimize(*tree, final_popts);
   if (!final_opt.ok()) return final_opt.status();
   stats.blocks_planned =
@@ -329,6 +365,9 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
   if (tracker != nullptr) {
     stats.budget_exhausted = tracker->exhausted();
     stats.budget_check_ns = tracker->check_ns();
+  }
+  if (guards.memory != nullptr) {
+    stats.peak_memory_bytes = guards.memory->peak_bytes();
   }
 
   CbqtResult result;

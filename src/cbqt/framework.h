@@ -12,6 +12,7 @@
 #include "cbqt/transform_mask.h"
 #include "common/budget.h"
 #include "common/fault_injector.h"
+#include "common/guardrails.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "optimizer/optimizer.h"
@@ -120,6 +121,13 @@ struct CbqtConfig {
   /// exception: it is a hard stop on runaway execution.
   OptimizerBudget budget;
 
+  /// Runtime guardrails enforced by QueryEngine: engine/per-query memory
+  /// byte budgets and admission control. All off by default; see
+  /// common/guardrails.h. (Cancellation needs no knob — pass a
+  /// CancellationToken to QueryEngine::Prepare/Execute/Run or use
+  /// QueryEngine::Cancel.)
+  GuardrailConfig guardrails;
+
   /// Testing only: deterministic fault injection into state evaluation, the
   /// physical optimizer, and simulated slow states. Null (the default) in
   /// production; shared because CbqtConfig is copied by value.
@@ -160,6 +168,12 @@ struct CbqtStats {
   /// transformation name -> isolated state failures in its search
   std::map<std::string, int> failed_per_transformation;
   int64_t budget_check_ns = 0;  ///< time spent inside governor checks
+
+  // Runtime-guardrail telemetry (zero when no guardrails configured).
+  /// High-water mark of the per-query memory tracker at the end of the
+  /// optimization (includes per-state clone charges still outstanding in
+  /// concurrent evaluations at the peak instant).
+  int64_t peak_memory_bytes = 0;
 };
 
 /// Result of CBQT optimization: the chosen (transformed) query tree, its
@@ -196,7 +210,18 @@ class CbqtOptimizer {
   /// cache's upgrade path re-optimizes degraded statements with an enlarged
   /// budget through this overload.
   Result<CbqtResult> Optimize(const QueryBlock& query,
-                              const OptimizerBudget& budget) const;
+                              const OptimizerBudget& budget) const {
+    return Optimize(query, budget, QueryGuards{});
+  }
+
+  /// Same, with per-query runtime guardrails: the cancellation token is
+  /// polled once per state (and per planned block); per-state tree clones
+  /// are charged against the memory tracker for the lifetime of their
+  /// evaluation. Cancellation and memory exhaustion are hard failures —
+  /// unlike budget exhaustion there is no best-so-far degradation.
+  Result<CbqtResult> Optimize(const QueryBlock& query,
+                              const OptimizerBudget& budget,
+                              const QueryGuards& guards) const;
 
   /// The strategy the framework would pick for a transformation with
   /// `num_objects` objects given `total_objects` in the whole query.

@@ -6,7 +6,8 @@
 
 namespace cbqt {
 
-PlanCache::PlanCache(PlanCacheConfig config) : config_(config) {
+PlanCache::PlanCache(PlanCacheConfig config, MemoryTracker* tracker)
+    : config_(config), tracker_(tracker) {
   int n = std::max(1, config_.num_shards);
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -15,6 +16,27 @@ PlanCache::PlanCache(PlanCacheConfig config) : config_(config) {
   if (config_.capacity > 0) {
     shard_capacity_ =
         std::max<size_t>(1, config_.capacity / static_cast<size_t>(n));
+  }
+}
+
+PlanCache::~PlanCache() {
+  if (tracker_ != nullptr) {
+    int64_t held = memory_bytes_.load(std::memory_order_relaxed);
+    if (held > 0) tracker_->Release(held);
+  }
+}
+
+void PlanCache::AccountDelta(int64_t delta) {
+  if (delta == 0) return;
+  memory_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  if (tracker_ == nullptr) return;
+  // ForceReserve: publishing a finished plan must not fail; enforcement
+  // happens at the next TryReserve against the shared tracker (whose
+  // pressure callback sheds this very cache first).
+  if (delta > 0) {
+    tracker_->ForceReserve(delta);
+  } else {
+    tracker_->Release(-delta);
   }
 }
 
@@ -34,10 +56,12 @@ std::shared_ptr<const CachedPlanEntry> PlanCache::Find(std::string_view key,
   }
   if (it->second.entry->stats_epoch != current_epoch) {
     // Planned against stale statistics: drop lazily and re-optimize.
+    int64_t freed = it->second.entry->bytes;
     shard.lru.erase(it->second.lru_it);
     shard.map.erase(it);
     invalidations_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
+    AccountDelta(-freed);
     return nullptr;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
@@ -47,25 +71,32 @@ std::shared_ptr<const CachedPlanEntry> PlanCache::Find(std::string_view key,
 
 void PlanCache::Put(std::shared_ptr<const CachedPlanEntry> entry) {
   Shard& shard = ShardFor(entry->key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(entry->key);
-  if (it != shard.map.end()) {
-    it->second.entry = std::move(entry);
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-    insertions_.fetch_add(1, std::memory_order_relaxed);
-    return;
+  int64_t delta = entry->bytes;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(entry->key);
+    if (it != shard.map.end()) {
+      delta -= it->second.entry->bytes;
+      it->second.entry = std::move(entry);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      insertions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      auto pos = shard.map.try_emplace(entry->key).first;
+      pos->second.entry = std::move(entry);
+      shard.lru.push_front(&pos->first);
+      pos->second.lru_it = shard.lru.begin();
+      insertions_.fetch_add(1, std::memory_order_relaxed);
+      if (shard_capacity_ > 0 && shard.map.size() > shard_capacity_) {
+        const std::string* victim = shard.lru.back();
+        shard.lru.pop_back();
+        auto vit = shard.map.find(*victim);
+        delta -= vit->second.entry->bytes;
+        shard.map.erase(vit);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
-  auto pos = shard.map.try_emplace(entry->key).first;
-  pos->second.entry = std::move(entry);
-  shard.lru.push_front(&pos->first);
-  pos->second.lru_it = shard.lru.begin();
-  insertions_.fetch_add(1, std::memory_order_relaxed);
-  if (shard_capacity_ > 0 && shard.map.size() > shard_capacity_) {
-    const std::string* victim = shard.lru.back();
-    shard.lru.pop_back();
-    shard.map.erase(shard.map.find(*victim));
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
+  AccountDelta(delta);
 }
 
 void PlanCache::Clear() {
@@ -74,6 +105,35 @@ void PlanCache::Clear() {
     shard->map.clear();
     shard->lru.clear();
   }
+  AccountDelta(-memory_bytes_.load(std::memory_order_relaxed));
+}
+
+int64_t PlanCache::EvictBytes(int64_t target_bytes) {
+  if (target_bytes <= 0) return 0;
+  int64_t freed = 0;
+  // Round-robin over the shards, dropping one LRU tail entry per visit, so
+  // shedding spreads across shards instead of emptying the first one.
+  bool progressed = true;
+  while (freed < target_bytes && progressed) {
+    progressed = false;
+    for (auto& shard : shards_) {
+      if (freed >= target_bytes) break;
+      std::lock_guard<std::mutex> lock(shard->mu);
+      if (shard->lru.empty()) continue;
+      const std::string* victim = shard->lru.back();
+      shard->lru.pop_back();
+      auto vit = shard->map.find(*victim);
+      freed += vit->second.entry->bytes;
+      shard->map.erase(vit);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      progressed = true;
+    }
+  }
+  if (freed > 0) {
+    shed_bytes_.fetch_add(freed, std::memory_order_relaxed);
+    AccountDelta(-freed);
+  }
+  return freed;
 }
 
 size_t PlanCache::size() const {
@@ -103,6 +163,8 @@ PlanCacheStats PlanCache::stats() const {
       static_cast<double>(miss_prepare_ns_.load(std::memory_order_relaxed)) /
       1e6;
   out.entries = size();
+  out.memory_bytes = memory_bytes_.load(std::memory_order_relaxed);
+  out.shed_bytes = shed_bytes_.load(std::memory_order_relaxed);
   return out;
 }
 

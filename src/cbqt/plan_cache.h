@@ -14,6 +14,7 @@
 
 #include "cbqt/framework.h"
 #include "common/budget.h"
+#include "common/memory_tracker.h"
 #include "common/value.h"
 #include "optimizer/plan.h"
 #include "sql/query_block.h"
@@ -42,6 +43,10 @@ struct CachedPlanEntry {
   double cost = 0;
   CbqtStats stats;  ///< telemetry of the Optimize() that produced the plan
   size_t num_params = 0;
+  /// Estimated footprint of the entry (trees + plan + key), computed by the
+  /// engine before Put and charged against the engine memory tracker while
+  /// the entry is cached.
+  int64_t bytes = 0;
 
   // Budget-upgrade state (PlanCacheConfig): a degraded entry was planned
   // under a tripped OptimizerBudget and re-optimizes itself with an enlarged
@@ -69,6 +74,8 @@ struct PlanCacheStats {
   double hit_prepare_ms_total = 0;
   double miss_prepare_ms_total = 0;
   size_t entries = 0;
+  int64_t memory_bytes = 0;      ///< estimated bytes held by cached entries
+  int64_t shed_bytes = 0;        ///< bytes freed by EvictBytes (memory pressure)
 
   double hit_rate() const {
     int64_t total = hits + misses;
@@ -99,7 +106,14 @@ struct PlanCacheStats {
 /// eviction.
 class PlanCache {
  public:
-  explicit PlanCache(PlanCacheConfig config);
+  /// `tracker` (optional) charges every cached entry's CachedPlanEntry::bytes
+  /// while it sits in the cache — the engine passes its root MemoryTracker so
+  /// cached plans participate in the engine byte budget and can be shed under
+  /// memory pressure (EvictBytes). All bytes are released on eviction,
+  /// invalidation, Clear(), and destruction.
+  explicit PlanCache(PlanCacheConfig config, MemoryTracker* tracker = nullptr);
+
+  ~PlanCache();
 
   /// The cached entry for `key` planned under `current_epoch`, or nullptr.
   /// An entry with a stale epoch is erased (counted as invalidation + miss).
@@ -112,6 +126,18 @@ class PlanCache {
   void Put(std::shared_ptr<const CachedPlanEntry> entry);
 
   void Clear();
+
+  /// Memory-pressure shedding: evicts LRU entries (round-robin across
+  /// shards) until at least `target_bytes` of estimated entry bytes are
+  /// freed or the cache is empty. Returns the bytes actually freed. Wired
+  /// as the engine root tracker's pressure callback, so a reservation that
+  /// would exceed the engine budget sheds cached plans before failing.
+  int64_t EvictBytes(int64_t target_bytes);
+
+  /// Estimated bytes currently held by cached entries.
+  int64_t memory_bytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
 
   size_t size() const;
   PlanCacheStats stats() const;
@@ -144,9 +170,16 @@ class PlanCache {
 
   Shard& ShardFor(std::string_view key) const;
 
+  /// Applies a byte delta to memory_bytes_ and the tracker (ForceReserve on
+  /// growth — publishing a plan never fails — Release on shrink).
+  void AccountDelta(int64_t delta);
+
   PlanCacheConfig config_;
   size_t shard_capacity_ = 0;
+  MemoryTracker* tracker_ = nullptr;  ///< optional byte accounting
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> memory_bytes_{0};
+  std::atomic<int64_t> shed_bytes_{0};
 
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <utility>
 #include <vector>
 
 namespace cbqt {
@@ -25,13 +26,20 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// The token's status when tripped, OK otherwise (null token = never trips).
+Status CancelCheck(CancellationToken* cancel) {
+  if (cancel == nullptr || !cancel->cancelled()) return Status::OK();
+  return cancel->status();
+}
+
 // Evaluates the zero state (always first: it seeds the cost cutoff and is
 // the search's guaranteed fallback answer). Charged against the budget for
 // accounting but never stopped by it; a hard evaluation error here is fatal
 // — without the untransformed query's cost there is nothing to fall back to.
 Status ConsiderZero(const TransformState& state,
                     const StateEvaluator& evaluate, BudgetTracker* budget,
-                    SearchOutcome* outcome) {
+                    CancellationToken* cancel, SearchOutcome* outcome) {
+  CBQT_RETURN_IF_ERROR(CancelCheck(cancel));
   if (budget != nullptr) budget->ChargeState();
   auto cost = evaluate(state, outcome->best_cost);
   ++outcome->states_evaluated;
@@ -48,13 +56,20 @@ Status ConsiderZero(const TransformState& state,
 
 // Evaluates a non-zero state with the committed best as cut-off; updates the
 // outcome if it is the new best. Returns true to continue the search, false
-// to stop it (resource budget exhausted). Hard evaluator errors are
-// fault-isolated: recorded in outcome->failed_states and treated as
-// infinite cost instead of aborting.
+// to stop it (resource budget exhausted, or a guardrail abort — the latter
+// also fills `*fatal` and must fail the whole search). Hard evaluator
+// errors are otherwise fault-isolated: recorded in outcome->failed_states
+// and treated as infinite cost instead of aborting.
 bool Consider(const TransformState& state, const StateEvaluator& evaluate,
-              BudgetTracker* budget, SearchOutcome* outcome,
+              BudgetTracker* budget, CancellationToken* cancel,
+              SearchOutcome* outcome, Status* fatal,
               double* out_cost = nullptr) {
   if (out_cost != nullptr) *out_cost = kInf;
+  Status cancelled = CancelCheck(cancel);
+  if (!cancelled.ok()) {
+    *fatal = std::move(cancelled);
+    return false;
+  }
   if (budget != nullptr && budget->ChargeState()) {
     outcome->budget_exhausted = true;
     return false;  // state not evaluated; keep best-so-far
@@ -70,6 +85,10 @@ bool Consider(const TransformState& state, const StateEvaluator& evaluate,
         outcome->budget_exhausted = true;
         return false;
       default:
+        if (IsGuardrailAbort(cost.status().code())) {
+          *fatal = cost.status();  // cancel / OOM: fail the whole query
+          return false;
+        }
         ++outcome->states_evaluated;
         ++outcome->failed_states;
         return true;  // isolated: infinite cost
@@ -102,6 +121,7 @@ struct SlotResult {
   bool skipped = false;      // budget tripped before evaluation
   bool budget_stop = false;  // evaluator returned kBudgetExhausted
   bool failed = false;       // hard error, fault-isolated
+  Status fatal;              // guardrail abort (cancel / OOM) — fails search
 };
 
 // Evaluates `states` on the pool. Workers read `shared_cutoff` at task start
@@ -113,11 +133,19 @@ struct SlotResult {
 void EvaluateBatch(const std::vector<TransformState>& states,
                    const StateEvaluator& evaluate, ThreadPool* pool,
                    std::atomic<double>* shared_cutoff, bool publish,
-                   BudgetTracker* budget, std::vector<SlotResult>* results) {
+                   BudgetTracker* budget, CancellationToken* cancel,
+                   std::vector<SlotResult>* results) {
   results->assign(states.size(), SlotResult{});
   for (size_t idx = 0; idx < states.size(); ++idx) {
     pool->Submit([&, idx] {
       SlotResult& slot = (*results)[idx];
+      Status cancelled = CancelCheck(cancel);
+      if (!cancelled.ok()) {
+        // In-flight pool state observes the token and aborts before doing
+        // any work; the batch is merged but the search fails.
+        slot.fatal = std::move(cancelled);
+        return;
+      }
       if (budget != nullptr && budget->ChargeState()) {
         slot.skipped = true;
         return;
@@ -132,7 +160,11 @@ void EvaluateBatch(const std::vector<TransformState>& states,
             slot.budget_stop = true;
             break;
           default:
-            slot.failed = true;  // isolated: infinite cost
+            if (IsGuardrailAbort(cost.status().code())) {
+              slot.fatal = cost.status();
+            } else {
+              slot.failed = true;  // isolated: infinite cost
+            }
             break;
         }
         return;
@@ -151,8 +183,14 @@ void EvaluateBatch(const std::vector<TransformState>& states,
 }
 
 // Folds one batch slot into the outcome; returns false when the budget
-// tripped and the search should stop after this batch.
-bool ConsumeSlot(const SlotResult& slot, SearchOutcome* outcome) {
+// tripped (or a guardrail abort was observed — `*fatal` set) and the search
+// should stop after this batch.
+bool ConsumeSlot(const SlotResult& slot, SearchOutcome* outcome,
+                 Status* fatal) {
+  if (!slot.fatal.ok()) {
+    if (fatal->ok()) *fatal = slot.fatal;
+    return false;
+  }
   if (slot.skipped || slot.budget_stop) {
     outcome->budget_exhausted = true;
     return false;
@@ -163,27 +201,34 @@ bool ConsumeSlot(const SlotResult& slot, SearchOutcome* outcome) {
 }
 
 Result<SearchOutcome> ExhaustiveSerial(int n, const StateEvaluator& evaluate,
-                                       BudgetTracker* budget) {
+                                       BudgetTracker* budget,
+                                       CancellationToken* cancel) {
   SearchOutcome outcome;
   CBQT_RETURN_IF_ERROR(
-      ConsiderZero(ZeroState(n), evaluate, budget, &outcome));
+      ConsiderZero(ZeroState(n), evaluate, budget, cancel, &outcome));
   uint64_t total = 1ULL << n;
+  Status fatal;
   for (uint64_t mask = 1; mask < total; ++mask) {
-    if (!Consider(StateFromMask(mask, n), evaluate, budget, &outcome)) break;
+    if (!Consider(StateFromMask(mask, n), evaluate, budget, cancel, &outcome,
+                  &fatal)) {
+      break;
+    }
   }
+  if (!fatal.ok()) return fatal;
   return outcome;
 }
 
 Result<SearchOutcome> ExhaustiveParallel(int n, const StateEvaluator& evaluate,
                                          ThreadPool* pool,
-                                         BudgetTracker* budget) {
+                                         BudgetTracker* budget,
+                                         CancellationToken* cancel) {
   SearchOutcome outcome;
   uint64_t total = 1ULL << n;
 
   // Zero state first, serially: it seeds the cut-off (paper §3.4.1) so no
   // worker ever runs without an upper bound.
   CBQT_RETURN_IF_ERROR(
-      ConsiderZero(ZeroState(n), evaluate, budget, &outcome));
+      ConsiderZero(ZeroState(n), evaluate, budget, cancel, &outcome));
   std::atomic<double> cutoff{outcome.best_cost};
 
   // Batches merge in ascending mask order with a strict '<', so the chosen
@@ -193,7 +238,10 @@ Result<SearchOutcome> ExhaustiveParallel(int n, const StateEvaluator& evaluate,
   uint64_t batch = static_cast<uint64_t>(pool->num_threads()) * 4;
   std::vector<TransformState> states;
   std::vector<SlotResult> results;
+  Status fatal;
   for (uint64_t next = 1; next < total; next += batch) {
+    fatal = CancelCheck(cancel);
+    if (!fatal.ok()) break;
     if (BudgetStop(budget, &outcome)) break;
     uint64_t end = std::min(total, next + batch);
     states.clear();
@@ -201,11 +249,11 @@ Result<SearchOutcome> ExhaustiveParallel(int n, const StateEvaluator& evaluate,
       states.push_back(StateFromMask(mask, n));
     }
     EvaluateBatch(states, evaluate, pool, &cutoff, /*publish=*/true, budget,
-                  &results);
+                  cancel, &results);
     ++outcome.parallel_batches;
     bool stop = false;
     for (size_t i = 0; i < results.size(); ++i) {
-      if (!ConsumeSlot(results[i], &outcome)) {
+      if (!ConsumeSlot(results[i], &outcome, &fatal)) {
         stop = true;
         continue;  // later slots of this batch may still hold results
       }
@@ -221,33 +269,41 @@ Result<SearchOutcome> ExhaustiveParallel(int n, const StateEvaluator& evaluate,
     }
     if (stop) break;
   }
+  if (!fatal.ok()) return fatal;
   return outcome;
 }
 
 Result<SearchOutcome> LinearSerial(int n, const StateEvaluator& evaluate,
-                                   BudgetTracker* budget) {
+                                   BudgetTracker* budget,
+                                   CancellationToken* cancel) {
   // Dynamic-programming flavour (paper §3.2): accept each object's
   // transformation iff it improves on the best state found so far; never
   // revisit. Exactly N+1 states.
   SearchOutcome outcome;
   TransformState current = ZeroState(n);
-  CBQT_RETURN_IF_ERROR(ConsiderZero(current, evaluate, budget, &outcome));
+  CBQT_RETURN_IF_ERROR(
+      ConsiderZero(current, evaluate, budget, cancel, &outcome));
   double current_cost = outcome.best_cost;
+  Status fatal;
   for (int i = 0; i < n; ++i) {
     TransformState next = current;
     next[static_cast<size_t>(i)] = true;
     double cost = 0;
-    if (!Consider(next, evaluate, budget, &outcome, &cost)) break;
+    if (!Consider(next, evaluate, budget, cancel, &outcome, &fatal, &cost)) {
+      break;
+    }
     if (cost < current_cost) {
       current = std::move(next);
       current_cost = cost;
     }
   }
+  if (!fatal.ok()) return fatal;
   return outcome;
 }
 
 Result<SearchOutcome> LinearParallel(int n, const StateEvaluator& evaluate,
-                                     ThreadPool* pool, BudgetTracker* budget) {
+                                     ThreadPool* pool, BudgetTracker* budget,
+                                     CancellationToken* cancel) {
   // Speculative parallel variant of LinearSerial with bit-identical results:
   // assume the upcoming candidates are all rejections (the common case) and
   // cost them concurrently against the current base; consume the results in
@@ -257,13 +313,17 @@ Result<SearchOutcome> LinearParallel(int n, const StateEvaluator& evaluate,
   // acceptance aborts the batch.
   SearchOutcome outcome;
   TransformState current = ZeroState(n);
-  CBQT_RETURN_IF_ERROR(ConsiderZero(current, evaluate, budget, &outcome));
+  CBQT_RETURN_IF_ERROR(
+      ConsiderZero(current, evaluate, budget, cancel, &outcome));
   double current_cost = outcome.best_cost;
 
   std::vector<TransformState> states;
   std::vector<SlotResult> results;
+  Status fatal;
   int i = 0;
   while (i < n) {
+    fatal = CancelCheck(cancel);
+    if (!fatal.ok()) break;
     if (BudgetStop(budget, &outcome)) break;
     states.clear();
     for (int j = i; j < n; ++j) {
@@ -273,7 +333,7 @@ Result<SearchOutcome> LinearParallel(int n, const StateEvaluator& evaluate,
     }
     std::atomic<double> cutoff{outcome.best_cost};
     EvaluateBatch(states, evaluate, pool, &cutoff, /*publish=*/false, budget,
-                  &results);
+                  cancel, &results);
     ++outcome.parallel_batches;
 
     bool accepted = false;
@@ -282,7 +342,7 @@ Result<SearchOutcome> LinearParallel(int n, const StateEvaluator& evaluate,
       // Only consumed slots matter; the serial search would never have
       // evaluated the states behind an acceptance. Failed slots keep their
       // infinite cost (fault isolation) and read as rejections.
-      if (!ConsumeSlot(results[j], &outcome)) {
+      if (!ConsumeSlot(results[j], &outcome, &fatal)) {
         stop = true;
         break;
       }
@@ -303,39 +363,46 @@ Result<SearchOutcome> LinearParallel(int n, const StateEvaluator& evaluate,
     }
     if (stop || !accepted) break;  // budget, or consumed all bits rejected
   }
+  if (!fatal.ok()) return fatal;
   return outcome;
 }
 
 Result<SearchOutcome> TwoPass(int n, const StateEvaluator& evaluate,
-                              BudgetTracker* budget) {
+                              BudgetTracker* budget,
+                              CancellationToken* cancel) {
   SearchOutcome outcome;
   CBQT_RETURN_IF_ERROR(
-      ConsiderZero(ZeroState(n), evaluate, budget, &outcome));
-  Consider(OnesState(n), evaluate, budget, &outcome);
+      ConsiderZero(ZeroState(n), evaluate, budget, cancel, &outcome));
+  Status fatal;
+  Consider(OnesState(n), evaluate, budget, cancel, &outcome, &fatal);
+  if (!fatal.ok()) return fatal;
   return outcome;
 }
 
 Result<SearchOutcome> Iterative(int n, const StateEvaluator& evaluate,
                                 Rng* rng, int max_states,
-                                BudgetTracker* budget) {
+                                BudgetTracker* budget,
+                                CancellationToken* cancel) {
   // Iterative improvement (paper §3.2): from a random initial state, take
   // any downhill single-bit move until a local minimum, then restart;
   // stop when no unseen states remain or max_states is reached. Inherently
   // sequential (every move depends on the last), so never parallelized.
   SearchOutcome outcome;
   std::set<TransformState> seen;
+  Status fatal;
   // Returns true to continue the search (budget semantics of Consider).
   auto consider_once = [&](const TransformState& s, double* cost) -> bool {
     *cost = kInf;
     if (seen.count(s) > 0) return true;
     seen.insert(s);
-    return Consider(s, evaluate, budget, &outcome, cost);
+    return Consider(s, evaluate, budget, cancel, &outcome, &fatal, cost);
   };
 
   {
     TransformState zero = ZeroState(n);
     seen.insert(zero);
-    CBQT_RETURN_IF_ERROR(ConsiderZero(zero, evaluate, budget, &outcome));
+    CBQT_RETURN_IF_ERROR(
+        ConsiderZero(zero, evaluate, budget, cancel, &outcome));
   }
 
   Rng fallback(12345);
@@ -372,6 +439,7 @@ Result<SearchOutcome> Iterative(int n, const StateEvaluator& evaluate,
       if (stop) break;
     }
   }
+  if (!fatal.ok()) return fatal;
   return outcome;
 }
 
@@ -390,20 +458,22 @@ Result<SearchOutcome> RunSearch(SearchStrategy strategy, int num_objects,
                          ? options.pool
                          : nullptr;
   BudgetTracker* budget = options.budget;
+  CancellationToken* cancel = options.cancel;
   switch (strategy) {
     case SearchStrategy::kExhaustive:
-      return pool != nullptr
-                 ? ExhaustiveParallel(num_objects, evaluate, pool, budget)
-                 : ExhaustiveSerial(num_objects, evaluate, budget);
+      return pool != nullptr ? ExhaustiveParallel(num_objects, evaluate, pool,
+                                                  budget, cancel)
+                             : ExhaustiveSerial(num_objects, evaluate, budget,
+                                                cancel);
     case SearchStrategy::kLinear:
       return pool != nullptr
-                 ? LinearParallel(num_objects, evaluate, pool, budget)
-                 : LinearSerial(num_objects, evaluate, budget);
+                 ? LinearParallel(num_objects, evaluate, pool, budget, cancel)
+                 : LinearSerial(num_objects, evaluate, budget, cancel);
     case SearchStrategy::kTwoPass:
-      return TwoPass(num_objects, evaluate, budget);
+      return TwoPass(num_objects, evaluate, budget, cancel);
     case SearchStrategy::kIterative:
       return Iterative(num_objects, evaluate, options.rng,
-                       options.max_states, budget);
+                       options.max_states, budget, cancel);
   }
   return Status::Internal("unknown search strategy");
 }

@@ -6,6 +6,7 @@
 
 #include "cbqt/state.h"
 #include "common/budget.h"
+#include "common/cancellation.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -34,6 +35,11 @@ const char* SearchStrategyName(SearchStrategy s);
 /// query. Only a failure of the zero state (the untransformed query, the
 /// search's guaranteed fallback) aborts the search. A kBudgetExhausted
 /// error is a cooperative stop signal: the search returns best-so-far.
+///
+/// Guardrail aborts are the exception to isolation: kCancelled and
+/// kResourceExhausted from *any* state abort the whole search and propagate
+/// — a cancelled or out-of-memory query must fail, not "succeed" with a
+/// degraded answer (contrast kBudgetExhausted).
 ///
 /// Under a parallel search the evaluator is invoked concurrently from pool
 /// workers and must be re-entrant: it may only mutate state it owns (deep
@@ -77,6 +83,11 @@ struct SearchOptions {
   /// it trips the search stops and returns best-so-far (the zero state is
   /// always charged and costed, so a valid answer always exists).
   BudgetTracker* budget = nullptr;
+  /// When non-null, polled once per state (the same quantum as the budget
+  /// charge) and between parallel batches; a tripped token aborts the
+  /// search with the token's status. In-flight pool workers observe the
+  /// token too, so a cancel lands within one state evaluation.
+  CancellationToken* cancel = nullptr;
 };
 
 /// Runs the chosen strategy over an N-object state space. The zero state is

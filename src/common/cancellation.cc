@@ -1,0 +1,23 @@
+#include "common/cancellation.h"
+
+#include <utility>
+
+namespace cbqt {
+
+bool CancellationToken::CancelWith(Status status) {
+  if (status.ok()) return false;  // tripping with OK would wedge pollers
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cancelled_.load(std::memory_order_relaxed)) return false;
+  status_ = std::move(status);
+  // Release so any thread that observes cancelled()==true also sees status_.
+  cancelled_.store(true, std::memory_order_release);
+  return true;
+}
+
+Status CancellationToken::status() const {
+  if (!cancelled_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+}  // namespace cbqt

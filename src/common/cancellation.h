@@ -1,0 +1,68 @@
+#ifndef CBQT_COMMON_CANCELLATION_H_
+#define CBQT_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace cbqt {
+
+/// Cooperative cancellation signal shared between a query's issuer and the
+/// threads working on its behalf (search workers, planner, executor).
+///
+/// The token never interrupts anything by force: workers poll `cancelled()`
+/// at the same quanta where they already poll the BudgetTracker (per
+/// transformation state in the search, per block in the planner, per row in
+/// the executor), so a cancel lands within one polling quantum and unwinds
+/// through the normal error path.
+///
+/// Cancellation is a *hard* stop, unlike budget exhaustion: the query fails
+/// with the token's status (kCancelled by default) instead of degrading to
+/// a best-so-far answer. `CancelWith` lets the engine reuse the same
+/// plumbing for other hard aborts (kResourceExhausted when a query is
+/// chosen as the memory-pressure victim).
+///
+/// Thread-safe. First cancel wins; later cancels are no-ops (idempotent).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Trips the token with a plain kCancelled status. Returns true when this
+  /// call was the one that tripped it (false: already cancelled).
+  bool Cancel() { return CancelWith(Status::Cancelled("query cancelled")); }
+
+  /// Trips the token with an arbitrary non-OK status. Used by the engine's
+  /// memory-pressure victim path (kResourceExhausted) and by shutdown.
+  bool CancelWith(Status status);
+
+  /// Cheap check for hot loops. Relaxed load on the fast path; the status
+  /// itself is published with release/acquire so `status()` after a true
+  /// `cancelled()` always sees the final message.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// The status the token was tripped with; kOk when not cancelled.
+  Status status() const;
+
+  /// Polling helper: the token's status when tripped, OK otherwise. Lets
+  /// call sites write `CBQT_RETURN_IF_ERROR(token->Check())`.
+  Status Check() const {
+    if (!cancelled()) return Status::OK();
+    return status();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  Status status_;  // guarded by mu_, set once before cancelled_ is released
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_COMMON_CANCELLATION_H_

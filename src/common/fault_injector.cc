@@ -26,6 +26,14 @@ const char* FaultSiteName(FaultSite site) {
       return "planner";
     case FaultSite::kSlowState:
       return "slow-state";
+    case FaultSite::kExecBatch:
+      return "exec-batch";
+    case FaultSite::kExecSpillCheck:
+      return "exec-spill-check";
+    case FaultSite::kMemoryPressure:
+      return "memory-pressure";
+    case FaultSite::kCancelAt:
+      return "cancel-at";
   }
   return "?";
 }

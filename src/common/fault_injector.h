@@ -15,9 +15,13 @@ enum class FaultSite : int {
   kStateEval = 0,  ///< evaluation of one transformation state (framework)
   kPlanner = 1,    ///< one physical optimization (PhysicalOptimizer)
   kSlowState = 2,  ///< simulated slow state: a deterministic stall
+  kExecBatch = 3,  ///< executor row-production loop (per CountRow poll)
+  kExecSpillCheck = 4,   ///< executor pipeline-breaker memory charge
+  kMemoryPressure = 5,   ///< simulated memory-reservation failure
+  kCancelAt = 6,         ///< trips the query's CancellationToken at a poll
 };
 
-inline constexpr int kNumFaultSites = 3;
+inline constexpr int kNumFaultSites = 7;
 
 const char* FaultSiteName(FaultSite site);
 
@@ -64,6 +68,12 @@ class FaultInjector {
   /// Consumes one hit at `site` (normally kSlowState); stalls the calling
   /// thread for the spec's delay when it fires.
   void MaybeDelay(FaultSite site);
+
+  /// Consumes one hit at `site` and reports whether it fired, leaving the
+  /// consequence to the caller — used by sites whose effect is not a plain
+  /// error Status (kMemoryPressure fails a reservation, kCancelAt trips the
+  /// query's CancellationToken).
+  bool MaybeFire(FaultSite site) { return NextHitFires(site); }
 
   int64_t hits(FaultSite site) const {
     return hits_[static_cast<size_t>(site)].load(std::memory_order_relaxed);

@@ -1,0 +1,16 @@
+#include "common/guardrails.h"
+
+#include "common/fault_injector.h"
+
+namespace cbqt {
+
+Status QueryGuards::Poll() const {
+  if (faults != nullptr && cancel != nullptr &&
+      faults->MaybeFire(FaultSite::kCancelAt)) {
+    cancel->CancelWith(Status::Cancelled("injected cancel (kCancelAt)"));
+  }
+  if (cancel != nullptr && cancel->cancelled()) return cancel->status();
+  return Status::OK();
+}
+
+}  // namespace cbqt

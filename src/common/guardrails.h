@@ -1,0 +1,72 @@
+#ifndef CBQT_COMMON_GUARDRAILS_H_
+#define CBQT_COMMON_GUARDRAILS_H_
+
+#include <cstdint>
+
+#include "common/cancellation.h"
+#include "common/memory_tracker.h"
+
+namespace cbqt {
+
+class FaultInjector;
+
+/// Admission-control knobs for QueryEngine. A query that arrives while
+/// `max_concurrent` queries are already running waits in a bounded queue;
+/// if the queue is full, or the wait exceeds `queue_timeout_ms`, the query
+/// is turned away with a fast typed kAdmissionRejected — overload yields
+/// cheap rejections instead of memory exhaustion.
+struct AdmissionConfig {
+  /// 0 = admission control disabled (every query admitted immediately).
+  int max_concurrent = 0;
+  /// Queries allowed to wait for a slot beyond the concurrent ones.
+  int max_queued = 0;
+  /// How long a queued query waits before being rejected. 0 = reject
+  /// immediately when all slots are busy (max_queued still bounds how many
+  /// waiters can exist at an instant).
+  double queue_timeout_ms = 0;
+
+  bool enabled() const { return max_concurrent > 0; }
+};
+
+/// Engine-level runtime-guardrail configuration: memory budgets plus
+/// admission control. All knobs default off so existing single-user
+/// embedding (tests, benches, examples) pay nothing.
+struct GuardrailConfig {
+  /// Engine-wide byte budget (root MemoryTracker limit). <= 0 = unlimited.
+  int64_t engine_memory_bytes = 0;
+  /// Per-query byte budget (child tracker limit). <= 0 = unlimited.
+  int64_t query_memory_bytes = 0;
+  AdmissionConfig admission;
+
+  bool enabled() const {
+    return engine_memory_bytes > 0 || query_memory_bytes > 0 ||
+           admission.enabled();
+  }
+};
+
+/// Per-query guardrail handles threaded through the optimizer, planner and
+/// executor alongside the BudgetTracker. All pointers optional (null =
+/// that guardrail off); the struct is copied freely — it does not own
+/// anything.
+struct QueryGuards {
+  /// Polled at every BudgetTracker quantum; trips -> hard kCancelled (or
+  /// whatever status the token carries).
+  CancellationToken* cancel = nullptr;
+  /// Per-query memory tracker (child of the engine root). Charged by
+  /// pipeline breakers, state clones, memo and cache inserts.
+  MemoryTracker* memory = nullptr;
+  /// Deterministic fault injection for the guardrail paths themselves
+  /// (kMemoryPressure, kCancelAt, kExecBatch, kExecSpillCheck).
+  FaultInjector* faults = nullptr;
+
+  bool any() const { return cancel || memory || faults; }
+
+  /// One cooperative poll: fires kCancelAt injection (tripping the token),
+  /// then returns the token's status. Call at the same quanta as
+  /// BudgetTracker checks.
+  Status Poll() const;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_COMMON_GUARDRAILS_H_

@@ -1,0 +1,93 @@
+#include "common/memory_tracker.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace cbqt {
+
+namespace {
+/// How many times a reservation retries after asking the engine to fail a
+/// victim query, and how long it waits for the victim to actually unwind
+/// and release its bytes. Bounded so a wedged victim cannot hang the
+/// requester — after the retries the requester fails itself.
+constexpr int kVictimRetries = 3;
+constexpr int kVictimWaitMs = 1;
+}  // namespace
+
+bool MemoryTracker::TryChargeLocal(int64_t bytes) {
+  int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ > 0 && now > limit_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  UpdatePeak(now);
+  return true;
+}
+
+void MemoryTracker::ChargeLocal(int64_t bytes) {
+  int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  UpdatePeak(now);
+}
+
+void MemoryTracker::UpdatePeak(int64_t used_now) {
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (used_now > peak &&
+         !peak_.compare_exchange_weak(peak, used_now,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+Status MemoryTracker::TryReserve(int64_t bytes) {
+  if (bytes <= 0) return Status::OK();
+  // Charge child-to-root so a failure higher up can roll back the charges
+  // already applied below without double counting.
+  std::vector<MemoryTracker*> charged;
+  for (MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+    bool ok = t->TryChargeLocal(bytes);
+    if (!ok) {
+      // Degradation ladder on the tracker that tripped: shed caches, then
+      // ask for a victim, retrying the local charge after each rung.
+      int64_t missing = bytes;
+      if (t->pressure_cb_) {
+        int64_t freed = t->pressure_cb_(missing);
+        if (freed > 0) ok = t->TryChargeLocal(bytes);
+      }
+      if (!ok && t->victim_cb_) {
+        for (int attempt = 0; !ok && attempt < kVictimRetries; ++attempt) {
+          if (!t->victim_cb_(this, missing)) break;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(kVictimWaitMs));
+          ok = t->TryChargeLocal(bytes);
+        }
+      }
+    }
+    if (!ok) {
+      for (MemoryTracker* c : charged) {
+        c->used_.fetch_sub(bytes, std::memory_order_relaxed);
+      }
+      t->failed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "memory budget exceeded on tracker '" + t->label_ + "' (limit " +
+          std::to_string(t->limit_) + " bytes)");
+    }
+    charged.push_back(t);
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::ForceReserve(int64_t bytes) {
+  if (bytes <= 0) return;
+  for (MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+    t->ChargeLocal(bytes);
+  }
+}
+
+void MemoryTracker::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  for (MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+    t->used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace cbqt

@@ -1,0 +1,167 @@
+#ifndef CBQT_COMMON_MEMORY_TRACKER_H_
+#define CBQT_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cbqt {
+
+/// Hierarchical memory accounting, mirroring the tracker trees in serving
+/// databases (Impala/ClickHouse style): one engine-wide root with a byte
+/// budget, one child per admitted query. A reservation charges the child
+/// first and then walks up to the root, so both the per-query and the
+/// engine ceilings are enforced by the same call; on failure the partial
+/// charge is rolled back and nothing leaks.
+///
+/// The trackers count *logical* bytes as estimated by the operators that
+/// buffer data (hash-join build sides, sort buffers, aggregation tables,
+/// materialized subqueries, COW state clones, memo and cache entries) — it
+/// is an accounting layer, not a malloc hook, which keeps the hot-path cost
+/// to a couple of relaxed atomics.
+///
+/// Pressure handling hooks (root tracker only):
+///   - `pressure_callback`: invoked when a reservation would exceed this
+///     tracker's limit, *before* failing it — the engine uses it to shed
+///     cache memory (plan/annotation cache eviction). Return the number of
+///     bytes freed; the reservation is retried if anything was freed.
+///   - `victim_callback`: last resort — asks the engine to fail the largest
+///     admitted query (never a bystander smaller than the requester's own
+///     query). Returns true when a victim was asked to unwind; the
+///     reservation retries a bounded number of times while it does.
+///
+/// Thread-safe. Callbacks run on the reserving thread and must not call
+/// back into the same tracker's Reserve path.
+class MemoryTracker {
+ public:
+  /// `limit_bytes <= 0` means unlimited (tracking only).
+  MemoryTracker(std::string label, int64_t limit_bytes,
+                MemoryTracker* parent = nullptr)
+      : label_(std::move(label)), limit_(limit_bytes), parent_(parent) {}
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Charges `bytes` to this tracker and every ancestor. On any ceiling
+  /// violation, runs the pressure/victim ladder of the tracker that
+  /// tripped; if the ladder cannot free the shortfall, rolls back and
+  /// returns kResourceExhausted naming the exhausted tracker.
+  Status TryReserve(int64_t bytes);
+
+  /// Charges unconditionally (used for small fixed overheads that must not
+  /// fail mid-structure; keeps peak numbers honest).
+  void ForceReserve(int64_t bytes);
+
+  /// Returns `bytes` to this tracker and every ancestor.
+  void Release(int64_t bytes);
+
+  const std::string& label() const { return label_; }
+  int64_t limit_bytes() const { return limit_; }
+  MemoryTracker* parent() const { return parent_; }
+
+  int64_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t failed_reservations() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+  /// See class comment. Root-tracker hooks; set before concurrent use.
+  void set_pressure_callback(std::function<int64_t(int64_t missing)> cb) {
+    pressure_cb_ = std::move(cb);
+  }
+  void set_victim_callback(
+      std::function<bool(const MemoryTracker* requester, int64_t missing)>
+          cb) {
+    victim_cb_ = std::move(cb);
+  }
+
+ private:
+  /// Charges `bytes` against this single tracker (no parent walk). Returns
+  /// false when the limit would be exceeded; the charge is not applied.
+  bool TryChargeLocal(int64_t bytes);
+  void ChargeLocal(int64_t bytes);
+  void UpdatePeak(int64_t used_now);
+
+  const std::string label_;
+  const int64_t limit_;
+  MemoryTracker* const parent_;
+
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> failed_{0};
+
+  std::function<int64_t(int64_t)> pressure_cb_;
+  std::function<bool(const MemoryTracker*, int64_t)> victim_cb_;
+};
+
+/// RAII charge against a tracker: releases whatever is still held on
+/// destruction. Operators grow the reservation incrementally as they
+/// buffer rows and let the scope unwind it, so error paths (cancel,
+/// injected faults, kResourceExhausted itself) can never leak accounting.
+///
+/// By default every Grow() charges the tracker immediately (exact
+/// accounting, limits enforced to the byte). Hot per-row call sites can opt
+/// into a *flush quantum*: grown bytes accumulate locally and hit the
+/// tracker's atomics only once `quantum` bytes are pending, cutting the
+/// per-row cost to an addition at the price of up to one quantum of
+/// accounting slack per open reservation.
+class ScopedReservation {
+ public:
+  explicit ScopedReservation(MemoryTracker* tracker) : tracker_(tracker) {}
+
+  ScopedReservation(const ScopedReservation&) = delete;
+  ScopedReservation& operator=(const ScopedReservation&) = delete;
+
+  ScopedReservation(ScopedReservation&& other) noexcept
+      : tracker_(other.tracker_),
+        held_(other.held_),
+        pending_(other.pending_),
+        quantum_(other.quantum_) {
+    other.tracker_ = nullptr;
+    other.held_ = 0;
+    other.pending_ = 0;
+  }
+
+  ~ScopedReservation() { Release(); }
+
+  /// Defers tracker charges until `bytes` of growth are pending. 0 (the
+  /// default) charges on every Grow().
+  void set_flush_quantum(int64_t bytes) { quantum_ = bytes; }
+
+  /// Grows the reservation by `bytes`. No-op (OK) without a tracker. A
+  /// failed flush charges nothing (pending bytes are dropped with it).
+  Status Grow(int64_t bytes) {
+    if (tracker_ == nullptr || bytes <= 0) return Status::OK();
+    pending_ += bytes;
+    if (pending_ < quantum_) return Status::OK();
+    int64_t flush = pending_;
+    pending_ = 0;
+    CBQT_RETURN_IF_ERROR(tracker_->TryReserve(flush));
+    held_ += flush;
+    return Status::OK();
+  }
+
+  /// Returns all held bytes now (also done by the destructor). Pending
+  /// (never-charged) bytes are simply dropped.
+  void Release() {
+    if (tracker_ != nullptr && held_ > 0) tracker_->Release(held_);
+    held_ = 0;
+    pending_ = 0;
+  }
+
+  int64_t held_bytes() const { return held_; }
+
+ private:
+  MemoryTracker* tracker_;
+  int64_t held_ = 0;
+  int64_t pending_ = 0;
+  int64_t quantum_ = 0;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_COMMON_MEMORY_TRACKER_H_

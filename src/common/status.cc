@@ -29,6 +29,12 @@ const char* CodeName(StatusCode code) {
       return "CostCutoff";
     case StatusCode::kBudgetExhausted:
       return "BudgetExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kAdmissionRejected:
+      return "AdmissionRejected";
   }
   return "Unknown";
 }

@@ -27,7 +27,30 @@ enum class StatusCode {
   /// During the search this is a cooperative stop signal, not an error: the
   /// framework degrades to its best-so-far answer instead of failing.
   kBudgetExhausted,
+  /// The query was cancelled (CancellationToken tripped). Unlike
+  /// kBudgetExhausted this is a hard stop: every layer unwinds and the
+  /// query fails — there is no best-so-far degradation for a cancel.
+  kCancelled,
+  /// A memory reservation against a MemoryTracker budget failed (per-query
+  /// or engine-wide) after the degradation ladder (cache eviction, largest-
+  /// query victim selection) could not free enough. Hard stop, like
+  /// kCancelled.
+  kResourceExhausted,
+  /// Admission control turned the query away before any work was done:
+  /// the engine is at its concurrency ceiling and the admission queue is
+  /// full (or the queue deadline expired). Cheap, typed, retryable.
+  kAdmissionRejected,
 };
+
+/// True for the runtime-guardrail codes that must abort a whole query
+/// instead of being fault-isolated per transformation state or degraded to
+/// a best-so-far answer: cancellation, memory exhaustion, admission
+/// rejection. The search and executor propagate these verbatim.
+inline bool IsGuardrailAbort(StatusCode code) {
+  return code == StatusCode::kCancelled ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kAdmissionRejected;
+}
 
 /// Result of an operation: either OK or an error code plus message.
 ///
@@ -66,6 +89,15 @@ class Status {
   }
   static Status BudgetExhausted(std::string msg) {
     return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status AdmissionRejected(std::string msg) {
+    return Status(StatusCode::kAdmissionRejected, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -131,4 +131,19 @@ size_t HashRow(const Row& row) {
   return h;
 }
 
+int64_t EstimateValueBytes(const Value& v) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Value));
+  if (v.kind() == ValueKind::kString) {
+    // Strings beyond the small-string buffer own a heap allocation.
+    bytes += static_cast<int64_t>(v.AsString().capacity());
+  }
+  return bytes;
+}
+
+int64_t EstimateRowBytes(const Row& row) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Row));
+  for (const Value& v : row) bytes += EstimateValueBytes(v);
+  return bytes;
+}
+
 }  // namespace cbqt

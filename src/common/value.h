@@ -85,6 +85,12 @@ using Row = std::vector<Value>;
 /// Hash of a key row (for hash joins / aggregation).
 size_t HashRow(const Row& row);
 
+/// Approximate in-memory footprint of a value / row, used by the memory
+/// accounting layer (MemoryTracker) when pipeline-breaking operators buffer
+/// rows. Logical estimate (container header + payload), not a malloc audit.
+int64_t EstimateValueBytes(const Value& v);
+int64_t EstimateRowBytes(const Row& row);
+
 struct RowHasher {
   size_t operator()(const Row& r) const { return HashRow(r); }
 };

@@ -7,9 +7,29 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/fault_injector.h"
 #include "common/str_util.h"
 
 namespace cbqt {
+
+Status Executor::PollGuards() {
+  if (guards_.faults != nullptr) {
+    CBQT_RETURN_IF_ERROR(guards_.faults->MaybeFail(FaultSite::kExecBatch));
+  }
+  return guards_.Poll();
+}
+
+Status Executor::ChargeBufferedSlow(ScopedReservation& res, int64_t bytes) {
+  if (guards_.faults != nullptr) {
+    CBQT_RETURN_IF_ERROR(
+        guards_.faults->MaybeFail(FaultSite::kExecSpillCheck));
+    if (guards_.faults->MaybeFire(FaultSite::kMemoryPressure)) {
+      return Status::ResourceExhausted(
+          "injected memory pressure (executor pipeline breaker)");
+    }
+  }
+  return res.Grow(bytes);
+}
 
 namespace {
 
@@ -391,9 +411,12 @@ Result<std::vector<Row>> Executor::RunHashJoin(const PlanNode& node,
   Schema combined = left_schema;
   combined.insert(combined.end(), right_schema.begin(), right_schema.end());
 
-  // Build on the right.
+  // Build on the right. The build side is a pipeline breaker: its hash
+  // table bytes (key rows + posting lists + the buffered build rows they
+  // point at) are charged against the per-query memory tracker.
   RowMap table;
   bool build_has_null_key = false;
+  ScopedReservation build_mem = BufferReservation();
   const auto& rrows = right.value();
   for (size_t i = 0; i < rrows.size(); ++i) {
     CBQT_RETURN_IF_ERROR(CountRow());
@@ -413,6 +436,11 @@ Result<std::vector<Row>> Executor::RunHashJoin(const PlanNode& node,
     if (has_null) {
       build_has_null_key = true;
       continue;
+    }
+    if (charge_memory()) {
+      CBQT_RETURN_IF_ERROR(ChargeBufferedSlow(
+          build_mem, EstimateRowBytes(key) + EstimateRowBytes(rrows[i]) +
+                         static_cast<int64_t>(sizeof(size_t))));
     }
     table[std::move(key)].push_back(i);
   }
@@ -524,6 +552,8 @@ Result<std::vector<Row>> Executor::RunMergeJoin(const PlanNode& node,
     Row keys;
     const Row* row;
   };
+  // Both sorted key buffers break the pipeline; charge their bytes.
+  ScopedReservation merge_mem = BufferReservation();
   std::vector<Keyed> lk, rk;
   for (const auto& r : left.value()) {
     CBQT_RETURN_IF_ERROR(CountRow());
@@ -533,7 +563,10 @@ Result<std::vector<Row>> Executor::RunMergeJoin(const PlanNode& node,
     for (const auto& v : k.keys) {
       if (v.is_null()) has_null = true;
     }
-    if (!has_null) lk.push_back(std::move(k));
+    if (has_null) continue;
+    CBQT_RETURN_IF_ERROR(ChargeBufferedRow(
+        merge_mem, k.keys, static_cast<int64_t>(sizeof(Keyed))));
+    lk.push_back(std::move(k));
   }
   for (const auto& r : right.value()) {
     CBQT_RETURN_IF_ERROR(CountRow());
@@ -544,7 +577,10 @@ Result<std::vector<Row>> Executor::RunMergeJoin(const PlanNode& node,
     for (const auto& v : k.keys) {
       if (v.is_null()) has_null = true;
     }
-    if (!has_null) rk.push_back(std::move(k));
+    if (has_null) continue;
+    CBQT_RETURN_IF_ERROR(ChargeBufferedRow(
+        merge_mem, k.keys, static_cast<int64_t>(sizeof(Keyed))));
+    rk.push_back(std::move(k));
   }
   auto key_less = [](const Keyed& a, const Keyed& b) {
     for (size_t i = 0; i < a.keys.size(); ++i) {
@@ -620,6 +656,9 @@ Result<std::vector<Row>> Executor::RunAggregate(const PlanNode& node,
     std::vector<bool> in_set(num_keys, false);
     for (int g : set) in_set[static_cast<size_t>(g)] = true;
 
+    // The aggregation hash table is a pipeline breaker; each new group's
+    // key and accumulators are charged against the query tracker.
+    ScopedReservation agg_mem = BufferReservation();
     std::unordered_map<Row, std::vector<AggAccum>, RowHasher, RowEq> groups;
     for (const auto& r : input.value()) {
       CBQT_RETURN_IF_ERROR(CountRow());
@@ -646,7 +685,16 @@ Result<std::vector<Row>> Executor::RunAggregate(const PlanNode& node,
         return err;
       }
       auto [it, inserted] = groups.try_emplace(std::move(key));
-      if (inserted) it->second.resize(num_aggs);
+      if (inserted) {
+        it->second.resize(num_aggs);
+        Status charged = ChargeBufferedRow(
+            agg_mem, it->first,
+            static_cast<int64_t>(num_aggs * sizeof(AggAccum)));
+        if (!charged.ok()) {
+          ctx.frames.pop_back();
+          return charged;
+        }
+      }
       for (size_t a = 0; a < num_aggs; ++a) {
         const Expr& agg = *node.agg_exprs[a];
         Value v = Value::Null();
@@ -686,6 +734,9 @@ Result<std::vector<Row>> Executor::RunSort(const PlanNode& node,
     Row keys;
     size_t index;
   };
+  // The sort buffer (key columns alongside the already-materialized input)
+  // is a pipeline breaker; its bytes are charged against the query tracker.
+  ScopedReservation sort_mem = BufferReservation();
   std::vector<Keyed> keyed;
   keyed.reserve(input->size());
   for (size_t i = 0; i < input->size(); ++i) {
@@ -701,6 +752,8 @@ Result<std::vector<Row>> Executor::RunSort(const PlanNode& node,
       k.keys.push_back(std::move(v.value()));
     }
     ctx.frames.pop_back();
+    CBQT_RETURN_IF_ERROR(ChargeBufferedRow(
+        sort_mem, k.keys, static_cast<int64_t>(sizeof(Keyed))));
     keyed.push_back(std::move(k));
   }
   std::stable_sort(keyed.begin(), keyed.end(),
@@ -717,11 +770,15 @@ Result<std::vector<Row>> Executor::RunDistinct(const PlanNode& node,
                                                EvalContext& ctx) {
   auto input = Run(*node.children[0], ctx);
   if (!input.ok()) return input.status();
+  ScopedReservation distinct_mem = BufferReservation();
   std::unordered_map<Row, bool, RowHasher, RowEq> seen;
   std::vector<Row> out;
   for (auto& r : input.value()) {
     CBQT_RETURN_IF_ERROR(CountRow());
-    if (seen.emplace(r, true).second) out.push_back(std::move(r));
+    if (seen.emplace(r, true).second) {
+      CBQT_RETURN_IF_ERROR(ChargeBufferedRow(distinct_mem, r));
+      out.push_back(std::move(r));
+    }
   }
   return out;
 }
@@ -956,6 +1013,14 @@ class CachingSubqueryResolver : public SubqueryResolver {
     // resolve against the outer row.
     auto rows = RunSubplan(*node_.subplans[i]);
     if (!rows.ok()) return rows.status();
+    if (charge_fn) {
+      // Materialized subquery results persist for the whole operator (TIS
+      // caching); charge them against the per-query memory tracker.
+      for (const Row& r : rows.value()) {
+        Status charged = charge_fn(r);
+        if (!charged.ok()) return charged;
+      }
+    }
     auto [pos, inserted] = cache.emplace(std::move(key), CachedResult{});
     (void)inserted;
     pos->second.rows = std::move(rows.value());
@@ -964,6 +1029,8 @@ class CachingSubqueryResolver : public SubqueryResolver {
 
   /// Set by RunSubqueryFilter: executes a plan under the current context.
   std::function<Result<std::vector<Row>>(const PlanNode&)> run_fn;
+  /// Optional memory-accounting hook for cached subquery result rows.
+  std::function<Status(const Row&)> charge_fn;
 
  private:
   Result<std::vector<Row>> RunSubplan(const PlanNode& plan) {
@@ -1019,6 +1086,12 @@ Result<std::vector<Row>> Executor::RunSubqueryFilter(const PlanNode& node,
   resolver.run_fn = [this, &ctx](const PlanNode& plan) {
     return this->Run(plan, ctx);
   };
+  ScopedReservation subq_mem = BufferReservation();
+  if (charge_memory()) {
+    resolver.charge_fn = [this, &subq_mem](const Row& r) {
+      return this->ChargeBufferedRow(subq_mem, r);
+    };
+  }
 
   SubqueryResolver* saved = ctx.subquery_resolver;
   std::vector<Row> out;

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/guardrails.h"
+#include "common/memory_tracker.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "exec/eval.h"
@@ -35,11 +37,18 @@ class Executor {
   /// `budget`, when non-null, caps the rows pushed through operators
   /// (OptimizerBudget::max_exec_rows): a runaway query fails fast with
   /// kBudgetExhausted instead of grinding through an unbounded join.
-  explicit Executor(const Database& db, BudgetTracker* budget = nullptr)
-      : db_(db), budget_(budget) {
+  /// `guards` adds the runtime guardrails: the cancellation token is polled
+  /// at every CountRow (one row = one polling quantum), and pipeline
+  /// breakers (hash-join build sides, sort buffers, aggregation tables,
+  /// materialized subquery results) charge their buffered bytes against the
+  /// per-query memory tracker.
+  explicit Executor(const Database& db, BudgetTracker* budget = nullptr,
+                    QueryGuards guards = {})
+      : db_(db), budget_(budget), guards_(guards) {
     if (budget != nullptr && budget->budget().max_exec_rows > 0) {
       row_cap_ = budget->budget().max_exec_rows;
     }
+    has_guards_ = guards_.any();
   }
 
   /// Runs the plan to completion and returns the result rows (matching
@@ -49,8 +58,9 @@ class Executor {
 
  private:
   /// Counts one row of operator work against the stats and the row budget.
-  /// The hot path is one increment and one predictable compare; the cap is
-  /// infinite when no budget is set.
+  /// The hot path is one increment, one predictable compare, and one
+  /// predictable branch on the guardrail flag; the cap is infinite when no
+  /// budget is set.
   Status CountRow() {
     if (++stats_->rows_processed > row_cap_) {
       budget_->MarkExhausted(BudgetDimension::kExecRows);
@@ -58,8 +68,44 @@ class Executor {
           "executor row budget exceeded (max_exec_rows=" +
           std::to_string(budget_->budget().max_exec_rows) + ")");
     }
+    if (has_guards_) return PollGuards();
     return Status::OK();
   }
+
+  /// Guardrail poll at the row quantum: fires the kExecBatch / kCancelAt
+  /// injection sites and returns the cancellation token's status.
+  Status PollGuards();
+
+  /// True when pipeline breakers must account their buffered bytes (a
+  /// memory tracker is attached, or fault injection wants the charge
+  /// sites). Call sites skip computing byte estimates entirely otherwise.
+  bool charge_memory() const {
+    return guards_.memory != nullptr || guards_.faults != nullptr;
+  }
+
+  /// Buffered bytes accumulate locally and hit the tracker's atomics once
+  /// per page of growth, so the per-row cost of accounting a pipeline
+  /// breaker is an addition, not two atomic RMWs up the tracker chain.
+  /// Budget enforcement lags by at most this many bytes per open buffer.
+  static constexpr int64_t kChargeQuantumBytes = 4096;
+
+  /// A reservation for one pipeline breaker's buffer, page-batched.
+  ScopedReservation BufferReservation() {
+    ScopedReservation res(guards_.memory);
+    res.set_flush_quantum(kChargeQuantumBytes);
+    return res;
+  }
+
+  /// Charges one buffered row (plus `extra` structure bytes) of a pipeline
+  /// breaker against the per-query memory tracker via `res`, firing the
+  /// kExecSpillCheck / kMemoryPressure injection sites. Zero cost (no byte
+  /// estimate computed) when no guardrails are configured.
+  Status ChargeBufferedRow(ScopedReservation& res, const Row& row,
+                           int64_t extra = 0) {
+    if (!charge_memory()) return Status::OK();
+    return ChargeBufferedSlow(res, EstimateRowBytes(row) + extra);
+  }
+  Status ChargeBufferedSlow(ScopedReservation& res, int64_t bytes);
 
   Result<std::vector<Row>> Run(const PlanNode& node, EvalContext& ctx);
 
@@ -82,6 +128,8 @@ class Executor {
 
   const Database& db_;
   BudgetTracker* budget_ = nullptr;
+  QueryGuards guards_;
+  bool has_guards_ = false;
   int64_t row_cap_ = std::numeric_limits<int64_t>::max();
   ExecStats* stats_ = nullptr;
 };

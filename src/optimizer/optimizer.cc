@@ -11,8 +11,11 @@ Result<PhysicalOptimization> PhysicalOptimizer::Optimize(
     return Status::BudgetExhausted(
         "optimization deadline exceeded before planning");
   }
+  if (options.guards.any()) {
+    CBQT_RETURN_IF_ERROR(options.guards.Poll());
+  }
   Planner planner(db_, params_, options.cache, options.cost_cutoff,
-                  options.budget, options.join_memo);
+                  options.budget, options.join_memo, options.guards);
   auto block = planner.PlanBlock(qb);
   if (!block.ok()) return block.status();
   PhysicalOptimization out;

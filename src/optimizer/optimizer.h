@@ -7,6 +7,7 @@
 #include "cbqt/annotation_cache.h"
 #include "common/budget.h"
 #include "common/fault_injector.h"
+#include "common/guardrails.h"
 #include "common/status.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
@@ -44,6 +45,9 @@ struct PhysicalOptimizeOptions {
   /// byte-identical join problems recurring across transformation states
   /// skip re-enumeration. Results are bit-identical with and without it.
   AnnotationCache* join_memo = nullptr;
+  /// Runtime guardrails (cancellation token, per-query memory tracker,
+  /// guardrail fault sites), polled at the per-block budget quantum.
+  QueryGuards guards;
 };
 
 /// Facade over the Planner: the "physical optimizer" box of the paper's

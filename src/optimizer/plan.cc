@@ -51,6 +51,37 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   return out;
 }
 
+int64_t PlanNode::EstimateBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(PlanNode));
+  for (const auto& slot : output) {
+    bytes += static_cast<int64_t>(sizeof(ColumnSlot) + slot.alias.capacity() +
+                                  slot.name.capacity());
+  }
+  bytes += static_cast<int64_t>(table_name.capacity() +
+                                table_alias.capacity() +
+                                index_name.capacity());
+  auto exprs = [&bytes](const std::vector<ExprPtr>& list) {
+    for (const auto& e : list) bytes += e->EstimateBytes();
+  };
+  exprs(probes);
+  exprs(filter);
+  exprs(join_conds);
+  exprs(hash_left_keys);
+  exprs(hash_right_keys);
+  exprs(group_keys);
+  exprs(agg_exprs);
+  for (const auto& set : grouping_sets) {
+    bytes += static_cast<int64_t>(set.size() * sizeof(int));
+  }
+  exprs(projections);
+  exprs(sort_keys);
+  exprs(window_exprs);
+  for (const auto& keys : subplan_corr_keys) exprs(keys);
+  for (const auto& c : children) bytes += c->EstimateBytes();
+  for (const auto& s : subplans) bytes += s->EstimateBytes();
+  return bytes;
+}
+
 namespace {
 
 const char* OpName(PlanOp op) {

@@ -117,6 +117,11 @@ struct PlanNode {
   PlanNode& operator=(const PlanNode&) = delete;
 
   std::unique_ptr<PlanNode> Clone() const;
+
+  /// Approximate in-memory footprint of this plan tree (node structs,
+  /// strings, expressions, subplans), for the memory accounting layer —
+  /// plan-cache entries are charged by this estimate.
+  int64_t EstimateBytes() const;
 };
 
 /// One-line-per-node rendering of a plan tree with cost annotations, for

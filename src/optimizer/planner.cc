@@ -733,6 +733,9 @@ Result<BlockPlan> Planner::PlanBlock(const QueryBlock& qb) {
     return Status::BudgetExhausted(
         "optimization deadline exceeded while planning");
   }
+  // Same quantum, harder stop: a tripped cancellation token fails the
+  // query outright instead of degrading it.
+  if (guards_.any()) CBQT_RETURN_IF_ERROR(guards_.Poll());
   std::string sig;
   if (cache_ != nullptr) {
     sig = BlockSignature(qb);

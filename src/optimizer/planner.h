@@ -8,6 +8,7 @@
 
 #include "cbqt/annotation_cache.h"
 #include "common/budget.h"
+#include "common/guardrails.h"
 #include "common/status.h"
 #include "optimizer/card_est.h"
 #include "optimizer/cost_model.h"
@@ -45,13 +46,14 @@ class Planner {
           AnnotationCache* cache = nullptr,
           double cost_cutoff = std::numeric_limits<double>::infinity(),
           BudgetTracker* budget = nullptr,
-          AnnotationCache* join_memo = nullptr)
+          AnnotationCache* join_memo = nullptr, QueryGuards guards = {})
       : db_(db),
         params_(params),
         cache_(cache),
         cutoff_(cost_cutoff),
         budget_(budget),
-        join_memo_(join_memo) {}
+        join_memo_(join_memo),
+        guards_(guards) {}
 
   /// Plans a bound query block (and, recursively, all nested blocks).
   Result<BlockPlan> PlanBlock(const QueryBlock& qb);
@@ -85,6 +87,9 @@ class Planner {
   /// planner.cc). Shared by the CBQT framework across transformation states
   /// alongside the block-level annotation cache.
   AnnotationCache* join_memo_;
+  /// Runtime guardrails, polled at the same per-block quantum as the
+  /// budget: a tripped CancellationToken aborts planning with kCancelled.
+  QueryGuards guards_;
   int64_t blocks_planned_ = 0;
 };
 

@@ -59,6 +59,23 @@ ExprPtr Expr::CloneCow() const {
   return out;
 }
 
+int64_t Expr::EstimateBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(Expr));
+  bytes += static_cast<int64_t>(table_alias.capacity() +
+                                column_name.capacity() +
+                                func_name.capacity());
+  if (literal.kind() == ValueKind::kString) {
+    bytes += static_cast<int64_t>(literal.AsString().capacity());
+  }
+  if (subquery != nullptr && !subquery.shared()) {
+    bytes += subquery->EstimateBytes();
+  }
+  for (const auto& e : partition_by) bytes += e->EstimateBytes();
+  for (const auto& e : win_order_by) bytes += e->EstimateBytes();
+  for (const auto& e : children) bytes += e->EstimateBytes();
+  return bytes;
+}
+
 ExprPtr MakeColumnRef(std::string table_alias, std::string column_name) {
   auto e = std::make_unique<Expr>();
   e->kind = ExprKind::kColumnRef;

@@ -135,6 +135,11 @@ struct Expr {
   /// block is *shared* (refcounted read-only until thawed). Used by
   /// QueryBlock::CloneCow for state copies in the CBQT framework.
   ExprPtr CloneCow() const;
+
+  /// Approximate in-memory footprint of this expression tree, for the
+  /// memory-accounting layer. Shared (COW) subquery edges count only as a
+  /// pointer, so a state copy is charged for the blocks it privately owns.
+  int64_t EstimateBytes() const;
 };
 
 // ---- constructors --------------------------------------------------------

@@ -124,6 +124,37 @@ std::string QueryBlock::UniqueAlias(const std::string& prefix) const {
   }
 }
 
+int64_t QueryBlock::EstimateBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(QueryBlock));
+  bytes += static_cast<int64_t>(qb_name.capacity());
+  for (const auto& b : branches) {
+    if (b != nullptr && !b.shared()) bytes += b->EstimateBytes();
+  }
+  for (const auto& item : select) {
+    bytes += static_cast<int64_t>(sizeof(SelectItem) + item.alias.capacity());
+    if (item.expr != nullptr) bytes += item.expr->EstimateBytes();
+  }
+  for (const auto& tr : from) {
+    bytes += static_cast<int64_t>(sizeof(TableRef) + tr.alias.capacity() +
+                                  tr.table_name.capacity());
+    for (const auto& c : tr.join_conds) bytes += c->EstimateBytes();
+    if (tr.derived != nullptr && !tr.derived.shared()) {
+      bytes += tr.derived->EstimateBytes();
+    }
+  }
+  for (const auto& e : where) bytes += e->EstimateBytes();
+  for (const auto& e : group_by) bytes += e->EstimateBytes();
+  for (const auto& set : grouping_sets) {
+    bytes += static_cast<int64_t>(set.size() * sizeof(int));
+  }
+  for (const auto& e : having) bytes += e->EstimateBytes();
+  for (const auto& o : order_by) {
+    bytes += static_cast<int64_t>(sizeof(OrderItem));
+    if (o.expr != nullptr) bytes += o.expr->EstimateBytes();
+  }
+  return bytes;
+}
+
 namespace {
 
 bool ExprListEquals(const std::vector<ExprPtr>& a,

@@ -128,6 +128,13 @@ struct QueryBlock {
 
   /// A fresh table alias not used by any FROM entry ("vw_1", "vw_2", ...).
   std::string UniqueAlias(const std::string& prefix) const;
+
+  /// Approximate in-memory footprint of this block tree, for the memory
+  /// accounting layer (per-state clone charges in the CBQT search). Shared
+  /// (COW) edges — derived tables, set-op branches, expression subqueries —
+  /// count only as a pointer, so the estimate reflects the bytes a state
+  /// copy privately owns rather than the whole logical tree.
+  int64_t EstimateBytes() const;
 };
 
 /// Structural equality of whole blocks (used by tests and by join

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <unordered_set>
 
 #include "common/str_util.h"
@@ -31,6 +32,11 @@ Status Database::InsertBulk(const std::string& table, std::vector<Row> rows) {
 }
 
 Status Database::BuildIndexes(const std::string& table) {
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  return BuildIndexesLocked(table);
+}
+
+Status Database::BuildIndexesLocked(const std::string& table) {
   std::string name = ToLower(table);
   const Table* t = FindTable(name);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
@@ -52,8 +58,11 @@ Status Database::BuildIndexes(const std::string& table) {
 }
 
 Status Database::Analyze() {
+  // Exclusive against engine operations (Database::ReadLock): statistics
+  // and index rebuilds never race an in-flight plan or scan.
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
   for (auto& [name, table] : tables_) {
-    CBQT_RETURN_IF_ERROR(BuildIndexes(name));
+    CBQT_RETURN_IF_ERROR(BuildIndexesLocked(name));
     const auto& rows = table->rows();
     TableStats ts;
     ts.rows = static_cast<double>(rows.size());

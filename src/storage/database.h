@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -19,8 +20,14 @@ namespace cbqt {
 /// The database instance: catalog + stored tables + indexes + statistics.
 ///
 /// This is the substrate every layer above (binder, optimizer, executor,
-/// workload runner) consumes. Single-threaded by design; the paper's
-/// experiments are about plan choice, not concurrency.
+/// workload runner) consumes. Loading (CreateTable/Insert) is single-
+/// threaded by design; once loaded, concurrent readers are safe, and the
+/// one runtime mutator — Analyze(), which rebuilds statistics and indexes
+/// in place — excludes them via a reader/writer lock: QueryEngine holds
+/// ReadLock() for the duration of each engine operation, Analyze() takes
+/// the lock exclusively. The stats epoch is bumped after the rebuild, so
+/// plan-cache entries planned under the old statistics are invalidated on
+/// their next lookup.
 class Database {
  public:
   Database() = default;
@@ -57,6 +64,13 @@ class Database {
     return stats_epoch_.load(std::memory_order_acquire);
   }
 
+  /// Shared (reader) lock over the stored data and statistics. Engine
+  /// operations hold one for their whole duration so Analyze() cannot swap
+  /// statistics or rebuild indexes under an in-flight plan or scan.
+  std::shared_lock<std::shared_mutex> ReadLock() const {
+    return std::shared_lock<std::shared_mutex>(rw_mu_);
+  }
+
   /// nullptr if absent.
   const Table* FindTable(const std::string& name) const;
   Table* FindMutableTable(const std::string& name);
@@ -66,11 +80,16 @@ class Database {
                          const std::string& index_name) const;
 
  private:
+  /// BuildIndexes body without locking, shared by the public method and
+  /// Analyze() (which already holds rw_mu_ exclusively).
+  Status BuildIndexesLocked(const std::string& table);
+
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::vector<std::unique_ptr<Index>>> indexes_;
   StatsRegistry stats_;
   std::atomic<uint64_t> stats_epoch_{0};
+  mutable std::shared_mutex rw_mu_;  ///< see ReadLock()
 };
 
 }  // namespace cbqt

@@ -59,6 +59,19 @@ WorkloadRunReport WorkloadRunner::RunAll(
     auto result = engine.Run(q.sql);
     if (!result.ok()) {
       ++report.failed;
+      switch (result.status().code()) {
+        case StatusCode::kCancelled:
+          ++report.cancelled;
+          break;
+        case StatusCode::kResourceExhausted:
+          ++report.resource_exhausted;
+          break;
+        case StatusCode::kAdmissionRejected:
+          ++report.admission_rejected;
+          break;
+        default:
+          break;
+      }
       if (static_cast<int>(report.error_messages.size()) <
           WorkloadRunReport::kMaxErrorMessages) {
         report.error_messages.push_back(
@@ -80,6 +93,8 @@ WorkloadRunReport WorkloadRunner::RunAll(
     if (m.cbqt.budget_exhausted) ++report.budget_exhausted_queries;
     report.searches_degraded += m.cbqt.searches_degraded;
     report.failed_states += m.cbqt.failed_states;
+    report.max_query_peak_bytes =
+        std::max(report.max_query_peak_bytes, result->peak_memory_bytes);
     report.measurements.push_back(std::move(m));
   }
   if (engine.plan_cache_enabled()) {
@@ -88,6 +103,10 @@ WorkloadRunReport WorkloadRunner::RunAll(
     report.plan_cache_misses = pcs.misses;
     report.plan_cache_upgrades = pcs.upgrades;
   }
+  GuardrailStats gs = engine.guardrail_stats();
+  report.engine_peak_memory_bytes = gs.engine_peak_bytes;
+  report.cache_shed_bytes = gs.cache_shed_bytes;
+  report.memory_victims = gs.memory_victims;
   return report;
 }
 

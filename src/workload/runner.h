@@ -54,6 +54,18 @@ struct WorkloadRunReport {
   /// failures (the count above covers the rest).
   std::vector<std::string> error_messages;
 
+  // Guardrail outcome categories (subsets of `failed`): every failure under
+  // a configured guardrail should fall into one of these typed buckets —
+  // anything left over (failed minus the three) is a process-level failure
+  // the robustness acceptance test treats as a bug.
+  int cancelled = 0;           ///< queries that unwound with kCancelled
+  int resource_exhausted = 0;  ///< ... with kResourceExhausted
+  int admission_rejected = 0;  ///< ... turned away by admission control
+  /// failed minus the three typed guardrail categories above.
+  int untyped_failures() const {
+    return failed - cancelled - resource_exhausted - admission_rejected;
+  }
+
   // Governor telemetry aggregated over the successful queries.
   int budget_exhausted_queries = 0;  ///< queries whose optimizer budget tripped
   int searches_degraded = 0;         ///< searches that fell back to heuristics
@@ -64,6 +76,13 @@ struct WorkloadRunReport {
   int64_t plan_cache_hits = 0;
   int64_t plan_cache_misses = 0;
   int64_t plan_cache_upgrades = 0;
+
+  // Guardrail telemetry from the shared engine (zero when guardrails off).
+  int64_t engine_peak_memory_bytes = 0;  ///< root tracker high-water mark
+  int64_t cache_shed_bytes = 0;          ///< plan-cache bytes shed by pressure
+  int64_t memory_victims = 0;            ///< queries failed as pressure victims
+  /// Largest per-query tracker peak over the successful queries.
+  int64_t max_query_peak_bytes = 0;
 
   static constexpr int kMaxErrorMessages = 5;
 

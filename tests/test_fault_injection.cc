@@ -227,6 +227,94 @@ TEST_F(FaultInjectionTest, ParallelSearchIsolatesFaults) {
   ExpectSameRows(std::move(result->rows), reference);
 }
 
+TEST_F(FaultInjectionTest, ExecBatchFaultFailsExecutionTyped) {
+  // kExecBatch fires at the executor's per-row polling quantum: the
+  // optimization completes untouched (the site never fires during Prepare)
+  // and the failure surfaces from Execute as the injector's kInternal.
+  CbqtConfig cfg = UnnestOnlyConfig();
+  cfg.fault_injector = std::make_shared<FaultInjector>(1);
+  FaultSpec spec;
+  spec.indices = {5};
+  cfg.fault_injector->Arm(FaultSite::kExecBatch, spec);
+  QueryEngine engine(*db_, cfg);
+
+  auto prepared = engine.Prepare(kTwoSubquerySql);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(cfg.fault_injector->hits(FaultSite::kExecBatch), 0);
+
+  auto result = engine.Execute(std::move(prepared.value()));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(cfg.fault_injector->injected(FaultSite::kExecBatch), 1);
+}
+
+TEST_F(FaultInjectionTest, ExecSpillCheckFaultIsIsolatedPerQuery) {
+  // kExecSpillCheck fires where pipeline breakers charge buffered bytes
+  // (hash-join builds, sorts, aggregation tables). Hit 0 kills the first
+  // query's first buffered row; the rest of the batch is untouched.
+  CbqtConfig cfg = UnnestOnlyConfig();
+  cfg.fault_injector = std::make_shared<FaultInjector>(1);
+  FaultSpec spec;
+  spec.indices = {0};
+  cfg.fault_injector->Arm(FaultSite::kExecSpillCheck, spec);
+
+  std::vector<WorkloadQuery> queries;
+  for (int i = 0; i < 3; ++i) {
+    WorkloadQuery q;
+    q.id = i;
+    q.sql = kTwoSubquerySql;
+    queries.push_back(q);
+  }
+  WorkloadRunner runner(*db_);
+  auto report = runner.RunAll(queries, cfg);
+  EXPECT_EQ(report.attempted, 3);
+  EXPECT_EQ(report.failed, 1);
+  EXPECT_EQ(report.succeeded, 2);
+  // An injected executor fault is a process-level (untyped) failure, not a
+  // guardrail outcome.
+  EXPECT_EQ(report.untyped_failures(), 1);
+  EXPECT_GE(cfg.fault_injector->injected(FaultSite::kExecSpillCheck), 1);
+}
+
+TEST_F(FaultInjectionTest, InjectedMemoryPressureSurfacesAsResourceExhausted) {
+  // kMemoryPressure hit 0 lands on the first state clone of the search — a
+  // guardrail abort (kResourceExhausted), which is a hard stop: never
+  // fault-isolated like the kStateEval faults above.
+  CbqtConfig cfg = UnnestOnlyConfig();
+  cfg.fault_injector = std::make_shared<FaultInjector>(1);
+  FaultSpec spec;
+  spec.indices = {0};
+  cfg.fault_injector->Arm(FaultSite::kMemoryPressure, spec);
+  QueryEngine engine(*db_, cfg);
+  auto result = engine.Run(kTwoSubquerySql);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine.guardrail_stats().resource_exhausted, 1);
+}
+
+TEST_F(FaultInjectionTest, ExecutorMemoryPressureInjectionIsTyped) {
+  // A high index skips past the search's clone charges and fires inside a
+  // pipeline breaker's spill check: execution fails kResourceExhausted and
+  // the engine counts it in the typed guardrail bucket.
+  CbqtConfig cfg = UnnestOnlyConfig();
+  cfg.fault_injector = std::make_shared<FaultInjector>(1);
+  FaultSpec spec;
+  spec.indices = {50};
+  cfg.fault_injector->Arm(FaultSite::kMemoryPressure, spec);
+  QueryEngine engine(*db_, cfg);
+
+  auto prepared = engine.Prepare(kTwoSubquerySql);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  int64_t prepare_hits = cfg.fault_injector->hits(FaultSite::kMemoryPressure);
+  EXPECT_LT(prepare_hits, 50);
+
+  auto result = engine.Execute(std::move(prepared.value()));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(cfg.fault_injector->hits(FaultSite::kMemoryPressure),
+            prepare_hits);
+}
+
 TEST_F(FaultInjectionTest, WorkloadRunnerIsolatesFailingQueries) {
   // A fault that kills one query's zero state must not take down the rest
   // of a workload batch.
