@@ -7,7 +7,10 @@
 # memo equivalence sweeps (CowMemoMatchesFullClones in test_equivalence and
 # CowMemoEscapeHatchBitIdentical in test_paper_queries, both at
 # num_threads = 4) are exercised in every config. ASan/UBSan additionally
-# covers the robustness corpus (test_parser_robustness, test_governor).
+# covers the robustness corpus (test_parser_robustness, test_governor) and
+# the spill-to-disk pipeline (test_batch_executor forces sort / hash-join /
+# aggregation / distinct state through SpillManager temp files under a tiny
+# memory budget, so the serialize/partition/merge paths run under ASan).
 #
 #   $ ./ci.sh              # release + tsan + asan + bench-smoke
 #   $ ./ci.sh release      # just the release config
@@ -52,7 +55,7 @@ if [[ "${want}" == "all" || "${want}" == "bench-smoke" ]]; then
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "${dir}" -j "${jobs}" \
     --target bench_table1_reuse bench_plan_cache bench_state_eval \
-    bench_guardrails
+    bench_guardrails bench_executor
   echo "=== [bench-smoke] bench_table1_reuse ==="
   (cd "${dir}" && ./bench/bench_table1_reuse)
   echo "=== [bench-smoke] bench_plan_cache ==="
@@ -71,6 +74,12 @@ if [[ "${want}" == "all" || "${want}" == "bench-smoke" ]]; then
   # runs, and on a loaded single-core box 3 reps leaves enough noise to brush
   # the 5% gate.
   (cd "${dir}" && ./bench/bench_guardrails --reps 5 --cancel-samples 15)
+  # bench_executor asserts the vectorized-executor gate: >= 2x rows/sec over
+  # a faithful row-at-a-time baseline on scan / filter / hash-join /
+  # hash-aggregate, with bit-identical result rows. 5 reps for the same
+  # noise reason as bench_guardrails (best-of comparison on a loaded box).
+  echo "=== [bench-smoke] bench_executor ==="
+  (cd "${dir}" && ./bench/bench_executor --reps 5)
 fi
 
 if [[ "${want}" == "all" || "${want}" == "asan" ]]; then

@@ -48,7 +48,7 @@ int main() {
     std::printf("---- %s ----\n%s\n  estimated cost %10.1f   measured %7.1f "
                 "ms   rows %zu\n\n",
                 label, BlockToSqlPretty(qb).c_str(), opt->cost, t1 - t0,
-                rows.ok() ? rows->size() : 0);
+                rows.ok() ? rows->rows.size() : 0);
   };
 
   std::printf("====== Q14: UNION ALL scans job_history twice ======\n\n");

@@ -37,7 +37,7 @@ void Show(const Database& db, const char* label, const QueryBlock& qb) {
   std::printf("---- %s ----\n%s\n  estimated cost %10.1f   measured %7.1f "
               "ms   rows %zu\n\n",
               label, BlockToSqlPretty(qb).c_str(), opt->cost, t1 - t0,
-              rows.ok() ? rows->size() : 0);
+              rows.ok() ? rows->rows.size() : 0);
 }
 
 }  // namespace

@@ -434,19 +434,20 @@ Result<QueryResult> QueryEngine::ExecuteAdmitted(PreparedQuery prepared,
   // Row-budget governor for this execution (OptimizerBudget::max_exec_rows):
   // a runaway query fails fast with kBudgetExhausted instead of grinding on.
   BudgetTracker exec_budget(config_.budget);
-  Executor executor(db_,
-                    config_.budget.max_exec_rows > 0 ? &exec_budget : nullptr,
-                    guards);
-  ExecStats exec_stats;
+  ExecOptions opts = config_.exec;
+  opts.budget = config_.budget.max_exec_rows > 0 ? &exec_budget : nullptr;
+  opts.guards = guards;
+  Executor executor(db_, std::move(opts));
   double t0 = MonotonicMs();
-  auto rows = executor.Execute(*prepared.plan, &exec_stats);
+  auto result = executor.Execute(*prepared.plan);
   double t1 = MonotonicMs();
-  if (!rows.ok()) return rows.status();
+  if (!result.ok()) return result.status();
   QueryResult out;
-  out.rows = std::move(rows.value());
+  out.rows = std::move(result.value().rows);
   out.prepared = std::move(prepared);
   out.execute_ms = t1 - t0;
-  out.rows_processed = exec_stats.rows_processed;
+  out.exec = result.value().stats;
+  out.rows_processed = out.exec.rows_processed;
   if (guards.memory != nullptr) {
     out.peak_memory_bytes = guards.memory->peak_bytes();
   }

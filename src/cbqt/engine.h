@@ -49,6 +49,9 @@ struct QueryResult {
   /// High-water mark of the per-query memory tracker over the execution
   /// (zero when memory guardrails are off).
   int64_t peak_memory_bytes = 0;
+  /// Full executor counters for this execution (batches, subquery caching,
+  /// spilled pipeline breakers and spill I/O volumes).
+  ExecStats exec;
 };
 
 /// Telemetry of the engine runtime guardrails (all zero when disabled).

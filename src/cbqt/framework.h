@@ -15,6 +15,7 @@
 #include "common/guardrails.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "exec/executor.h"
 #include "optimizer/optimizer.h"
 #include "sql/query_block.h"
 #include "storage/database.h"
@@ -120,6 +121,12 @@ struct CbqtConfig {
   /// Optimize() never fails for budget reasons. The executor row cap is the
   /// exception: it is a hard stop on runaway execution.
   OptimizerBudget budget;
+
+  /// Executor configuration (batch size, spill directory, spill on/off) used
+  /// by QueryEngine for every execution. The `budget` and `guards` members
+  /// are ignored here — the engine wires its own per-query budget tracker
+  /// and guardrails into each ExecOptions it builds.
+  ExecOptions exec;
 
   /// Runtime guardrails enforced by QueryEngine: engine/per-query memory
   /// byte budgets and admission control. All off by default; see

@@ -34,6 +34,10 @@ const char* FaultSiteName(FaultSite site) {
       return "memory-pressure";
     case FaultSite::kCancelAt:
       return "cancel-at";
+    case FaultSite::kExecSpillWrite:
+      return "exec-spill-write";
+    case FaultSite::kExecSpillRead:
+      return "exec-spill-read";
   }
   return "?";
 }

@@ -19,9 +19,11 @@ enum class FaultSite : int {
   kExecSpillCheck = 4,   ///< executor pipeline-breaker memory charge
   kMemoryPressure = 5,   ///< simulated memory-reservation failure
   kCancelAt = 6,         ///< trips the query's CancellationToken at a poll
+  kExecSpillWrite = 7,   ///< one row appended to a spill temp file
+  kExecSpillRead = 8,    ///< one row read back from a spill temp file
 };
 
-inline constexpr int kNumFaultSites = 7;
+inline constexpr int kNumFaultSites = 9;
 
 const char* FaultSiteName(FaultSite site);
 

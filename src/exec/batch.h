@@ -1,0 +1,45 @@
+#ifndef CBQT_EXEC_BATCH_H_
+#define CBQT_EXEC_BATCH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace cbqt {
+
+/// Default number of rows per batch. Large enough to amortize virtual
+/// dispatch, frame pushes, and guardrail polls over the per-row work; small
+/// enough that a batch of wide rows stays cache- and budget-friendly.
+inline constexpr size_t kDefaultBatchSize = 1024;
+
+/// A batch of rows flowing between operators. The batch owns its rows; an
+/// operator that returns a filled batch transfers ownership of the rows to
+/// the caller, and the caller's next NextBatch() call invalidates them.
+/// Capacity is advisory (operators stop appending at the executor's batch
+/// size) — Add() never fails.
+class RowBatch {
+ public:
+  RowBatch() = default;
+  explicit RowBatch(size_t capacity) { rows_.reserve(capacity); }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void Clear() { rows_.clear(); }
+  void Add(Row&& row) { rows_.push_back(std::move(row)); }
+
+  Row& operator[](size_t i) { return rows_[i]; }
+  const Row& operator[](size_t i) const { return rows_[i]; }
+
+  std::vector<Row>& rows() { return rows_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_EXEC_BATCH_H_

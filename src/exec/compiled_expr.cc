@@ -1,0 +1,268 @@
+#include "exec/compiled_expr.h"
+
+namespace cbqt {
+
+CompiledExpr CompiledExpr::Compile(const Expr* e, const Schema* schema) {
+  CompiledExpr c;
+  c.expr_ = e;
+  c.nodes_.reserve(8);
+  int root = c.CompileNode(*e, *schema);
+  c.fast_ = root >= 0;
+  c.root_ = root;
+  if (!c.fast_) {
+    c.nodes_.clear();
+    c.children_.clear();
+  }
+  return c;
+}
+
+int CompiledExpr::CompileNode(const Expr& e, const Schema& schema) {
+  switch (e.kind) {
+    case ExprKind::kLiteral: {
+      int idx = static_cast<int>(nodes_.size());
+      nodes_.push_back(Node{});
+      nodes_[idx].op = Op::kConst;
+      nodes_[idx].constant = e.literal;
+      return idx;
+    }
+    case ExprKind::kColumnRef: {
+      int slot = FindSlot(schema, e.table_alias, e.column_name);
+      if (slot < 0) return -1;  // resolves through an outer frame
+      int idx = static_cast<int>(nodes_.size());
+      nodes_.push_back(Node{});
+      nodes_[idx].op = Op::kSlot;
+      nodes_[idx].slot = slot;
+      return idx;
+    }
+    case ExprKind::kRownum: {
+      int idx = static_cast<int>(nodes_.size());
+      nodes_.push_back(Node{});
+      nodes_[idx].op = Op::kRownum;
+      return idx;
+    }
+    case ExprKind::kBinary: {
+      Op op;
+      if (e.bop == BinaryOp::kAnd) {
+        op = Op::kAnd;
+      } else if (e.bop == BinaryOp::kOr) {
+        op = Op::kOr;
+      } else if (e.bop == BinaryOp::kNullSafeEq) {
+        op = Op::kNullSafeEq;
+      } else if (IsComparisonOp(e.bop)) {
+        op = Op::kCmp;
+      } else {
+        op = Op::kArith;
+      }
+      int l = CompileNode(*e.children[0], schema);
+      if (l < 0) return -1;
+      int r = CompileNode(*e.children[1], schema);
+      if (r < 0) return -1;
+      int cb = static_cast<int>(children_.size());
+      children_.push_back(l);
+      children_.push_back(r);
+      int idx = static_cast<int>(nodes_.size());
+      nodes_.push_back(Node{});
+      nodes_[idx].op = op;
+      nodes_[idx].bop = e.bop;
+      nodes_[idx].child_begin = cb;
+      nodes_[idx].child_count = 2;
+      return idx;
+    }
+    case ExprKind::kUnary: {
+      Op op;
+      switch (e.uop) {
+        case UnaryOp::kNot:
+          op = Op::kNot;
+          break;
+        case UnaryOp::kNeg:
+          op = Op::kNeg;
+          break;
+        case UnaryOp::kIsNull:
+          op = Op::kIsNull;
+          break;
+        case UnaryOp::kIsNotNull:
+          op = Op::kIsNotNull;
+          break;
+        case UnaryOp::kLnnvl:
+          op = Op::kLnnvl;
+          break;
+      }
+      int c = CompileNode(*e.children[0], schema);
+      if (c < 0) return -1;
+      int cb = static_cast<int>(children_.size());
+      children_.push_back(c);
+      int idx = static_cast<int>(nodes_.size());
+      nodes_.push_back(Node{});
+      nodes_[idx].op = op;
+      nodes_[idx].child_begin = cb;
+      nodes_[idx].child_count = 1;
+      return idx;
+    }
+    case ExprKind::kCase: {
+      std::vector<int> kids;
+      kids.reserve(e.children.size());
+      for (const auto& c : e.children) {
+        int k = CompileNode(*c, schema);
+        if (k < 0) return -1;
+        kids.push_back(k);
+      }
+      int cb = static_cast<int>(children_.size());
+      for (int k : kids) children_.push_back(k);
+      int idx = static_cast<int>(nodes_.size());
+      nodes_.push_back(Node{});
+      nodes_[idx].op = Op::kCase;
+      nodes_[idx].child_begin = cb;
+      nodes_[idx].child_count = static_cast<int>(kids.size());
+      return idx;
+    }
+    case ExprKind::kFuncCall:
+    case ExprKind::kSubquery:
+    case ExprKind::kAggregate:
+    case ExprKind::kWindow:
+      return -1;
+  }
+  return -1;
+}
+
+// Mirrors EvalExpr's semantics exactly for the compiled subset; any change
+// here must track exec/eval.cc (the oracle-equivalence tests in
+// test_batch_executor compare the two paths row for row).
+Value CompiledExpr::EvalNode(int idx, const Row& row, int64_t rownum) const {
+  const Node& n = nodes_[idx];
+  switch (n.op) {
+    case Op::kConst:
+      return n.constant;
+    case Op::kSlot:
+      return row[static_cast<size_t>(n.slot)];
+    case Op::kRownum:
+      return Value::Int(rownum);
+    case Op::kCmp: {
+      Value l = EvalNode(children_[n.child_begin], row, rownum);
+      Value r = EvalNode(children_[n.child_begin + 1], row, rownum);
+      return EvalCompareOp(l, r, n.bop);
+    }
+    case Op::kArith: {
+      Value l = EvalNode(children_[n.child_begin], row, rownum);
+      Value r = EvalNode(children_[n.child_begin + 1], row, rownum);
+      return EvalArithOp(l, r, n.bop);
+    }
+    case Op::kNullSafeEq: {
+      Value l = EvalNode(children_[n.child_begin], row, rownum);
+      Value r = EvalNode(children_[n.child_begin + 1], row, rownum);
+      return Value::Boolean(NullSafeEqual(l, r));
+    }
+    case Op::kAnd: {
+      Value l = EvalNode(children_[n.child_begin], row, rownum);
+      if (!l.is_null() && l.kind() == ValueKind::kBool && !l.AsBool()) {
+        return Value::Boolean(false);  // short circuit
+      }
+      Value r = EvalNode(children_[n.child_begin + 1], row, rownum);
+      bool l_known = !l.is_null();
+      bool r_known = !r.is_null();
+      if (r_known && !r.AsBool()) return Value::Boolean(false);
+      if (l_known && r_known) return Value::Boolean(l.AsBool() && r.AsBool());
+      return Value::Null();
+    }
+    case Op::kOr: {
+      Value l = EvalNode(children_[n.child_begin], row, rownum);
+      if (!l.is_null() && l.kind() == ValueKind::kBool && l.AsBool()) {
+        return Value::Boolean(true);  // short circuit
+      }
+      Value r = EvalNode(children_[n.child_begin + 1], row, rownum);
+      bool l_known = !l.is_null();
+      bool r_known = !r.is_null();
+      if (r_known && r.AsBool()) return Value::Boolean(true);
+      if (l_known && r_known) return Value::Boolean(l.AsBool() || r.AsBool());
+      return Value::Null();
+    }
+    case Op::kNot: {
+      Value v = EvalNode(children_[n.child_begin], row, rownum);
+      if (v.is_null()) return Value::Null();
+      return Value::Boolean(!v.AsBool());
+    }
+    case Op::kNeg: {
+      Value v = EvalNode(children_[n.child_begin], row, rownum);
+      if (v.is_null()) return Value::Null();
+      if (v.kind() == ValueKind::kInt64) return Value::Int(-v.AsInt());
+      return Value::Real(-v.NumericValue());
+    }
+    case Op::kIsNull: {
+      Value v = EvalNode(children_[n.child_begin], row, rownum);
+      return Value::Boolean(v.is_null());
+    }
+    case Op::kIsNotNull: {
+      Value v = EvalNode(children_[n.child_begin], row, rownum);
+      return Value::Boolean(!v.is_null());
+    }
+    case Op::kLnnvl: {
+      Value v = EvalNode(children_[n.child_begin], row, rownum);
+      return Value::Boolean(!IsTruthy(v));
+    }
+    case Op::kCase: {
+      int i = 0;
+      while (i + 1 < n.child_count) {
+        Value cond = EvalNode(children_[n.child_begin + i], row, rownum);
+        if (IsTruthy(cond)) {
+          return EvalNode(children_[n.child_begin + i + 1], row, rownum);
+        }
+        i += 2;
+      }
+      if (i < n.child_count) {
+        return EvalNode(children_[n.child_begin + i], row, rownum);
+      }
+      return Value::Null();
+    }
+  }
+  return Value::Null();
+}
+
+std::vector<CompiledExpr> CompileExprList(const std::vector<ExprPtr>& exprs,
+                                          const Schema* schema) {
+  std::vector<CompiledExpr> out;
+  out.reserve(exprs.size());
+  for (const auto& e : exprs) out.push_back(CompiledExpr::Compile(e.get(), schema));
+  return out;
+}
+
+Result<Value> EvalCompiledConjuncts(const std::vector<CompiledExpr>& preds,
+                                    const Row& row, EvalContext& ctx) {
+  bool unknown = false;
+  for (const auto& p : preds) {
+    Value v;
+    if (p.fast()) {
+      v = p.EvalFast(row, ctx.rownum);
+    } else {
+      auto r = p.EvalSlow(ctx);
+      if (!r.ok()) return r.status();
+      v = std::move(r.value());
+    }
+    if (v.is_null()) {
+      unknown = true;
+      continue;
+    }
+    if (!v.AsBool()) return Value::Boolean(false);
+  }
+  if (unknown) return Value::Null();
+  return Value::Boolean(true);
+}
+
+Status EvalCompiledList(const std::vector<CompiledExpr>& exprs, const Row& row,
+                        EvalContext& ctx, Row* out, bool* has_null) {
+  out->clear();
+  if (has_null != nullptr) *has_null = false;
+  for (const auto& e : exprs) {
+    Value v;
+    if (e.fast()) {
+      v = e.EvalFast(row, ctx.rownum);
+    } else {
+      auto r = e.EvalSlow(ctx);
+      if (!r.ok()) return r.status();
+      v = std::move(r.value());
+    }
+    if (has_null != nullptr && v.is_null()) *has_null = true;
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace cbqt

@@ -40,28 +40,11 @@ Value Tribool(Ordering ord, BinaryOp op) {
 }
 
 Value EvalCompare(const Value& a, const Value& b, BinaryOp op) {
-  return Tribool(CompareValues(a, b), op);
+  return EvalCompareOp(a, b, op);
 }
 
 Value EvalArith(const Value& a, const Value& b, BinaryOp op) {
-  if (a.is_null() || b.is_null()) return Value::Null();
-  bool both_int =
-      a.kind() == ValueKind::kInt64 && b.kind() == ValueKind::kInt64;
-  double x = a.NumericValue();
-  double y = b.NumericValue();
-  switch (op) {
-    case BinaryOp::kAdd:
-      return both_int ? Value::Int(a.AsInt() + b.AsInt()) : Value::Real(x + y);
-    case BinaryOp::kSub:
-      return both_int ? Value::Int(a.AsInt() - b.AsInt()) : Value::Real(x - y);
-    case BinaryOp::kMul:
-      return both_int ? Value::Int(a.AsInt() * b.AsInt()) : Value::Real(x * y);
-    case BinaryOp::kDiv:
-      if (y == 0) return Value::Null();
-      return Value::Real(x / y);
-    default:
-      return Value::Null();
-  }
+  return EvalArithOp(a, b, op);
 }
 
 // Subquery predicate evaluation over its materialized rows.
@@ -213,6 +196,31 @@ Result<Value> EvalFuncCall(const Expr& e, EvalContext& ctx) {
 }
 
 }  // namespace
+
+Value EvalCompareOp(const Value& a, const Value& b, BinaryOp op) {
+  return Tribool(CompareValues(a, b), op);
+}
+
+Value EvalArithOp(const Value& a, const Value& b, BinaryOp op) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  bool both_int =
+      a.kind() == ValueKind::kInt64 && b.kind() == ValueKind::kInt64;
+  double x = a.NumericValue();
+  double y = b.NumericValue();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return both_int ? Value::Int(a.AsInt() + b.AsInt()) : Value::Real(x + y);
+    case BinaryOp::kSub:
+      return both_int ? Value::Int(a.AsInt() - b.AsInt()) : Value::Real(x - y);
+    case BinaryOp::kMul:
+      return both_int ? Value::Int(a.AsInt() * b.AsInt()) : Value::Real(x * y);
+    case BinaryOp::kDiv:
+      if (y == 0) return Value::Null();
+      return Value::Real(x / y);
+    default:
+      return Value::Null();
+  }
+}
 
 void SetExpensiveFunctionWork(int iterations) {
   g_expensive_work = iterations;

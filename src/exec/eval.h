@@ -53,6 +53,17 @@ Result<Value> EvalExpr(const Expr& e, EvalContext& ctx);
 /// SQL predicate truth: TRUE only (NULL/unknown and FALSE both reject).
 bool IsTruthy(const Value& v);
 
+/// Three-valued comparison on already-evaluated operands: NULL when either
+/// side is NULL, else the boolean result of `op` over CompareValues. Shared
+/// by the tree evaluator and the compiled batch evaluator so the two paths
+/// cannot diverge.
+Value EvalCompareOp(const Value& a, const Value& b, BinaryOp op);
+
+/// SQL arithmetic on already-evaluated operands: NULL-propagating, int64
+/// preserved while both sides are int64 (division always real; division by
+/// zero yields NULL).
+Value EvalArithOp(const Value& a, const Value& b, BinaryOp op);
+
 /// Amount of spin work per expensive_* function call, to make wall-clock
 /// execution time reflect the cost model's expensive_call constant.
 /// Default 2000 iterations; tests may lower it.

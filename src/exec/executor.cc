@@ -1,1110 +1,43 @@
 #include "exec/executor.h"
 
-#include <algorithm>
-#include <functional>
-#include <map>
-#include <unordered_set>
-#include <memory>
-#include <unordered_map>
+#include <limits>
+#include <utility>
 
-#include "common/fault_injector.h"
-#include "common/str_util.h"
+#include "exec/operators.h"
+#include "exec/prune.h"
 
 namespace cbqt {
 
-Status Executor::PollGuards() {
-  if (guards_.faults != nullptr) {
-    CBQT_RETURN_IF_ERROR(guards_.faults->MaybeFail(FaultSite::kExecBatch));
+Result<ExecResult> Executor::Execute(const PlanNode& plan) {
+  // The context must outlive the operator tree (operators release
+  // reservations and drop spill files against it in their destructors), so
+  // it is declared first.
+  ExecContext ctx;
+  ctx.db = &db_;
+  ctx.budget = options_.budget;
+  ctx.guards = options_.guards;
+  ctx.has_guards = options_.guards.any();
+  if (options_.budget != nullptr &&
+      options_.budget->budget().max_exec_rows > 0) {
+    ctx.row_cap = options_.budget->budget().max_exec_rows;
   }
-  return guards_.Poll();
-}
+  ctx.batch_size = options_.batch_size == 0 ? 1 : options_.batch_size;
+  ctx.enable_spill = options_.enable_spill;
+  ctx.spill_dir = options_.spill_dir;
 
-Status Executor::ChargeBufferedSlow(ScopedReservation& res, int64_t bytes) {
-  if (guards_.faults != nullptr) {
-    CBQT_RETURN_IF_ERROR(
-        guards_.faults->MaybeFail(FaultSite::kExecSpillCheck));
-    if (guards_.faults->MaybeFire(FaultSite::kMemoryPressure)) {
-      return Status::ResourceExhausted(
-          "injected memory pressure (executor pipeline breaker)");
-    }
-  }
-  return res.Grow(bytes);
-}
+  // Column pruning mutates scan schemas, so it runs on a private clone; the
+  // clone must outlive the operator tree, which holds pointers into it.
+  std::unique_ptr<PlanNode> pruned = plan.Clone();
+  PruneScanColumns(pruned.get());
 
-namespace {
+  auto root = OperatorFactory::Build(*pruned, &ctx);
+  if (!root.ok()) return root.status();
+  auto rows = DrainOperator(root.value().get());
+  if (!rows.ok()) return rows.status();
 
-using RowMap =
-    std::unordered_map<Row, std::vector<size_t>, RowHasher, RowEq>;
-
-// Mirrors the planner's subquery traversal order (pre-order, not descending
-// into nested subquery blocks).
-void CollectSubqueryNodesExec(const Expr* e, std::vector<const Expr*>* out) {
-  if (e == nullptr) return;
-  if (e->kind == ExprKind::kSubquery) {
-    out->push_back(e);
-    return;
-  }
-  for (const auto& c : e->children) CollectSubqueryNodesExec(c.get(), out);
-  for (const auto& c : e->partition_by) CollectSubqueryNodesExec(c.get(), out);
-  for (const auto& c : e->win_order_by) CollectSubqueryNodesExec(c.get(), out);
-}
-
-// Evaluates a conjunct list under the current context; result is TRUE /
-// FALSE / UNKNOWN(null).
-Result<Value> EvalConjuncts(const std::vector<ExprPtr>& preds,
-                            EvalContext& ctx) {
-  bool unknown = false;
-  for (const auto& p : preds) {
-    auto v = EvalExpr(*p, ctx);
-    if (!v.ok()) return v.status();
-    if (v->is_null()) {
-      unknown = true;
-      continue;
-    }
-    if (!v->AsBool()) return Value::Boolean(false);
-  }
-  if (unknown) return Value::Null();
-  return Value::Boolean(true);
-}
-
-struct AggAccum {
-  double sum = 0;
-  int64_t count = 0;
-  bool sum_is_int = true;
-  int64_t isum = 0;
-  Value min;
-  Value max;
-  std::unordered_map<Row, bool, RowHasher, RowEq> distinct;
-
-  void Add(const Value& v, const Expr& agg) {
-    if (agg.agg == AggFunc::kCountStar) {
-      ++count;
-      return;
-    }
-    if (v.is_null()) return;
-    if (agg.agg_distinct) {
-      Row key{v};
-      if (!distinct.emplace(std::move(key), true).second) return;
-    }
-    ++count;
-    switch (agg.agg) {
-      case AggFunc::kSum:
-      case AggFunc::kAvg:
-        if (v.kind() == ValueKind::kInt64 && sum_is_int) {
-          isum += v.AsInt();
-        } else {
-          if (sum_is_int) {
-            sum = static_cast<double>(isum);
-            sum_is_int = false;
-          }
-          sum += v.NumericValue();
-        }
-        break;
-      case AggFunc::kMin:
-        if (min.is_null() || TotalLess(v, min)) min = v;
-        break;
-      case AggFunc::kMax:
-        if (max.is_null() || TotalLess(max, v)) max = v;
-        break;
-      default:
-        break;
-    }
-  }
-
-  Value Finish(const Expr& agg) const {
-    switch (agg.agg) {
-      case AggFunc::kCountStar:
-      case AggFunc::kCount:
-        return Value::Int(count);
-      case AggFunc::kSum:
-        if (count == 0) return Value::Null();
-        return sum_is_int ? Value::Int(isum) : Value::Real(sum);
-      case AggFunc::kAvg: {
-        if (count == 0) return Value::Null();
-        double total = sum_is_int ? static_cast<double>(isum) : sum;
-        return Value::Real(total / static_cast<double>(count));
-      }
-      case AggFunc::kMin:
-        return min;
-      case AggFunc::kMax:
-        return max;
-    }
-    return Value::Null();
-  }
-};
-
-bool SortRowLess(const Row& a, const Row& b, const std::vector<bool>& asc) {
-  for (size_t i = 0; i < a.size(); ++i) {
-    bool ascending = i < asc.size() ? asc[i] : true;
-    const Value& x = a[i];
-    const Value& y = b[i];
-    // Oracle default: NULLS LAST ascending, NULLS FIRST descending.
-    if (x.is_null() && y.is_null()) continue;
-    if (x.is_null()) return !ascending;
-    if (y.is_null()) return ascending;
-    Ordering ord = CompareValues(x, y);
-    if (ord == Ordering::kEqual || ord == Ordering::kUnknown) continue;
-    bool less = ord == Ordering::kLess;
-    return ascending ? less : !less;
-  }
-  return false;
-}
-
-}  // namespace
-
-Result<std::vector<Row>> Executor::Execute(const PlanNode& plan,
-                                           ExecStats* stats) {
-  ExecStats local;
-  stats_ = stats != nullptr ? stats : &local;
-  EvalContext ctx;
-  return Run(plan, ctx);
-}
-
-Result<std::vector<Row>> Executor::Run(const PlanNode& node, EvalContext& ctx) {
-  switch (node.op) {
-    case PlanOp::kTableScan:
-      return RunTableScan(node, ctx);
-    case PlanOp::kIndexScan:
-      return RunIndexScan(node, ctx);
-    case PlanOp::kFilter:
-      return RunFilter(node, ctx);
-    case PlanOp::kProject:
-      return RunProject(node, ctx);
-    case PlanOp::kNestedLoopJoin:
-      return RunNestedLoopJoin(node, ctx);
-    case PlanOp::kHashJoin:
-      return RunHashJoin(node, ctx);
-    case PlanOp::kMergeJoin:
-      return RunMergeJoin(node, ctx);
-    case PlanOp::kAggregate:
-      return RunAggregate(node, ctx);
-    case PlanOp::kSort:
-      return RunSort(node, ctx);
-    case PlanOp::kDistinct:
-      return RunDistinct(node, ctx);
-    case PlanOp::kSetOp:
-      return RunSetOp(node, ctx);
-    case PlanOp::kLimit:
-      return RunLimit(node, ctx);
-    case PlanOp::kWindow:
-      return RunWindow(node, ctx);
-    case PlanOp::kSubqueryFilter:
-      return RunSubqueryFilter(node, ctx);
-  }
-  return Status::Internal("unhandled plan operator");
-}
-
-Result<std::vector<Row>> Executor::RunTableScan(const PlanNode& node,
-                                                EvalContext& ctx) {
-  const Table* table = db_.FindTable(node.table_name);
-  if (table == nullptr) {
-    return Status::Internal("missing table at execution: " + node.table_name);
-  }
-  std::vector<Row> out;
-  const auto& rows = table->rows();
-  for (size_t i = 0; i < rows.size(); ++i) {
-    CBQT_RETURN_IF_ERROR(CountRow());
-    Row r = rows[i];
-    r.push_back(Value::Int(static_cast<int64_t>(i)));  // rowid
-    if (!node.filter.empty()) {
-      ctx.frames.push_back(Frame{&node.output, &r});
-      auto pass = EvalConjuncts(node.filter, ctx);
-      ctx.frames.pop_back();
-      if (!pass.ok()) return pass.status();
-      if (!IsTruthy(pass.value())) continue;
-    }
-    out.push_back(std::move(r));
-  }
-  return out;
-}
-
-Result<std::vector<Row>> Executor::RunIndexScan(const PlanNode& node,
-                                                EvalContext& ctx) {
-  const Table* table = db_.FindTable(node.table_name);
-  const Index* index = db_.FindIndex(node.table_name, node.index_name);
-  if (table == nullptr || index == nullptr) {
-    return Status::Internal("missing table/index at execution: " +
-                            node.table_name + "/" + node.index_name);
-  }
-  Row key;
-  key.reserve(node.probes.size());
-  for (const auto& p : node.probes) {
-    auto v = EvalExpr(*p, ctx);
-    if (!v.ok()) return v.status();
-    key.push_back(std::move(v.value()));
-  }
-  std::vector<Row> out;
-  for (int64_t rowid : index->LookupEqual(key)) {
-    CBQT_RETURN_IF_ERROR(CountRow());
-    Row r = table->rows()[static_cast<size_t>(rowid)];
-    r.push_back(Value::Int(rowid));
-    if (!node.filter.empty()) {
-      ctx.frames.push_back(Frame{&node.output, &r});
-      auto pass = EvalConjuncts(node.filter, ctx);
-      ctx.frames.pop_back();
-      if (!pass.ok()) return pass.status();
-      if (!IsTruthy(pass.value())) continue;
-    }
-    out.push_back(std::move(r));
-  }
-  return out;
-}
-
-Result<std::vector<Row>> Executor::RunFilter(const PlanNode& node,
-                                             EvalContext& ctx) {
-  auto input = Run(*node.children[0], ctx);
-  if (!input.ok()) return input.status();
-  std::vector<Row> out;
-  for (auto& r : input.value()) {
-    CBQT_RETURN_IF_ERROR(CountRow());
-    ctx.frames.push_back(Frame{&node.output, &r});
-    auto pass = EvalConjuncts(node.filter, ctx);
-    ctx.frames.pop_back();
-    if (!pass.ok()) return pass.status();
-    if (IsTruthy(pass.value())) out.push_back(std::move(r));
-  }
-  return out;
-}
-
-Result<std::vector<Row>> Executor::RunProject(const PlanNode& node,
-                                              EvalContext& ctx) {
-  std::vector<Row> input;
-  if (!node.children.empty()) {
-    auto child = Run(*node.children[0], ctx);
-    if (!child.ok()) return child.status();
-    input = std::move(child.value());
-  } else {
-    input.push_back(Row{});  // no-FROM block: one synthetic row
-  }
-  const Schema& in_schema =
-      node.children.empty() ? node.output : node.children[0]->output;
-  std::vector<Row> out;
-  out.reserve(input.size());
-  int64_t saved_rownum = ctx.rownum;
-  for (size_t i = 0; i < input.size(); ++i) {
-    CBQT_RETURN_IF_ERROR(CountRow());
-    ctx.rownum = static_cast<int64_t>(i) + 1;
-    ctx.frames.push_back(Frame{&in_schema, &input[i]});
-    Row r;
-    r.reserve(node.projections.size());
-    bool failed = false;
-    Status err;
-    for (const auto& p : node.projections) {
-      auto v = EvalExpr(*p, ctx);
-      if (!v.ok()) {
-        failed = true;
-        err = v.status();
-        break;
-      }
-      r.push_back(std::move(v.value()));
-    }
-    ctx.frames.pop_back();
-    if (failed) return err;
-    out.push_back(std::move(r));
-  }
-  ctx.rownum = saved_rownum;
-  return out;
-}
-
-Result<std::vector<Row>> Executor::RunNestedLoopJoin(const PlanNode& node,
-                                                     EvalContext& ctx) {
-  auto left = Run(*node.children[0], ctx);
-  if (!left.ok()) return left.status();
-  const Schema& left_schema = node.children[0]->output;
-  const Schema& right_schema = node.children[1]->output;
-  Schema combined = left_schema;
-  combined.insert(combined.end(), right_schema.begin(), right_schema.end());
-
-  std::vector<Row> right_cache;
-  bool right_materialized = false;
-  if (!node.rescan_right) {
-    auto right = Run(*node.children[1], ctx);
-    if (!right.ok()) return right.status();
-    right_cache = std::move(right.value());
-    right_materialized = true;
-  }
-
-  std::vector<Row> out;
-  for (auto& lrow : left.value()) {
-    CBQT_RETURN_IF_ERROR(CountRow());
-    const std::vector<Row>* right_rows = &right_cache;
-    std::vector<Row> per_row;
-    if (!right_materialized) {
-      ctx.frames.push_back(Frame{&left_schema, &lrow});
-      auto right = Run(*node.children[1], ctx);
-      ctx.frames.pop_back();
-      if (!right.ok()) return right.status();
-      per_row = std::move(right.value());
-      right_rows = &per_row;
-    }
-    bool matched = false;
-    bool unknown = false;
-    for (const auto& rrow : *right_rows) {
-      CBQT_RETURN_IF_ERROR(CountRow());
-      Row comb = lrow;
-      comb.insert(comb.end(), rrow.begin(), rrow.end());
-      Value pass = Value::Boolean(true);
-      if (!node.join_conds.empty()) {
-        ctx.frames.push_back(Frame{&combined, &comb});
-        auto v = EvalConjuncts(node.join_conds, ctx);
-        ctx.frames.pop_back();
-        if (!v.ok()) return v.status();
-        pass = v.value();
-      }
-      if (pass.is_null()) {
-        unknown = true;
-        continue;
-      }
-      if (!pass.AsBool()) continue;
-      matched = true;
-      switch (node.join_kind) {
-        case JoinKind::kInner:
-        case JoinKind::kLeftOuter:
-          out.push_back(std::move(comb));
-          break;
-        case JoinKind::kSemi:
-          break;  // emit below, once
-        case JoinKind::kAnti:
-        case JoinKind::kAntiNA:
-          break;
-      }
-      if (node.join_kind == JoinKind::kSemi ||
-          node.join_kind == JoinKind::kAnti ||
-          node.join_kind == JoinKind::kAntiNA) {
-        break;  // stop-at-first-match property
-      }
-    }
-    switch (node.join_kind) {
-      case JoinKind::kSemi:
-        if (matched) out.push_back(lrow);
-        break;
-      case JoinKind::kAnti:
-        if (!matched) out.push_back(lrow);
-        break;
-      case JoinKind::kAntiNA:
-        if (!matched && !unknown) out.push_back(lrow);
-        break;
-      case JoinKind::kLeftOuter:
-        if (!matched) {
-          Row comb = lrow;
-          for (size_t i = 0; i < right_schema.size(); ++i) {
-            comb.push_back(Value::Null());
-          }
-          out.push_back(std::move(comb));
-        }
-        break;
-      case JoinKind::kInner:
-        break;
-    }
-  }
-  return out;
-}
-
-Result<std::vector<Row>> Executor::RunHashJoin(const PlanNode& node,
-                                               EvalContext& ctx) {
-  auto left = Run(*node.children[0], ctx);
-  if (!left.ok()) return left.status();
-  auto right = Run(*node.children[1], ctx);
-  if (!right.ok()) return right.status();
-  const Schema& left_schema = node.children[0]->output;
-  const Schema& right_schema = node.children[1]->output;
-  Schema combined = left_schema;
-  combined.insert(combined.end(), right_schema.begin(), right_schema.end());
-
-  // Build on the right. The build side is a pipeline breaker: its hash
-  // table bytes (key rows + posting lists + the buffered build rows they
-  // point at) are charged against the per-query memory tracker.
-  RowMap table;
-  bool build_has_null_key = false;
-  ScopedReservation build_mem = BufferReservation();
-  const auto& rrows = right.value();
-  for (size_t i = 0; i < rrows.size(); ++i) {
-    CBQT_RETURN_IF_ERROR(CountRow());
-    ctx.frames.push_back(Frame{&right_schema, &rrows[i]});
-    Row key;
-    bool has_null = false;
-    for (const auto& k : node.hash_right_keys) {
-      auto v = EvalExpr(*k, ctx);
-      if (!v.ok()) {
-        ctx.frames.pop_back();
-        return v.status();
-      }
-      if (v->is_null()) has_null = true;
-      key.push_back(std::move(v.value()));
-    }
-    ctx.frames.pop_back();
-    if (has_null) {
-      build_has_null_key = true;
-      continue;
-    }
-    if (charge_memory()) {
-      CBQT_RETURN_IF_ERROR(ChargeBufferedSlow(
-          build_mem, EstimateRowBytes(key) + EstimateRowBytes(rrows[i]) +
-                         static_cast<int64_t>(sizeof(size_t))));
-    }
-    table[std::move(key)].push_back(i);
-  }
-
-  std::vector<Row> out;
-  for (auto& lrow : left.value()) {
-    CBQT_RETURN_IF_ERROR(CountRow());
-    ctx.frames.push_back(Frame{&left_schema, &lrow});
-    Row key;
-    bool has_null = false;
-    for (const auto& k : node.hash_left_keys) {
-      auto v = EvalExpr(*k, ctx);
-      if (!v.ok()) {
-        ctx.frames.pop_back();
-        return v.status();
-      }
-      if (v->is_null()) has_null = true;
-      key.push_back(std::move(v.value()));
-    }
-    ctx.frames.pop_back();
-
-    bool matched = false;
-    if (!has_null) {
-      auto it = table.find(key);
-      if (it != table.end()) {
-        for (size_t ri : it->second) {
-          CBQT_RETURN_IF_ERROR(CountRow());
-          Row comb = lrow;
-          const Row& rrow = rrows[ri];
-          comb.insert(comb.end(), rrow.begin(), rrow.end());
-          if (!node.join_conds.empty()) {
-            ctx.frames.push_back(Frame{&combined, &comb});
-            auto pass = EvalConjuncts(node.join_conds, ctx);
-            ctx.frames.pop_back();
-            if (!pass.ok()) return pass.status();
-            if (!IsTruthy(pass.value())) continue;
-          }
-          matched = true;
-          if (node.join_kind == JoinKind::kInner ||
-              node.join_kind == JoinKind::kLeftOuter) {
-            out.push_back(std::move(comb));
-          } else {
-            break;  // semi/anti: first match decides
-          }
-        }
-      }
-    }
-
-    switch (node.join_kind) {
-      case JoinKind::kSemi:
-        if (matched) out.push_back(std::move(lrow));
-        break;
-      case JoinKind::kAnti:
-        if (!matched) out.push_back(std::move(lrow));
-        break;
-      case JoinKind::kAntiNA:
-        // NOT IN semantics: a NULL on either side makes the comparison
-        // unknown, which rejects the row (unless the right side is empty).
-        if (rrows.empty()) {
-          out.push_back(std::move(lrow));
-        } else if (!matched && !has_null && !build_has_null_key) {
-          out.push_back(std::move(lrow));
-        }
-        break;
-      case JoinKind::kLeftOuter:
-        if (!matched) {
-          Row comb = std::move(lrow);
-          for (size_t i = 0; i < right_schema.size(); ++i) {
-            comb.push_back(Value::Null());
-          }
-          out.push_back(std::move(comb));
-        }
-        break;
-      case JoinKind::kInner:
-        break;
-    }
-  }
-  return out;
-}
-
-Result<std::vector<Row>> Executor::RunMergeJoin(const PlanNode& node,
-                                                EvalContext& ctx) {
-  auto left = Run(*node.children[0], ctx);
-  if (!left.ok()) return left.status();
-  auto right = Run(*node.children[1], ctx);
-  if (!right.ok()) return right.status();
-  const Schema& left_schema = node.children[0]->output;
-  const Schema& right_schema = node.children[1]->output;
-  Schema combined = left_schema;
-  combined.insert(combined.end(), right_schema.begin(), right_schema.end());
-
-  auto eval_keys = [&](const Schema& schema, const Row& row,
-                       const std::vector<ExprPtr>& keys,
-                       Row* out_keys) -> Status {
-    ctx.frames.push_back(Frame{&schema, &row});
-    for (const auto& k : keys) {
-      auto v = EvalExpr(*k, ctx);
-      if (!v.ok()) {
-        ctx.frames.pop_back();
-        return v.status();
-      }
-      out_keys->push_back(std::move(v.value()));
-    }
-    ctx.frames.pop_back();
-    return Status::OK();
-  };
-
-  struct Keyed {
-    Row keys;
-    const Row* row;
-  };
-  // Both sorted key buffers break the pipeline; charge their bytes.
-  ScopedReservation merge_mem = BufferReservation();
-  std::vector<Keyed> lk, rk;
-  for (const auto& r : left.value()) {
-    CBQT_RETURN_IF_ERROR(CountRow());
-    Keyed k{{}, &r};
-    CBQT_RETURN_IF_ERROR(eval_keys(left_schema, r, node.hash_left_keys, &k.keys));
-    bool has_null = false;
-    for (const auto& v : k.keys) {
-      if (v.is_null()) has_null = true;
-    }
-    if (has_null) continue;
-    CBQT_RETURN_IF_ERROR(ChargeBufferedRow(
-        merge_mem, k.keys, static_cast<int64_t>(sizeof(Keyed))));
-    lk.push_back(std::move(k));
-  }
-  for (const auto& r : right.value()) {
-    CBQT_RETURN_IF_ERROR(CountRow());
-    Keyed k{{}, &r};
-    CBQT_RETURN_IF_ERROR(
-        eval_keys(right_schema, r, node.hash_right_keys, &k.keys));
-    bool has_null = false;
-    for (const auto& v : k.keys) {
-      if (v.is_null()) has_null = true;
-    }
-    if (has_null) continue;
-    CBQT_RETURN_IF_ERROR(ChargeBufferedRow(
-        merge_mem, k.keys, static_cast<int64_t>(sizeof(Keyed))));
-    rk.push_back(std::move(k));
-  }
-  auto key_less = [](const Keyed& a, const Keyed& b) {
-    for (size_t i = 0; i < a.keys.size(); ++i) {
-      if (TotalLess(a.keys[i], b.keys[i])) return true;
-      if (TotalLess(b.keys[i], a.keys[i])) return false;
-    }
-    return false;
-  };
-  std::sort(lk.begin(), lk.end(), key_less);
-  std::sort(rk.begin(), rk.end(), key_less);
-
-  std::vector<Row> out;
-  size_t i = 0, j = 0;
-  while (i < lk.size() && j < rk.size()) {
-    if (key_less(lk[i], rk[j])) {
-      ++i;
-      continue;
-    }
-    if (key_less(rk[j], lk[i])) {
-      ++j;
-      continue;
-    }
-    // Equal key group.
-    size_t i_end = i;
-    while (i_end < lk.size() && !key_less(lk[i], lk[i_end]) &&
-           !key_less(lk[i_end], lk[i])) {
-      ++i_end;
-    }
-    size_t j_end = j;
-    while (j_end < rk.size() && !key_less(rk[j], rk[j_end]) &&
-           !key_less(rk[j_end], rk[j])) {
-      ++j_end;
-    }
-    for (size_t a = i; a < i_end; ++a) {
-      for (size_t b = j; b < j_end; ++b) {
-        CBQT_RETURN_IF_ERROR(CountRow());
-        Row comb = *lk[a].row;
-        comb.insert(comb.end(), rk[b].row->begin(), rk[b].row->end());
-        if (!node.join_conds.empty()) {
-          ctx.frames.push_back(Frame{&combined, &comb});
-          auto pass = EvalConjuncts(node.join_conds, ctx);
-          ctx.frames.pop_back();
-          if (!pass.ok()) return pass.status();
-          if (!IsTruthy(pass.value())) continue;
-        }
-        out.push_back(std::move(comb));
-      }
-    }
-    i = i_end;
-    j = j_end;
-  }
-  return out;
-}
-
-Result<std::vector<Row>> Executor::RunAggregate(const PlanNode& node,
-                                                EvalContext& ctx) {
-  auto input = Run(*node.children[0], ctx);
-  if (!input.ok()) return input.status();
-  const Schema& in_schema = node.children[0]->output;
-  const size_t num_keys = node.group_keys.size();
-  const size_t num_aggs = node.agg_exprs.size();
-
-  // Grouping sets: default is the single full set.
-  std::vector<std::vector<int>> sets = node.grouping_sets;
-  if (sets.empty()) {
-    std::vector<int> all;
-    for (size_t g = 0; g < num_keys; ++g) all.push_back(static_cast<int>(g));
-    sets.push_back(std::move(all));
-  }
-
-  std::vector<Row> out;
-  for (const auto& set : sets) {
-    std::vector<bool> in_set(num_keys, false);
-    for (int g : set) in_set[static_cast<size_t>(g)] = true;
-
-    // The aggregation hash table is a pipeline breaker; each new group's
-    // key and accumulators are charged against the query tracker.
-    ScopedReservation agg_mem = BufferReservation();
-    std::unordered_map<Row, std::vector<AggAccum>, RowHasher, RowEq> groups;
-    for (const auto& r : input.value()) {
-      CBQT_RETURN_IF_ERROR(CountRow());
-      ctx.frames.push_back(Frame{&in_schema, &r});
-      Row key;
-      key.reserve(num_keys);
-      bool failed = false;
-      Status err;
-      for (size_t g = 0; g < num_keys; ++g) {
-        if (!in_set[g]) {
-          key.push_back(Value::Null());
-          continue;
-        }
-        auto v = EvalExpr(*node.group_keys[g], ctx);
-        if (!v.ok()) {
-          failed = true;
-          err = v.status();
-          break;
-        }
-        key.push_back(std::move(v.value()));
-      }
-      if (failed) {
-        ctx.frames.pop_back();
-        return err;
-      }
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      if (inserted) {
-        it->second.resize(num_aggs);
-        Status charged = ChargeBufferedRow(
-            agg_mem, it->first,
-            static_cast<int64_t>(num_aggs * sizeof(AggAccum)));
-        if (!charged.ok()) {
-          ctx.frames.pop_back();
-          return charged;
-        }
-      }
-      for (size_t a = 0; a < num_aggs; ++a) {
-        const Expr& agg = *node.agg_exprs[a];
-        Value v = Value::Null();
-        if (agg.agg != AggFunc::kCountStar) {
-          auto r2 = EvalExpr(*agg.children[0], ctx);
-          if (!r2.ok()) {
-            ctx.frames.pop_back();
-            return r2.status();
-          }
-          v = std::move(r2.value());
-        }
-        it->second[a].Add(v, agg);
-      }
-      ctx.frames.pop_back();
-    }
-    // Scalar aggregation produces one row even on empty input.
-    if (groups.empty() && num_keys == 0) {
-      groups.try_emplace(Row{}).first->second.resize(num_aggs);
-    }
-    for (auto& [key, accums] : groups) {
-      Row r = key;
-      for (size_t a = 0; a < num_aggs; ++a) {
-        r.push_back(accums[a].Finish(*node.agg_exprs[a]));
-      }
-      out.push_back(std::move(r));
-    }
-  }
-  return out;
-}
-
-Result<std::vector<Row>> Executor::RunSort(const PlanNode& node,
-                                           EvalContext& ctx) {
-  auto input = Run(*node.children[0], ctx);
-  if (!input.ok()) return input.status();
-  const Schema& in_schema = node.children[0]->output;
-  struct Keyed {
-    Row keys;
-    size_t index;
-  };
-  // The sort buffer (key columns alongside the already-materialized input)
-  // is a pipeline breaker; its bytes are charged against the query tracker.
-  ScopedReservation sort_mem = BufferReservation();
-  std::vector<Keyed> keyed;
-  keyed.reserve(input->size());
-  for (size_t i = 0; i < input->size(); ++i) {
-    CBQT_RETURN_IF_ERROR(CountRow());
-    ctx.frames.push_back(Frame{&in_schema, &(*input)[i]});
-    Keyed k{{}, i};
-    for (const auto& key : node.sort_keys) {
-      auto v = EvalExpr(*key, ctx);
-      if (!v.ok()) {
-        ctx.frames.pop_back();
-        return v.status();
-      }
-      k.keys.push_back(std::move(v.value()));
-    }
-    ctx.frames.pop_back();
-    CBQT_RETURN_IF_ERROR(ChargeBufferedRow(
-        sort_mem, k.keys, static_cast<int64_t>(sizeof(Keyed))));
-    keyed.push_back(std::move(k));
-  }
-  std::stable_sort(keyed.begin(), keyed.end(),
-                   [&](const Keyed& a, const Keyed& b) {
-                     return SortRowLess(a.keys, b.keys, node.sort_ascending);
-                   });
-  std::vector<Row> out;
-  out.reserve(input->size());
-  for (const auto& k : keyed) out.push_back(std::move((*input)[k.index]));
-  return out;
-}
-
-Result<std::vector<Row>> Executor::RunDistinct(const PlanNode& node,
-                                               EvalContext& ctx) {
-  auto input = Run(*node.children[0], ctx);
-  if (!input.ok()) return input.status();
-  ScopedReservation distinct_mem = BufferReservation();
-  std::unordered_map<Row, bool, RowHasher, RowEq> seen;
-  std::vector<Row> out;
-  for (auto& r : input.value()) {
-    CBQT_RETURN_IF_ERROR(CountRow());
-    if (seen.emplace(r, true).second) {
-      CBQT_RETURN_IF_ERROR(ChargeBufferedRow(distinct_mem, r));
-      out.push_back(std::move(r));
-    }
-  }
-  return out;
-}
-
-Result<std::vector<Row>> Executor::RunSetOp(const PlanNode& node,
-                                            EvalContext& ctx) {
-  std::vector<std::vector<Row>> inputs;
-  for (const auto& c : node.children) {
-    auto r = Run(*c, ctx);
-    if (!r.ok()) return r.status();
-    inputs.push_back(std::move(r.value()));
-  }
-  std::vector<Row> out;
-  switch (node.set_op) {
-    case SetOpKind::kUnionAll: {
-      for (auto& in : inputs) {
-        for (auto& r : in) {
-          CBQT_RETURN_IF_ERROR(CountRow());
-          out.push_back(std::move(r));
-        }
-      }
-      break;
-    }
-    case SetOpKind::kUnion: {
-      std::unordered_map<Row, bool, RowHasher, RowEq> seen;
-      for (auto& in : inputs) {
-        for (auto& r : in) {
-          CBQT_RETURN_IF_ERROR(CountRow());
-          if (seen.emplace(r, true).second) out.push_back(std::move(r));
-        }
-      }
-      break;
-    }
-    case SetOpKind::kIntersect: {
-      // Set semantics; NULLs match (paper §2.2.7).
-      std::unordered_map<Row, bool, RowHasher, RowEq> right;
-      for (size_t b = 1; b < inputs.size(); ++b) {
-        for (auto& r : inputs[b]) {
-          CBQT_RETURN_IF_ERROR(CountRow());
-          right.emplace(std::move(r), true);
-        }
-      }
-      std::unordered_map<Row, bool, RowHasher, RowEq> emitted;
-      for (auto& r : inputs[0]) {
-        CBQT_RETURN_IF_ERROR(CountRow());
-        if (right.count(r) > 0 && emitted.emplace(r, true).second) {
-          out.push_back(std::move(r));
-        }
-      }
-      break;
-    }
-    case SetOpKind::kMinus: {
-      std::unordered_map<Row, bool, RowHasher, RowEq> right;
-      for (size_t b = 1; b < inputs.size(); ++b) {
-        for (auto& r : inputs[b]) {
-          CBQT_RETURN_IF_ERROR(CountRow());
-          right.emplace(std::move(r), true);
-        }
-      }
-      std::unordered_map<Row, bool, RowHasher, RowEq> emitted;
-      for (auto& r : inputs[0]) {
-        CBQT_RETURN_IF_ERROR(CountRow());
-        if (right.count(r) == 0 && emitted.emplace(r, true).second) {
-          out.push_back(std::move(r));
-        }
-      }
-      break;
-    }
-    case SetOpKind::kNone:
-      return Status::Internal("SetOp node without a set operator");
-  }
-  return out;
-}
-
-Result<std::vector<Row>> Executor::RunLimit(const PlanNode& node,
-                                            EvalContext& ctx) {
-  auto input = Run(*node.children[0], ctx);
-  if (!input.ok()) return input.status();
-  const Schema& in_schema = node.children[0]->output;
-  std::vector<Row> out;
-  int64_t saved_rownum = ctx.rownum;
-  for (auto& r : input.value()) {
-    if (static_cast<int64_t>(out.size()) >= node.limit) break;
-    CBQT_RETURN_IF_ERROR(CountRow());
-    if (!node.filter.empty()) {
-      ctx.rownum = static_cast<int64_t>(out.size()) + 1;
-      ctx.frames.push_back(Frame{&in_schema, &r});
-      auto pass = EvalConjuncts(node.filter, ctx);
-      ctx.frames.pop_back();
-      if (!pass.ok()) return pass.status();
-      if (!IsTruthy(pass.value())) continue;
-    }
-    out.push_back(std::move(r));
-  }
-  ctx.rownum = saved_rownum;
-  return out;
-}
-
-Result<std::vector<Row>> Executor::RunWindow(const PlanNode& node,
-                                             EvalContext& ctx) {
-  auto input = Run(*node.children[0], ctx);
-  if (!input.ok()) return input.status();
-  const Schema& in_schema = node.children[0]->output;
-  size_t n = input->size();
-  // Result columns for each window expression, indexed by input row.
-  std::vector<std::vector<Value>> win_cols(
-      node.window_exprs.size(), std::vector<Value>(n, Value::Null()));
-
-  for (size_t w = 0; w < node.window_exprs.size(); ++w) {
-    const Expr& win = *node.window_exprs[w];
-    // Partition rows.
-    std::unordered_map<Row, std::vector<size_t>, RowHasher, RowEq> parts;
-    for (size_t i = 0; i < n; ++i) {
-      CBQT_RETURN_IF_ERROR(CountRow());
-      ctx.frames.push_back(Frame{&in_schema, &(*input)[i]});
-      Row key;
-      for (const auto& p : win.partition_by) {
-        auto v = EvalExpr(*p, ctx);
-        if (!v.ok()) {
-          ctx.frames.pop_back();
-          return v.status();
-        }
-        key.push_back(std::move(v.value()));
-      }
-      ctx.frames.pop_back();
-      parts[std::move(key)].push_back(i);
-    }
-    for (auto& [key, indices] : parts) {
-      // Sort the partition by the window ORDER BY keys.
-      std::vector<Row> order_keys(indices.size());
-      for (size_t k = 0; k < indices.size(); ++k) {
-        ctx.frames.push_back(Frame{&in_schema, &(*input)[indices[k]]});
-        for (const auto& o : win.win_order_by) {
-          auto v = EvalExpr(*o, ctx);
-          if (!v.ok()) {
-            ctx.frames.pop_back();
-            return v.status();
-          }
-          order_keys[k].push_back(std::move(v.value()));
-        }
-        ctx.frames.pop_back();
-      }
-      std::vector<size_t> perm(indices.size());
-      for (size_t k = 0; k < perm.size(); ++k) perm[k] = k;
-      std::vector<bool> asc(win.win_order_by.size(), true);
-      std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
-        return SortRowLess(order_keys[a], order_keys[b], asc);
-      });
-      // Running aggregate, RANGE UNBOUNDED PRECEDING .. CURRENT ROW:
-      // peers (equal order keys) share the cumulative value at the end of
-      // their peer group.
-      AggAccum accum;
-      Expr agg_proxy;
-      agg_proxy.kind = ExprKind::kAggregate;
-      agg_proxy.agg = win.win_func;
-      size_t g = 0;
-      while (g < perm.size()) {
-        size_t g_end = g;
-        while (g_end < perm.size() &&
-               RowsEqualStructural(order_keys[perm[g]],
-                                   order_keys[perm[g_end]])) {
-          ++g_end;
-        }
-        for (size_t k = g; k < g_end; ++k) {
-          size_t row_idx = indices[perm[k]];
-          Value v = Value::Null();
-          if (win.win_func != AggFunc::kCountStar) {
-            ctx.frames.push_back(Frame{&in_schema, &(*input)[row_idx]});
-            auto r = EvalExpr(*win.children[0], ctx);
-            ctx.frames.pop_back();
-            if (!r.ok()) return r.status();
-            v = std::move(r.value());
-          }
-          accum.Add(v, agg_proxy);
-        }
-        Value result = accum.Finish(agg_proxy);
-        for (size_t k = g; k < g_end; ++k) {
-          win_cols[w][indices[perm[k]]] = result;
-        }
-        g = g_end;
-      }
-    }
-  }
-  std::vector<Row> out;
-  out.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    Row r = std::move((*input)[i]);
-    for (size_t w = 0; w < node.window_exprs.size(); ++w) {
-      r.push_back(win_cols[w][i]);
-    }
-    out.push_back(std::move(r));
-  }
-  return out;
-}
-
-namespace {
-
-/// TIS subquery resolver with per-correlation-key result caching.
-class CachingSubqueryResolver : public SubqueryResolver {
- public:
-  CachingSubqueryResolver(const PlanNode& node, EvalContext& ctx,
-                          ExecStats* stats)
-      : node_(node), ctx_(ctx), stats_(stats) {
-    std::vector<const Expr*> subs;
-    for (const auto& f : node.filter) CollectSubqueryNodesExec(f.get(), &subs);
-    for (size_t i = 0; i < subs.size() && i < node.subplans.size(); ++i) {
-      index_[subs[i]] = i;
-    }
-    caches_.resize(node.subplans.size());
-  }
-
-  Result<SubqueryResultView> Resolve(const Expr* subquery_node) override {
-    auto it = index_.find(subquery_node);
-    if (it == index_.end()) {
-      return Status::Internal("subquery node has no planned subplan");
-    }
-    size_t i = it->second;
-    Row key;
-    for (const auto& k : node_.subplan_corr_keys[i]) {
-      auto v = EvalExpr(*k, ctx_);
-      if (!v.ok()) return v.status();
-      key.push_back(std::move(v.value()));
-    }
-    auto& cache = caches_[i];
-    auto hit = cache.find(key);
-    if (hit != cache.end()) {
-      ++stats_->subquery_cache_hits;
-      return MakeView(hit->second);
-    }
-    ++stats_->subquery_executions;
-    // Execute the subplan under the *current* context so correlated refs
-    // resolve against the outer row.
-    auto rows = RunSubplan(*node_.subplans[i]);
-    if (!rows.ok()) return rows.status();
-    if (charge_fn) {
-      // Materialized subquery results persist for the whole operator (TIS
-      // caching); charge them against the per-query memory tracker.
-      for (const Row& r : rows.value()) {
-        Status charged = charge_fn(r);
-        if (!charged.ok()) return charged;
-      }
-    }
-    auto [pos, inserted] = cache.emplace(std::move(key), CachedResult{});
-    (void)inserted;
-    pos->second.rows = std::move(rows.value());
-    return MakeView(pos->second);
-  }
-
-  /// Set by RunSubqueryFilter: executes a plan under the current context.
-  std::function<Result<std::vector<Row>>(const PlanNode&)> run_fn;
-  /// Optional memory-accounting hook for cached subquery result rows.
-  std::function<Status(const Row&)> charge_fn;
-
- private:
-  Result<std::vector<Row>> RunSubplan(const PlanNode& plan) {
-    return run_fn(plan);
-  }
-
-  struct CachedResult {
-    std::vector<Row> rows;
-    std::unique_ptr<std::unordered_set<Row, RowHasher, RowEq>> row_set;
-    bool has_null = false;
-  };
-
-  // Builds (and lazily indexes) the view handed to the evaluator. The hash
-  // index makes IN / NOT IN probes O(1) instead of a scan of the cached
-  // result per outer row.
-  static SubqueryResultView MakeView(CachedResult& cached) {
-    if (cached.row_set == nullptr) {
-      cached.row_set =
-          std::make_unique<std::unordered_set<Row, RowHasher, RowEq>>();
-      for (const Row& r : cached.rows) {
-        bool null_in_row = false;
-        for (const Value& v : r) {
-          if (v.is_null()) null_in_row = true;
-        }
-        if (null_in_row) cached.has_null = true;
-        cached.row_set->insert(r);
-      }
-    }
-    SubqueryResultView view;
-    view.rows = &cached.rows;
-    view.row_set = cached.row_set.get();
-    view.has_null = cached.has_null;
-    return view;
-  }
-
-  const PlanNode& node_;
-  EvalContext& ctx_;
-  ExecStats* stats_;
-  std::map<const Expr*, size_t> index_;
-  std::vector<std::unordered_map<Row, CachedResult, RowHasher, RowEq>>
-      caches_;
-};
-
-}  // namespace
-
-Result<std::vector<Row>> Executor::RunSubqueryFilter(const PlanNode& node,
-                                                     EvalContext& ctx) {
-  auto input = Run(*node.children[0], ctx);
-  if (!input.ok()) return input.status();
-  const Schema& in_schema = node.children[0]->output;
-
-  CachingSubqueryResolver resolver(node, ctx, stats_);
-  resolver.run_fn = [this, &ctx](const PlanNode& plan) {
-    return this->Run(plan, ctx);
-  };
-  ScopedReservation subq_mem = BufferReservation();
-  if (charge_memory()) {
-    resolver.charge_fn = [this, &subq_mem](const Row& r) {
-      return this->ChargeBufferedRow(subq_mem, r);
-    };
-  }
-
-  SubqueryResolver* saved = ctx.subquery_resolver;
-  std::vector<Row> out;
-  for (auto& r : input.value()) {
-    CBQT_RETURN_IF_ERROR(CountRow());
-    ctx.frames.push_back(Frame{&in_schema, &r});
-    ctx.subquery_resolver = &resolver;
-    auto pass = EvalConjuncts(node.filter, ctx);
-    ctx.subquery_resolver = saved;
-    ctx.frames.pop_back();
-    if (!pass.ok()) return pass.status();
-    if (IsTruthy(pass.value())) out.push_back(std::move(r));
-  }
+  ExecResult out;
+  out.rows = std::move(rows.value());
+  if (options_.collect_stats) out.stats = ctx.stats;
   return out;
 }
 

@@ -2,7 +2,6 @@
 #define CBQT_EXEC_EXECUTOR_H_
 
 #include <cstdint>
-#include <limits>
 #include <string>
 #include <vector>
 
@@ -11,7 +10,8 @@
 #include "common/memory_tracker.h"
 #include "common/status.h"
 #include "common/value.h"
-#include "exec/eval.h"
+#include "exec/batch.h"
+#include "exec/spill.h"
 #include "optimizer/plan.h"
 #include "storage/database.h"
 
@@ -21,117 +21,72 @@ namespace cbqt {
 /// (rows flowing through operators) used by the benchmarks alongside wall
 /// time; the subquery counters expose the TIS caching behaviour
 /// (paper §2.1.1: "the execution engine caches the results ... for the
-/// tuples in the left table").
+/// tuples in the left table"); the spill counters report how pipeline
+/// breakers degraded to disk under memory pressure.
 struct ExecStats {
   int64_t rows_processed = 0;
+  /// CountBatch invocations — the number of budget/guardrail polling quanta
+  /// (one per batch of rows, not one per row).
+  int64_t batches = 0;
   int64_t subquery_executions = 0;
   int64_t subquery_cache_hits = 0;
+  /// Pipeline breakers (sort / hash-join build / aggregation / distinct)
+  /// that switched to spilling when their reservation hit the budget.
+  int64_t spilled_operators = 0;
+  SpillStats spill;
 };
 
-/// Operator-at-a-time executor over materialized row vectors. Faithful to
-/// the plan's choices: join methods and order, index probes, semijoin
-/// early-out, null-aware antijoin, TIS subquery evaluation with
-/// correlation-value caching, lazy ROWNUM filters, grouping sets, windows.
+/// Everything that configures one Executor — the single way to run a plan.
+/// `budget` and `guards` are borrowed (not owned) and may be null/empty.
+struct ExecOptions {
+  /// Caps the rows pushed through operators (OptimizerBudget::
+  /// max_exec_rows): a runaway query fails fast with kBudgetExhausted.
+  BudgetTracker* budget = nullptr;
+  /// Runtime guardrails: cancellation polled once per batch, pipeline
+  /// breakers charge buffered bytes against the per-query memory tracker,
+  /// fault-injection sites armed through `guards.faults`.
+  QueryGuards guards;
+  /// Rows per operator batch. Smaller batches poll guardrails more often
+  /// (tests pin this low to land injected faults deterministically).
+  size_t batch_size = kDefaultBatchSize;
+  /// Directory for spill temp files; empty = the system temp directory.
+  std::string spill_dir;
+  /// When true (default), a pipeline breaker whose reservation exceeds the
+  /// memory budget spills partitions to disk and the query completes;
+  /// when false the charge failure surfaces as kResourceExhausted.
+  bool enable_spill = true;
+  /// When false, Execute returns default-initialized stats (counters are
+  /// still maintained internally for budget enforcement).
+  bool collect_stats = true;
+};
+
+/// What Execute returns: the result rows plus the execution counters. The
+/// executor always owns its stats block internally — there is no caller
+/// out-param to leave null (the old API's latent null-deref).
+struct ExecResult {
+  std::vector<Row> rows;
+  ExecStats stats;
+};
+
+/// Vectorized pull-model executor: the plan tree is compiled into an
+/// Operator tree (exec/operators.h) exchanging RowBatch containers, and the
+/// root is drained to completion. Faithful to the plan's choices: join
+/// methods and order, index probes, semijoin early-out, null-aware
+/// antijoin, TIS subquery evaluation with correlation-value caching, lazy
+/// ROWNUM filters, grouping sets, windows. Pipeline breakers degrade to
+/// disk via SpillManager instead of failing when the memory budget is hit.
 class Executor {
  public:
-  /// `budget`, when non-null, caps the rows pushed through operators
-  /// (OptimizerBudget::max_exec_rows): a runaway query fails fast with
-  /// kBudgetExhausted instead of grinding through an unbounded join.
-  /// `guards` adds the runtime guardrails: the cancellation token is polled
-  /// at every CountRow (one row = one polling quantum), and pipeline
-  /// breakers (hash-join build sides, sort buffers, aggregation tables,
-  /// materialized subquery results) charge their buffered bytes against the
-  /// per-query memory tracker.
-  explicit Executor(const Database& db, BudgetTracker* budget = nullptr,
-                    QueryGuards guards = {})
-      : db_(db), budget_(budget), guards_(guards) {
-    if (budget != nullptr && budget->budget().max_exec_rows > 0) {
-      row_cap_ = budget->budget().max_exec_rows;
-    }
-    has_guards_ = guards_.any();
-  }
+  explicit Executor(const Database& db, ExecOptions options = {})
+      : db_(db), options_(std::move(options)) {}
 
   /// Runs the plan to completion and returns the result rows (matching
-  /// `plan.output`).
-  Result<std::vector<Row>> Execute(const PlanNode& plan,
-                                   ExecStats* stats = nullptr);
+  /// `plan.output`) together with the execution stats.
+  Result<ExecResult> Execute(const PlanNode& plan);
 
  private:
-  /// Counts one row of operator work against the stats and the row budget.
-  /// The hot path is one increment, one predictable compare, and one
-  /// predictable branch on the guardrail flag; the cap is infinite when no
-  /// budget is set.
-  Status CountRow() {
-    if (++stats_->rows_processed > row_cap_) {
-      budget_->MarkExhausted(BudgetDimension::kExecRows);
-      return Status::BudgetExhausted(
-          "executor row budget exceeded (max_exec_rows=" +
-          std::to_string(budget_->budget().max_exec_rows) + ")");
-    }
-    if (has_guards_) return PollGuards();
-    return Status::OK();
-  }
-
-  /// Guardrail poll at the row quantum: fires the kExecBatch / kCancelAt
-  /// injection sites and returns the cancellation token's status.
-  Status PollGuards();
-
-  /// True when pipeline breakers must account their buffered bytes (a
-  /// memory tracker is attached, or fault injection wants the charge
-  /// sites). Call sites skip computing byte estimates entirely otherwise.
-  bool charge_memory() const {
-    return guards_.memory != nullptr || guards_.faults != nullptr;
-  }
-
-  /// Buffered bytes accumulate locally and hit the tracker's atomics once
-  /// per page of growth, so the per-row cost of accounting a pipeline
-  /// breaker is an addition, not two atomic RMWs up the tracker chain.
-  /// Budget enforcement lags by at most this many bytes per open buffer.
-  static constexpr int64_t kChargeQuantumBytes = 4096;
-
-  /// A reservation for one pipeline breaker's buffer, page-batched.
-  ScopedReservation BufferReservation() {
-    ScopedReservation res(guards_.memory);
-    res.set_flush_quantum(kChargeQuantumBytes);
-    return res;
-  }
-
-  /// Charges one buffered row (plus `extra` structure bytes) of a pipeline
-  /// breaker against the per-query memory tracker via `res`, firing the
-  /// kExecSpillCheck / kMemoryPressure injection sites. Zero cost (no byte
-  /// estimate computed) when no guardrails are configured.
-  Status ChargeBufferedRow(ScopedReservation& res, const Row& row,
-                           int64_t extra = 0) {
-    if (!charge_memory()) return Status::OK();
-    return ChargeBufferedSlow(res, EstimateRowBytes(row) + extra);
-  }
-  Status ChargeBufferedSlow(ScopedReservation& res, int64_t bytes);
-
-  Result<std::vector<Row>> Run(const PlanNode& node, EvalContext& ctx);
-
-  Result<std::vector<Row>> RunTableScan(const PlanNode& node, EvalContext& ctx);
-  Result<std::vector<Row>> RunIndexScan(const PlanNode& node, EvalContext& ctx);
-  Result<std::vector<Row>> RunFilter(const PlanNode& node, EvalContext& ctx);
-  Result<std::vector<Row>> RunProject(const PlanNode& node, EvalContext& ctx);
-  Result<std::vector<Row>> RunNestedLoopJoin(const PlanNode& node,
-                                             EvalContext& ctx);
-  Result<std::vector<Row>> RunHashJoin(const PlanNode& node, EvalContext& ctx);
-  Result<std::vector<Row>> RunMergeJoin(const PlanNode& node, EvalContext& ctx);
-  Result<std::vector<Row>> RunAggregate(const PlanNode& node, EvalContext& ctx);
-  Result<std::vector<Row>> RunSort(const PlanNode& node, EvalContext& ctx);
-  Result<std::vector<Row>> RunDistinct(const PlanNode& node, EvalContext& ctx);
-  Result<std::vector<Row>> RunSetOp(const PlanNode& node, EvalContext& ctx);
-  Result<std::vector<Row>> RunLimit(const PlanNode& node, EvalContext& ctx);
-  Result<std::vector<Row>> RunWindow(const PlanNode& node, EvalContext& ctx);
-  Result<std::vector<Row>> RunSubqueryFilter(const PlanNode& node,
-                                             EvalContext& ctx);
-
   const Database& db_;
-  BudgetTracker* budget_ = nullptr;
-  QueryGuards guards_;
-  bool has_guards_ = false;
-  int64_t row_cap_ = std::numeric_limits<int64_t>::max();
-  ExecStats* stats_ = nullptr;
+  ExecOptions options_;
 };
 
 }  // namespace cbqt

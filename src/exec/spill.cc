@@ -1,0 +1,242 @@
+#include "exec/spill.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/fault_injector.h"
+
+namespace cbqt {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Process-wide counter so concurrent executions never collide on a
+// directory name even within the same millisecond.
+std::atomic<uint64_t> g_spill_dir_seq{0};
+
+// Serialized value kind tags. Kept independent of ValueKind's numeric
+// values so the on-disk format is explicit.
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt = 1;
+constexpr uint8_t kTagReal = 2;
+constexpr uint8_t kTagStr = 3;
+constexpr uint8_t kTagBool = 4;
+
+bool WriteBytes(std::FILE* f, const void* p, size_t n, int64_t* written) {
+  if (n == 0) return true;
+  if (std::fwrite(p, 1, n, f) != n) return false;
+  *written += static_cast<int64_t>(n);
+  return true;
+}
+
+bool ReadBytes(std::FILE* f, void* p, size_t n, int64_t* read) {
+  if (n == 0) return true;
+  if (std::fread(p, 1, n, f) != n) return false;
+  *read += static_cast<int64_t>(n);
+  return true;
+}
+
+}  // namespace
+
+SpillFile::SpillFile(std::string path, FaultInjector* faults,
+                     SpillStats* stats)
+    : path_(std::move(path)), faults_(faults), stats_(stats) {}
+
+SpillFile::~SpillFile() {
+  if (f_ != nullptr) std::fclose(f_);
+  std::error_code ec;
+  fs::remove(path_, ec);  // best effort; the manager removes the directory
+}
+
+Status SpillFile::Append(const Row& row) {
+  if (!writing_ || f_ == nullptr) {
+    return Status::Internal("spill append after FinishWrite: " + path_);
+  }
+  if (faults_ != nullptr) {
+    CBQT_RETURN_IF_ERROR(faults_->MaybeFail(FaultSite::kExecSpillWrite));
+  }
+  int64_t written = 0;
+  bool ok = true;
+  uint32_t n = static_cast<uint32_t>(row.size());
+  ok = ok && WriteBytes(f_, &n, sizeof(n), &written);
+  for (const Value& v : row) {
+    if (!ok) break;
+    switch (v.kind()) {
+      case ValueKind::kNull: {
+        uint8_t tag = kTagNull;
+        ok = WriteBytes(f_, &tag, 1, &written);
+        break;
+      }
+      case ValueKind::kInt64: {
+        uint8_t tag = kTagInt;
+        int64_t x = v.AsInt();
+        ok = WriteBytes(f_, &tag, 1, &written) &&
+             WriteBytes(f_, &x, sizeof(x), &written);
+        break;
+      }
+      case ValueKind::kDouble: {
+        uint8_t tag = kTagReal;
+        double x = v.AsDouble();
+        ok = WriteBytes(f_, &tag, 1, &written) &&
+             WriteBytes(f_, &x, sizeof(x), &written);
+        break;
+      }
+      case ValueKind::kString: {
+        uint8_t tag = kTagStr;
+        const std::string& s = v.AsString();
+        uint32_t len = static_cast<uint32_t>(s.size());
+        ok = WriteBytes(f_, &tag, 1, &written) &&
+             WriteBytes(f_, &len, sizeof(len), &written) &&
+             WriteBytes(f_, s.data(), s.size(), &written);
+        break;
+      }
+      case ValueKind::kBool: {
+        uint8_t tag = kTagBool;
+        uint8_t x = v.AsBool() ? 1 : 0;
+        ok = WriteBytes(f_, &tag, 1, &written) &&
+             WriteBytes(f_, &x, 1, &written);
+        break;
+      }
+    }
+  }
+  if (!ok) return Status::Internal("spill write failed: " + path_);
+  ++rows_;
+  if (stats_ != nullptr) {
+    ++stats_->rows_written;
+    stats_->bytes_written += written;
+  }
+  return Status::OK();
+}
+
+Status SpillFile::FinishWrite() {
+  if (!writing_) return Status::OK();
+  writing_ = false;
+  if (f_ != nullptr && std::fflush(f_) != 0) {
+    return Status::Internal("spill flush failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status SpillFile::Rewind() {
+  CBQT_RETURN_IF_ERROR(FinishWrite());
+  if (f_ == nullptr) return Status::Internal("spill file not open: " + path_);
+  if (std::fseek(f_, 0, SEEK_SET) != 0) {
+    return Status::Internal("spill rewind failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Result<bool> SpillFile::Next(Row* row) {
+  if (writing_ || f_ == nullptr) {
+    return Status::Internal("spill read before Rewind: " + path_);
+  }
+  int64_t read = 0;
+  uint32_t n = 0;
+  if (std::fread(&n, 1, sizeof(n), f_) != sizeof(n)) {
+    if (std::feof(f_)) return false;
+    return Status::Internal("spill read failed: " + path_);
+  }
+  read += static_cast<int64_t>(sizeof(n));
+  if (faults_ != nullptr) {
+    CBQT_RETURN_IF_ERROR(faults_->MaybeFail(FaultSite::kExecSpillRead));
+  }
+  row->clear();
+  row->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint8_t tag = 0;
+    if (!ReadBytes(f_, &tag, 1, &read)) {
+      return Status::Internal("spill read failed: " + path_);
+    }
+    switch (tag) {
+      case kTagNull:
+        row->push_back(Value::Null());
+        break;
+      case kTagInt: {
+        int64_t x = 0;
+        if (!ReadBytes(f_, &x, sizeof(x), &read)) {
+          return Status::Internal("spill read failed: " + path_);
+        }
+        row->push_back(Value::Int(x));
+        break;
+      }
+      case kTagReal: {
+        double x = 0;
+        if (!ReadBytes(f_, &x, sizeof(x), &read)) {
+          return Status::Internal("spill read failed: " + path_);
+        }
+        row->push_back(Value::Real(x));
+        break;
+      }
+      case kTagStr: {
+        uint32_t len = 0;
+        if (!ReadBytes(f_, &len, sizeof(len), &read)) {
+          return Status::Internal("spill read failed: " + path_);
+        }
+        std::string s(len, '\0');
+        if (!ReadBytes(f_, s.data(), len, &read)) {
+          return Status::Internal("spill read failed: " + path_);
+        }
+        row->push_back(Value::Str(std::move(s)));
+        break;
+      }
+      case kTagBool: {
+        uint8_t x = 0;
+        if (!ReadBytes(f_, &x, 1, &read)) {
+          return Status::Internal("spill read failed: " + path_);
+        }
+        row->push_back(Value::Boolean(x != 0));
+        break;
+      }
+      default:
+        return Status::Internal("corrupt spill file (bad tag): " + path_);
+    }
+  }
+  if (stats_ != nullptr) {
+    ++stats_->rows_read;
+    stats_->bytes_read += read;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<SpillManager>> SpillManager::Create(
+    const std::string& dir, FaultInjector* faults, SpillStats* stats) {
+  std::error_code ec;
+  fs::path base = dir.empty() ? fs::temp_directory_path(ec) : fs::path(dir);
+  if (ec) return Status::Internal("no temp directory for spill: " + ec.message());
+  uint64_t seq = g_spill_dir_seq.fetch_add(1, std::memory_order_relaxed);
+  fs::path mine = base / ("cbqt-spill-" + std::to_string(::getpid()) + "-" +
+                          std::to_string(seq));
+  fs::create_directories(mine, ec);
+  if (ec) {
+    return Status::Internal("cannot create spill directory " + mine.string() +
+                            ": " + ec.message());
+  }
+  return std::unique_ptr<SpillManager>(
+      new SpillManager(mine.string(), faults, stats));
+}
+
+SpillManager::~SpillManager() {
+  files_.clear();  // closes and unlinks each file
+  std::error_code ec;
+  fs::remove_all(dir_, ec);
+}
+
+Result<SpillFile*> SpillManager::NewFile(const char* tag) {
+  std::string path =
+      dir_ + "/" + tag + "-" + std::to_string(next_id_++) + ".spill";
+  std::unique_ptr<SpillFile> f(new SpillFile(path, faults_, stats_));
+  f->f_ = std::fopen(path.c_str(), "w+b");
+  if (f->f_ == nullptr) {
+    return Status::Internal("cannot open spill file: " + path);
+  }
+  if (stats_ != nullptr) ++stats_->files;
+  files_.push_back(std::move(f));
+  return files_.back().get();
+}
+
+}  // namespace cbqt

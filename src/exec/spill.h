@@ -1,0 +1,101 @@
+#ifndef CBQT_EXEC_SPILL_H_
+#define CBQT_EXEC_SPILL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace cbqt {
+
+class FaultInjector;
+
+/// Spill I/O counters, accumulated into ExecStats by the executor.
+struct SpillStats {
+  int64_t files = 0;          ///< spill temp files created
+  int64_t rows_written = 0;
+  int64_t bytes_written = 0;
+  int64_t rows_read = 0;
+  int64_t bytes_read = 0;
+};
+
+/// One spill temp file: an append-only sequence of serialized rows written
+/// by a pipeline breaker under memory pressure, then read back one or more
+/// times (Rewind restarts the scan). Row format: u32 value count, then per
+/// value a u8 kind tag followed by the payload (int64/double little-endian,
+/// string as u32 length + bytes, bool as u8). Values never reference the
+/// file after Next() returns, so buffer lifetime is the Row's own.
+///
+/// Write and read consume the kExecSpillWrite / kExecSpillRead fault sites
+/// (one hit per row), letting tests prove that mid-spill I/O failures
+/// unwind the query without leaking temp files or reservations.
+class SpillFile {
+ public:
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  Status Append(const Row& row);
+  /// Flushes buffered writes; the file becomes readable. Idempotent.
+  Status FinishWrite();
+  /// (Re)starts reading from the first row; implies FinishWrite().
+  Status Rewind();
+  /// Reads the next row into *row; false at end of file.
+  Result<bool> Next(Row* row);
+
+  int64_t row_count() const { return rows_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  friend class SpillManager;
+  SpillFile(std::string path, FaultInjector* faults, SpillStats* stats);
+
+  std::string path_;
+  FaultInjector* faults_ = nullptr;
+  SpillStats* stats_ = nullptr;
+  std::FILE* f_ = nullptr;
+  bool writing_ = true;
+  int64_t rows_ = 0;
+};
+
+/// Owns the spill temp files of one query execution. Created lazily on the
+/// first spill so queries that stay in memory never touch the filesystem;
+/// the destructor removes every file and the per-query directory, so error
+/// unwinds (cancel, injected faults, real I/O errors) can never leak disk.
+class SpillManager {
+ public:
+  /// Creates the per-query spill directory under `dir` (empty = the
+  /// system temp directory).
+  static Result<std::unique_ptr<SpillManager>> Create(const std::string& dir,
+                                                      FaultInjector* faults,
+                                                      SpillStats* stats);
+  ~SpillManager();
+
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  /// Opens a new spill file; the manager keeps ownership. `tag` names the
+  /// spilling operator in the file name for debuggability.
+  Result<SpillFile*> NewFile(const char* tag);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  SpillManager(std::string dir, FaultInjector* faults, SpillStats* stats)
+      : dir_(std::move(dir)), faults_(faults), stats_(stats) {}
+
+  std::string dir_;
+  FaultInjector* faults_;
+  SpillStats* stats_;
+  std::vector<std::unique_ptr<SpillFile>> files_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace cbqt
+
+#endif  // CBQT_EXEC_SPILL_H_

@@ -95,6 +95,9 @@ WorkloadRunReport WorkloadRunner::RunAll(
     report.failed_states += m.cbqt.failed_states;
     report.max_query_peak_bytes =
         std::max(report.max_query_peak_bytes, result->peak_memory_bytes);
+    if (result->exec.spilled_operators > 0) ++report.spilled_queries;
+    report.spill_bytes_written += result->exec.spill.bytes_written;
+    report.spill_bytes_read += result->exec.spill.bytes_read;
     report.measurements.push_back(std::move(m));
   }
   if (engine.plan_cache_enabled()) {

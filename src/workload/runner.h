@@ -84,6 +84,12 @@ struct WorkloadRunReport {
   /// Largest per-query tracker peak over the successful queries.
   int64_t max_query_peak_bytes = 0;
 
+  // Spill telemetry aggregated over the successful queries: how many
+  // completed by degrading a pipeline breaker to disk, and total spill I/O.
+  int64_t spilled_queries = 0;
+  int64_t spill_bytes_written = 0;
+  int64_t spill_bytes_read = 0;
+
   static constexpr int kMaxErrorMessages = 5;
 
   /// One-paragraph human-readable error summary (empty when failed == 0).

@@ -1,0 +1,366 @@
+// The vectorized batch executor's contract: for every operator and every
+// batch size, Execute() returns exactly the rows of the ReferenceExecutor
+// (the naive interpreter of the bound tree), with or without spill-to-disk
+// — and a query that exceeds its memory budget on a pipeline breaker
+// completes via spill instead of failing kResourceExhausted.
+
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cbqt/framework.h"
+#include "common/fault_injector.h"
+#include "common/guardrails.h"
+#include "common/memory_tracker.h"
+#include "exec/reference.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+
+namespace cbqt {
+namespace {
+
+// Different plans (and different batch/spill splits) sum doubles in
+// different orders; compare with a relative tolerance.
+bool RowsApproxEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_null() && b[i].is_null()) continue;
+    if (a[i].is_null() || b[i].is_null()) return false;
+    if (a[i].kind() == ValueKind::kDouble ||
+        b[i].kind() == ValueKind::kDouble) {
+      double x = a[i].NumericValue();
+      double y = b[i].NumericValue();
+      double scale = std::max({1.0, std::fabs(x), std::fabs(y)});
+      if (std::fabs(x - y) > 1e-9 * scale) return false;
+      continue;
+    }
+    if (!RowsEqualStructural(Row{a[i]}, Row{b[i]})) return false;
+  }
+  return true;
+}
+
+void ExpectSameRows(std::vector<Row> actual, std::vector<Row> expected,
+                    const std::string& label) {
+  SortRowsCanonical(&actual);
+  SortRowsCanonical(&expected);
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_TRUE(RowsApproxEqual(actual[i], expected[i]))
+        << label << " row " << i;
+  }
+}
+
+class BatchExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = MakeSmallHrDb().release();
+    ASSERT_NE(db_, nullptr);
+  }
+
+  /// Optimizes `sql` into a physical plan (full CBQT pipeline, so unnesting
+  /// produces semi/anti joins and the planner picks join methods by cost).
+  std::unique_ptr<PlanNode> Plan(const std::string& sql) {
+    auto qb = ParseAndBind(*db_, sql);
+    if (qb == nullptr) return nullptr;
+    CbqtOptimizer optimizer(*db_);
+    auto opt = optimizer.Optimize(*qb);
+    if (!opt.ok()) {
+      ADD_FAILURE() << "optimize: " << opt.status().ToString() << "\n" << sql;
+      return nullptr;
+    }
+    return std::move(opt->plan);
+  }
+
+  /// The correctness oracle: the naive interpreter of the bound tree.
+  std::vector<Row> Oracle(const std::string& sql) {
+    auto qb = ParseAndBind(*db_, sql);
+    if (qb == nullptr) return {};
+    ReferenceExecutor reference(*db_);
+    auto rows = reference.Execute(*qb);
+    if (!rows.ok()) {
+      ADD_FAILURE() << "oracle: " << rows.status().ToString() << "\n" << sql;
+      return {};
+    }
+    return std::move(rows.value());
+  }
+
+  Result<ExecResult> Run(const PlanNode& plan, ExecOptions opts) {
+    Executor exec(*db_, std::move(opts));
+    return exec.Execute(plan);
+  }
+
+  static Database* db_;
+};
+
+Database* BatchExecutorTest::db_ = nullptr;
+
+// One query per operator family the factory builds; the plans cover table
+// scans, index scans, filters, projections, joins (the planner picks
+// nested-loop/hash/merge by cost; unnesting yields semi and null-aware anti
+// joins), aggregation with and without GROUP BY, sort, distinct, set ops,
+// ROWNUM limits, windows, and TIS subquery filters.
+const char* kOperatorQueries[] = {
+    // Scan + filter + projection arithmetic.
+    "SELECT e.emp_id + 1, e.salary * 2 FROM employees e WHERE e.salary > "
+    "60000",
+    // Join (equi), two tables.
+    "SELECT e.employee_name, j.job_title FROM employees e, job_history j "
+    "WHERE e.emp_id = j.emp_id",
+    // Semi join via EXISTS (unnested).
+    "SELECT d.dept_name FROM departments d WHERE EXISTS (SELECT 1 FROM "
+    "employees e WHERE e.dept_id = d.dept_id AND e.salary > 70000)",
+    // Null-aware anti join via NOT IN.
+    "SELECT e.employee_name FROM employees e WHERE e.dept_id NOT IN "
+    "(SELECT d.dept_id FROM departments d WHERE d.budget > 300000)",
+    // Correlated scalar subquery kept as a TIS subquery filter.
+    "SELECT e.employee_name FROM employees e WHERE e.salary > (SELECT "
+    "AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e.dept_id)",
+    // Grouped aggregation with HAVING.
+    "SELECT e.dept_id, COUNT(*), AVG(e.salary) FROM employees e GROUP BY "
+    "e.dept_id HAVING COUNT(*) > 3",
+    // Scalar aggregate over an empty input.
+    "SELECT COUNT(*), SUM(e.salary) FROM employees e WHERE e.salary < 0",
+    // Sort with NULL ordering.
+    "SELECT e.employee_name, e.salary FROM employees e ORDER BY e.salary "
+    "DESC",
+    // Distinct.
+    "SELECT DISTINCT e.dept_id FROM employees e",
+    // Set operation.
+    "SELECT e.emp_id FROM employees e UNION SELECT j.emp_id FROM "
+    "job_history j",
+    // ROWNUM limit (lazy filter semantics).
+    "SELECT e.emp_id FROM employees e WHERE rownum <= 7",
+    // Window function (running aggregate over partitions).
+    "SELECT e.emp_id, SUM(e.salary) OVER (PARTITION BY e.dept_id ORDER BY "
+    "e.emp_id) FROM employees e",
+};
+
+TEST_F(BatchExecutorTest, MatchesOracleAcrossBatchSizes) {
+  for (const char* sql : kOperatorQueries) {
+    auto plan = Plan(sql);
+    ASSERT_NE(plan, nullptr) << sql;
+    std::vector<Row> expected = Oracle(sql);
+    for (size_t batch : {size_t{1}, size_t{3}, size_t{1024}}) {
+      ExecOptions opts;
+      opts.batch_size = batch;
+      auto result = Run(*plan, std::move(opts));
+      ASSERT_TRUE(result.ok())
+          << result.status().ToString() << "\nbatch=" << batch << "\n" << sql;
+      ExpectSameRows(std::move(result.value().rows), expected,
+                     std::string(sql) + " batch=" + std::to_string(batch));
+      EXPECT_GT(result.value().stats.rows_processed, 0) << sql;
+      EXPECT_GT(result.value().stats.batches, 0) << sql;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spill-to-disk pipeline breakers
+// ---------------------------------------------------------------------------
+
+// Pipeline breakers that must degrade to disk under a tiny memory budget:
+// sort buffer, hash-join build side, aggregation table, distinct set.
+const char* kSpillQueries[] = {
+    "SELECT j.emp_id, j.job_title FROM job_history j ORDER BY j.job_title",
+    "SELECT e.employee_name, j.job_title FROM employees e, job_history j "
+    "WHERE e.emp_id = j.emp_id",
+    "SELECT j.emp_id, COUNT(*) FROM job_history j GROUP BY j.emp_id",
+    "SELECT DISTINCT j.emp_id, j.dept_id FROM job_history j",
+};
+
+constexpr int64_t kTinyBudgetBytes = 8192;
+
+TEST_F(BatchExecutorTest, SpillCompletesWherePreviouslyResourceExhausted) {
+  for (const char* sql : kSpillQueries) {
+    auto plan = Plan(sql);
+    ASSERT_NE(plan, nullptr) << sql;
+    std::vector<Row> expected = Oracle(sql);
+
+    // Leg 1: spill disabled — the budgeted query must fail with the typed
+    // kResourceExhausted (the pre-spill behaviour).
+    {
+      MemoryTracker tracker("query", kTinyBudgetBytes);
+      ExecOptions opts;
+      opts.guards.memory = &tracker;
+      opts.enable_spill = false;
+      auto result = Run(*plan, std::move(opts));
+      ASSERT_FALSE(result.ok()) << sql;
+      EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+          << sql;
+    }
+
+    // Leg 2: spill enabled — the same query under the same budget completes
+    // with identical rows, reporting spill activity.
+    {
+      MemoryTracker tracker("query", kTinyBudgetBytes);
+      ExecOptions opts;
+      opts.guards.memory = &tracker;
+      opts.enable_spill = true;
+      auto result = Run(*plan, std::move(opts));
+      ASSERT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+      EXPECT_GE(result.value().stats.spilled_operators, 1) << sql;
+      EXPECT_GT(result.value().stats.spill.bytes_written, 0) << sql;
+      EXPECT_GT(result.value().stats.spill.bytes_read, 0) << sql;
+      ExpectSameRows(std::move(result.value().rows), expected, sql);
+    }
+  }
+}
+
+TEST_F(BatchExecutorTest, SpillMatchesOracleAcrossBatchSizes) {
+  for (const char* sql : kSpillQueries) {
+    auto plan = Plan(sql);
+    ASSERT_NE(plan, nullptr) << sql;
+    std::vector<Row> expected = Oracle(sql);
+    for (size_t batch : {size_t{1}, size_t{3}, size_t{1024}}) {
+      MemoryTracker tracker("query", kTinyBudgetBytes);
+      ExecOptions opts;
+      opts.guards.memory = &tracker;
+      opts.batch_size = batch;
+      auto result = Run(*plan, std::move(opts));
+      ASSERT_TRUE(result.ok())
+          << result.status().ToString() << "\nbatch=" << batch << "\n" << sql;
+      ExpectSameRows(std::move(result.value().rows), expected,
+                     std::string(sql) + " batch=" + std::to_string(batch));
+    }
+  }
+}
+
+TEST_F(BatchExecutorTest, SpillFilesAreRemovedAfterExecution) {
+  auto plan = Plan(kSpillQueries[0]);
+  ASSERT_NE(plan, nullptr);
+  std::string dir = ::testing::TempDir() + "cbqt-spill-test";
+  {
+    MemoryTracker tracker("query", kTinyBudgetBytes);
+    ExecOptions opts;
+    opts.guards.memory = &tracker;
+    opts.spill_dir = dir;
+    auto result = Run(*plan, std::move(opts));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_GE(result.value().stats.spill.files, 1);
+  }
+  // The per-query spill subdirectory (and every temp file in it) is gone.
+  namespace fs = std::filesystem;
+  if (fs::exists(dir)) {
+    EXPECT_TRUE(fs::is_empty(dir));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Guardrails at batch granularity
+// ---------------------------------------------------------------------------
+
+TEST_F(BatchExecutorTest, CancellationLandsMidBatchStream) {
+  auto plan = Plan(kOperatorQueries[1]);  // join: plenty of batches
+  ASSERT_NE(plan, nullptr);
+  CancellationToken token;
+  FaultInjector faults(1);
+  FaultSpec spec;
+  spec.indices = {5};  // trips at the sixth guardrail poll — mid-execution
+  faults.Arm(FaultSite::kCancelAt, spec);
+  ExecOptions opts;
+  opts.guards.cancel = &token;
+  opts.guards.faults = &faults;
+  opts.batch_size = 3;
+  auto result = Run(*plan, std::move(opts));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST_F(BatchExecutorTest, SpillWriteFaultFailsExecutionTyped) {
+  auto plan = Plan(kSpillQueries[0]);
+  ASSERT_NE(plan, nullptr);
+  MemoryTracker tracker("query", kTinyBudgetBytes);
+  FaultInjector faults(1);
+  FaultSpec spec;
+  spec.indices = {0};  // the very first spilled row's write
+  faults.Arm(FaultSite::kExecSpillWrite, spec);
+  ExecOptions opts;
+  opts.guards.memory = &tracker;
+  opts.guards.faults = &faults;
+  auto result = Run(*plan, std::move(opts));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(faults.hits(FaultSite::kExecSpillWrite), 1);
+}
+
+TEST_F(BatchExecutorTest, SpillReadFaultFailsExecutionTyped) {
+  auto plan = Plan(kSpillQueries[0]);
+  ASSERT_NE(plan, nullptr);
+  MemoryTracker tracker("query", kTinyBudgetBytes);
+  FaultInjector faults(1);
+  FaultSpec spec;
+  spec.indices = {0};  // the first row read back from a spill partition
+  faults.Arm(FaultSite::kExecSpillRead, spec);
+  ExecOptions opts;
+  opts.guards.memory = &tracker;
+  opts.guards.faults = &faults;
+  auto result = Run(*plan, std::move(opts));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_GE(faults.hits(FaultSite::kExecSpillRead), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Stats and counting equivalence
+// ---------------------------------------------------------------------------
+
+TEST_F(BatchExecutorTest, RowsProcessedIsBatchSizeInvariant) {
+  // CountBatch(n) must total exactly what per-row counting produced: the
+  // work measure is a property of the plan and data, not of the batching.
+  auto plan = Plan(kOperatorQueries[1]);
+  ASSERT_NE(plan, nullptr);
+  int64_t baseline = -1;
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{1024}}) {
+    ExecOptions opts;
+    opts.batch_size = batch;
+    auto result = Run(*plan, std::move(opts));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (baseline < 0) {
+      baseline = result.value().stats.rows_processed;
+    } else {
+      EXPECT_EQ(result.value().stats.rows_processed, baseline)
+          << "batch=" << batch;
+    }
+  }
+  EXPECT_GT(baseline, 0);
+}
+
+TEST_F(BatchExecutorTest, CollectStatsOffReturnsDefaultStats) {
+  auto plan = Plan(kOperatorQueries[0]);
+  ASSERT_NE(plan, nullptr);
+  ExecOptions opts;
+  opts.collect_stats = false;
+  auto result = Run(*plan, std::move(opts));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().stats.rows_processed, 0);
+  EXPECT_EQ(result.value().stats.batches, 0);
+  EXPECT_FALSE(result.value().rows.empty());
+}
+
+TEST_F(BatchExecutorTest, SubqueryCachingSurvivesBatching) {
+  // The TIS resolver caches per correlation key; with few distinct keys the
+  // cache hit counter must dominate regardless of batch size.
+  const char* sql = kOperatorQueries[4];
+  auto plan = Plan(sql);
+  ASSERT_NE(plan, nullptr);
+  for (size_t batch : {size_t{1}, size_t{1024}}) {
+    ExecOptions opts;
+    opts.batch_size = batch;
+    auto result = Run(*plan, std::move(opts));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (result.value().stats.subquery_executions > 0) {
+      EXPECT_GT(result.value().stats.subquery_cache_hits,
+                result.value().stats.subquery_executions);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cbqt

@@ -53,13 +53,14 @@ class ExecutorTest : public ::testing::Test {
       return {};
     }
     Executor exec(db_);
-    auto rows = exec.Execute(*bp->plan, &stats_);
-    if (!rows.ok()) {
-      ADD_FAILURE() << "exec: " << rows.status().ToString();
+    auto result = exec.Execute(*bp->plan);
+    if (!result.ok()) {
+      ADD_FAILURE() << "exec: " << result.status().ToString();
       return {};
     }
-    SortRowsCanonical(&rows.value());
-    return std::move(rows.value());
+    stats_ = result.value().stats;
+    SortRowsCanonical(&result.value().rows);
+    return std::move(result.value().rows);
   }
 
   Database db_;
@@ -163,13 +164,14 @@ TEST_F(ExecutorTest, OrderByDescWithNulls) {
   auto bp = planner.PlanBlock(*qb);
   ASSERT_TRUE(bp.ok());
   Executor exec(db_);
-  auto rows = exec.Execute(*bp->plan);
-  ASSERT_TRUE(rows.ok());
-  ASSERT_EQ(rows->size(), 5u);
+  auto result = exec.Execute(*bp->plan);
+  ASSERT_TRUE(result.ok());
+  auto& rows = result->rows;
+  ASSERT_EQ(rows.size(), 5u);
   // DESC: NULLS FIRST (Oracle default), then 50, 30, 20, 10.
-  EXPECT_TRUE((*rows)[0][0].is_null());
-  EXPECT_EQ((*rows)[1][0].AsInt(), 50);
-  EXPECT_EQ((*rows)[4][0].AsInt(), 10);
+  EXPECT_TRUE(rows[0][0].is_null());
+  EXPECT_EQ(rows[1][0].AsInt(), 50);
+  EXPECT_EQ(rows[4][0].AsInt(), 10);
 }
 
 TEST_F(ExecutorTest, RownumLimit) {
@@ -261,15 +263,16 @@ TEST_F(ExecutorTest, WindowRunningAverage) {
   auto bp = planner.PlanBlock(*qb);
   ASSERT_TRUE(bp.ok()) << bp.status().ToString();
   Executor exec(db_);
-  auto rows = exec.Execute(*bp->plan);
-  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
-  ASSERT_EQ(rows->size(), 5u);
+  auto result = exec.Execute(*bp->plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto& rows = result->rows;
+  ASSERT_EQ(rows.size(), 5u);
   // grp 1: id1 avg 10, id2 avg 15.
-  EXPECT_DOUBLE_EQ((*rows)[0][1].AsDouble(), 10.0);
-  EXPECT_DOUBLE_EQ((*rows)[1][1].AsDouble(), 15.0);
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(rows[1][1].AsDouble(), 15.0);
   // grp 2: id3 avg 30; id4 (NULL val) running avg still 30.
-  EXPECT_DOUBLE_EQ((*rows)[2][1].AsDouble(), 30.0);
-  EXPECT_DOUBLE_EQ((*rows)[3][1].AsDouble(), 30.0);
+  EXPECT_DOUBLE_EQ(rows[2][1].AsDouble(), 30.0);
+  EXPECT_DOUBLE_EQ(rows[3][1].AsDouble(), 30.0);
 }
 
 TEST_F(ExecutorTest, CaseExpression) {

@@ -295,8 +295,10 @@ TEST_F(FaultInjectionTest, InjectedMemoryPressureSurfacesAsResourceExhausted) {
 TEST_F(FaultInjectionTest, ExecutorMemoryPressureInjectionIsTyped) {
   // A high index skips past the search's clone charges and fires inside a
   // pipeline breaker's spill check: execution fails kResourceExhausted and
-  // the engine counts it in the typed guardrail bucket.
+  // the engine counts it in the typed guardrail bucket. Spill is disabled so
+  // the injected pressure surfaces instead of degrading to disk.
   CbqtConfig cfg = UnnestOnlyConfig();
+  cfg.exec.enable_spill = false;
   cfg.fault_injector = std::make_shared<FaultInjector>(1);
   FaultSpec spec;
   spec.indices = {50};

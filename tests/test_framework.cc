@@ -52,9 +52,9 @@ TEST_F(FrameworkTest, OptimizesAndExecutes) {
       "SELECT e.employee_name FROM employees e WHERE e.salary > 100000");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   Executor exec(*db_);
-  auto rows = exec.Execute(*r->plan);
-  ASSERT_TRUE(rows.ok());
-  EXPECT_GT(rows->size(), 0u);
+  auto result = exec.Execute(*r->plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->rows.size(), 0u);
 }
 
 TEST_F(FrameworkTest, HeuristicPhaseMergesSpjViews) {
@@ -161,7 +161,7 @@ TEST_F(FrameworkTest, InterleavingProtectsUnnesting) {
   auto ra = exec.Execute(*a->plan);
   auto rb = exec.Execute(*b->plan);
   ASSERT_TRUE(ra.ok() && rb.ok());
-  EXPECT_EQ(ra->size(), rb->size());
+  EXPECT_EQ(ra->rows.size(), rb->rows.size());
 }
 
 TEST_F(FrameworkTest, AppliedTransformationsRecorded) {

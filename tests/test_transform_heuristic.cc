@@ -56,14 +56,14 @@ class HeuristicTransformTest : public ::testing::Test {
       return {};
     }
     Executor exec(*db_);
-    auto rows = exec.Execute(*bp->plan);
-    if (!rows.ok()) {
-      ADD_FAILURE() << "exec: " << rows.status().ToString() << "\n"
+    auto result = exec.Execute(*bp->plan);
+    if (!result.ok()) {
+      ADD_FAILURE() << "exec: " << result.status().ToString() << "\n"
                     << BlockToSql(qb);
       return {};
     }
-    SortRowsCanonical(&rows.value());
-    return std::move(rows.value());
+    SortRowsCanonical(&result.value().rows);
+    return std::move(result.value().rows);
   }
 
   std::unique_ptr<Database> db_;

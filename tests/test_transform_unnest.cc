@@ -27,13 +27,13 @@ class UnnestViewTest : public ::testing::Test {
       return {};
     }
     Executor exec(*db_);
-    auto rows = exec.Execute(*bp->plan);
-    if (!rows.ok()) {
-      ADD_FAILURE() << rows.status().ToString() << "\n" << BlockToSql(qb);
+    auto result = exec.Execute(*bp->plan);
+    if (!result.ok()) {
+      ADD_FAILURE() << result.status().ToString() << "\n" << BlockToSql(qb);
       return {};
     }
-    SortRowsCanonical(&rows.value());
-    return std::move(rows.value());
+    SortRowsCanonical(&result.value().rows);
+    return std::move(result.value().rows);
   }
 
   // Applies the all-ones state and verifies result equivalence.
