@@ -12,11 +12,12 @@
 # aggregation / distinct state through SpillManager temp files under a tiny
 # memory budget, so the serialize/partition/merge paths run under ASan).
 #
-#   $ ./ci.sh              # release + tsan + asan + bench-smoke
+#   $ ./ci.sh              # release + tsan + asan + bench-smoke + fuzz-smoke
 #   $ ./ci.sh release      # just the release config
 #   $ ./ci.sh tsan         # just the thread-sanitizer config
 #   $ ./ci.sh asan         # just the address/UB-sanitizer config
 #   $ ./ci.sh bench-smoke  # quick Release run of the perf benches
+#   $ ./ci.sh fuzz-smoke   # time-boxed metamorphic differential fuzz leg
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -80,6 +81,38 @@ if [[ "${want}" == "all" || "${want}" == "bench-smoke" ]]; then
   # noise reason as bench_guardrails (best-of comparison on a loaded box).
   echo "=== [bench-smoke] bench_executor ==="
   (cd "${dir}" && ./bench/bench_executor --reps 5)
+fi
+
+if [[ "${want}" == "all" || "${want}" == "fuzz-smoke" ]]; then
+  # Time-boxed metamorphic differential fuzzing (fixed seed, so the leg is
+  # reproducible): random queries + equivalence-preserving mutants, every
+  # execution differenced across the full oracle deck (4 search strategies,
+  # transform masks, 1/4 threads, batch/spill settings) against the
+  # reference interpreter. Three gates:
+  #   1. ~60 s fuzz run with >= 500 differential executions, zero diffs;
+  #   2. canary proof: --canary seeds a known bug, the run MUST catch it
+  #      (a fuzzer that cannot find the canary is not testing anything);
+  #   3. fault sweep: probabilistic fault injection at the planner and
+  #      executor sites must degrade cleanly (clean error or clean result,
+  #      never wrong rows).
+  dir="build-ci-release"
+  echo "=== [fuzz-smoke] configure + build ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "${dir}" -j "${jobs}" --target fuzz_cbqt
+  echo "=== [fuzz-smoke] differential fuzz (60s, seed 7) ==="
+  (cd "${dir}" && ./tools/fuzz_cbqt --seed 7 --time-box-ms 60000 \
+      --min-execs 500)
+  echo "=== [fuzz-smoke] canary proof ==="
+  if (cd "${dir}" && ./tools/fuzz_cbqt --seed 11 --canary --rounds 20 \
+      --time-box-ms 0 --mutants 0 >/dev/null 2>&1); then
+    echo "FAIL: canary bug was not detected" >&2
+    exit 1
+  fi
+  echo "canary caught (exit 1 as required)"
+  echo "=== [fuzz-smoke] fault-injection sweep ==="
+  (cd "${dir}" && ./tools/fuzz_cbqt --seed 3 --rounds 40 --time-box-ms 0 \
+      --fault-sweep "exec-batch:p=0.02;planner:every=7;exec-spill-write:p=0.01" \
+      --fault-seed 5)
 fi
 
 if [[ "${want}" == "all" || "${want}" == "asan" ]]; then

@@ -1,6 +1,7 @@
 #include "common/fault_injector.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -42,8 +43,122 @@ const char* FaultSiteName(FaultSite site) {
   return "?";
 }
 
+bool FaultSiteFromName(const std::string& name, FaultSite* out) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    FaultSite s = static_cast<FaultSite>(i);
+    if (name == FaultSiteName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
 void FaultInjector::Arm(FaultSite site, FaultSpec spec) {
   specs_[static_cast<size_t>(site)] = std::move(spec);
+}
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    std::string piece = s.substr(start, end - start);
+    if (!piece.empty()) out.push_back(std::move(piece));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<FaultInjector>> FaultInjector::Parse(
+    const std::string& sites, uint64_t seed) {
+  auto injector = std::make_shared<FaultInjector>(seed);
+  // Clauses for the same site accumulate into one spec, so a delay and an
+  // index list can be given as separate clauses.
+  std::array<FaultSpec, kNumFaultSites> specs;
+  for (const std::string& clause : SplitOn(sites, ';')) {
+    size_t colon = clause.find(':');
+    size_t eq = clause.find('=');
+    if (colon == std::string::npos || eq == std::string::npos || eq < colon) {
+      return Status::InvalidArgument("fault clause not <site>:<key>=<value>: " +
+                                     clause);
+    }
+    std::string site_name = clause.substr(0, colon);
+    std::string key = clause.substr(colon + 1, eq - colon - 1);
+    std::string value = clause.substr(eq + 1);
+    FaultSite site;
+    if (!FaultSiteFromName(site_name, &site)) {
+      return Status::InvalidArgument("unknown fault site: " + site_name);
+    }
+    FaultSpec& spec = specs[static_cast<size_t>(site)];
+    char* end = nullptr;
+    if (key == "every") {
+      spec.every_n = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || spec.every_n <= 0) {
+        return Status::InvalidArgument("bad every=N in fault clause: " +
+                                       clause);
+      }
+    } else if (key == "p") {
+      spec.probability = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || spec.probability <= 0 ||
+          spec.probability > 1) {
+        return Status::InvalidArgument("bad p=X in fault clause: " + clause);
+      }
+    } else if (key == "at") {
+      for (const std::string& idx : SplitOn(value, '|')) {
+        int64_t i = std::strtoll(idx.c_str(), &end, 10);
+        if (end == idx.c_str() || *end != '\0' || i < 0) {
+          return Status::InvalidArgument("bad at=I|J in fault clause: " +
+                                         clause);
+        }
+        spec.indices.push_back(i);
+      }
+      if (spec.indices.empty()) {
+        return Status::InvalidArgument("empty at= in fault clause: " + clause);
+      }
+    } else if (key == "delay") {
+      spec.delay_ms = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || spec.delay_ms < 0) {
+        return Status::InvalidArgument("bad delay=MS in fault clause: " +
+                                       clause);
+      }
+    } else {
+      return Status::InvalidArgument("unknown fault clause key: " + key);
+    }
+  }
+  bool any = false;
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    if (!specs[static_cast<size_t>(i)].armed()) continue;
+    injector->Arm(static_cast<FaultSite>(i),
+                  std::move(specs[static_cast<size_t>(i)]));
+    any = true;
+  }
+  if (!any) {
+    return Status::InvalidArgument("fault spec arms no site: " + sites);
+  }
+  return injector;
+}
+
+Result<std::shared_ptr<FaultInjector>> FaultInjector::FromEnv() {
+  const char* sites = std::getenv("CBQT_FAULT_SITES");
+  if (sites == nullptr || *sites == '\0') {
+    return std::shared_ptr<FaultInjector>();
+  }
+  uint64_t seed = 0;
+  if (const char* seed_env = std::getenv("CBQT_FAULT_SEED")) {
+    char* end = nullptr;
+    seed = std::strtoull(seed_env, &end, 10);
+    if (end == seed_env || *end != '\0') {
+      return Status::InvalidArgument(std::string("bad CBQT_FAULT_SEED: ") +
+                                     seed_env);
+    }
+  }
+  return Parse(sites, seed);
 }
 
 bool FaultInjector::Fires(FaultSite site, int64_t index) const {

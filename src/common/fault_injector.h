@@ -4,6 +4,8 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -26,6 +28,9 @@ enum class FaultSite : int {
 inline constexpr int kNumFaultSites = 9;
 
 const char* FaultSiteName(FaultSite site);
+
+/// Inverse of FaultSiteName; false when `name` matches no site.
+bool FaultSiteFromName(const std::string& name, FaultSite* out);
 
 /// What fires at one site. A site's hits are numbered 0, 1, 2, ... in
 /// process order (the counter is atomic, so every hit gets a unique index
@@ -62,6 +67,22 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   void Arm(FaultSite site, FaultSpec spec);
+
+  /// Builds an armed injector from a textual site spec — semicolon-separated
+  /// clauses of `<site>:<key>=<value>` where `<site>` is a FaultSiteName
+  /// string and `<key>` is one of `every` (fire every Nth hit), `p` (firing
+  /// probability per hit), `at` (explicit hit indices, '|'-separated), or
+  /// `delay` (stall milliseconds, for slow-state sites). Clauses for the
+  /// same site merge into one FaultSpec. Example:
+  ///   "exec-batch:p=0.001;planner:every=50;slow-state:at=0|3;slow-state:delay=20"
+  static Result<std::shared_ptr<FaultInjector>> Parse(
+      const std::string& sites, uint64_t seed);
+
+  /// Reads CBQT_FAULT_SITES / CBQT_FAULT_SEED from the environment so fuzz
+  /// sweeps and local repro runs can inject faults without code edits.
+  /// Returns OK + nullptr when CBQT_FAULT_SITES is unset or empty, and an
+  /// error Status when either variable is malformed.
+  static Result<std::shared_ptr<FaultInjector>> FromEnv();
 
   /// Consumes one hit at `site`; returns an injected kInternal error when it
   /// fires, OK otherwise.

@@ -1,0 +1,44 @@
+#ifndef CBQT_FUZZ_GENERATOR_H_
+#define CBQT_FUZZ_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "workload/schema_gen.h"
+
+namespace cbqt {
+
+/// Knobs for the random query generator. Probabilities are per-query shape
+/// decisions; the cross-row caps bound the reference interpreter's cost
+/// (it materializes the full cross product of comma-joined tables before
+/// WHERE, so the product of joined cardinalities is the cost driver).
+struct FuzzGenConfig {
+  int max_relations = 4;       ///< joined relations per block
+  double view_prob = 0.30;     ///< wrap a relation in a derived view
+  double subquery_prob = 0.30; ///< add a correlated/uncorrelated subquery
+  double setop_prob = 0.12;    ///< whole query is a set operation
+  double rownum_prob = 0.08;   ///< pullup shape: ordered view + outer ROWNUM
+  double window_prob = 0.06;   ///< window-view shape over accounts
+  double groupby_prob = 0.22;  ///< block aggregates (GROUP BY [+ HAVING])
+  double distinct_prob = 0.10; ///< SELECT DISTINCT (when not grouping)
+  double left_join_prob = 0.18;///< render a join as LEFT OUTER JOIN ... ON
+  double disjunct_prob = 0.30; ///< OR across two filters
+  int64_t max_cross_rows = 400000;
+  int64_t max_cross_rows_with_subquery = 25000;
+};
+
+/// Generates one random SQL query over the HR schema — a pure function of
+/// (seed, schema cardinalities, cfg). Unlike workload/query_gen (fixed
+/// per-family templates with random literals), structure is random too:
+/// which tables join, join shape (comma vs LEFT OUTER JOIN), derived views
+/// (filtered / DISTINCT / GROUP BY / UNION ALL), subquery forms
+/// (EXISTS / NOT EXISTS / IN / NOT IN / scalar aggregate), grouping,
+/// disjunctions, IN-lists, IS NULL, set operations, ROWNUM-limited ordered
+/// views, and window views. Every generated query parses and binds against
+/// a database built from the same SchemaConfig.
+std::string GenerateFuzzQuery(uint64_t seed, const SchemaConfig& schema,
+                              const FuzzGenConfig& cfg = {});
+
+}  // namespace cbqt
+
+#endif  // CBQT_FUZZ_GENERATOR_H_

@@ -1,0 +1,259 @@
+#include "fuzz/mutator.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/value.h"
+#include "parser/parser.h"
+#include "sql/expr_util.h"
+#include "sql/query_block.h"
+#include "sql/unparser.h"
+
+namespace cbqt {
+
+namespace {
+
+// All mutations run on freshly parsed (unbound, un-shared) trees, so plain
+// mutable visits are fine — there is nothing COW-shared to thaw.
+
+ExprPtr MakeTrueConjunct() {
+  return MakeBinary(BinaryOp::kEq, MakeLiteral(Value::Int(1)),
+                    MakeLiteral(Value::Int(1)));
+}
+
+// Conjunct lists we may mutate: WHERE and HAVING of every block. ROWNUM
+// conjuncts are left alone by the structural mutations — the binder only
+// recognizes a bare `ROWNUM <= k` comparison when turning it into a limit,
+// so wrapping one would change semantics.
+struct ConjunctSlot {
+  std::vector<ExprPtr>* list;
+  size_t index;
+};
+
+void CollectConjunctSlots(QueryBlock* root, bool skip_rownum,
+                          std::vector<ConjunctSlot>* out) {
+  VisitAllBlocks(root, [&](QueryBlock* qb) {
+    for (auto* list : {&qb->where, &qb->having}) {
+      for (size_t i = 0; i < list->size(); ++i) {
+        if (skip_rownum && ContainsRownum(*(*list)[i])) continue;
+        out->push_back({list, i});
+      }
+    }
+  });
+}
+
+bool PickSlot(QueryBlock* root, Rng& rng, ConjunctSlot* out) {
+  std::vector<ConjunctSlot> slots;
+  CollectConjunctSlots(root, /*skip_rownum=*/true, &slots);
+  if (slots.empty()) return false;
+  *out = slots[rng.NextUint(slots.size())];
+  return true;
+}
+
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng& rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    std::swap((*v)[i - 1], (*v)[rng.NextUint(i)]);
+  }
+}
+
+// ---- the catalog ----------------------------------------------------------
+
+bool MutShuffleConjuncts(QueryBlock* root, Rng& rng) {
+  std::vector<std::vector<ExprPtr>*> lists;
+  VisitAllBlocks(root, [&](QueryBlock* qb) {
+    if (qb->where.size() >= 2) lists.push_back(&qb->where);
+    if (qb->having.size() >= 2) lists.push_back(&qb->having);
+  });
+  if (lists.empty()) return false;
+  Shuffle(lists[rng.NextUint(lists.size())], rng);
+  return true;
+}
+
+bool MutDoubleNegate(QueryBlock* root, Rng& rng) {
+  ConjunctSlot s;
+  if (!PickSlot(root, rng, &s)) return false;
+  ExprPtr& p = (*s.list)[s.index];
+  p = MakeUnary(UnaryOp::kNot, MakeUnary(UnaryOp::kNot, std::move(p)));
+  return true;
+}
+
+// p AND q -> NOT (NOT p OR NOT q); p OR q -> NOT (NOT p AND NOT q).
+// Exact under three-valued logic (NOT UNKNOWN = UNKNOWN both sides).
+bool MutDeMorgan(QueryBlock* root, Rng& rng) {
+  std::vector<Expr*> ands;
+  VisitAllExprs(root, [&](Expr* e) {
+    if (e->kind == ExprKind::kBinary &&
+        (e->bop == BinaryOp::kAnd || e->bop == BinaryOp::kOr) &&
+        !ContainsRownum(*e)) {
+      ands.push_back(e);
+    }
+  });
+  if (ands.empty()) return false;
+  Expr* e = ands[rng.NextUint(ands.size())];
+  BinaryOp dual = e->bop == BinaryOp::kAnd ? BinaryOp::kOr : BinaryOp::kAnd;
+  ExprPtr inner = MakeBinary(
+      dual, MakeUnary(UnaryOp::kNot, std::move(e->children[0])),
+      MakeUnary(UnaryOp::kNot, std::move(e->children[1])));
+  ExprPtr wrapped = MakeUnary(UnaryOp::kNot, std::move(inner));
+  *e = std::move(*wrapped);
+  return true;
+}
+
+bool MutAppendTrue(QueryBlock* root, Rng& rng) {
+  std::vector<QueryBlock*> blocks;
+  VisitAllBlocks(root, [&](QueryBlock* qb) {
+    if (!qb->IsSetOp()) blocks.push_back(qb);
+  });
+  if (blocks.empty()) return false;
+  blocks[rng.NextUint(blocks.size())]->where.push_back(MakeTrueConjunct());
+  return true;
+}
+
+bool MutSwapComparison(QueryBlock* root, Rng& rng) {
+  std::vector<Expr*> cmps;
+  VisitAllExprs(root, [&](Expr* e) {
+    if (e->kind == ExprKind::kBinary && IsComparisonOp(e->bop) &&
+        e->children.size() == 2) {
+      cmps.push_back(e);
+    }
+  });
+  if (cmps.empty()) return false;
+  Expr* e = cmps[rng.NextUint(cmps.size())];
+  e->bop = SwapComparison(e->bop);
+  std::swap(e->children[0], e->children[1]);
+  return true;
+}
+
+// Permute a comma-join FROM list. Inner joins keep their predicates in
+// WHERE (alias-qualified), so entry order carries no semantics; skip blocks
+// with outer/semi/anti entries (ON conds reference "entries before me") and
+// lateral views.
+bool MutCommuteFrom(QueryBlock* root, Rng& rng) {
+  std::vector<QueryBlock*> blocks;
+  VisitAllBlocks(root, [&](QueryBlock* qb) {
+    if (qb->from.size() < 2) return;
+    for (const auto& tr : qb->from) {
+      if (tr.join != JoinKind::kInner || !tr.join_conds.empty() ||
+          tr.lateral) {
+        return;
+      }
+    }
+    blocks.push_back(qb);
+  });
+  if (blocks.empty()) return false;
+  Shuffle(&blocks[rng.NextUint(blocks.size())]->from, rng);
+  return true;
+}
+
+bool MutDuplicateDisjunct(QueryBlock* root, Rng& rng) {
+  ConjunctSlot s;
+  if (!PickSlot(root, rng, &s)) return false;
+  ExprPtr& p = (*s.list)[s.index];
+  // Subquery conjuncts stay single (cloning one doubles reference-executor
+  // cost for nothing and defeats unnesting on both copies).
+  if (ContainsSubquery(*p)) return false;
+  ExprPtr copy = p->Clone();
+  p = MakeBinary(BinaryOp::kOr, std::move(p), std::move(copy));
+  return true;
+}
+
+// p -> CASE WHEN p THEN TRUE END. The CASE yields NULL where p is FALSE or
+// UNKNOWN — interchangeable with p at conjunct position (both filter the
+// row), though not inside a NOT, so this only ever wraps whole conjuncts.
+bool MutCaseWrap(QueryBlock* root, Rng& rng) {
+  ConjunctSlot s;
+  if (!PickSlot(root, rng, &s)) return false;
+  ExprPtr& p = (*s.list)[s.index];
+  auto c = std::make_unique<Expr>();
+  c->kind = ExprKind::kCase;
+  c->children.push_back(std::move(p));
+  c->children.push_back(MakeLiteral(Value::Boolean(true)));
+  p = std::move(c);
+  return true;
+}
+
+// x IN (SELECT c FROM ...) -> EXISTS (SELECT ... WHERE c = x). Equivalent
+// at conjunct position (IN's UNKNOWN collapses to EXISTS's FALSE — both
+// reject the row). Guards keep it syntactic: plain column operand, simple
+// non-aggregating non-compound subquery selecting a plain column.
+bool MutInToExists(QueryBlock* root, Rng& rng) {
+  std::vector<ConjunctSlot> slots;
+  CollectConjunctSlots(root, /*skip_rownum=*/true, &slots);
+  std::vector<ConjunctSlot> cands;
+  for (const auto& s : slots) {
+    const Expr& e = *(*s.list)[s.index];
+    if (e.kind != ExprKind::kSubquery || e.subkind != SubqueryKind::kIn) {
+      continue;
+    }
+    if (e.children.size() != 1 ||
+        e.children[0]->kind != ExprKind::kColumnRef) {
+      continue;
+    }
+    const QueryBlock* sub = e.subquery.get();
+    if (sub == nullptr || sub->IsSetOp() || sub->IsAggregating() ||
+        !sub->group_by.empty() || !sub->having.empty() ||
+        sub->rownum_limit >= 0 || sub->distinct) {
+      continue;
+    }
+    if (sub->select.size() != 1 ||
+        sub->select[0].expr->kind != ExprKind::kColumnRef) {
+      continue;
+    }
+    cands.push_back(s);
+  }
+  if (cands.empty()) return false;
+  const ConjunctSlot& s = cands[rng.NextUint(cands.size())];
+  ExprPtr& slot = (*s.list)[s.index];
+  Expr* e = slot.get();
+  QueryBlock* sub = e->subquery.write();
+  ExprPtr inner_col = sub->select[0].expr->Clone();
+  sub->where.push_back(MakeBinary(BinaryOp::kEq, std::move(inner_col),
+                                  std::move(e->children[0])));
+  e->children.clear();
+  e->subkind = SubqueryKind::kExists;
+  return true;
+}
+
+using MutFn = bool (*)(QueryBlock*, Rng&);
+
+const MutFn kMutations[] = {
+    MutShuffleConjuncts, MutDoubleNegate,      MutDeMorgan,
+    MutAppendTrue,       MutSwapComparison,    MutCommuteFrom,
+    MutDuplicateDisjunct, MutCaseWrap,         MutInToExists,
+};
+
+}  // namespace
+
+std::vector<std::string> GenerateEquivalentMutants(const std::string& sql,
+                                                   int count, uint64_t seed) {
+  std::vector<std::string> out;
+  Rng rng(seed);
+  constexpr int kMaxAttempts = 4;
+  for (int m = 0; m < count; ++m) {
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      auto parsed = ParseSql(sql);
+      if (!parsed.ok()) return out;  // not our bug to mask — caller checks
+      QueryBlock* root = parsed.value().get();
+      int nmut = 1 + static_cast<int>(rng.NextUint(3));
+      int applied = 0;
+      for (int i = 0; i < nmut; ++i) {
+        constexpr size_t kNum = sizeof(kMutations) / sizeof(kMutations[0]);
+        if (kMutations[rng.NextUint(kNum)](root, rng)) ++applied;
+      }
+      if (applied == 0) continue;
+      std::string mutant = BlockToSql(*root);
+      if (mutant == sql) continue;
+      // A mutant that fails to re-parse would crash the oracle with a
+      // confusing error; drop it here (the harness's round-trip leg catches
+      // genuine unparser bugs on the original query).
+      if (!ParseSql(mutant).ok()) continue;
+      out.push_back(std::move(mutant));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cbqt

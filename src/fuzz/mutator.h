@@ -1,0 +1,35 @@
+#ifndef CBQT_FUZZ_MUTATOR_H_
+#define CBQT_FUZZ_MUTATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbqt {
+
+/// Produces up to `count` semantically equivalent variants of `sql` by
+/// applying 1–3 random equivalence-preserving AST mutations and unparsing.
+/// The mutation catalog (all exact under SQL's three-valued logic at the
+/// positions where they are applied):
+///   - shuffle the WHERE/HAVING conjunct list of a random block
+///   - double negation: p -> NOT (NOT p)
+///   - De Morgan on an AND/OR node under a NOT, or introduced with one
+///   - append a redundant TRUE conjunct ((1 = 1))
+///   - swap comparison operands: a < b -> b > a
+///   - commute comma-joined FROM entries (inner joins carry their
+///     predicates in WHERE, so order is semantics-free)
+///   - duplicate a disjunct: p -> (p OR p)
+///   - wrap a top-level WHERE/HAVING conjunct as CASE WHEN p THEN TRUE END
+///     (FALSE and UNKNOWN are interchangeable at conjunct position)
+///   - rewrite `x IN (SELECT c FROM ...)` at conjunct position into a
+///     correlated EXISTS (guarded: simple column operand, non-aggregating
+///     non-compound subquery)
+/// Variants that fail to re-parse are dropped (that would be a bug the
+/// harness reports separately via the round-trip check), so the result may
+/// have fewer than `count` entries. Deterministic in (sql, count, seed).
+std::vector<std::string> GenerateEquivalentMutants(const std::string& sql,
+                                                   int count, uint64_t seed);
+
+}  // namespace cbqt
+
+#endif  // CBQT_FUZZ_MUTATOR_H_

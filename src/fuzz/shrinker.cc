@@ -1,0 +1,255 @@
+#include "fuzz/shrinker.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "parser/parser.h"
+#include "sql/expr_util.h"
+#include "sql/query_block.h"
+#include "sql/unparser.h"
+
+namespace cbqt {
+
+namespace {
+
+// Candidates address blocks by their VisitAllBlocks pre-order ordinal so an
+// enumeration over one tree can be applied to a fresh clone of it.
+std::vector<QueryBlock*> CollectBlocks(QueryBlock* root) {
+  std::vector<QueryBlock*> out;
+  VisitAllBlocks(root, [&](QueryBlock* qb) { out.push_back(qb); });
+  return out;
+}
+
+enum class CandKind {
+  kPromoteBlock,   // nested block `block` becomes the whole query
+  kDropFrom,       // from[a] plus every expr referencing its alias
+  kDropWhere,      // where[a]
+  kDropHaving,     // having[a]
+  kDropSelect,     // select[a] (keeps at least one item)
+  kDropGroupBy,    // group_by[a]
+  kDropOrderBy,    // order_by[a]
+  kClearDistinct,
+  kOrToLeft,       // where[a] = (p OR q) -> p
+  kOrToRight,      // where[a] = (p OR q) -> q
+  kUnwrapConjunct, // where[a]: NOT(NOT p) -> p, CASE WHEN p THEN x END -> p
+};
+
+struct Cand {
+  CandKind kind;
+  int block = 0;
+  int a = 0;
+};
+
+bool IsOr(const Expr& e) {
+  return e.kind == ExprKind::kBinary && e.bop == BinaryOp::kOr;
+}
+
+bool IsDoubleNot(const Expr& e) {
+  return e.kind == ExprKind::kUnary && e.uop == UnaryOp::kNot &&
+         e.children.size() == 1 && e.children[0]->kind == ExprKind::kUnary &&
+         e.children[0]->uop == UnaryOp::kNot;
+}
+
+bool IsCaseWrap(const Expr& e) {
+  return e.kind == ExprKind::kCase && e.children.size() == 2;
+}
+
+// Bigger reductions enumerate first; greedy acceptance restarts after each
+// hit, so the order doubles as a priority.
+std::vector<Cand> Enumerate(QueryBlock* root) {
+  std::vector<Cand> out;
+  std::vector<QueryBlock*> blocks = CollectBlocks(root);
+  for (size_t b = 1; b < blocks.size(); ++b) {
+    out.push_back({CandKind::kPromoteBlock, static_cast<int>(b), 0});
+  }
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    QueryBlock* qb = blocks[b];
+    int bi = static_cast<int>(b);
+    if (qb->from.size() >= 2) {
+      for (size_t i = 0; i < qb->from.size(); ++i) {
+        out.push_back({CandKind::kDropFrom, bi, static_cast<int>(i)});
+      }
+    }
+    for (size_t i = 0; i < qb->where.size(); ++i) {
+      out.push_back({CandKind::kDropWhere, bi, static_cast<int>(i)});
+    }
+    for (size_t i = 0; i < qb->having.size(); ++i) {
+      out.push_back({CandKind::kDropHaving, bi, static_cast<int>(i)});
+    }
+    if (qb->select.size() >= 2) {
+      for (size_t i = 0; i < qb->select.size(); ++i) {
+        out.push_back({CandKind::kDropSelect, bi, static_cast<int>(i)});
+      }
+    }
+    for (size_t i = 0; i < qb->group_by.size(); ++i) {
+      out.push_back({CandKind::kDropGroupBy, bi, static_cast<int>(i)});
+    }
+    for (size_t i = 0; i < qb->order_by.size(); ++i) {
+      out.push_back({CandKind::kDropOrderBy, bi, static_cast<int>(i)});
+    }
+    if (qb->distinct) out.push_back({CandKind::kClearDistinct, bi, 0});
+    for (size_t i = 0; i < qb->where.size(); ++i) {
+      const Expr& e = *qb->where[i];
+      if (IsOr(e)) {
+        out.push_back({CandKind::kOrToLeft, bi, static_cast<int>(i)});
+        out.push_back({CandKind::kOrToRight, bi, static_cast<int>(i)});
+      }
+      if (IsDoubleNot(e) || IsCaseWrap(e)) {
+        out.push_back({CandKind::kUnwrapConjunct, bi, static_cast<int>(i)});
+      }
+    }
+  }
+  return out;
+}
+
+// Removes from[a] of `qb` and every expression (anywhere in the tree) that
+// references its alias. Sloppy on purpose: the property check decides
+// whether the result is still interesting.
+void DropFromEntry(QueryBlock* root, QueryBlock* qb, size_t a) {
+  std::string alias = qb->from[a].alias;
+  qb->from.erase(qb->from.begin() + static_cast<long>(a));
+  if (!qb->from.empty() && qb->from[0].join != JoinKind::kInner) {
+    // The first FROM entry cannot carry an ON clause; fold it to inner and
+    // let the conds become WHERE conjuncts.
+    qb->from[0].join = JoinKind::kInner;
+    for (auto& c : qb->from[0].join_conds) {
+      qb->where.push_back(std::move(c));
+    }
+    qb->from[0].join_conds.clear();
+  }
+  VisitAllBlocks(root, [&](QueryBlock* b) {
+    auto drop_refs = [&](std::vector<ExprPtr>* list) {
+      list->erase(std::remove_if(list->begin(), list->end(),
+                                 [&](const ExprPtr& e) {
+                                   return ExprUsesAlias(*e, alias);
+                                 }),
+                  list->end());
+    };
+    drop_refs(&b->where);
+    drop_refs(&b->having);
+    drop_refs(&b->group_by);
+    for (auto& tr : b->from) drop_refs(&tr.join_conds);
+    b->select.erase(std::remove_if(b->select.begin(), b->select.end(),
+                                   [&](const SelectItem& it) {
+                                     return ExprUsesAlias(*it.expr, alias);
+                                   }),
+                    b->select.end());
+    b->order_by.erase(std::remove_if(b->order_by.begin(), b->order_by.end(),
+                                     [&](const OrderItem& it) {
+                                       return ExprUsesAlias(*it.expr, alias);
+                                     }),
+                      b->order_by.end());
+    if (b->select.empty() && !b->IsSetOp()) {
+      SelectItem one;
+      one.expr = MakeLiteral(Value::Int(1));
+      b->select.push_back(std::move(one));
+    }
+  });
+}
+
+bool Apply(QueryBlock* root, const Cand& c) {
+  std::vector<QueryBlock*> blocks = CollectBlocks(root);
+  if (c.block < 0 || static_cast<size_t>(c.block) >= blocks.size()) {
+    return false;
+  }
+  QueryBlock* qb = blocks[static_cast<size_t>(c.block)];
+  size_t a = static_cast<size_t>(c.a);
+  switch (c.kind) {
+    case CandKind::kPromoteBlock: {
+      auto promoted = qb->Clone();
+      *root = std::move(*promoted);
+      return true;
+    }
+    case CandKind::kDropFrom:
+      if (a >= qb->from.size() || qb->from.size() < 2) return false;
+      DropFromEntry(root, qb, a);
+      return true;
+    case CandKind::kDropWhere:
+      if (a >= qb->where.size()) return false;
+      qb->where.erase(qb->where.begin() + static_cast<long>(a));
+      return true;
+    case CandKind::kDropHaving:
+      if (a >= qb->having.size()) return false;
+      qb->having.erase(qb->having.begin() + static_cast<long>(a));
+      return true;
+    case CandKind::kDropSelect:
+      if (a >= qb->select.size() || qb->select.size() < 2) return false;
+      qb->select.erase(qb->select.begin() + static_cast<long>(a));
+      return true;
+    case CandKind::kDropGroupBy:
+      if (a >= qb->group_by.size()) return false;
+      qb->group_by.erase(qb->group_by.begin() + static_cast<long>(a));
+      qb->grouping_sets.clear();
+      return true;
+    case CandKind::kDropOrderBy:
+      if (a >= qb->order_by.size()) return false;
+      qb->order_by.erase(qb->order_by.begin() + static_cast<long>(a));
+      return true;
+    case CandKind::kClearDistinct:
+      if (!qb->distinct) return false;
+      qb->distinct = false;
+      return true;
+    case CandKind::kOrToLeft:
+    case CandKind::kOrToRight: {
+      if (a >= qb->where.size() || !IsOr(*qb->where[a])) return false;
+      size_t side = c.kind == CandKind::kOrToLeft ? 0 : 1;
+      qb->where[a] = std::move(qb->where[a]->children[side]);
+      return true;
+    }
+    case CandKind::kUnwrapConjunct: {
+      if (a >= qb->where.size()) return false;
+      Expr& e = *qb->where[a];
+      if (IsDoubleNot(e)) {
+        qb->where[a] = std::move(e.children[0]->children[0]);
+        return true;
+      }
+      if (IsCaseWrap(e)) {
+        qb->where[a] = std::move(e.children[0]);
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkQuery(const std::string& sql,
+                         const FailureProperty& still_fails, int max_evals) {
+  ShrinkResult result;
+  result.sql = sql;
+  auto parsed = ParseSql(sql);
+  if (!parsed.ok()) return result;
+  std::unique_ptr<QueryBlock> current = std::move(parsed.value());
+
+  bool progress = true;
+  while (progress && result.candidates_tried < max_evals) {
+    progress = false;
+    for (const Cand& c : Enumerate(current.get())) {
+      if (result.candidates_tried >= max_evals) break;
+      auto trial = current->Clone();
+      if (!Apply(trial.get(), c)) continue;
+      std::string trial_sql = BlockToSql(*trial);
+      if (trial_sql == result.sql) continue;
+      // Unparse -> reparse keeps `current` in parser normal form so ordinals
+      // stay meaningful across rounds.
+      auto reparsed = ParseSql(trial_sql);
+      if (!reparsed.ok()) continue;
+      ++result.candidates_tried;
+      if (!still_fails(trial_sql)) continue;
+      current = std::move(reparsed.value());
+      result.sql = std::move(trial_sql);
+      ++result.accepted;
+      progress = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cbqt

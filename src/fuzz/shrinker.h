@@ -1,0 +1,36 @@
+#ifndef CBQT_FUZZ_SHRINKER_H_
+#define CBQT_FUZZ_SHRINKER_H_
+
+#include <functional>
+#include <string>
+
+namespace cbqt {
+
+/// Predicate over candidate SQL texts: true when the candidate still
+/// reproduces the failure being minimized. Implementations must treat
+/// unparseable / unbindable candidates as "does not fail" (return false)
+/// rather than erroring.
+using FailureProperty = std::function<bool(const std::string& sql)>;
+
+struct ShrinkResult {
+  std::string sql;          ///< smallest failing query found
+  int candidates_tried = 0; ///< property evaluations spent
+  int accepted = 0;         ///< reduction steps that kept the failure
+};
+
+/// Greedily minimizes a failing query: repeatedly tries structural
+/// reductions (promote a nested block to the whole query, drop a FROM entry
+/// together with every expression referencing it, drop WHERE/HAVING
+/// conjuncts, select/group/order items, clear DISTINCT, collapse OR to one
+/// side, unwrap NOT(NOT p) and CASE WHEN p THEN TRUE END) and keeps the
+/// first candidate for which `still_fails` holds, restarting until a fixed
+/// point or `max_evals` property evaluations. Candidates are sloppy — they
+/// need not preserve semantics, only the failure — which is what lets the
+/// shrinker cut relations out of a join.
+ShrinkResult ShrinkQuery(const std::string& sql,
+                         const FailureProperty& still_fails,
+                         int max_evals = 400);
+
+}  // namespace cbqt
+
+#endif  // CBQT_FUZZ_SHRINKER_H_

@@ -151,7 +151,7 @@ double GroupOutputRows(const std::vector<ExprPtr>& keys,
 Result<JoinStepPlan> Planner::BuildScan(
     const TableRef& tr, const std::vector<const Expr*>& filters,
     const std::vector<std::pair<std::string, const Expr*>>& extra_probes,
-    const StatsContext& ctx) {
+    const StatsContext& ctx, std::set<const Expr*>* used_extra_probes) {
   const CostParams& P = params_;
   const RelStats* rel = ctx.FindRelation(tr.alias);
   double base_rows = rel != nullptr ? rel->rows : 1000;
@@ -268,6 +268,9 @@ Result<JoinStepPlan> Planner::BuildScan(
   for (const Probe* u : best_used) {
     node->probes.push_back(u->value->Clone());
     if (u->source != nullptr) used_sources.insert(u->source);
+    if (u->source == nullptr && used_extra_probes != nullptr) {
+      used_extra_probes->insert(u->value);
+    }
   }
   for (const Expr* f : filters) {
     if (used_sources.count(f) == 0) node->filter.push_back(f->Clone());
@@ -346,18 +349,26 @@ class BlockJoinCoster : public JoinCoster {
     uint64_t bit = 1ULL << rel;
     uint64_t new_mask = left_mask | bit;
 
+    JoinKind kind = r.tr->join;
+    bool null_aware = kind == JoinKind::kAntiNA;
+
     // Applicable predicates: WHERE join predicates completed by adding
-    // `rel`, plus the relation's own ON/unnesting conditions.
+    // `rel`, plus the relation's own ON/unnesting conditions. WHERE
+    // predicates completed at an outer join must NOT become part of the
+    // join condition (that would re-admit null-extended rows the WHERE
+    // clause rejects); they are applied as a filter above the join.
     std::vector<const Expr*> conds;
+    std::vector<const Expr*> post_conds;
     for (const auto& p : preds_) {
       if ((p.mask & ~new_mask) == 0 && (p.mask & bit) != 0) {
-        conds.push_back(p.expr);
+        if (kind == JoinKind::kLeftOuter) {
+          post_conds.push_back(p.expr);
+        } else {
+          conds.push_back(p.expr);
+        }
       }
     }
     for (const auto& c : r.tr->join_conds) conds.push_back(c.get());
-
-    JoinKind kind = r.tr->join;
-    bool null_aware = kind == JoinKind::kAntiNA;
 
     // Equi conditions usable as hash keys / index probes: one side only
     // references `rel`, the other only relations in left_mask.
@@ -505,26 +516,42 @@ class BlockJoinCoster : public JoinCoster {
       }
     } else if (r.lateral) {
       node->rescan_right = true;
-      node->children.push_back(r.derived_plan->Clone());
+      std::unique_ptr<PlanNode> right = r.derived_plan->Clone();
+      if (!r.filters.empty()) {
+        // Single-alias WHERE predicates on the lateral view apply to its
+        // output on every rescan.
+        auto filter = std::make_unique<PlanNode>(PlanOp::kFilter);
+        filter->output = right->output;
+        for (const Expr* f : r.filters) filter->filter.push_back(f->Clone());
+        filter->est_rows =
+            std::max(right->est_rows * ConjSelectivity(r.filters, ctx_), 0.0);
+        filter->est_cost =
+            right->est_cost + right->est_rows * PredEvalCost(r.filters, P_);
+        filter->children.push_back(std::move(right));
+        right = std::move(filter);
+      }
+      node->children.push_back(std::move(right));
       for (const Expr* c : conds) node->join_conds.push_back(c->Clone());
     } else if (best.use_index) {
       node->rescan_right = true;
       std::vector<std::pair<std::string, const Expr*>> extra;
-      std::set<const Expr*> probe_preds;
       for (const auto& eq : equis) {
         if (eq.right_side->kind == ExprKind::kColumnRef) {
           extra.push_back({eq.right_side->column_name, eq.left_side});
-          probe_preds.insert(eq.pred);
         }
       }
-      auto probe_scan = planner_->BuildScan(*r.tr, r.filters, extra, ctx_);
+      std::set<const Expr*> used_values;
+      auto probe_scan =
+          planner_->BuildScan(*r.tr, r.filters, extra, ctx_, &used_values);
       if (!probe_scan.ok()) return probe_scan.status();
       node->children.push_back(std::move(probe_scan->plan));
-      // Conditions not folded into the index probe are evaluated at the
-      // join. (Probes cover the equis whose right side is a plain column;
-      // the scan may have used only a subset, so re-check all equis here —
-      // the executor skips conditions the probe already guarantees via
-      // cheap re-evaluation.)
+      // Only conditions whose probe the chosen index actually consumed are
+      // guaranteed by the scan; everything else — including equis on columns
+      // the index does not cover — must still be evaluated at the join.
+      std::set<const Expr*> probe_preds;
+      for (const auto& eq : equis) {
+        if (used_values.count(eq.left_side) != 0) probe_preds.insert(eq.pred);
+      }
       for (const Expr* c : conds) {
         if (probe_preds.count(c) == 0) node->join_conds.push_back(c->Clone());
       }
@@ -543,10 +570,23 @@ class BlockJoinCoster : public JoinCoster {
     node->est_rows = out_rows;
     node->est_cost = best.cost;
 
+    double step_cost = best.cost;
+    if (!post_conds.empty()) {
+      auto filter = std::make_unique<PlanNode>(PlanOp::kFilter);
+      filter->output = node->output;
+      for (const Expr* c : post_conds) filter->filter.push_back(c->Clone());
+      step_cost += out_rows * PredEvalCost(post_conds, P_);
+      out_rows = std::max(out_rows * ConjSelectivity(post_conds, ctx_), 0.0);
+      filter->est_rows = out_rows;
+      filter->est_cost = step_cost;
+      filter->children.push_back(std::move(node));
+      node = std::move(filter);
+    }
+
     JoinStepPlan step;
     step.plan = std::move(node);
     step.rows = out_rows;
-    step.cost = best.cost;
+    step.cost = step_cost;
     return step;
   }
 
@@ -876,9 +916,16 @@ Result<BlockPlan> Planner::PlanRegular(const QueryBlock& qb) {
     }
     if (local.empty()) {
       const_preds.push_back(w.get());
-    } else if (local.size() == 1) {
+    } else if (local.size() == 1 &&
+               qb.from[static_cast<size_t>(
+                           alias_to_rel[*local.begin()])].join !=
+                   JoinKind::kLeftOuter) {
       rel_filters[*local.begin()].push_back(w.get());
     } else {
+      // Multi-relation predicates, plus single-relation predicates on the
+      // nullable side of an outer join: the latter must not be pushed below
+      // the join (WHERE filters after null-extension), so they stay join
+      // predicates and BlockJoinCoster applies them above the outer join.
       join_preds.push_back(WherePred{w.get(), alias_mask_of(*w)});
     }
   }

@@ -3,6 +3,7 @@
 
 #include <limits>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -69,11 +70,14 @@ class Planner {
   /// Best standalone scan of a base table `tr` with `filters` applied:
   /// chooses a full scan or an index scan driven by constant/bound equality
   /// predicates. `extra_probes` (column-name, probe-expr) adds join-derived
-  /// equalities for index nested-loop planning.
+  /// equalities for index nested-loop planning. When `used_extra_probes` is
+  /// non-null it receives the probe-expr of every extra probe the chosen
+  /// index actually consumed — the caller must keep re-checking the rest.
   Result<JoinStepPlan> BuildScan(
       const TableRef& tr, const std::vector<const Expr*>& filters,
       const std::vector<std::pair<std::string, const Expr*>>& extra_probes,
-      const StatsContext& ctx);
+      const StatsContext& ctx,
+      std::set<const Expr*>* used_extra_probes = nullptr);
 
   friend class BlockJoinCoster;
 

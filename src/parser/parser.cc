@@ -763,6 +763,16 @@ class Parser {
         }
         return MakeAggregate(agg, std::move(args[0]), distinct);
       }
+      // LNNVL is an operator internally (or-expansion emits it and the
+      // evaluators only know UnaryOp::kLnnvl); map the call syntax so
+      // unparsed or-expansion output reparses to the same tree.
+      if (name == "lnnvl") {
+        if (args.size() != 1) {
+          Fail("LNNVL takes exactly one argument");
+          return nullptr;
+        }
+        return MakeUnary(UnaryOp::kLnnvl, std::move(args[0]));
+      }
       return MakeFuncCall(name, std::move(args));
     }
     // Column reference: [alias.]column

@@ -1,10 +1,44 @@
 #include "sql/unparser.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/str_util.h"
 
 namespace cbqt {
 
 namespace {
+
+/// Renders a literal so that re-lexing yields the same value: embedded
+/// quotes are doubled, and doubles print with enough digits to round-trip
+/// bit-exactly (and always with a '.' or exponent so they re-lex as kReal,
+/// not kInt64). Value::ToString stays a debug rendering.
+std::string SqlLiteral(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kString: {
+      std::string out = "'";
+      for (char c : v.AsString()) {
+        if (c == '\'') out += '\'';
+        out += c;
+      }
+      out += '\'';
+      return out;
+    }
+    case ValueKind::kDouble: {
+      double d = v.AsDouble();
+      char buf[64];
+      for (int prec : {15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+        if (std::strtod(buf, nullptr) == d) break;
+      }
+      std::string s = buf;
+      if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+      return s;
+    }
+    default:
+      return v.ToString();
+  }
+}
 
 const char* BopSymbol(BinaryOp op) {
   switch (op) {
@@ -73,7 +107,7 @@ std::string ExprToSql(const Expr& e) {
       return out;
     }
     case ExprKind::kLiteral:
-      return e.literal.ToString();
+      return SqlLiteral(e.literal);
     case ExprKind::kBinary: {
       std::string l = ExprToSql(*e.children[0]);
       std::string r = ExprToSql(*e.children[1]);
@@ -199,9 +233,9 @@ std::string TableRefToSql(const TableRef& tr) {
   } else {
     body = (tr.lateral ? "LATERAL (" : "(") + BlockToSql(*tr.derived) + ")";
   }
-  std::string out = body + " " + tr.alias;
-  if (tr.no_merge) out += " /*+NO_MERGE*/";
-  return out;
+  // no_merge renders as a statement-level hint after SELECT (the only place
+  // the parser accepts hints), not here.
+  return body + " " + tr.alias;
 }
 
 }  // namespace
@@ -210,15 +244,31 @@ std::string BlockToSql(const QueryBlock& qb) {
   if (qb.IsSetOp()) {
     std::vector<std::string> parts;
     parts.reserve(qb.branches.size());
-    for (const auto& b : qb.branches) parts.push_back(BlockToSql(*b));
+    for (const auto& b : qb.branches) {
+      // Nested compounds must keep their own grouping: without parens,
+      // "A UNION (B INTERSECT C)" would reparse left-associatively as
+      // "(A UNION B) INTERSECT C".
+      std::string s = BlockToSql(*b);
+      parts.push_back(b->IsSetOp() ? "(" + s + ")" : std::move(s));
+    }
     std::string body =
         JoinStrings(parts, std::string(" ") + SetOpName(qb.set_op) + " ");
     if (qb.rownum_limit >= 0) {
+      // No WHERE clause to hang a ROWNUM conjunct on; this form only arises
+      // from transformation output, never from parsed SQL.
       body += " FETCH " + std::to_string(qb.rownum_limit);
     }
     return body;
   }
   std::string out = "SELECT ";
+  {
+    // Hints go right after SELECT — the only position the parser accepts.
+    std::vector<std::string> hints;
+    for (const auto& tr : qb.from) {
+      if (tr.no_merge) hints.push_back("no_merge(" + tr.alias + ")");
+    }
+    if (!hints.empty()) out += "/*+ " + JoinStrings(hints, " ") + " */ ";
+  }
   if (qb.distinct) out += "DISTINCT ";
   {
     std::vector<std::string> items;
@@ -253,10 +303,15 @@ std::string BlockToSql(const QueryBlock& qb) {
       }
     }
   }
-  if (!qb.where.empty()) {
+  if (!qb.where.empty() || qb.rownum_limit >= 0) {
     std::vector<std::string> conds;
-    conds.reserve(qb.where.size());
+    conds.reserve(qb.where.size() + 1);
     for (const auto& c : qb.where) conds.push_back(ExprToSql(*c));
+    // Render the extracted ROWNUM limit back as the WHERE conjunct the
+    // binder's ExtractRownumLimit pulled it from, so the text reparses.
+    if (qb.rownum_limit >= 0) {
+      conds.push_back("(ROWNUM <= " + std::to_string(qb.rownum_limit) + ")");
+    }
     out += " WHERE " + JoinStrings(conds, " AND ");
   }
   if (!qb.group_by.empty()) {
@@ -292,9 +347,6 @@ std::string BlockToSql(const QueryBlock& qb) {
       keys.push_back(ExprToSql(*o.expr) + (o.ascending ? "" : " DESC"));
     }
     out += " ORDER BY " + JoinStrings(keys, ", ");
-  }
-  if (qb.rownum_limit >= 0) {
-    out += " /*ROWNUM<=*/ FETCH " + std::to_string(qb.rownum_limit);
   }
   return out;
 }

@@ -66,6 +66,23 @@ bool IsMergeableView(const QueryBlock& outer, const TableRef& tr,
       if (ExprUsesAlias(*c, tr.alias)) return false;
     }
   }
+  // Outer expressions that embed a subquery and also reference the view
+  // cannot be rewritten soundly: the view's outputs would turn into
+  // aggregates (or spliced-table columns) inside the subquery's correlation,
+  // which the merged block cannot bind (e.g. a correlated subquery moved to
+  // HAVING would need the view's base-table columns as group keys).
+  auto subquery_uses_view = [&](const Expr& e) {
+    return ContainsSubquery(e) && ExprUsesAlias(e, tr.alias);
+  };
+  for (const auto& w : outer.where) {
+    if (subquery_uses_view(*w)) return false;
+  }
+  for (const auto& item : outer.select) {
+    if (subquery_uses_view(*item.expr)) return false;
+  }
+  for (const auto& o : outer.order_by) {
+    if (subquery_uses_view(*o.expr)) return false;
+  }
   if (!v.group_by.empty() && !v.distinct) {
     if (!ViewSelectShapeOk(v)) return false;
     *distinct_view = false;
@@ -220,12 +237,14 @@ void MergeDistinctView(TransformContext& ctx, QueryBlock* qb,
     key.alias = "rk" + std::to_string(key_counter++);
     inner->select.push_back(std::move(key));
   }
+  size_t num_rowid_keys = inner->select.size();
   for (auto& item : outer_select) {
     SelectItem moved;
     moved.alias = item.alias;
     moved.expr = std::move(item.expr);
     inner->select.push_back(std::move(moved));
   }
+  size_t num_outer_items = inner->select.size() - num_rowid_keys;
 
   // Rewrite view-output references inside the inner block.
   RewriteColumnRefsInBlock(inner.get(), [&](const Expr& ref) -> ExprPtr {
@@ -235,12 +254,34 @@ void MergeDistinctView(TransformContext& ctx, QueryBlock* qb,
     return it->second->Clone();
   });
 
+  // The view's own DISTINCT columns ride along as hidden keys: the original
+  // dedups on the full view tuple, so dropping columns the outer does not
+  // reference would coarsen the dedup granularity (two view rows differing
+  // only in an unreferenced column must still produce two outer rows).
+  // Columns whose defining expression already appears as an inner select
+  // item (post-rewrite) are covered and need no extra key.
+  int vk_counter = 0;
+  for (const auto& [col, expr] : colmap) {
+    bool covered = false;
+    for (const auto& item : inner->select) {
+      if (ExprEquals(*item.expr, *expr)) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) continue;
+    SelectItem vkey;
+    vkey.expr = expr->Clone();
+    vkey.alias = "vk" + std::to_string(vk_counter++);
+    inner->select.push_back(std::move(vkey));
+  }
+
   // The outer block becomes a thin projection over the derived table,
   // keeping ORDER BY / ROWNUM where they were.
   qb->select.clear();
   qb->where.clear();
-  for (const auto& item : inner->select) {
-    if (item.alias.rfind("rk", 0) == 0) continue;
+  for (size_t i = num_rowid_keys; i < num_rowid_keys + num_outer_items; ++i) {
+    const SelectItem& item = inner->select[i];
     SelectItem si;
     si.expr = MakeColumnRef(dv_alias, item.alias);
     si.alias = item.alias;

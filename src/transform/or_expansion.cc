@@ -1,5 +1,6 @@
 #include "transform/or_expansion.h"
 
+#include "sql/expr_util.h"
 #include "transform/transform_util.h"
 
 namespace cbqt {
@@ -31,6 +32,24 @@ int FindExpandableConjunct(const QueryBlock& b) {
     const Expr& w = *b.where[i];
     if (w.kind != ExprKind::kBinary || w.bop != BinaryOp::kOr) continue;
     if (ContainsSubquery(w) || ContainsRownum(w)) continue;
+    // Expansion splits a filter on the block's *output* rows into disjoint
+    // UNION ALL branches. A predicate referencing a semi/anti-joined alias
+    // is not an output filter — it is part of the EXISTS/NOT EXISTS
+    // semantics (the alias's rows never reach the output), and per-branch
+    // LNNVL guards evaluate against different inner rows, so the branches
+    // are not disjoint over the outer rows. Skip those disjunctions.
+    bool joins_non_output_alias = false;
+    for (const auto& tr : b.from) {
+      if (tr.join != JoinKind::kSemi && tr.join != JoinKind::kAnti &&
+          tr.join != JoinKind::kAntiNA) {
+        continue;
+      }
+      if (ExprUsesAlias(w, tr.alias)) {
+        joins_non_output_alias = true;
+        break;
+      }
+    }
+    if (joins_non_output_alias) continue;
     std::vector<const Expr*> disjuncts;
     CollectDisjuncts(w, &disjuncts);
     if (disjuncts.size() >= 2 && disjuncts.size() <= 4) {

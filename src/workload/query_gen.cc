@@ -312,6 +312,16 @@ std::string WindowViewQuery(Rng& rng, const SchemaConfig& cfg) {
       static_cast<int>(6 + rng.NextUint(12)));
 }
 
+// splitmix64 finalizer: decorrelates per-query seeds derived from
+// (workload seed, query id) so neighboring ids don't produce correlated
+// literal streams.
+uint64_t MixSeed(uint64_t seed, uint64_t id) {
+  uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (id + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 std::string GenerateOne(QueryFamily f, Rng& rng, const SchemaConfig& cfg) {
   switch (f) {
     case QueryFamily::kSpj:
@@ -347,24 +357,25 @@ std::string GenerateOne(QueryFamily f, Rng& rng, const SchemaConfig& cfg) {
 std::vector<WorkloadQuery> GenerateFamily(QueryFamily family, int count,
                                           const SchemaConfig& schema,
                                           uint64_t seed) {
-  Rng rng(seed);
   std::vector<WorkloadQuery> out;
   out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     WorkloadQuery q;
     q.id = i;
     q.family = family;
+    // Fold the family into the per-query seed so different families at the
+    // same (seed, id) don't share a literal stream.
+    Rng rng(MixSeed(seed ^ (static_cast<uint64_t>(family) << 32),
+                    static_cast<uint64_t>(i)));
     q.sql = GenerateOne(family, rng, schema);
     out.push_back(std::move(q));
   }
   return out;
 }
 
-std::vector<WorkloadQuery> GenerateMixedWorkload(int count,
-                                                 double transformable_fraction,
-                                                 const SchemaConfig& schema,
-                                                 uint64_t seed) {
-  Rng rng(seed);
+std::vector<WorkloadQuery> GenerateMixedWorkloadShard(
+    int first_id, int count, double transformable_fraction,
+    const SchemaConfig& schema, uint64_t seed) {
   static const QueryFamily kTransformable[] = {
       QueryFamily::kAggSubquery,  QueryFamily::kSemiSubquery,
       QueryFamily::kGbView,       QueryFamily::kDistinctView,
@@ -376,7 +387,8 @@ std::vector<WorkloadQuery> GenerateMixedWorkload(int count,
   out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     WorkloadQuery q;
-    q.id = i;
+    q.id = first_id + i;
+    Rng rng(MixSeed(seed, static_cast<uint64_t>(q.id)));
     q.family = rng.NextBool(transformable_fraction)
                    ? kTransformable[rng.NextUint(11)]
                    : QueryFamily::kSpj;
@@ -384,6 +396,14 @@ std::vector<WorkloadQuery> GenerateMixedWorkload(int count,
     out.push_back(std::move(q));
   }
   return out;
+}
+
+std::vector<WorkloadQuery> GenerateMixedWorkload(int count,
+                                                 double transformable_fraction,
+                                                 const SchemaConfig& schema,
+                                                 uint64_t seed) {
+  return GenerateMixedWorkloadShard(0, count, transformable_fraction, schema,
+                                    seed);
 }
 
 }  // namespace cbqt

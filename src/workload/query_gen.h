@@ -39,17 +39,30 @@ struct WorkloadQuery {
 /// vary widely so that each transformation family contains both winning and
 /// losing instances — the property the cost-based-vs-heuristic comparison
 /// depends on.
+///
+/// Every query is a pure function of (seed, family, id): the generator
+/// reseeds per query id instead of streaming one RNG across the batch, so
+/// the same id yields byte-identical SQL regardless of batch size or shard
+/// boundaries.
 std::vector<WorkloadQuery> GenerateFamily(QueryFamily family, int count,
                                           const SchemaConfig& schema,
                                           uint64_t seed);
 
 /// Generates a mixed workload with the paper's shape: mostly simple SPJ,
 /// with a transformable fraction (paper §4: ~8% of queries have
-/// subqueries / GROUP BY / DISTINCT / UNION ALL views).
+/// subqueries / GROUP BY / DISTINCT / UNION ALL views). Per-query-id
+/// seeding as above: query `id` is identical across any sharding.
 std::vector<WorkloadQuery> GenerateMixedWorkload(int count,
                                                  double transformable_fraction,
                                                  const SchemaConfig& schema,
                                                  uint64_t seed);
+
+/// Shard form: generates ids [first_id, first_id + count). Concatenating
+/// shards reproduces GenerateMixedWorkload(total, ...) byte-for-byte, so a
+/// workload can be split across worker threads or processes.
+std::vector<WorkloadQuery> GenerateMixedWorkloadShard(
+    int first_id, int count, double transformable_fraction,
+    const SchemaConfig& schema, uint64_t seed);
 
 }  // namespace cbqt
 

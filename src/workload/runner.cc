@@ -135,15 +135,4 @@ Result<std::vector<Row>> WorkloadRunner::RunToSortedRows(
   return std::move(result->rows);
 }
 
-void SortRowsCanonical(std::vector<Row>* rows) {
-  std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
-    size_t n = std::min(a.size(), b.size());
-    for (size_t i = 0; i < n; ++i) {
-      if (TotalLess(a[i], b[i])) return true;
-      if (TotalLess(b[i], a[i])) return false;
-    }
-    return a.size() < b.size();
-  });
-}
-
 }  // namespace cbqt

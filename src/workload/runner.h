@@ -6,6 +6,7 @@
 
 #include "cbqt/engine.h"
 #include "cbqt/framework.h"
+#include "common/result_compare.h"
 #include "common/status.h"
 #include "exec/executor.h"
 #include "storage/database.h"
@@ -125,8 +126,9 @@ class WorkloadRunner {
   CostParams params_;
 };
 
-/// Sorts rows into a canonical total order (for result comparison).
-void SortRowsCanonical(std::vector<Row>* rows);
+// SortRowsCanonical lives in common/result_compare.h (included above); the
+// declaration used to be here and call sites still reach it through this
+// header.
 
 }  // namespace cbqt
 

@@ -1,0 +1,13 @@
+-- cbqt fuzz repro
+-- config: heuristic
+-- diff: the Q12->Q18 DISTINCT view merge kept only the view columns the
+-- outer block referenced as DISTINCT keys, coarsening the dedup granularity
+-- (161 rows instead of 300 -- two view rows differing only in an
+-- unreferenced column were collapsed).
+SELECT v2.quantity
+FROM products f0,
+     (SELECT DISTINCT i1.order_id AS order_id, i1.product_id AS product_id,
+             i1.quantity AS quantity, i1.price AS price
+      FROM order_items i1) v2,
+     products f3
+WHERE (f0.product_id = v2.product_id) AND (v2.product_id = f3.product_id)

@@ -1,0 +1,15 @@
+-- cbqt fuzz repro
+-- config: heuristic
+-- diff: group-by view merge rewrote a view column reference inside a
+-- correlated subquery (v2.product_id -> i1.product_id); the merged block
+-- could not bind the correlation and execution failed with
+-- "unresolved column at execution: i1.product_id".
+SELECT f0.price, v2.agg_0
+FROM order_items f0,
+     (SELECT i1.product_id AS product_id, SUM(i1.list_price) AS agg_0,
+             COUNT(*) AS cnt_0
+      FROM products i1 GROUP BY i1.product_id) v2
+WHERE (f0.product_id = v2.product_id)
+  AND (v2.agg_0 > (SELECT AVG(s3.quantity) FROM order_items s3
+                   WHERE CASE WHEN (s3.product_id = v2.product_id)
+                         THEN TRUE END))

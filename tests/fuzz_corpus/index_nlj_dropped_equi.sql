@@ -1,0 +1,16 @@
+-- cbqt fuzz repro
+-- config: all deck entries
+-- diff: index nested-loop join planning assumed every equi-join predicate
+-- with a plain column on the probe side was folded into the index probe,
+-- but emp_pk covers only emp_id; the uncovered (f0.job_id = f3.job_id)
+-- equality was dropped from the join conditions, returning 16 rows
+-- instead of 0.
+SELECT v2.order_date, v2.status, v2.cust_id
+FROM jobs f3, employees f0,
+     (SELECT i1.order_id AS order_id, i1.cust_id AS cust_id,
+             i1.emp_id AS emp_id, i1.order_date AS order_date,
+             i1.status AS status, i1.total AS total
+      FROM orders i1 WHERE (i1.total > 2323.96)) v2
+WHERE (f0.emp_id = v2.emp_id) AND (f0.job_id = f3.job_id)
+  AND (NOT ((f3.min_salary > 30750.86) OR (f3.min_salary = 39279.82)))
+  AND ((f0.dept_id >= 12) OR (f3.job_title = 'title_3'))

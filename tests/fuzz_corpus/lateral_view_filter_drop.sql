@@ -1,0 +1,16 @@
+-- cbqt fuzz repro
+-- config: heuristic (and every config once JPPD fires)
+-- diff: after JPPD turned the group-by view lateral, the planner's lateral
+-- join branch cloned the derived plan without applying the view's
+-- single-alias WHERE filters, silently dropping (v2.agg_0 > 9910463.55)
+-- and returning 24 rows instead of 0.
+SELECT f0.product_name, v2.agg_0, MAX(f0.category_id) AS agg_0, COUNT(*) AS cnt_1
+FROM products f0,
+     (SELECT i1.product_id AS product_id, SUM(i1.price) AS agg_0,
+             COUNT(*) AS cnt_0
+      FROM order_items i1 GROUP BY i1.product_id) v2,
+     order_items f3
+WHERE (f0.product_id = v2.product_id) AND (f0.product_id = f3.product_id)
+  AND ((v2.product_id <> 23) OR (f0.product_name = 'O''Brien; -- '))
+  AND (v2.agg_0 > 9910463.55)
+GROUP BY f0.product_name, v2.agg_0

@@ -1,0 +1,12 @@
+-- cbqt fuzz repro
+-- config: every cost-based deck entry (heuristic mode does not or-expand)
+-- diff: after NOT EXISTS unnesting left the subquery's disjunction as a
+-- WHERE predicate on the anti-joined alias, OR expansion split it into
+-- UNION ALL branches as if it filtered output rows. The branches are not
+-- disjoint over the outer rows (the LNNVL guard evaluates against inner
+-- rows the outer row must NOT match), so products with no order-53 line
+-- item appeared in both branches: 49 rows instead of 24.
+SELECT (f0.product_id + 3) FROM products f0
+WHERE NOT EXISTS (SELECT 1 FROM order_items s1
+                  WHERE (s1.product_id = f0.product_id)
+                    AND ((s1.order_id = 53) OR (s1.order_id = 53)))

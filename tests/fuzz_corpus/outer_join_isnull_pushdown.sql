@@ -1,0 +1,8 @@
+-- cbqt fuzz repro
+-- config: all deck entries
+-- diff: planner pushed a WHERE predicate into the scan on the nullable side
+-- of a LEFT OUTER JOIN; the IS NULL anti-join pattern returned every
+-- left row (150) instead of the rows with no match (0).
+SELECT f0.dept_id FROM job_history f0
+LEFT OUTER JOIN jobs f1 ON (f0.job_id = f1.job_id)
+WHERE (f1.job_id IS NULL)

@@ -8,7 +8,6 @@
 
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -18,6 +17,7 @@
 #include "common/fault_injector.h"
 #include "common/guardrails.h"
 #include "common/memory_tracker.h"
+#include "common/result_compare.h"
 #include "exec/reference.h"
 #include "tests/test_util.h"
 #include "workload/runner.h"
@@ -25,35 +25,12 @@
 namespace cbqt {
 namespace {
 
-// Different plans (and different batch/spill splits) sum doubles in
-// different orders; compare with a relative tolerance.
-bool RowsApproxEqual(const Row& a, const Row& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].is_null() && b[i].is_null()) continue;
-    if (a[i].is_null() || b[i].is_null()) return false;
-    if (a[i].kind() == ValueKind::kDouble ||
-        b[i].kind() == ValueKind::kDouble) {
-      double x = a[i].NumericValue();
-      double y = b[i].NumericValue();
-      double scale = std::max({1.0, std::fabs(x), std::fabs(y)});
-      if (std::fabs(x - y) > 1e-9 * scale) return false;
-      continue;
-    }
-    if (!RowsEqualStructural(Row{a[i]}, Row{b[i]})) return false;
-  }
-  return true;
-}
-
+// Canonical multiset compare from common/result_compare.h: approx doubles
+// because different plans (and batch/spill splits) sum in different orders.
 void ExpectSameRows(std::vector<Row> actual, std::vector<Row> expected,
                     const std::string& label) {
-  SortRowsCanonical(&actual);
-  SortRowsCanonical(&expected);
-  ASSERT_EQ(actual.size(), expected.size()) << label;
-  for (size_t i = 0; i < actual.size(); ++i) {
-    ASSERT_TRUE(RowsApproxEqual(actual[i], expected[i]))
-        << label << " row " << i;
-  }
+  RowSetDiff diff = CompareRowMultisets(actual, expected);
+  ASSERT_TRUE(diff.equal) << label << ": " << diff.message;
 }
 
 class BatchExecutorTest : public ::testing::Test {

@@ -8,6 +8,7 @@
 
 #include "cbqt/engine.h"
 #include "cbqt/search.h"
+#include "common/result_compare.h"
 #include "tests/test_util.h"
 #include "workload/query_gen.h"
 #include "workload/runner.h"
@@ -62,13 +63,10 @@ TEST_P(EquivalenceTest, AllModesAgree) {
       auto rows = runner.RunToSortedRows(q.sql, ConfigForMode(mode));
       ASSERT_TRUE(rows.ok()) << rows.status().ToString() << "\nmode="
                              << static_cast<int>(mode) << "\n" << q.sql;
-      ASSERT_EQ(rows->size(), reference->size())
-          << "mode=" << static_cast<int>(mode) << "\n" << q.sql;
-      for (size_t i = 0; i < rows->size(); ++i) {
-        ASSERT_TRUE(RowsEqualStructural((*rows)[i], (*reference)[i]))
-            << "row " << i << " mode=" << static_cast<int>(mode) << "\n"
-            << q.sql;
-      }
+      RowSetDiff diff =
+          CompareRowMultisets(*rows, *reference, /*approx_doubles=*/false);
+      ASSERT_TRUE(diff.equal) << diff.message << "\nmode="
+                              << static_cast<int>(mode) << "\n" << q.sql;
     }
   }
 }
@@ -105,13 +103,9 @@ TEST_P(EquivalenceTest, CowMemoMatchesFullClones) {
         EXPECT_EQ(fr->prepared.cost, sr->prepared.cost) << where;
         EXPECT_EQ(fr->prepared.stats.applied, sr->prepared.stats.applied)
             << where;
-        SortRowsCanonical(&fr->rows);
-        SortRowsCanonical(&sr->rows);
-        ASSERT_EQ(fr->rows.size(), sr->rows.size()) << where;
-        for (size_t i = 0; i < fr->rows.size(); ++i) {
-          ASSERT_TRUE(RowsEqualStructural(fr->rows[i], sr->rows[i]))
-              << "row " << i << " " << where;
-        }
+        RowSetDiff diff = CompareRowMultisets(fr->rows, sr->rows,
+                                              /*approx_doubles=*/false);
+        ASSERT_TRUE(diff.equal) << diff.message << "\n" << where;
       }
     }
   }

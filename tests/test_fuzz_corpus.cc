@@ -1,0 +1,45 @@
+// Regression replay of the fuzz corpus: every .sql file under
+// tests/fuzz_corpus/ is a shrunk repro of a divergence the metamorphic
+// fuzzer once found. Each is re-executed across the full differential deck
+// and must agree with the reference interpreter — a reappearing divergence
+// fails with the deck entry and row diff in the message.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.h"
+#include "storage/database.h"
+
+#ifndef CBQT_SOURCE_DIR
+#error "CBQT_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace cbqt {
+namespace {
+
+TEST(FuzzCorpusTest, AllReprosStayFixed) {
+  std::filesystem::path dir =
+      std::filesystem::path(CBQT_SOURCE_DIR) / "tests" / "fuzz_corpus";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".sql") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty()) << "no corpus files under " << dir;
+
+  Database db;
+  ASSERT_TRUE(BuildFuzzDatabase(&db).ok());
+  for (const auto& f : files) {
+    Status st = ReplayCorpusFile(db, f.string());
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cbqt

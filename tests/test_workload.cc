@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "tests/test_util.h"
 #include "workload/query_gen.h"
@@ -55,6 +57,33 @@ TEST_F(WorkloadTest, GenerationIsDeterministic) {
     if (a[i].sql != c[i].sql) any_diff = true;
   }
   EXPECT_TRUE(any_diff);
+}
+
+TEST_F(WorkloadTest, ShardedGenerationMatchesMonolith) {
+  // Same seed must reproduce byte-identical SQL across runs, and slicing the
+  // workload into arbitrary shards must reproduce the monolithic sequence
+  // exactly — the property distributed benchmark drivers rely on.
+  auto mono = GenerateMixedWorkload(24, 0.25, schema_, 99);
+  auto again = GenerateMixedWorkload(24, 0.25, schema_, 99);
+  ASSERT_EQ(mono.size(), 24u);
+  ASSERT_EQ(again.size(), mono.size());
+  for (size_t i = 0; i < mono.size(); ++i) {
+    EXPECT_EQ(mono[i].sql, again[i].sql) << i;
+  }
+
+  std::vector<WorkloadQuery> stitched;
+  for (auto [first, count] :
+       {std::pair<int, int>{0, 5}, {5, 1}, {6, 11}, {17, 7}}) {
+    auto shard = GenerateMixedWorkloadShard(first, count, 0.25, schema_, 99);
+    ASSERT_EQ(shard.size(), static_cast<size_t>(count)) << first;
+    stitched.insert(stitched.end(), shard.begin(), shard.end());
+  }
+  ASSERT_EQ(stitched.size(), mono.size());
+  for (size_t i = 0; i < mono.size(); ++i) {
+    EXPECT_EQ(stitched[i].id, mono[i].id) << i;
+    EXPECT_EQ(stitched[i].family, mono[i].family) << i;
+    EXPECT_EQ(stitched[i].sql, mono[i].sql) << i;
+  }
 }
 
 TEST_F(WorkloadTest, AllFamiliesParseBindAndRun) {

@@ -1,0 +1,118 @@
+// Metamorphic differential fuzzer CLI.
+//
+// Generates seeded random queries over the fuzz HR schema, derives
+// equivalence-preserving mutants, and differences every (query, mutant)
+// across the oracle deck (search strategies x threads x transform masks x
+// executor batch/spill settings) against the reference interpreter.
+// Exit code 0 = no divergence; 1 = divergence (repros printed, and dumped
+// when --corpus-dir is given); 2 = usage/setup error.
+//
+//   fuzz_cbqt --seed 7 --time-box-ms 60000 --min-execs 500
+//   fuzz_cbqt --rounds 50 --mutants 3 --corpus-dir tests/fuzz_corpus
+//   fuzz_cbqt --canary --rounds 20          # must find the seeded bug
+//   fuzz_cbqt --fault-sweep "exec-batch:p=0.002;planner:every=40"
+//
+// CBQT_FUZZ_SEED in the environment overrides --seed (soak runs).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/harness.h"
+#include "storage/database.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed N] [--rounds N] [--time-box-ms MS] [--mutants N]\n"
+      "          [--min-execs N] [--corpus-dir DIR] [--canary]\n"
+      "          [--fault-sweep SITES] [--fault-seed N] [--no-shrink]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cbqt::FuzzOptions options;
+  options.time_box_ms = 60000;
+  int64_t min_execs = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--rounds") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.rounds = std::atoi(v);
+    } else if (arg == "--time-box-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.time_box_ms = std::atof(v);
+    } else if (arg == "--mutants") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.mutants_per_query = std::atoi(v);
+    } else if (arg == "--min-execs") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      min_execs = std::atoll(v);
+    } else if (arg == "--corpus-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.corpus_dir = v;
+    } else if (arg == "--canary") {
+      options.canary = true;
+    } else if (arg == "--fault-sweep") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.fault_sites = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (const char* env_seed = std::getenv("CBQT_FUZZ_SEED")) {
+    options.seed = std::strtoull(env_seed, nullptr, 10);
+    std::printf("seed from CBQT_FUZZ_SEED: %llu\n",
+                static_cast<unsigned long long>(options.seed));
+  }
+
+  cbqt::Database db;
+  cbqt::Status st = cbqt::BuildFuzzDatabase(&db);
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to build fuzz database: %s\n",
+                 st.ToString().c_str());
+    return 2;
+  }
+
+  cbqt::FuzzReport report = cbqt::RunFuzz(db, options);
+  std::printf("%s\n", report.Summary().c_str());
+
+  if (min_execs > 0 && report.executions < min_execs) {
+    std::fprintf(stderr, "FAIL: only %d differential executions (< %lld)\n",
+                 report.executions, static_cast<long long>(min_execs));
+    return 1;
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "FAIL: fuzzing found divergences\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
