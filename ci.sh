@@ -55,12 +55,18 @@ if [[ "${want}" == "all" || "${want}" == "bench-smoke" ]]; then
   echo "=== [bench-smoke] configure + build ==="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "${dir}" -j "${jobs}" \
-    --target bench_table1_reuse bench_plan_cache bench_state_eval \
-    bench_guardrails bench_executor
+    --target bench_table1_reuse bench_plan_cache bench_plan_warmstart \
+    bench_state_eval bench_guardrails bench_executor
   echo "=== [bench-smoke] bench_table1_reuse ==="
   (cd "${dir}" && ./bench/bench_table1_reuse)
   echo "=== [bench-smoke] bench_plan_cache ==="
   (cd "${dir}" && ./bench/bench_plan_cache --reps 3)
+  # bench_plan_warmstart asserts the persistence gates: snapshot warm-start
+  # >= 10x faster than a cold optimize at bit-identical plans, instance B
+  # importing every shape from the shared store on first touch, and
+  # fuzz-corpus plans executing row-identically after a serde round-trip.
+  echo "=== [bench-smoke] bench_plan_warmstart ==="
+  (cd "${dir}" && ./bench/bench_plan_warmstart --reps 3)
   # bench_state_eval asserts its own gates: bit-identical plans between
   # COW+memo and forced full clones, and >= 2x states/sec.
   echo "=== [bench-smoke] bench_state_eval ==="
@@ -99,9 +105,12 @@ if [[ "${want}" == "all" || "${want}" == "fuzz-smoke" ]]; then
   echo "=== [fuzz-smoke] configure + build ==="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "${dir}" -j "${jobs}" --target fuzz_cbqt
+  # --serde-roundtrip additionally pushes every deck engine's chosen plan
+  # through the binary plan serde (serialize -> deserialize -> re-serialize
+  # must be bit-identical), so the fuzz deck doubles as the serde corpus.
   echo "=== [fuzz-smoke] differential fuzz (60s, seed 7) ==="
   (cd "${dir}" && ./tools/fuzz_cbqt --seed 7 --time-box-ms 60000 \
-      --min-execs 500)
+      --min-execs 500 --serde-roundtrip)
   echo "=== [fuzz-smoke] canary proof ==="
   if (cd "${dir}" && ./tools/fuzz_cbqt --seed 11 --canary --rounds 20 \
       --time-box-ms 0 --mutants 0 >/dev/null 2>&1); then

@@ -1,6 +1,7 @@
 #include "catalog/catalog.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "common/str_util.h"
 
@@ -84,6 +85,57 @@ const TableDef* Catalog::FindTable(const std::string& name) const {
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) return nullptr;
   return &it->second;
+}
+
+namespace {
+
+void HashBytes(uint64_t* h, std::string_view s) {
+  // FNV-1a over a length-prefixed string so ("ab","c") != ("a","bc").
+  uint64_t len = s.size();
+  for (size_t i = 0; i < sizeof(len); ++i) {
+    *h ^= static_cast<uint8_t>(len >> (8 * i));
+    *h *= 1099511628211ull;
+  }
+  for (char c : s) {
+    *h ^= static_cast<uint8_t>(c);
+    *h *= 1099511628211ull;
+  }
+}
+
+void HashStrings(uint64_t* h, const std::vector<std::string>& v) {
+  HashBytes(h, "[");
+  for (const auto& s : v) HashBytes(h, s);
+  HashBytes(h, "]");
+}
+
+}  // namespace
+
+uint64_t Catalog::Fingerprint() const {
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& [name, def] : tables_) {  // std::map: sorted, stable order
+    HashBytes(&h, "table");
+    HashBytes(&h, name);
+    for (const auto& col : def.columns) {
+      HashBytes(&h, col.name);
+      HashBytes(&h, std::string(1, static_cast<char>(col.type)));
+      HashBytes(&h, col.nullable ? "n" : "!");
+    }
+    HashStrings(&h, def.primary_key);
+    for (const auto& key : def.unique_keys) HashStrings(&h, key);
+    for (const auto& fk : def.foreign_keys) {
+      HashBytes(&h, "fk");
+      HashStrings(&h, fk.columns);
+      HashBytes(&h, fk.ref_table);
+      HashStrings(&h, fk.ref_columns);
+    }
+    for (const auto& idx : def.indexes) {
+      HashBytes(&h, "ix");
+      HashBytes(&h, idx.name);
+      HashStrings(&h, idx.columns);
+      HashBytes(&h, idx.unique ? "u" : "-");
+    }
+  }
+  return h;
 }
 
 std::vector<std::string> Catalog::TableNames() const {

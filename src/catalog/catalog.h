@@ -1,6 +1,7 @@
 #ifndef CBQT_CATALOG_CATALOG_H_
 #define CBQT_CATALOG_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -70,6 +71,14 @@ class Catalog {
   const TableDef* FindTable(const std::string& name) const;
 
   std::vector<std::string> TableNames() const;
+
+  /// Order-independent-of-insertion structural hash of the whole schema:
+  /// table names, column names/types/nullability, keys, foreign keys, and
+  /// indexes. Persisted plan artifacts (snapshot files, shared plan-store
+  /// records) stamp this fingerprint and are discarded when it no longer
+  /// matches, so a plan optimized against one schema is never executed
+  /// against another.
+  uint64_t Fingerprint() const;
 
  private:
   std::map<std::string, TableDef> tables_;

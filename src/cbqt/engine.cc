@@ -6,6 +6,7 @@
 #include <functional>
 #include <utility>
 
+#include "optimizer/card_est.h"
 #include "parser/parser.h"
 #include "sql/parameterize.h"
 
@@ -20,17 +21,6 @@ double MonotonicMs() {
 
 bool IsDegraded(const CbqtStats& stats) {
   return stats.budget_exhausted || stats.searches_degraded > 0;
-}
-
-/// Estimated footprint of one plan-cache entry, charged against the engine
-/// memory tracker while cached.
-int64_t EstimateEntryBytes(const CachedPlanEntry& entry) {
-  int64_t bytes = static_cast<int64_t>(sizeof(CachedPlanEntry)) +
-                  static_cast<int64_t>(entry.key.capacity());
-  if (entry.tree != nullptr) bytes += entry.tree->EstimateBytes();
-  if (entry.source_tree != nullptr) bytes += entry.source_tree->EstimateBytes();
-  if (entry.plan != nullptr) bytes += entry.plan->EstimateBytes();
-  return bytes;
 }
 
 /// RAII pairing of Admit/EndQuery so every exit path (including early
@@ -106,6 +96,22 @@ QueryEngine::QueryEngine(const Database& db, CbqtConfig config,
     // coarse (a whole re-optimization each).
     upgrade_pool_ = std::make_unique<ThreadPool>(1);
     shutdown_token_ = std::make_shared<CancellationToken>();
+
+    schema_fingerprint_ = db_.catalog().Fingerprint();
+    const PlanCacheConfig& pc = config_.plan_cache;
+    if (!pc.snapshot_path.empty()) {
+      // Warm-start: best effort. A missing/stale/corrupt snapshot simply
+      // leaves the cache cold; the serde layer guarantees a typed error for
+      // malformed bytes, so nothing half-loaded can ever execute.
+      (void)plan_cache_->LoadSnapshot(pc.snapshot_path, db_.stats_epoch(),
+                                      schema_fingerprint_);
+    }
+    if (!pc.shared_store_path.empty()) {
+      auto store = PlanStore::Open(pc.shared_store_path, schema_fingerprint_);
+      // A store of a different schema (or a malformed one) is refused:
+      // run without sharing rather than share wrong plans.
+      if (store.ok()) plan_store_ = std::move(*store);
+    }
   }
 }
 
@@ -129,10 +135,32 @@ QueryEngine::~QueryEngine() {
     }
   }
   if (upgrade_pool_ != nullptr) upgrade_pool_->Wait();
+  // Snapshot after the pool drain so the file carries the upgraded entries
+  // (and never races a background Put).
+  if (plan_cache_ != nullptr && config_.plan_cache.snapshot_on_shutdown &&
+      !config_.plan_cache.snapshot_path.empty()) {
+    (void)plan_cache_->SaveSnapshot(config_.plan_cache.snapshot_path,
+                                    schema_fingerprint_);
+  }
 }
 
 PlanCacheStats QueryEngine::plan_cache_stats() const {
   return plan_cache_ != nullptr ? plan_cache_->stats() : PlanCacheStats{};
+}
+
+PlanStoreStats QueryEngine::plan_store_stats() const {
+  return plan_store_ != nullptr ? plan_store_->stats() : PlanStoreStats{};
+}
+
+Status QueryEngine::SavePlanSnapshot() const {
+  if (plan_cache_ == nullptr) {
+    return Status::InvalidArgument("plan cache is disabled");
+  }
+  if (config_.plan_cache.snapshot_path.empty()) {
+    return Status::InvalidArgument("no snapshot path configured");
+  }
+  return plan_cache_->SaveSnapshot(config_.plan_cache.snapshot_path,
+                                   schema_fingerprint_);
 }
 
 void QueryEngine::WaitForUpgrades() const {
@@ -343,6 +371,7 @@ void QueryEngine::RunUpgrade(std::shared_ptr<const CachedPlanEntry> entry,
   fresh->key = entry->key;
   fresh->stats_epoch = epoch;
   fresh->num_params = entry->num_params;
+  fresh->param_bands = entry->param_bands;
   fresh->planned_budget = entry->planned_budget;
   fresh->upgrade_attempts = entry->upgrade_attempts + 1;
   fresh->source_tree = entry->source_tree->Clone();
@@ -363,6 +392,10 @@ void QueryEngine::RunUpgrade(std::shared_ptr<const CachedPlanEntry> entry,
   }
   fresh->bytes = EstimateEntryBytes(*fresh);
   plan_cache_->RecordUpgradeAttempt(!fresh->degraded);
+  if (plan_store_ != nullptr && !fresh->degraded) {
+    // An upgraded plan is exactly what peers want: publish the improvement.
+    if (plan_store_->Publish(*fresh).ok()) plan_cache_->RecordStorePublish();
+  }
   plan_cache_->Put(fresh);
   entry->upgrade_in_flight.store(false, std::memory_order_release);
 }
@@ -380,21 +413,61 @@ Result<PreparedQuery> QueryEngine::PrepareAdmitted(const std::string& sql,
   // is cached under the old epoch and lazily invalidated on its next lookup.
   uint64_t epoch = db_.stats_epoch();
 
-  auto entry = plan_cache_->Find(ps.key, epoch);
-  if (entry != nullptr) {
-    MaybeUpgrade(entry, epoch);
+  // Selectivity bands of the statement's literal values (lazy: only needed
+  // when a cached/imported candidate exists or a fresh entry is built).
+  std::vector<int> bands;
+  bool bands_computed = false;
+  auto current_bands = [&]() -> const std::vector<int>& {
+    if (!bands_computed) {
+      bands = ComputeParamBands(*parsed.value(), ps.params.size(),
+                                db_.catalog(), db_.stats());
+      bands_computed = true;
+    }
+    return bands;
+  };
+
+  auto serve = [&](const std::shared_ptr<const CachedPlanEntry>& e,
+                   bool from_store) {
     PreparedQuery out;
-    out.tree = entry->tree->Clone();
+    out.tree = e->tree->Clone();
     BindTreeParams(out.tree.get(), ps.params);
-    out.plan = entry->plan->Clone();
+    out.plan = e->plan->Clone();
     RebindPlanParams(out.plan.get(), ps.params);
-    out.cost = entry->cost;
-    out.stats = entry->stats;
+    out.cost = e->cost;
+    out.stats = e->stats;
     out.from_plan_cache = true;
-    out.degraded = entry->degraded;
+    out.from_plan_store = from_store;
+    out.degraded = e->degraded;
     out.optimize_ms = MonotonicMs() - t0;
     plan_cache_->RecordHitLatency(out.optimize_ms);
     return out;
+  };
+
+  auto entry = plan_cache_->Find(ps.key, epoch);
+  if (entry != nullptr) {
+    if (ps.params.empty() || current_bands() == entry->param_bands) {
+      MaybeUpgrade(entry, epoch);
+      return serve(entry, false);
+    }
+    // Cardinality-aware re-binding: the re-bound literals land in a
+    // different selectivity band than the plan was optimized for — blind
+    // reuse risks a badly mis-costed plan, so re-cost from scratch (the
+    // fresh Put below replaces the entry, re-centering its bands).
+    plan_cache_->RecordRebindRecost();
+  } else if (plan_store_ != nullptr) {
+    // Local miss: try a peer's published plan before paying for the search.
+    auto peer = plan_store_->Import(ps.key, epoch, guards.cancel);
+    if (!peer.ok()) {
+      // Cancellation must unwind; a corrupt store just means no sharing.
+      if (IsGuardrailAbort(peer.status().code())) return peer.status();
+    } else if (*peer != nullptr) {
+      if (ps.params.empty() || current_bands() == (*peer)->param_bands) {
+        plan_cache_->Put(*peer);
+        plan_cache_->RecordStoreImport();
+        return serve(*peer, true);
+      }
+      plan_cache_->RecordStoreStale();
+    }
   }
 
   auto optimized = optimizer_.Optimize(*parsed.value(), config_.budget, guards);
@@ -412,9 +485,15 @@ Result<PreparedQuery> QueryEngine::PrepareAdmitted(const std::string& sql,
   fresh->cost = optimized->cost;
   fresh->stats = optimized->stats;
   fresh->num_params = ps.params.size();
+  if (!ps.params.empty()) fresh->param_bands = current_bands();
   fresh->degraded = IsDegraded(fresh->stats);
   fresh->planned_budget = config_.budget;
   fresh->bytes = EstimateEntryBytes(*fresh);
+  if (plan_store_ != nullptr && !fresh->degraded) {
+    // Share the search result with peer instances. Best effort: a store
+    // write failure only costs the sharing, never the query.
+    if (plan_store_->Publish(*fresh).ok()) plan_cache_->RecordStorePublish();
+  }
   plan_cache_->Put(std::move(fresh));
 
   PreparedQuery out;

@@ -1,6 +1,9 @@
 #include "cbqt/plan_cache.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "sql/expr_util.h"
 
@@ -165,6 +168,13 @@ PlanCacheStats PlanCache::stats() const {
   out.entries = size();
   out.memory_bytes = memory_bytes_.load(std::memory_order_relaxed);
   out.shed_bytes = shed_bytes_.load(std::memory_order_relaxed);
+  out.snapshot_loaded = snapshot_loaded_.load(std::memory_order_relaxed);
+  out.snapshot_stale = snapshot_stale_.load(std::memory_order_relaxed);
+  out.snapshot_saved = snapshot_saved_.load(std::memory_order_relaxed);
+  out.store_imports = store_imports_.load(std::memory_order_relaxed);
+  out.store_publishes = store_publishes_.load(std::memory_order_relaxed);
+  out.store_stale = store_stale_.load(std::memory_order_relaxed);
+  out.rebind_recosts = rebind_recosts_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -183,6 +193,201 @@ void PlanCache::RecordMissLatency(double ms) {
 void PlanCache::RecordUpgradeAttempt(bool upgraded) {
   upgrade_attempts_.fetch_add(1, std::memory_order_relaxed);
   if (upgraded) upgrades_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PlanCache::RecordStoreImport() {
+  store_imports_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PlanCache::RecordStorePublish() {
+  store_publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PlanCache::RecordStoreStale() {
+  store_stale_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PlanCache::RecordRebindRecost() {
+  rebind_recosts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t EstimateEntryBytes(const CachedPlanEntry& entry) {
+  int64_t bytes = static_cast<int64_t>(sizeof(CachedPlanEntry)) +
+                  static_cast<int64_t>(entry.key.capacity());
+  if (entry.tree != nullptr) bytes += entry.tree->EstimateBytes();
+  if (entry.source_tree != nullptr) bytes += entry.source_tree->EstimateBytes();
+  if (entry.plan != nullptr) bytes += entry.plan->EstimateBytes();
+  bytes += static_cast<int64_t>(entry.param_bands.capacity() * sizeof(int));
+  return bytes;
+}
+
+void SerializeCachedPlanEntry(const CachedPlanEntry& entry, ByteWriter* w) {
+  w->Str(entry.key);
+  w->U64(entry.stats_epoch);
+  w->Bool(entry.tree != nullptr);
+  if (entry.tree != nullptr) WriteQueryBlock(*entry.tree, w);
+  w->Bool(entry.plan != nullptr);
+  if (entry.plan != nullptr) WritePlanNode(*entry.plan, w);
+  w->Bool(entry.source_tree != nullptr);
+  if (entry.source_tree != nullptr) WriteQueryBlock(*entry.source_tree, w);
+  w->F64(entry.cost);
+  // Telemetry subset of CbqtStats worth surviving a restart: what the search
+  // did and whether it was budget-limited. The per-transformation maps are
+  // diagnostic-only and are not persisted.
+  w->I32(entry.stats.states_evaluated);
+  w->I64(entry.stats.blocks_planned);
+  w->Bool(entry.stats.budget_exhausted);
+  w->I32(entry.stats.searches_degraded);
+  w->U32(static_cast<uint32_t>(entry.stats.applied.size()));
+  for (const auto& t : entry.stats.applied) w->Str(t);
+  w->U32(static_cast<uint32_t>(entry.num_params));
+  w->U32(static_cast<uint32_t>(entry.param_bands.size()));
+  for (int b : entry.param_bands) w->I32(b);
+  w->Bool(entry.degraded);
+  w->F64(entry.planned_budget.deadline_ms);
+  w->I64(entry.planned_budget.max_states);
+  w->I64(entry.planned_budget.max_exec_rows);
+  w->I32(entry.upgrade_attempts);
+}
+
+Result<std::shared_ptr<CachedPlanEntry>> DeserializeCachedPlanEntry(
+    ByteReader* r) {
+  auto entry = std::make_shared<CachedPlanEntry>();
+  CBQT_RETURN_IF_ERROR(r->Str(&entry->key));
+  CBQT_RETURN_IF_ERROR(r->U64(&entry->stats_epoch));
+  bool present = false;
+  CBQT_RETURN_IF_ERROR(r->Bool(&present));
+  if (present) {
+    std::unique_ptr<QueryBlock> tree;
+    CBQT_RETURN_IF_ERROR(ReadQueryBlock(r, &tree));
+    entry->tree = std::move(tree);
+  }
+  CBQT_RETURN_IF_ERROR(r->Bool(&present));
+  if (present) {
+    std::unique_ptr<PlanNode> plan;
+    CBQT_RETURN_IF_ERROR(ReadPlanNode(r, &plan));
+    entry->plan = std::move(plan);
+  }
+  CBQT_RETURN_IF_ERROR(r->Bool(&present));
+  if (present) {
+    std::unique_ptr<QueryBlock> source;
+    CBQT_RETURN_IF_ERROR(ReadQueryBlock(r, &source));
+    entry->source_tree = std::move(source);
+  }
+  if (entry->tree == nullptr || entry->plan == nullptr ||
+      entry->source_tree == nullptr) {
+    return r->Fail("cached entry missing tree, plan, or source tree");
+  }
+  CBQT_RETURN_IF_ERROR(r->F64(&entry->cost));
+  CBQT_RETURN_IF_ERROR(r->I32(&entry->stats.states_evaluated));
+  CBQT_RETURN_IF_ERROR(r->I64(&entry->stats.blocks_planned));
+  CBQT_RETURN_IF_ERROR(r->Bool(&entry->stats.budget_exhausted));
+  CBQT_RETURN_IF_ERROR(r->I32(&entry->stats.searches_degraded));
+  uint32_t n = 0;
+  CBQT_RETURN_IF_ERROR(r->Count(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string t;
+    CBQT_RETURN_IF_ERROR(r->Str(&t));
+    entry->stats.applied.push_back(std::move(t));
+  }
+  uint32_t num_params = 0;
+  CBQT_RETURN_IF_ERROR(r->U32(&num_params));
+  entry->num_params = num_params;
+  CBQT_RETURN_IF_ERROR(r->Count(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t b = 0;
+    CBQT_RETURN_IF_ERROR(r->I32(&b));
+    entry->param_bands.push_back(b);
+  }
+  CBQT_RETURN_IF_ERROR(r->Bool(&entry->degraded));
+  CBQT_RETURN_IF_ERROR(r->F64(&entry->planned_budget.deadline_ms));
+  CBQT_RETURN_IF_ERROR(r->I64(&entry->planned_budget.max_states));
+  CBQT_RETURN_IF_ERROR(r->I64(&entry->planned_budget.max_exec_rows));
+  CBQT_RETURN_IF_ERROR(r->I32(&entry->upgrade_attempts));
+  entry->bytes = EstimateEntryBytes(*entry);
+  return entry;
+}
+
+Status PlanCache::SaveSnapshot(const std::string& path,
+                               uint64_t schema_fingerprint) const {
+  ByteWriter payload;
+  payload.U64(schema_fingerprint);
+  uint32_t count = 0;
+  ByteWriter entries;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    // LRU order, most recent first, so a capacity-truncated reload keeps the
+    // hottest statements.
+    for (const std::string* key : shard->lru) {
+      auto it = shard->map.find(*key);
+      SerializeCachedPlanEntry(*it->second.entry, &entries);
+      ++count;
+    }
+  }
+  payload.U32(count);
+  std::string body = payload.Take() + entries.Take();
+  std::string framed = FramePayload(kPlanSnapshotMagic, std::move(body));
+
+  // Atomic replace: a crash mid-save leaves the previous snapshot intact,
+  // and a concurrent loader never observes a half-written file.
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open snapshot tmp file: " + tmp);
+    }
+    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+    if (!out) {
+      return Status::Internal("short write to snapshot tmp file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename snapshot into place: " + path);
+  }
+  snapshot_saved_.fetch_add(count, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<size_t> PlanCache::LoadSnapshot(const std::string& path,
+                                       uint64_t current_epoch,
+                                       uint64_t schema_fingerprint) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return size_t{0};  // no snapshot yet: cold start, not an error
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string bytes = buf.str();
+
+  auto payload = UnframePayload(kPlanSnapshotMagic, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r(*payload);
+  uint64_t fingerprint = 0;
+  uint32_t count = 0;
+  CBQT_RETURN_IF_ERROR(r.U64(&fingerprint));
+  CBQT_RETURN_IF_ERROR(r.U32(&count));
+  if (fingerprint != schema_fingerprint) {
+    // A snapshot of some other schema: plans in it must never execute here.
+    snapshot_stale_.fetch_add(count, std::memory_order_relaxed);
+    return size_t{0};
+  }
+  size_t loaded = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    auto entry = DeserializeCachedPlanEntry(&r);
+    if (!entry.ok()) return entry.status();
+    if ((*entry)->stats_epoch != current_epoch) {
+      snapshot_stale_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Put(std::move(*entry));
+    ++loaded;
+  }
+  if (!r.exhausted()) {
+    return r.Fail(std::to_string(r.remaining()) +
+                  " trailing bytes after snapshot entries");
+  }
+  snapshot_loaded_.fetch_add(static_cast<int64_t>(loaded),
+                             std::memory_order_relaxed);
+  return loaded;
 }
 
 namespace {

@@ -17,6 +17,7 @@
 #include "common/memory_tracker.h"
 #include "common/value.h"
 #include "optimizer/plan.h"
+#include "optimizer/plan_serde.h"
 #include "sql/query_block.h"
 
 namespace cbqt {
@@ -43,6 +44,11 @@ struct CachedPlanEntry {
   double cost = 0;
   CbqtStats stats;  ///< telemetry of the Optimize() that produced the plan
   size_t num_params = 0;
+  /// Selectivity band (optimizer/card_est.h) of each parameter slot at the
+  /// literal values the plan was optimized for; -1 = band-insensitive. A hit
+  /// whose re-bound literals land in a different band re-costs the statement
+  /// instead of blindly reusing the plan.
+  std::vector<int> param_bands;
   /// Estimated footprint of the entry (trees + plan + key), computed by the
   /// engine before Put and charged against the engine memory tracker while
   /// the entry is cached.
@@ -76,6 +82,15 @@ struct PlanCacheStats {
   size_t entries = 0;
   int64_t memory_bytes = 0;      ///< estimated bytes held by cached entries
   int64_t shed_bytes = 0;        ///< bytes freed by EvictBytes (memory pressure)
+
+  // Persistence / sharing telemetry (zero when neither is configured).
+  int64_t snapshot_loaded = 0;   ///< entries warm-started from a snapshot
+  int64_t snapshot_stale = 0;    ///< snapshot entries skipped (epoch/schema)
+  int64_t snapshot_saved = 0;    ///< entries streamed to a snapshot file
+  int64_t store_imports = 0;     ///< misses served from the shared plan store
+  int64_t store_publishes = 0;   ///< entries published to the shared store
+  int64_t store_stale = 0;       ///< store entries rejected (epoch/bands)
+  int64_t rebind_recosts = 0;    ///< hits re-costed on a selectivity-band move
 
   double hit_rate() const {
     int64_t total = hits + misses;
@@ -148,6 +163,27 @@ class PlanCache {
   void RecordMissLatency(double ms);
   void RecordUpgradeAttempt(bool upgraded);
 
+  // Shared-store / re-binding telemetry, recorded by QueryEngine.
+  void RecordStoreImport();
+  void RecordStorePublish();
+  void RecordStoreStale();
+  void RecordRebindRecost();
+
+  /// Streams every cached entry to `path` (atomically: tmp file + rename) as
+  /// one framed, checksummed blob stamped with the catalog schema
+  /// fingerprint. Degraded entries are saved too — their upgrade ladder
+  /// resumes after the restart.
+  Status SaveSnapshot(const std::string& path,
+                      uint64_t schema_fingerprint) const;
+
+  /// Warm-starts the cache from `path`: validates the frame (magic, version,
+  /// checksum) and the schema fingerprint, then Put()s every entry whose
+  /// stats epoch equals `current_epoch` (others count as snapshot_stale).
+  /// A missing file is not an error (returns 0); malformed bytes yield a
+  /// typed DataCorruption and load nothing.
+  Result<size_t> LoadSnapshot(const std::string& path, uint64_t current_epoch,
+                              uint64_t schema_fingerprint);
+
  private:
   struct TransparentHash {
     using is_transparent = void;
@@ -192,7 +228,36 @@ class PlanCache {
   std::atomic<int64_t> miss_prepares_{0};
   std::atomic<int64_t> hit_prepare_ns_{0};
   std::atomic<int64_t> miss_prepare_ns_{0};
+  std::atomic<int64_t> snapshot_loaded_{0};
+  std::atomic<int64_t> snapshot_stale_{0};
+  /// mutable: SaveSnapshot is logically const (the cache is unchanged).
+  mutable std::atomic<int64_t> snapshot_saved_{0};
+  std::atomic<int64_t> store_imports_{0};
+  std::atomic<int64_t> store_publishes_{0};
+  std::atomic<int64_t> store_stale_{0};
+  std::atomic<int64_t> rebind_recosts_{0};
 };
+
+/// Estimated footprint of one plan-cache entry (trees + plan + key), charged
+/// against the engine memory tracker while the entry is cached.
+int64_t EstimateEntryBytes(const CachedPlanEntry& entry);
+
+/// Magic of a framed plan-cache snapshot file ("CBQS").
+inline constexpr uint32_t kPlanSnapshotMagic = 0x53514243u;  // "CBQS" LE
+
+/// Serializes one cache entry (key, epoch, trees, plan, cost, telemetry,
+/// parameter bands, upgrade-ladder state) into `w` — unframed; the snapshot
+/// file and shared-store records add their own frame around batches of
+/// entries. The mutable atomics (hits, upgrade gate) are not persisted.
+void SerializeCachedPlanEntry(const CachedPlanEntry& entry, ByteWriter* w);
+
+/// Inverse of SerializeCachedPlanEntry. The deserialized trees are unbound
+/// (catalog pointers are never serialized), which every consumer tolerates:
+/// execution uses only the plan, and upgrades re-optimize the source tree
+/// through CbqtOptimizer::Optimize, which re-binds internally. `bytes` is
+/// recomputed; the atomics start fresh.
+Result<std::shared_ptr<CachedPlanEntry>> DeserializeCachedPlanEntry(
+    ByteReader* r);
 
 /// Overwrites, in place, the value of every parameterized literal
 /// (Expr::param_index >= 0) anywhere in `plan` — probes, filters, join

@@ -1,0 +1,246 @@
+#include "cbqt/plan_store.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cbqt {
+
+namespace {
+
+/// Size of the frame header written by FramePayload: magic u32, version u32,
+/// payload size u64, checksum u64.
+constexpr uint64_t kFrameHeaderBytes = 24;
+
+/// Ceiling on a single record's payload, far above any real plan; a header
+/// claiming more is corruption, not a large plan.
+constexpr uint64_t kMaxRecordPayload = 256ull << 20;
+
+/// RAII advisory lock on the whole store file.
+class ScopedFlock {
+ public:
+  ScopedFlock(int fd, int op) : fd_(fd) {
+    while (::flock(fd_, op) != 0 && errno == EINTR) {
+    }
+  }
+  ~ScopedFlock() { ::flock(fd_, LOCK_UN); }
+  ScopedFlock(const ScopedFlock&) = delete;
+  ScopedFlock& operator=(const ScopedFlock&) = delete;
+
+ private:
+  int fd_;
+};
+
+Status WriteAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("plan store write failed: ") +
+                              std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadRange(int fd, uint64_t offset, uint64_t len) {
+  std::string out(len, '\0');
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::pread(fd, out.data() + got, len - got,
+                        static_cast<off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("plan store read failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::DataCorruption("plan store truncated mid-record");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return out;
+}
+
+Result<uint64_t> FileSize(int fd) {
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return Status::Internal(std::string("plan store fstat failed: ") +
+                            std::strerror(errno));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+/// Parses the fixed frame header at `offset`; returns the payload size after
+/// validating magic and version.
+Result<uint64_t> ParseFrameHeader(int fd, uint64_t offset,
+                                  uint32_t expected_magic) {
+  auto head = ReadRange(fd, offset, kFrameHeaderBytes);
+  if (!head.ok()) return head.status();
+  ByteReader r(*head);
+  uint32_t magic = 0, version = 0;
+  uint64_t size = 0, checksum = 0;
+  CBQT_RETURN_IF_ERROR(r.U32(&magic));
+  CBQT_RETURN_IF_ERROR(r.U32(&version));
+  CBQT_RETURN_IF_ERROR(r.U64(&size));
+  CBQT_RETURN_IF_ERROR(r.U64(&checksum));
+  if (magic != expected_magic) {
+    return Status::DataCorruption("plan store: bad record magic");
+  }
+  if (version != kPlanSerdeVersion) {
+    return Status::DataCorruption("plan store: record version skew");
+  }
+  if (size > kMaxRecordPayload) {
+    return Status::DataCorruption("plan store: implausible record size " +
+                                  std::to_string(size));
+  }
+  return size;
+}
+
+}  // namespace
+
+PlanStore::PlanStore(std::string path, int fd, uint64_t fingerprint)
+    : path_(std::move(path)), fd_(fd), fingerprint_(fingerprint) {}
+
+PlanStore::~PlanStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<PlanStore>> PlanStore::Open(
+    const std::string& path, uint64_t schema_fingerprint) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open plan store " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::unique_ptr<PlanStore> store(
+      new PlanStore(path, fd, schema_fingerprint));
+
+  // Exclusive while deciding whether to write the header, so two instances
+  // racing to create the store cannot both write one.
+  ScopedFlock lock(fd, LOCK_EX);
+  auto size = FileSize(fd);
+  if (!size.ok()) return size.status();
+
+  ByteWriter header_payload;
+  header_payload.U64(schema_fingerprint);
+  std::string header =
+      FramePayload(kPlanStoreHeaderMagic, header_payload.Take());
+
+  if (*size == 0) {
+    if (::lseek(fd, 0, SEEK_SET) < 0) {
+      return Status::Internal("plan store seek failed");
+    }
+    CBQT_RETURN_IF_ERROR(WriteAll(fd, header));
+    store->scan_offset_ = header.size();
+    return store;
+  }
+
+  // Existing store: validate its header against our schema.
+  auto payload_size = ParseFrameHeader(fd, 0, kPlanStoreHeaderMagic);
+  if (!payload_size.ok()) return payload_size.status();
+  auto full = ReadRange(fd, 0, kFrameHeaderBytes + *payload_size);
+  if (!full.ok()) return full.status();
+  auto payload = UnframePayload(kPlanStoreHeaderMagic, *full);
+  if (!payload.ok()) return payload.status();
+  ByteReader r(*payload);
+  uint64_t fingerprint = 0;
+  CBQT_RETURN_IF_ERROR(r.U64(&fingerprint));
+  if (fingerprint != schema_fingerprint) {
+    return Status::DataCorruption(
+        "plan store " + path + " belongs to a different schema (fingerprint " +
+        std::to_string(fingerprint) + " vs " +
+        std::to_string(schema_fingerprint) + ")");
+  }
+  store->scan_offset_ = kFrameHeaderBytes + *payload_size;
+  return store;
+}
+
+Status PlanStore::Publish(const CachedPlanEntry& entry) {
+  ByteWriter w;
+  SerializeCachedPlanEntry(entry, &w);
+  std::string record = FramePayload(kPlanStoreRecordMagic, w.Take());
+
+  ScopedFlock lock(fd_, LOCK_EX);
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    return Status::Internal("plan store seek failed");
+  }
+  CBQT_RETURN_IF_ERROR(WriteAll(fd_, record));
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PlanStore::RefreshIndexLocked(CancellationToken* cancel) {
+  auto size = FileSize(fd_);
+  if (!size.ok()) return size.status();
+  while (scan_offset_ + kFrameHeaderBytes <= *size) {
+    if (cancel != nullptr && cancel->cancelled()) return cancel->status();
+    auto payload_size =
+        ParseFrameHeader(fd_, scan_offset_, kPlanStoreRecordMagic);
+    if (!payload_size.ok()) {
+      corrupt_skipped_.fetch_add(1, std::memory_order_relaxed);
+      return payload_size.status();
+    }
+    uint64_t record_len = kFrameHeaderBytes + *payload_size;
+    if (scan_offset_ + record_len > *size) {
+      // Appender mid-write (cannot happen under the advisory locks, but a
+      // crashed writer can leave a short tail): stop before it; a complete
+      // re-append will be picked up next refresh.
+      break;
+    }
+    auto record = ReadRange(fd_, scan_offset_, record_len);
+    if (!record.ok()) return record.status();
+    auto payload = UnframePayload(kPlanStoreRecordMagic, *record);
+    if (!payload.ok()) {
+      corrupt_skipped_.fetch_add(1, std::memory_order_relaxed);
+      return payload.status();
+    }
+    ByteReader r(*payload);
+    auto entry = DeserializeCachedPlanEntry(&r);
+    if (!entry.ok() || !r.exhausted()) {
+      corrupt_skipped_.fetch_add(1, std::memory_order_relaxed);
+      return entry.ok() ? r.Fail("trailing bytes after store entry")
+                        : entry.status();
+    }
+    index_[(*entry)->key] = std::move(*entry);  // last write wins
+    scan_offset_ += record_len;
+    records_scanned_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<CachedPlanEntry>> PlanStore::Import(
+    const std::string& key, uint64_t current_epoch,
+    CancellationToken* cancel) {
+  std::lock_guard<std::mutex> mu_lock(mu_);
+  {
+    ScopedFlock lock(fd_, LOCK_SH);
+    CBQT_RETURN_IF_ERROR(RefreshIndexLocked(cancel));
+  }
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::shared_ptr<CachedPlanEntry>{};
+  if (it->second->stats_epoch != current_epoch) {
+    stale_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return std::shared_ptr<CachedPlanEntry>{};
+  }
+  imports_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+PlanStoreStats PlanStore::stats() const {
+  PlanStoreStats out;
+  out.publishes = publishes_.load(std::memory_order_relaxed);
+  out.imports = imports_.load(std::memory_order_relaxed);
+  out.stale_rejected = stale_rejected_.load(std::memory_order_relaxed);
+  out.corrupt_skipped = corrupt_skipped_.load(std::memory_order_relaxed);
+  out.records_scanned = records_scanned_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace cbqt

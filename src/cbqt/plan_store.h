@@ -1,0 +1,107 @@
+#ifndef CBQT_CBQT_PLAN_STORE_H_
+#define CBQT_CBQT_PLAN_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cbqt/plan_cache.h"
+#include "common/cancellation.h"
+#include "common/status.h"
+
+namespace cbqt {
+
+/// Telemetry snapshot of one PlanStore attachment.
+struct PlanStoreStats {
+  int64_t publishes = 0;       ///< records this attachment appended
+  int64_t imports = 0;         ///< Import calls that returned a peer's entry
+  int64_t stale_rejected = 0;  ///< matching records rejected for a stale epoch
+  int64_t corrupt_skipped = 0; ///< scan aborts on a malformed record
+  int64_t records_scanned = 0; ///< records parsed off the file so far
+};
+
+/// A file-backed shared plan store: the cross-instance half of the plan
+/// cache. N QueryEngine instances (same process or different processes)
+/// attach to one store file; each publishes its freshly optimized and
+/// budget-upgraded plans and, on a local cache miss, imports a peer's entry
+/// instead of re-running the CBQT search — the first step toward sharded
+/// multi-process serving.
+///
+/// Layout: one framed header record carrying the catalog schema fingerprint,
+/// followed by append-only framed entry records (optimizer/plan_serde.h
+/// framing: magic, version, size, FNV-1a checksum, payload). Concurrency is
+/// governed by POSIX advisory locks: appends take flock(LOCK_EX), scans take
+/// flock(LOCK_SH), so a reader never observes a torn record. Imports scan
+/// incrementally — each attachment remembers its scan offset and parses only
+/// the records appended since its last look — and maintain an in-memory
+/// key -> entry index (last write wins, matching "most recently optimized").
+///
+/// Corruption handling matches the serde contract: a record that fails
+/// frame validation stops the scan with a typed error for that Import call
+/// (counted, never UB); the scan offset stays before the bad record so a
+/// later append after repair is still picked up.
+class PlanStore {
+ public:
+  ~PlanStore();
+
+  PlanStore(const PlanStore&) = delete;
+  PlanStore& operator=(const PlanStore&) = delete;
+
+  /// Attaches to (creating if absent) the store file at `path`. A fresh file
+  /// gets a header stamped with `schema_fingerprint`; attaching to a store
+  /// whose header carries a different fingerprint (or is malformed) fails
+  /// typed — plans optimized against another schema must never be shared.
+  static Result<std::unique_ptr<PlanStore>> Open(const std::string& path,
+                                                 uint64_t schema_fingerprint);
+
+  /// Appends `entry` as one framed record (flock LOCK_EX for the append).
+  /// Callers publish only non-degraded entries; the store does not judge.
+  Status Publish(const CachedPlanEntry& entry);
+
+  /// Looks up `key` among the records published by any attachment,
+  /// refreshing the incremental scan first (flock LOCK_SH). Returns the
+  /// peer's entry when its stats epoch equals `current_epoch`; nullptr when
+  /// the key is absent or every match is stale. `cancel` (optional) is
+  /// polled once per record parsed, so a cancel mid-import unwinds with the
+  /// token's status instead of finishing a large scan.
+  Result<std::shared_ptr<CachedPlanEntry>> Import(
+      const std::string& key, uint64_t current_epoch,
+      CancellationToken* cancel = nullptr);
+
+  PlanStoreStats stats() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  PlanStore(std::string path, int fd, uint64_t fingerprint);
+
+  /// Parses records appended since scan_offset_ into index_. Caller holds
+  /// mu_ and a shared flock.
+  Status RefreshIndexLocked(CancellationToken* cancel);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t fingerprint_ = 0;
+
+  std::mutex mu_;  ///< guards index_ and scan_offset_ within this process
+  std::map<std::string, std::shared_ptr<CachedPlanEntry>> index_;
+  uint64_t scan_offset_ = 0;  ///< file offset of the first unparsed record
+
+  mutable std::atomic<int64_t> publishes_{0};
+  mutable std::atomic<int64_t> imports_{0};
+  mutable std::atomic<int64_t> stale_rejected_{0};
+  mutable std::atomic<int64_t> corrupt_skipped_{0};
+  mutable std::atomic<int64_t> records_scanned_{0};
+};
+
+/// Magic of the shared-store header record ("CBQH") and of each published
+/// entry record ("CBQR").
+inline constexpr uint32_t kPlanStoreHeaderMagic = 0x48514243u;  // "CBQH" LE
+inline constexpr uint32_t kPlanStoreRecordMagic = 0x52514243u;  // "CBQR" LE
+
+}  // namespace cbqt
+
+#endif  // CBQT_CBQT_PLAN_STORE_H_

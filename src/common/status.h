@@ -40,6 +40,12 @@ enum class StatusCode {
   /// the engine is at its concurrency ceiling and the admission queue is
   /// full (or the queue deadline expired). Cheap, typed, retryable.
   kAdmissionRejected,
+  /// Serialized bytes (plan snapshot, shared plan store record) failed
+  /// structural validation: bad magic, version skew, checksum mismatch,
+  /// truncation, or an out-of-range enum/count. The reader guarantees a
+  /// typed error for arbitrary malformed input — never UB — so callers
+  /// treat the artifact as absent and re-optimize from scratch.
+  kDataCorruption,
 };
 
 /// True for the runtime-guardrail codes that must abort a whole query
@@ -98,6 +104,9 @@ class Status {
   }
   static Status AdmissionRejected(std::string msg) {
     return Status(StatusCode::kAdmissionRejected, std::move(msg));
+  }
+  static Status DataCorruption(std::string msg) {
+    return Status(StatusCode::kDataCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

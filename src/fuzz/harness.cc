@@ -69,6 +69,9 @@ std::string FuzzReport::Summary() const {
      << " round-trip failures, " << mutant_invalid << " invalid mutants, "
      << ref_errors << " reference errors, " << failures.size()
      << " divergences";
+  if (serde_roundtrips > 0) {
+    os << ", " << serde_roundtrips << " plan serde round-trips";
+  }
   for (const auto& f : failures) {
     os << "\n  [" << f.config_name << "] " << f.message << "\n    "
        << f.shrunk_sql;
@@ -96,6 +99,7 @@ FuzzReport RunFuzz(const Database& db, const FuzzOptions& options) {
     for (auto& e : deck) e.config.fault_injector = injector.value();
   }
   DifferentialOracle oracle(db, std::move(deck), options.canary);
+  oracle.set_serde_roundtrip(options.serde_roundtrip);
 
   // Minimizes `failing_sql` (when shrinking is on), dumps the repro, and
   // appends it to the report. Shrinking re-runs the whole deck per
@@ -224,6 +228,7 @@ FuzzReport RunFuzz(const Database& db, const FuzzOptions& options) {
       report.executions += outcome.executions;
       report.guardrail_aborts += outcome.guardrail_aborts;
       report.injected_faults += outcome.injected_faults;
+      report.serde_roundtrips += outcome.serde_roundtrips;
       for (const auto& f : outcome.failures) record_failure(round_seed, f);
     }
   }

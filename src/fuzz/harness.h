@@ -34,6 +34,10 @@ struct FuzzOptions {
   uint64_t fault_seed = 0;
   bool shrink = true;         ///< minimize failing queries before reporting
   std::string corpus_dir;     ///< non-empty: dump shrunk repros as .sql files
+  /// Round-trip every deck engine's chosen plan through the binary plan
+  /// serde (serialize -> deserialize -> re-serialize must be bit-identical);
+  /// any divergence is a failure. See DifferentialOracle::set_serde_roundtrip.
+  bool serde_roundtrip = false;
   FuzzGenConfig gen;
 };
 
@@ -57,6 +61,7 @@ struct FuzzReport {
   int ref_errors = 0;         ///< reference interpreter errors
   int guardrail_aborts = 0;   ///< typed aborts, skipped (not compared)
   int injected_faults = 0;    ///< clean injected-fault errors (fault sweep)
+  int serde_roundtrips = 0;   ///< chosen plans that round-tripped bit-identical
   double elapsed_ms = 0;
   std::vector<FuzzRepro> failures;
 

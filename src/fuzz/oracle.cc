@@ -5,6 +5,7 @@
 #include "binder/binder.h"
 #include "cbqt/search.h"
 #include "exec/reference.h"
+#include "optimizer/plan_serde.h"
 #include "parser/parser.h"
 #include "sql/expr_util.h"
 
@@ -104,6 +105,25 @@ void DifferentialOracle::Check(const std::string& sql,
       out->failures.push_back(
           {deck_[i].name, sql, "unexpected error: " + st.ToString()});
       continue;
+    }
+    if (serde_roundtrip_ && result.value().prepared.plan != nullptr) {
+      const PlanNode& plan = *result.value().prepared.plan;
+      std::string bytes = SerializePlan(plan);
+      auto restored = DeserializePlan(bytes);
+      if (!restored.ok()) {
+        out->failures.push_back({deck_[i].name, sql,
+                                 "serde: chosen plan failed to deserialize: " +
+                                     restored.status().ToString()});
+      } else if (SerializePlan(**restored) != bytes) {
+        out->failures.push_back(
+            {deck_[i].name, sql,
+             "serde: re-serialized plan is not bit-identical"});
+      } else if (PlanToString(**restored) != PlanToString(plan)) {
+        out->failures.push_back(
+            {deck_[i].name, sql, "serde: deserialized plan renders differently"});
+      } else {
+        ++out->serde_roundtrips;
+      }
     }
     std::vector<Row> rows = std::move(result.value().rows);
     if (canary_applies && i == 0 && !rows.empty()) {

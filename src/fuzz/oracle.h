@@ -27,6 +27,8 @@ struct OracleOutcome {
                              ///< run is skipped, not compared
   int injected_faults = 0;   ///< "injected fault" kInternal errors — clean
                              ///< degradation under a fault sweep
+  int serde_roundtrips = 0;  ///< chosen plans round-tripped through the
+                             ///< binary serde (set_serde_roundtrip)
   std::vector<DiffFailure> failures;
 };
 
@@ -70,6 +72,13 @@ class DifferentialOracle {
   void Check(const std::string& sql, const std::vector<Row>& expected_sorted,
              OracleOutcome* out);
 
+  /// When on, every deck engine's chosen plan is additionally round-tripped
+  /// through the binary plan serde (optimizer/plan_serde.h): the re-serialized
+  /// bytes must be bit-identical and the rendered plan unchanged. Any
+  /// divergence is a DiffFailure — the fuzz deck doubles as the serde
+  /// round-trip corpus.
+  void set_serde_roundtrip(bool on) { serde_roundtrip_ = on; }
+
   const std::vector<Entry>& deck() const { return deck_; }
 
  private:
@@ -77,6 +86,7 @@ class DifferentialOracle {
   std::vector<Entry> deck_;
   std::vector<std::unique_ptr<QueryEngine>> engines_;
   bool canary_ = false;
+  bool serde_roundtrip_ = false;
 };
 
 /// True when `sql` references at least `n` base relations (counting every

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sql/query_block.h"
+
 namespace cbqt {
 
 namespace {
@@ -240,6 +242,145 @@ double SemiJoinSelectivity(const Expr& cond, const StatsContext& ctx,
       ctx.FindColumn(right_col->table_alias, right_col->column_name);
   if (cl == nullptr || cr == nullptr || cl->ndv <= 0) return 0.5;
   return std::min(1.0, cr->ndv / cl->ndv);
+}
+
+int SelectivityBand(double sel) {
+  sel = Clamp01(sel);
+  // log10(sel) in [-9, 0]; half-decade buckets -> bands 0..18.
+  return static_cast<int>(std::floor(-std::log10(sel) * 2.0 + 1e-9));
+}
+
+namespace {
+
+/// Shared walk state for ComputeParamBands.
+struct BandWalk {
+  const Catalog* catalog;
+  const StatsRegistry* stats;
+  std::vector<int>* bands;
+};
+
+RelStats TableRelStats(const TableDef& def, const TableStats* ts) {
+  RelStats rel;
+  if (ts == nullptr) return rel;
+  rel.rows = ts->rows;
+  for (size_t i = 0; i < def.columns.size() && i < ts->columns.size(); ++i) {
+    rel.columns[def.columns[i].name] = ts->columns[i];
+  }
+  return rel;
+}
+
+/// True if `e` is `colref <cmp> literal` (either order) where the literal is
+/// a parameter slot; the colref must be local to the block.
+bool ParamComparison(const Expr& e, const Expr** col, const Expr** lit) {
+  if (e.kind != ExprKind::kBinary) return false;
+  switch (e.bop) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNullSafeEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      break;
+    default:
+      return false;
+  }
+  const Expr& l = *e.children[0];
+  const Expr& r = *e.children[1];
+  if (l.kind == ExprKind::kColumnRef && l.corr_depth == 0 &&
+      r.kind == ExprKind::kLiteral && r.param_index >= 0) {
+    *col = &l;
+    *lit = &r;
+    return true;
+  }
+  if (r.kind == ExprKind::kColumnRef && r.corr_depth == 0 &&
+      l.kind == ExprKind::kLiteral && l.param_index >= 0) {
+    *col = &r;
+    *lit = &l;
+    return true;
+  }
+  return false;
+}
+
+void WalkBlockForBands(const QueryBlock& qb, const BandWalk& walk);
+
+void WalkExprForBands(const Expr& e, const StatsContext& ctx,
+                      const BandWalk& walk) {
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  if (ParamComparison(e, &col, &lit)) {
+    size_t slot = static_cast<size_t>(lit->param_index);
+    if (slot < walk.bands->size()) {
+      (*walk.bands)[slot] = SelectivityBand(Selectivity(e, ctx));
+    }
+  }
+  for (const auto& c : e.children) {
+    if (c != nullptr) WalkExprForBands(*c, ctx, walk);
+  }
+  for (const auto& c : e.partition_by) {
+    if (c != nullptr) WalkExprForBands(*c, ctx, walk);
+  }
+  for (const auto& c : e.win_order_by) {
+    if (c != nullptr) WalkExprForBands(*c, ctx, walk);
+  }
+  if (e.subquery != nullptr) WalkBlockForBands(*e.subquery, walk);
+}
+
+void WalkBlockForBands(const QueryBlock& qb, const BandWalk& walk) {
+  for (const auto& b : qb.branches) {
+    if (b != nullptr) WalkBlockForBands(*b, walk);
+  }
+  // Per-block context over its base tables. The tree may be unbound (bands
+  // are computed straight off the parse, before the optimizer re-binds), so
+  // unqualified column refs are resolved through a merged empty-alias
+  // relation: first table wins, which matches binder behavior for
+  // unambiguous names and is merely a heuristic band for ambiguous ones.
+  StatsContext ctx;
+  RelStats merged;
+  for (const auto& ref : qb.from) {
+    if (ref.table_name.empty()) continue;
+    const TableDef* def = walk.catalog->FindTable(ref.table_name);
+    if (def == nullptr) continue;
+    RelStats rel = TableRelStats(*def, walk.stats->Find(def->name));
+    for (const auto& [name, cs] : rel.columns) {
+      merged.columns.emplace(name, cs);  // keeps the first occurrence
+    }
+    merged.rows = std::max(merged.rows, rel.rows);
+    ctx.AddRelation(ref.alias.empty() ? ref.table_name : ref.alias,
+                    std::move(rel));
+  }
+  ctx.AddRelation("", std::move(merged));
+
+  auto walk_vec = [&](const std::vector<ExprPtr>& exprs) {
+    for (const auto& e : exprs) {
+      if (e != nullptr) WalkExprForBands(*e, ctx, walk);
+    }
+  };
+  for (const auto& item : qb.select) {
+    if (item.expr != nullptr) WalkExprForBands(*item.expr, ctx, walk);
+  }
+  for (const auto& ref : qb.from) {
+    walk_vec(ref.join_conds);
+    if (ref.derived != nullptr) WalkBlockForBands(*ref.derived, walk);
+  }
+  walk_vec(qb.where);
+  walk_vec(qb.group_by);
+  walk_vec(qb.having);
+  for (const auto& item : qb.order_by) {
+    if (item.expr != nullptr) WalkExprForBands(*item.expr, ctx, walk);
+  }
+}
+
+}  // namespace
+
+std::vector<int> ComputeParamBands(const QueryBlock& qb, size_t num_params,
+                                   const Catalog& catalog,
+                                   const StatsRegistry& stats) {
+  std::vector<int> bands(num_params, -1);
+  if (num_params == 0) return bands;
+  BandWalk walk{&catalog, &stats, &bands};
+  WalkBlockForBands(qb, walk);
+  return bands;
 }
 
 }  // namespace cbqt

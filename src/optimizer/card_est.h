@@ -3,9 +3,15 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
+#include "catalog/catalog.h"
 #include "catalog/statistics.h"
 #include "sql/expr.h"
+
+namespace cbqt {
+struct QueryBlock;
+}
 
 namespace cbqt {
 
@@ -49,6 +55,26 @@ double EstimateNdv(const Expr& e, const StatsContext& ctx,
 /// `right_alias` identifies which side of the condition is the right input.
 double SemiJoinSelectivity(const Expr& cond, const StatsContext& ctx,
                            const std::string& right_alias);
+
+/// Half-decade log10 bucket of a selectivity: band 0 covers [10^-0.5, 1],
+/// band 1 covers [10^-1, 10^-0.5), and so on down to the 1e-9 clamp. Two
+/// literals whose predicates land in the same band are "close enough" for a
+/// cached plan to be reused; a band change is the cardinality-aware
+/// re-binding trigger on the plan-cache hit path.
+int SelectivityBand(double sel);
+
+/// Per-parameter selectivity bands of a parameterized statement, computed on
+/// the (possibly unbound) parsed tree: for every simple comparison
+/// `column <op> $k` found anywhere in the block tree, slot k records
+/// SelectivityBand of that predicate under the base-table statistics.
+/// Slots whose parameter never appears in such a comparison stay -1
+/// (band-insensitive: any value matches). Equality predicates cost 1/NDV
+/// regardless of the value, so bands move mainly on range predicates —
+/// exactly the ones where a literal at the other end of the domain deserves
+/// a different plan.
+std::vector<int> ComputeParamBands(const QueryBlock& qb, size_t num_params,
+                                   const Catalog& catalog,
+                                   const StatsRegistry& stats);
 
 }  // namespace cbqt
 

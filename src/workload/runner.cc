@@ -105,6 +105,12 @@ WorkloadRunReport WorkloadRunner::RunAll(
     report.plan_cache_hits = pcs.hits;
     report.plan_cache_misses = pcs.misses;
     report.plan_cache_upgrades = pcs.upgrades;
+    report.plan_cache_snapshot_loaded = pcs.snapshot_loaded;
+    report.plan_cache_snapshot_stale = pcs.snapshot_stale;
+    report.plan_cache_store_imports = pcs.store_imports;
+    report.plan_cache_store_publishes = pcs.store_publishes;
+    report.plan_cache_store_stale = pcs.store_stale;
+    report.plan_cache_rebind_recosts = pcs.rebind_recosts;
   }
   GuardrailStats gs = engine.guardrail_stats();
   report.engine_peak_memory_bytes = gs.engine_peak_bytes;

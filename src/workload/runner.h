@@ -77,6 +77,14 @@ struct WorkloadRunReport {
   int64_t plan_cache_hits = 0;
   int64_t plan_cache_misses = 0;
   int64_t plan_cache_upgrades = 0;
+  // Persistence / sharing counters (zero unless a snapshot path or shared
+  // store is configured on the plan cache).
+  int64_t plan_cache_snapshot_loaded = 0;  ///< entries warm-started from disk
+  int64_t plan_cache_snapshot_stale = 0;   ///< snapshot entries rejected
+  int64_t plan_cache_store_imports = 0;    ///< misses served by peer plans
+  int64_t plan_cache_store_publishes = 0;  ///< plans shared with peers
+  int64_t plan_cache_store_stale = 0;      ///< peer plans rejected
+  int64_t plan_cache_rebind_recosts = 0;   ///< hits re-costed on a band move
 
   // Guardrail telemetry from the shared engine (zero when guardrails off).
   int64_t engine_peak_memory_bytes = 0;  ///< root tracker high-water mark

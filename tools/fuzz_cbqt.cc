@@ -29,7 +29,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--seed N] [--rounds N] [--time-box-ms MS] [--mutants N]\n"
       "          [--min-execs N] [--corpus-dir DIR] [--canary]\n"
-      "          [--fault-sweep SITES] [--fault-seed N] [--no-shrink]\n",
+      "          [--fault-sweep SITES] [--fault-seed N] [--no-shrink]\n"
+      "          [--serde-roundtrip]\n",
       argv0);
   return 2;
 }
@@ -82,6 +83,8 @@ int main(int argc, char** argv) {
       options.fault_seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--no-shrink") {
       options.shrink = false;
+    } else if (arg == "--serde-roundtrip") {
+      options.serde_roundtrip = true;
     } else {
       return Usage(argv[0]);
     }

@@ -1,0 +1,157 @@
+// plan_dump: serialize, inspect, and round-trip physical plan blobs.
+//
+// Two modes:
+//
+//   # optimize a statement and write its framed plan blob
+//   plan_dump --sql "SELECT ... " --out plan.cbqp
+//
+//   # read a blob back, validate framing/checksum, and pretty-print it
+//   plan_dump --in plan.cbqp
+//
+// Serialization uses the versioned, checksummed wire format of
+// optimizer/plan_serde.h (magic "CBQP"). The dump path also proves the
+// round-trip inline: deserialize(serialize(plan)) must re-serialize
+// bit-identical before the blob is written. By default the statement is
+// optimized against the fuzzer's scaled-down HR database; --db hr uses the
+// full-size workload schema instead.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cbqt/engine.h"
+#include "fuzz/harness.h"
+#include "optimizer/plan_serde.h"
+#include "storage/database.h"
+#include "workload/schema_gen.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --sql STMT [--out FILE] [--db fuzz|hr]\n"
+               "       %s --sql-file FILE [--out FILE] [--db fuzz|hr]\n"
+               "       %s --in FILE\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sql, sql_file, out_path, in_path, db_kind = "fuzz";
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--sql") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      sql = v;
+    } else if (arg == "--sql-file") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      sql_file = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      out_path = v;
+    } else if (arg == "--in") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      in_path = v;
+    } else if (arg == "--db") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      db_kind = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // Inspect mode: no database needed — the blob is self-contained.
+  if (!in_path.empty()) {
+    std::ifstream in(in_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    auto plan = cbqt::DeserializePlan(bytes);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "invalid plan blob (%zu bytes): %s\n", bytes.size(),
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("-- %s: %zu bytes, serde version %u\n", in_path.c_str(),
+                bytes.size(), cbqt::kPlanSerdeVersion);
+    std::printf("%s", cbqt::PlanToString(**plan).c_str());
+    return 0;
+  }
+
+  if (!sql_file.empty()) {
+    std::ifstream in(sql_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", sql_file.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    sql = buf.str();
+  }
+  if (sql.empty()) return Usage(argv[0]);
+
+  cbqt::Database db;
+  cbqt::Status st = db_kind == "hr"
+                        ? cbqt::BuildHrDatabase(cbqt::SchemaConfig{}, &db)
+                        : cbqt::BuildFuzzDatabase(&db);
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to build %s database: %s\n", db_kind.c_str(),
+                 st.ToString().c_str());
+    return 2;
+  }
+
+  cbqt::QueryEngine engine(db);
+  auto prepared = engine.Prepare(sql);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 prepared.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string bytes = cbqt::SerializePlan(*prepared.value().plan);
+
+  // Prove the round-trip before anything is written: the blob must
+  // deserialize and re-serialize bit-identical.
+  auto restored = cbqt::DeserializePlan(bytes);
+  if (!restored.ok()) {
+    std::fprintf(stderr, "round-trip failed to deserialize: %s\n",
+                 restored.status().ToString().c_str());
+    return 1;
+  }
+  if (cbqt::SerializePlan(**restored) != bytes) {
+    std::fprintf(stderr, "round-trip is not bit-identical\n");
+    return 1;
+  }
+
+  std::printf("-- %zu bytes, serde version %u, cost %.3f\n", bytes.size(),
+              cbqt::kPlanSerdeVersion, prepared.value().cost);
+  std::printf("%s", cbqt::PlanToString(*prepared.value().plan).c_str());
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out || !out.write(bytes.data(),
+                           static_cast<std::streamsize>(bytes.size()))) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    std::printf("-- wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
