@@ -1,0 +1,206 @@
+// Multi-query-optimization throughput gate: 8 concurrent sessions hammer a
+// small set of repeated scan-dominated templates against one engine, MQO on
+// vs MQO off. With sharing on, concurrently admitted repeats of a template
+// replay the first execution's buffered stream instead of re-scanning, so
+// the batch's scan work collapses to ~once per template. The gate requires
+// >= 1.5x aggregate throughput at bit-identical per-query results (every
+// single execution is compared, canonically sorted, against a reference
+// computed with MQO off). Results go to BENCH_mqo.json; below-gate or any
+// row mismatch exits non-zero (wired into ci.sh bench-smoke).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/result_compare.h"
+
+namespace cbqt {
+namespace {
+
+constexpr double kThroughputGate = 1.5;
+constexpr int kSessions = 8;
+
+double TickMs() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}
+
+// Scan-dominated single-table aggregations: each is an MQO-eligible
+// filter/aggregate chain whose buffered result (hundreds of group rows) is
+// orders of magnitude smaller than the scan feeding it — the shape the
+// shared-materialize path is built for.
+const char* kTemplates[] = {
+    "SELECT e.dept_id, COUNT(*), AVG(e.salary) FROM employees e "
+    "WHERE e.salary > 30000 GROUP BY e.dept_id",
+    "SELECT j.dept_id, COUNT(*) FROM job_history j "
+    "WHERE j.start_date > '19950101' GROUP BY j.dept_id",
+    "SELECT DISTINCT e.dept_id FROM employees e WHERE e.salary > 50000",
+    "SELECT o.cust_id, SUM(o.total) FROM orders o WHERE o.total > 0 "
+    "GROUP BY o.cust_id",
+};
+constexpr size_t kNumTemplates = sizeof(kTemplates) / sizeof(kTemplates[0]);
+
+struct PassResult {
+  double wall_ms = 0;
+  int ok = 0;
+  int failed = 0;
+  int mismatched = 0;
+  double qps() const { return wall_ms > 0 ? ok / wall_ms * 1000.0 : 0; }
+};
+
+/// One measured pass: kSessions threads, each running `reps` rounds over
+/// the template deck (offset by thread id so producers rotate), verifying
+/// every execution's sorted rows against the reference.
+PassResult RunPass(const Database& db, bool mqo_on, int reps,
+                   const std::vector<std::vector<Row>>& reference,
+                   MqoStats* stats_out) {
+  CbqtConfig cfg;
+  cfg.mqo.enabled = mqo_on;
+  QueryEngine engine(db, cfg);
+
+  std::atomic<int> ok{0}, failed{0}, mismatched{0};
+  double t0 = TickMs();
+  std::vector<std::thread> workers;
+  for (int s = 0; s < kSessions; ++s) {
+    workers.emplace_back([&, s] {
+      for (int r = 0; r < reps; ++r) {
+        for (size_t q = 0; q < kNumTemplates; ++q) {
+          size_t idx = (q + static_cast<size_t>(s)) % kNumTemplates;
+          auto result = engine.Run(kTemplates[idx]);
+          if (!result.ok()) {
+            std::fprintf(stderr, "  [mqo=%s] query failed: %s\n",
+                         mqo_on ? "on" : "off",
+                         result.status().ToString().c_str());
+            ++failed;
+            continue;
+          }
+          SortRowsCanonical(&result->rows);
+          if (result->rows != reference[idx]) {
+            ++mismatched;
+          } else {
+            ++ok;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  PassResult pass;
+  pass.wall_ms = TickMs() - t0;
+  pass.ok = ok;
+  pass.failed = failed;
+  pass.mismatched = mismatched;
+  if (stats_out != nullptr) *stats_out = engine.mqo_stats();
+  return pass;
+}
+
+}  // namespace
+}  // namespace cbqt
+
+int main() {
+  using namespace cbqt;
+
+  Database db;
+  SchemaConfig schema = bench::BenchSchema();
+  Status st = BuildHrDatabase(schema, &db);
+  if (!st.ok()) {
+    std::fprintf(stderr, "schema build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  int reps = bench::BenchQueryCount(6);
+
+  std::printf("MQO shared-work gate: %d sessions x %d rounds x %zu "
+              "templates, gate %.1fx\n",
+              kSessions, reps, kNumTemplates, kThroughputGate);
+
+  // Reference rows per template, computed with MQO off.
+  std::vector<std::vector<Row>> reference(kNumTemplates);
+  {
+    QueryEngine ref_engine(db, CbqtConfig{});
+    for (size_t q = 0; q < kNumTemplates; ++q) {
+      auto result = ref_engine.Run(kTemplates[q]);
+      if (!result.ok()) {
+        std::fprintf(stderr, "reference failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      SortRowsCanonical(&result->rows);
+      reference[q] = std::move(result->rows);
+    }
+  }
+
+  PassResult off = RunPass(db, /*mqo_on=*/false, reps, reference, nullptr);
+  MqoStats ms;
+  PassResult on = RunPass(db, /*mqo_on=*/true, reps, reference, &ms);
+
+  double speedup = off.qps() > 0 ? on.qps() / off.qps() : 0;
+  std::printf("  %-8s %8s %12s %10s %10s\n", "mqo", "queries", "wall(ms)",
+              "q/s", "mismatch");
+  std::printf("  %-8s %8d %12.1f %10.1f %10d\n", "off", off.ok, off.wall_ms,
+              off.qps(), off.mismatched);
+  std::printf("  %-8s %8d %12.1f %10.1f %10d\n", "on", on.ok, on.wall_ms,
+              on.qps(), on.mismatched);
+  std::printf("  throughput: %.2fx%s\n", speedup,
+              speedup >= kThroughputGate ? "" : "  << below gate");
+  std::printf("  shared work: batches=%lld streams=%lld consumers=%lld "
+              "replays=%lld rows_shared=%lld bytes_saved=%lld "
+              "subplan_hits=%lld\n",
+              static_cast<long long>(ms.batches_formed),
+              static_cast<long long>(ms.scan_streams + ms.materialize_streams),
+              static_cast<long long>(ms.scan_consumers),
+              static_cast<long long>(ms.scan_replays),
+              static_cast<long long>(ms.rows_shared),
+              static_cast<long long>(ms.bytes_saved),
+              static_cast<long long>(ms.shared_subplan_hits));
+
+  if (FILE* f = std::fopen("BENCH_mqo.json", "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"gate_speedup\": %.1f,\n"
+        "  \"sessions\": %d,\n"
+        "  \"rounds\": %d,\n"
+        "  \"templates\": %zu,\n"
+        "  \"off\": {\"queries\": %d, \"wall_ms\": %.1f, \"qps\": %.1f},\n"
+        "  \"on\": {\"queries\": %d, \"wall_ms\": %.1f, \"qps\": %.1f},\n"
+        "  \"speedup\": %.2f,\n"
+        "  \"rows_shared\": %lld,\n"
+        "  \"bytes_saved\": %lld,\n"
+        "  \"shared_subplan_hits\": %lld,\n"
+        "  \"mismatched\": %d\n"
+        "}\n",
+        kThroughputGate, kSessions, reps, kNumTemplates, off.ok, off.wall_ms,
+        off.qps(), on.ok, on.wall_ms, on.qps(), speedup,
+        static_cast<long long>(ms.rows_shared),
+        static_cast<long long>(ms.bytes_saved),
+        static_cast<long long>(ms.shared_subplan_hits),
+        off.mismatched + on.mismatched);
+    std::fclose(f);
+    std::printf("  wrote BENCH_mqo.json\n");
+  }
+
+  if (off.failed + on.failed > 0) {
+    std::fprintf(stderr, "\nFAIL: %d queries errored\n",
+                 off.failed + on.failed);
+    return 1;
+  }
+  if (off.mismatched + on.mismatched > 0) {
+    std::fprintf(stderr, "\nFAIL: %d executions returned non-identical "
+                         "rows\n",
+                 off.mismatched + on.mismatched);
+    return 1;
+  }
+  if (speedup < kThroughputGate) {
+    std::fprintf(stderr, "\nFAIL: MQO below the %.1fx throughput gate\n",
+                 kThroughputGate);
+    return 1;
+  }
+  std::printf("\nOK: %.2fx >= %.1fx at bit-identical results\n", speedup,
+              kThroughputGate);
+  return 0;
+}

@@ -56,7 +56,7 @@ if [[ "${want}" == "all" || "${want}" == "bench-smoke" ]]; then
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "${dir}" -j "${jobs}" \
     --target bench_table1_reuse bench_plan_cache bench_plan_warmstart \
-    bench_state_eval bench_guardrails bench_executor
+    bench_state_eval bench_guardrails bench_executor bench_mqo
   echo "=== [bench-smoke] bench_table1_reuse ==="
   (cd "${dir}" && ./bench/bench_table1_reuse)
   echo "=== [bench-smoke] bench_plan_cache ==="
@@ -87,6 +87,13 @@ if [[ "${want}" == "all" || "${want}" == "bench-smoke" ]]; then
   # noise reason as bench_guardrails (best-of comparison on a loaded box).
   echo "=== [bench-smoke] bench_executor ==="
   (cd "${dir}" && ./bench/bench_executor --reps 5)
+  # bench_mqo asserts the multi-query-optimization gate: 8 concurrent
+  # sessions over repeated scan-dominated templates must reach >= 1.5x
+  # aggregate throughput with MQO on vs off, with every execution's rows
+  # verified bit-identical (canonically sorted) against an MQO-off
+  # reference.
+  echo "=== [bench-smoke] bench_mqo ==="
+  (cd "${dir}" && ./bench/bench_mqo)
 fi
 
 if [[ "${want}" == "all" || "${want}" == "fuzz-smoke" ]]; then

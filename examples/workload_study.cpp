@@ -3,9 +3,15 @@
 // heuristic-only and cost-based optimizers, and summarize per family.
 //
 //   $ ./build/examples/workload_study [num_queries]
+//
+// The MQO axis runs the workload on N concurrent sessions sharing one
+// engine, with multi-query optimization on or off:
+//
+//   $ ./build/examples/workload_study [num_queries] --mqo on|off [--sessions N]
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 
 #include "workload/query_gen.h"
@@ -14,8 +20,52 @@
 
 using namespace cbqt;
 
+namespace {
+
+int RunMqoAxis(const WorkloadRunner& runner,
+               const std::vector<WorkloadQuery>& queries, bool mqo_on,
+               int sessions) {
+  CbqtConfig cfg = ConfigForMode(OptimizerMode::kCostBased);
+  cfg.mqo.enabled = mqo_on;
+  double t0 = NowMs();
+  WorkloadRunReport report = runner.RunAllConcurrent(queries, cfg, sessions);
+  double wall_ms = NowMs() - t0;
+  std::printf("mqo=%s sessions=%d: %d/%d ok, %.1f ms wall, %.1f q/s\n",
+              mqo_on ? "on" : "off", sessions, report.succeeded,
+              report.attempted, wall_ms,
+              wall_ms > 0 ? report.succeeded / wall_ms * 1000.0 : 0.0);
+  if (mqo_on) {
+    std::printf(
+        "  batches=%lld subplan_hits=%lld streams=%lld consumers=%lld "
+        "rows_shared=%lld bytes_saved=%lld\n",
+        static_cast<long long>(report.mqo_batches),
+        static_cast<long long>(report.mqo_shared_subplan_hits),
+        static_cast<long long>(report.mqo_scan_streams),
+        static_cast<long long>(report.mqo_scan_consumers),
+        static_cast<long long>(report.mqo_rows_shared),
+        static_cast<long long>(report.mqo_bytes_saved));
+  }
+  if (report.failed > 0) {
+    std::printf("%s\n", report.ErrorSummary().c_str());
+  }
+  return report.untyped_failures() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  int count = argc > 1 ? std::atoi(argv[1]) : 150;
+  int count = 150;
+  int sessions = 8;
+  int mqo_axis = -1;  // -1: classic study; 0/1: concurrent MQO axis
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mqo") == 0 && i + 1 < argc) {
+      mqo_axis = std::strcmp(argv[++i], "on") == 0 ? 1 : 0;
+    } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions = std::atoi(argv[++i]);
+    } else {
+      count = std::atoi(argv[i]);
+    }
+  }
   Database db;
   SchemaConfig schema;
   schema.employees = 10000;
@@ -27,6 +77,10 @@ int main(int argc, char** argv) {
   WorkloadRunner runner(db);
 
   auto queries = GenerateMixedWorkload(count, 0.5, schema, 17);
+
+  if (mqo_axis >= 0) {
+    return RunMqoAxis(runner, queries, mqo_axis == 1, sessions);
+  }
 
   struct FamilyAgg {
     int n = 0;

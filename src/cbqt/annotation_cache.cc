@@ -11,7 +11,8 @@ namespace {
 int64_t EstimateEntryBytes(std::string_view signature,
                            const CostAnnotation& annotation) {
   int64_t bytes = static_cast<int64_t>(sizeof(CostAnnotation)) +
-                  static_cast<int64_t>(signature.size());
+                  static_cast<int64_t>(signature.size()) +
+                  static_cast<int64_t>(annotation.exact_sql.size());
   if (annotation.plan != nullptr) bytes += annotation.plan->EstimateBytes();
   return bytes;
 }

@@ -25,6 +25,14 @@ struct CostAnnotation {
   double rows = 0;
   RelStats out_stats;
   std::unique_ptr<PlanNode> plan;
+  /// Exact (non-canonicalized) unparsing of the annotated block. The cache
+  /// key canonicalizes orderings SQL leaves free (sql/signature.h), so one
+  /// key covers a whole equivalence class; consumers that require
+  /// bit-identical plans (the per-optimization cache, whose reuse must not
+  /// depend on which class member was cached first) compare this field and
+  /// treat a mismatch as a miss. MQO cross-query sharing reuses the whole
+  /// class (row-identical, not plan-text-identical).
+  std::string exact_sql;
 };
 
 /// Re-use of query sub-tree cost annotations (paper §3.4.2): when the CBQT

@@ -89,6 +89,9 @@ QueryEngine::QueryEngine(const Database& db, CbqtConfig config,
           return tripped;
         });
   }
+  if (config_.mqo.enabled) {
+    mqo_ = std::make_unique<MqoRegistry>(config_.mqo, root_memory_.get());
+  }
   if (config_.plan_cache.enabled()) {
     plan_cache_ =
         std::make_unique<PlanCache>(config_.plan_cache, root_memory_.get());
@@ -184,7 +187,21 @@ GuardrailStats QueryEngine::guardrail_stats() const {
     out.engine_used_bytes = root_memory_->used_bytes();
     out.engine_peak_bytes = root_memory_->peak_bytes();
   }
+  if (mqo_ != nullptr) {
+    MqoStats mqo = mqo_->stats();
+    out.mqo_batches = mqo.batches_formed;
+    out.mqo_shared_subplan_hits = mqo.shared_subplan_hits;
+    out.mqo_scan_streams = mqo.scan_streams + mqo.materialize_streams;
+    out.mqo_scan_consumers = mqo.scan_consumers;
+    out.mqo_rows_shared = mqo.rows_shared;
+    out.mqo_bytes_saved = mqo.bytes_saved;
+    out.mqo_pressure_fallbacks = mqo.pressure_fallbacks;
+  }
   return out;
+}
+
+MqoStats QueryEngine::mqo_stats() const {
+  return mqo_ != nullptr ? mqo_->stats() : MqoStats{};
 }
 
 bool QueryEngine::Cancel(uint64_t query_id) const {
@@ -269,6 +286,9 @@ Result<uint64_t> QueryEngine::Admit(CancellationToken* cancel) const {
   }
   active_.emplace(id, std::move(aq));
   admitted_.fetch_add(1, std::memory_order_relaxed);
+  // The admitted operation joins the in-flight MQO batch (lock order:
+  // admission → registry).
+  if (mqo_ != nullptr) mqo_->JoinBatch(id);
   return id;
 }
 
@@ -283,12 +303,17 @@ void QueryEngine::EndQuery(uint64_t id, const Status& final_status) const {
     default:
       break;
   }
-  std::lock_guard<std::mutex> lock(admission_mu_);
-  active_.erase(id);
-  if (config_.guardrails.admission.enabled()) {
-    --running_;
-    admission_cv_.notify_one();
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    active_.erase(id);
+    if (config_.guardrails.admission.enabled()) {
+      --running_;
+      admission_cv_.notify_one();
+    }
   }
+  // Outside admission_mu_: the last member out retires the batch's shared
+  // scan streams, which takes stream locks and wakes waiting consumers.
+  if (mqo_ != nullptr) mqo_->LeaveBatch(id);
 }
 
 QueryGuards QueryEngine::GuardsFor(uint64_t id) const {
@@ -305,12 +330,22 @@ QueryGuards QueryEngine::GuardsFor(uint64_t id) const {
   return g;
 }
 
+Result<CbqtResult> QueryEngine::OptimizeTree(const QueryBlock& query,
+                                             const OptimizerBudget& budget,
+                                             const QueryGuards& guards) const {
+  if (mqo_ != nullptr) {
+    return optimizer_.Optimize(query, budget, guards,
+                               mqo_->PrepareCaches(db_.stats_epoch()));
+  }
+  return optimizer_.Optimize(query, budget, guards);
+}
+
 Result<PreparedQuery> QueryEngine::PrepareUncached(
     const std::string& sql, const QueryGuards& guards) const {
   double t0 = MonotonicMs();
   auto parsed = ParseSql(sql);
   if (!parsed.ok()) return parsed.status();
-  auto optimized = optimizer_.Optimize(*parsed.value(), config_.budget, guards);
+  auto optimized = OptimizeTree(*parsed.value(), config_.budget, guards);
   if (!optimized.ok()) return optimized.status();
   PreparedQuery out;
   out.tree = std::move(optimized->tree);
@@ -470,7 +505,7 @@ Result<PreparedQuery> QueryEngine::PrepareAdmitted(const std::string& sql,
     }
   }
 
-  auto optimized = optimizer_.Optimize(*parsed.value(), config_.budget, guards);
+  auto optimized = OptimizeTree(*parsed.value(), config_.budget, guards);
   if (!optimized.ok()) return optimized.status();
   // A cancelled or memory-failed optimization returned above — only fully
   // successful plans are published, so guardrail unwinds can never leak a
@@ -516,6 +551,9 @@ Result<QueryResult> QueryEngine::ExecuteAdmitted(PreparedQuery prepared,
   ExecOptions opts = config_.exec;
   opts.budget = config_.budget.max_exec_rows > 0 ? &exec_budget : nullptr;
   opts.guards = guards;
+  if (mqo_ != nullptr && config_.mqo.share_scans) {
+    opts.shared_scans = mqo_->hub();
+  }
   Executor executor(db_, std::move(opts));
   double t0 = MonotonicMs();
   auto result = executor.Execute(*prepared.plan);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cbqt/framework.h"
+#include "cbqt/mqo.h"
 #include "cbqt/plan_cache.h"
 #include "cbqt/plan_store.h"
 #include "common/cancellation.h"
@@ -70,6 +71,15 @@ struct GuardrailStats {
   int64_t cache_shed_bytes = 0;    ///< plan-cache bytes freed under pressure
   int64_t engine_used_bytes = 0;   ///< root tracker charge right now
   int64_t engine_peak_bytes = 0;   ///< root tracker high-water mark
+
+  // Multi-query optimization (all zero when CbqtConfig::mqo is off).
+  int64_t mqo_batches = 0;               ///< optimization batches formed
+  int64_t mqo_shared_subplan_hits = 0;   ///< batch-shared annotation hits
+  int64_t mqo_scan_streams = 0;          ///< shared scan + materialize streams
+  int64_t mqo_scan_consumers = 0;        ///< consumer attachments to streams
+  int64_t mqo_rows_shared = 0;           ///< rows served from shared buffers
+  int64_t mqo_bytes_saved = 0;           ///< estimated bytes of those rows
+  int64_t mqo_pressure_fallbacks = 0;    ///< streams degraded under memory
 };
 
 /// The public facade over the whole pipeline — the one place that wires
@@ -150,6 +160,10 @@ class QueryEngine {
   /// Telemetry of the plan cache; all-zero when the cache is disabled.
   PlanCacheStats plan_cache_stats() const;
 
+  bool mqo_enabled() const { return mqo_ != nullptr; }
+  /// Telemetry of the MQO layer; all-zero when CbqtConfig::mqo is off.
+  MqoStats mqo_stats() const;
+
   bool plan_store_attached() const { return plan_store_ != nullptr; }
   /// Telemetry of the shared-store attachment; all-zero when not attached.
   PlanStoreStats plan_store_stats() const;
@@ -202,6 +216,12 @@ class QueryEngine {
   Result<PreparedQuery> PrepareUncached(const std::string& sql,
                                         const QueryGuards& guards) const;
 
+  /// One optimizer entry point for the foreground paths: routes through the
+  /// MQO layer's batch-shared caches when the registry is enabled.
+  Result<CbqtResult> OptimizeTree(const QueryBlock& query,
+                                  const OptimizerBudget& budget,
+                                  const QueryGuards& guards) const;
+
   /// Budget-upgrade ladder: called on every cache hit. For a degraded entry
   /// that has accumulated enough hits (and attempts remain), wins the
   /// per-entry CAS gate and schedules RunUpgrade on the engine's background
@@ -250,6 +270,11 @@ class QueryEngine {
   /// Catalog schema fingerprint captured at construction; stamps every
   /// persisted plan artifact (snapshot, shared-store records).
   uint64_t schema_fingerprint_ = 0;
+
+  /// Multi-query optimization registry (batch tracking, batch-shared
+  /// optimization caches, shared-scan hub); null when CbqtConfig::mqo is
+  /// off. Internally synchronized — const engine operations share it.
+  mutable std::unique_ptr<MqoRegistry> mqo_;
 
   /// Null when CbqtConfig::plan_cache is disabled. Mutable state lives in
   /// the cache itself (sharded mutexes + atomics), so const Prepare stays

@@ -58,7 +58,8 @@ SearchStrategy CbqtOptimizer::ChooseStrategy(int num_objects,
 
 Result<CbqtResult> CbqtOptimizer::Optimize(
     const QueryBlock& query, const OptimizerBudget& budget,
-    const QueryGuards& caller_guards) const {
+    const QueryGuards& caller_guards,
+    const SharedOptimizeCaches& shared) const {
   // Per-query guardrails: the caller's handles, with the configured fault
   // injector filled in so the kCancelAt / kMemoryPressure sites fire even
   // when the caller only set the token/tracker.
@@ -72,16 +73,33 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
   CbqtStats stats;
   stats.threads_used = pool_ != nullptr ? pool_->num_threads() : 1;
   // Both per-optimization caches charge their entries against the query's
-  // memory tracker (no-op when guardrails are off).
+  // memory tracker (no-op when guardrails are off). Batch-shared caches
+  // (the MQO path) replace them when supplied; the relaxed reuse flag rides
+  // along — cross-query reuse accepts any member of a signature's
+  // equivalence class, not just the exact block text.
   AnnotationCache cache(AnnotationCache::kDefaultShards,
                         config_.annotation_cache_capacity, guards.memory);
-  AnnotationCache* cache_ptr = config_.reuse_annotations ? &cache : nullptr;
+  AnnotationCache* cache_ptr = nullptr;
+  if (config_.reuse_annotations) {
+    cache_ptr = shared.annotations != nullptr ? shared.annotations : &cache;
+  }
+  const bool relaxed_reuse =
+      cache_ptr != nullptr && cache_ptr == shared.annotations;
   // Cross-state join-order memo (subset-granularity DP reuse); same sharded
   // store as the block annotations, different key space ("jo:" prefixed).
   AnnotationCache join_memo(AnnotationCache::kDefaultShards,
                             config_.join_memo_capacity, guards.memory);
-  AnnotationCache* join_memo_ptr =
-      config_.reuse_join_orders ? &join_memo : nullptr;
+  AnnotationCache* join_memo_ptr = nullptr;
+  if (config_.reuse_join_orders) {
+    join_memo_ptr = shared.join_memo != nullptr ? shared.join_memo : &join_memo;
+  }
+  // Cache telemetry is reported as this optimization's delta (identical to
+  // the absolute counters for the private caches, whose counters start at
+  // zero here).
+  const int64_t ann_hits_before = cache_ptr ? cache_ptr->hits() : 0;
+  const int64_t ann_evictions_before = cache_ptr ? cache_ptr->evictions() : 0;
+  const int64_t jm_hits_before = join_memo_ptr ? join_memo_ptr->hits() : 0;
+  const int64_t jm_misses_before = join_memo_ptr ? join_memo_ptr->misses() : 0;
   // Clone telemetry: process-wide counters, reported as this optimization's
   // deltas (concurrent Optimize() calls may inflate each other's numbers;
   // the counters are diagnostics, not decisions).
@@ -250,6 +268,7 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
       PhysicalOptimizeOptions popts;
       popts.cache = cache_ptr;
       popts.join_memo = join_memo_ptr;
+      popts.relaxed_annotation_reuse = relaxed_reuse;
       popts.cost_cutoff = config_.cost_cutoff
                               ? search_cutoff
                               : std::numeric_limits<double>::infinity();
@@ -347,6 +366,7 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
   PhysicalOptimizeOptions final_popts;
   final_popts.cache = cache_ptr;
   final_popts.join_memo = join_memo_ptr;
+  final_popts.relaxed_annotation_reuse = relaxed_reuse;
   final_popts.faults = injector;
   final_popts.guards = guards;
   auto final_opt = physical_.Optimize(*tree, final_popts);
@@ -356,12 +376,16 @@ Result<CbqtResult> CbqtOptimizer::Optimize(
       final_opt->blocks_planned;
   stats.interleaved_states =
       interleaved_states.load(std::memory_order_relaxed);
-  stats.annotation_hits = cache.hits();
-  stats.annotation_evictions = cache.evictions();
+  stats.annotation_hits =
+      cache_ptr ? cache_ptr->hits() - ann_hits_before : 0;
+  stats.annotation_evictions =
+      cache_ptr ? cache_ptr->evictions() - ann_evictions_before : 0;
   stats.blocks_cloned = CowBlocksClonedCount() - cloned_before;
   stats.blocks_shared = CowSharesCount() - shared_before;
-  stats.join_memo_hits = join_memo.hits();
-  stats.join_memo_misses = join_memo.misses();
+  stats.join_memo_hits =
+      join_memo_ptr ? join_memo_ptr->hits() - jm_hits_before : 0;
+  stats.join_memo_misses =
+      join_memo_ptr ? join_memo_ptr->misses() - jm_misses_before : 0;
   if (tracker != nullptr) {
     stats.budget_exhausted = tracker->exhausted();
     stats.budget_check_ns = tracker->check_ns();

@@ -58,6 +58,45 @@ struct PlanCacheConfig {
   bool enabled() const { return capacity > 0; }
 };
 
+/// Configuration of the multi-query optimization layer (cbqt/mqo.h): shared
+/// sub-plan annotations and shared scans across the batch of concurrently
+/// admitted queries. Off by default — single-query behavior is untouched.
+struct MqoConfig {
+  bool enabled = false;
+
+  /// Share optimization results across the batch: queries optimize against
+  /// one batch-wide AnnotationCache / join-order memo instead of private
+  /// per-optimization caches, with relaxed (equivalence-class) annotation
+  /// reuse — row-identical results, plan text may differ from a solo run.
+  bool share_plans = true;
+
+  /// Share base-table scans and single-table materialized intermediates
+  /// across concurrently executing batch members (exec/shared_scan.h).
+  bool share_scans = true;
+
+  /// Byte budget of the shared-scan row buffers; streams degrade gracefully
+  /// to private execution beyond it. <= 0 means unlimited.
+  int64_t buffer_memory_bytes = 64 << 20;
+
+  /// Total milliseconds a shared-scan consumer waits for its producer
+  /// before falling back to a private scan.
+  int64_t consumer_wait_ms = 250;
+
+  /// Capacities of the batch-shared caches (entries; 0 = unbounded). Larger
+  /// than the per-optimization defaults — they serve the whole batch.
+  size_t annotation_cache_capacity = 16384;
+  size_t join_memo_capacity = 32768;
+};
+
+/// Batch-shared optimization caches handed into Optimize() by the MQO layer
+/// (null members fall back to the private per-optimization caches). When
+/// the annotation cache is shared, reuse is relaxed to the signature's
+/// whole equivalence class — see MqoConfig::share_plans.
+struct SharedOptimizeCaches {
+  AnnotationCache* annotations = nullptr;
+  AnnotationCache* join_memo = nullptr;
+};
+
 /// Configuration of the cost-based transformation framework.
 struct CbqtConfig {
   /// Master switch: false reproduces the heuristic-only optimizer (each
@@ -120,6 +159,10 @@ struct CbqtConfig {
 
   /// Engine-level plan cache (QueryEngine). Off by default.
   PlanCacheConfig plan_cache;
+
+  /// Multi-query optimization across the admitted batch (QueryEngine).
+  /// Off by default.
+  MqoConfig mqo;
 
   uint64_t seed = 42;  ///< iterative-search randomness
 
@@ -243,7 +286,21 @@ class CbqtOptimizer {
   /// unlike budget exhaustion there is no best-so-far degradation.
   Result<CbqtResult> Optimize(const QueryBlock& query,
                               const OptimizerBudget& budget,
-                              const QueryGuards& guards) const;
+                              const QueryGuards& guards) const {
+    return Optimize(query, budget, guards, SharedOptimizeCaches{});
+  }
+
+  /// Same, optimizing against batch-shared caches (the MQO layer's path):
+  /// non-null members of `shared` replace the private per-optimization
+  /// annotation cache / join-order memo, and annotation reuse is relaxed to
+  /// whole signature equivalence classes. The reported cache telemetry
+  /// becomes before/after deltas of the shared counters (concurrent batch
+  /// members may inflate each other's numbers — diagnostics, not
+  /// decisions).
+  Result<CbqtResult> Optimize(const QueryBlock& query,
+                              const OptimizerBudget& budget,
+                              const QueryGuards& guards,
+                              const SharedOptimizeCaches& shared) const;
 
   /// The strategy the framework would pick for a transformation with
   /// `num_objects` objects given `total_objects` in the whole query.

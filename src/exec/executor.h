@@ -17,6 +17,8 @@
 
 namespace cbqt {
 
+class SharedScanHub;
+
 /// Execution counters. `rows_processed` is a deterministic work measure
 /// (rows flowing through operators) used by the benchmarks alongside wall
 /// time; the subquery counters expose the TIS caching behaviour
@@ -58,6 +60,10 @@ struct ExecOptions {
   /// When false, Execute returns default-initialized stats (counters are
   /// still maintained internally for budget enforcement).
   bool collect_stats = true;
+  /// Multi-query shared-scan registry (exec/shared_scan.h). Borrowed from
+  /// the engine's MQO layer; null (the default) executes every scan
+  /// privately.
+  SharedScanHub* shared_scans = nullptr;
 };
 
 /// What Execute returns: the result rows plus the execution counters. The

@@ -11,6 +11,7 @@
 
 #include "common/fault_injector.h"
 #include "exec/compiled_expr.h"
+#include "exec/shared_scan.h"
 
 namespace cbqt {
 
@@ -2388,6 +2389,24 @@ class SubqueryFilterOperator final : public Operator {
 
 Result<std::unique_ptr<Operator>> OperatorFactory::Build(const PlanNode& node,
                                                          ExecContext* ctx) {
+  // MQO interception: inside a batch, wrap the topmost shareable subtree in
+  // a SharedScanOperator routing its stream through the hub. The latch
+  // suppresses wrapping inside the shared subtree itself — sharing happens
+  // once, at the widest eligible point.
+  if (ctx->shared_scans != nullptr && !ctx->building_shared) {
+    bool materialize = node.op != PlanOp::kTableScan;
+    std::string key =
+        materialize ? ShareableMaterializeKey(node) : ShareableScanKey(node);
+    if (!key.empty()) {
+      ctx->building_shared = true;
+      auto inner = Build(node, ctx);
+      ctx->building_shared = false;
+      if (!inner.ok()) return inner.status();
+      return std::unique_ptr<Operator>(std::make_unique<SharedScanOperator>(
+          ctx, &node, ctx->shared_scans, std::move(key),
+          std::move(inner.value()), materialize));
+    }
+  }
   std::vector<std::unique_ptr<Operator>> kids;
   kids.reserve(node.children.size());
   for (const auto& c : node.children) {

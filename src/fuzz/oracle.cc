@@ -64,6 +64,14 @@ std::vector<DifferentialOracle::Entry> DifferentialOracle::DefaultDeck() {
     c.exec.enable_spill = true;
     c.exec.batch_size = 16;
   });
+  add("mqo", [](CbqtConfig& c) {
+    // Multi-query optimization on: queries run one-at-a-time here, so each
+    // forms its own batch, but the shared-scan interception and relaxed
+    // annotation reuse paths are fully exercised — including replay of
+    // streams registered by earlier operators inside the same plan.
+    c.mqo.enabled = true;
+    c.mqo.buffer_memory_bytes = 1 << 20;
+  });
   return deck;
 }
 

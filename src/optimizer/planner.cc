@@ -777,10 +777,20 @@ Result<BlockPlan> Planner::PlanBlock(const QueryBlock& qb) {
   // query outright instead of degrading it.
   if (guards_.any()) CBQT_RETURN_IF_ERROR(guards_.Poll());
   std::string sig;
+  std::string exact;
   if (cache_ != nullptr) {
     sig = BlockSignature(qb);
+    exact = BlockToSql(qb);
     std::shared_ptr<const CostAnnotation> hit = cache_->Find(sig);
-    if (hit != nullptr) {
+    // The canonical signature keys a whole equivalence class of blocks
+    // (conjunct order, commuted operands, inner FROM order). Default reuse
+    // additionally requires the exact unparsing to match, so a hit is
+    // guaranteed bit-identical to what planning this block would produce —
+    // parallel state evaluation stays deterministic no matter which class
+    // member reached the cache first. Relaxed reuse (MQO batch sharing)
+    // accepts any class member: row-identical results, possibly different
+    // plan text (tie-breaks followed the cached member's orderings).
+    if (hit != nullptr && (relaxed_reuse_ || hit->exact_sql == exact)) {
       BlockPlan out;
       out.plan = hit->plan->Clone();
       out.out_stats = hit->out_stats;
@@ -797,6 +807,7 @@ Result<BlockPlan> Planner::PlanBlock(const QueryBlock& qb) {
     ann.rows = result->plan->est_rows;
     ann.out_stats = result->out_stats;
     ann.plan = result->plan->Clone();
+    ann.exact_sql = std::move(exact);
     cache_->Put(sig, std::move(ann));
   }
   return result;
@@ -995,7 +1006,11 @@ Result<BlockPlan> Planner::PlanRegular(const QueryBlock& qb) {
         fp += tr.table_name;
       } else {
         fp += "V:";
-        fp += BlockSignature(*tr.derived);
+        // Exact unparsing, not the canonical BlockSignature: the memo's
+        // contract is that a key collision implies the DP would re-run with
+        // the same inputs in the same order (tie-break identity), which
+        // canonicalized view signatures would weaken.
+        fp += BlockToSql(*tr.derived);
       }
       fp += ";k";
       fp += std::to_string(static_cast<int>(tr.join));

@@ -47,14 +47,16 @@ class Planner {
           AnnotationCache* cache = nullptr,
           double cost_cutoff = std::numeric_limits<double>::infinity(),
           BudgetTracker* budget = nullptr,
-          AnnotationCache* join_memo = nullptr, QueryGuards guards = {})
+          AnnotationCache* join_memo = nullptr, QueryGuards guards = {},
+          bool relaxed_reuse = false)
       : db_(db),
         params_(params),
         cache_(cache),
         cutoff_(cost_cutoff),
         budget_(budget),
         join_memo_(join_memo),
-        guards_(guards) {}
+        guards_(guards),
+        relaxed_reuse_(relaxed_reuse) {}
 
   /// Plans a bound query block (and, recursively, all nested blocks).
   Result<BlockPlan> PlanBlock(const QueryBlock& qb);
@@ -94,6 +96,10 @@ class Planner {
   /// Runtime guardrails, polled at the same per-block quantum as the
   /// budget: a tripped CancellationToken aborts planning with kCancelled.
   QueryGuards guards_;
+  /// Accept annotation hits from any member of the signature's canonical
+  /// equivalence class (MQO cross-query sharing); default false requires an
+  /// exact unparsing match (bit-identical plan determinism).
+  bool relaxed_reuse_;
   int64_t blocks_planned_ = 0;
 };
 

@@ -7,8 +7,6 @@
 
 namespace cbqt {
 
-namespace {
-
 /// Renders a literal so that re-lexing yields the same value: embedded
 /// quotes are doubled, and doubles print with enough digits to round-trip
 /// bit-exactly (and always with a '.' or exponent so they re-lex as kReal,
@@ -39,6 +37,8 @@ std::string SqlLiteral(const Value& v) {
       return v.ToString();
   }
 }
+
+namespace {
 
 const char* BopSymbol(BinaryOp op) {
   switch (op) {

@@ -10,6 +10,12 @@ namespace cbqt {
 /// Renders an expression back to SQL text.
 std::string ExprToSql(const Expr& e);
 
+/// Renders a literal so that re-lexing yields the same value: embedded
+/// quotes are doubled, doubles print with enough digits to round-trip
+/// bit-exactly. Shared with the canonical signature renderer
+/// (sql/signature.cc); Value::ToString stays a debug rendering.
+std::string SqlLiteral(const Value& v);
+
 /// Renders a query block tree back to SQL text. Semijoins and antijoins
 /// (which standard SQL cannot spell) render as `SEMI JOIN … ON (…)` /
 /// `ANTI JOIN … ON (…)` / `NA-ANTI JOIN … ON (…)`, and JPPD-correlated views

@@ -2,8 +2,94 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
+#include <thread>
 
 namespace cbqt {
+
+namespace {
+
+/// Folds one query's outcome into the report. Single-threaded: concurrent
+/// runs collect outcomes first and fold them in input order afterwards.
+void FoldOutcome(const WorkloadQuery& q, Result<QueryResult>& result,
+                 WorkloadRunReport* report) {
+  ++report->attempted;
+  if (!result.ok()) {
+    ++report->failed;
+    switch (result.status().code()) {
+      case StatusCode::kCancelled:
+        ++report->cancelled;
+        break;
+      case StatusCode::kResourceExhausted:
+        ++report->resource_exhausted;
+        break;
+      case StatusCode::kAdmissionRejected:
+        ++report->admission_rejected;
+        break;
+      default:
+        break;
+    }
+    if (static_cast<int>(report->error_messages.size()) <
+        WorkloadRunReport::kMaxErrorMessages) {
+      report->error_messages.push_back(
+          "query " + std::to_string(q.id) + " [" + QueryFamilyName(q.family) +
+          "]: " + result.status().ToString());
+    }
+    return;
+  }
+  ++report->succeeded;
+  RunMeasurement m;
+  m.opt_ms = result->prepared.optimize_ms;
+  m.exec_ms = result->execute_ms;
+  m.est_cost = result->prepared.cost;
+  m.plan_shape = PlanShape(*result->prepared.plan);
+  m.rows_processed = result->rows_processed;
+  m.result_rows = result->rows.size();
+  m.cbqt = std::move(result->prepared.stats);
+  m.from_plan_cache = result->prepared.from_plan_cache;
+  if (m.cbqt.budget_exhausted) ++report->budget_exhausted_queries;
+  report->searches_degraded += m.cbqt.searches_degraded;
+  report->failed_states += m.cbqt.failed_states;
+  report->max_query_peak_bytes =
+      std::max(report->max_query_peak_bytes, result->peak_memory_bytes);
+  if (result->exec.spilled_operators > 0) ++report->spilled_queries;
+  report->spill_bytes_written += result->exec.spill.bytes_written;
+  report->spill_bytes_read += result->exec.spill.bytes_read;
+  report->measurements.push_back(std::move(m));
+}
+
+/// Folds the shared engine's end-of-run telemetry (plan cache, guardrails,
+/// MQO) into the report.
+void FoldEngineStats(const QueryEngine& engine, WorkloadRunReport* report) {
+  if (engine.plan_cache_enabled()) {
+    PlanCacheStats pcs = engine.plan_cache_stats();
+    report->plan_cache_hits = pcs.hits;
+    report->plan_cache_misses = pcs.misses;
+    report->plan_cache_upgrades = pcs.upgrades;
+    report->plan_cache_snapshot_loaded = pcs.snapshot_loaded;
+    report->plan_cache_snapshot_stale = pcs.snapshot_stale;
+    report->plan_cache_store_imports = pcs.store_imports;
+    report->plan_cache_store_publishes = pcs.store_publishes;
+    report->plan_cache_store_stale = pcs.store_stale;
+    report->plan_cache_rebind_recosts = pcs.rebind_recosts;
+  }
+  GuardrailStats gs = engine.guardrail_stats();
+  report->engine_peak_memory_bytes = gs.engine_peak_bytes;
+  report->cache_shed_bytes = gs.cache_shed_bytes;
+  report->memory_victims = gs.memory_victims;
+  if (engine.mqo_enabled()) {
+    MqoStats ms = engine.mqo_stats();
+    report->mqo_batches = ms.batches_formed;
+    report->mqo_shared_subplan_hits = ms.shared_subplan_hits;
+    report->mqo_scan_streams = ms.scan_streams + ms.materialize_streams;
+    report->mqo_scan_consumers = ms.scan_consumers;
+    report->mqo_rows_shared = ms.rows_shared;
+    report->mqo_bytes_saved = ms.bytes_saved;
+    report->mqo_pressure_fallbacks = ms.pressure_fallbacks;
+  }
+}
+
+}  // namespace
 
 CbqtConfig ConfigForMode(OptimizerMode mode) {
   CbqtConfig cfg;
@@ -55,67 +141,38 @@ WorkloadRunReport WorkloadRunner::RunAll(
   WorkloadRunReport report;
   QueryEngine engine(db_, config, params_);
   for (const auto& q : queries) {
-    ++report.attempted;
     auto result = engine.Run(q.sql);
-    if (!result.ok()) {
-      ++report.failed;
-      switch (result.status().code()) {
-        case StatusCode::kCancelled:
-          ++report.cancelled;
-          break;
-        case StatusCode::kResourceExhausted:
-          ++report.resource_exhausted;
-          break;
-        case StatusCode::kAdmissionRejected:
-          ++report.admission_rejected;
-          break;
-        default:
-          break;
-      }
-      if (static_cast<int>(report.error_messages.size()) <
-          WorkloadRunReport::kMaxErrorMessages) {
-        report.error_messages.push_back(
-            "query " + std::to_string(q.id) + " [" + QueryFamilyName(q.family) +
-            "]: " + result.status().ToString());
-      }
-      continue;
-    }
-    ++report.succeeded;
-    RunMeasurement m;
-    m.opt_ms = result->prepared.optimize_ms;
-    m.exec_ms = result->execute_ms;
-    m.est_cost = result->prepared.cost;
-    m.plan_shape = PlanShape(*result->prepared.plan);
-    m.rows_processed = result->rows_processed;
-    m.result_rows = result->rows.size();
-    m.cbqt = std::move(result->prepared.stats);
-    m.from_plan_cache = result->prepared.from_plan_cache;
-    if (m.cbqt.budget_exhausted) ++report.budget_exhausted_queries;
-    report.searches_degraded += m.cbqt.searches_degraded;
-    report.failed_states += m.cbqt.failed_states;
-    report.max_query_peak_bytes =
-        std::max(report.max_query_peak_bytes, result->peak_memory_bytes);
-    if (result->exec.spilled_operators > 0) ++report.spilled_queries;
-    report.spill_bytes_written += result->exec.spill.bytes_written;
-    report.spill_bytes_read += result->exec.spill.bytes_read;
-    report.measurements.push_back(std::move(m));
+    FoldOutcome(q, result, &report);
   }
-  if (engine.plan_cache_enabled()) {
-    PlanCacheStats pcs = engine.plan_cache_stats();
-    report.plan_cache_hits = pcs.hits;
-    report.plan_cache_misses = pcs.misses;
-    report.plan_cache_upgrades = pcs.upgrades;
-    report.plan_cache_snapshot_loaded = pcs.snapshot_loaded;
-    report.plan_cache_snapshot_stale = pcs.snapshot_stale;
-    report.plan_cache_store_imports = pcs.store_imports;
-    report.plan_cache_store_publishes = pcs.store_publishes;
-    report.plan_cache_store_stale = pcs.store_stale;
-    report.plan_cache_rebind_recosts = pcs.rebind_recosts;
+  FoldEngineStats(engine, &report);
+  return report;
+}
+
+WorkloadRunReport WorkloadRunner::RunAllConcurrent(
+    const std::vector<WorkloadQuery>& queries, const CbqtConfig& config,
+    int sessions) const {
+  if (sessions <= 1) return RunAll(queries, config);
+  WorkloadRunReport report;
+  QueryEngine engine(db_, config, params_);
+  // Deterministic round-robin deal: session s owns queries s, s+sessions,
+  // ... Each slot is written by exactly one thread, so the collection needs
+  // no lock; folding happens serially afterwards, in input order.
+  std::vector<std::optional<Result<QueryResult>>> outcomes(queries.size());
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    workers.emplace_back([&, s] {
+      for (size_t i = static_cast<size_t>(s); i < queries.size();
+           i += static_cast<size_t>(sessions)) {
+        outcomes[i].emplace(engine.Run(queries[i].sql));
+      }
+    });
   }
-  GuardrailStats gs = engine.guardrail_stats();
-  report.engine_peak_memory_bytes = gs.engine_peak_bytes;
-  report.cache_shed_bytes = gs.cache_shed_bytes;
-  report.memory_victims = gs.memory_victims;
+  for (auto& w : workers) w.join();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    FoldOutcome(queries[i], *outcomes[i], &report);
+  }
+  FoldEngineStats(engine, &report);
   return report;
 }
 

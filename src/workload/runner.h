@@ -99,6 +99,16 @@ struct WorkloadRunReport {
   int64_t spill_bytes_written = 0;
   int64_t spill_bytes_read = 0;
 
+  // Multi-query-optimization telemetry from the shared engine (all zero
+  // when CbqtConfig::mqo is off).
+  int64_t mqo_batches = 0;              ///< optimization batches formed
+  int64_t mqo_shared_subplan_hits = 0;  ///< batch-shared annotation hits
+  int64_t mqo_scan_streams = 0;         ///< shared scan+materialize streams
+  int64_t mqo_scan_consumers = 0;       ///< consumer attachments
+  int64_t mqo_rows_shared = 0;          ///< rows served from shared buffers
+  int64_t mqo_bytes_saved = 0;          ///< estimated bytes of those rows
+  int64_t mqo_pressure_fallbacks = 0;   ///< streams degraded under memory
+
   static constexpr int kMaxErrorMessages = 5;
 
   /// One-paragraph human-readable error summary (empty when failed == 0).
@@ -122,6 +132,18 @@ class WorkloadRunner {
   /// query. Never fails wholesale.
   WorkloadRunReport RunAll(const std::vector<WorkloadQuery>& queries,
                            const CbqtConfig& config) const;
+
+  /// Concurrent-sessions variant — the MQO measurement axis: `sessions`
+  /// threads share one engine, queries are dealt round-robin by input index
+  /// (deterministic partition: session s runs queries s, s+sessions, ...),
+  /// and the merged report keeps measurements in input order. With
+  /// `config.mqo.enabled` the concurrently admitted queries form MQO
+  /// batches and share sub-plans and scans; with it off this is a plain
+  /// concurrency baseline over the same engine. `sessions <= 1` degenerates
+  /// to RunAll.
+  WorkloadRunReport RunAllConcurrent(const std::vector<WorkloadQuery>& queries,
+                                     const CbqtConfig& config,
+                                     int sessions) const;
 
   /// Executes and returns the result rows, canonically sorted — used by
   /// the correctness tests to prove transformation equivalence across
