@@ -3,7 +3,9 @@
 # sanitizer configurations and runs the test suite on each. TSan must
 # report zero races — the parallel CBQT search (ThreadPool + sharded
 # AnnotationCache), the fault-injection tests (test_fault_injection,
-# injected faults + budget under num_threads >= 4), and the COW + join-order
+# injected faults + budget under num_threads >= 4), the tenant scheduler's
+# concurrent admission/dispatch legs (test_scheduler, multi-tenant threads
+# hammering one TenantScheduler), and the COW + join-order
 # memo equivalence sweeps (CowMemoMatchesFullClones in test_equivalence and
 # CowMemoEscapeHatchBitIdentical in test_paper_queries, both at
 # num_threads = 4) are exercised in every config. ASan/UBSan additionally
@@ -56,7 +58,7 @@ if [[ "${want}" == "all" || "${want}" == "bench-smoke" ]]; then
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "${dir}" -j "${jobs}" \
     --target bench_table1_reuse bench_plan_cache bench_plan_warmstart \
-    bench_state_eval bench_guardrails bench_executor bench_mqo
+    bench_state_eval bench_guardrails bench_executor bench_mqo bench_tenants
   echo "=== [bench-smoke] bench_table1_reuse ==="
   (cd "${dir}" && ./bench/bench_table1_reuse)
   echo "=== [bench-smoke] bench_plan_cache ==="
@@ -94,6 +96,13 @@ if [[ "${want}" == "all" || "${want}" == "bench-smoke" ]]; then
   # reference.
   echo "=== [bench-smoke] bench_mqo ==="
   (cd "${dir}" && ./bench/bench_mqo)
+  # bench_tenants asserts the noisy-neighbor isolation gates: a well-behaved
+  # tenant's p99 under a low-priority analytic flood stays <= 2x its
+  # isolated baseline, every query completes or fails typed (zero
+  # starvation, no untyped failures), and victim rows produced mid-flood are
+  # bit-identical to a serial reference.
+  echo "=== [bench-smoke] bench_tenants ==="
+  (cd "${dir}" && CBQT_BENCH_QUERIES=60 ./bench/bench_tenants)
 fi
 
 if [[ "${want}" == "all" || "${want}" == "fuzz-smoke" ]]; then

@@ -8,11 +8,21 @@
 // engine, with multi-query optimization on or off:
 //
 //   $ ./build/examples/workload_study [num_queries] --mqo on|off [--sessions N]
+//
+// The multi-tenant axis runs N tenants against one scheduler-governed
+// engine, each tenant an OLTP-heavy serving mix with an analytics tail,
+// priorities dealt from --priority-mix (comma-separated classes, cycled
+// over the tenants; default "0,1,2"):
+//
+//   $ ./build/examples/workload_study [num_queries] --tenants 3 \
+//         [--priority-mix 0,2,2] [--sessions N]
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "workload/query_gen.h"
 #include "workload/runner.h"
@@ -51,17 +61,90 @@ int RunMqoAxis(const WorkloadRunner& runner,
   return report.untyped_failures() == 0 ? 0 : 1;
 }
 
+std::vector<int> ParsePriorityMix(const char* arg) {
+  std::vector<int> mix;
+  std::string s(arg);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    int p = std::atoi(s.substr(pos, comma - pos).c_str());
+    if (p < 0) p = 0;
+    if (p >= kNumPriorityClasses) p = kNumPriorityClasses - 1;
+    mix.push_back(p);
+    pos = comma + 1;
+  }
+  if (mix.empty()) mix = {0, 1, 2};
+  return mix;
+}
+
+int RunTenantAxis(const WorkloadRunner& runner, const SchemaConfig& schema,
+                  int count, int num_tenants, const std::vector<int>& mix,
+                  int sessions) {
+  CbqtConfig cfg = ConfigForMode(OptimizerMode::kCostBased);
+  SchedulerConfig& sched = cfg.guardrails.scheduler;
+  sched.enabled = true;
+  sched.max_concurrent = sessions;
+  sched.queue_timeout_ms = 10000;
+
+  std::vector<WorkloadRunner::TenantSession> tenant_sessions;
+  for (int i = 0; i < num_tenants; ++i) {
+    TenantSpec spec;
+    spec.name = "tenant-" + std::to_string(i);
+    spec.priority = mix[static_cast<size_t>(i) % mix.size()];
+    // Higher classes get higher in-class weight too, so the study shows
+    // both levers at once.
+    spec.weight = kNumPriorityClasses - spec.priority;
+    sched.tenants.push_back(spec);
+
+    WorkloadRunner::TenantSession t;
+    t.tenant = spec.name;
+    t.queries = GenerateTenantWorkload(count, 0.8, 0.08, schema,
+                                       17 + static_cast<uint64_t>(i));
+    t.sessions = 2;
+    tenant_sessions.push_back(std::move(t));
+  }
+
+  WorkloadRunReport report = runner.RunTenants(tenant_sessions, cfg);
+  std::printf("%d tenants x %d queries, %d slots (priority mix: ",
+              num_tenants, count, sessions);
+  for (size_t i = 0; i < sched.tenants.size(); ++i) {
+    std::printf("%s%d", i > 0 ? "," : "", sched.tenants[i].priority);
+  }
+  std::printf(")\n%-12s %4s %6s %8s %8s %8s %8s %9s\n", "tenant", "prio",
+              "ok/all", "p50(ms)", "p99(ms)", "max(ms)", "q/s", "throttled");
+  for (size_t i = 0; i < report.per_tenant.size(); ++i) {
+    const TenantRunReport& t = report.per_tenant[i];
+    std::printf("%-12s %4d %3d/%-3d %8.2f %8.2f %8.2f %8.1f %9d\n",
+                t.tenant.c_str(), sched.tenants[i].priority, t.succeeded,
+                t.attempted, t.p50_ms, t.p99_ms, t.max_ms, t.qps,
+                t.gave_up_throttled);
+  }
+  std::printf("scheduler: shed=%lld budget_shrunk=%lld promotions=%lld\n",
+              static_cast<long long>(report.scheduler_shed),
+              static_cast<long long>(report.scheduler_budget_shrunk),
+              static_cast<long long>(report.scheduler_promotions));
+  if (report.failed > 0) std::printf("%s\n", report.ErrorSummary().c_str());
+  return report.untyped_failures() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int count = 150;
   int sessions = 8;
   int mqo_axis = -1;  // -1: classic study; 0/1: concurrent MQO axis
+  int num_tenants = 0;  // > 0: multi-tenant scheduling axis
+  std::vector<int> priority_mix = {0, 1, 2};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mqo") == 0 && i + 1 < argc) {
       mqo_axis = std::strcmp(argv[++i], "on") == 0 ? 1 : 0;
     } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
       sessions = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      num_tenants = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--priority-mix") == 0 && i + 1 < argc) {
+      priority_mix = ParsePriorityMix(argv[++i]);
     } else {
       count = std::atoi(argv[i]);
     }
@@ -73,8 +156,14 @@ int main(int argc, char** argv) {
   schema.orders = 15000;
   schema.order_items = 30000;
   schema.customers = 2000;
+  if (num_tenants > 0) schema.oltp_indexes = true;
   if (!BuildHrDatabase(schema, &db).ok()) return 1;
   WorkloadRunner runner(db);
+
+  if (num_tenants > 0) {
+    return RunTenantAxis(runner, schema, count, num_tenants, priority_mix,
+                         sessions);
+  }
 
   auto queries = GenerateMixedWorkload(count, 0.5, schema, 17);
 

@@ -48,7 +48,8 @@ QueryEngine::QueryEngine(const Database& db, CbqtConfig config,
                          CostParams params)
     : db_(db), optimizer_(db, config, params), config_(config) {
   const GuardrailConfig& gr = config_.guardrails;
-  if (gr.engine_memory_bytes > 0 || gr.query_memory_bytes > 0) {
+  if (gr.engine_memory_bytes > 0 || gr.query_memory_bytes > 0 ||
+      gr.any_tenant_memory_quota()) {
     root_memory_ = std::make_unique<MemoryTracker>("engine",
                                                    gr.engine_memory_bytes);
     // Pressure ladder, engine level: shed cached plans before failing a
@@ -88,6 +89,17 @@ QueryEngine::QueryEngine(const Database& db, CbqtConfig config,
           }
           return tripped;
         });
+  }
+  if (gr.scheduler.enabled_and_valid()) {
+    scheduler_ = std::make_unique<TenantScheduler>(gr.scheduler,
+                                                   /*legacy_mode=*/false,
+                                                   root_memory_.get());
+  } else if (gr.admission.enabled()) {
+    // The historical single-queue admission runs as a one-tenant scheduler
+    // in legacy mode: same statuses (kAdmissionRejected), same counters.
+    scheduler_ = std::make_unique<TenantScheduler>(
+        TenantScheduler::FromLegacy(gr.admission), /*legacy_mode=*/true,
+        root_memory_.get());
   }
   if (config_.mqo.enabled) {
     mqo_ = std::make_unique<MqoRegistry>(config_.mqo, root_memory_.get());
@@ -173,9 +185,15 @@ void QueryEngine::WaitForUpgrades() const {
 GuardrailStats QueryEngine::guardrail_stats() const {
   GuardrailStats out;
   out.admitted = admitted_.load(std::memory_order_relaxed);
-  out.queued = queued_total_.load(std::memory_order_relaxed);
-  out.admission_rejected =
-      admission_rejected_.load(std::memory_order_relaxed);
+  if (scheduler_ != nullptr) {
+    SchedulerStats ss = scheduler_->stats();
+    out.queued = ss.queued;
+    out.admission_rejected = ss.rejected;
+    out.tenant_throttled = ss.throttled;
+    out.tenant_shed = ss.shed;
+    out.budget_shrunk = ss.budget_shrunk;
+    out.aging_promotions = ss.aging_promotions;
+  }
   out.cancelled = cancelled_.load(std::memory_order_relaxed);
   out.resource_exhausted =
       resource_exhausted_.load(std::memory_order_relaxed);
@@ -204,6 +222,10 @@ MqoStats QueryEngine::mqo_stats() const {
   return mqo_ != nullptr ? mqo_->stats() : MqoStats{};
 }
 
+SchedulerStats QueryEngine::scheduler_stats() const {
+  return scheduler_ != nullptr ? scheduler_->stats() : SchedulerStats{};
+}
+
 bool QueryEngine::Cancel(uint64_t query_id) const {
   // The token is tripped while admission_mu_ is held: EndQuery removes
   // registry entries under the same mutex, so the (possibly caller-owned)
@@ -223,7 +245,8 @@ std::vector<uint64_t> QueryEngine::ActiveQueryIds() const {
   return out;
 }
 
-Result<uint64_t> QueryEngine::Admit(CancellationToken* cancel) const {
+Result<uint64_t> QueryEngine::Admit(CancellationToken* cancel,
+                                    const std::string& tenant) const {
   // Cancel-before-admit: a token tripped at entry fails fast without
   // consuming an admission slot or doing any work.
   if (cancel != nullptr && cancel->cancelled()) {
@@ -231,46 +254,28 @@ Result<uint64_t> QueryEngine::Admit(CancellationToken* cancel) const {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
     return st;
   }
-
-  const AdmissionConfig& ac = config_.guardrails.admission;
-  std::unique_lock<std::mutex> lock(admission_mu_);
-  if (ac.enabled() && running_ >= ac.max_concurrent) {
-    if (queued_ >= std::max(0, ac.max_queued) || ac.queue_timeout_ms <= 0) {
-      admission_rejected_.fetch_add(1, std::memory_order_relaxed);
-      return Status::AdmissionRejected(
-          ac.queue_timeout_ms <= 0
-              ? "all " + std::to_string(ac.max_concurrent) +
-                    " execution slots busy (no queueing configured)"
-              : "admission queue full (" + std::to_string(queued_) +
-                    " waiting for " + std::to_string(ac.max_concurrent) +
-                    " slots)");
-    }
-    ++queued_;
-    queued_total_.fetch_add(1, std::memory_order_relaxed);
-    auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double, std::milli>(
-                            ac.queue_timeout_ms));
-    bool got_slot = admission_cv_.wait_until(lock, deadline, [&] {
-      return running_ < ac.max_concurrent ||
-             (cancel != nullptr && cancel->cancelled());
-    });
-    --queued_;
-    if (cancel != nullptr && cancel->cancelled()) {
-      Status st = cancel->status();
-      cancelled_.fetch_add(1, std::memory_order_relaxed);
-      return st;
-    }
-    if (!got_slot || running_ >= ac.max_concurrent) {
-      admission_rejected_.fetch_add(1, std::memory_order_relaxed);
-      return Status::AdmissionRejected(
-          "queued for " + std::to_string(ac.queue_timeout_ms) +
-          " ms without getting one of " + std::to_string(ac.max_concurrent) +
-          " execution slots");
-    }
+  // Pre-admission fault point: nothing is held yet, so a fire here proves
+  // the typed error path without any cleanup obligations. (The scheduler
+  // fires a second, post-grant kAdmit hit that proves slot release.)
+  if (config_.fault_injector != nullptr) {
+    Status injected = config_.fault_injector->MaybeFail(FaultSite::kAdmit);
+    if (!injected.ok()) return injected;
   }
-  if (ac.enabled()) ++running_;
 
+  Admission adm;
+  if (scheduler_ != nullptr) {
+    auto granted =
+        scheduler_->Admit(tenant, cancel, config_.fault_injector.get());
+    if (!granted.ok()) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return granted.status();
+    }
+    adm = *granted;
+  }
+
+  std::lock_guard<std::mutex> lock(admission_mu_);
   uint64_t id = next_query_id_++;
   ActiveQuery aq;
   if (cancel != nullptr) {
@@ -279,10 +284,22 @@ Result<uint64_t> QueryEngine::Admit(CancellationToken* cancel) const {
     aq.owned_token = std::make_shared<CancellationToken>();
     aq.token = aq.owned_token.get();
   }
-  if (root_memory_ != nullptr) {
+  // The per-query tracker charges through the tenant's quota tracker when
+  // the tenant has one, otherwise directly through the engine root.
+  MemoryTracker* parent = root_memory_.get();
+  if (scheduler_ != nullptr) {
+    if (MemoryTracker* tm = scheduler_->tenant_memory(adm.tenant_index)) {
+      parent = tm;
+    }
+  }
+  if (parent != nullptr) {
     aq.memory = std::make_unique<MemoryTracker>(
         "query-" + std::to_string(id), config_.guardrails.query_memory_bytes,
-        root_memory_.get());
+        parent);
+  }
+  if (scheduler_ != nullptr) {
+    aq.admission = adm;
+    aq.has_admission = true;
   }
   active_.emplace(id, std::move(aq));
   admitted_.fetch_add(1, std::memory_order_relaxed);
@@ -303,16 +320,21 @@ void QueryEngine::EndQuery(uint64_t id, const Status& final_status) const {
     default:
       break;
   }
+  Admission adm;
+  bool release = false;
   {
     std::lock_guard<std::mutex> lock(admission_mu_);
-    active_.erase(id);
-    if (config_.guardrails.admission.enabled()) {
-      --running_;
-      admission_cv_.notify_one();
+    auto it = active_.find(id);
+    if (it != active_.end()) {
+      adm = it->second.admission;
+      release = it->second.has_admission;
+      active_.erase(it);
     }
   }
-  // Outside admission_mu_: the last member out retires the batch's shared
-  // scan streams, which takes stream locks and wakes waiting consumers.
+  // Outside admission_mu_: the slot release dispatches queued waiters
+  // under the scheduler's own lock, and the last member out retires the
+  // MQO batch's shared scan streams (stream locks, consumer wakeups).
+  if (release && scheduler_ != nullptr) scheduler_->Release(adm);
   if (mqo_ != nullptr) mqo_->LeaveBatch(id);
 }
 
@@ -330,6 +352,18 @@ QueryGuards QueryEngine::GuardsFor(uint64_t id) const {
   return g;
 }
 
+OptimizerBudget QueryEngine::BudgetFor(uint64_t id) const {
+  double factor = 1.0;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    auto it = active_.find(id);
+    if (it != active_.end() && it->second.has_admission) {
+      factor = it->second.admission.budget_factor;
+    }
+  }
+  return ScaledBudget(config_.budget, factor);
+}
+
 Result<CbqtResult> QueryEngine::OptimizeTree(const QueryBlock& query,
                                              const OptimizerBudget& budget,
                                              const QueryGuards& guards) const {
@@ -341,11 +375,12 @@ Result<CbqtResult> QueryEngine::OptimizeTree(const QueryBlock& query,
 }
 
 Result<PreparedQuery> QueryEngine::PrepareUncached(
-    const std::string& sql, const QueryGuards& guards) const {
+    const std::string& sql, const OptimizerBudget& budget,
+    const QueryGuards& guards) const {
   double t0 = MonotonicMs();
   auto parsed = ParseSql(sql);
   if (!parsed.ok()) return parsed.status();
-  auto optimized = OptimizeTree(*parsed.value(), config_.budget, guards);
+  auto optimized = OptimizeTree(*parsed.value(), budget, guards);
   if (!optimized.ok()) return optimized.status();
   PreparedQuery out;
   out.tree = std::move(optimized->tree);
@@ -438,7 +473,10 @@ void QueryEngine::RunUpgrade(std::shared_ptr<const CachedPlanEntry> entry,
 Result<PreparedQuery> QueryEngine::PrepareAdmitted(const std::string& sql,
                                                    uint64_t id) const {
   QueryGuards guards = GuardsFor(id);
-  if (plan_cache_ == nullptr) return PrepareUncached(sql, guards);
+  // Possibly shrunk by the scheduler's overload ladder (budget_factor < 1
+  // when this query was admitted off a backed-up tenant queue).
+  OptimizerBudget budget = BudgetFor(id);
+  if (plan_cache_ == nullptr) return PrepareUncached(sql, budget, guards);
 
   double t0 = MonotonicMs();
   auto parsed = ParseSql(sql);
@@ -505,7 +543,7 @@ Result<PreparedQuery> QueryEngine::PrepareAdmitted(const std::string& sql,
     }
   }
 
-  auto optimized = OptimizeTree(*parsed.value(), config_.budget, guards);
+  auto optimized = OptimizeTree(*parsed.value(), budget, guards);
   if (!optimized.ok()) return optimized.status();
   // A cancelled or memory-failed optimization returned above — only fully
   // successful plans are published, so guardrail unwinds can never leak a
@@ -522,7 +560,7 @@ Result<PreparedQuery> QueryEngine::PrepareAdmitted(const std::string& sql,
   fresh->num_params = ps.params.size();
   if (!ps.params.empty()) fresh->param_bands = current_bands();
   fresh->degraded = IsDegraded(fresh->stats);
-  fresh->planned_budget = config_.budget;
+  fresh->planned_budget = budget;
   fresh->bytes = EstimateEntryBytes(*fresh);
   if (plan_store_ != nullptr && !fresh->degraded) {
     // Share the search result with peer instances. Best effort: a store
@@ -573,7 +611,28 @@ Result<QueryResult> QueryEngine::ExecuteAdmitted(PreparedQuery prepared,
 
 Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql,
                                            CancellationToken* cancel) const {
-  auto admitted = Admit(cancel);
+  QueryOptions opts;
+  opts.cancel = cancel;
+  return Prepare(sql, opts);
+}
+
+Result<QueryResult> QueryEngine::Execute(PreparedQuery prepared,
+                                         CancellationToken* cancel) const {
+  QueryOptions opts;
+  opts.cancel = cancel;
+  return Execute(std::move(prepared), opts);
+}
+
+Result<QueryResult> QueryEngine::Run(const std::string& sql,
+                                     CancellationToken* cancel) const {
+  QueryOptions opts;
+  opts.cancel = cancel;
+  return Run(sql, opts);
+}
+
+Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql,
+                                           const QueryOptions& opts) const {
+  auto admitted = Admit(opts.cancel, opts.tenant);
   if (!admitted.ok()) return admitted.status();
   AdmissionScope scope(*admitted, [this](uint64_t id, const Status& s) {
     EndQuery(id, s);
@@ -585,8 +644,8 @@ Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql,
 }
 
 Result<QueryResult> QueryEngine::Execute(PreparedQuery prepared,
-                                         CancellationToken* cancel) const {
-  auto admitted = Admit(cancel);
+                                         const QueryOptions& opts) const {
+  auto admitted = Admit(opts.cancel, opts.tenant);
   if (!admitted.ok()) return admitted.status();
   AdmissionScope scope(*admitted, [this](uint64_t id, const Status& s) {
     EndQuery(id, s);
@@ -598,10 +657,10 @@ Result<QueryResult> QueryEngine::Execute(PreparedQuery prepared,
 }
 
 Result<QueryResult> QueryEngine::Run(const std::string& sql,
-                                     CancellationToken* cancel) const {
+                                     const QueryOptions& opts) const {
   // One admission slot and one per-query memory tracker cover the whole
   // prepare + execute pipeline.
-  auto admitted = Admit(cancel);
+  auto admitted = Admit(opts.cancel, opts.tenant);
   if (!admitted.ok()) return admitted.status();
   AdmissionScope scope(*admitted, [this](uint64_t id, const Status& s) {
     EndQuery(id, s);

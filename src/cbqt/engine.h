@@ -14,6 +14,7 @@
 #include "cbqt/mqo.h"
 #include "cbqt/plan_cache.h"
 #include "cbqt/plan_store.h"
+#include "cbqt/scheduler.h"
 #include "common/cancellation.h"
 #include "common/guardrails.h"
 #include "common/memory_tracker.h"
@@ -72,6 +73,13 @@ struct GuardrailStats {
   int64_t engine_used_bytes = 0;   ///< root tracker charge right now
   int64_t engine_peak_bytes = 0;   ///< root tracker high-water mark
 
+  // Tenant-aware scheduling (all zero unless GuardrailConfig::scheduler is
+  // enabled; see scheduler_stats() for the per-tenant breakdown).
+  int64_t tenant_throttled = 0;   ///< typed kTenantThrottled turn-aways
+  int64_t tenant_shed = 0;        ///< queued waiters shed by higher priority
+  int64_t budget_shrunk = 0;      ///< admissions with a shrunk optimizer budget
+  int64_t aging_promotions = 0;   ///< starved waiters promoted to top class
+
   // Multi-query optimization (all zero when CbqtConfig::mqo is off).
   int64_t mqo_batches = 0;               ///< optimization batches formed
   int64_t mqo_shared_subplan_hits = 0;   ///< batch-shared annotation hits
@@ -80,6 +88,18 @@ struct GuardrailStats {
   int64_t mqo_rows_shared = 0;           ///< rows served from shared buffers
   int64_t mqo_bytes_saved = 0;           ///< estimated bytes of those rows
   int64_t mqo_pressure_fallbacks = 0;    ///< streams degraded under memory
+};
+
+/// Per-call options for the engine entry points. The default-constructed
+/// value reproduces the historical behavior (no tenant, no token).
+struct QueryOptions {
+  /// Scheduler tenant this query runs as; "" (or an unknown name) maps to
+  /// the default tenant. Ignored unless GuardrailConfig::scheduler is
+  /// enabled.
+  std::string tenant;
+  /// Optional caller-owned cooperative cancellation token (must outlive
+  /// the call).
+  CancellationToken* cancel = nullptr;
 };
 
 /// The public facade over the whole pipeline — the one place that wires
@@ -140,6 +160,17 @@ class QueryEngine {
   Result<QueryResult> Run(const std::string& sql,
                           CancellationToken* cancel = nullptr) const;
 
+  /// Tenant-aware variants: the QueryOptions tenant picks whose admission
+  /// queue, slot share, and byte quota the query runs under (only
+  /// meaningful with GuardrailConfig::scheduler enabled — otherwise these
+  /// behave exactly like the token-only overloads).
+  Result<PreparedQuery> Prepare(const std::string& sql,
+                                const QueryOptions& opts) const;
+  Result<QueryResult> Execute(PreparedQuery prepared,
+                              const QueryOptions& opts) const;
+  Result<QueryResult> Run(const std::string& sql,
+                          const QueryOptions& opts) const;
+
   /// Trips the cancellation token of the in-flight engine operation
   /// `query_id` (see ActiveQueryIds). Returns true when this call tripped
   /// it; false when the id is unknown (already finished) or the token was
@@ -155,6 +186,13 @@ class QueryEngine {
   bool guardrails_enabled() const { return config_.guardrails.enabled(); }
   /// Snapshot of the guardrail telemetry (admission, cancels, memory).
   GuardrailStats guardrail_stats() const;
+
+  /// True when admission runs through the tenant scheduler (either the
+  /// tenant-aware SchedulerConfig or the legacy AdmissionConfig, which is
+  /// internally run as a one-tenant scheduler).
+  bool scheduler_enabled() const { return scheduler_ != nullptr; }
+  /// Per-tenant scheduling telemetry; empty when no scheduler is running.
+  SchedulerStats scheduler_stats() const;
 
   bool plan_cache_enabled() const { return plan_cache_ != nullptr; }
   /// Telemetry of the plan cache; all-zero when the cache is disabled.
@@ -188,15 +226,20 @@ class QueryEngine {
     CancellationToken* token = nullptr;
     std::shared_ptr<CancellationToken> owned_token;  ///< when none supplied
     std::unique_ptr<MemoryTracker> memory;
+    /// The scheduler's grant receipt (slot, tenant, budget factor);
+    /// meaningful only when has_admission is set.
+    Admission admission;
+    bool has_admission = false;
   };
 
-  /// Admission control + registration. Blocks in the bounded queue when all
-  /// `max_concurrent` slots are busy (up to `queue_timeout_ms`), fails fast
-  /// with kAdmissionRejected when the queue is full or the wait times out,
-  /// and fails with the token's status when `cancel` trips before
-  /// admission. On success returns the registered query id; the caller must
+  /// Admission control + registration: routes through the tenant scheduler
+  /// (which blocks in the tenant's bounded queue, applies the overload
+  /// ladder, and fails typed — kAdmissionRejected in legacy mode,
+  /// kTenantThrottled in tenant mode, the token's status when `cancel`
+  /// trips). On success returns the registered query id; the caller must
   /// pair it with EndQuery.
-  Result<uint64_t> Admit(CancellationToken* cancel) const;
+  Result<uint64_t> Admit(CancellationToken* cancel,
+                         const std::string& tenant) const;
 
   /// Unregisters `id`, frees its admission slot, and folds the operation's
   /// final status into the guardrail counters.
@@ -206,6 +249,11 @@ class QueryEngine {
   /// tracker, configured fault injector).
   QueryGuards GuardsFor(uint64_t id) const;
 
+  /// The optimizer budget operation `id` runs under: the engine budget,
+  /// scaled down when the scheduler admitted the query with a shrunk
+  /// budget factor (overload ladder step 2).
+  OptimizerBudget BudgetFor(uint64_t id) const;
+
   /// Prepare/Execute bodies running under an already-admitted id.
   Result<PreparedQuery> PrepareAdmitted(const std::string& sql,
                                         uint64_t id) const;
@@ -214,6 +262,7 @@ class QueryEngine {
 
   /// The historical Prepare path: parse + optimize, no cache involvement.
   Result<PreparedQuery> PrepareUncached(const std::string& sql,
+                                        const OptimizerBudget& budget,
                                         const QueryGuards& guards) const;
 
   /// One optimizer entry point for the foreground paths: routes through the
@@ -250,19 +299,22 @@ class QueryEngine {
   /// promptly instead of finishing a long re-optimization during teardown.
   std::shared_ptr<CancellationToken> shutdown_token_;
 
-  // Admission control + registry of in-flight operations. All mutable: the
-  // engine stays logically const for concurrent queries.
+  /// Slot dispatch: created when either GuardrailConfig::scheduler is
+  /// enabled (tenant mode) or the legacy AdmissionConfig is (run as a
+  /// one-tenant scheduler reproducing the historical semantics). Null when
+  /// neither is configured — admission is then a no-op registration.
+  /// Internally synchronized; owns per-tenant quota MemoryTrackers
+  /// (children of root_memory_, so declared after it).
+  std::unique_ptr<TenantScheduler> scheduler_;
+
+  // Registry of in-flight operations. All mutable: the engine stays
+  // logically const for concurrent queries.
   mutable std::mutex admission_mu_;
-  mutable std::condition_variable admission_cv_;
-  mutable int running_ = 0;  ///< operations admitted and not yet ended
-  mutable int queued_ = 0;   ///< operations waiting in the bounded queue
   mutable uint64_t next_query_id_ = 1;
   mutable std::unordered_map<uint64_t, ActiveQuery> active_;
 
-  // Guardrail telemetry.
+  // Guardrail telemetry (queue/rejection counters live in the scheduler).
   mutable std::atomic<int64_t> admitted_{0};
-  mutable std::atomic<int64_t> queued_total_{0};
-  mutable std::atomic<int64_t> admission_rejected_{0};
   mutable std::atomic<int64_t> cancelled_{0};
   mutable std::atomic<int64_t> resource_exhausted_{0};
   mutable std::atomic<int64_t> memory_victims_{0};

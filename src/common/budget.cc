@@ -18,12 +18,14 @@ const char* BudgetDimensionName(BudgetDimension d) {
 
 OptimizerBudget ScaledBudget(const OptimizerBudget& budget, double factor) {
   OptimizerBudget out = budget;
-  if (factor < 1) return out;
+  if (factor <= 0 || factor == 1) return out;
   if (out.deadline_ms > 0) out.deadline_ms *= factor;
   if (out.max_states > 0) {
     double scaled = static_cast<double>(out.max_states) * factor;
     constexpr double kMax = 1e15;  // far beyond any real search space
-    out.max_states = static_cast<int64_t>(scaled < kMax ? scaled : kMax);
+    if (scaled > kMax) scaled = kMax;
+    // A shrunk budget still admits the zero state: never scale below 1.
+    out.max_states = static_cast<int64_t>(scaled < 1 ? 1 : scaled);
   }
   return out;
 }

@@ -40,10 +40,13 @@ enum class BudgetDimension : uint8_t {
 const char* BudgetDimensionName(BudgetDimension d);
 
 /// `budget` with its optimization-phase ceilings (deadline, state cap)
-/// multiplied by `factor` (>= 1), saturating instead of overflowing. The
-/// executor row cap is a correctness guard, not an optimization-effort
-/// ceiling, and is left unchanged. Used by the plan cache's budget-upgrade
-/// path: a degraded plan is re-optimized under an enlarged budget.
+/// multiplied by `factor` (> 0), saturating instead of overflowing; a state
+/// cap never scales below 1 so a shrunk budget still admits the zero state.
+/// The executor row cap is a correctness guard, not an optimization-effort
+/// ceiling, and is left unchanged. Climbed upward (factor > 1) by the plan
+/// cache's budget-upgrade path, and downward (factor < 1) by the tenant
+/// scheduler's overload ladder, which trades optimization effort for
+/// admission throughput when queues back up.
 OptimizerBudget ScaledBudget(const OptimizerBudget& budget, double factor);
 
 /// Thread-safe cooperative enforcement of an OptimizerBudget. One tracker is

@@ -39,6 +39,8 @@ const char* FaultSiteName(FaultSite site) {
       return "exec-spill-write";
     case FaultSite::kExecSpillRead:
       return "exec-spill-read";
+    case FaultSite::kAdmit:
+      return "admit";
   }
   return "?";
 }

@@ -23,9 +23,10 @@ enum class FaultSite : int {
   kCancelAt = 6,         ///< trips the query's CancellationToken at a poll
   kExecSpillWrite = 7,   ///< one row appended to a spill temp file
   kExecSpillRead = 8,    ///< one row read back from a spill temp file
+  kAdmit = 9,            ///< admission/dispatch path (tenant scheduler)
 };
 
-inline constexpr int kNumFaultSites = 9;
+inline constexpr int kNumFaultSites = 10;
 
 const char* FaultSiteName(FaultSite site);
 

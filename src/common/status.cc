@@ -35,6 +35,8 @@ const char* CodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kAdmissionRejected:
       return "AdmissionRejected";
+    case StatusCode::kTenantThrottled:
+      return "TenantThrottled";
     case StatusCode::kDataCorruption:
       return "DataCorruption";
   }

@@ -40,6 +40,13 @@ enum class StatusCode {
   /// the engine is at its concurrency ceiling and the admission queue is
   /// full (or the queue deadline expired). Cheap, typed, retryable.
   kAdmissionRejected,
+  /// The tenant-aware scheduler shed this query under overload: its
+  /// tenant's queue was full (or its wait timed out) and it was the
+  /// lowest-priority work available to drop. The message carries a
+  /// `retry-after-ms=N` hint (see cbqt/scheduler.h RetryAfterMs) that
+  /// well-behaved clients honor with jittered backoff. Cheap, typed,
+  /// retryable — the multi-tenant sibling of kAdmissionRejected.
+  kTenantThrottled,
   /// Serialized bytes (plan snapshot, shared plan store record) failed
   /// structural validation: bad magic, version skew, checksum mismatch,
   /// truncation, or an out-of-range enum/count. The reader guarantees a
@@ -55,7 +62,8 @@ enum class StatusCode {
 inline bool IsGuardrailAbort(StatusCode code) {
   return code == StatusCode::kCancelled ||
          code == StatusCode::kResourceExhausted ||
-         code == StatusCode::kAdmissionRejected;
+         code == StatusCode::kAdmissionRejected ||
+         code == StatusCode::kTenantThrottled;
 }
 
 /// Result of an operation: either OK or an error code plus message.
@@ -104,6 +112,9 @@ class Status {
   }
   static Status AdmissionRejected(std::string msg) {
     return Status(StatusCode::kAdmissionRejected, std::move(msg));
+  }
+  static Status TenantThrottled(std::string msg) {
+    return Status(StatusCode::kTenantThrottled, std::move(msg));
   }
   static Status DataCorruption(std::string msg) {
     return Status(StatusCode::kDataCorruption, std::move(msg));

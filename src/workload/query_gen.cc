@@ -30,6 +30,10 @@ const char* QueryFamilyName(QueryFamily f) {
       return "or-expansion";
     case QueryFamily::kWindowView:
       return "window-view";
+    case QueryFamily::kPointLookup:
+      return "point-lookup";
+    case QueryFamily::kShortJoin:
+      return "short-join";
   }
   return "?";
 }
@@ -312,6 +316,64 @@ std::string WindowViewQuery(Rng& rng, const SchemaConfig& cfg) {
       static_cast<int>(6 + rng.NextUint(12)));
 }
 
+std::string PointLookupQuery(Rng& rng, const SchemaConfig& cfg) {
+  switch (rng.NextUint(4)) {
+    case 0:
+      return StrFormat(
+          "SELECT c.cust_name, c.segment FROM customers c WHERE c.cust_id = "
+          "%d",
+          static_cast<int>(rng.NextUint(
+              static_cast<uint64_t>(cfg.customers))));
+    case 1:
+      return StrFormat(
+          "SELECT o.status, o.total FROM orders o WHERE o.order_id = %d",
+          static_cast<int>(rng.NextUint(static_cast<uint64_t>(cfg.orders))));
+    case 2:
+      return StrFormat(
+          "SELECT p.product_name, p.list_price FROM products p WHERE "
+          "p.product_id = %d",
+          static_cast<int>(rng.NextUint(
+              static_cast<uint64_t>(cfg.products))));
+    default:
+      return StrFormat(
+          "SELECT e.employee_name, e.salary FROM employees e WHERE e.emp_id "
+          "= %d",
+          static_cast<int>(rng.NextUint(
+              static_cast<uint64_t>(cfg.employees))));
+  }
+}
+
+std::string ShortJoinQuery(Rng& rng, const SchemaConfig& cfg) {
+  switch (rng.NextUint(4)) {
+    case 3:  // one employee's open orders (index probe with oltp_indexes)
+      return StrFormat(
+          "SELECT o.order_id, o.total FROM orders o, employees e WHERE "
+          "o.emp_id = e.emp_id AND e.emp_id = %d AND o.status = '%s'",
+          static_cast<int>(rng.NextUint(
+              static_cast<uint64_t>(cfg.employees))),
+          kStatuses[rng.NextUint(4)]);
+    case 0:  // order status for one customer
+      return StrFormat(
+          "SELECT o.order_id, o.status, o.total FROM orders o, customers c "
+          "WHERE o.cust_id = c.cust_id AND c.cust_id = %d AND o.total > "
+          "%.0f",
+          static_cast<int>(rng.NextUint(
+              static_cast<uint64_t>(cfg.customers))),
+          10 + rng.NextDouble() * 500);
+    case 1:  // line items of one order
+      return StrFormat(
+          "SELECT oi.product_id, oi.quantity, oi.price FROM order_items oi, "
+          "orders o WHERE oi.order_id = o.order_id AND o.order_id = %d",
+          static_cast<int>(rng.NextUint(static_cast<uint64_t>(cfg.orders))));
+    default:  // one employee's department
+      return StrFormat(
+          "SELECT e.employee_name, d.dept_name FROM employees e, "
+          "departments d WHERE e.dept_id = d.dept_id AND e.emp_id = %d",
+          static_cast<int>(rng.NextUint(
+              static_cast<uint64_t>(cfg.employees))));
+  }
+}
+
 // splitmix64 finalizer: decorrelates per-query seeds derived from
 // (workload seed, query id) so neighboring ids don't produce correlated
 // literal streams.
@@ -348,6 +410,10 @@ std::string GenerateOne(QueryFamily f, Rng& rng, const SchemaConfig& cfg) {
       return OrExpansionQuery(rng, cfg);
     case QueryFamily::kWindowView:
       return WindowViewQuery(rng, cfg);
+    case QueryFamily::kPointLookup:
+      return PointLookupQuery(rng, cfg);
+    case QueryFamily::kShortJoin:
+      return ShortJoinQuery(rng, cfg);
   }
   return "SELECT 1";
 }
@@ -404,6 +470,51 @@ std::vector<WorkloadQuery> GenerateMixedWorkload(int count,
                                                  uint64_t seed) {
   return GenerateMixedWorkloadShard(0, count, transformable_fraction, schema,
                                     seed);
+}
+
+std::vector<WorkloadQuery> GenerateOltpWorkloadShard(
+    int first_id, int count, const SchemaConfig& schema, uint64_t seed) {
+  std::vector<WorkloadQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    WorkloadQuery q;
+    q.id = first_id + i;
+    // A distinct seed stream from the analytic mix, so an OLTP query and
+    // an analytic query at the same (seed, id) don't share literals.
+    Rng rng(MixSeed(seed ^ 0x0175c0175c0175c0ULL,
+                    static_cast<uint64_t>(q.id)));
+    q.family = rng.NextBool(0.7) ? QueryFamily::kPointLookup
+                                 : QueryFamily::kShortJoin;
+    q.sql = GenerateOne(q.family, rng, schema);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<WorkloadQuery> GenerateOltpWorkload(int count,
+                                                const SchemaConfig& schema,
+                                                uint64_t seed) {
+  return GenerateOltpWorkloadShard(0, count, schema, seed);
+}
+
+std::vector<WorkloadQuery> GenerateTenantWorkload(
+    int count, double oltp_fraction, double transformable_fraction,
+    const SchemaConfig& schema, uint64_t seed) {
+  std::vector<WorkloadQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // The mix decision gets its own stream so that changing the fractions
+    // does not perturb the chosen queries' literals.
+    Rng pick(MixSeed(seed ^ 0x7e7a7e7a7e7a7e7aULL,
+                     static_cast<uint64_t>(i)));
+    std::vector<WorkloadQuery> one =
+        pick.NextBool(oltp_fraction)
+            ? GenerateOltpWorkloadShard(i, 1, schema, seed)
+            : GenerateMixedWorkloadShard(i, 1, transformable_fraction,
+                                         schema, seed);
+    out.push_back(std::move(one.front()));
+  }
+  return out;
 }
 
 }  // namespace cbqt

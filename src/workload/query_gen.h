@@ -25,6 +25,10 @@ enum class QueryFamily {
   kSetOp,          ///< INTERSECT / MINUS (§2.2.7)
   kOrExpansion,    ///< disjunctive predicates (§2.2.8)
   kWindowView,     ///< Q7-style window view (predicate move-around §2.1.3)
+  // OLTP-ish short queries (multi-tenant serving mix; the engine is
+  // read-only, so these are SELECT-shaped point work, not DML).
+  kPointLookup,    ///< single-row primary-key lookup
+  kShortJoin,      ///< 2-table indexed-key join (order-status shape)
 };
 
 const char* QueryFamilyName(QueryFamily f);
@@ -62,6 +66,25 @@ std::vector<WorkloadQuery> GenerateMixedWorkload(int count,
 /// workload can be split across worker threads or processes.
 std::vector<WorkloadQuery> GenerateMixedWorkloadShard(
     int first_id, int count, double transformable_fraction,
+    const SchemaConfig& schema, uint64_t seed);
+
+/// OLTP-shaped short-query workload (point lookups + short indexed joins,
+/// ~70/30) for the multi-tenant serving experiments: every query touches a
+/// handful of rows through a key, so per-query latency is dominated by
+/// scheduling, not work. Same per-query-id seeding guarantees as the
+/// analytic generators.
+std::vector<WorkloadQuery> GenerateOltpWorkload(int count,
+                                                const SchemaConfig& schema,
+                                                uint64_t seed);
+std::vector<WorkloadQuery> GenerateOltpWorkloadShard(
+    int first_id, int count, const SchemaConfig& schema, uint64_t seed);
+
+/// Per-tenant mix: `oltp_fraction` of the queries are OLTP-shaped short
+/// queries, the rest follow the analytic mixed-workload shape with
+/// `transformable_fraction` transformable queries — one tenant's serving
+/// traffic with an analytics tail. Per-query-id deterministic.
+std::vector<WorkloadQuery> GenerateTenantWorkload(
+    int count, double oltp_fraction, double transformable_fraction,
     const SchemaConfig& schema, uint64_t seed);
 
 }  // namespace cbqt

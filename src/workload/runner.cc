@@ -5,6 +5,8 @@
 #include <optional>
 #include <thread>
 
+#include "common/rng.h"
+
 namespace cbqt {
 
 namespace {
@@ -25,6 +27,9 @@ void FoldOutcome(const WorkloadQuery& q, Result<QueryResult>& result,
         break;
       case StatusCode::kAdmissionRejected:
         ++report->admission_rejected;
+        break;
+      case StatusCode::kTenantThrottled:
+        ++report->tenant_throttled;
         break;
       default:
         break;
@@ -77,6 +82,9 @@ void FoldEngineStats(const QueryEngine& engine, WorkloadRunReport* report) {
   report->engine_peak_memory_bytes = gs.engine_peak_bytes;
   report->cache_shed_bytes = gs.cache_shed_bytes;
   report->memory_victims = gs.memory_victims;
+  report->scheduler_shed = gs.tenant_shed;
+  report->scheduler_budget_shrunk = gs.budget_shrunk;
+  report->scheduler_promotions = gs.aging_promotions;
   if (engine.mqo_enabled()) {
     MqoStats ms = engine.mqo_stats();
     report->mqo_batches = ms.batches_formed;
@@ -171,6 +179,112 @@ WorkloadRunReport WorkloadRunner::RunAllConcurrent(
   for (auto& w : workers) w.join();
   for (size_t i = 0; i < queries.size(); ++i) {
     FoldOutcome(queries[i], *outcomes[i], &report);
+  }
+  FoldEngineStats(engine, &report);
+  return report;
+}
+
+WorkloadRunReport WorkloadRunner::RunTenants(
+    const std::vector<TenantSession>& tenants, const CbqtConfig& config) const {
+  WorkloadRunReport report;
+  if (tenants.empty()) return report;
+  QueryEngine engine(db_, config, params_);
+
+  // One slot per (tenant, query): written by exactly one session thread
+  // (round-robin deal within the tenant, as in RunAllConcurrent), folded
+  // serially afterwards in input order.
+  struct Slot {
+    std::optional<Result<QueryResult>> outcome;
+    double start_ms = 0;  ///< first submit (retries included in the span)
+    double end_ms = 0;
+    int retries = 0;  ///< kTenantThrottled turn-aways retried
+  };
+  std::vector<std::vector<Slot>> slots(tenants.size());
+  for (size_t k = 0; k < tenants.size(); ++k) {
+    slots[k].resize(tenants[k].queries.size());
+  }
+
+  std::vector<std::thread> workers;
+  for (size_t k = 0; k < tenants.size(); ++k) {
+    int sessions = std::max(1, tenants[k].sessions);
+    for (int s = 0; s < sessions; ++s) {
+      workers.emplace_back([&, k, s, sessions] {
+        const TenantSession& ts = tenants[k];
+        QueryOptions opts;
+        opts.tenant = ts.tenant;
+        // Deterministic per-thread jitter stream: backoff randomization must
+        // not depend on wall clock or thread scheduling.
+        Rng rng(0x5eedba5eu ^ (static_cast<uint64_t>(k + 1) << 32) ^
+                static_cast<uint64_t>(s));
+        for (size_t i = static_cast<size_t>(s); i < ts.queries.size();
+             i += static_cast<size_t>(sessions)) {
+          Slot& slot = slots[k][i];
+          slot.start_ms = NowMs();
+          auto result = engine.Run(ts.queries[i].sql, opts);
+          while (!result.ok() &&
+                 result.status().code() == StatusCode::kTenantThrottled &&
+                 slot.retries < ts.max_retries) {
+            ++slot.retries;
+            // Honor the scheduler's retry-after hint, linearly escalated per
+            // attempt with +/-50% jitter so retried floods don't re-arrive in
+            // lockstep.
+            double hint = RetryAfterMs(result.status());
+            if (hint <= 0) hint = 25.0;
+            double backoff = hint * slot.retries * (0.5 + rng.NextDouble());
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(backoff));
+            result = engine.Run(ts.queries[i].sql, opts);
+          }
+          slot.end_ms = NowMs();
+          slot.outcome.emplace(std::move(result));
+          if (ts.pace_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(ts.pace_ms));
+          }
+        }
+      });
+    }
+  }
+  for (auto& w : workers) w.join();
+
+  for (size_t k = 0; k < tenants.size(); ++k) {
+    const TenantSession& ts = tenants[k];
+    TenantRunReport tr;
+    tr.tenant = ts.tenant.empty() ? "(default)" : ts.tenant;
+    std::vector<double> latencies;
+    latencies.reserve(ts.queries.size());
+    double first_start = 0;
+    double last_end = 0;
+    for (size_t i = 0; i < ts.queries.size(); ++i) {
+      Slot& slot = slots[k][i];
+      FoldOutcome(ts.queries[i], *slot.outcome, &report);
+      ++tr.attempted;
+      tr.throttled_retries += slot.retries;
+      if (slot.outcome->ok()) {
+        ++tr.succeeded;
+        latencies.push_back(slot.end_ms - slot.start_ms);
+      } else {
+        ++tr.failed;
+        if (slot.outcome->status().code() == StatusCode::kTenantThrottled) {
+          ++tr.gave_up_throttled;
+        }
+      }
+      first_start = (i == 0) ? slot.start_ms
+                             : std::min(first_start, slot.start_ms);
+      last_end = std::max(last_end, slot.end_ms);
+    }
+    if (!latencies.empty()) {
+      std::sort(latencies.begin(), latencies.end());
+      size_t n = latencies.size();
+      tr.p50_ms = latencies[n / 2 - (n % 2 == 0 ? 1 : 0)];
+      tr.p99_ms = latencies[static_cast<size_t>(0.99 * (n - 1))];
+      tr.max_ms = latencies.back();
+    }
+    tr.wall_ms = last_end - first_start;
+    if (tr.wall_ms > 0 && tr.succeeded > 0) {
+      tr.qps = tr.succeeded / (tr.wall_ms / 1000.0);
+    }
+    report.per_tenant.push_back(std::move(tr));
   }
   FoldEngineStats(engine, &report);
   return report;

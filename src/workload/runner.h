@@ -41,6 +41,24 @@ struct RunMeasurement {
 /// Monotonic wall clock in milliseconds.
 double NowMs();
 
+/// Per-tenant digest of one multi-tenant run (RunTenants): user-observed
+/// latencies (queue wait + retries included) and throughput.
+struct TenantRunReport {
+  std::string tenant;
+  int attempted = 0;
+  int succeeded = 0;
+  int failed = 0;
+  /// kTenantThrottled turn-aways that were retried after the backoff.
+  int throttled_retries = 0;
+  /// Queries that stayed throttled through every retry and were dropped.
+  int gave_up_throttled = 0;
+  double p50_ms = 0;  ///< median end-to-end latency of successful queries
+  double p99_ms = 0;
+  double max_ms = 0;
+  double wall_ms = 0;  ///< this tenant's first-submit-to-last-finish span
+  double qps = 0;      ///< succeeded / wall seconds
+};
+
 /// Aggregate report of one batch run. A failing query no longer aborts the
 /// whole workload: its error is recorded and the run continues, so one
 /// pathological query cannot take down a measurement campaign (or, in
@@ -62,9 +80,11 @@ struct WorkloadRunReport {
   int cancelled = 0;           ///< queries that unwound with kCancelled
   int resource_exhausted = 0;  ///< ... with kResourceExhausted
   int admission_rejected = 0;  ///< ... turned away by admission control
-  /// failed minus the three typed guardrail categories above.
+  int tenant_throttled = 0;    ///< ... shed by the tenant scheduler
+  /// failed minus the typed guardrail categories above.
   int untyped_failures() const {
-    return failed - cancelled - resource_exhausted - admission_rejected;
+    return failed - cancelled - resource_exhausted - admission_rejected -
+           tenant_throttled;
   }
 
   // Governor telemetry aggregated over the successful queries.
@@ -109,6 +129,16 @@ struct WorkloadRunReport {
   int64_t mqo_bytes_saved = 0;          ///< estimated bytes of those rows
   int64_t mqo_pressure_fallbacks = 0;   ///< streams degraded under memory
 
+  // Tenant-scheduler telemetry from the shared engine (all zero unless
+  // GuardrailConfig::scheduler is enabled).
+  int64_t scheduler_shed = 0;           ///< queued waiters shed under overload
+  int64_t scheduler_budget_shrunk = 0;  ///< admissions with shrunk budgets
+  int64_t scheduler_promotions = 0;     ///< aging promotions (anti-starvation)
+
+  /// Per-tenant latency/throughput digests (RunTenants only; empty
+  /// otherwise), in the order the TenantSessions were given.
+  std::vector<TenantRunReport> per_tenant;
+
   static constexpr int kMaxErrorMessages = 5;
 
   /// One-paragraph human-readable error summary (empty when failed == 0).
@@ -144,6 +174,26 @@ class WorkloadRunner {
   WorkloadRunReport RunAllConcurrent(const std::vector<WorkloadQuery>& queries,
                                      const CbqtConfig& config,
                                      int sessions) const;
+
+  /// One tenant's traffic in a multi-tenant run.
+  struct TenantSession {
+    std::string tenant;  ///< scheduler tenant name ("" = default tenant)
+    std::vector<WorkloadQuery> queries;
+    int sessions = 1;     ///< concurrent threads submitting this traffic
+    int max_retries = 3;  ///< retries after a kTenantThrottled turn-away
+    double pace_ms = 0;   ///< think time between queries per session
+  };
+
+  /// Multi-tenant variant: every TenantSession's threads run against one
+  /// shared engine, each query submitted under its tenant's name
+  /// (QueryOptions::tenant). A kTenantThrottled turn-away is retried up to
+  /// `max_retries` times with a jittered backoff honoring the status's
+  /// retry-after-ms hint (deterministic jitter, seeded per query). The
+  /// report's per_tenant digests carry user-observed p50/p99/throughput
+  /// per tenant; a query that stays throttled through every retry counts
+  /// as one tenant_throttled failure.
+  WorkloadRunReport RunTenants(const std::vector<TenantSession>& tenants,
+                               const CbqtConfig& config) const;
 
   /// Executes and returns the result rows, canonically sorted — used by
   /// the correctness tests to prove transformation equivalence across

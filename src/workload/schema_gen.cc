@@ -216,6 +216,9 @@ Status BuildHrDatabase(const SchemaConfig& cfg, Database* db) {
     if (cfg.index_on_correlations) {
       t.indexes.push_back({"ord_cust_idx", {"cust_id"}, false});
     }
+    if (cfg.oltp_indexes) {
+      t.indexes.push_back({"ord_emp_idx", {"emp_id"}, false});
+    }
     CBQT_RETURN_IF_ERROR(db->CreateTable(t));
     std::vector<Row> rows;
     for (int i = 0; i < cfg.orders; ++i) {

@@ -29,6 +29,11 @@ struct SchemaConfig {
   /// When false, employees.dept_id has no index — flips the paper's
   /// pre-10g unnesting heuristic and the TIS cost balance.
   bool index_on_correlations = true;
+  /// OLTP serving indexes for the multi-tenant short-query mix: adds
+  /// orders(emp_id), so the order-status-by-employee point join is an
+  /// index probe instead of a scan. Off by default — the analytic
+  /// experiments keep the paper's index layout.
+  bool oltp_indexes = false;
 };
 
 /// Creates tables, loads generated data, builds indexes and statistics.

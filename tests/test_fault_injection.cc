@@ -343,5 +343,59 @@ TEST_F(FaultInjectionTest, WorkloadRunnerIsolatesFailingQueries) {
             std::string::npos);
 }
 
+TEST_F(FaultInjectionTest, AdmitFaultIsTypedWithoutScheduler) {
+  // Without a scheduler the engine fires one pre-admission kAdmit hit per
+  // query; a fire fails typed before anything is held.
+  CbqtConfig cfg = UnnestOnlyConfig();
+  cfg.fault_injector = std::make_shared<FaultInjector>(1);
+  FaultSpec spec;
+  spec.indices = {0};
+  cfg.fault_injector->Arm(FaultSite::kAdmit, spec);
+  QueryEngine engine(*db_, cfg);
+
+  auto failed = engine.Run(kTwoSubquerySql);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_TRUE(engine.ActiveQueryIds().empty()) << "registry entry leaked";
+
+  auto ok = engine.Run(kTwoSubquerySql);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(cfg.fault_injector->injected(FaultSite::kAdmit), 1);
+}
+
+TEST_F(FaultInjectionTest, AdmitFaultReleasesSchedulerSlot) {
+  // With the tenant scheduler every admission makes two kAdmit hits: the
+  // engine's pre-admission one, then the scheduler's post-grant one. Firing
+  // the post-grant hit (index 1) must release the just-granted slot before
+  // the typed error returns — with max_concurrent = 1 and no queueing, a
+  // leaked slot would turn every later query away.
+  CbqtConfig cfg = UnnestOnlyConfig();
+  cfg.guardrails.scheduler.enabled = true;
+  cfg.guardrails.scheduler.max_concurrent = 1;
+  cfg.fault_injector = std::make_shared<FaultInjector>(1);
+  FaultSpec spec;
+  spec.indices = {1};
+  cfg.fault_injector->Arm(FaultSite::kAdmit, spec);
+  QueryEngine engine(*db_, cfg);
+
+  auto failed = engine.Run(kTwoSubquerySql);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_TRUE(engine.ActiveQueryIds().empty());
+
+  // The slot and the (empty) queue must both be free again.
+  auto ok = engine.Run(kTwoSubquerySql);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+  SchedulerStats stats = engine.scheduler_stats();
+  // Only the clean admission counts: the faulted grant was rolled back
+  // before it was ever returned to a caller.
+  EXPECT_EQ(stats.admitted, 1);
+  for (const auto& t : stats.per_tenant) {
+    EXPECT_EQ(t.running, 0);
+    EXPECT_EQ(t.queue_depth, 0);
+  }
+  EXPECT_EQ(cfg.fault_injector->injected(FaultSite::kAdmit), 1);
+}
+
 }  // namespace
 }  // namespace cbqt

@@ -170,6 +170,128 @@ TEST_F(WorkloadTest, RunAllIsolatesPerQueryFailures) {
   EXPECT_TRUE(clean.ErrorSummary().empty());
 }
 
+TEST_F(WorkloadTest, OltpWorkloadShapeAndSharding) {
+  auto queries = GenerateOltpWorkload(200, schema_, 11);
+  ASSERT_EQ(queries.size(), 200u);
+  int lookups = 0;
+  for (const auto& q : queries) {
+    ASSERT_TRUE(q.family == QueryFamily::kPointLookup ||
+                q.family == QueryFamily::kShortJoin)
+        << QueryFamilyName(q.family);
+    if (q.family == QueryFamily::kPointLookup) ++lookups;
+  }
+  // ~70% point lookups.
+  EXPECT_GT(lookups, 110);
+  EXPECT_LT(lookups, 170);
+  // Shards concatenate to the monolith byte-for-byte.
+  auto a = GenerateOltpWorkloadShard(0, 80, schema_, 11);
+  auto b = GenerateOltpWorkloadShard(80, 120, schema_, 11);
+  a.insert(a.end(), b.begin(), b.end());
+  ASSERT_EQ(a.size(), queries.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sql, queries[i].sql) << "query " << i;
+  }
+}
+
+TEST_F(WorkloadTest, OltpQueriesParseBindAndRun) {
+  auto oltp_db = MakeSmallHrDb();
+  ASSERT_NE(oltp_db, nullptr);
+  WorkloadRunner runner(*oltp_db);
+  for (const auto& q : GenerateOltpWorkload(12, schema_, 3)) {
+    auto m = runner.Run(q.sql, ConfigForMode(OptimizerMode::kCostBased));
+    ASSERT_TRUE(m.ok()) << QueryFamilyName(q.family) << ": "
+                        << m.status().ToString() << "\n"
+                        << q.sql;
+  }
+}
+
+TEST_F(WorkloadTest, TenantWorkloadMixesOltpAndAnalytic) {
+  auto queries = GenerateTenantWorkload(300, 0.8, 0.08, schema_, 13);
+  ASSERT_EQ(queries.size(), 300u);
+  int oltp = 0;
+  for (const auto& q : queries) {
+    if (q.family == QueryFamily::kPointLookup ||
+        q.family == QueryFamily::kShortJoin) {
+      ++oltp;
+    }
+  }
+  EXPECT_GT(oltp, 200);
+  EXPECT_LT(oltp, 280);
+}
+
+TEST_F(WorkloadTest, RunTenantsReportsPerTenantDigests) {
+  // Generous capacity: everything succeeds; the report carries one digest
+  // per tenant session with sane latencies and throughput.
+  CbqtConfig cfg = ConfigForMode(OptimizerMode::kCostBased);
+  cfg.guardrails.scheduler.enabled = true;
+  cfg.guardrails.scheduler.max_concurrent = 4;
+  cfg.guardrails.scheduler.queue_timeout_ms = 10000;
+  cfg.guardrails.scheduler.tenants = {
+      TenantSpec{"alpha", /*weight=*/2, /*priority=*/0},
+      TenantSpec{"beta", /*weight=*/1, /*priority=*/1}};
+
+  WorkloadRunner runner(*db_);
+  WorkloadRunner::TenantSession alpha;
+  alpha.tenant = "alpha";
+  alpha.queries = GenerateOltpWorkload(12, schema_, 21);
+  alpha.sessions = 2;
+  WorkloadRunner::TenantSession beta;
+  beta.tenant = "beta";
+  beta.queries = GenerateOltpWorkload(8, schema_, 22);
+  beta.sessions = 2;
+
+  auto report = runner.RunTenants({alpha, beta}, cfg);
+  EXPECT_EQ(report.attempted, 20);
+  EXPECT_EQ(report.failed, 0) << report.ErrorSummary();
+  EXPECT_EQ(report.untyped_failures(), 0);
+  ASSERT_EQ(report.per_tenant.size(), 2u);
+  EXPECT_EQ(report.per_tenant[0].tenant, "alpha");
+  EXPECT_EQ(report.per_tenant[0].attempted, 12);
+  EXPECT_EQ(report.per_tenant[0].succeeded, 12);
+  EXPECT_EQ(report.per_tenant[1].tenant, "beta");
+  EXPECT_EQ(report.per_tenant[1].succeeded, 8);
+  for (const auto& t : report.per_tenant) {
+    EXPECT_GT(t.p50_ms, 0);
+    EXPECT_GE(t.p99_ms, t.p50_ms);
+    EXPECT_GE(t.max_ms, t.p99_ms);
+    EXPECT_GT(t.qps, 0);
+  }
+}
+
+TEST_F(WorkloadTest, TenantThrottlingIsTypedNeverUntyped) {
+  // A deliberately saturated scheduler (one slot, one queue entry, no
+  // retries) turns excess arrivals away — every such failure must land in
+  // the typed tenant_throttled bucket, leaving untyped_failures() at zero.
+  CbqtConfig cfg = ConfigForMode(OptimizerMode::kCostBased);
+  cfg.guardrails.scheduler.enabled = true;
+  cfg.guardrails.scheduler.max_concurrent = 1;
+  cfg.guardrails.scheduler.queue_timeout_ms = 5;
+  TenantSpec noisy;
+  noisy.name = "noisy";
+  noisy.max_queued = 1;
+  cfg.guardrails.scheduler.tenants = {noisy};
+
+  WorkloadRunner runner(*db_);
+  WorkloadRunner::TenantSession flood;
+  flood.tenant = "noisy";
+  // Analytic queries hold the single slot long enough that concurrent
+  // arrivals pile onto the one-deep queue and bounce.
+  flood.queries = GenerateMixedWorkload(24, 0.5, schema_, 31);
+  flood.sessions = 6;
+  flood.max_retries = 0;
+
+  auto report = runner.RunTenants({flood}, cfg);
+  EXPECT_EQ(report.attempted, 24);
+  EXPECT_EQ(report.untyped_failures(), 0) << report.ErrorSummary();
+  EXPECT_EQ(report.failed, report.tenant_throttled);
+  EXPECT_GT(report.tenant_throttled, 0)
+      << "six sessions on a one-slot, one-queue scheduler never throttled";
+  ASSERT_EQ(report.per_tenant.size(), 1u);
+  EXPECT_EQ(report.per_tenant[0].gave_up_throttled, report.tenant_throttled);
+  EXPECT_EQ(report.per_tenant[0].succeeded + report.per_tenant[0].failed,
+            report.per_tenant[0].attempted);
+}
+
 TEST_F(WorkloadTest, SortRowsCanonicalIsTotal) {
   std::vector<Row> rows = {
       {Value::Int(2)}, {Value::Null()}, {Value::Int(1)}, {Value::Str("x")}};
